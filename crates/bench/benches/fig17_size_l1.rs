@@ -1,0 +1,43 @@
+//! Criterion bench for Fig 17: CPU time vs |O| with the L1 metric,
+//! comparing BA, CREST-A and CREST (ratio fixed at 2^7).
+//!
+//! BA is only sampled at sizes where its grid stays tractable — the
+//! paper likewise terminated BA beyond 2^13 (24-hour cut-off). The full
+//! sweep through 2^16 runs via the `figures` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rnnhm_bench::runner::{count, square_arrangement};
+use rnnhm_bench::workload::{build_workload, DatasetKind};
+use rnnhm_core::baseline::{baseline_cell_count, baseline_sweep};
+use rnnhm_core::crest::{crest_a_sweep, crest_sweep};
+use rnnhm_core::sink::MaterializeSink;
+use rnnhm_geom::Metric;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig17_size_l1");
+    group.sample_size(10);
+    let ratio = 128;
+    for kind in [DatasetKind::Uniform, DatasetKind::Zipfian, DatasetKind::Nyc, DatasetKind::La] {
+        for n in [128usize, 1024, 8192] {
+            let w = build_workload(kind, n, ratio, 17);
+            let arr = square_arrangement(&w, Metric::L1);
+            let tag = format!("{}/n{}", kind.name(), n);
+            if baseline_cell_count(&arr) <= 4_000_000 {
+                group.bench_with_input(BenchmarkId::new("BA", &tag), &arr, |b, arr| {
+                    b.iter(|| baseline_sweep(black_box(arr), &count(), &mut MaterializeSink::default()))
+                });
+            }
+            group.bench_with_input(BenchmarkId::new("CREST-A", &tag), &arr, |b, arr| {
+                b.iter(|| crest_a_sweep(black_box(arr), &count(), &mut MaterializeSink::default()))
+            });
+            group.bench_with_input(BenchmarkId::new("CREST", &tag), &arr, |b, arr| {
+                b.iter(|| crest_sweep(black_box(arr), &count(), &mut MaterializeSink::default()))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

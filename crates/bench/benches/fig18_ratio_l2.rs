@@ -1,0 +1,34 @@
+//! Criterion bench for Fig 18: CPU time vs |O|/|F| with the L2 metric
+//! on the max-influence-region task (capacity-constrained measure of
+//! [22]), comparing the Pruning comparator against CREST-L2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rnnhm_bench::runner::{capacity_measure, disk_arrangement};
+use rnnhm_bench::workload::{build_workload, DatasetKind};
+use rnnhm_core::pruning::{crest_l2_max_region, pruning_max_region, PruningConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig18_ratio_l2");
+    group.sample_size(10);
+    let n = 512; // Criterion-sized; the figures binary runs 2^10
+    for kind in [DatasetKind::Uniform, DatasetKind::Zipfian, DatasetKind::Nyc, DatasetKind::La] {
+        for ratio in [2usize, 16, 64] {
+            let w = build_workload(kind, n, ratio, 18);
+            let arr = disk_arrangement(&w);
+            let measure = capacity_measure(&w, 18);
+            let tag = format!("{}/ratio{}", kind.name(), ratio);
+            let cfg = PruningConfig { max_nodes: 5_000_000, max_witnesses: 50_000 };
+            group.bench_with_input(BenchmarkId::new("Pruning", &tag), &arr, |b, arr| {
+                b.iter(|| pruning_max_region(black_box(arr), &measure, cfg))
+            });
+            group.bench_with_input(BenchmarkId::new("CREST-L2", &tag), &arr, |b, arr| {
+                b.iter(|| crest_l2_max_region(black_box(arr), &measure))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

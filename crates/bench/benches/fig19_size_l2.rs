@@ -1,0 +1,33 @@
+//! Criterion bench for Fig 19: CPU time vs |O| with the L2 metric on the
+//! max-influence-region task (ratio fixed at 2^5), Pruning vs CREST-L2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rnnhm_bench::runner::{capacity_measure, disk_arrangement};
+use rnnhm_bench::workload::{build_workload, DatasetKind};
+use rnnhm_core::pruning::{crest_l2_max_region, pruning_max_region, PruningConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig19_size_l2");
+    group.sample_size(10);
+    let ratio = 32;
+    for kind in [DatasetKind::Uniform, DatasetKind::Zipfian, DatasetKind::Nyc, DatasetKind::La] {
+        for n in [128usize, 512, 2048] {
+            let w = build_workload(kind, n, ratio, 19);
+            let arr = disk_arrangement(&w);
+            let measure = capacity_measure(&w, 19);
+            let tag = format!("{}/n{}", kind.name(), n);
+            let cfg = PruningConfig { max_nodes: 5_000_000, max_witnesses: 50_000 };
+            group.bench_with_input(BenchmarkId::new("Pruning", &tag), &arr, |b, arr| {
+                b.iter(|| pruning_max_region(black_box(arr), &measure, cfg))
+            });
+            group.bench_with_input(BenchmarkId::new("CREST-L2", &tag), &arr, |b, arr| {
+                b.iter(|| crest_l2_max_region(black_box(arr), &measure))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,152 @@
+//! Microbenchmarks for the index substrates (DESIGN.md, ablation row):
+//!
+//! * B+-tree vs `std::collections::BTreeSet` on the sweep's workload
+//!   shape (insert once, range-scan, delete once),
+//! * kd-tree NN queries vs linear scan,
+//! * R-tree stabbing vs linear scan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rnnhm_geom::{Metric, Point, Rect};
+use rnnhm_index::{BPlusTree, KdTree, RTree};
+use std::collections::BTreeSet;
+use std::hint::black_box;
+
+fn pseudo(n: usize, seed: u64) -> Vec<u64> {
+    let mut state = seed;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 16
+        })
+        .collect()
+}
+
+fn pseudo_points(n: usize, seed: u64) -> Vec<Point> {
+    let vals = pseudo(n * 2, seed);
+    (0..n)
+        .map(|i| {
+            Point::new(
+                vals[2 * i] as f64 / u64::MAX as f64 * 48.0,
+                vals[2 * i + 1] as f64 / u64::MAX as f64 * 48.0,
+            )
+        })
+        .collect()
+}
+
+fn bptree_vs_btreeset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_bptree");
+    for n in [1_000usize, 10_000] {
+        let keys = pseudo(n, 1);
+        group.bench_with_input(BenchmarkId::new("bptree", n), &keys, |b, keys| {
+            b.iter(|| {
+                let mut t = BPlusTree::new();
+                for &k in keys {
+                    t.insert(k);
+                }
+                // Sweep-shaped scan: lower_bound + short forward walks.
+                let mut acc = 0u64;
+                for &k in keys.iter().step_by(16) {
+                    if let Some(mut cur) = t.lower_bound(&k) {
+                        for _ in 0..8 {
+                            acc = acc.wrapping_add(t.key(cur));
+                            match t.next(cur) {
+                                Some(nc) => cur = nc,
+                                None => break,
+                            }
+                        }
+                    }
+                }
+                for &k in keys {
+                    t.remove(&k);
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("btreeset", n), &keys, |b, keys| {
+            b.iter(|| {
+                let mut t = BTreeSet::new();
+                for &k in keys {
+                    t.insert(k);
+                }
+                let mut acc = 0u64;
+                for &k in keys.iter().step_by(16) {
+                    for v in t.range(k..).take(8) {
+                        acc = acc.wrapping_add(*v);
+                    }
+                }
+                for &k in keys {
+                    t.remove(&k);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn kdtree_nn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_kdtree");
+    for n in [1_000usize, 50_000] {
+        let pts = pseudo_points(n, 2);
+        let queries = pseudo_points(256, 3);
+        let tree = KdTree::build(&pts);
+        group.bench_with_input(BenchmarkId::new("kdtree", n), &queries, |b, qs| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for q in qs {
+                    acc += tree.nearest(q, Metric::L2).unwrap().1;
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("scan", n), &queries, |b, qs| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for q in qs {
+                    let best = pts
+                        .iter()
+                        .map(|p| q.dist2_sq(p))
+                        .fold(f64::INFINITY, f64::min);
+                    acc += best.sqrt();
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn rtree_stab(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_rtree");
+    for n in [1_000usize, 20_000] {
+        let pts = pseudo_points(n, 4);
+        let rects: Vec<Rect> = pts.iter().map(|p| Rect::centered(*p, 0.5)).collect();
+        let queries = pseudo_points(256, 5);
+        let tree = RTree::build(&rects);
+        group.bench_with_input(BenchmarkId::new("rtree", n), &queries, |b, qs| {
+            b.iter(|| {
+                let mut hits = Vec::new();
+                let mut acc = 0usize;
+                for q in qs {
+                    hits.clear();
+                    tree.stab(*q, &mut hits);
+                    acc += hits.len();
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("scan", n), &queries, |b, qs| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for q in qs {
+                    acc += rects.iter().filter(|r| r.contains_closed(*q)).count();
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bptree_vs_btreeset, kdtree_nn, rtree_stab);
+criterion_main!(benches);

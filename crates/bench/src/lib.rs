@@ -1,0 +1,15 @@
+//! # rnnhm-bench
+//!
+//! Benchmark harness reproducing every table and figure of the paper's
+//! evaluation (§VIII). See EXPERIMENTS.md for the experiment index and
+//! recorded results.
+//!
+//! Two front ends share [`workload`] and [`runner`]:
+//!
+//! * the `figures` binary — single-shot wall-clock timings printed as the
+//!   paper's series (one CSV block per sub-figure),
+//! * Criterion benches under `benches/` — statistically sampled timings
+//!   for moderate input sizes.
+
+pub mod runner;
+pub mod workload;

@@ -1,0 +1,102 @@
+//! Workload construction shared by the figures binary and the Criterion
+//! benches.
+//!
+//! The paper's experiments (§VIII) sweep two parameters over four data
+//! sets (LA, NYC, Uniform, Zipfian):
+//!
+//! * the ratio `|O|/|F|` from 2^1 to 2^10 at fixed `|O|`,
+//! * the cardinality `|O|` from 2^7 to 2^16 at fixed ratio.
+
+use rnnhm_data::{sample_clients_facilities, Dataset};
+use rnnhm_geom::Point;
+
+/// Which of the four experiment data sets to draw from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetKind {
+    /// Synthetic Los Angeles POIs (Table II stand-in).
+    La,
+    /// Synthetic New York City POIs (Table II stand-in).
+    Nyc,
+    /// Uniform points on the unit square.
+    Uniform,
+    /// Zipfian points (skew 0.2) on the unit square.
+    Zipfian,
+}
+
+impl DatasetKind {
+    /// Display name as used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetKind::La => "LA",
+            DatasetKind::Nyc => "NYC",
+            DatasetKind::Uniform => "Uniform",
+            DatasetKind::Zipfian => "Zipfian",
+        }
+    }
+
+    /// All four data sets in the paper's sub-figure order (a)–(d).
+    pub const ALL: [DatasetKind; 4] =
+        [DatasetKind::La, DatasetKind::Nyc, DatasetKind::Uniform, DatasetKind::Zipfian];
+
+    /// Materializes the backing point set, sized to supply `need` samples.
+    ///
+    /// City data sets have fixed Table II cardinality; synthetic ones are
+    /// generated 2× oversized so client/facility sampling stays disjoint.
+    pub fn points(&self, need: usize, seed: u64) -> Dataset {
+        match self {
+            DatasetKind::La => Dataset::la(),
+            DatasetKind::Nyc => Dataset::nyc(),
+            DatasetKind::Uniform => Dataset::uniform((need * 2).max(1024), seed),
+            DatasetKind::Zipfian => Dataset::zipfian((need * 2).max(1024), seed),
+        }
+    }
+}
+
+/// One experiment instance: sampled clients and facilities.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Data set display name.
+    pub dataset: &'static str,
+    /// The client set `O`.
+    pub clients: Vec<Point>,
+    /// The facility set `F`.
+    pub facilities: Vec<Point>,
+}
+
+/// Builds the workload for a given data set, `|O|` and ratio `|O|/|F|`.
+///
+/// `|F| = max(1, |O| / ratio)`, matching the paper's parameterization.
+pub fn build_workload(kind: DatasetKind, n_clients: usize, ratio: usize, seed: u64) -> Workload {
+    let n_facilities = (n_clients / ratio).max(1);
+    let ds = kind.points(n_clients + n_facilities, seed);
+    let (clients, facilities) =
+        sample_clients_facilities(&ds.points, n_clients, n_facilities, seed ^ 0x5eed);
+    Workload { dataset: kind.name(), clients, facilities }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_controls_facility_count() {
+        let w = build_workload(DatasetKind::Uniform, 1024, 128, 1);
+        assert_eq!(w.clients.len(), 1024);
+        assert_eq!(w.facilities.len(), 8);
+        assert_eq!(w.dataset, "Uniform");
+    }
+
+    #[test]
+    fn extreme_ratio_keeps_one_facility() {
+        let w = build_workload(DatasetKind::Zipfian, 64, 1024, 1);
+        assert_eq!(w.facilities.len(), 1);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = build_workload(DatasetKind::Uniform, 256, 4, 9);
+        let b = build_workload(DatasetKind::Uniform, 256, 4, 9);
+        assert_eq!(a.clients, b.clients);
+        assert_eq!(a.facilities, b.facilities);
+    }
+}

@@ -1,0 +1,336 @@
+//! NN-circle construction and arrangements (paper §III).
+//!
+//! For every client `o ∈ O`, the NN-circle `C(o)` is centered at `o` with
+//! radius equal to the distance from `o` to its nearest facility. Under L∞
+//! NN-circles are squares, under L1 diamonds (squares after the π/4
+//! rotation of §VII-B), under L2 Euclidean disks.
+
+use rnnhm_geom::transform::{l1_radius_to_linf, rotate45, unrotate45};
+use rnnhm_geom::{Circle, Metric, Point, Rect};
+use rnnhm_index::KdTree;
+
+use crate::BuildError;
+
+/// Bichromatic (`O` and `F` distinct) or monochromatic (`O = F`) RNNs
+/// (paper §III-A, §VII-A).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mode {
+    /// Clients and facilities are different point sets.
+    Bichromatic,
+    /// One point set; each point's NN excludes itself.
+    Monochromatic,
+}
+
+/// The coordinate system an arrangement lives in.
+///
+/// L1 instances are solved in a rotated frame where L1 balls are axis-
+/// aligned squares; [`CoordSpace::to_sweep`] / [`CoordSpace::to_original`]
+/// convert between frames.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CoordSpace {
+    /// Sweep coordinates coincide with input coordinates (L∞, L2).
+    Identity,
+    /// Sweep coordinates are the input rotated by π/4 (L1).
+    Rotated45,
+}
+
+impl CoordSpace {
+    /// Maps an input-space point into sweep space.
+    #[inline]
+    pub fn to_sweep(&self, p: Point) -> Point {
+        match self {
+            CoordSpace::Identity => p,
+            CoordSpace::Rotated45 => rotate45(p),
+        }
+    }
+
+    /// Maps a sweep-space point back to input space.
+    #[inline]
+    pub fn to_original(&self, p: Point) -> Point {
+        match self {
+            CoordSpace::Identity => p,
+            CoordSpace::Rotated45 => unrotate45(p),
+        }
+    }
+}
+
+/// An arrangement of square NN-circles (L∞ directly, L1 after rotation).
+#[derive(Debug, Clone)]
+pub struct SquareArrangement {
+    /// NN-circles as axis-aligned squares, in sweep space.
+    pub squares: Vec<Rect>,
+    /// `owners[i]` is the client id whose NN-circle `squares[i]` is.
+    pub owners: Vec<u32>,
+    /// Coordinate frame of `squares`.
+    pub space: CoordSpace,
+    /// Total number of clients in the instance (the id universe).
+    pub n_clients: usize,
+    /// Clients dropped because their NN distance is zero (they coincide
+    /// with a facility; their NN-circle has empty interior).
+    pub dropped: usize,
+}
+
+impl SquareArrangement {
+    /// Bounding box of all squares (sweep space); `None` when empty.
+    pub fn bbox(&self) -> Option<Rect> {
+        let mut it = self.squares.iter();
+        let first = *it.next()?;
+        Some(it.fold(first, |acc, r| acc.union(r)))
+    }
+
+    /// Number of NN-circles.
+    pub fn len(&self) -> usize {
+        self.squares.len()
+    }
+
+    /// Whether the arrangement has no NN-circles.
+    pub fn is_empty(&self) -> bool {
+        self.squares.is_empty()
+    }
+}
+
+/// An arrangement of disk NN-circles (L2, §VII-C).
+#[derive(Debug, Clone)]
+pub struct DiskArrangement {
+    /// NN-circles as Euclidean disks (input space; L2 needs no rotation).
+    pub disks: Vec<Circle>,
+    /// `owners[i]` is the client id whose NN-circle `disks[i]` is.
+    pub owners: Vec<u32>,
+    /// Total number of clients in the instance (the id universe).
+    pub n_clients: usize,
+    /// Clients dropped for zero NN distance.
+    pub dropped: usize,
+}
+
+impl DiskArrangement {
+    /// Bounding box of all disks; `None` when empty.
+    pub fn bbox(&self) -> Option<Rect> {
+        let mut it = self.disks.iter();
+        let first = it.next()?.bbox();
+        Some(it.fold(first, |acc, c| acc.union(&c.bbox())))
+    }
+
+    /// Number of NN-circles.
+    pub fn len(&self) -> usize {
+        self.disks.len()
+    }
+
+    /// Whether the arrangement has no NN-circles.
+    pub fn is_empty(&self) -> bool {
+        self.disks.is_empty()
+    }
+}
+
+/// Computes each client's NN distance to the facility set.
+///
+/// In monochromatic mode `facilities` is ignored and each client's NN is
+/// its nearest *other* client.
+fn nn_radii(
+    clients: &[Point],
+    facilities: &[Point],
+    metric: Metric,
+    mode: Mode,
+) -> Result<Vec<f64>, BuildError> {
+    if clients.is_empty() {
+        return Err(BuildError::NoClients);
+    }
+    match mode {
+        Mode::Bichromatic => {
+            if facilities.is_empty() {
+                return Err(BuildError::NoFacilities);
+            }
+            let tree = KdTree::build(facilities);
+            Ok(clients
+                .iter()
+                .map(|o| tree.nearest(o, metric).expect("non-empty facility tree").1)
+                .collect())
+        }
+        Mode::Monochromatic => {
+            if clients.len() < 2 {
+                return Err(BuildError::TooFewPoints);
+            }
+            let tree = KdTree::build(clients);
+            Ok(clients
+                .iter()
+                .enumerate()
+                .map(|(i, o)| {
+                    tree.nearest_excluding(o, metric, i as u32)
+                        .expect("at least two points")
+                        .1
+                })
+                .collect())
+        }
+    }
+}
+
+/// Builds the square arrangement for L∞ or L1 instances.
+///
+/// L1 instances are rotated by π/4 into a frame where their diamond
+/// NN-circles become axis-aligned squares (§VII-B); the returned
+/// [`CoordSpace`] records the frame.
+///
+/// Zero-radius NN-circles (client coincides with a facility) are dropped:
+/// their interior is empty, so they bound no region and change no RNN set
+/// of any region interior.
+pub fn build_square_arrangement(
+    clients: &[Point],
+    facilities: &[Point],
+    metric: Metric,
+    mode: Mode,
+) -> Result<SquareArrangement, BuildError> {
+    assert!(
+        metric != Metric::L2,
+        "L2 instances use build_disk_arrangement / crest_l2_sweep"
+    );
+    let radii = nn_radii(clients, facilities, metric, mode)?;
+    let space = match metric {
+        Metric::L1 => CoordSpace::Rotated45,
+        _ => CoordSpace::Identity,
+    };
+    let mut squares = Vec::with_capacity(clients.len());
+    let mut owners = Vec::with_capacity(clients.len());
+    let mut dropped = 0usize;
+    for (i, (&o, &r)) in clients.iter().zip(&radii).enumerate() {
+        if r <= 0.0 {
+            dropped += 1;
+            continue;
+        }
+        let (center, half) = match metric {
+            Metric::Linf => (o, r),
+            Metric::L1 => (rotate45(o), l1_radius_to_linf(r)),
+            Metric::L2 => unreachable!(),
+        };
+        squares.push(Rect::centered(center, half));
+        owners.push(i as u32);
+    }
+    Ok(SquareArrangement { squares, owners, space, n_clients: clients.len(), dropped })
+}
+
+/// Builds the disk arrangement for L2 instances (§VII-C).
+pub fn build_disk_arrangement(
+    clients: &[Point],
+    facilities: &[Point],
+    mode: Mode,
+) -> Result<DiskArrangement, BuildError> {
+    let radii = nn_radii(clients, facilities, Metric::L2, mode)?;
+    let mut disks = Vec::with_capacity(clients.len());
+    let mut owners = Vec::with_capacity(clients.len());
+    let mut dropped = 0usize;
+    for (i, (&o, &r)) in clients.iter().zip(&radii).enumerate() {
+        if r <= 0.0 {
+            dropped += 1;
+            continue;
+        }
+        disks.push(Circle::new(o, r));
+        owners.push(i as u32);
+    }
+    Ok(DiskArrangement { disks, owners, n_clients: clients.len(), dropped })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_example_linf() {
+        // Paper Fig. 4: two clients, one facility; both NN-circles are
+        // squares centered at the clients with radius = L∞ distance to f1.
+        let clients = vec![Point::new(0.0, 0.0), Point::new(3.0, 1.0)];
+        let facilities = vec![Point::new(1.0, 1.0)];
+        let arr =
+            build_square_arrangement(&clients, &facilities, Metric::Linf, Mode::Bichromatic)
+                .unwrap();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr.squares[0], Rect::centered(clients[0], 1.0));
+        assert_eq!(arr.squares[1], Rect::centered(clients[1], 2.0));
+        assert_eq!(arr.owners, vec![0, 1]);
+        assert_eq!(arr.space, CoordSpace::Identity);
+    }
+
+    #[test]
+    fn l1_arrangement_is_rotated() {
+        let clients = vec![Point::new(0.0, 0.0)];
+        let facilities = vec![Point::new(2.0, 0.0)]; // L1 distance 2
+        let arr =
+            build_square_arrangement(&clients, &facilities, Metric::L1, Mode::Bichromatic)
+                .unwrap();
+        assert_eq!(arr.space, CoordSpace::Rotated45);
+        // Radius 2 diamond → square with half side 2/√2 = √2.
+        let half = arr.squares[0].width() / 2.0;
+        assert!((half - 2f64 / 2f64.sqrt()).abs() < 1e-12);
+        // The rotated facility must sit on the square's boundary.
+        let f_rot = CoordSpace::Rotated45.to_sweep(facilities[0]);
+        let s = arr.squares[0];
+        let on_boundary = (f_rot.x - s.x_lo).abs() < 1e-9
+            || (f_rot.x - s.x_hi).abs() < 1e-9
+            || (f_rot.y - s.y_lo).abs() < 1e-9
+            || (f_rot.y - s.y_hi).abs() < 1e-9;
+        assert!(on_boundary, "facility should be on the NN-circle boundary");
+    }
+
+    #[test]
+    fn disk_arrangement_radii() {
+        let clients = vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)];
+        let facilities = vec![Point::new(3.0, 4.0)];
+        let arr = build_disk_arrangement(&clients, &facilities, Mode::Bichromatic).unwrap();
+        assert!((arr.disks[0].r - 5.0).abs() < 1e-12);
+        assert!((arr.disks[1].r - (49.0f64 + 16.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_radius_clients_dropped() {
+        let clients = vec![Point::new(1.0, 1.0), Point::new(5.0, 5.0)];
+        let facilities = vec![Point::new(1.0, 1.0)]; // first client coincides
+        let arr =
+            build_square_arrangement(&clients, &facilities, Metric::Linf, Mode::Bichromatic)
+                .unwrap();
+        assert_eq!(arr.len(), 1);
+        assert_eq!(arr.dropped, 1);
+        assert_eq!(arr.owners, vec![1]);
+        assert_eq!(arr.n_clients, 2);
+    }
+
+    #[test]
+    fn monochromatic_uses_nearest_other_point() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(5.0, 0.0)];
+        let arr = build_square_arrangement(&pts, &[], Metric::Linf, Mode::Monochromatic).unwrap();
+        assert_eq!(arr.len(), 3);
+        // Radii: 1 (to p1), 1 (to p0), 4 (to p1).
+        let halves: Vec<f64> = arr.squares.iter().map(|s| s.width() / 2.0).collect();
+        assert_eq!(halves, vec![1.0, 1.0, 4.0]);
+    }
+
+    #[test]
+    fn error_cases() {
+        let pts = vec![Point::new(0.0, 0.0)];
+        assert_eq!(
+            build_square_arrangement(&pts, &[], Metric::Linf, Mode::Bichromatic).unwrap_err(),
+            BuildError::NoFacilities
+        );
+        assert_eq!(
+            build_square_arrangement(&[], &pts, Metric::Linf, Mode::Bichromatic).unwrap_err(),
+            BuildError::NoClients
+        );
+        assert_eq!(
+            build_square_arrangement(&pts, &[], Metric::Linf, Mode::Monochromatic).unwrap_err(),
+            BuildError::TooFewPoints
+        );
+        assert_eq!(
+            build_disk_arrangement(&[], &pts, Mode::Bichromatic).unwrap_err(),
+            BuildError::NoClients
+        );
+    }
+
+    #[test]
+    fn bbox_covers_all_squares() {
+        let clients = vec![Point::new(0.0, 0.0), Point::new(10.0, 10.0)];
+        let facilities = vec![Point::new(1.0, 0.0)];
+        let arr =
+            build_square_arrangement(&clients, &facilities, Metric::Linf, Mode::Bichromatic)
+                .unwrap();
+        let bb = arr.bbox().unwrap();
+        for s in &arr.squares {
+            assert!(bb.contains_rect(s));
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Exact region counting for square arrangements (paper §IV, §VI-B).
+//!
+//! The paper's analysis revolves around `r`, the number of regions in the
+//! arrangement, proved by the Euler characteristic to lie between `Θ(n)`
+//! and `Θ(n²)`. For an arrangement of axis-aligned square *boundaries* in
+//! generic position the formula collapses pleasantly: with `X` pairwise
+//! boundary crossings and `c` connected components of the boundary union,
+//!
+//! ```text
+//! v = 4n + X          (corners + crossings)
+//! e = 4n + 2X         (each crossing splits one edge on each boundary)
+//! r = e − v + 1 + c = X + c + 1    (including the outer face)
+//! ```
+//!
+//! Sanity anchors from the paper: `n` disjoint squares give `X = 0`,
+//! `c = n`, so `r = n + 1`; the Fig 8 diagonal construction gives
+//! `X = n² − n`, `c = 1`, so `r = n² − n + 2`. Both match §IV.
+//!
+//! Generic position assumed (no shared side segments, no corner-on-side
+//! touches); random float workloads satisfy it. Used by tests to verify
+//! Lemma 3's `k = Θ(r)` on arbitrary arrangements.
+
+use rnnhm_geom::Rect;
+use rnnhm_index::RTree;
+
+use crate::arrangement::SquareArrangement;
+
+/// Union-find over square indices.
+struct Dsu {
+    parent: Vec<u32>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu { parent: (0..n as u32).collect() }
+    }
+    fn find(&mut self, x: u32) -> u32 {
+        let p = self.parent[x as usize];
+        if p == x {
+            return x;
+        }
+        let root = self.find(p);
+        self.parent[x as usize] = root;
+        root
+    }
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra as usize] = rb;
+        }
+    }
+}
+
+/// Number of points where the boundaries of squares `a` and `b` cross,
+/// assuming generic position (0, 2, 4, 6 or 8 for squares).
+fn boundary_crossings(a: &Rect, b: &Rect) -> usize {
+    let mut count = 0;
+    // Vertical sides of `a` against horizontal sides of `b`, and vice
+    // versa. A vertical segment (x, ylo..yhi) crosses a horizontal
+    // segment (xlo..xhi, y) iff strictly interleaved.
+    let crosses = |vx: f64, vy0: f64, vy1: f64, hx0: f64, hx1: f64, hy: f64| {
+        hx0 < vx && vx < hx1 && vy0 < hy && hy < vy1
+    };
+    for vx in [a.x_lo, a.x_hi] {
+        for hy in [b.y_lo, b.y_hi] {
+            if crosses(vx, a.y_lo, a.y_hi, b.x_lo, b.x_hi, hy) {
+                count += 1;
+            }
+        }
+    }
+    for vx in [b.x_lo, b.x_hi] {
+        for hy in [a.y_lo, a.y_hi] {
+            if crosses(vx, b.y_lo, b.y_hi, a.x_lo, a.x_hi, hy) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Exact region count `r` of the arrangement (including the outer face),
+/// assuming generic position. `O(n log n + pairs)` via an R-tree pair
+/// filter.
+pub fn region_count(arr: &SquareArrangement) -> u64 {
+    let n = arr.squares.len();
+    if n == 0 {
+        return 1; // just the plane
+    }
+    let rtree = RTree::build(&arr.squares);
+    let mut dsu = Dsu::new(n);
+    let mut crossings = 0u64;
+    let mut hits: Vec<u32> = Vec::new();
+    for (i, s) in arr.squares.iter().enumerate() {
+        hits.clear();
+        rtree.intersecting(s, &mut hits);
+        for &j in &hits {
+            if (j as usize) <= i {
+                continue;
+            }
+            let x = boundary_crossings(s, &arr.squares[j as usize]);
+            if x > 0 {
+                crossings += x as u64;
+                dsu.union(i as u32, j);
+            }
+        }
+    }
+    let mut roots: Vec<u32> = (0..n as u32).map(|i| dsu.find(i)).collect();
+    roots.sort_unstable();
+    roots.dedup();
+    crossings + roots.len() as u64 + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrangement::CoordSpace;
+    use crate::crest::{crest_a_sweep, crest_sweep};
+    use crate::measure::CountMeasure;
+    use crate::sink::NullSink;
+    use rnnhm_geom::Point;
+
+    fn arr_from_squares(squares: Vec<Rect>) -> SquareArrangement {
+        let owners = (0..squares.len() as u32).collect();
+        let n = squares.len();
+        SquareArrangement { squares, owners, space: CoordSpace::Identity, n_clients: n, dropped: 0 }
+    }
+
+    #[test]
+    fn disjoint_squares_give_n_plus_one() {
+        let squares: Vec<Rect> =
+            (0..7).map(|i| Rect::centered(Point::new(i as f64 * 10.0, 0.0), 1.0)).collect();
+        let arr = arr_from_squares(squares);
+        assert_eq!(region_count(&arr), 8);
+    }
+
+    #[test]
+    fn nested_squares_give_n_plus_one() {
+        let squares: Vec<Rect> =
+            (1..=5).map(|i| Rect::centered(Point::new(0.0, 0.0), i as f64)).collect();
+        let arr = arr_from_squares(squares);
+        assert_eq!(region_count(&arr), 6);
+    }
+
+    #[test]
+    fn fig8_diagonal_matches_formula() {
+        // Paper §IV: r = n² − n + 2 for the diagonal construction.
+        for n in [2usize, 5, 10, 16] {
+            let half = n as f64 / 2.0;
+            let squares: Vec<Rect> = (0..n)
+                .map(|i| Rect::centered(Point::new(i as f64, i as f64), half))
+                .collect();
+            let arr = arr_from_squares(squares);
+            assert_eq!(region_count(&arr), (n * n - n + 2) as u64, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn two_crossing_squares() {
+        // Classic plus-sign overlap: 2 squares, 8 crossings… a standard
+        // cross overlap of two squares crosses at 2 points per side pair:
+        // [0,2]² and [1,3]² cross at exactly 2 points → r = 2 + 1 + 1 = 4
+        // (outside, A∖B, B∖A, A∩B).
+        let arr = arr_from_squares(vec![
+            Rect::new(0.0, 2.0, 0.0, 2.0),
+            Rect::new(1.0, 3.0, 1.0, 3.0),
+        ]);
+        assert_eq!(region_count(&arr), 4);
+    }
+
+    #[test]
+    fn lemma3_bounds_hold_on_random_arrangements() {
+        // r − 1 ≤ k ≤ 14 r (CREST never labels the outer face; Lemma 3
+        // bounds the rest).
+        let mut state = 0xfeedu64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        for round in 0..10 {
+            let n = 10 + round * 15;
+            let squares: Vec<Rect> = (0..n)
+                .map(|_| Rect::centered(Point::new(next() * 10.0, next() * 10.0), 0.2 + next()))
+                .collect();
+            let arr = arr_from_squares(squares);
+            let r = region_count(&arr);
+            let stats = crest_sweep(&arr, &CountMeasure, &mut NullSink);
+            assert!(
+                stats.labels + 1 >= r,
+                "k = {} < r − 1 = {} (round {round})",
+                stats.labels,
+                r - 1
+            );
+            assert!(
+                stats.labels <= 14 * r,
+                "k = {} > 14r = {} (round {round})",
+                stats.labels,
+                14 * r
+            );
+            // CREST-A labels at least as many times but is also bounded
+            // below by the bounded-face count.
+            let full = crest_a_sweep(&arr, &CountMeasure, &mut NullSink);
+            assert!(full.labels + 1 >= r);
+        }
+    }
+
+    #[test]
+    fn empty_arrangement() {
+        let arr = arr_from_squares(vec![]);
+        assert_eq!(region_count(&arr), 1);
+    }
+}

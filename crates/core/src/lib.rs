@@ -1,0 +1,87 @@
+//! # rnnhm-core
+//!
+//! Region-coloring algorithms for reverse-nearest-neighbor heat maps —
+//! a faithful reproduction of Sun, Zhang, Xue, Qi & Du,
+//! *Reverse Nearest Neighbor Heat Maps: A Tool for Influence Exploration*,
+//! ICDE 2016.
+//!
+//! ## The problem
+//!
+//! Given clients `O` and facilities `F`, the RNN set of a location `q` is
+//! the set of clients that would have `q` as their nearest facility if `q`
+//! joined `F`. The *RNN heat map* problem (paper Definition 1) assigns an
+//! influence value — any function of the RNN set — to every point of the
+//! plane. It reduces to *Region Coloring* (Definition 2): the arrangement
+//! of NN-circles partitions the plane into regions of constant RNN set;
+//! label every region.
+//!
+//! ## The algorithms
+//!
+//! * [`baseline::baseline_sweep`] — the grid baseline of §IV (`BA`),
+//! * [`crest::crest_sweep`] — the CREST algorithm of §V (L∞ and, after the
+//!   π/4 rotation, L1),
+//! * [`crest::crest_a_sweep`] — `CREST-A`: only the first optimization
+//!   (no point-enclosure queries), used as an ablation,
+//! * [`crest_l2::crest_l2_sweep`] — the L2 variant of §VII-C,
+//! * [`pruning::pruning_max_region`] — the filter-and-refine comparator
+//!   adapted from [22], used against CREST-L2 in Figs 18–19,
+//! * [`oracle`] — brute-force reference implementations for testing.
+//!
+//! Influence measures are pluggable via [`measure::InfluenceMeasure`];
+//! labeled regions stream into a [`sink::RegionSink`], so top-k /
+//! threshold post-processing (§I) and rasterization compose freely.
+
+pub mod arrangement;
+pub mod baseline;
+pub mod crest;
+pub mod crest_l2;
+pub mod euler;
+pub mod measure;
+pub mod oracle;
+pub mod parallel;
+pub mod postprocess;
+pub mod pruning;
+pub mod query;
+pub mod rnnset;
+pub mod sink;
+pub mod stats;
+pub mod window;
+
+pub use arrangement::{
+    build_disk_arrangement, build_square_arrangement, CoordSpace, DiskArrangement, Mode,
+    SquareArrangement,
+};
+pub use measure::{
+    CapacityMeasure, ConnectivityMeasure, CountMeasure, InfluenceMeasure, WeightedMeasure,
+};
+pub use rnnset::RnnSet;
+pub use sink::{
+    CollectSink, LabeledRegion, MaterializeSink, MaxSink, NullSink, RegionSink, ThresholdSink,
+    TopKSink,
+};
+pub use stats::SweepStats;
+
+/// Errors arising while building an arrangement from a problem instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The facility set is empty (bichromatic mode needs at least one).
+    NoFacilities,
+    /// Monochromatic mode needs at least two points.
+    TooFewPoints,
+    /// The client set is empty.
+    NoClients,
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::NoFacilities => write!(f, "facility set is empty"),
+            BuildError::TooFewPoints => {
+                write!(f, "monochromatic mode requires at least two points")
+            }
+            BuildError::NoClients => write!(f, "client set is empty"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}

@@ -1,0 +1,289 @@
+//! Influence measures — real-valued functions of an RNN set (paper §I, §III).
+//!
+//! The heat of a region is `measure(R)` for its RNN set `R`. The paper
+//! stresses that CREST is generic over the measure; the measures here are
+//! the ones its examples and experiments use:
+//!
+//! * [`CountMeasure`] — `|R|` (Korn & Muthukrishnan [12]; used for the
+//!   showcase heat maps of Figs 1 and 15),
+//! * [`WeightedMeasure`] — sum of client weights [12],
+//! * [`CapacityMeasure`] — the capacity-constrained utility of [22]
+//!   (courier scenario; used with the pruning comparator in Figs 18–19),
+//! * [`ConnectivityMeasure`] — number of "compatible passenger" edges
+//!   inside `R` (the taxi-sharing scenario of Fig 3).
+
+/// A real-valued influence function over RNN sets.
+///
+/// `rnn` is the unordered list of client ids in the region's RNN set.
+pub trait InfluenceMeasure {
+    /// The influence (heat) of a region whose RNN set is `rnn`.
+    fn influence(&self, rnn: &[u32]) -> f64;
+
+    /// An *admissible* optimistic bound used by branch-and-bound search:
+    /// the influence of any region whose RNN set contains all of `inside`
+    /// and any subset of `undecided` must not exceed this value.
+    ///
+    /// The default evaluates the measure on `inside ∪ undecided`, which is
+    /// admissible for monotone measures (count, weight). Non-monotone
+    /// measures must override it.
+    fn upper_bound(&self, inside: &[u32], undecided: &[u32]) -> f64 {
+        let mut all = Vec::with_capacity(inside.len() + undecided.len());
+        all.extend_from_slice(inside);
+        all.extend_from_slice(undecided);
+        self.influence(&all)
+    }
+}
+
+/// `|R|`: the size of the RNN set.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CountMeasure;
+
+impl InfluenceMeasure for CountMeasure {
+    #[inline]
+    fn influence(&self, rnn: &[u32]) -> f64 {
+        rnn.len() as f64
+    }
+
+    #[inline]
+    fn upper_bound(&self, inside: &[u32], undecided: &[u32]) -> f64 {
+        (inside.len() + undecided.len()) as f64
+    }
+}
+
+/// Sum of per-client weights.
+#[derive(Debug, Clone)]
+pub struct WeightedMeasure {
+    weights: Vec<f64>,
+}
+
+impl WeightedMeasure {
+    /// Creates the measure from one non-negative weight per client id.
+    pub fn new(weights: Vec<f64>) -> Self {
+        assert!(weights.iter().all(|w| *w >= 0.0), "weights must be non-negative");
+        WeightedMeasure { weights }
+    }
+}
+
+impl InfluenceMeasure for WeightedMeasure {
+    #[inline]
+    fn influence(&self, rnn: &[u32]) -> f64 {
+        rnn.iter().map(|&id| self.weights[id as usize]).sum()
+    }
+}
+
+/// The capacity-constrained utility of [22] (paper §I, footnote 1):
+///
+/// ```text
+/// influence(p) = Σ_{f ∈ F ∪ {p}} min(c(f), |R(f)|)
+/// ```
+///
+/// where placing `p` moves the clients of `R(p)` away from their current
+/// facilities. We report the utility *delta-normalised*: the total served
+/// after placing `p`. Clients keep their facility unless `p` is closer, so
+/// `R(f)` shrinks by the members of `R(p)` currently assigned to `f`.
+#[derive(Debug, Clone)]
+pub struct CapacityMeasure {
+    /// `assigned[o]` = facility id currently serving client `o`.
+    assigned: Vec<u32>,
+    /// Facility capacities.
+    capacities: Vec<u32>,
+    /// `|R(f)|` before placing the new facility.
+    base_counts: Vec<u32>,
+    /// `Σ_f min(c(f), |R(f)|)` before placing the new facility.
+    base_total: f64,
+    /// Capacity of the candidate facility.
+    new_capacity: u32,
+}
+
+impl CapacityMeasure {
+    /// Builds the measure.
+    ///
+    /// * `assigned[o]` — current NN facility of client `o`,
+    /// * `capacities[f]` — capacity of facility `f`,
+    /// * `new_capacity` — capacity of the candidate location.
+    pub fn new(assigned: Vec<u32>, capacities: Vec<u32>, new_capacity: u32) -> Self {
+        let mut base_counts = vec![0u32; capacities.len()];
+        for &f in &assigned {
+            base_counts[f as usize] += 1;
+        }
+        let base_total = base_counts
+            .iter()
+            .zip(&capacities)
+            .map(|(&n, &c)| n.min(c) as f64)
+            .sum();
+        CapacityMeasure { assigned, capacities, base_counts, base_total, new_capacity }
+    }
+
+    /// The served total before any new facility is placed.
+    pub fn base_total(&self) -> f64 {
+        self.base_total
+    }
+}
+
+impl InfluenceMeasure for CapacityMeasure {
+    fn influence(&self, rnn: &[u32]) -> f64 {
+        // Tally, per facility, how many of its clients defect to `p`.
+        // λ is small; a linear-probe vector beats hashing here.
+        let mut moved: Vec<(u32, u32)> = Vec::with_capacity(rnn.len().min(16));
+        for &o in rnn {
+            let f = self.assigned[o as usize];
+            match moved.iter_mut().find(|(g, _)| *g == f) {
+                Some((_, c)) => *c += 1,
+                None => moved.push((f, 1)),
+            }
+        }
+        let mut total = self.base_total;
+        for &(f, m) in &moved {
+            let c = self.capacities[f as usize];
+            let before = self.base_counts[f as usize];
+            total -= before.min(c) as f64;
+            total += (before - m).min(c) as f64;
+        }
+        total + (rnn.len() as u32).min(self.new_capacity) as f64
+    }
+
+    fn upper_bound(&self, inside: &[u32], undecided: &[u32]) -> f64 {
+        // Optimistic: no facility loses served clients (defectors only come
+        // from over-capacity facilities), and the new facility serves as
+        // many of `inside ∪ undecided` as it can.
+        let gain = ((inside.len() + undecided.len()) as u32).min(self.new_capacity) as f64;
+        self.base_total + gain
+    }
+}
+
+/// Number of "compatibility" edges with both endpoints inside the RNN set
+/// (the taxi-sharing measure of Fig 3: passengers connected by an edge can
+/// share a ride).
+#[derive(Debug, Clone)]
+pub struct ConnectivityMeasure {
+    /// Adjacency lists over client ids; every edge appears in both lists.
+    adj: Vec<Vec<u32>>,
+}
+
+impl ConnectivityMeasure {
+    /// Builds the measure from an undirected edge list over client ids.
+    pub fn from_edges(n_clients: usize, edges: &[(u32, u32)]) -> Self {
+        let mut adj = vec![Vec::new(); n_clients];
+        for &(a, b) in edges {
+            assert_ne!(a, b, "self loops are not meaningful");
+            adj[a as usize].push(b);
+            adj[b as usize].push(a);
+        }
+        ConnectivityMeasure { adj }
+    }
+}
+
+impl InfluenceMeasure for ConnectivityMeasure {
+    fn influence(&self, rnn: &[u32]) -> f64 {
+        let mut sorted = rnn.to_vec();
+        sorted.sort_unstable();
+        let mut twice_edges = 0u64;
+        for &o in rnn {
+            for nb in &self.adj[o as usize] {
+                if sorted.binary_search(nb).is_ok() {
+                    twice_edges += 1;
+                }
+            }
+        }
+        (twice_edges / 2) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_measure() {
+        let m = CountMeasure;
+        assert_eq!(m.influence(&[]), 0.0);
+        assert_eq!(m.influence(&[3, 1, 2]), 3.0);
+        assert_eq!(m.upper_bound(&[1], &[2, 3]), 3.0);
+    }
+
+    #[test]
+    fn weighted_measure() {
+        let m = WeightedMeasure::new(vec![1.0, 2.0, 0.5]);
+        assert_eq!(m.influence(&[0, 2]), 1.5);
+        assert_eq!(m.influence(&[1]), 2.0);
+        assert_eq!(m.upper_bound(&[0], &[1, 2]), 3.5);
+    }
+
+    #[test]
+    fn fig3_connectivity() {
+        // Paper Fig. 3: O = {o0..o3}, edges connect o0–o1, o0–o3, o1–o3
+        // (the paper draws o1, o2, o4 connected; ids here are 0-based:
+        // o1→0, o2→1, o3→2, o4→3).
+        let m = ConnectivityMeasure::from_edges(4, &[(0, 1), (0, 3), (1, 3)]);
+        // RNN set {o1, o2, o4} = {0, 1, 3} has all three edges: heat 3.0.
+        assert_eq!(m.influence(&[0, 1, 3]), 3.0);
+        // RNN set {o1, o3, o4} = {0, 2, 3} has only edge o1–o4: heat 1.0.
+        assert_eq!(m.influence(&[0, 2, 3]), 1.0);
+        // Singletons and empty sets have no edges.
+        assert_eq!(m.influence(&[2]), 0.0);
+        assert_eq!(m.influence(&[]), 0.0);
+    }
+
+    #[test]
+    fn capacity_measure_matches_definition() {
+        // Two facilities: f0 capacity 1 serving clients {0, 1};
+        // f1 capacity 5 serving client {2}. Base total = min(1,2) + min(5,1) = 2.
+        let m = CapacityMeasure::new(vec![0, 0, 1], vec![1, 5], 2);
+        assert_eq!(m.base_total(), 2.0);
+        // Empty RNN set: nothing changes, plus an empty new facility.
+        assert_eq!(m.influence(&[]), 2.0);
+        // R(p) = {0}: f0 drops to 1 client (still ≥ cap 1, serves 1),
+        // new facility serves 1. Total = 1 + 1 + 1 = 3.
+        assert_eq!(m.influence(&[0]), 3.0);
+        // R(p) = {0, 1, 2}: f0 serves 0, f1 serves 0, p serves min(3,2)=2.
+        assert_eq!(m.influence(&[0, 1, 2]), 2.0);
+        // Upper bound is admissible: bound({0}, {1,2}) ≥ both extensions.
+        let ub = m.upper_bound(&[0], &[1, 2]);
+        assert!(ub >= m.influence(&[0]));
+        assert!(ub >= m.influence(&[0, 1]));
+        assert!(ub >= m.influence(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn capacity_upper_bound_is_admissible_randomized() {
+        // Randomized admissibility check across many configurations.
+        let mut state = 99u64;
+        let mut next = |m: u64| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) % m
+        };
+        for _ in 0..200 {
+            let nf = 1 + next(4) as usize;
+            let nc = 1 + next(10) as usize;
+            let assigned: Vec<u32> = (0..nc).map(|_| next(nf as u64) as u32).collect();
+            let capacities: Vec<u32> = (0..nf).map(|_| 1 + next(3) as u32).collect();
+            let measure = CapacityMeasure::new(assigned, capacities, 1 + next(4) as u32);
+            let all: Vec<u32> = (0..nc as u32).collect();
+            let split = next(nc as u64 + 1) as usize;
+            let (inside, undecided) = all.split_at(split);
+            let ub = measure.upper_bound(inside, undecided);
+            // Any subset S with inside ⊆ S ⊆ inside ∪ undecided must be ≤ ub.
+            for mask in 0..(1u32 << undecided.len().min(8)) {
+                let mut s = inside.to_vec();
+                for (b, &u) in undecided.iter().enumerate().take(8) {
+                    if mask & (1 << b) != 0 {
+                        s.push(u);
+                    }
+                }
+                assert!(
+                    measure.influence(&s) <= ub + 1e-9,
+                    "ub {ub} violated by subset {s:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn connectivity_ignores_outside_edges() {
+        let m = ConnectivityMeasure::from_edges(6, &[(0, 1), (1, 2), (4, 5)]);
+        assert_eq!(m.influence(&[0, 1, 2]), 2.0);
+        assert_eq!(m.influence(&[0, 2]), 0.0); // 0–2 not an edge
+        assert_eq!(m.influence(&[4, 5]), 1.0);
+        assert_eq!(m.influence(&[0, 1, 4]), 1.0);
+    }
+}

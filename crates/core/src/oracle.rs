@@ -1,0 +1,171 @@
+//! Brute-force reference implementations for testing.
+//!
+//! The oracle answers RNN queries the slow, obviously-correct way: a point
+//! `q` has client `o` in its RNN set iff `q` lies inside `o`'s NN-circle
+//! (paper §III-A: `R(q) = {o | d(o, q) ≤ d(o, f) ∀f ∈ F}` — the NN-circle
+//! is precisely that locus). Every sweep algorithm is validated against it.
+
+use std::collections::HashMap;
+
+use rnnhm_geom::{Metric, Point};
+
+use crate::arrangement::{DiskArrangement, SquareArrangement};
+use crate::sink::LabeledRegion;
+
+/// Brute-force RNN set of a sweep-space point against a square
+/// arrangement: owners of all squares strictly containing `q`.
+///
+/// Open containment matches region interiors; callers probe region
+/// interior points (subregion centers), never boundaries.
+pub fn rnn_at_square(arr: &SquareArrangement, q: Point) -> Vec<u32> {
+    let mut out: Vec<u32> = arr
+        .squares
+        .iter()
+        .zip(&arr.owners)
+        .filter(|(s, _)| s.contains_open(q))
+        .map(|(_, &o)| o)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Brute-force RNN set of a point against a disk arrangement.
+pub fn rnn_at_disk(arr: &DiskArrangement, q: Point) -> Vec<u32> {
+    let mut out: Vec<u32> = arr
+        .disks
+        .iter()
+        .zip(&arr.owners)
+        .filter(|(c, _)| c.contains_open(q))
+        .map(|(_, &o)| o)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Brute-force bichromatic RNN set of `q` from raw points: every client
+/// whose distance to `q` is strictly less than to its nearest facility.
+///
+/// This bypasses NN-circles entirely — an independent path used to verify
+/// the NN-circle reduction itself.
+pub fn rnn_at_points(
+    clients: &[Point],
+    facilities: &[Point],
+    metric: Metric,
+    q: Point,
+) -> Vec<u32> {
+    let mut out = Vec::new();
+    for (i, o) in clients.iter().enumerate() {
+        let d_q = metric.dist(o, &q);
+        let d_nn = facilities
+            .iter()
+            .map(|f| metric.dist(o, f))
+            .fold(f64::INFINITY, f64::min);
+        if d_q < d_nn {
+            out.push(i as u32);
+        }
+    }
+    out
+}
+
+/// Canonical signature of an RNN set: sorted member ids.
+pub fn signature(rnn: &[u32]) -> Vec<u32> {
+    let mut s = rnn.to_vec();
+    s.sort_unstable();
+    s
+}
+
+/// Aggregates labeled regions into total area per RNN-set signature.
+///
+/// Used to compare full tilings (BA cells vs CREST-A strips): two correct
+/// exact tilings of the same arrangement must give identical area per
+/// signature, up to floating-point tolerance. Empty sets are skipped —
+/// the algorithms bound the empty exterior differently (BA grids span the
+/// global bounding box; strips span only the live line status).
+pub fn area_by_signature(regions: &[LabeledRegion]) -> HashMap<Vec<u32>, f64> {
+    let mut map: HashMap<Vec<u32>, f64> = HashMap::new();
+    for r in regions {
+        if r.rnn.is_empty() {
+            continue;
+        }
+        *map.entry(signature(&r.rnn)).or_insert(0.0) += r.rect.area();
+    }
+    map
+}
+
+/// Asserts two signature→area maps agree up to `tol` (panics with a
+/// readable diff otherwise). Test helper.
+pub fn assert_area_maps_equal(
+    a: &HashMap<Vec<u32>, f64>,
+    b: &HashMap<Vec<u32>, f64>,
+    tol: f64,
+) {
+    for (sig, &area_a) in a {
+        let area_b = b.get(sig).copied().unwrap_or(0.0);
+        assert!(
+            (area_a - area_b).abs() <= tol,
+            "signature {sig:?}: area {area_a} vs {area_b}"
+        );
+    }
+    for (sig, &area_b) in b {
+        if !a.contains_key(sig) {
+            assert!(area_b.abs() <= tol, "signature {sig:?} only in second map, area {area_b}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrangement::{build_square_arrangement, Mode};
+    use rnnhm_geom::Rect;
+
+    #[test]
+    fn rnn_at_points_matches_circle_containment() {
+        let clients = vec![Point::new(0.0, 0.0), Point::new(4.0, 0.0), Point::new(2.0, 3.0)];
+        let facilities = vec![Point::new(1.0, 0.0), Point::new(5.0, 5.0)];
+        for metric in [Metric::Linf, Metric::L1] {
+            let arr =
+                build_square_arrangement(&clients, &facilities, metric, Mode::Bichromatic)
+                    .unwrap();
+            let probes = [
+                Point::new(0.5, 0.25),
+                Point::new(3.0, 0.5),
+                Point::new(2.0, 2.0),
+                Point::new(-3.0, -3.0),
+            ];
+            for q in probes {
+                let direct = rnn_at_points(&clients, &facilities, metric, q);
+                let via_circles = rnn_at_square(&arr, arr.space.to_sweep(q));
+                assert_eq!(direct, via_circles, "metric {metric:?} probe {q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn signature_sorts() {
+        assert_eq!(signature(&[3, 1, 2]), vec![1, 2, 3]);
+        assert_eq!(signature(&[]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn area_aggregation() {
+        let regions = vec![
+            LabeledRegion { rect: Rect::new(0.0, 1.0, 0.0, 1.0), rnn: vec![2, 1], influence: 2.0 },
+            LabeledRegion { rect: Rect::new(1.0, 2.0, 0.0, 2.0), rnn: vec![1, 2], influence: 2.0 },
+            LabeledRegion { rect: Rect::new(0.0, 5.0, 0.0, 5.0), rnn: vec![], influence: 0.0 },
+        ];
+        let map = area_by_signature(&regions);
+        assert_eq!(map.len(), 1, "empty signature skipped");
+        assert_eq!(map[&vec![1, 2]], 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "signature")]
+    fn area_maps_mismatch_detected() {
+        let mut a = HashMap::new();
+        a.insert(vec![1], 2.0);
+        let mut b = HashMap::new();
+        b.insert(vec![1], 5.0);
+        assert_area_maps_equal(&a, &b, 1e-9);
+    }
+}

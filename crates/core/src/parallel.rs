@@ -1,0 +1,230 @@
+//! Slab-parallel sweeping (an extension beyond the paper).
+//!
+//! The sweep is sequential in x, but the plane can be cut into vertical
+//! slabs that are swept independently: every NN-circle is clipped to the
+//! slab's x-range, and a full CREST run labels the slab's regions. Regions
+//! crossing a slab boundary are labeled once per slab they touch — the
+//! labels agree (same RNN set and influence), so order-insensitive sinks
+//! (max, top-k, threshold, rasterization) merge without coordination.
+//! Strip rectangles within a slab never extend past its boundary, so the
+//! union of all slabs' full-strip tilings is still an exact tiling.
+
+use std::thread;
+
+use rnnhm_geom::Rect;
+
+use crate::arrangement::SquareArrangement;
+use crate::crest::{crest_a_sweep, crest_sweep};
+use crate::measure::InfluenceMeasure;
+use crate::sink::{CollectSink, MaxSink, RegionSink, ThresholdSink, TopKSink};
+use crate::stats::SweepStats;
+
+/// A sink whose per-thread instances can be folded into one result.
+pub trait MergeableSink: RegionSink + Send {
+    /// Absorbs another instance's labels.
+    fn merge(&mut self, other: Self);
+}
+
+impl MergeableSink for CollectSink {
+    fn merge(&mut self, other: Self) {
+        self.regions.extend(other.regions);
+    }
+}
+
+impl MergeableSink for MaxSink {
+    fn merge(&mut self, other: Self) {
+        if let Some(b) = other.best {
+            self.label(b.rect, &b.rnn, b.influence);
+        }
+    }
+}
+
+impl MergeableSink for TopKSink {
+    fn merge(&mut self, other: Self) {
+        for r in other.into_top() {
+            self.label(r.rect, &r.rnn, r.influence);
+        }
+    }
+}
+
+impl MergeableSink for ThresholdSink {
+    fn merge(&mut self, other: Self) {
+        self.regions.extend(other.regions);
+    }
+}
+
+/// Clips an arrangement to the slab `[x_lo, x_hi]`, dropping squares
+/// outside it. Owner ids and the client universe are preserved.
+fn clip_to_slab(arr: &SquareArrangement, x_lo: f64, x_hi: f64) -> SquareArrangement {
+    let mut squares = Vec::new();
+    let mut owners = Vec::new();
+    for (s, &o) in arr.squares.iter().zip(&arr.owners) {
+        let lo = s.x_lo.max(x_lo);
+        let hi = s.x_hi.min(x_hi);
+        if lo < hi {
+            squares.push(Rect::new(lo, hi, s.y_lo, s.y_hi));
+            owners.push(o);
+        }
+    }
+    SquareArrangement {
+        squares,
+        owners,
+        space: arr.space,
+        n_clients: arr.n_clients,
+        dropped: arr.dropped,
+    }
+}
+
+/// Slab boundaries that roughly balance NN-circles per slab, derived from
+/// the sorted left sides.
+fn slab_bounds(arr: &SquareArrangement, n_slabs: usize) -> Vec<f64> {
+    let mut lefts: Vec<f64> = arr.squares.iter().map(|s| s.x_lo).collect();
+    lefts.sort_by(f64::total_cmp);
+    let bbox = arr.bbox().expect("non-empty arrangement");
+    let mut bounds = Vec::with_capacity(n_slabs + 1);
+    bounds.push(bbox.x_lo);
+    for k in 1..n_slabs {
+        bounds.push(lefts[k * lefts.len() / n_slabs]);
+    }
+    bounds.push(bbox.x_hi);
+    bounds.dedup_by(|a, b| a == b);
+    bounds
+}
+
+/// Runs CREST over `n_slabs` vertical slabs in parallel, merging sinks.
+///
+/// `make_sink` creates one sink per slab. Returns the merged sink and
+/// aggregate statistics. With `full_strips = true` the CREST-A tiling
+/// sweep is used instead (exact strip tiling, e.g. for rasterization).
+pub fn parallel_crest<M, S, F>(
+    arr: &SquareArrangement,
+    measure: &M,
+    n_slabs: usize,
+    full_strips: bool,
+    make_sink: F,
+) -> (S, SweepStats)
+where
+    M: InfluenceMeasure + Sync,
+    S: MergeableSink,
+    F: Fn() -> S,
+{
+    assert!(n_slabs >= 1, "need at least one slab");
+    if arr.is_empty() || n_slabs == 1 {
+        let mut sink = make_sink();
+        let stats = if full_strips {
+            crest_a_sweep(arr, measure, &mut sink)
+        } else {
+            crest_sweep(arr, measure, &mut sink)
+        };
+        return (sink, stats);
+    }
+    let bounds = slab_bounds(arr, n_slabs);
+    let slabs: Vec<SquareArrangement> = bounds
+        .windows(2)
+        .map(|w| clip_to_slab(arr, w[0], w[1]))
+        .collect();
+
+    let mut results: Vec<(S, SweepStats)> = Vec::with_capacity(slabs.len());
+    thread::scope(|scope| {
+        let handles: Vec<_> = slabs
+            .iter()
+            .map(|slab| {
+                let mut sink = make_sink();
+                scope.spawn(move || {
+                    let stats = if full_strips {
+                        crest_a_sweep(slab, measure, &mut sink)
+                    } else {
+                        crest_sweep(slab, measure, &mut sink)
+                    };
+                    (sink, stats)
+                })
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("slab worker panicked"));
+        }
+    });
+
+    let mut iter = results.into_iter();
+    let (mut sink, mut stats) = iter.next().expect("at least one slab");
+    for (s, st) in iter {
+        sink.merge(s);
+        stats.merge(&st);
+    }
+    (sink, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrangement::CoordSpace;
+    use crate::measure::CountMeasure;
+    use crate::oracle::{area_by_signature, assert_area_maps_equal};
+
+    fn arr_from_squares(squares: Vec<Rect>) -> SquareArrangement {
+        let owners = (0..squares.len() as u32).collect();
+        let n = squares.len();
+        SquareArrangement { squares, owners, space: CoordSpace::Identity, n_clients: n, dropped: 0 }
+    }
+
+    fn pseudo_squares(n: usize, seed: u64) -> Vec<Rect> {
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        (0..n)
+            .map(|_| {
+                let c = rnnhm_geom::Point::new(next() * 10.0, next() * 10.0);
+                Rect::centered(c, 0.2 + next() * 1.5)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_tiling_matches_sequential_areas() {
+        let arr = arr_from_squares(pseudo_squares(60, 42));
+        let mut seq = CollectSink::default();
+        crest_a_sweep(&arr, &CountMeasure, &mut seq);
+        let (par, _) =
+            parallel_crest(&arr, &CountMeasure, 4, true, CollectSink::default);
+        let a = area_by_signature(&seq.regions);
+        let b = area_by_signature(&par.regions);
+        assert_area_maps_equal(&a, &b, 1e-6);
+    }
+
+    #[test]
+    fn parallel_max_matches_sequential() {
+        let arr = arr_from_squares(pseudo_squares(80, 7));
+        let mut seq = MaxSink::default();
+        crest_sweep(&arr, &CountMeasure, &mut seq);
+        let (par, _) = parallel_crest(&arr, &CountMeasure, 4, false, MaxSink::default);
+        assert_eq!(
+            seq.best.unwrap().influence,
+            par.best.unwrap().influence,
+            "max influence differs between sequential and parallel"
+        );
+    }
+
+    #[test]
+    fn single_slab_falls_through() {
+        let arr = arr_from_squares(pseudo_squares(10, 3));
+        let mut seq = CollectSink::default();
+        let seq_stats = crest_sweep(&arr, &CountMeasure, &mut seq);
+        let (par, par_stats) =
+            parallel_crest(&arr, &CountMeasure, 1, false, CollectSink::default);
+        assert_eq!(seq.regions.len(), par.regions.len());
+        assert_eq!(seq_stats, par_stats);
+    }
+
+    #[test]
+    fn topk_merge_dedups() {
+        let arr = arr_from_squares(pseudo_squares(50, 99));
+        let mut seq = TopKSink::new(5);
+        crest_sweep(&arr, &CountMeasure, &mut seq);
+        let (par, _) = parallel_crest(&arr, &CountMeasure, 3, false, || TopKSink::new(5));
+        let seq_top: Vec<f64> = seq.top().iter().map(|r| r.influence).collect();
+        let par_top: Vec<f64> = par.top().iter().map(|r| r.influence).collect();
+        assert_eq!(seq_top, par_top, "top-k influences differ");
+    }
+}

@@ -1,0 +1,90 @@
+//! Post-processing of labeled regions (paper §I).
+//!
+//! "Interactive post-processing operations such as selectively showing
+//! regions with heat values above a threshold or regions having the top-k
+//! heat values … can be easily applied as post-processing of our proposed
+//! techniques." The streaming versions live in [`crate::sink`]
+//! ([`crate::sink::TopKSink`], [`crate::sink::ThresholdSink`]); this
+//! module offers the batch equivalents over collected regions.
+
+use crate::oracle::signature;
+use crate::sink::LabeledRegion;
+
+/// The `k` most influential regions, deduplicated by RNN-set signature,
+/// most influential first. Ties are broken by first occurrence.
+pub fn top_k(regions: &[LabeledRegion], k: usize) -> Vec<LabeledRegion> {
+    let mut seen: Vec<(Vec<u32>, usize)> = Vec::new();
+    for (i, r) in regions.iter().enumerate() {
+        let sig = signature(&r.rnn);
+        match seen.iter_mut().find(|(s, _)| *s == sig) {
+            Some((_, best)) => {
+                if regions[*best].influence < r.influence {
+                    *best = i;
+                }
+            }
+            None => seen.push((sig, i)),
+        }
+    }
+    let mut picked: Vec<LabeledRegion> = seen.into_iter().map(|(_, i)| regions[i].clone()).collect();
+    picked.sort_by(|a, b| b.influence.partial_cmp(&a.influence).expect("finite influence"));
+    picked.truncate(k);
+    picked
+}
+
+/// Regions with influence at or above `min_influence`, in input order.
+pub fn threshold(regions: &[LabeledRegion], min_influence: f64) -> Vec<LabeledRegion> {
+    regions.iter().filter(|r| r.influence >= min_influence).cloned().collect()
+}
+
+/// Distinct RNN-set signatures among the regions (the number of distinct
+/// influence classes in the arrangement).
+pub fn distinct_signatures(regions: &[LabeledRegion]) -> usize {
+    let mut sigs: Vec<Vec<u32>> = regions.iter().map(|r| signature(&r.rnn)).collect();
+    sigs.sort();
+    sigs.dedup();
+    sigs.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnnhm_geom::Rect;
+
+    fn region(rnn: &[u32], influence: f64) -> LabeledRegion {
+        LabeledRegion { rect: Rect::new(0.0, 1.0, 0.0, 1.0), rnn: rnn.to_vec(), influence }
+    }
+
+    #[test]
+    fn top_k_orders_and_dedups() {
+        let regions = vec![
+            region(&[1], 1.0),
+            region(&[2, 3], 5.0),
+            region(&[3, 2], 5.0), // duplicate signature
+            region(&[4], 3.0),
+        ];
+        let top = top_k(&regions, 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].influence, 5.0);
+        assert_eq!(top[1].influence, 3.0);
+        let all = top_k(&regions, 10);
+        assert_eq!(all.len(), 3, "three distinct signatures");
+    }
+
+    #[test]
+    fn threshold_keeps_at_or_above() {
+        let regions = vec![region(&[1], 1.0), region(&[2], 2.0), region(&[3], 3.0)];
+        let kept = threshold(&regions, 2.0);
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn distinct_signature_count() {
+        let regions = vec![
+            region(&[1], 1.0),
+            region(&[1], 1.0),
+            region(&[2], 1.0),
+            region(&[], 0.0),
+        ];
+        assert_eq!(distinct_signatures(&regions), 3);
+    }
+}

@@ -1,0 +1,464 @@
+//! The filter-and-refine "Pruning" comparator (paper §VII-C, from [22]).
+//!
+//! The algorithm the paper benchmarks CREST-L2 against in Figs 18–19. It
+//! finds the maximum-influence region of a disk arrangement by
+//! *enumerating* inside/outside sign assignments over each circle's
+//! overlap neighborhood and *checking* whether each enumerated region
+//! exists: "when C(o1) intersects C(o2) and C(o3), it enumerates the
+//! regions ô1ô2ô3, ô1ô2ō3, ô1ō2ô3, ô1ō2ō3, and then checks whether such
+//! regions really exist". Branch-and-bound with the measure's
+//! [`InfluenceMeasure::upper_bound`] prunes assignments that cannot beat
+//! the best found so far — but the enumeration is exponential in the
+//! overlap degree, which is exactly the behaviour Figs 18–19 show (the
+//! paper: "suffers from an exponential running time in the worst case").
+//!
+//! The *refine* step (does an enumerated region exist?) is implemented
+//! with witness bitmasks: per anchor circle, a pool of candidate witness
+//! points (nudged pairwise boundary intersections, centers, nudged axis
+//! extremes) is classified once against every neighbor disk, producing a
+//! containment bitmask per witness; a leaf assignment exists iff its
+//! bitmask appears in the pool's hash table. Every non-empty face of a
+//! circle arrangement owns such a witness unless it is thinner than the
+//! nudge radius (`rnnhm_geom::eps::NUDGE`) or the pool cap was hit.
+//!
+//! Because the enumeration is exponential, runs are bounded by a global
+//! work budget ([`PruningConfig::max_nodes`]) — the practical analog of
+//! the paper's 24-hour cut-off. A truncated run reports
+//! [`PruningStats::truncated`] and its result is only a lower bound.
+
+use std::collections::HashMap;
+
+use rnnhm_geom::eps::NUDGE;
+use rnnhm_geom::{Circle, Point, Rect};
+use rnnhm_index::RTree;
+
+use crate::arrangement::DiskArrangement;
+use crate::measure::InfluenceMeasure;
+use crate::sink::LabeledRegion;
+
+/// Tuning knobs for the pruning comparator.
+#[derive(Debug, Clone, Copy)]
+pub struct PruningConfig {
+    /// Global cap on work units (branch-and-bound nodes plus witness
+    /// classification work) across all anchor circles. When exhausted,
+    /// `PruningStats::truncated` is set and the result is a lower bound.
+    pub max_nodes: u64,
+    /// Cap on the candidate witness pool per anchor circle (dense
+    /// neighborhoods yield `O(k²)` intersection points; the pool keeps
+    /// the first this-many).
+    pub max_witnesses: usize,
+}
+
+impl Default for PruningConfig {
+    fn default() -> Self {
+        PruningConfig { max_nodes: 20_000_000, max_witnesses: 100_000 }
+    }
+}
+
+/// Work counters for the pruning comparator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PruningStats {
+    /// Branch-and-bound nodes expanded.
+    pub nodes: u64,
+    /// Leaf assignments whose existence was checked.
+    pub leaves: u64,
+    /// Witness points classified across all anchors.
+    pub witness_tests: u64,
+    /// Whether the work budget was exhausted.
+    pub truncated: bool,
+}
+
+/// Containment bitmask over an anchor's neighbor list.
+type Mask = Vec<u64>;
+
+struct Search<'a, M: InfluenceMeasure> {
+    measure: &'a M,
+    stats: PruningStats,
+    budget: u64,
+    best: Option<LabeledRegion>,
+    best_influence: f64,
+    /// Owner ids of `inside` disks, maintained as a stack with the DFS.
+    inside_owners: Vec<u32>,
+}
+
+impl<M: InfluenceMeasure> Search<'_, M> {
+    /// DFS over inside/outside assignments of `nbr_owners[idx..]`.
+    ///
+    /// `cand` are the indices into `faces` of the existing regions still
+    /// consistent with the assignment so far — the *refine* feasibility
+    /// prune: a partial assignment no existing face matches is abandoned
+    /// immediately. Combined with the influence upper bound this is the
+    /// paper's "filter and refine paradigm … with pruning techniques".
+    fn dfs(
+        &mut self,
+        nbr_owners: &[u32],
+        idx: usize,
+        faces: &[(Mask, Point)],
+        cand: &[u32],
+    ) {
+        if cand.is_empty() {
+            return; // no enumerated region exists under this assignment
+        }
+        if self.budget == 0 {
+            self.stats.truncated = true;
+            return;
+        }
+        self.budget -= 1;
+        self.stats.nodes += 1;
+
+        // Optimistic bound: everything undecided joins the region.
+        if self.best.is_some()
+            && self.measure.upper_bound(&self.inside_owners, &nbr_owners[idx..])
+                <= self.best_influence
+        {
+            return; // prune
+        }
+
+        if idx == nbr_owners.len() {
+            self.stats.leaves += 1;
+            debug_assert_eq!(cand.len(), 1, "masks are unique per face");
+            let w = faces[cand[0] as usize].1;
+            let influence = self.measure.influence(&self.inside_owners);
+            if self.best.is_none() || influence > self.best_influence {
+                self.best_influence = influence;
+                self.best = Some(LabeledRegion {
+                    rect: Rect::new(w.x, w.x, w.y, w.y).inflate(NUDGE / 2.0),
+                    rnn: self.inside_owners.clone(),
+                    influence,
+                });
+            }
+            return;
+        }
+
+        // Split the surviving faces on this neighbor's bit; branch inside
+        // first (larger sets first helps the bound for monotone measures).
+        let bit = |m: &Mask| m[idx / 64] >> (idx % 64) & 1 == 1;
+        let inside_cand: Vec<u32> =
+            cand.iter().copied().filter(|&f| bit(&faces[f as usize].0)).collect();
+        let outside_cand: Vec<u32> =
+            cand.iter().copied().filter(|&f| !bit(&faces[f as usize].0)).collect();
+        self.inside_owners.push(nbr_owners[idx]);
+        self.dfs(nbr_owners, idx + 1, faces, &inside_cand);
+        self.inside_owners.pop();
+        self.dfs(nbr_owners, idx + 1, faces, &outside_cand);
+    }
+}
+
+/// Candidate witness points for regions anchored at disk `ci`.
+///
+/// For every circle in `{ci} ∪ nbrs`, the intersection points with all
+/// other circles of the neighborhood are sorted by angle; the midpoint of
+/// every angular gap is emitted twice, nudged radially inward and outward
+/// by [`NUDGE`]. Every face of the neighborhood arrangement whose
+/// boundary contains an arc therefore owns a witness (the two faces
+/// adjacent to the arc), as long as the face is thicker than the nudge.
+/// Circle centers cover faces bounded purely by containment. The pool is
+/// capped at `max` points.
+fn witness_candidates(disks: &[Circle], ci: u32, nbrs: &[u32], max: usize) -> Vec<Point> {
+    let mut ids: Vec<u32> = Vec::with_capacity(nbrs.len() + 1);
+    ids.push(ci);
+    ids.extend_from_slice(nbrs);
+    let mut out = Vec::new();
+    let mut angles: Vec<f64> = Vec::new();
+    for &a in &ids {
+        let ca = &disks[a as usize];
+        out.push(ca.c);
+        angles.clear();
+        for &b in &ids {
+            if b == a {
+                continue;
+            }
+            for p in &ca.intersect(&disks[b as usize]) {
+                angles.push((p.y - ca.c.y).atan2(p.x - ca.c.x));
+            }
+        }
+        let emit = |theta: f64, out: &mut Vec<Point>| {
+            let (sin, cos) = theta.sin_cos();
+            for rr in [ca.r - NUDGE, ca.r + NUDGE] {
+                out.push(Point::new(ca.c.x + rr * cos, ca.c.y + rr * sin));
+            }
+        };
+        if angles.is_empty() {
+            // No intersections: the whole boundary is one arc.
+            for k in 0..4 {
+                emit(k as f64 * std::f64::consts::FRAC_PI_2, &mut out);
+            }
+        } else {
+            angles.sort_by(f64::total_cmp);
+            for i in 0..angles.len() {
+                let a0 = angles[i];
+                let a1 = if i + 1 < angles.len() {
+                    angles[i + 1]
+                } else {
+                    angles[0] + std::f64::consts::TAU
+                };
+                emit((a0 + a1) * 0.5, &mut out);
+            }
+        }
+        if out.len() >= max {
+            break;
+        }
+    }
+    out
+}
+
+/// Classifies witnesses against the anchor and its neighbors: the
+/// distinct containment masks of witnesses inside the anchor, each with
+/// one representative point.
+fn face_table(
+    disks: &[Circle],
+    ci: u32,
+    nbrs: &[u32],
+    witnesses: &[Point],
+    stats: &mut PruningStats,
+    budget: &mut u64,
+) -> Vec<(Mask, Point)> {
+    let words = nbrs.len().div_ceil(64).max(1);
+    let mut faces: HashMap<Mask, Point> = HashMap::new();
+    let anchor = &disks[ci as usize];
+    for &w in witnesses {
+        // Classification work is charged against the global budget.
+        let charge = 1 + nbrs.len() as u64 / 16;
+        if *budget < charge {
+            *budget = 0;
+            stats.truncated = true;
+            break;
+        }
+        *budget -= charge;
+        stats.witness_tests += 1;
+        if !anchor.contains_open(w) {
+            continue;
+        }
+        let mut mask = vec![0u64; words];
+        let mut on_boundary = false;
+        for (i, &d) in nbrs.iter().enumerate() {
+            let disk = &disks[d as usize];
+            if disk.contains_open(w) {
+                mask[i / 64] |= 1 << (i % 64);
+            } else if disk.contains_closed(w) {
+                // Within epsilon of a boundary: ambiguous, skip.
+                on_boundary = true;
+                break;
+            }
+        }
+        if !on_boundary {
+            faces.entry(mask).or_insert(w);
+        }
+    }
+    faces.into_iter().collect()
+}
+
+/// Finds the maximum-influence region of a disk arrangement by the
+/// filter-and-refine pruning algorithm of [22].
+///
+/// Returns the best region found (a point-sized rectangle at the witness)
+/// and work counters. The result is the exact maximum when no truncation
+/// occurred and no face is thinner than the nudge radius.
+pub fn pruning_max_region<M: InfluenceMeasure>(
+    arr: &DiskArrangement,
+    measure: &M,
+    config: PruningConfig,
+) -> (Option<LabeledRegion>, PruningStats) {
+    let disks = &arr.disks;
+    let bboxes: Vec<Rect> = disks.iter().map(Circle::bbox).collect();
+    let rtree = RTree::build(&bboxes);
+
+    let mut search = Search {
+        measure,
+        stats: PruningStats::default(),
+        budget: config.max_nodes,
+        best: None,
+        best_influence: f64::NEG_INFINITY,
+        inside_owners: Vec::new(),
+    };
+
+    let mut hits: Vec<u32> = Vec::new();
+    for ci in 0..disks.len() as u32 {
+        if search.budget == 0 {
+            search.stats.truncated = true;
+            break;
+        }
+        hits.clear();
+        rtree.intersecting(&bboxes[ci as usize], &mut hits);
+        let nbrs: Vec<u32> = hits
+            .iter()
+            .copied()
+            .filter(|&j| j != ci && disks[ci as usize].overlaps(&disks[j as usize]))
+            .collect();
+        let nbr_owners: Vec<u32> = nbrs.iter().map(|&d| arr.owners[d as usize]).collect();
+        let witnesses = witness_candidates(disks, ci, &nbrs, config.max_witnesses);
+        let faces = face_table(disks, ci, &nbrs, &witnesses, &mut search.stats, &mut search.budget);
+        if faces.is_empty() {
+            continue;
+        }
+        search.inside_owners.clear();
+        search.inside_owners.push(arr.owners[ci as usize]);
+        let all: Vec<u32> = (0..faces.len() as u32).collect();
+        search.dfs(&nbr_owners, 0, &faces, &all);
+    }
+    (search.best, search.stats)
+}
+
+/// Convenience wrapper: the maximum-influence region found by CREST-L2
+/// with a [`crate::sink::MaxSink`] — the paper's side of the Fig 18–19
+/// comparison.
+pub fn crest_l2_max_region<M: InfluenceMeasure>(
+    arr: &DiskArrangement,
+    measure: &M,
+) -> (Option<LabeledRegion>, crate::stats::SweepStats) {
+    let mut sink = crate::sink::MaxSink::default();
+    let stats = crate::crest_l2::crest_l2_sweep(arr, measure, &mut sink);
+    (sink.best, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::{CapacityMeasure, CountMeasure};
+    use crate::oracle::signature;
+
+    fn arr_from_disks(disks: Vec<Circle>) -> DiskArrangement {
+        let owners = (0..disks.len() as u32).collect();
+        let n = disks.len();
+        DiskArrangement { disks, owners, n_clients: n, dropped: 0 }
+    }
+
+    #[test]
+    fn single_disk_max() {
+        let arr = arr_from_disks(vec![Circle::new(Point::new(0.0, 0.0), 1.0)]);
+        let (best, stats) = pruning_max_region(&arr, &CountMeasure, PruningConfig::default());
+        let best = best.unwrap();
+        assert_eq!(best.influence, 1.0);
+        assert_eq!(best.rnn, vec![0]);
+        assert!(!stats.truncated);
+    }
+
+    #[test]
+    fn triple_overlap_finds_core() {
+        let arr = arr_from_disks(vec![
+            Circle::new(Point::new(0.0, 0.0), 1.2),
+            Circle::new(Point::new(1.0, 0.1), 1.1),
+            Circle::new(Point::new(0.4, 0.9), 1.0),
+        ]);
+        let (best, _) = pruning_max_region(&arr, &CountMeasure, PruningConfig::default());
+        let best = best.unwrap();
+        assert_eq!(best.influence, 3.0);
+        assert_eq!(signature(&best.rnn), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn agrees_with_crest_l2_on_count_measure() {
+        let mut state = 0x5151u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        for _ in 0..8 {
+            let disks: Vec<Circle> = (0..8)
+                .map(|_| Circle::new(Point::new(next() * 3.0, next() * 3.0), 0.3 + next()))
+                .collect();
+            let arr = arr_from_disks(disks);
+            let (p_best, _) = pruning_max_region(&arr, &CountMeasure, PruningConfig::default());
+            let (c_best, _) = crest_l2_max_region(&arr, &CountMeasure);
+            let p = p_best.expect("pruning found a region");
+            let c = c_best.expect("crest found a region");
+            assert_eq!(p.influence, c.influence, "max influence must agree");
+        }
+    }
+
+    #[test]
+    fn agrees_with_crest_l2_on_capacity_measure() {
+        // Capacity-constrained measure, as used in the paper's Figs 18–19.
+        let mut state = 77u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        for _ in 0..5 {
+            let n = 7usize;
+            let disks: Vec<Circle> = (0..n)
+                .map(|_| Circle::new(Point::new(next() * 2.5, next() * 2.5), 0.4 + next()))
+                .collect();
+            let arr = arr_from_disks(disks);
+            let assigned: Vec<u32> = (0..n).map(|_| (next() * 2.0) as u32).collect();
+            let measure = CapacityMeasure::new(assigned, vec![2, 2], 3);
+            let (p_best, _) = pruning_max_region(&arr, &measure, PruningConfig::default());
+            let (c_best, _) = crest_l2_max_region(&arr, &measure);
+            let p = p_best.expect("pruning found a region");
+            let c = c_best.expect("crest found a region");
+            assert!(
+                (p.influence - c.influence).abs() < 1e-9,
+                "pruning {} vs crest {}",
+                p.influence,
+                c.influence
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_reported_and_lower_bounds() {
+        // A dense clique of disks with a tiny budget must truncate, and a
+        // truncated result can only be a lower bound of the optimum.
+        let disks: Vec<Circle> =
+            (0..14).map(|i| Circle::new(Point::new(i as f64 * 0.01, 0.0), 5.0)).collect();
+        let arr = arr_from_disks(disks);
+        let (best, stats) = pruning_max_region(
+            &arr,
+            &CountMeasure,
+            PruningConfig { max_nodes: 10, max_witnesses: 1000 },
+        );
+        assert!(stats.truncated);
+        let (crest, _) = crest_l2_max_region(&arr, &CountMeasure);
+        if let (Some(b), Some(c)) = (best, crest) {
+            assert!(b.influence <= c.influence + 1e-9);
+        }
+    }
+
+    #[test]
+    fn witness_pool_covers_lens_faces() {
+        // Two crossing circles: the pool must contain witnesses for all
+        // three faces of the lens configuration.
+        let disks = vec![
+            Circle::new(Point::new(0.0, 0.0), 1.0),
+            Circle::new(Point::new(1.0, 0.0), 1.0),
+        ];
+        let cands = witness_candidates(&disks, 0, &[1], 10_000);
+        let in_both =
+            cands.iter().any(|w| disks[0].contains_open(*w) && disks[1].contains_open(*w));
+        let only_a =
+            cands.iter().any(|w| disks[0].contains_open(*w) && !disks[1].contains_closed(*w));
+        assert!(in_both, "no witness in the lens");
+        assert!(only_a, "no witness in the left lune");
+    }
+
+    #[test]
+    fn face_table_distinguishes_faces() {
+        let disks = vec![
+            Circle::new(Point::new(0.0, 0.0), 1.0),
+            Circle::new(Point::new(1.0, 0.0), 1.0),
+        ];
+        let witnesses = witness_candidates(&disks, 0, &[1], 10_000);
+        let mut stats = PruningStats::default();
+        let mut budget = u64::MAX;
+        let faces = face_table(&disks, 0, &[1], &witnesses, &mut stats, &mut budget);
+        // Anchored at disk 0: faces {0 only} (mask 0) and {0,1} (mask 1).
+        assert_eq!(faces.len(), 2);
+        assert!(faces.iter().any(|(m, _)| m == &vec![0u64]));
+        assert!(faces.iter().any(|(m, _)| m == &vec![1u64]));
+    }
+
+    #[test]
+    fn witness_pool_respects_cap() {
+        let disks: Vec<Circle> =
+            (0..40).map(|i| Circle::new(Point::new(i as f64 * 0.05, 0.0), 2.0)).collect();
+        let nbrs: Vec<u32> = (1..40).collect();
+        // The cap is enforced between circles; one circle contributes at
+        // most `1 + 2 * (2 * |nbrs|)` points past it.
+        let cands = witness_candidates(&disks, 0, &nbrs, 500);
+        assert!(
+            cands.len() <= 500 + 1 + 4 * nbrs.len(),
+            "pool of {} exceeds cap + one circle batch",
+            cands.len()
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! The running RNN set maintained during a sweep.
+//!
+//! The paper (§V-D): "To facilitate efficient insert, delete and copy
+//! operations on the base set, we keep the data points in a linked list and
+//! store pointers to the nodes in the linked list with an additional random
+//! access data structure indexed by the data points."
+//!
+//! We achieve the same O(1) add / remove / membership and O(λ) snapshot
+//! with a dense pair of arrays: an unordered member vector plus a
+//! position table indexed by client id (swap-remove keeps it dense).
+
+/// A mutable set of client ids with O(1) add/remove/contains and O(λ)
+/// iteration and snapshot, where λ is the current size.
+#[derive(Debug, Clone)]
+pub struct RnnSet {
+    members: Vec<u32>,
+    /// `pos[id]` = index of `id` in `members`, or `u32::MAX` when absent.
+    pos: Vec<u32>,
+}
+
+const ABSENT: u32 = u32::MAX;
+
+impl RnnSet {
+    /// Creates an empty set over the id universe `0..universe`.
+    pub fn new(universe: usize) -> Self {
+        RnnSet { members: Vec::new(), pos: vec![ABSENT; universe] }
+    }
+
+    /// Number of members.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Whether `id` is a member.
+    #[inline]
+    pub fn contains(&self, id: u32) -> bool {
+        self.pos[id as usize] != ABSENT
+    }
+
+    /// Adds `id`; returns `false` if already present.
+    #[inline]
+    pub fn add(&mut self, id: u32) -> bool {
+        if self.contains(id) {
+            return false;
+        }
+        self.pos[id as usize] = self.members.len() as u32;
+        self.members.push(id);
+        true
+    }
+
+    /// Removes `id`; returns `false` if absent. O(1) via swap-remove.
+    #[inline]
+    pub fn remove(&mut self, id: u32) -> bool {
+        let p = self.pos[id as usize];
+        if p == ABSENT {
+            return false;
+        }
+        let last = *self.members.last().expect("non-empty when removing");
+        self.members.swap_remove(p as usize);
+        if last != id {
+            self.pos[last as usize] = p;
+        }
+        self.pos[id as usize] = ABSENT;
+        true
+    }
+
+    /// The members, unordered.
+    #[inline]
+    pub fn members(&self) -> &[u32] {
+        &self.members
+    }
+
+    /// Copies the members out (unordered). O(λ).
+    #[inline]
+    pub fn snapshot(&self) -> Vec<u32> {
+        self.members.clone()
+    }
+
+    /// Empties the set. O(λ).
+    pub fn clear(&mut self) {
+        for &id in &self.members {
+            self.pos[id as usize] = ABSENT;
+        }
+        self.members.clear();
+    }
+
+    /// Replaces the contents with `ids`. O(λ_old + λ_new).
+    pub fn load(&mut self, ids: &[u32]) {
+        self.clear();
+        for &id in ids {
+            let added = self.add(id);
+            debug_assert!(added, "duplicate id {id} in load");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_remove_contains() {
+        let mut s = RnnSet::new(10);
+        assert!(s.add(3));
+        assert!(s.add(7));
+        assert!(!s.add(3), "duplicate add");
+        assert!(s.contains(3) && s.contains(7) && !s.contains(5));
+        assert_eq!(s.len(), 2);
+        assert!(s.remove(3));
+        assert!(!s.remove(3), "double remove");
+        assert!(!s.contains(3));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn swap_remove_keeps_positions_consistent() {
+        let mut s = RnnSet::new(100);
+        for id in 0..50 {
+            s.add(id);
+        }
+        // Remove from the middle repeatedly; membership stays consistent.
+        for id in (0..50).step_by(3) {
+            s.remove(id);
+        }
+        for id in 0..50u32 {
+            assert_eq!(s.contains(id), id % 3 != 0, "id {id}");
+        }
+        let mut snap = s.snapshot();
+        snap.sort_unstable();
+        let expect: Vec<u32> = (0..50).filter(|i| i % 3 != 0).collect();
+        assert_eq!(snap, expect);
+    }
+
+    #[test]
+    fn load_and_clear() {
+        let mut s = RnnSet::new(20);
+        s.add(1);
+        s.add(2);
+        s.load(&[5, 9, 13]);
+        assert!(!s.contains(1) && !s.contains(2));
+        assert!(s.contains(5) && s.contains(9) && s.contains(13));
+        assert_eq!(s.len(), 3);
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(5));
+    }
+
+    #[test]
+    fn mirrors_reference_set_under_random_ops() {
+        use std::collections::HashSet;
+        let mut s = RnnSet::new(64);
+        let mut reference = HashSet::new();
+        let mut state = 12345u64;
+        for _ in 0..10_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let id = ((state >> 33) % 64) as u32;
+            if state.is_multiple_of(2) {
+                assert_eq!(s.add(id), reference.insert(id));
+            } else {
+                assert_eq!(s.remove(id), reference.remove(&id));
+            }
+            assert_eq!(s.len(), reference.len());
+        }
+        let mut snap = s.snapshot();
+        snap.sort_unstable();
+        let mut expect: Vec<u32> = reference.into_iter().collect();
+        expect.sort_unstable();
+        assert_eq!(snap, expect);
+    }
+}

@@ -1,0 +1,292 @@
+//! Region sinks — consumers of labeled regions.
+//!
+//! The paper's "labeling a region" (§III-B) covers both outputting the RNN
+//! set and computing/outputting the influence. Algorithms here stream
+//! `(rectangle, RNN set, influence)` triples into a [`RegionSink`], which
+//! makes the interactive post-processing operations of §I (top-k regions,
+//! thresholding) ordinary sink implementations.
+
+use rnnhm_geom::Rect;
+
+/// One labeled region.
+///
+/// `rect` is the *first subregion* of the region in sweep coordinates:
+/// an axis-aligned rectangle whose interior lies entirely inside the
+/// region (for L2, a rectangle sampled at the strip midline whose center
+/// lies inside the region). A region (arrangement face) may extend beyond
+/// `rect`; exact geometry reconstruction uses the rasterizer instead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledRegion {
+    /// Representative rectangle (sweep space).
+    pub rect: Rect,
+    /// The RNN set (unordered client ids).
+    pub rnn: Vec<u32>,
+    /// The influence value of the RNN set.
+    pub influence: f64,
+}
+
+/// A consumer of labeled regions.
+pub trait RegionSink {
+    /// Called once per region labeling with the representative rectangle,
+    /// the RNN set (unordered) and its influence.
+    fn label(&mut self, rect: Rect, rnn: &[u32], influence: f64);
+}
+
+/// Discards all labels (used when only sweep statistics are wanted, e.g.
+/// in benchmarks — mirroring the paper's CPU-time measurements, which do
+/// not include rendering).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl RegionSink for NullSink {
+    #[inline]
+    fn label(&mut self, _rect: Rect, _rnn: &[u32], _influence: f64) {}
+}
+
+/// Collects every labeled region.
+#[derive(Debug, Default, Clone)]
+pub struct CollectSink {
+    /// All labels, in emission order.
+    pub regions: Vec<LabeledRegion>,
+}
+
+impl RegionSink for CollectSink {
+    fn label(&mut self, rect: Rect, rnn: &[u32], influence: f64) {
+        self.regions.push(LabeledRegion { rect, rnn: rnn.to_vec(), influence });
+    }
+}
+
+/// Keeps the single most influential region (ties: first seen wins).
+#[derive(Debug, Default, Clone)]
+pub struct MaxSink {
+    /// The best region seen so far.
+    pub best: Option<LabeledRegion>,
+}
+
+impl RegionSink for MaxSink {
+    fn label(&mut self, rect: Rect, rnn: &[u32], influence: f64) {
+        let better = match &self.best {
+            Some(b) => influence > b.influence,
+            None => true,
+        };
+        if better {
+            self.best = Some(LabeledRegion { rect, rnn: rnn.to_vec(), influence });
+        }
+    }
+}
+
+/// Keeps the `k` most influential regions (the paper's "regions having the
+/// top-k heat values" post-processing).
+///
+/// Note that CREST may label one region several times (bounded by Lemma 3);
+/// duplicates with identical RNN sets are collapsed by keeping the sink's
+/// entries unique on the RNN-set signature.
+#[derive(Debug, Clone)]
+pub struct TopKSink {
+    k: usize,
+    /// Regions sorted descending by influence, at most `k` of them.
+    entries: Vec<LabeledRegion>,
+}
+
+impl TopKSink {
+    /// Creates a sink retaining the top `k` regions.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        TopKSink { k, entries: Vec::with_capacity(k + 1) }
+    }
+
+    /// The retained regions, most influential first.
+    pub fn into_top(self) -> Vec<LabeledRegion> {
+        self.entries
+    }
+
+    /// Borrows the retained regions, most influential first.
+    pub fn top(&self) -> &[LabeledRegion] {
+        &self.entries
+    }
+
+    fn signature_eq(a: &[u32], b: &[u32]) -> bool {
+        if a.len() != b.len() {
+            return false;
+        }
+        let mut sa = a.to_vec();
+        let mut sb = b.to_vec();
+        sa.sort_unstable();
+        sb.sort_unstable();
+        sa == sb
+    }
+}
+
+impl RegionSink for TopKSink {
+    fn label(&mut self, rect: Rect, rnn: &[u32], influence: f64) {
+        if self.entries.len() == self.k
+            && influence <= self.entries.last().expect("k > 0").influence
+        {
+            return;
+        }
+        // Collapse relabelings of the same region (same RNN set).
+        if let Some(existing) = self.entries.iter().position(|e| Self::signature_eq(&e.rnn, rnn))
+        {
+            if self.entries[existing].influence >= influence {
+                return;
+            }
+            self.entries.remove(existing);
+        }
+        let pos = self
+            .entries
+            .partition_point(|e| e.influence >= influence);
+        self.entries.insert(pos, LabeledRegion { rect, rnn: rnn.to_vec(), influence });
+        self.entries.truncate(self.k);
+    }
+}
+
+/// Keeps regions with influence at or above a threshold (the paper's
+/// "selectively showing regions with heat values above a threshold").
+#[derive(Debug, Clone)]
+pub struct ThresholdSink {
+    /// Minimum influence to retain.
+    pub min_influence: f64,
+    /// Retained regions in emission order.
+    pub regions: Vec<LabeledRegion>,
+}
+
+impl ThresholdSink {
+    /// Creates a sink keeping regions with `influence ≥ min_influence`.
+    pub fn new(min_influence: f64) -> Self {
+        ThresholdSink { min_influence, regions: Vec::new() }
+    }
+}
+
+impl RegionSink for ThresholdSink {
+    fn label(&mut self, rect: Rect, rnn: &[u32], influence: f64) {
+        if influence >= self.min_influence {
+            self.regions.push(LabeledRegion { rect, rnn: rnn.to_vec(), influence });
+        }
+    }
+}
+
+/// Consumes every label by materializing the RNN set into a reusable
+/// buffer, accumulating a checksum.
+///
+/// This is the benchmark sink: the paper's cost model charges `O(λ)` per
+/// region labeling because labeling *outputs the region's RNN set*
+/// (§III-B: "we do not distinguish the process of outputting the RNN set
+/// of a region and the process of computing and outputting the influence
+/// value"). A sink that ignores the set would understate the cost of
+/// algorithms that label many regions.
+#[derive(Debug, Default, Clone)]
+pub struct MaterializeSink {
+    buf: Vec<u32>,
+    /// Number of labels consumed.
+    pub labels: u64,
+    /// Order-insensitive checksum over all output (prevents the work
+    /// from being optimized away and lets runs be compared).
+    pub checksum: u64,
+}
+
+impl RegionSink for MaterializeSink {
+    fn label(&mut self, _rect: Rect, rnn: &[u32], influence: f64) {
+        self.buf.clear();
+        self.buf.extend_from_slice(rnn);
+        self.labels += 1;
+        let mut h = influence.to_bits() ^ self.buf.len() as u64;
+        for &id in &self.buf {
+            h = h.wrapping_add((id as u64).wrapping_mul(0x9e3779b97f4a7c15));
+        }
+        self.checksum = self.checksum.wrapping_add(h);
+    }
+}
+
+/// Forwards every label to two sinks (e.g. collect + top-k in one sweep).
+pub struct TeeSink<'a, A: RegionSink, B: RegionSink> {
+    /// First target.
+    pub a: &'a mut A,
+    /// Second target.
+    pub b: &'a mut B,
+}
+
+impl<A: RegionSink, B: RegionSink> RegionSink for TeeSink<'_, A, B> {
+    fn label(&mut self, rect: Rect, rnn: &[u32], influence: f64) {
+        self.a.label(rect, rnn, influence);
+        self.b.label(rect, rnn, influence);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(x: f64) -> Rect {
+        Rect::new(x, x + 1.0, 0.0, 1.0)
+    }
+
+    #[test]
+    fn collect_preserves_order() {
+        let mut s = CollectSink::default();
+        s.label(r(0.0), &[1], 1.0);
+        s.label(r(1.0), &[2, 3], 2.0);
+        assert_eq!(s.regions.len(), 2);
+        assert_eq!(s.regions[1].rnn, vec![2, 3]);
+    }
+
+    #[test]
+    fn max_sink_keeps_best() {
+        let mut s = MaxSink::default();
+        s.label(r(0.0), &[1], 1.0);
+        s.label(r(1.0), &[2, 3, 4], 3.0);
+        s.label(r(2.0), &[5], 2.0);
+        let best = s.best.unwrap();
+        assert_eq!(best.influence, 3.0);
+        assert_eq!(best.rnn, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn topk_orders_and_truncates() {
+        let mut s = TopKSink::new(2);
+        s.label(r(0.0), &[1], 1.0);
+        s.label(r(1.0), &[2], 5.0);
+        s.label(r(2.0), &[3], 3.0);
+        s.label(r(3.0), &[4], 0.5);
+        let top = s.into_top();
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].influence, 5.0);
+        assert_eq!(top[1].influence, 3.0);
+    }
+
+    #[test]
+    fn topk_deduplicates_same_rnn_set() {
+        let mut s = TopKSink::new(3);
+        // The same region labeled twice (multi-labeling, Lemma 3) with
+        // members in different orders.
+        s.label(r(0.0), &[4, 2], 2.0);
+        s.label(r(0.5), &[2, 4], 2.0);
+        s.label(r(1.0), &[7], 1.0);
+        let top = s.into_top();
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].influence, 2.0);
+        assert_eq!(top[1].influence, 1.0);
+    }
+
+    #[test]
+    fn threshold_filters() {
+        let mut s = ThresholdSink::new(2.0);
+        s.label(r(0.0), &[1], 1.9);
+        s.label(r(1.0), &[2], 2.0);
+        s.label(r(2.0), &[3], 7.0);
+        assert_eq!(s.regions.len(), 2);
+        assert!(s.regions.iter().all(|x| x.influence >= 2.0));
+    }
+
+    #[test]
+    fn tee_forwards_to_both() {
+        let mut collect = CollectSink::default();
+        let mut max = MaxSink::default();
+        {
+            let mut tee = TeeSink { a: &mut collect, b: &mut max };
+            tee.label(r(0.0), &[1], 1.0);
+            tee.label(r(1.0), &[2], 9.0);
+        }
+        assert_eq!(collect.regions.len(), 2);
+        assert_eq!(max.best.unwrap().influence, 9.0);
+    }
+}

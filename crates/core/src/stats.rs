@@ -1,0 +1,42 @@
+//! Sweep statistics: the quantities the paper's analysis reasons about.
+
+/// Counters reported by every region-coloring algorithm.
+///
+/// `labels` is the paper's `k` — the number of region labelings, i.e.
+/// influence computations. Lemma 3 proves `r ≤ k ≤ 14·r` for CREST, where
+/// `r` is the number of regions in the arrangement; the baseline's `k`
+/// equals its grid-cell count `m = O(n²)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Number of region labelings (influence computations), the paper's `k`.
+    pub labels: u64,
+    /// Number of sweep events processed (event batches for L∞/L1).
+    pub events: u64,
+    /// Largest RNN set observed — the paper's λ.
+    pub max_rnn: usize,
+    /// Peak number of elements in the line status.
+    pub peak_line: usize,
+}
+
+impl SweepStats {
+    /// Accumulates another stats record (used by the parallel driver).
+    pub fn merge(&mut self, other: &SweepStats) {
+        self.labels += other.labels;
+        self.events += other.events;
+        self.max_rnn = self.max_rnn.max(other.max_rnn);
+        self.peak_line = self.peak_line.max(other.peak_line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = SweepStats { labels: 10, events: 5, max_rnn: 3, peak_line: 7 };
+        let b = SweepStats { labels: 1, events: 2, max_rnn: 9, peak_line: 4 };
+        a.merge(&b);
+        assert_eq!(a, SweepStats { labels: 11, events: 7, max_rnn: 9, peak_line: 7 });
+    }
+}

@@ -1,0 +1,206 @@
+//! Windowed region coloring — recompute the heat map inside a viewport.
+//!
+//! The paper motivates frequent recomputation ("in some applications such
+//! as taxi-sharing, the heat map may change as clients move around and
+//! need to be recomputed frequently", §I) and interactive zooming ("if
+//! the decision maker is interested in any specific area, she can zoom in
+//! to see more details", §VIII-A). Both only need the regions inside a
+//! viewport.
+//!
+//! Correctness of restriction: the RNN set of a point depends only on the
+//! NN-circles containing it, and a circle containing a window point
+//! intersects the window. So it suffices to keep the circles intersecting
+//! the window, clip their x-extents to the window (circles protruding
+//! left of it enter the line status in one batch at the window's left
+//! edge), and drop labels that fall outside.
+
+use rnnhm_geom::Rect;
+
+use crate::arrangement::SquareArrangement;
+use crate::crest::crest_sweep;
+use crate::measure::InfluenceMeasure;
+use crate::sink::RegionSink;
+use crate::stats::SweepStats;
+
+/// Restricts an arrangement to the NN-circles intersecting `window`,
+/// clipping x-extents to the window's x-range (y-extents are kept: a
+/// square's horizontal sides define region boundaries above and below
+/// the window-visible part of the region and must not move).
+pub fn clip_arrangement(arr: &SquareArrangement, window: &Rect) -> SquareArrangement {
+    let mut squares = Vec::new();
+    let mut owners = Vec::new();
+    for (s, &o) in arr.squares.iter().zip(&arr.owners) {
+        if !s.intersects(window) {
+            continue;
+        }
+        let lo = s.x_lo.max(window.x_lo);
+        let hi = s.x_hi.min(window.x_hi);
+        if lo < hi {
+            squares.push(Rect::new(lo, hi, s.y_lo, s.y_hi));
+            owners.push(o);
+        }
+    }
+    SquareArrangement {
+        squares,
+        owners,
+        space: arr.space,
+        n_clients: arr.n_clients,
+        dropped: arr.dropped,
+    }
+}
+
+/// A sink adapter that clips label rectangles to a window and drops
+/// labels entirely outside it.
+pub struct WindowSink<'a, S: RegionSink> {
+    window: Rect,
+    inner: &'a mut S,
+    /// Labels dropped for lying outside the window.
+    pub dropped: u64,
+}
+
+impl<'a, S: RegionSink> WindowSink<'a, S> {
+    /// Wraps `inner`, forwarding only labels that intersect `window`.
+    pub fn new(window: Rect, inner: &'a mut S) -> Self {
+        WindowSink { window, inner, dropped: 0 }
+    }
+}
+
+impl<S: RegionSink> RegionSink for WindowSink<'_, S> {
+    fn label(&mut self, rect: Rect, rnn: &[u32], influence: f64) {
+        match rect.intersection(&self.window) {
+            Some(clipped) if clipped.area() > 0.0 => {
+                self.inner.label(clipped, rnn, influence)
+            }
+            _ => self.dropped += 1,
+        }
+    }
+}
+
+/// Runs CREST restricted to `window` (sweep-space coordinates): labels
+/// every region visible in the window, with rectangles clipped to it.
+///
+/// Cost scales with the circles intersecting the window, not the whole
+/// arrangement — the zoom/recompute primitive.
+pub fn crest_window<M: InfluenceMeasure, S: RegionSink>(
+    arr: &SquareArrangement,
+    window: Rect,
+    measure: &M,
+    sink: &mut S,
+) -> SweepStats {
+    let clipped = clip_arrangement(arr, &window);
+    let mut wsink = WindowSink::new(window, sink);
+    crest_sweep(&clipped, measure, &mut wsink)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrangement::CoordSpace;
+    use crate::crest::crest_a_sweep;
+    use crate::measure::CountMeasure;
+    use crate::oracle::{area_by_signature, assert_area_maps_equal, rnn_at_square, signature};
+    use crate::sink::CollectSink;
+    use rnnhm_geom::Point;
+
+    fn arr_from_squares(squares: Vec<Rect>) -> SquareArrangement {
+        let owners = (0..squares.len() as u32).collect();
+        let n = squares.len();
+        SquareArrangement { squares, owners, space: CoordSpace::Identity, n_clients: n, dropped: 0 }
+    }
+
+    fn pseudo_squares(n: usize, seed: u64) -> Vec<Rect> {
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        (0..n)
+            .map(|_| Rect::centered(Point::new(next() * 10.0, next() * 10.0), 0.2 + next() * 1.2))
+            .collect()
+    }
+
+    #[test]
+    fn window_labels_match_oracle() {
+        let arr = arr_from_squares(pseudo_squares(60, 1));
+        let window = Rect::new(3.0, 7.0, 2.0, 8.0);
+        let mut sink = CollectSink::default();
+        let stats = crest_window(&arr, window, &CountMeasure, &mut sink);
+        assert!(stats.labels > 0);
+        for r in &sink.regions {
+            assert!(window.contains_rect(&r.rect), "label escapes window: {:?}", r.rect);
+            if r.rect.width() < 1e-9 || r.rect.height() < 1e-9 {
+                continue;
+            }
+            assert_eq!(signature(&r.rnn), rnn_at_square(&arr, r.rect.center()));
+        }
+    }
+
+    #[test]
+    fn window_tiling_matches_full_run_clipped() {
+        // Full-strip sweeps: clip the full run's labels to the window and
+        // compare area-per-signature with the windowed run.
+        let arr = arr_from_squares(pseudo_squares(50, 2));
+        let window = Rect::new(2.0, 8.0, 3.0, 9.0);
+
+        let mut full = CollectSink::default();
+        crest_a_sweep(&arr, &CountMeasure, &mut full);
+        let mut full_clipped = CollectSink::default();
+        for r in &full.regions {
+            if let Some(c) = r.rect.intersection(&window) {
+                if c.area() > 0.0 {
+                    full_clipped.label(c, &r.rnn, r.influence);
+                }
+            }
+        }
+
+        let clipped_arr = clip_arrangement(&arr, &window);
+        let mut windowed_inner = CollectSink::default();
+        let mut windowed = WindowSink::new(window, &mut windowed_inner);
+        crest_a_sweep(&clipped_arr, &CountMeasure, &mut windowed);
+
+        assert_area_maps_equal(
+            &area_by_signature(&full_clipped.regions),
+            &area_by_signature(&windowed_inner.regions),
+            1e-9,
+        );
+    }
+
+    #[test]
+    fn window_cost_scales_with_window_content() {
+        let arr = arr_from_squares(pseudo_squares(400, 3));
+        let tiny = Rect::new(4.9, 5.1, 4.9, 5.1);
+        let mut sink = CollectSink::default();
+        let stats = crest_window(&arr, tiny, &CountMeasure, &mut sink);
+        // Far fewer events than the full arrangement's 2n.
+        assert!(
+            stats.events < 2 * arr.len() as u64 / 4,
+            "windowed sweep should process a fraction of the events ({} of {})",
+            stats.events,
+            2 * arr.len()
+        );
+    }
+
+    #[test]
+    fn empty_window_is_empty() {
+        let arr = arr_from_squares(pseudo_squares(20, 4));
+        let nowhere = Rect::new(100.0, 101.0, 100.0, 101.0);
+        let mut sink = CollectSink::default();
+        let stats = crest_window(&arr, nowhere, &CountMeasure, &mut sink);
+        assert_eq!(stats.labels, 0);
+        assert!(sink.regions.is_empty());
+    }
+
+    #[test]
+    fn clip_preserves_owner_mapping() {
+        let arr = arr_from_squares(vec![
+            Rect::new(0.0, 4.0, 0.0, 4.0),
+            Rect::new(6.0, 9.0, 6.0, 9.0),
+        ]);
+        let window = Rect::new(3.0, 7.0, 0.0, 10.0);
+        let clipped = clip_arrangement(&arr, &window);
+        assert_eq!(clipped.owners, vec![0, 1]);
+        assert_eq!(clipped.squares[0].x_hi, 4.0);
+        assert_eq!(clipped.squares[0].x_lo, 3.0, "left side clipped to window");
+        assert_eq!(clipped.squares[1].x_hi, 7.0, "right side clipped to window");
+    }
+}

@@ -1,0 +1,135 @@
+//! Synthetic point generators: Uniform and Zipfian (paper §VIII).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rnnhm_geom::{Point, Rect};
+
+/// `n` points uniformly distributed over `extent`.
+pub fn uniform(n: usize, extent: Rect, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            Point::new(
+                extent.x_lo + rng.random::<f64>() * extent.width(),
+                extent.y_lo + rng.random::<f64>() * extent.height(),
+            )
+        })
+        .collect()
+}
+
+/// Number of bins per axis for the Zipfian generator.
+const ZIPF_BINS: usize = 4096;
+
+/// `n` points whose coordinates follow a per-axis Zipfian distribution
+/// with skew `s` over `extent` (the paper uses `s = 0.2`).
+///
+/// Each axis draws a bin rank `k ∈ {1..B}` with `P(k) ∝ k^(−s)` and
+/// places the coordinate uniformly inside the bin, concentrating mass
+/// toward the low-coordinate corner — the standard construction for
+/// skewed spatial workloads.
+pub fn zipfian(n: usize, s: f64, extent: Rect, seed: u64) -> Vec<Point> {
+    assert!(s >= 0.0, "negative skew");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Cumulative Zipf weights over the bins.
+    let mut cum = Vec::with_capacity(ZIPF_BINS);
+    let mut total = 0.0f64;
+    for k in 1..=ZIPF_BINS {
+        total += (k as f64).powf(-s);
+        cum.push(total);
+    }
+    let draw_axis = |rng: &mut StdRng| -> f64 {
+        let u = rng.random::<f64>() * total;
+        let bin = cum.partition_point(|&c| c < u).min(ZIPF_BINS - 1);
+        (bin as f64 + rng.random::<f64>()) / ZIPF_BINS as f64
+    };
+    (0..n)
+        .map(|_| {
+            let ux = draw_axis(&mut rng);
+            let uy = draw_axis(&mut rng);
+            Point::new(extent.x_lo + ux * extent.width(), extent.y_lo + uy * extent.height())
+        })
+        .collect()
+}
+
+/// Standard-normal sample via Box–Muller (the `rand` crate alone does not
+/// ship a normal distribution; `rand_distr` is outside the dependency
+/// policy).
+pub(crate) fn normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const UNIT: Rect = Rect { x_lo: 0.0, x_hi: 1.0, y_lo: 0.0, y_hi: 1.0 };
+
+    #[test]
+    fn uniform_within_extent_and_deterministic() {
+        let extent = Rect::new(-2.0, 3.0, 10.0, 11.0);
+        let a = uniform(500, extent, 7);
+        let b = uniform(500, extent, 7);
+        assert_eq!(a, b, "same seed, same points");
+        assert!(a.iter().all(|p| extent.contains_closed(*p)));
+        let c = uniform(500, extent, 8);
+        assert_ne!(a, c, "different seed, different points");
+    }
+
+    #[test]
+    fn uniform_covers_all_quadrants() {
+        let pts = uniform(2000, UNIT, 3);
+        let q = |px: bool, py: bool| {
+            pts.iter()
+                .filter(|p| (p.x > 0.5) == px && (p.y > 0.5) == py)
+                .count()
+        };
+        for (px, py) in [(false, false), (false, true), (true, false), (true, true)] {
+            let c = q(px, py);
+            assert!(c > 300, "quadrant ({px},{py}) has only {c} of 2000 points");
+        }
+    }
+
+    #[test]
+    fn zipfian_skews_toward_origin() {
+        let pts = zipfian(5000, 0.9, UNIT, 11);
+        assert!(pts.iter().all(|p| UNIT.contains_closed(*p)));
+        let low = pts.iter().filter(|p| p.x < 0.5).count();
+        assert!(
+            low > 2750,
+            "Zipf(0.9) should put clearly more than half the mass below x=0.5, got {low}/5000"
+        );
+        // Higher skew concentrates more.
+        let tight = zipfian(5000, 2.0, UNIT, 11);
+        let tight_low = tight.iter().filter(|p| p.x < 0.5).count();
+        assert!(tight_low > low);
+    }
+
+    #[test]
+    fn zipfian_zero_skew_is_roughly_uniform() {
+        let pts = zipfian(4000, 0.0, UNIT, 5);
+        let low = pts.iter().filter(|p| p.x < 0.5).count();
+        assert!((1700..=2300).contains(&low), "got {low}/4000 below 0.5");
+    }
+
+    #[test]
+    fn paper_skew_is_mild() {
+        // Skew 0.2 (the paper's setting) is a mild skew: noticeably more
+        // than half the mass in the low half, but far from degenerate.
+        let pts = zipfian(10_000, 0.2, UNIT, 13);
+        let low = pts.iter().filter(|p| p.x < 0.5).count();
+        assert!((5100..=7000).contains(&low), "got {low}/10000 below 0.5");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "variance {var}");
+    }
+}

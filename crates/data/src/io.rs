@@ -1,0 +1,92 @@
+//! Plain-text point I/O.
+//!
+//! Points are stored one per line as `x,y` with full `f64` round-trip
+//! precision — enough to export generated data sets for external plotting
+//! and to load user-provided POI files in place of the synthetic cities.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use rnnhm_geom::Point;
+
+/// Writes points as CSV (`x,y` per line).
+pub fn write_points<W: Write>(w: W, points: &[Point]) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    for p in points {
+        // `{:?}` on f64 prints the shortest representation that
+        // round-trips exactly.
+        writeln!(w, "{:?},{:?}", p.x, p.y)?;
+    }
+    w.flush()
+}
+
+/// Reads points from CSV (`x,y` per line; blank lines and `#` comments
+/// skipped).
+pub fn read_points<R: Read>(r: R) -> io::Result<Vec<Point>> {
+    let reader = BufReader::new(r);
+    let mut out = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split(',');
+        let parse = |s: Option<&str>| -> io::Result<f64> {
+            s.map(str::trim)
+                .ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidData, format!("line {}: missing field", lineno + 1))
+                })?
+                .parse::<f64>()
+                .map_err(|e| {
+                    io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", lineno + 1))
+                })
+        };
+        let x = parse(parts.next())?;
+        let y = parse(parts.next())?;
+        out.push(Point::new(x, y));
+    }
+    Ok(out)
+}
+
+/// Writes points to a file path.
+pub fn save_points(path: &Path, points: &[Point]) -> io::Result<()> {
+    write_points(std::fs::File::create(path)?, points)
+}
+
+/// Reads points from a file path.
+pub fn load_points(path: &Path) -> io::Result<Vec<Point>> {
+    read_points(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_exact() {
+        let pts = vec![
+            Point::new(0.1, -0.2),
+            Point::new(1e-300, 1e300),
+            Point::new(-74.0059731, 40.7143528),
+            Point::new(std::f64::consts::PI, std::f64::consts::E),
+        ];
+        let mut buf = Vec::new();
+        write_points(&mut buf, &pts).unwrap();
+        let back = read_points(&buf[..]).unwrap();
+        assert_eq!(pts, back, "bit-exact round trip");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "# header\n1.0,2.0\n\n  # another\n3.5 , 4.5\n";
+        let pts = read_points(text.as_bytes()).unwrap();
+        assert_eq!(pts, vec![Point::new(1.0, 2.0), Point::new(3.5, 4.5)]);
+    }
+
+    #[test]
+    fn malformed_input_errors() {
+        assert!(read_points("1.0".as_bytes()).is_err());
+        assert!(read_points("a,b".as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,141 @@
+//! A random-waypoint motion model for dynamic heat map scenarios.
+//!
+//! The paper motivates frequent recomputation with taxi-sharing: clients
+//! (waiting passengers) appear, move and disappear, so "the heat map may
+//! change as clients move around and need to be recomputed frequently"
+//! (§I). This module provides a deterministic, seeded mover: each point
+//! picks a waypoint, walks toward it at its speed, picks a new one on
+//! arrival, and bounces off the extent.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rnnhm_geom::{Point, Rect};
+
+/// A set of points moving under the random-waypoint model.
+#[derive(Debug, Clone)]
+pub struct RandomWaypoint {
+    extent: Rect,
+    positions: Vec<Point>,
+    targets: Vec<Point>,
+    speeds: Vec<f64>,
+    rng: StdRng,
+}
+
+impl RandomWaypoint {
+    /// Starts `points` moving inside `extent` with speeds uniform in
+    /// `[min_speed, max_speed]` (distance per tick).
+    pub fn new(points: Vec<Point>, extent: Rect, min_speed: f64, max_speed: f64, seed: u64) -> Self {
+        assert!(min_speed >= 0.0 && max_speed >= min_speed, "invalid speed range");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let targets = points
+            .iter()
+            .map(|_| random_point(&mut rng, &extent))
+            .collect();
+        let speeds = points
+            .iter()
+            .map(|_| min_speed + rng.random::<f64>() * (max_speed - min_speed))
+            .collect();
+        RandomWaypoint { extent, positions: points, targets, speeds, rng }
+    }
+
+    /// Current positions.
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// Advances every point one tick toward its waypoint; points that
+    /// arrive draw a fresh waypoint. Returns how many arrived.
+    pub fn step(&mut self) -> usize {
+        let mut arrivals = 0;
+        for i in 0..self.positions.len() {
+            let p = self.positions[i];
+            let t = self.targets[i];
+            let d = p.dist2(&t);
+            let step = self.speeds[i];
+            if d <= step {
+                self.positions[i] = t;
+                self.targets[i] = random_point(&mut self.rng, &self.extent);
+                arrivals += 1;
+            } else {
+                let dir = (t - p) * (1.0 / d);
+                self.positions[i] = p + dir * step;
+            }
+        }
+        arrivals
+    }
+
+    /// The bounding extent.
+    pub fn extent(&self) -> Rect {
+        self.extent
+    }
+}
+
+fn random_point(rng: &mut StdRng, extent: &Rect) -> Point {
+    Point::new(
+        extent.x_lo + rng.random::<f64>() * extent.width(),
+        extent.y_lo + rng.random::<f64>() * extent.height(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> Rect {
+        Rect::new(0.0, 10.0, 0.0, 10.0)
+    }
+
+    #[test]
+    fn points_stay_in_extent() {
+        let pts = vec![Point::new(5.0, 5.0); 20];
+        let mut m = RandomWaypoint::new(pts, unit(), 0.1, 0.5, 7);
+        for _ in 0..500 {
+            m.step();
+            for p in m.positions() {
+                assert!(unit().contains_closed(*p), "{p:?} escaped");
+            }
+        }
+    }
+
+    #[test]
+    fn points_actually_move() {
+        let pts = vec![Point::new(5.0, 5.0); 5];
+        let mut m = RandomWaypoint::new(pts.clone(), unit(), 0.2, 0.2, 9);
+        m.step();
+        let moved = m
+            .positions()
+            .iter()
+            .zip(&pts)
+            .filter(|(a, b)| a.dist2(b) > 1e-12)
+            .count();
+        assert_eq!(moved, 5, "every point moves each tick");
+        // Step length respects the speed.
+        for (a, b) in m.positions().iter().zip(&pts) {
+            assert!(a.dist2(b) <= 0.2 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let pts = vec![Point::new(1.0, 1.0), Point::new(9.0, 9.0)];
+        let mut a = RandomWaypoint::new(pts.clone(), unit(), 0.3, 0.6, 11);
+        let mut b = RandomWaypoint::new(pts, unit(), 0.3, 0.6, 11);
+        for _ in 0..100 {
+            a.step();
+            b.step();
+        }
+        assert_eq!(a.positions(), b.positions());
+    }
+
+    #[test]
+    fn arrivals_reported() {
+        // A very fast point arrives (and re-targets) almost every tick.
+        let pts = vec![Point::new(5.0, 5.0)];
+        let mut m = RandomWaypoint::new(pts, unit(), 50.0, 50.0, 3);
+        let mut total = 0;
+        for _ in 0..50 {
+            total += m.step();
+        }
+        assert!(total >= 45, "fast point should arrive nearly every tick, got {total}");
+    }
+}

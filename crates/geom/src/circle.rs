@@ -1,0 +1,277 @@
+//! Euclidean circles and circular arcs — the NN-circle shape under L2.
+//!
+//! The L2 sweep (paper §VII-C) uses the x-extreme points of circles as
+//! events, circle–circle intersection points as extra events, and the arc
+//! segments between events as line-status elements. This module provides
+//! the geometry: arc evaluation `y(x)`, x-extremes, and the intersection
+//! computation.
+
+use crate::eps::EPS;
+use crate::point::Point;
+use crate::rect::Rect;
+
+/// A circle with center `c` and radius `r ≥ 0`.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Circle {
+    pub c: Point,
+    pub r: f64,
+}
+
+/// Which half of a circle an arc element represents.
+///
+/// The sweep keeps two line elements per cut circle: the lower semicircle
+/// (entering it from below means entering the disk) and the upper
+/// semicircle (crossing it means leaving the disk).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum ArcKind {
+    /// `y(x) = cy − sqrt(r² − (x−cx)²)`.
+    Lower,
+    /// `y(x) = cy + sqrt(r² − (x−cx)²)`.
+    Upper,
+}
+
+/// An arc: one semicircle of an identified circle.
+///
+/// `id` is the index of the owning NN-circle in the client set; geometry
+/// queries go through the owning [`Circle`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct Arc {
+    pub id: u32,
+    pub kind: ArcKind,
+}
+
+impl Circle {
+    /// Creates a circle; debug-asserts a non-negative radius.
+    #[inline]
+    pub fn new(c: Point, r: f64) -> Self {
+        debug_assert!(r >= 0.0, "negative radius {r}");
+        Circle { c, r }
+    }
+
+    /// x-coordinate of the leftmost point.
+    #[inline]
+    pub fn x_min(&self) -> f64 {
+        self.c.x - self.r
+    }
+
+    /// x-coordinate of the rightmost point.
+    #[inline]
+    pub fn x_max(&self) -> f64 {
+        self.c.x + self.r
+    }
+
+    /// Axis-aligned bounding box.
+    #[inline]
+    pub fn bbox(&self) -> Rect {
+        Rect::centered(self.c, self.r)
+    }
+
+    /// Whether the *open* disk contains `p`.
+    #[inline]
+    pub fn contains_open(&self, p: Point) -> bool {
+        self.c.dist2_sq(&p) < self.r * self.r
+    }
+
+    /// Whether the *closed* disk contains `p`.
+    #[inline]
+    pub fn contains_closed(&self, p: Point) -> bool {
+        self.c.dist2_sq(&p) <= self.r * self.r + EPS
+    }
+
+    /// y-coordinates of the lower/upper arcs at `x`, if `x` is within the
+    /// circle's horizontal extent.
+    pub fn y_at(&self, x: f64) -> Option<(f64, f64)> {
+        let dx = x - self.c.x;
+        let under = self.r * self.r - dx * dx;
+        if under < 0.0 {
+            // Allow tiny excursions caused by rounding at the extremes.
+            if under > -EPS * self.r.max(1.0) {
+                return Some((self.c.y, self.c.y));
+            }
+            return None;
+        }
+        let h = under.sqrt();
+        Some((self.c.y - h, self.c.y + h))
+    }
+
+    /// y-coordinate of the given arc at `x` (see [`Circle::y_at`]).
+    pub fn arc_y_at(&self, kind: ArcKind, x: f64) -> Option<f64> {
+        self.y_at(x).map(|(lo, hi)| match kind {
+            ArcKind::Lower => lo,
+            ArcKind::Upper => hi,
+        })
+    }
+
+    /// Intersection points of the boundary circles of `self` and `other`.
+    ///
+    /// Returns 0, 1 (tangency) or 2 points. Coincident circles return no
+    /// points (their boundaries overlap everywhere; the sweep's tie order
+    /// handles them without explicit events).
+    pub fn intersect(&self, other: &Circle) -> IntersectionPoints {
+        let d2 = self.c.dist2_sq(&other.c);
+        let d = d2.sqrt();
+        let rsum = self.r + other.r;
+        let rdiff = (self.r - other.r).abs();
+        if d < EPS && rdiff < EPS {
+            return IntersectionPoints::none(); // coincident
+        }
+        if d > rsum + EPS || d + EPS < rdiff {
+            return IntersectionPoints::none(); // separate or nested
+        }
+        // Distance from self.c to the radical line along the center line.
+        let a = (d2 + self.r * self.r - other.r * other.r) / (2.0 * d);
+        let h2 = self.r * self.r - a * a;
+        let ux = (other.c.x - self.c.x) / d;
+        let uy = (other.c.y - self.c.y) / d;
+        let mx = self.c.x + a * ux;
+        let my = self.c.y + a * uy;
+        if h2 <= EPS * EPS {
+            // Tangent: a single touching point.
+            return IntersectionPoints::one(Point::new(mx, my));
+        }
+        let h = h2.sqrt();
+        let p1 = Point::new(mx - h * uy, my + h * ux);
+        let p2 = Point::new(mx + h * uy, my - h * ux);
+        IntersectionPoints::two(p1, p2)
+    }
+
+    /// Whether the closed disks overlap in more than a point.
+    pub fn overlaps(&self, other: &Circle) -> bool {
+        let d = self.c.dist2(&other.c);
+        d + EPS < self.r + other.r
+    }
+}
+
+/// Up to two intersection points, without heap allocation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IntersectionPoints {
+    pts: [Point; 2],
+    len: u8,
+}
+
+impl IntersectionPoints {
+    fn none() -> Self {
+        IntersectionPoints { pts: [Point::ORIGIN; 2], len: 0 }
+    }
+    fn one(p: Point) -> Self {
+        IntersectionPoints { pts: [p, Point::ORIGIN], len: 1 }
+    }
+    fn two(a: Point, b: Point) -> Self {
+        IntersectionPoints { pts: [a, b], len: 2 }
+    }
+
+    /// Number of intersection points (0, 1 or 2).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether there are no intersection points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The points as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[Point] {
+        &self.pts[..self.len as usize]
+    }
+}
+
+impl<'a> IntoIterator for &'a IntersectionPoints {
+    type Item = &'a Point;
+    type IntoIter = std::slice::Iter<'a, Point>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn y_at_and_extremes() {
+        let c = Circle::new(Point::new(0.0, 0.0), 2.0);
+        assert_eq!(c.x_min(), -2.0);
+        assert_eq!(c.x_max(), 2.0);
+        let (lo, hi) = c.y_at(0.0).unwrap();
+        assert_eq!((lo, hi), (-2.0, 2.0));
+        let (lo, hi) = c.y_at(2.0).unwrap();
+        assert!((lo - 0.0).abs() < 1e-12 && (hi - 0.0).abs() < 1e-12);
+        assert!(c.y_at(2.5).is_none());
+        assert_eq!(c.arc_y_at(ArcKind::Lower, 0.0), Some(-2.0));
+        assert_eq!(c.arc_y_at(ArcKind::Upper, 0.0), Some(2.0));
+    }
+
+    #[test]
+    fn containment() {
+        let c = Circle::new(Point::new(1.0, 1.0), 1.0);
+        assert!(c.contains_open(Point::new(1.5, 1.0)));
+        assert!(!c.contains_open(Point::new(2.0, 1.0))); // boundary
+        assert!(c.contains_closed(Point::new(2.0, 1.0)));
+        assert!(!c.contains_closed(Point::new(2.5, 1.0)));
+    }
+
+    #[test]
+    fn two_point_intersection() {
+        let a = Circle::new(Point::new(0.0, 0.0), 1.0);
+        let b = Circle::new(Point::new(1.0, 0.0), 1.0);
+        let pts = a.intersect(&b);
+        assert_eq!(pts.len(), 2);
+        for p in &pts {
+            assert!((a.c.dist2(p) - 1.0).abs() < 1e-9, "{p:?} not on a");
+            assert!((b.c.dist2(p) - 1.0).abs() < 1e-9, "{p:?} not on b");
+        }
+        // Known closed form: x = 0.5, y = ±√3/2.
+        let ys: Vec<f64> = pts.as_slice().iter().map(|p| p.y).collect();
+        assert!(ys.iter().any(|y| (y - 0.75f64.sqrt()).abs() < 1e-9));
+        assert!(ys.iter().any(|y| (y + 0.75f64.sqrt()).abs() < 1e-9));
+    }
+
+    #[test]
+    fn tangent_and_disjoint() {
+        let a = Circle::new(Point::new(0.0, 0.0), 1.0);
+        let tangent = Circle::new(Point::new(2.0, 0.0), 1.0);
+        assert_eq!(a.intersect(&tangent).len(), 1);
+        assert!(!a.overlaps(&tangent));
+        let far = Circle::new(Point::new(5.0, 0.0), 1.0);
+        assert!(a.intersect(&far).is_empty());
+        let nested = Circle::new(Point::new(0.1, 0.0), 0.2);
+        assert!(a.intersect(&nested).is_empty());
+        assert!(a.overlaps(&nested));
+    }
+
+    #[test]
+    fn coincident_circles_have_no_events() {
+        let a = Circle::new(Point::new(3.0, 4.0), 2.0);
+        assert!(a.intersect(&a).is_empty());
+    }
+
+    #[test]
+    fn intersection_symmetry() {
+        let a = Circle::new(Point::new(0.0, 0.0), 2.0);
+        let b = Circle::new(Point::new(1.0, 1.5), 1.0);
+        let ab = a.intersect(&b);
+        let ba = b.intersect(&a);
+        assert_eq!(ab.len(), ba.len());
+        for p in &ab {
+            assert!(ba
+                .as_slice()
+                .iter()
+                .any(|q| p.dist2(q) < 1e-9));
+        }
+    }
+
+    #[test]
+    fn bbox_contains_circle_points() {
+        let c = Circle::new(Point::new(-1.0, 2.0), 3.0);
+        let bb = c.bbox();
+        for i in 0..16 {
+            let t = i as f64 / 16.0 * std::f64::consts::TAU;
+            let p = Point::new(c.c.x + c.r * t.cos(), c.c.y + c.r * t.sin());
+            assert!(bb.contains_closed(p));
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! The three distance metrics of the paper (§III-A): L1, L2 and L∞.
+
+use crate::point::Point;
+
+/// A distance metric on the plane.
+///
+/// The paper starts from L∞ (square NN-circles), handles L1 by a π/4
+/// rotation (§VII-B) and L2 natively with an arc sweep (§VII-C).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Metric {
+    /// Manhattan distance `|dx| + |dy|` — diamond NN-circles.
+    L1,
+    /// Euclidean distance — circular NN-circles.
+    L2,
+    /// Chebyshev distance `max(|dx|, |dy|)` — square NN-circles.
+    Linf,
+}
+
+impl Metric {
+    /// Distance between two points under this metric.
+    #[inline]
+    pub fn dist(&self, a: &Point, b: &Point) -> f64 {
+        match self {
+            Metric::L1 => a.dist1(b),
+            Metric::L2 => a.dist2(b),
+            Metric::Linf => a.dist_inf(b),
+        }
+    }
+
+    /// A monotone surrogate of the distance, cheaper to evaluate, suitable
+    /// for nearest-neighbor comparisons (squared distance for L2, the
+    /// distance itself otherwise).
+    #[inline]
+    pub fn dist_cmp(&self, a: &Point, b: &Point) -> f64 {
+        match self {
+            Metric::L1 => a.dist1(b),
+            Metric::L2 => a.dist2_sq(b),
+            Metric::Linf => a.dist_inf(b),
+        }
+    }
+
+    /// Converts a comparison surrogate back to a true distance.
+    #[inline]
+    pub fn cmp_to_dist(&self, d: f64) -> f64 {
+        match self {
+            Metric::L2 => d.sqrt(),
+            _ => d,
+        }
+    }
+
+    /// Minimum distance from point `p` to the closed axis-aligned
+    /// rectangle `r` under this metric (used for kd-tree pruning).
+    pub fn dist_to_rect(&self, p: &Point, r: &crate::rect::Rect) -> f64 {
+        let dx = (r.x_lo - p.x).max(0.0).max(p.x - r.x_hi);
+        let dy = (r.y_lo - p.y).max(0.0).max(p.y - r.y_hi);
+        match self {
+            Metric::L1 => dx + dy,
+            Metric::L2 => (dx * dx + dy * dy).sqrt(),
+            Metric::Linf => dx.max(dy),
+        }
+    }
+
+    /// Same as [`Metric::dist_to_rect`] but in comparison-surrogate units.
+    pub fn dist_cmp_to_rect(&self, p: &Point, r: &crate::rect::Rect) -> f64 {
+        let dx = (r.x_lo - p.x).max(0.0).max(p.x - r.x_hi);
+        let dy = (r.y_lo - p.y).max(0.0).max(p.y - r.y_hi);
+        match self {
+            Metric::L1 => dx + dy,
+            Metric::L2 => dx * dx + dy * dy,
+            Metric::Linf => dx.max(dy),
+        }
+    }
+
+    /// All metrics, for exhaustive tests.
+    pub const ALL: [Metric; 3] = [Metric::L1, Metric::L2, Metric::Linf];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rect::Rect;
+
+    #[test]
+    fn dist_matches_point_methods() {
+        let a = Point::new(1.0, 1.0);
+        let b = Point::new(4.0, 5.0);
+        assert_eq!(Metric::L1.dist(&a, &b), 7.0);
+        assert_eq!(Metric::L2.dist(&a, &b), 5.0);
+        assert_eq!(Metric::Linf.dist(&a, &b), 4.0);
+    }
+
+    #[test]
+    fn cmp_surrogate_is_monotone() {
+        let origin = Point::ORIGIN;
+        let near = Point::new(1.0, 1.0);
+        let far = Point::new(2.0, 3.0);
+        for m in Metric::ALL {
+            assert!(m.dist_cmp(&origin, &near) < m.dist_cmp(&origin, &far));
+            let d = m.dist_cmp(&origin, &far);
+            assert!((m.cmp_to_dist(d) - m.dist(&origin, &far)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dist_to_rect_inside_is_zero() {
+        let r = Rect::new(0.0, 2.0, 0.0, 2.0);
+        let p = Point::new(1.0, 1.0);
+        for m in Metric::ALL {
+            assert_eq!(m.dist_to_rect(&p, &r), 0.0);
+            assert_eq!(m.dist_cmp_to_rect(&p, &r), 0.0);
+        }
+    }
+
+    #[test]
+    fn dist_to_rect_outside() {
+        let r = Rect::new(0.0, 1.0, 0.0, 1.0);
+        let p = Point::new(2.0, 3.0);
+        assert_eq!(Metric::L1.dist_to_rect(&p, &r), 3.0);
+        assert!((Metric::L2.dist_to_rect(&p, &r) - 5f64.sqrt()).abs() < 1e-12);
+        assert_eq!(Metric::Linf.dist_to_rect(&p, &r), 2.0);
+    }
+
+    #[test]
+    fn dist_to_rect_lower_bounds_point_distances() {
+        // The rect distance must lower-bound the distance to any point inside.
+        let r = Rect::new(-1.0, 1.0, 2.0, 4.0);
+        let q = Point::new(5.0, 0.0);
+        let inside = [
+            Point::new(-1.0, 2.0),
+            Point::new(0.0, 3.0),
+            Point::new(1.0, 4.0),
+            Point::new(0.99, 2.01),
+        ];
+        for m in Metric::ALL {
+            let lo = m.dist_to_rect(&q, &r);
+            for p in &inside {
+                assert!(lo <= m.dist(&q, p) + 1e-12);
+            }
+        }
+    }
+}

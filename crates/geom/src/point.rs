@@ -1,0 +1,167 @@
+//! Points in the two-dimensional plane.
+
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A point (or vector) in the plane.
+///
+/// Coordinates are finite `f64` values; constructors debug-assert
+/// finiteness so that NaNs cannot silently poison sweep-line orderings.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a new point.
+    #[inline]
+    pub fn new(x: f64, y: f64) -> Self {
+        debug_assert!(x.is_finite() && y.is_finite(), "non-finite point ({x}, {y})");
+        Point { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Squared Euclidean distance to `other` (no square root).
+    #[inline]
+    pub fn dist2_sq(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Euclidean (L2) distance to `other`.
+    #[inline]
+    pub fn dist2(&self, other: &Point) -> f64 {
+        self.dist2_sq(other).sqrt()
+    }
+
+    /// Manhattan (L1) distance to `other`.
+    #[inline]
+    pub fn dist1(&self, other: &Point) -> f64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Chebyshev (L∞) distance to `other`.
+    #[inline]
+    pub fn dist_inf(&self, other: &Point) -> f64 {
+        (self.x - other.x).abs().max((self.y - other.y).abs())
+    }
+
+    /// Midpoint of the segment between `self` and `other`.
+    #[inline]
+    pub fn midpoint(&self, other: &Point) -> Point {
+        Point::new((self.x + other.x) * 0.5, (self.y + other.y) * 0.5)
+    }
+
+    /// Euclidean norm of the point viewed as a vector.
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        (self.x * self.x + self.y * self.y).sqrt()
+    }
+
+    /// Lexicographic (x, then y) comparison; a total order for finite points.
+    #[inline]
+    pub fn lex_cmp(&self, other: &Point) -> std::cmp::Ordering {
+        self.x
+            .partial_cmp(&other.x)
+            .unwrap()
+            .then(self.y.partial_cmp(&other.y).unwrap())
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn mul(self, s: f64) -> Point {
+        Point::new(self.x * s, self.y * s)
+    }
+}
+
+impl fmt::Debug for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    #[inline]
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances_agree_on_axis() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 0.0);
+        assert_eq!(a.dist1(&b), 3.0);
+        assert_eq!(a.dist2(&b), 3.0);
+        assert_eq!(a.dist_inf(&b), 3.0);
+    }
+
+    #[test]
+    fn distances_diverge_off_axis() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.dist1(&b), 7.0);
+        assert_eq!(a.dist2(&b), 5.0);
+        assert_eq!(a.dist_inf(&b), 4.0);
+    }
+
+    #[test]
+    fn metric_inequalities_hold() {
+        // L∞ ≤ L2 ≤ L1 for any pair of points.
+        let pairs = [
+            (Point::new(1.5, -2.0), Point::new(-0.25, 7.0)),
+            (Point::new(0.0, 0.0), Point::new(1e-9, -1e9)),
+            (Point::new(2.0, 2.0), Point::new(2.0, 2.0)),
+        ];
+        for (a, b) in pairs {
+            assert!(a.dist_inf(&b) <= a.dist2(&b) + 1e-12);
+            assert!(a.dist2(&b) <= a.dist1(&b) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn midpoint_and_ops() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(3.0, 6.0);
+        assert_eq!(a.midpoint(&b), Point::new(2.0, 4.0));
+        assert_eq!(a + b, Point::new(4.0, 8.0));
+        assert_eq!(b - a, Point::new(2.0, 4.0));
+        assert_eq!(a * 2.0, Point::new(2.0, 4.0));
+    }
+
+    #[test]
+    fn lex_cmp_is_total_on_samples() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(1.0, 3.0);
+        let c = Point::new(2.0, 0.0);
+        assert_eq!(a.lex_cmp(&b), std::cmp::Ordering::Less);
+        assert_eq!(b.lex_cmp(&c), std::cmp::Ordering::Less);
+        assert_eq!(a.lex_cmp(&a), std::cmp::Ordering::Equal);
+    }
+}

@@ -1,0 +1,222 @@
+//! Axis-aligned rectangles.
+//!
+//! Rectangles play two roles in the reproduction: an L∞ (or rotated-L1)
+//! NN-circle *is* a rectangle, and every subregion labeled by the sweep is
+//! the open rectangle `[x_{l-1}, x_l] × [y_{t-1}, y_t]` of the paper's §V-A.
+
+use crate::point::Point;
+
+/// An axis-aligned rectangle `[x_lo, x_hi] × [y_lo, y_hi]`.
+///
+/// Degenerate rectangles (zero width and/or height) are allowed; the paper
+/// treats zero-height pairs as "special rectangles" containing no point.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Rect {
+    pub x_lo: f64,
+    pub x_hi: f64,
+    pub y_lo: f64,
+    pub y_hi: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle from its coordinate bounds.
+    ///
+    /// # Panics
+    /// Debug-panics if `x_lo > x_hi` or `y_lo > y_hi`.
+    #[inline]
+    pub fn new(x_lo: f64, x_hi: f64, y_lo: f64, y_hi: f64) -> Self {
+        debug_assert!(x_lo <= x_hi, "inverted x bounds: {x_lo} > {x_hi}");
+        debug_assert!(y_lo <= y_hi, "inverted y bounds: {y_lo} > {y_hi}");
+        Rect { x_lo, x_hi, y_lo, y_hi }
+    }
+
+    /// Rectangle centered at `c` with L∞ radius `r` (i.e. half side `r`).
+    ///
+    /// This is exactly the NN-circle shape under the L∞ metric (paper §III-A).
+    #[inline]
+    pub fn centered(c: Point, r: f64) -> Self {
+        debug_assert!(r >= 0.0);
+        Rect::new(c.x - r, c.x + r, c.y - r, c.y + r)
+    }
+
+    /// Smallest rectangle containing both corner points.
+    #[inline]
+    pub fn from_corners(a: Point, b: Point) -> Self {
+        Rect::new(a.x.min(b.x), a.x.max(b.x), a.y.min(b.y), a.y.max(b.y))
+    }
+
+    /// The rectangle's center point.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new((self.x_lo + self.x_hi) * 0.5, (self.y_lo + self.y_hi) * 0.5)
+    }
+
+    /// Width (`x` extent).
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.x_hi - self.x_lo
+    }
+
+    /// Height (`y` extent).
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.y_hi - self.y_lo
+    }
+
+    /// Area. Zero for degenerate rectangles.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Whether the *open* rectangle contains `p` (paper's subregion
+    /// containment: boundaries excluded, degenerate rectangles empty).
+    #[inline]
+    pub fn contains_open(&self, p: Point) -> bool {
+        self.x_lo < p.x && p.x < self.x_hi && self.y_lo < p.y && p.y < self.y_hi
+    }
+
+    /// Whether the *closed* rectangle contains `p`.
+    #[inline]
+    pub fn contains_closed(&self, p: Point) -> bool {
+        self.x_lo <= p.x && p.x <= self.x_hi && self.y_lo <= p.y && p.y <= self.y_hi
+    }
+
+    /// Whether the closed rectangles overlap (shared boundary counts).
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.x_lo <= other.x_hi
+            && other.x_lo <= self.x_hi
+            && self.y_lo <= other.y_hi
+            && other.y_lo <= self.y_hi
+    }
+
+    /// Intersection of two closed rectangles, if non-empty.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(Rect::new(
+            self.x_lo.max(other.x_lo),
+            self.x_hi.min(other.x_hi),
+            self.y_lo.max(other.y_lo),
+            self.y_hi.min(other.y_hi),
+        ))
+    }
+
+    /// Smallest rectangle containing both operands.
+    #[inline]
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect::new(
+            self.x_lo.min(other.x_lo),
+            self.x_hi.max(other.x_hi),
+            self.y_lo.min(other.y_lo),
+            self.y_hi.max(other.y_hi),
+        )
+    }
+
+    /// Whether `self` fully contains `other` (closed semantics).
+    #[inline]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        self.x_lo <= other.x_lo
+            && other.x_hi <= self.x_hi
+            && self.y_lo <= other.y_lo
+            && other.y_hi <= self.y_hi
+    }
+
+    /// Expands every side outward by `margin` (inward if negative).
+    pub fn inflate(&self, margin: f64) -> Rect {
+        Rect::new(
+            self.x_lo - margin,
+            self.x_hi + margin,
+            self.y_lo - margin,
+            self.y_hi + margin,
+        )
+    }
+
+    /// Minimum L2 distance from `p` to the closed rectangle (0 if inside).
+    pub fn dist2_to_point(&self, p: Point) -> f64 {
+        let dx = (self.x_lo - p.x).max(0.0).max(p.x - self.x_hi);
+        let dy = (self.y_lo - p.y).max(0.0).max(p.y - self.y_hi);
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Bounding rectangle of a non-empty point set.
+    pub fn bounding(points: &[Point]) -> Option<Rect> {
+        let first = points.first()?;
+        let mut r = Rect::new(first.x, first.x, first.y, first.y);
+        for p in &points[1..] {
+            r.x_lo = r.x_lo.min(p.x);
+            r.x_hi = r.x_hi.max(p.x);
+            r.y_lo = r.y_lo.min(p.y);
+            r.y_hi = r.y_hi.max(p.y);
+        }
+        Some(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn centered_is_linf_ball() {
+        let r = Rect::centered(Point::new(1.0, 2.0), 0.5);
+        assert_eq!(r, Rect::new(0.5, 1.5, 1.5, 2.5));
+        // Every point inside is within L∞ distance 0.5 of the center.
+        assert!(r.contains_open(Point::new(1.2, 2.4)));
+        assert!(!r.contains_open(Point::new(1.2, 2.6)));
+    }
+
+    #[test]
+    fn open_vs_closed_containment() {
+        let r = Rect::new(0.0, 1.0, 0.0, 1.0);
+        let edge = Point::new(0.0, 0.5);
+        assert!(!r.contains_open(edge));
+        assert!(r.contains_closed(edge));
+        // Degenerate rectangle contains nothing in open semantics.
+        let line = Rect::new(0.0, 1.0, 0.5, 0.5);
+        assert!(!line.contains_open(Point::new(0.5, 0.5)));
+        assert!(line.contains_closed(Point::new(0.5, 0.5)));
+    }
+
+    #[test]
+    fn intersection_and_union() {
+        let a = Rect::new(0.0, 2.0, 0.0, 2.0);
+        let b = Rect::new(1.0, 3.0, 1.0, 3.0);
+        assert_eq!(a.intersection(&b), Some(Rect::new(1.0, 2.0, 1.0, 2.0)));
+        assert_eq!(a.union(&b), Rect::new(0.0, 3.0, 0.0, 3.0));
+        let c = Rect::new(5.0, 6.0, 5.0, 6.0);
+        assert_eq!(a.intersection(&c), None);
+        assert!(!a.intersects(&c));
+        // Touching rectangles do intersect under closed semantics.
+        let d = Rect::new(2.0, 3.0, 0.0, 2.0);
+        assert!(a.intersects(&d));
+        assert_eq!(a.intersection(&d).unwrap().area(), 0.0);
+    }
+
+    #[test]
+    fn contains_rect_and_inflate() {
+        let outer = Rect::new(0.0, 10.0, 0.0, 10.0);
+        let inner = Rect::new(2.0, 3.0, 2.0, 3.0);
+        assert!(outer.contains_rect(&inner));
+        assert!(!inner.contains_rect(&outer));
+        assert!(inner.inflate(5.0).contains_rect(&inner));
+        assert_eq!(inner.inflate(0.5), Rect::new(1.5, 3.5, 1.5, 3.5));
+    }
+
+    #[test]
+    fn dist_to_point() {
+        let r = Rect::new(0.0, 1.0, 0.0, 1.0);
+        assert_eq!(r.dist2_to_point(Point::new(0.5, 0.5)), 0.0);
+        assert_eq!(r.dist2_to_point(Point::new(2.0, 0.5)), 1.0);
+        assert!((r.dist2_to_point(Point::new(2.0, 2.0)) - 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounding_box() {
+        let pts = [Point::new(1.0, 5.0), Point::new(-2.0, 0.0), Point::new(3.0, 2.0)];
+        assert_eq!(Rect::bounding(&pts), Some(Rect::new(-2.0, 3.0, 0.0, 5.0)));
+        assert_eq!(Rect::bounding(&[]), None);
+    }
+}

@@ -1,0 +1,95 @@
+//! The π/4 rotation reducing L1 to L∞ (paper §VII-B).
+//!
+//! An L1 ball of radius `r` is a diamond; rotating the coordinate system
+//! counter-clockwise by π/4 maps it to an axis-aligned square with half
+//! side `r / √2`. CREST then runs unchanged in the rotated system. The
+//! transform takes `O(n)` time and does not change the complexity.
+
+use crate::point::Point;
+
+/// `cos(π/4) = sin(π/4) = 1/√2`.
+const C: f64 = std::f64::consts::FRAC_1_SQRT_2;
+
+/// Rotates a point counter-clockwise by π/4 around the origin:
+/// `x' = (x − y)/√2`, `y' = (x + y)/√2`.
+#[inline]
+pub fn rotate45(p: Point) -> Point {
+    Point::new(C * (p.x - p.y), C * (p.x + p.y))
+}
+
+/// Inverse of [`rotate45`].
+#[inline]
+pub fn unrotate45(p: Point) -> Point {
+    Point::new(C * (p.x + p.y), C * (p.y - p.x))
+}
+
+/// Half side of the L∞ square that an L1 ball of radius `r` becomes after
+/// [`rotate45`]: `r / √2`.
+#[inline]
+pub fn l1_radius_to_linf(r: f64) -> f64 {
+    r * C
+}
+
+/// Rotates a whole point set (allocates a new vector).
+pub fn rotate45_all(points: &[Point]) -> Vec<Point> {
+    points.iter().map(|&p| rotate45(p)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eps::approx_eq_eps;
+
+    #[test]
+    fn rotation_roundtrip() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(-3.5, 2.25),
+            Point::new(1e6, -1e-6),
+        ];
+        for p in pts {
+            let q = unrotate45(rotate45(p));
+            assert!(approx_eq_eps(p.x, q.x, 1e-9 * (1.0 + p.x.abs())));
+            assert!(approx_eq_eps(p.y, q.y, 1e-9 * (1.0 + p.y.abs())));
+        }
+    }
+
+    #[test]
+    fn rotation_preserves_l2() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(-4.0, 0.5);
+        assert!(approx_eq_eps(a.dist2(&b), rotate45(a).dist2(&rotate45(b)), 1e-12));
+    }
+
+    #[test]
+    fn l1_becomes_linf() {
+        // After rotation, L1 distance in the original space equals
+        // √2 × L∞ distance in the rotated space.
+        let a = Point::new(0.3, -1.2);
+        let b = Point::new(2.0, 0.7);
+        let l1 = a.dist1(&b);
+        let linf_rot = rotate45(a).dist_inf(&rotate45(b));
+        assert!(approx_eq_eps(l1_radius_to_linf(l1), linf_rot, 1e-12));
+    }
+
+    #[test]
+    fn diamond_corner_maps_to_square_corner() {
+        // Corner (r, 0) of the L1 ball maps to (r/√2, r/√2): the corner of
+        // the L∞ square with half side r/√2.
+        let r = 2.0;
+        let corner = rotate45(Point::new(r, 0.0));
+        let half = l1_radius_to_linf(r);
+        assert!(approx_eq_eps(corner.x, half, 1e-12));
+        assert!(approx_eq_eps(corner.y, half, 1e-12));
+    }
+
+    #[test]
+    fn rotate_all_matches_pointwise() {
+        let pts = vec![Point::new(1.0, 1.0), Point::new(2.0, -3.0)];
+        let rotated = rotate45_all(&pts);
+        assert_eq!(rotated.len(), 2);
+        assert_eq!(rotated[0], rotate45(pts[0]));
+        assert_eq!(rotated[1], rotate45(pts[1]));
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the geometry substrate.
+
+use proptest::prelude::*;
+use rnnhm_geom::transform::{l1_radius_to_linf, rotate45, unrotate45};
+use rnnhm_geom::{Circle, Metric, Point, Rect};
+
+fn coord() -> impl Strategy<Value = f64> {
+    (-1000i64..1000).prop_map(|v| v as f64 / 10.0)
+}
+
+fn point() -> impl Strategy<Value = Point> {
+    (coord(), coord()).prop_map(|(x, y)| Point::new(x, y))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn metric_axioms(a in point(), b in point(), c in point()) {
+        for m in Metric::ALL {
+            // Symmetry, identity, triangle inequality.
+            prop_assert!((m.dist(&a, &b) - m.dist(&b, &a)).abs() < 1e-12);
+            prop_assert!(m.dist(&a, &a).abs() < 1e-12);
+            prop_assert!(m.dist(&a, &c) <= m.dist(&a, &b) + m.dist(&b, &c) + 1e-9);
+            // Norm ordering L∞ ≤ L2 ≤ L1.
+        }
+        prop_assert!(a.dist_inf(&b) <= a.dist2(&b) + 1e-9);
+        prop_assert!(a.dist2(&b) <= a.dist1(&b) + 1e-9);
+    }
+
+    #[test]
+    fn rotation_is_an_l2_isometry_and_inverts(a in point(), b in point()) {
+        let (ra, rb) = (rotate45(a), rotate45(b));
+        prop_assert!((a.dist2(&b) - ra.dist2(&rb)).abs() < 1e-9);
+        let back = unrotate45(ra);
+        prop_assert!(a.dist2(&back) < 1e-9);
+    }
+
+    #[test]
+    fn l1_ball_maps_to_linf_ball(center in point(), q in point()) {
+        // q is inside the L1 ball of radius r around center iff rotate(q)
+        // is inside the L∞ ball of radius r/√2 around rotate(center).
+        let r = 5.0;
+        let inside_l1 = center.dist1(&q) < r;
+        let inside_linf =
+            rotate45(center).dist_inf(&rotate45(q)) < l1_radius_to_linf(r);
+        // Boundary-grazing cases can flip either way in floating point.
+        if (center.dist1(&q) - r).abs() > 1e-9 {
+            prop_assert_eq!(inside_l1, inside_linf);
+        }
+    }
+
+    #[test]
+    fn rect_intersection_is_commutative_and_contained(
+        ax in coord(), ay in coord(), aw in 0.1f64..20.0, ah in 0.1f64..20.0,
+        bx in coord(), by in coord(), bw in 0.1f64..20.0, bh in 0.1f64..20.0,
+    ) {
+        let a = Rect::new(ax, ax + aw, ay, ay + ah);
+        let b = Rect::new(bx, bx + bw, by, by + bh);
+        let ab = a.intersection(&b);
+        let ba = b.intersection(&a);
+        prop_assert_eq!(ab, ba);
+        if let Some(i) = ab {
+            prop_assert!(a.contains_rect(&i));
+            prop_assert!(b.contains_rect(&i));
+            prop_assert!(a.union(&b).contains_rect(&i));
+        }
+        prop_assert!(a.union(&b).contains_rect(&a));
+    }
+
+    #[test]
+    fn circle_intersections_lie_on_both_circles(
+        c1 in point(), r1 in 0.5f64..20.0,
+        c2 in point(), r2 in 0.5f64..20.0,
+    ) {
+        let a = Circle::new(c1, r1);
+        let b = Circle::new(c2, r2);
+        for p in &a.intersect(&b) {
+            prop_assert!((a.c.dist2(p) - a.r).abs() < 1e-6,
+                "point {:?} off circle a by {}", p, (a.c.dist2(p) - a.r).abs());
+            prop_assert!((b.c.dist2(p) - b.r).abs() < 1e-6,
+                "point {:?} off circle b by {}", p, (b.c.dist2(p) - b.r).abs());
+        }
+    }
+
+    #[test]
+    fn arc_eval_consistent_with_containment(
+        c in point(), r in 0.5f64..20.0, x in coord(), y in coord(),
+    ) {
+        let circle = Circle::new(c, r);
+        let q = Point::new(x, y);
+        if let Some((lo, hi)) = circle.y_at(x) {
+            prop_assert!(lo <= hi + 1e-12);
+            // A point strictly between the arcs is inside the open disk.
+            if lo + 1e-9 < y && y + 1e-9 < hi {
+                prop_assert!(circle.contains_open(q));
+            }
+            // A point clearly above/below the arcs is outside.
+            if y > hi + 1e-9 || y + 1e-9 < lo {
+                prop_assert!(!circle.contains_open(q));
+            }
+        } else {
+            // x outside the horizontal extent: nothing at this column.
+            prop_assert!(x < circle.x_min() - 1e-12 || x > circle.x_max() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn rect_dist_lower_bounds_member_distance(
+        rx in coord(), ry in coord(), rw in 0.1f64..20.0, rh in 0.1f64..20.0,
+        q in point(), fx in 0.0f64..1.0, fy in 0.0f64..1.0,
+    ) {
+        let r = Rect::new(rx, rx + rw, ry, ry + rh);
+        // An arbitrary point inside r.
+        let inside = Point::new(r.x_lo + fx * r.width(), r.y_lo + fy * r.height());
+        for m in Metric::ALL {
+            prop_assert!(m.dist_to_rect(&q, &r) <= m.dist(&q, &inside) + 1e-9);
+        }
+    }
+}

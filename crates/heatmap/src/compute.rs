@@ -1,0 +1,201 @@
+//! Rasterization: influence values on a pixel grid.
+//!
+//! Two paths:
+//!
+//! * **Exact, generic** ([`rasterize_squares`], [`rasterize_disks`]):
+//!   a point-enclosure query per pixel center against the NN-circle
+//!   index, then the influence measure on the resulting RNN set. Exact
+//!   for *any* measure; `O(P · (log n + α + measure))` for `P` pixels.
+//! * **Fast, count-only** ([`rasterize_count_squares_fast`]): the paper's
+//!   superimposition (Fig 3(b)) as a 2-D difference array over pixel
+//!   bins, `O(n + P)`. As §I explains, superimposition is only correct
+//!   when the influence is the plain RNN count.
+
+use rnnhm_core::arrangement::{DiskArrangement, SquareArrangement};
+use rnnhm_core::measure::InfluenceMeasure;
+use rnnhm_geom::{Circle, Rect};
+use rnnhm_index::RTree;
+
+use crate::raster::{GridSpec, HeatRaster};
+
+/// Exact rasterization of a square arrangement (L∞ or rotated L1) under
+/// any influence measure.
+///
+/// `spec.extent` is in *original* (input) coordinates; pixel centers are
+/// mapped through the arrangement's [`rnnhm_core::CoordSpace`] before the
+/// enclosure query, so L1 heat maps come out unrotated.
+pub fn rasterize_squares<M: InfluenceMeasure>(
+    arr: &SquareArrangement,
+    measure: &M,
+    spec: GridSpec,
+) -> HeatRaster {
+    let tree = RTree::build(&arr.squares);
+    let mut raster = HeatRaster::new(spec);
+    let mut hits: Vec<u32> = Vec::new();
+    let mut members: Vec<u32> = Vec::new();
+    for row in 0..spec.height {
+        for col in 0..spec.width {
+            let p = arr.space.to_sweep(spec.pixel_center(col, row));
+            hits.clear();
+            tree.stab(p, &mut hits);
+            members.clear();
+            members.extend(hits.iter().map(|&c| arr.owners[c as usize]));
+            raster.set(col, row, measure.influence(&members));
+        }
+    }
+    raster
+}
+
+/// Exact rasterization of a disk arrangement (L2) under any measure.
+pub fn rasterize_disks<M: InfluenceMeasure>(
+    arr: &DiskArrangement,
+    measure: &M,
+    spec: GridSpec,
+) -> HeatRaster {
+    let bboxes: Vec<Rect> = arr.disks.iter().map(Circle::bbox).collect();
+    let tree = RTree::build(&bboxes);
+    let mut raster = HeatRaster::new(spec);
+    let mut hits: Vec<u32> = Vec::new();
+    let mut members: Vec<u32> = Vec::new();
+    for row in 0..spec.height {
+        for col in 0..spec.width {
+            let p = spec.pixel_center(col, row);
+            hits.clear();
+            tree.stab(p, &mut hits);
+            members.clear();
+            members.extend(
+                hits.iter()
+                    .filter(|&&c| arr.disks[c as usize].contains_closed(p))
+                    .map(|&c| arr.owners[c as usize]),
+            );
+            raster.set(col, row, measure.influence(&members));
+        }
+    }
+    raster
+}
+
+/// Fast count-measure rasterization of a square arrangement via a 2-D
+/// difference array (`O(n + P)`).
+///
+/// Counts how many NN-circles cover each pixel *center*. Only valid for
+/// [`rnnhm_core::CountMeasure`]-style influence; see module docs. Only
+/// supported for arrangements in identity coordinate space (L∞); rotated
+/// (L1) arrangements use the exact path.
+pub fn rasterize_count_squares_fast(arr: &SquareArrangement, spec: GridSpec) -> HeatRaster {
+    assert!(
+        matches!(arr.space, rnnhm_core::CoordSpace::Identity),
+        "fast path requires identity coordinates; use rasterize_squares for L1"
+    );
+    let w = spec.width;
+    let h = spec.height;
+    // diff is (h+1) × (w+1); entry (r, c) affects pixels (≥r, ≥c).
+    let mut diff = vec![0i64; (w + 1) * (h + 1)];
+    let ext = spec.extent;
+    let col_of = |x: f64| -> f64 { (x - ext.x_lo) / ext.width() * w as f64 };
+    let row_of = |y: f64| -> f64 { (y - ext.y_lo) / ext.height() * h as f64 };
+    for s in &arr.squares {
+        // Pixels whose *center* lies in [lo, hi): center of col c is
+        // c + 0.5 (in grid units), so the covered columns are
+        // ceil(lo − 0.5) .. ceil(hi − 0.5) − 1 — i.e. round(·) bounds.
+        let c0 = (col_of(s.x_lo) - 0.5).ceil().max(0.0) as usize;
+        let c1 = ((col_of(s.x_hi) - 0.5).ceil().min(w as f64)) as usize;
+        let r0 = (row_of(s.y_lo) - 0.5).ceil().max(0.0) as usize;
+        let r1 = ((row_of(s.y_hi) - 0.5).ceil().min(h as f64)) as usize;
+        if c0 >= c1 || r0 >= r1 {
+            continue;
+        }
+        diff[r0 * (w + 1) + c0] += 1;
+        diff[r0 * (w + 1) + c1] -= 1;
+        diff[r1 * (w + 1) + c0] -= 1;
+        diff[r1 * (w + 1) + c1] += 1;
+    }
+    // 2-D prefix sum into the raster.
+    let mut raster = HeatRaster::new(spec);
+    let mut row_acc = vec![0i64; w];
+    for row in 0..h {
+        let mut acc = 0i64;
+        for col in 0..w {
+            acc += diff[row * (w + 1) + col];
+            row_acc[col] += acc;
+            raster.set(col, row, row_acc[col] as f64);
+        }
+    }
+    raster
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnnhm_core::arrangement::CoordSpace;
+    use rnnhm_core::measure::CountMeasure;
+    use rnnhm_geom::Point;
+
+    fn arr_from_squares(squares: Vec<Rect>) -> SquareArrangement {
+        let owners = (0..squares.len() as u32).collect();
+        let n = squares.len();
+        SquareArrangement { squares, owners, space: CoordSpace::Identity, n_clients: n, dropped: 0 }
+    }
+
+    fn pseudo_squares(n: usize, seed: u64) -> Vec<Rect> {
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        (0..n)
+            .map(|_| Rect::centered(Point::new(next() * 8.0 + 1.0, next() * 8.0 + 1.0), 0.3 + next()))
+            .collect()
+    }
+
+    #[test]
+    fn fast_count_matches_exact() {
+        let arr = arr_from_squares(pseudo_squares(40, 5));
+        let spec = GridSpec::new(64, 48, Rect::new(0.0, 10.0, 0.0, 10.0));
+        let exact = rasterize_squares(&arr, &CountMeasure, spec);
+        let fast = rasterize_count_squares_fast(&arr, spec);
+        for row in 0..spec.height {
+            for col in 0..spec.width {
+                assert_eq!(
+                    exact.get(col, row),
+                    fast.get(col, row),
+                    "pixel ({col},{row}) center {:?}",
+                    spec.pixel_center(col, row)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn disks_raster_counts_coverage() {
+        let disks = vec![
+            Circle::new(Point::new(5.0, 5.0), 2.0),
+            Circle::new(Point::new(6.0, 5.0), 2.0),
+        ];
+        let owners = vec![0, 1];
+        let arr = DiskArrangement { disks, owners, n_clients: 2, dropped: 0 };
+        let spec = GridSpec::new(50, 50, Rect::new(0.0, 10.0, 0.0, 10.0));
+        let raster = rasterize_disks(&arr, &CountMeasure, spec);
+        // The midpoint between centers is inside both disks.
+        let (c, r) = spec.locate(Point::new(5.5, 5.0)).unwrap();
+        assert_eq!(raster.get(c, r), 2.0);
+        // Far corner is inside neither.
+        let (c, r) = spec.locate(Point::new(0.2, 0.2)).unwrap();
+        assert_eq!(raster.get(c, r), 0.0);
+    }
+
+    #[test]
+    fn square_outside_grid_ignored() {
+        let arr = arr_from_squares(vec![Rect::new(100.0, 101.0, 100.0, 101.0)]);
+        let spec = GridSpec::new(8, 8, Rect::new(0.0, 10.0, 0.0, 10.0));
+        let fast = rasterize_count_squares_fast(&arr, spec);
+        assert_eq!(fast.sum(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "identity coordinates")]
+    fn fast_path_rejects_rotated_space() {
+        let mut arr = arr_from_squares(vec![Rect::new(0.0, 1.0, 0.0, 1.0)]);
+        arr.space = CoordSpace::Rotated45;
+        rasterize_count_squares_fast(&arr, GridSpec::new(4, 4, Rect::new(0.0, 1.0, 0.0, 1.0)));
+    }
+}

@@ -1,0 +1,24 @@
+//! # rnnhm-heatmap
+//!
+//! Raster heat map construction and rendering — the presentation layer
+//! that turns region coloring output into the images of the paper's
+//! Figs 1 and 15.
+//!
+//! * [`raster::HeatRaster`] — a rectangular grid of influence values,
+//! * [`compute`] — exact per-pixel rasterization for any influence
+//!   measure (point-enclosure queries on pixel centers) plus an `O(n + P)`
+//!   fast path for the count measure (2-D difference array — the
+//!   "superimposition" of paper Fig 3(b), which is exact for counts and
+//!   only for counts),
+//! * [`render`] — PPM/PGM/ASCII writers with heat color ramps (darker =
+//!   more influential, following the paper's figures).
+
+pub mod compute;
+pub mod ops;
+pub mod raster;
+pub mod render;
+
+pub use compute::{rasterize_count_squares_fast, rasterize_disks, rasterize_squares};
+pub use raster::{GridSpec, HeatRaster};
+pub use ops::{diff, downsample, max_pixel};
+pub use render::{write_pgm, write_ppm, ColorRamp};

@@ -1,0 +1,171 @@
+//! Image output: binary PPM/PGM and terminal ASCII rendering.
+//!
+//! Following the paper's figures, *darker means more influential*.
+
+use std::io::{self, Write};
+
+use crate::raster::HeatRaster;
+
+/// A color ramp from normalized heat `[0, 1]` to RGB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColorRamp {
+    /// White → black (like the paper's Fig 1/15 grayscale heat maps).
+    Grayscale,
+    /// White → yellow → orange → red → dark red.
+    Heat,
+}
+
+impl ColorRamp {
+    /// RGB for a normalized heat value (clamped to `[0, 1]`).
+    pub fn rgb(&self, t: f64) -> [u8; 3] {
+        let t = t.clamp(0.0, 1.0);
+        match self {
+            ColorRamp::Grayscale => {
+                let v = ((1.0 - t) * 255.0).round() as u8;
+                [v, v, v]
+            }
+            ColorRamp::Heat => {
+                // Piecewise-linear gradient over anchor colors.
+                const ANCHORS: [[f64; 3]; 5] = [
+                    [255.0, 255.0, 255.0], // white
+                    [255.0, 237.0, 160.0], // pale yellow
+                    [254.0, 178.0, 76.0],  // orange
+                    [240.0, 59.0, 32.0],   // red
+                    [100.0, 0.0, 10.0],    // dark red
+                ];
+                let scaled = t * (ANCHORS.len() - 1) as f64;
+                let i = (scaled as usize).min(ANCHORS.len() - 2);
+                let f = scaled - i as f64;
+                let mut rgb = [0u8; 3];
+                for k in 0..3 {
+                    rgb[k] = (ANCHORS[i][k] + (ANCHORS[i + 1][k] - ANCHORS[i][k]) * f)
+                        .round() as u8;
+                }
+                rgb
+            }
+        }
+    }
+}
+
+/// Writes the raster as a binary PPM (P6) using the given ramp.
+///
+/// Row 0 of the raster is the bottom of the map; PPM rows go top-down, so
+/// rows are flipped on output.
+pub fn write_ppm<W: Write>(w: &mut W, raster: &HeatRaster, ramp: ColorRamp) -> io::Result<()> {
+    let (lo, hi) = raster.min_max();
+    let range = if hi > lo { hi - lo } else { 1.0 };
+    let spec = raster.spec;
+    write!(w, "P6\n{} {}\n255\n", spec.width, spec.height)?;
+    let mut buf = Vec::with_capacity(spec.width * 3);
+    for row in (0..spec.height).rev() {
+        buf.clear();
+        for col in 0..spec.width {
+            let t = (raster.get(col, row) - lo) / range;
+            buf.extend_from_slice(&ramp.rgb(t));
+        }
+        w.write_all(&buf)?;
+    }
+    Ok(())
+}
+
+/// Writes the raster as a binary PGM (P5); darker = higher heat.
+pub fn write_pgm<W: Write>(w: &mut W, raster: &HeatRaster) -> io::Result<()> {
+    let (lo, hi) = raster.min_max();
+    let range = if hi > lo { hi - lo } else { 1.0 };
+    let spec = raster.spec;
+    write!(w, "P5\n{} {}\n255\n", spec.width, spec.height)?;
+    let mut buf = Vec::with_capacity(spec.width);
+    for row in (0..spec.height).rev() {
+        buf.clear();
+        for col in 0..spec.width {
+            let t = (raster.get(col, row) - lo) / range;
+            buf.push(((1.0 - t) * 255.0).round() as u8);
+        }
+        w.write_all(&buf)?;
+    }
+    Ok(())
+}
+
+/// Renders the raster as ASCII art (for terminal quickstarts); darker
+/// characters = higher heat.
+pub fn ascii_art(raster: &HeatRaster) -> String {
+    const SHADES: &[u8] = b" .:-=+*#%@";
+    let (lo, hi) = raster.min_max();
+    let range = if hi > lo { hi - lo } else { 1.0 };
+    let spec = raster.spec;
+    let mut out = String::with_capacity((spec.width + 1) * spec.height);
+    for row in (0..spec.height).rev() {
+        for col in 0..spec.width {
+            let t = ((raster.get(col, row) - lo) / range).clamp(0.0, 1.0);
+            let idx = (t * (SHADES.len() - 1) as f64).round() as usize;
+            out.push(SHADES[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::raster::GridSpec;
+    use rnnhm_geom::Rect;
+
+    fn small_raster() -> HeatRaster {
+        let mut r = HeatRaster::new(GridSpec::new(3, 2, Rect::new(0.0, 3.0, 0.0, 2.0)));
+        r.set(0, 0, 0.0);
+        r.set(1, 0, 1.0);
+        r.set(2, 0, 2.0);
+        r.set(0, 1, 3.0);
+        r.set(1, 1, 4.0);
+        r.set(2, 1, 5.0);
+        r
+    }
+
+    #[test]
+    fn ramp_endpoints() {
+        assert_eq!(ColorRamp::Grayscale.rgb(0.0), [255, 255, 255]);
+        assert_eq!(ColorRamp::Grayscale.rgb(1.0), [0, 0, 0]);
+        assert_eq!(ColorRamp::Heat.rgb(0.0), [255, 255, 255]);
+        assert_eq!(ColorRamp::Heat.rgb(1.0), [100, 0, 10]);
+        // Clamping.
+        assert_eq!(ColorRamp::Heat.rgb(-5.0), ColorRamp::Heat.rgb(0.0));
+        assert_eq!(ColorRamp::Heat.rgb(5.0), ColorRamp::Heat.rgb(1.0));
+    }
+
+    #[test]
+    fn ppm_header_and_size() {
+        let r = small_raster();
+        let mut buf = Vec::new();
+        write_ppm(&mut buf, &r, ColorRamp::Heat).unwrap();
+        assert!(buf.starts_with(b"P6\n3 2\n255\n"));
+        assert_eq!(buf.len(), 11 + 3 * 2 * 3);
+    }
+
+    #[test]
+    fn pgm_darker_is_hotter_and_flipped() {
+        let r = small_raster();
+        let mut buf = Vec::new();
+        write_pgm(&mut buf, &r).unwrap();
+        assert!(buf.starts_with(b"P5\n3 2\n255\n"));
+        let pixels = &buf[11..];
+        // First output row is the TOP raster row (row 1): heats 3,4,5.
+        // Highest heat (5.0) → darkest (0).
+        assert_eq!(pixels[2], 0);
+        // Bottom-left (heat 0) is the last row's first pixel → white.
+        assert_eq!(pixels[3], 255);
+    }
+
+    #[test]
+    fn ascii_shape() {
+        let r = small_raster();
+        let art = ascii_art(&r);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].len(), 3);
+        // Hottest pixel renders the densest shade.
+        assert!(lines[0].ends_with('@'));
+        // Coldest pixel renders a blank.
+        assert!(lines[1].starts_with(' '));
+    }
+}

@@ -1,0 +1,625 @@
+//! A B+-tree with doubly-linked leaves and a cursor API.
+//!
+//! This is the line-status structure `T` of CREST (paper §V-D): an ordered
+//! set supporting `insert`, `remove`, `lower_bound`, and bidirectional
+//! in-order traversal from any position via the leaf links.
+//!
+//! ## Design notes
+//!
+//! * Arena allocation: nodes live in a `Vec` and reference each other by
+//!   index; freed slots are recycled through a free list. This keeps the
+//!   structure `unsafe`-free and cache-friendly.
+//! * Deletion removes keys from leaves and reclaims *empty* pages (unlinking
+//!   them from the leaf list and cascading upward), but does not merge
+//!   underfull siblings. Search cost stays `O(height + leaf scan)` and the
+//!   height only grows through splits, so the sweep's insert-once /
+//!   delete-once workload never degrades. (The same policy is used by
+//!   several production B-trees.)
+//! * Duplicate keys are rejected; callers embed a tie-breaker in the key
+//!   (the sweep uses `(y, circle id, side kind)`).
+
+/// Maximum keys per leaf / separators per internal node before a split.
+const MAX_KEYS: usize = 16;
+
+type NodeId = usize;
+
+#[derive(Debug)]
+enum Node<K> {
+    Internal {
+        /// `keys[i]` is the smallest key in `children[i + 1]`'s subtree.
+        keys: Vec<K>,
+        children: Vec<NodeId>,
+    },
+    Leaf {
+        keys: Vec<K>,
+        prev: Option<NodeId>,
+        next: Option<NodeId>,
+    },
+    /// Recycled slot.
+    Free,
+}
+
+/// A stable position in the tree: a leaf and an offset within it.
+///
+/// Cursors are invalidated by any mutation of the tree; the sweep always
+/// finishes reading a changed interval before mutating again.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Cursor {
+    leaf: NodeId,
+    idx: usize,
+}
+
+/// An ordered set of keys backed by a B+-tree with linked leaves.
+pub struct BPlusTree<K> {
+    nodes: Vec<Node<K>>,
+    root: NodeId,
+    first_leaf: NodeId,
+    len: usize,
+    free: Vec<NodeId>,
+}
+
+impl<K: Ord + Copy> Default for BPlusTree<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord + Copy> BPlusTree<K> {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        let nodes = vec![Node::Leaf { keys: Vec::new(), prev: None, next: None }];
+        BPlusTree { nodes, root: 0, first_leaf: 0, len: 0, free: Vec::new() }
+    }
+
+    /// Number of keys stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn alloc(&mut self, node: Node<K>) -> NodeId {
+        if let Some(id) = self.free.pop() {
+            self.nodes[id] = node;
+            id
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        }
+    }
+
+    fn release(&mut self, id: NodeId) {
+        self.nodes[id] = Node::Free;
+        self.free.push(id);
+    }
+
+    /// Inserts `key`; returns `false` if it was already present.
+    pub fn insert(&mut self, key: K) -> bool {
+        match self.insert_rec(self.root, key) {
+            InsertResult::Duplicate => false,
+            InsertResult::Done => {
+                self.len += 1;
+                true
+            }
+            InsertResult::Split(sep, right) => {
+                let old_root = self.root;
+                let new_root = self.alloc(Node::Internal {
+                    keys: vec![sep],
+                    children: vec![old_root, right],
+                });
+                self.root = new_root;
+                self.len += 1;
+                true
+            }
+        }
+    }
+
+    fn insert_rec(&mut self, node: NodeId, key: K) -> InsertResult<K> {
+        match &mut self.nodes[node] {
+            Node::Leaf { keys, .. } => {
+                match keys.binary_search(&key) {
+                    Ok(_) => InsertResult::Duplicate,
+                    Err(pos) => {
+                        keys.insert(pos, key);
+                        if keys.len() > MAX_KEYS {
+                            self.split_leaf(node)
+                        } else {
+                            InsertResult::Done
+                        }
+                    }
+                }
+            }
+            Node::Internal { keys, children } => {
+                let idx = keys.partition_point(|s| *s <= key);
+                let child = children[idx];
+                match self.insert_rec(child, key) {
+                    InsertResult::Split(sep, right) => {
+                        let Node::Internal { keys, children } = &mut self.nodes[node] else {
+                            unreachable!("internal node changed kind");
+                        };
+                        keys.insert(idx, sep);
+                        children.insert(idx + 1, right);
+                        if keys.len() > MAX_KEYS {
+                            self.split_internal(node)
+                        } else {
+                            InsertResult::Done
+                        }
+                    }
+                    other => other,
+                }
+            }
+            Node::Free => unreachable!("descended into a freed node"),
+        }
+    }
+
+    fn split_leaf(&mut self, node: NodeId) -> InsertResult<K> {
+        let (right_keys, old_next) = {
+            let Node::Leaf { keys, next, .. } = &mut self.nodes[node] else {
+                unreachable!();
+            };
+            let mid = keys.len() / 2;
+            (keys.split_off(mid), *next)
+        };
+        let sep = right_keys[0];
+        let right = self.alloc(Node::Leaf { keys: right_keys, prev: Some(node), next: old_next });
+        if let Some(nxt) = old_next {
+            if let Node::Leaf { prev, .. } = &mut self.nodes[nxt] {
+                *prev = Some(right);
+            }
+        }
+        if let Node::Leaf { next, .. } = &mut self.nodes[node] {
+            *next = Some(right);
+        }
+        InsertResult::Split(sep, right)
+    }
+
+    fn split_internal(&mut self, node: NodeId) -> InsertResult<K> {
+        let (sep, right_keys, right_children) = {
+            let Node::Internal { keys, children } = &mut self.nodes[node] else {
+                unreachable!();
+            };
+            let mid = keys.len() / 2;
+            let right_keys = keys.split_off(mid + 1);
+            let sep = keys.pop().expect("non-empty separator list");
+            let right_children = children.split_off(mid + 1);
+            (sep, right_keys, right_children)
+        };
+        let right = self.alloc(Node::Internal { keys: right_keys, children: right_children });
+        InsertResult::Split(sep, right)
+    }
+
+    /// Removes `key`; returns `false` if it was not present.
+    pub fn remove(&mut self, key: &K) -> bool {
+        let (removed, root_empty) = self.remove_rec(self.root, key);
+        if removed {
+            self.len -= 1;
+        }
+        // `root_empty` only fires when the root is a leaf that just
+        // drained; it stays as the empty root.
+        let _ = root_empty;
+        // Collapse single-child internal roots so height tracks content.
+        while let Node::Internal { keys, children } = &self.nodes[self.root] {
+            if keys.is_empty() && children.len() == 1 {
+                let child = children[0];
+                let old = self.root;
+                self.root = child;
+                self.release(old);
+            } else {
+                break;
+            }
+        }
+        removed
+    }
+
+    /// Returns `(removed, node_is_now_empty)`.
+    fn remove_rec(&mut self, node: NodeId, key: &K) -> (bool, bool) {
+        match &mut self.nodes[node] {
+            Node::Leaf { keys, .. } => match keys.binary_search(key) {
+                Ok(pos) => {
+                    keys.remove(pos);
+                    let empty = keys.is_empty();
+                    (true, empty)
+                }
+                Err(_) => (false, false),
+            },
+            Node::Internal { keys, children } => {
+                let idx = keys.partition_point(|s| *s <= *key);
+                let child = children[idx];
+                let (removed, child_empty) = self.remove_rec(child, key);
+                if child_empty {
+                    self.unlink_if_leaf(child);
+                    self.release(child);
+                    let Node::Internal { keys, children } = &mut self.nodes[node] else {
+                        unreachable!();
+                    };
+                    children.remove(idx);
+                    if idx > 0 {
+                        keys.remove(idx - 1);
+                    } else if !keys.is_empty() {
+                        keys.remove(0);
+                    }
+                    let empty = children.is_empty();
+                    (removed, empty)
+                } else {
+                    (removed, false)
+                }
+            }
+            Node::Free => unreachable!("descended into a freed node"),
+        }
+    }
+
+    fn unlink_if_leaf(&mut self, node: NodeId) {
+        let (prev, next) = match &self.nodes[node] {
+            Node::Leaf { prev, next, .. } => (*prev, *next),
+            _ => return,
+        };
+        if let Some(p) = prev {
+            if let Node::Leaf { next: pn, .. } = &mut self.nodes[p] {
+                *pn = next;
+            }
+        }
+        if let Some(n) = next {
+            if let Node::Leaf { prev: np, .. } = &mut self.nodes[n] {
+                *np = prev;
+            }
+        }
+        if self.first_leaf == node {
+            self.first_leaf = next.unwrap_or(self.root_leftmost_leaf_after_removal());
+        }
+    }
+
+    fn root_leftmost_leaf_after_removal(&self) -> NodeId {
+        // When the very last leaf empties, the root leaf remains the anchor.
+        self.root_leftmost_leaf(self.root)
+    }
+
+    fn root_leftmost_leaf(&self, mut node: NodeId) -> NodeId {
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { .. } => return node,
+                Node::Internal { children, .. } => node = children[0],
+                Node::Free => unreachable!(),
+            }
+        }
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: &K) -> bool {
+        let mut node = self.root;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { keys, .. } => return keys.binary_search(key).is_ok(),
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|s| *s <= *key);
+                    node = children[idx];
+                }
+                Node::Free => unreachable!(),
+            }
+        }
+    }
+
+    /// Cursor to the first key `≥ key`, or `None` if all keys are smaller.
+    pub fn lower_bound(&self, key: &K) -> Option<Cursor> {
+        let mut node = self.root;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { keys, next, .. } => {
+                    let idx = keys.partition_point(|k| k < key);
+                    if idx < keys.len() {
+                        return Some(Cursor { leaf: node, idx });
+                    }
+                    // All keys in this leaf are smaller; the answer (if any)
+                    // is the first key of the next leaf.
+                    return next.map(|n| Cursor { leaf: n, idx: 0 });
+                }
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|s| *s <= *key);
+                    node = children[idx];
+                }
+                Node::Free => unreachable!(),
+            }
+        }
+    }
+
+    /// Cursor to the first (smallest) key.
+    pub fn first(&self) -> Option<Cursor> {
+        if self.len == 0 {
+            return None;
+        }
+        let leaf = self.leftmost_nonempty_leaf()?;
+        Some(Cursor { leaf, idx: 0 })
+    }
+
+    fn leftmost_nonempty_leaf(&self) -> Option<NodeId> {
+        let mut leaf = self.first_leaf;
+        loop {
+            match &self.nodes[leaf] {
+                Node::Leaf { keys, next, .. } => {
+                    if !keys.is_empty() {
+                        return Some(leaf);
+                    }
+                    leaf = (*next)?;
+                }
+                _ => unreachable!("first_leaf points at a non-leaf"),
+            }
+        }
+    }
+
+    /// Cursor to the last (largest) key.
+    pub fn last(&self) -> Option<Cursor> {
+        if self.len == 0 {
+            return None;
+        }
+        let mut node = self.root;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { keys, .. } => {
+                    debug_assert!(!keys.is_empty());
+                    return Some(Cursor { leaf: node, idx: keys.len() - 1 });
+                }
+                Node::Internal { children, .. } => {
+                    node = *children.last().expect("internal node with children");
+                }
+                Node::Free => unreachable!(),
+            }
+        }
+    }
+
+    /// The key under a cursor.
+    #[inline]
+    pub fn key(&self, cur: Cursor) -> K {
+        match &self.nodes[cur.leaf] {
+            Node::Leaf { keys, .. } => keys[cur.idx],
+            _ => panic!("cursor does not point at a leaf"),
+        }
+    }
+
+    /// Cursor to the next (larger) key.
+    pub fn next(&self, cur: Cursor) -> Option<Cursor> {
+        match &self.nodes[cur.leaf] {
+            Node::Leaf { keys, next, .. } => {
+                if cur.idx + 1 < keys.len() {
+                    Some(Cursor { leaf: cur.leaf, idx: cur.idx + 1 })
+                } else {
+                    next.map(|n| Cursor { leaf: n, idx: 0 })
+                }
+            }
+            _ => panic!("cursor does not point at a leaf"),
+        }
+    }
+
+    /// Cursor to the previous (smaller) key.
+    pub fn prev(&self, cur: Cursor) -> Option<Cursor> {
+        if cur.idx > 0 {
+            return Some(Cursor { leaf: cur.leaf, idx: cur.idx - 1 });
+        }
+        match &self.nodes[cur.leaf] {
+            Node::Leaf { prev, .. } => prev.map(|p| {
+                let Node::Leaf { keys, .. } = &self.nodes[p] else {
+                    panic!("leaf link points at a non-leaf");
+                };
+                debug_assert!(!keys.is_empty(), "linked leaves are never empty");
+                Cursor { leaf: p, idx: keys.len() - 1 }
+            }),
+            _ => panic!("cursor does not point at a leaf"),
+        }
+    }
+
+    /// In-order iterator over all keys (via the leaf links).
+    pub fn iter(&self) -> Iter<'_, K> {
+        Iter { tree: self, cur: self.first() }
+    }
+
+    /// Checks structural invariants; used by tests.
+    #[doc(hidden)]
+    pub fn check_invariants(&self)
+    where
+        K: std::fmt::Debug,
+    {
+        // 1. Leaf-link chain visits exactly `len` keys in sorted order.
+        let collected: Vec<K> = self.iter().collect();
+        assert_eq!(collected.len(), self.len, "leaf chain length mismatch");
+        for w in collected.windows(2) {
+            assert!(w[0] < w[1], "leaf chain out of order");
+        }
+        // 2. Tree descent agrees with the chain.
+        if let Some(first) = collected.first() {
+            assert!(self.contains(first));
+            let lb = self.lower_bound(first).expect("lower_bound of min");
+            assert_eq!(self.key(lb), *first);
+        }
+        // 3. All leaves reachable from the root are on the chain.
+        let mut leaves_from_root = Vec::new();
+        self.collect_leaves(self.root, &mut leaves_from_root);
+        let mut chain = Vec::new();
+        let mut leaf = Some(self.first_leaf);
+        while let Some(l) = leaf {
+            chain.push(l);
+            match &self.nodes[l] {
+                Node::Leaf { next, .. } => leaf = *next,
+                _ => panic!("chain node is not a leaf"),
+            }
+        }
+        for l in &leaves_from_root {
+            assert!(chain.contains(l), "leaf {l} missing from chain");
+        }
+    }
+
+    fn collect_leaves(&self, node: NodeId, out: &mut Vec<NodeId>) {
+        match &self.nodes[node] {
+            Node::Leaf { .. } => out.push(node),
+            Node::Internal { children, .. } => {
+                for &c in children {
+                    self.collect_leaves(c, out);
+                }
+            }
+            Node::Free => panic!("freed node reachable from root"),
+        }
+    }
+}
+
+enum InsertResult<K> {
+    Done,
+    Duplicate,
+    Split(K, NodeId),
+}
+
+/// In-order iterator over a [`BPlusTree`].
+pub struct Iter<'a, K> {
+    tree: &'a BPlusTree<K>,
+    cur: Option<Cursor>,
+}
+
+impl<'a, K: Ord + Copy> Iterator for Iter<'a, K> {
+    type Item = K;
+    fn next(&mut self) -> Option<K> {
+        let cur = self.cur?;
+        let key = self.tree.key(cur);
+        self.cur = self.tree.next(cur);
+        Some(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn insert_and_iterate_sorted() {
+        let mut t = BPlusTree::new();
+        for k in [5, 1, 9, 3, 7, 2, 8, 4, 6, 0] {
+            assert!(t.insert(k));
+        }
+        assert!(!t.insert(5), "duplicate rejected");
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.iter().collect::<Vec<_>>(), (0..10).collect::<Vec<_>>());
+        t.check_invariants();
+    }
+
+    #[test]
+    fn lower_bound_semantics() {
+        let mut t = BPlusTree::new();
+        for k in [10, 20, 30, 40] {
+            t.insert(k);
+        }
+        assert_eq!(t.key(t.lower_bound(&5).unwrap()), 10);
+        assert_eq!(t.key(t.lower_bound(&10).unwrap()), 10);
+        assert_eq!(t.key(t.lower_bound(&11).unwrap()), 20);
+        assert_eq!(t.key(t.lower_bound(&40).unwrap()), 40);
+        assert!(t.lower_bound(&41).is_none());
+    }
+
+    #[test]
+    fn cursor_navigation() {
+        let mut t = BPlusTree::new();
+        for k in 0..100 {
+            t.insert(k * 2);
+        }
+        let cur = t.lower_bound(&50).unwrap();
+        assert_eq!(t.key(cur), 50);
+        assert_eq!(t.key(t.next(cur).unwrap()), 52);
+        assert_eq!(t.key(t.prev(cur).unwrap()), 48);
+        // Walk backwards from the end to the start.
+        let mut cur = t.last().unwrap();
+        let mut seen = vec![t.key(cur)];
+        while let Some(p) = t.prev(cur) {
+            seen.push(t.key(p));
+            cur = p;
+        }
+        seen.reverse();
+        assert_eq!(seen, (0..100).map(|k| k * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn remove_keys_and_pages() {
+        let mut t = BPlusTree::new();
+        for k in 0..200 {
+            t.insert(k);
+        }
+        for k in (0..200).step_by(2) {
+            assert!(t.remove(&k));
+        }
+        assert!(!t.remove(&0), "already removed");
+        assert_eq!(t.len(), 100);
+        assert_eq!(
+            t.iter().collect::<Vec<_>>(),
+            (0..200).filter(|k| k % 2 == 1).collect::<Vec<_>>()
+        );
+        t.check_invariants();
+        for k in (1..200).step_by(2) {
+            assert!(t.remove(&k));
+        }
+        assert!(t.is_empty());
+        assert!(t.first().is_none());
+        assert!(t.last().is_none());
+        t.check_invariants();
+        // Tree remains usable after full drain.
+        t.insert(42);
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![42]);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn interleaved_against_btreeset() {
+        // Deterministic pseudo-random interleaving of inserts/removes,
+        // mirrored against std's BTreeSet.
+        let mut t = BPlusTree::new();
+        let mut reference = BTreeSet::new();
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for step in 0..5000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let k = (state >> 33) as i64 % 500;
+            if step % 3 == 2 {
+                assert_eq!(t.remove(&k), reference.remove(&k), "step {step} remove {k}");
+            } else {
+                assert_eq!(t.insert(k), reference.insert(k), "step {step} insert {k}");
+            }
+            assert_eq!(t.len(), reference.len());
+        }
+        assert_eq!(t.iter().collect::<Vec<_>>(), reference.iter().copied().collect::<Vec<_>>());
+        t.check_invariants();
+        // lower_bound agrees with BTreeSet range for a sample of probes.
+        for probe in -10..510 {
+            let expect = reference.range(probe..).next().copied();
+            let got = t.lower_bound(&probe).map(|c| t.key(c));
+            assert_eq!(got, expect, "lower_bound({probe})");
+        }
+    }
+
+    #[test]
+    fn sweep_like_workload() {
+        // The CREST usage pattern: each key inserted once, later removed,
+        // with lower_bound + bidirectional scans in between.
+        let mut t = BPlusTree::new();
+        let keys: Vec<i64> = (0..1000).map(|i| (i * 37) % 1000).collect();
+        for (i, &k) in keys.iter().enumerate() {
+            t.insert(k);
+            if i % 10 == 9 {
+                // Scan a window around a probe.
+                if let Some(cur) = t.lower_bound(&(k / 2)) {
+                    let mut c = cur;
+                    for _ in 0..5 {
+                        match t.next(c) {
+                            Some(n) => {
+                                assert!(t.key(n) > t.key(c));
+                                c = n;
+                            }
+                            None => break,
+                        }
+                    }
+                }
+            }
+        }
+        t.check_invariants();
+        for &k in &keys {
+            assert!(t.remove(&k));
+        }
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,116 @@
+//! Changed-interval merging (paper §V-C1).
+//!
+//! When the sweep line crosses an event, every NN-circle inserted into or
+//! removed from the line contributes an initial changed interval
+//! `[y_c, ȳ_c]`. Intersecting intervals must be merged before processing:
+//! "any two changed intervals `[y_ci, y_cj]` and `[y_ci', y_cj']` with
+//! `y_ci ≤ y_ci'` are merged into `[y_ci, max{y_cj, y_cj'}]` if
+//! `y_cj ≥ y_ci'`". Touching intervals merge (boundary elements of equal
+//! value must be traversed as one run).
+
+/// A closed interval `[lo, hi]` on the y-axis.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Interval {
+    pub lo: f64,
+    pub hi: f64,
+}
+
+impl Interval {
+    /// Creates an interval; debug-asserts `lo ≤ hi`.
+    #[inline]
+    pub fn new(lo: f64, hi: f64) -> Self {
+        debug_assert!(lo <= hi, "inverted interval [{lo}, {hi}]");
+        Interval { lo, hi }
+    }
+
+    /// Whether the closed intervals intersect (touching counts).
+    #[inline]
+    pub fn touches(&self, other: &Interval) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// Whether `v` lies in the closed interval.
+    #[inline]
+    pub fn contains(&self, v: f64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+}
+
+/// Merges intervals in place: sorts by `lo` and coalesces touching ones.
+///
+/// Returns the merged, pairwise-disjoint intervals in ascending order.
+/// `O(β log β)` for `β` inputs, as in the paper's analysis (§VI-A).
+pub fn merge_intervals(intervals: &mut Vec<Interval>) {
+    if intervals.len() <= 1 {
+        return;
+    }
+    intervals.sort_by(|a, b| a.lo.partial_cmp(&b.lo).expect("NaN interval"));
+    let mut out = 0;
+    for i in 1..intervals.len() {
+        let cur = intervals[i];
+        if cur.lo <= intervals[out].hi {
+            if cur.hi > intervals[out].hi {
+                intervals[out].hi = cur.hi;
+            }
+        } else {
+            out += 1;
+            intervals[out] = cur;
+        }
+    }
+    intervals.truncate(out + 1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn merged(input: &[(f64, f64)]) -> Vec<(f64, f64)> {
+        let mut v: Vec<Interval> = input.iter().map(|&(a, b)| Interval::new(a, b)).collect();
+        merge_intervals(&mut v);
+        v.into_iter().map(|i| (i.lo, i.hi)).collect()
+    }
+
+    #[test]
+    fn disjoint_stay_separate() {
+        assert_eq!(
+            merged(&[(0.0, 1.0), (2.0, 3.0), (4.0, 5.0)]),
+            vec![(0.0, 1.0), (2.0, 3.0), (4.0, 5.0)]
+        );
+    }
+
+    #[test]
+    fn overlapping_merge() {
+        assert_eq!(merged(&[(0.0, 2.0), (1.0, 3.0)]), vec![(0.0, 3.0)]);
+        assert_eq!(merged(&[(1.0, 3.0), (0.0, 2.0)]), vec![(0.0, 3.0)]);
+    }
+
+    #[test]
+    fn touching_merge() {
+        // The paper's merge condition is inclusive: y_cj ≥ y_ci'.
+        assert_eq!(merged(&[(0.0, 1.0), (1.0, 2.0)]), vec![(0.0, 2.0)]);
+    }
+
+    #[test]
+    fn nested_and_chained() {
+        assert_eq!(merged(&[(0.0, 10.0), (2.0, 3.0), (4.0, 5.0)]), vec![(0.0, 10.0)]);
+        assert_eq!(
+            merged(&[(0.0, 1.5), (1.0, 2.5), (2.0, 3.5), (5.0, 6.0)]),
+            vec![(0.0, 3.5), (5.0, 6.0)]
+        );
+    }
+
+    #[test]
+    fn fig11_example() {
+        // Paper Fig. 11: crossing x4 removes C(o1) and inserts C(o4);
+        // [y_1, ȳ_1] and [y_4, ȳ_4] merge into one interval because they
+        // intersect.
+        assert_eq!(merged(&[(1.0, 4.0), (3.0, 7.0)]), vec![(1.0, 7.0)]);
+    }
+
+    #[test]
+    fn single_and_empty() {
+        assert_eq!(merged(&[]), Vec::<(f64, f64)>::new());
+        assert_eq!(merged(&[(1.0, 2.0)]), vec![(1.0, 2.0)]);
+        assert_eq!(merged(&[(1.0, 1.0), (1.0, 1.0)]), vec![(1.0, 1.0)]);
+    }
+}

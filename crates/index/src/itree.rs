@@ -1,0 +1,247 @@
+//! A static interval tree for rectangle point-enclosure (stabbing)
+//! queries — an alternative backend to the R-tree, structurally closer
+//! to the S-tree of Vaishnavi [25] that the paper's baseline uses
+//! (a tree over x-intervals answering stabbing queries, refined by y).
+//!
+//! Classic centered interval tree over the rectangles' x-intervals:
+//! each node stores the intervals containing its center twice — sorted
+//! ascending by left endpoint and descending by right endpoint — so a
+//! stabbing query scans exactly the matching prefix. Matches in x are
+//! then filtered by y-containment, so queries are output-sensitive in x
+//! but not in y (the R-tree backend prunes both; the ablation bench
+//! compares them).
+
+use rnnhm_geom::{Point, Rect};
+
+/// A trait over point-enclosure indexes, so the baseline algorithm can
+/// swap backends (paper §IV: "We use the S-tree for ease of analysis,
+/// although other spatial indexes such as the R-tree may be used").
+pub trait EnclosureIndex {
+    /// Builds the index over the rectangles; `id = position`.
+    fn build_index(rects: &[Rect]) -> Self;
+    /// Appends the ids of all rectangles containing `p` (closed).
+    fn stab_point(&self, p: Point, out: &mut Vec<u32>);
+}
+
+impl EnclosureIndex for crate::rtree::RTree {
+    fn build_index(rects: &[Rect]) -> Self {
+        crate::rtree::RTree::build(rects)
+    }
+    fn stab_point(&self, p: Point, out: &mut Vec<u32>) {
+        self.stab(p, out);
+    }
+}
+
+struct Node {
+    center: f64,
+    /// Indices into `rects`, sorted ascending by `x_lo`.
+    by_lo: Vec<u32>,
+    /// Indices into `rects`, sorted descending by `x_hi`.
+    by_hi: Vec<u32>,
+    left: Option<Box<Node>>,
+    right: Option<Box<Node>>,
+}
+
+/// A static interval tree over rectangle x-intervals with y filtering.
+pub struct IntervalTree {
+    rects: Vec<Rect>,
+    root: Option<Box<Node>>,
+}
+
+impl IntervalTree {
+    /// Builds the tree. `O(n log n)`.
+    pub fn build(rects: &[Rect]) -> Self {
+        let ids: Vec<u32> = (0..rects.len() as u32).collect();
+        let root = Self::build_rec(rects, ids);
+        IntervalTree { rects: rects.to_vec(), root }
+    }
+
+    fn build_rec(rects: &[Rect], mut ids: Vec<u32>) -> Option<Box<Node>> {
+        if ids.is_empty() {
+            return None;
+        }
+        // Center: median of interval midpoints (robust enough for the
+        // static workloads here).
+        let mut mids: Vec<f64> =
+            ids.iter().map(|&i| (rects[i as usize].x_lo + rects[i as usize].x_hi) * 0.5).collect();
+        let k = mids.len() / 2;
+        mids.sort_by(f64::total_cmp);
+        let center = mids[k];
+
+        let mut here = Vec::new();
+        let mut left_ids = Vec::new();
+        let mut right_ids = Vec::new();
+        for id in ids.drain(..) {
+            let r = &rects[id as usize];
+            if r.x_hi < center {
+                left_ids.push(id);
+            } else if r.x_lo > center {
+                right_ids.push(id);
+            } else {
+                here.push(id);
+            }
+        }
+        // Guard against degenerate splits (all intervals contain the
+        // center): recursion always shrinks because `here` is removed.
+        let mut by_lo = here.clone();
+        by_lo.sort_by(|&a, &b| rects[a as usize].x_lo.total_cmp(&rects[b as usize].x_lo));
+        let mut by_hi = here;
+        by_hi.sort_by(|&a, &b| rects[b as usize].x_hi.total_cmp(&rects[a as usize].x_hi));
+        Some(Box::new(Node {
+            center,
+            by_lo,
+            by_hi,
+            left: Self::build_rec(rects, left_ids),
+            right: Self::build_rec(rects, right_ids),
+        }))
+    }
+
+    /// Appends ids of all rectangles containing `p` (closed semantics).
+    pub fn stab(&self, p: Point, out: &mut Vec<u32>) {
+        let mut node = self.root.as_deref();
+        while let Some(n) = node {
+            if p.x <= n.center {
+                // Every stored interval has x_hi ≥ center ≥ p.x; match on
+                // x_lo ≤ p.x, then filter y.
+                for &id in &n.by_lo {
+                    let r = &self.rects[id as usize];
+                    if r.x_lo > p.x {
+                        break;
+                    }
+                    if r.y_lo <= p.y && p.y <= r.y_hi {
+                        out.push(id);
+                    }
+                }
+                node = n.left.as_deref();
+            } else {
+                for &id in &n.by_hi {
+                    let r = &self.rects[id as usize];
+                    if r.x_hi < p.x {
+                        break;
+                    }
+                    if r.y_lo <= p.y && p.y <= r.y_hi {
+                        out.push(id);
+                    }
+                }
+                node = n.right.as_deref();
+            }
+        }
+    }
+
+    /// Number of indexed rectangles.
+    pub fn len(&self) -> usize {
+        self.rects.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rects.is_empty()
+    }
+}
+
+impl EnclosureIndex for IntervalTree {
+    fn build_index(rects: &[Rect]) -> Self {
+        IntervalTree::build(rects)
+    }
+    fn stab_point(&self, p: Point, out: &mut Vec<u32>) {
+        self.stab(p, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_rects(n: usize, seed: u64) -> Vec<Rect> {
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        (0..n)
+            .map(|_| {
+                let cx = next() * 10.0;
+                let cy = next() * 10.0;
+                Rect::new(cx - next(), cx + next(), cy - next(), cy + next())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty() {
+        let t = IntervalTree::build(&[]);
+        assert!(t.is_empty());
+        let mut out = Vec::new();
+        t.stab(Point::ORIGIN, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn stab_matches_scan() {
+        let rects = pseudo_rects(400, 9);
+        let t = IntervalTree::build(&rects);
+        assert_eq!(t.len(), 400);
+        let mut state = 77u64;
+        for _ in 0..300 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let x = ((state >> 11) as f64) / ((1u64 << 53) as f64) * 10.0;
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let y = ((state >> 11) as f64) / ((1u64 << 53) as f64) * 10.0;
+            let p = Point::new(x, y);
+            let mut got = Vec::new();
+            t.stab(p, &mut got);
+            got.sort_unstable();
+            let mut expect: Vec<u32> = rects
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.contains_closed(p))
+                .map(|(i, _)| i as u32)
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(got, expect, "stab({p:?})");
+        }
+    }
+
+    #[test]
+    fn boundaries_count_as_inside() {
+        let t = IntervalTree::build(&[Rect::new(0.0, 2.0, 0.0, 2.0)]);
+        for p in [
+            Point::new(0.0, 1.0),
+            Point::new(2.0, 1.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 2.0),
+            Point::new(0.0, 0.0),
+        ] {
+            let mut out = Vec::new();
+            t.stab(p, &mut out);
+            assert_eq!(out, vec![0], "boundary point {p:?}");
+        }
+    }
+
+    #[test]
+    fn identical_intervals_all_reported() {
+        // Pathological for the centered tree: everything lands on one node.
+        let rects = vec![Rect::new(0.0, 1.0, 0.0, 1.0); 50];
+        let t = IntervalTree::build(&rects);
+        let mut out = Vec::new();
+        t.stab(Point::new(0.5, 0.5), &mut out);
+        assert_eq!(out.len(), 50);
+    }
+
+    #[test]
+    fn trait_backends_agree() {
+        let rects = pseudo_rects(200, 5);
+        let itree = IntervalTree::build_index(&rects);
+        let rtree = crate::rtree::RTree::build_index(&rects);
+        for i in 0..50 {
+            let p = Point::new(i as f64 * 0.2, (i * 7 % 50) as f64 * 0.2);
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            itree.stab_point(p, &mut a);
+            rtree.stab_point(p, &mut b);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! A static kd-tree for nearest-neighbor queries under L1/L2/L∞.
+//!
+//! Used to precompute NN-circles: for every client `o ∈ O` we need the
+//! distance to its nearest facility in `F` (paper §III-A; the paper assumes
+//! NN-circles are precomputed with "efficient algorithms" [12]).
+//!
+//! The tree is built once over a fixed point set by recursive median
+//! splits on alternating axes, stored implicitly in an array, and answers
+//! branch-and-bound NN queries. No `unsafe`, no allocation per query.
+
+use rnnhm_geom::{Metric, Point, Rect};
+
+/// A static 2-d tree over a point set.
+pub struct KdTree {
+    /// Points permuted into kd order (median layout).
+    pts: Vec<Point>,
+    /// Original index of each permuted point.
+    ids: Vec<u32>,
+    /// Bounding box of the whole set (empty tree: `None`).
+    bounds: Option<Rect>,
+}
+
+impl KdTree {
+    /// Builds a kd-tree over `points`. `O(n log n)`.
+    pub fn build(points: &[Point]) -> Self {
+        let mut pts: Vec<Point> = points.to_vec();
+        let mut ids: Vec<u32> = (0..points.len() as u32).collect();
+        let bounds = Rect::bounding(points);
+        if !pts.is_empty() {
+            let hi = pts.len();
+            build_rec(&mut pts, &mut ids, 0, hi, 0);
+        }
+        KdTree { pts, ids, bounds }
+    }
+
+    /// Number of indexed points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pts.len()
+    }
+
+    /// Whether the tree is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pts.is_empty()
+    }
+
+    /// Nearest neighbor of `q` under `metric`: `(original index, distance)`.
+    ///
+    /// Returns `None` on an empty tree. Ties are broken toward the point
+    /// visited first (deterministic for a fixed build).
+    pub fn nearest(&self, q: &Point, metric: Metric) -> Option<(u32, f64)> {
+        if self.pts.is_empty() {
+            return None;
+        }
+        let mut best = (u32::MAX, f64::INFINITY);
+        let bounds = self.bounds.expect("non-empty tree has bounds");
+        self.nearest_rec(q, metric, 0, self.pts.len(), 0, bounds, &mut best);
+        Some((best.0, metric.cmp_to_dist(best.1)))
+    }
+
+    /// Nearest neighbor excluding one original index (for monochromatic
+    /// RNN queries, where a point must not be its own NN).
+    pub fn nearest_excluding(
+        &self,
+        q: &Point,
+        metric: Metric,
+        exclude: u32,
+    ) -> Option<(u32, f64)> {
+        if self.pts.len() < 2 && self.ids.first() == Some(&exclude) {
+            return None;
+        }
+        if self.pts.is_empty() {
+            return None;
+        }
+        let mut best = (u32::MAX, f64::INFINITY);
+        let bounds = self.bounds.expect("non-empty tree has bounds");
+        self.nearest_rec_excl(q, metric, 0, self.pts.len(), 0, bounds, exclude, &mut best);
+        if best.0 == u32::MAX {
+            None
+        } else {
+            Some((best.0, metric.cmp_to_dist(best.1)))
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn nearest_rec(
+        &self,
+        q: &Point,
+        metric: Metric,
+        lo: usize,
+        hi: usize,
+        depth: usize,
+        cell: Rect,
+        best: &mut (u32, f64),
+    ) {
+        if lo >= hi {
+            return;
+        }
+        if metric.dist_cmp_to_rect(q, &cell) >= best.1 {
+            return;
+        }
+        let mid = lo + (hi - lo) / 2;
+        let p = self.pts[mid];
+        let d = metric.dist_cmp(q, &p);
+        if d < best.1 {
+            *best = (self.ids[mid], d);
+        }
+        let (left_cell, right_cell) = split_cell(cell, depth, p);
+        let go_left_first = if depth.is_multiple_of(2) { q.x < p.x } else { q.y < p.y };
+        if go_left_first {
+            self.nearest_rec(q, metric, lo, mid, depth + 1, left_cell, best);
+            self.nearest_rec(q, metric, mid + 1, hi, depth + 1, right_cell, best);
+        } else {
+            self.nearest_rec(q, metric, mid + 1, hi, depth + 1, right_cell, best);
+            self.nearest_rec(q, metric, lo, mid, depth + 1, left_cell, best);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn nearest_rec_excl(
+        &self,
+        q: &Point,
+        metric: Metric,
+        lo: usize,
+        hi: usize,
+        depth: usize,
+        cell: Rect,
+        exclude: u32,
+        best: &mut (u32, f64),
+    ) {
+        if lo >= hi {
+            return;
+        }
+        if metric.dist_cmp_to_rect(q, &cell) >= best.1 {
+            return;
+        }
+        let mid = lo + (hi - lo) / 2;
+        let p = self.pts[mid];
+        if self.ids[mid] != exclude {
+            let d = metric.dist_cmp(q, &p);
+            if d < best.1 {
+                *best = (self.ids[mid], d);
+            }
+        }
+        let (left_cell, right_cell) = split_cell(cell, depth, p);
+        let go_left_first = if depth.is_multiple_of(2) { q.x < p.x } else { q.y < p.y };
+        if go_left_first {
+            self.nearest_rec_excl(q, metric, lo, mid, depth + 1, left_cell, exclude, best);
+            self.nearest_rec_excl(q, metric, mid + 1, hi, depth + 1, right_cell, exclude, best);
+        } else {
+            self.nearest_rec_excl(q, metric, mid + 1, hi, depth + 1, right_cell, exclude, best);
+            self.nearest_rec_excl(q, metric, lo, mid, depth + 1, left_cell, exclude, best);
+        }
+    }
+}
+
+fn split_cell(cell: Rect, depth: usize, p: Point) -> (Rect, Rect) {
+    if depth.is_multiple_of(2) {
+        (
+            Rect::new(cell.x_lo, p.x, cell.y_lo, cell.y_hi),
+            Rect::new(p.x, cell.x_hi, cell.y_lo, cell.y_hi),
+        )
+    } else {
+        (
+            Rect::new(cell.x_lo, cell.x_hi, cell.y_lo, p.y),
+            Rect::new(cell.x_lo, cell.x_hi, p.y, cell.y_hi),
+        )
+    }
+}
+
+fn build_rec(pts: &mut [Point], ids: &mut [u32], lo: usize, hi: usize, depth: usize) {
+    if hi - lo <= 1 {
+        return;
+    }
+    let mid = lo + (hi - lo) / 2;
+    select_nth(pts, ids, lo, hi, mid, depth.is_multiple_of(2));
+    build_rec(pts, ids, lo, mid, depth + 1);
+    build_rec(pts, ids, mid + 1, hi, depth + 1);
+}
+
+/// Quickselect on the coordinate chosen by `by_x`, permuting `ids` along.
+fn select_nth(pts: &mut [Point], ids: &mut [u32], mut lo: usize, mut hi: usize, nth: usize, by_x: bool) {
+    let coord = |p: &Point| if by_x { p.x } else { p.y };
+    while hi - lo > 1 {
+        // Median-of-three pivot for resilience against sorted inputs.
+        let mid = lo + (hi - lo) / 2;
+        let (a, b, c) = (coord(&pts[lo]), coord(&pts[mid]), coord(&pts[hi - 1]));
+        let pivot = if (a <= b) == (b <= c) {
+            b
+        } else if (b <= a) == (a <= c) {
+            a
+        } else {
+            c
+        };
+        // Three-way partition around `pivot`.
+        let (mut lt, mut i, mut gt) = (lo, lo, hi);
+        while i < gt {
+            let v = coord(&pts[i]);
+            if v < pivot {
+                pts.swap(lt, i);
+                ids.swap(lt, i);
+                lt += 1;
+                i += 1;
+            } else if v > pivot {
+                gt -= 1;
+                pts.swap(i, gt);
+                ids.swap(i, gt);
+            } else {
+                i += 1;
+            }
+        }
+        if nth < lt {
+            hi = lt;
+        } else if nth >= gt {
+            lo = gt;
+        } else {
+            return; // nth lands in the equal run
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_nn(q: &Point, pts: &[Point], metric: Metric) -> (u32, f64) {
+        let mut best = (0u32, f64::INFINITY);
+        for (i, p) in pts.iter().enumerate() {
+            let d = metric.dist(q, p);
+            if d < best.1 {
+                best = (i as u32, d);
+            }
+        }
+        best
+    }
+
+    fn pseudo_points(n: usize, seed: u64) -> Vec<Point> {
+        let mut state = seed;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let x = ((state >> 11) as f64) / ((1u64 << 53) as f64);
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let y = ((state >> 11) as f64) / ((1u64 << 53) as f64);
+            out.push(Point::new(x, y));
+        }
+        out
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = KdTree::build(&[]);
+        assert!(t.is_empty());
+        assert!(t.nearest(&Point::ORIGIN, Metric::L2).is_none());
+    }
+
+    #[test]
+    fn singleton() {
+        let t = KdTree::build(&[Point::new(3.0, 4.0)]);
+        let (id, d) = t.nearest(&Point::ORIGIN, Metric::L2).unwrap();
+        assert_eq!(id, 0);
+        assert!((d - 5.0).abs() < 1e-12);
+        assert!(t.nearest_excluding(&Point::ORIGIN, Metric::L2, 0).is_none());
+    }
+
+    #[test]
+    fn matches_brute_force_all_metrics() {
+        let pts = pseudo_points(400, 7);
+        let queries = pseudo_points(100, 99);
+        let t = KdTree::build(&pts);
+        for metric in Metric::ALL {
+            for q in &queries {
+                let (_, bd) = brute_nn(q, &pts, metric);
+                let (_, td) = t.nearest(q, metric).unwrap();
+                assert!(
+                    (bd - td).abs() < 1e-9,
+                    "metric {metric:?}: kd {td} vs brute {bd} at {q:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exclusion_matches_brute_force() {
+        let pts = pseudo_points(150, 3);
+        let t = KdTree::build(&pts);
+        for (i, q) in pts.iter().enumerate() {
+            // NN of a set member excluding itself (monochromatic case).
+            let mut best = f64::INFINITY;
+            for (j, p) in pts.iter().enumerate() {
+                if j != i {
+                    best = best.min(q.dist2(p));
+                }
+            }
+            let (id, d) = t.nearest_excluding(q, Metric::L2, i as u32).unwrap();
+            assert_ne!(id, i as u32);
+            assert!((d - best).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn duplicate_points_are_handled() {
+        let pts = vec![Point::new(1.0, 1.0); 20];
+        let t = KdTree::build(&pts);
+        let (_, d) = t.nearest(&Point::new(1.0, 1.0), Metric::L1).unwrap();
+        assert_eq!(d, 0.0);
+        let (id, d) = t.nearest_excluding(&Point::new(1.0, 1.0), Metric::L1, 5).unwrap();
+        assert_ne!(id, 5);
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn clustered_points() {
+        let mut pts = pseudo_points(200, 11);
+        // Add a tight far-away cluster to exercise pruning.
+        for i in 0..50 {
+            pts.push(Point::new(100.0 + (i as f64) * 1e-6, 100.0));
+        }
+        let t = KdTree::build(&pts);
+        let (_, d) = t.nearest(&Point::new(100.0, 100.0), Metric::Linf).unwrap();
+        assert!(d < 1e-4);
+    }
+}

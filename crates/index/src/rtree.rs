@@ -1,0 +1,289 @@
+//! An STR bulk-loaded R-tree for point-enclosure (stabbing) queries.
+//!
+//! The baseline algorithm (paper §IV) needs an index over the NN-circles
+//! that, given a point, returns every circle enclosing it. The paper uses
+//! the S-tree [25] "for ease of analysis, although other spatial indexes
+//! such as the R-tree may be used" — we use a Sort-Tile-Recursive (STR)
+//! packed R-tree, which is static (the circle set is fixed for a given
+//! heat map) and output-sensitive in practice.
+//!
+//! The tree also answers rectangle-intersection queries, used by the
+//! pruning comparator (§VII-C) to find the NN-circles overlapping a given
+//! one via their bounding boxes.
+
+use rnnhm_geom::{Point, Rect};
+
+/// Node fanout (entries per node).
+const FANOUT: usize = 16;
+
+#[derive(Debug)]
+struct InternalEntry {
+    mbr: Rect,
+    child: usize,
+}
+
+#[derive(Debug)]
+enum Node {
+    Internal(Vec<InternalEntry>),
+    Leaf(Vec<(Rect, u32)>),
+}
+
+/// A static R-tree over `(Rect, id)` entries.
+pub struct RTree {
+    nodes: Vec<Node>,
+    root: Option<usize>,
+    len: usize,
+}
+
+impl RTree {
+    /// Bulk-loads a tree from rectangles; `ids` are their positions.
+    ///
+    /// Sort-Tile-Recursive: sort by center-x, cut into vertical slices of
+    /// `√(n/FANOUT)` tiles, sort each slice by center-y, pack leaves, then
+    /// build upper levels the same way over leaf MBRs.
+    pub fn build(rects: &[Rect]) -> Self {
+        let len = rects.len();
+        if rects.is_empty() {
+            return RTree { nodes: Vec::new(), root: None, len: 0 };
+        }
+        let mut entries: Vec<(Rect, u32)> =
+            rects.iter().enumerate().map(|(i, &r)| (r, i as u32)).collect();
+
+        let mut nodes: Vec<Node> = Vec::new();
+        // Pack leaves.
+        let leaf_ids = Self::pack(&mut entries, &mut nodes, true);
+        // Build internal levels until a single root remains.
+        let mut level = leaf_ids;
+        while level.len() > 1 {
+            let mut upper: Vec<(Rect, u32)> = level
+                .iter()
+                .map(|&id| (node_mbr(&nodes[id]), id as u32))
+                .collect();
+            level = Self::pack(&mut upper, &mut nodes, false);
+        }
+        let root = level[0];
+        RTree { nodes, root: Some(root), len }
+    }
+
+    /// Number of indexed rectangles.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn pack(entries: &mut [(Rect, u32)], nodes: &mut Vec<Node>, leaf: bool) -> Vec<usize> {
+        let n = entries.len();
+        let n_nodes = n.div_ceil(FANOUT);
+        let n_slices = (n_nodes as f64).sqrt().ceil() as usize;
+        let slice_cap = n.div_ceil(n_slices);
+        entries.sort_by(|a, b| {
+            let ax = a.0.x_lo + a.0.x_hi;
+            let bx = b.0.x_lo + b.0.x_hi;
+            ax.partial_cmp(&bx).expect("NaN rect")
+        });
+        let mut out = Vec::with_capacity(n_nodes);
+        for slice in entries.chunks_mut(slice_cap.max(1)) {
+            slice.sort_by(|a, b| {
+                let ay = a.0.y_lo + a.0.y_hi;
+                let by = b.0.y_lo + b.0.y_hi;
+                ay.partial_cmp(&by).expect("NaN rect")
+            });
+            for group in slice.chunks(FANOUT) {
+                let id = nodes.len();
+                if leaf {
+                    nodes.push(Node::Leaf(group.to_vec()));
+                } else {
+                    nodes.push(Node::Internal(
+                        group
+                            .iter()
+                            .map(|&(mbr, child)| InternalEntry { mbr, child: child as usize })
+                            .collect(),
+                    ));
+                }
+                out.push(id);
+            }
+        }
+        out
+    }
+
+    /// All entry ids whose rectangle contains `p` (closed semantics),
+    /// appended to `out`. The paper's point-enclosure query.
+    pub fn stab(&self, p: Point, out: &mut Vec<u32>) {
+        let Some(root) = self.root else { return };
+        self.stab_rec(root, p, out);
+    }
+
+    /// Convenience wrapper allocating the result vector.
+    pub fn stab_vec(&self, p: Point) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.stab(p, &mut out);
+        out
+    }
+
+    fn stab_rec(&self, node: usize, p: Point, out: &mut Vec<u32>) {
+        match &self.nodes[node] {
+            Node::Leaf(entries) => {
+                for &(r, id) in entries {
+                    if r.contains_closed(p) {
+                        out.push(id);
+                    }
+                }
+            }
+            Node::Internal(entries) => {
+                for e in entries {
+                    if e.mbr.contains_closed(p) {
+                        self.stab_rec(e.child, p, out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// All entry ids whose rectangle intersects `q` (closed semantics).
+    pub fn intersecting(&self, q: &Rect, out: &mut Vec<u32>) {
+        let Some(root) = self.root else { return };
+        self.intersecting_rec(root, q, out);
+    }
+
+    fn intersecting_rec(&self, node: usize, q: &Rect, out: &mut Vec<u32>) {
+        match &self.nodes[node] {
+            Node::Leaf(entries) => {
+                for &(r, id) in entries {
+                    if r.intersects(q) {
+                        out.push(id);
+                    }
+                }
+            }
+            Node::Internal(entries) => {
+                for e in entries {
+                    if e.mbr.intersects(q) {
+                        self.intersecting_rec(e.child, q, out);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn node_mbr(node: &Node) -> Rect {
+    match node {
+        Node::Leaf(entries) => {
+            let mut mbr = entries[0].0;
+            for (r, _) in &entries[1..] {
+                mbr = mbr.union(r);
+            }
+            mbr
+        }
+        Node::Internal(entries) => {
+            let mut mbr = entries[0].mbr;
+            for e in &entries[1..] {
+                mbr = mbr.union(&e.mbr);
+            }
+            mbr
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_rects(n: usize, seed: u64) -> Vec<Rect> {
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        (0..n)
+            .map(|_| {
+                let cx = next();
+                let cy = next();
+                let w = next() * 0.2;
+                let h = next() * 0.2;
+                Rect::new(cx - w, cx + w, cy - h, cy + h)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = RTree::build(&[]);
+        assert!(t.is_empty());
+        assert!(t.stab_vec(Point::ORIGIN).is_empty());
+    }
+
+    #[test]
+    fn stab_matches_scan() {
+        let rects = pseudo_rects(500, 42);
+        let t = RTree::build(&rects);
+        assert_eq!(t.len(), 500);
+        let mut state = 1u64;
+        for _ in 0..200 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let x = ((state >> 11) as f64) / ((1u64 << 53) as f64);
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let y = ((state >> 11) as f64) / ((1u64 << 53) as f64);
+            let p = Point::new(x, y);
+            let mut got = t.stab_vec(p);
+            got.sort_unstable();
+            let mut expect: Vec<u32> = rects
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.contains_closed(p))
+                .map(|(i, _)| i as u32)
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(got, expect, "stab({p:?})");
+        }
+    }
+
+    #[test]
+    fn intersection_matches_scan() {
+        let rects = pseudo_rects(300, 7);
+        let queries = pseudo_rects(50, 8);
+        let t = RTree::build(&rects);
+        for q in &queries {
+            let mut got = Vec::new();
+            t.intersecting(q, &mut got);
+            got.sort_unstable();
+            let mut expect: Vec<u32> = rects
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.intersects(q))
+                .map(|(i, _)| i as u32)
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn single_rect() {
+        let t = RTree::build(&[Rect::new(0.0, 1.0, 0.0, 1.0)]);
+        assert_eq!(t.stab_vec(Point::new(0.5, 0.5)), vec![0]);
+        assert_eq!(t.stab_vec(Point::new(0.0, 0.0)), vec![0]); // boundary counts
+        assert!(t.stab_vec(Point::new(2.0, 2.0)).is_empty());
+    }
+
+    #[test]
+    fn heavily_overlapping_rects() {
+        // Paper Fig. 8 worst case: n squares of side n centered on the
+        // diagonal; every query on the diagonal hits many squares.
+        let n = 64usize;
+        let rects: Vec<Rect> = (0..n)
+            .map(|i| Rect::centered(Point::new(i as f64, i as f64), n as f64 / 2.0))
+            .collect();
+        let t = RTree::build(&rects);
+        let p = Point::new(n as f64 / 2.0, n as f64 / 2.0);
+        let got = t.stab_vec(p);
+        let expect = rects.iter().filter(|r| r.contains_closed(p)).count();
+        assert_eq!(got.len(), expect);
+        assert!(got.len() > n / 2, "diagonal stab should hit most squares");
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests for the index substrates, each checked against
+//! an obviously-correct reference.
+
+use proptest::prelude::*;
+use rnnhm_geom::{Metric, Point, Rect};
+use rnnhm_index::{BPlusTree, EnclosureIndex, IntervalTree, KdTree, RTree};
+use std::collections::BTreeSet;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i64),
+    Remove(i64),
+    LowerBound(i64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0i64..200).prop_map(Op::Insert),
+        (0i64..200).prop_map(Op::Remove),
+        (-10i64..210).prop_map(Op::LowerBound),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bptree_mirrors_btreeset(ops in prop::collection::vec(op_strategy(), 0..400)) {
+        let mut tree = BPlusTree::new();
+        let mut reference = BTreeSet::new();
+        for op in ops {
+            match op {
+                Op::Insert(k) => {
+                    prop_assert_eq!(tree.insert(k), reference.insert(k));
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(tree.remove(&k), reference.remove(&k));
+                }
+                Op::LowerBound(k) => {
+                    let got = tree.lower_bound(&k).map(|c| tree.key(c));
+                    let expect = reference.range(k..).next().copied();
+                    prop_assert_eq!(got, expect);
+                }
+            }
+            prop_assert_eq!(tree.len(), reference.len());
+        }
+        let collected: Vec<i64> = tree.iter().collect();
+        let expected: Vec<i64> = reference.iter().copied().collect();
+        prop_assert_eq!(collected, expected);
+        tree.check_invariants();
+    }
+
+    #[test]
+    fn bptree_cursors_walk_both_ways(
+        keys in prop::collection::btree_set(0i64..1000, 1..200),
+        probe in 0i64..1000,
+    ) {
+        let mut tree = BPlusTree::new();
+        for &k in &keys {
+            tree.insert(k);
+        }
+        if let Some(cur) = tree.lower_bound(&probe) {
+            // Forward walk from the cursor visits exactly the suffix.
+            let mut fwd = vec![tree.key(cur)];
+            let mut c = cur;
+            while let Some(n) = tree.next(c) {
+                fwd.push(tree.key(n));
+                c = n;
+            }
+            let expect_fwd: Vec<i64> = keys.range(probe..).copied().collect();
+            prop_assert_eq!(fwd, expect_fwd);
+            // Backward walk visits exactly the strict prefix, reversed.
+            let mut bwd = Vec::new();
+            let mut c = cur;
+            while let Some(p) = tree.prev(c) {
+                bwd.push(tree.key(p));
+                c = p;
+            }
+            let mut expect_bwd: Vec<i64> = keys.range(..probe).copied().collect();
+            expect_bwd.reverse();
+            prop_assert_eq!(bwd, expect_bwd);
+        } else {
+            prop_assert!(keys.iter().all(|&k| k < probe));
+        }
+    }
+
+    #[test]
+    fn kdtree_nearest_matches_scan(
+        pts in prop::collection::vec((0u32..1000, 0u32..1000), 1..150),
+        queries in prop::collection::vec((0u32..1000, 0u32..1000), 1..20),
+    ) {
+        let points: Vec<Point> = pts.iter()
+            .map(|&(x, y)| Point::new(x as f64 / 10.0, y as f64 / 10.0)).collect();
+        let tree = KdTree::build(&points);
+        for &(qx, qy) in &queries {
+            let q = Point::new(qx as f64 / 10.0, qy as f64 / 10.0);
+            for metric in Metric::ALL {
+                let best = points.iter()
+                    .map(|p| metric.dist(&q, p))
+                    .fold(f64::INFINITY, f64::min);
+                let (_, d) = tree.nearest(&q, metric).expect("non-empty");
+                prop_assert!((d - best).abs() < 1e-9,
+                    "{:?}: kd {} vs scan {}", metric, d, best);
+            }
+        }
+    }
+
+    #[test]
+    fn stabbing_backends_match_scan(
+        rects in prop::collection::vec((0u32..90, 0u32..90, 1u32..12, 1u32..12), 0..120),
+        queries in prop::collection::vec((0u32..100, 0u32..100), 1..30),
+    ) {
+        let rs: Vec<Rect> = rects.iter()
+            .map(|&(x, y, w, h)| Rect::new(
+                x as f64, (x + w) as f64, y as f64, (y + h) as f64))
+            .collect();
+        let rtree = RTree::build_index(&rs);
+        let itree = IntervalTree::build_index(&rs);
+        for &(qx, qy) in &queries {
+            let p = Point::new(qx as f64, qy as f64);
+            let mut expect: Vec<u32> = rs.iter().enumerate()
+                .filter(|(_, r)| r.contains_closed(p))
+                .map(|(i, _)| i as u32).collect();
+            expect.sort_unstable();
+            let mut a = Vec::new();
+            rtree.stab_point(p, &mut a);
+            a.sort_unstable();
+            let mut b = Vec::new();
+            itree.stab_point(p, &mut b);
+            b.sort_unstable();
+            prop_assert_eq!(&a, &expect);
+            prop_assert_eq!(&b, &expect);
+        }
+    }
+
+    #[test]
+    fn rtree_rect_intersection_matches_scan(
+        rects in prop::collection::vec((0u32..90, 0u32..90, 1u32..15, 1u32..15), 0..100),
+        query in (0u32..90, 0u32..90, 1u32..30, 1u32..30),
+    ) {
+        let rs: Vec<Rect> = rects.iter()
+            .map(|&(x, y, w, h)| Rect::new(
+                x as f64, (x + w) as f64, y as f64, (y + h) as f64))
+            .collect();
+        let (qx, qy, qw, qh) = query;
+        let q = Rect::new(qx as f64, (qx + qw) as f64, qy as f64, (qy + qh) as f64);
+        let tree = RTree::build(&rs);
+        let mut got = Vec::new();
+        tree.intersecting(&q, &mut got);
+        got.sort_unstable();
+        let mut expect: Vec<u32> = rs.iter().enumerate()
+            .filter(|(_, r)| r.intersects(&q))
+            .map(|(i, _)| i as u32).collect();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+}

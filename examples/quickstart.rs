@@ -1,0 +1,68 @@
+//! Quickstart: build an RNN heat map for a small scenario and explore it.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Mirrors the paper's running example: clients (potential customers) and
+//! facilities (existing service points); the heat of a location is the
+//! number of clients that would switch to a facility opened there.
+
+use rnn_heatmap::prelude::*;
+use rnnhm_heatmap::render::ascii_art;
+
+fn main() {
+    // A toy city block: a cluster of clients in the north-west, a strip
+    // of clients along the south, and two existing facilities.
+    let clients = vec![
+        Point::new(1.0, 8.0),
+        Point::new(1.5, 8.5),
+        Point::new(2.0, 8.2),
+        Point::new(1.2, 7.6),
+        Point::new(2.5, 9.0),
+        Point::new(2.0, 1.0),
+        Point::new(4.0, 1.2),
+        Point::new(6.0, 0.8),
+        Point::new(8.0, 1.1),
+        Point::new(5.0, 5.0),
+    ];
+    let facilities = vec![Point::new(3.0, 6.0), Point::new(6.5, 2.5)];
+
+    // 1. Reduce the heat map problem to Region Coloring: build the
+    //    NN-circle arrangement (L2 distance here).
+    let arr = build_disk_arrangement(&clients, &facilities, Mode::Bichromatic)
+        .expect("non-empty input");
+    println!(
+        "{} clients, {} facilities -> {} NN-circles",
+        clients.len(),
+        facilities.len(),
+        arr.len()
+    );
+
+    // 2. Color the regions with CREST-L2, collecting every labeled region.
+    let mut regions = CollectSink::default();
+    let stats = crest_l2_sweep(&arr, &CountMeasure, &mut regions);
+    println!(
+        "CREST: {} region labelings, {} events, max |RNN| = {}",
+        stats.labels, stats.events, stats.max_rnn
+    );
+
+    // 3. Post-process: the five most influential regions.
+    println!("\nTop regions by influence:");
+    for (i, r) in top_k(&regions.regions, 5).iter().enumerate() {
+        let c = r.rect.center();
+        println!(
+            "  #{}: influence {:.0} at ({:.2}, {:.2}) serving clients {:?}",
+            i + 1,
+            r.influence,
+            c.x,
+            c.y,
+            r.rnn
+        );
+    }
+
+    // 4. Render the full heat map (exact, per-pixel) as terminal art.
+    let spec = GridSpec::new(64, 24, Rect::new(0.0, 10.0, 0.0, 10.0));
+    let raster = rasterize_disks(&arr, &CountMeasure, spec);
+    println!("\nHeat map (darker glyph = more influence):\n{}", ascii_art(&raster));
+}

@@ -1,0 +1,240 @@
+//! High-level API: build an RNN heat map in one expression and explore it.
+//!
+//! The low-level crates expose the paper's machinery (arrangements,
+//! sweeps, sinks); this module wraps the common path — *points in,
+//! explorable heat map out* — for downstream users:
+//!
+//! ```
+//! use rnn_heatmap::HeatMapBuilder;
+//! use rnn_heatmap::prelude::*;
+//!
+//! let clients = vec![Point::new(0.0, 0.0), Point::new(2.0, 1.0), Point::new(1.0, 3.0)];
+//! let facilities = vec![Point::new(1.0, 1.0)];
+//! let map = HeatMapBuilder::bichromatic(clients, facilities)
+//!     .metric(Metric::L2)
+//!     .build(CountMeasure)
+//!     .expect("non-empty input");
+//!
+//! let best = map.max_region().expect("some region exists");
+//! assert!(best.influence >= 1.0);
+//! // Scoring the winning region's own witness point reproduces its label.
+//! let (rnn, influence) = map.influence_at(map.region_center(&best));
+//! assert_eq!(influence, best.influence);
+//! assert_eq!(rnn.len(), best.rnn.len());
+//! ```
+
+use rnnhm_core::arrangement::{
+    build_disk_arrangement, build_square_arrangement, DiskArrangement, Mode, SquareArrangement,
+};
+use rnnhm_core::crest::crest_sweep;
+use rnnhm_core::crest_l2::crest_l2_sweep;
+use rnnhm_core::measure::InfluenceMeasure;
+use rnnhm_core::postprocess::{threshold, top_k};
+use rnnhm_core::query::{influence_at_points_disk, influence_at_points_square};
+use rnnhm_core::sink::{CollectSink, LabeledRegion};
+use rnnhm_core::stats::SweepStats;
+use rnnhm_core::BuildError;
+use rnnhm_geom::{Metric, Point};
+use rnnhm_heatmap::compute::{rasterize_disks, rasterize_squares};
+use rnnhm_heatmap::raster::{GridSpec, HeatRaster};
+
+/// Configures and builds an [`RnnHeatMap`].
+#[derive(Debug, Clone)]
+pub struct HeatMapBuilder {
+    clients: Vec<Point>,
+    facilities: Vec<Point>,
+    metric: Metric,
+    mode: Mode,
+}
+
+impl HeatMapBuilder {
+    /// Clients and facilities are distinct sets (the common case).
+    pub fn bichromatic(clients: Vec<Point>, facilities: Vec<Point>) -> Self {
+        HeatMapBuilder { clients, facilities, metric: Metric::L2, mode: Mode::Bichromatic }
+    }
+
+    /// One point set; every point's NN excludes itself (paper §VII-A).
+    pub fn monochromatic(points: Vec<Point>) -> Self {
+        HeatMapBuilder {
+            clients: points,
+            facilities: Vec::new(),
+            metric: Metric::L2,
+            mode: Mode::Monochromatic,
+        }
+    }
+
+    /// Distance metric (default: L2).
+    pub fn metric(mut self, metric: Metric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Builds the arrangement, runs CREST, and collects every labeled
+    /// region under `measure`.
+    pub fn build<M: InfluenceMeasure>(self, measure: M) -> Result<RnnHeatMap<M>, BuildError> {
+        let mut sink = CollectSink::default();
+        let (arrangement, stats) = match self.metric {
+            Metric::L2 => {
+                let arr = build_disk_arrangement(&self.clients, &self.facilities, self.mode)?;
+                let stats = crest_l2_sweep(&arr, &measure, &mut sink);
+                (Arrangement::Disk(arr), stats)
+            }
+            m => {
+                let arr =
+                    build_square_arrangement(&self.clients, &self.facilities, m, self.mode)?;
+                let stats = crest_sweep(&arr, &measure, &mut sink);
+                (Arrangement::Square(arr), stats)
+            }
+        };
+        Ok(RnnHeatMap { arrangement, measure, regions: sink.regions, stats })
+    }
+}
+
+/// The NN-circle arrangement behind a heat map.
+enum Arrangement {
+    Square(SquareArrangement),
+    Disk(DiskArrangement),
+}
+
+/// A fully computed RNN heat map: every region of the plane labeled with
+/// its RNN set and influence, plus query and rendering entry points.
+pub struct RnnHeatMap<M: InfluenceMeasure> {
+    arrangement: Arrangement,
+    measure: M,
+    regions: Vec<LabeledRegion>,
+    stats: SweepStats,
+}
+
+impl<M: InfluenceMeasure> RnnHeatMap<M> {
+    /// All labeled regions, in sweep emission order.
+    pub fn regions(&self) -> &[LabeledRegion] {
+        &self.regions
+    }
+
+    /// Sweep statistics (`labels` is the paper's `k`).
+    pub fn stats(&self) -> SweepStats {
+        self.stats
+    }
+
+    /// The `k` most influential regions (deduplicated by RNN set).
+    pub fn top_k(&self, k: usize) -> Vec<LabeledRegion> {
+        top_k(&self.regions, k)
+    }
+
+    /// The single most influential region.
+    pub fn max_region(&self) -> Option<LabeledRegion> {
+        self.top_k(1).into_iter().next()
+    }
+
+    /// Regions with influence at or above `min_influence`.
+    pub fn at_least(&self, min_influence: f64) -> Vec<LabeledRegion> {
+        threshold(&self.regions, min_influence)
+    }
+
+    /// The RNN set and influence of an arbitrary location (input-space
+    /// coordinates) — the candidate-scoring query of [11]/[27].
+    pub fn influence_at(&self, q: Point) -> (Vec<u32>, f64) {
+        match &self.arrangement {
+            Arrangement::Square(arr) => influence_at_points_square(arr, &self.measure, &[q])
+                .pop()
+                .expect("one candidate in, one result out"),
+            Arrangement::Disk(arr) => influence_at_points_disk(arr, &self.measure, &[q])
+                .pop()
+                .expect("one candidate in, one result out"),
+        }
+    }
+
+    /// Maps a labeled region's representative point back to input-space
+    /// coordinates (L1 maps live in a rotated sweep frame).
+    pub fn region_center(&self, region: &LabeledRegion) -> Point {
+        match &self.arrangement {
+            Arrangement::Square(arr) => arr.space.to_original(region.rect.center()),
+            Arrangement::Disk(_) => region.rect.center(),
+        }
+    }
+
+    /// Renders the heat map exactly over `spec` (input-space extent).
+    pub fn raster(&self, spec: GridSpec) -> HeatRaster {
+        match &self.arrangement {
+            Arrangement::Square(arr) => rasterize_squares(arr, &self.measure, spec),
+            Arrangement::Disk(arr) => rasterize_disks(arr, &self.measure, spec),
+        }
+    }
+
+    /// Number of NN-circles in the arrangement.
+    pub fn n_circles(&self) -> usize {
+        match &self.arrangement {
+            Arrangement::Square(arr) => arr.len(),
+            Arrangement::Disk(arr) => arr.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnnhm_core::measure::CountMeasure;
+    use rnnhm_geom::Rect;
+
+    fn toy() -> (Vec<Point>, Vec<Point>) {
+        (
+            vec![Point::new(0.0, 0.0), Point::new(2.0, 1.0), Point::new(1.0, 3.0), Point::new(4.0, 4.0)],
+            vec![Point::new(1.0, 1.0)],
+        )
+    }
+
+    #[test]
+    fn build_and_explore_all_metrics() {
+        let (clients, facilities) = toy();
+        for metric in Metric::ALL {
+            let map = HeatMapBuilder::bichromatic(clients.clone(), facilities.clone())
+                .metric(metric)
+                .build(CountMeasure)
+                .unwrap();
+            assert!(map.stats().labels > 0, "{metric:?}");
+            let best = map.max_region().unwrap();
+            assert!(best.influence >= 1.0);
+            // The most influential region's witness scores its own label.
+            let at = map.influence_at(map.region_center(&best));
+            assert_eq!(at.1, best.influence, "{metric:?}");
+            // Thresholding at the max returns regions at the max.
+            let top = map.at_least(best.influence);
+            assert!(!top.is_empty());
+            assert!(top.iter().all(|r| r.influence == best.influence));
+        }
+    }
+
+    #[test]
+    fn monochromatic_build() {
+        let pts =
+            vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(0.0, 1.5), Point::new(5.0, 5.0)];
+        let map = HeatMapBuilder::monochromatic(pts).metric(Metric::Linf).build(CountMeasure).unwrap();
+        assert!(map.n_circles() > 0);
+        assert!(map.max_region().is_some());
+    }
+
+    #[test]
+    fn raster_respects_extent() {
+        let (clients, facilities) = toy();
+        let map = HeatMapBuilder::bichromatic(clients, facilities)
+            .metric(Metric::L1)
+            .build(CountMeasure)
+            .unwrap();
+        let spec = GridSpec::new(32, 32, Rect::new(-1.0, 5.0, -1.0, 5.0));
+        let raster = map.raster(spec);
+        let (lo, hi) = raster.min_max();
+        assert!(lo >= 0.0);
+        assert!(hi >= 1.0, "some pixel must see influence");
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        let err = match HeatMapBuilder::bichromatic(vec![], vec![Point::new(0.0, 0.0)])
+            .build(CountMeasure)
+        {
+            Err(e) => e,
+            Ok(_) => panic!("empty client set must fail"),
+        };
+        assert_eq!(err, BuildError::NoClients);
+    }
+}

@@ -1,0 +1,128 @@
+//! End-to-end checks of the L2 path: arrangement → CREST-L2 → oracle,
+//! the max-region task against the pruning comparator, and the
+//! monochromatic λ bound.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rnn_heatmap::prelude::*;
+use rnnhm_core::crest_l2::crest_l2_full_sweep;
+use rnnhm_core::oracle::{rnn_at_disk, signature};
+use rnnhm_core::pruning::PruningStats;
+
+fn workload(n_clients: usize, n_facilities: usize, seed: u64) -> (Vec<Point>, Vec<Point>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pt = || Point::new(rng.random::<f64>() * 10.0, rng.random::<f64>() * 10.0);
+    ((0..n_clients).map(|_| pt()).collect(), (0..n_facilities).map(|_| pt()).collect())
+}
+
+/// Skips labels whose witness sits within float resolution of a circle
+/// boundary (hairline slivers — undecidable in f64).
+fn check_against_oracle(arr: &DiskArrangement, regions: &[LabeledRegion]) -> usize {
+    let mut checked = 0;
+    for r in regions {
+        let c = r.rect.center();
+        if arr.disks.iter().any(|d| (d.c.dist2(&c) - d.r).abs() < 1e-9) {
+            continue;
+        }
+        assert_eq!(signature(&r.rnn), rnn_at_disk(arr, c), "at {c:?}");
+        checked += 1;
+    }
+    checked
+}
+
+#[test]
+fn crest_l2_matches_oracle_on_workloads() {
+    for seed in 0..4 {
+        let (clients, facilities) = workload(60, 6, seed);
+        let arr = build_disk_arrangement(&clients, &facilities, Mode::Bichromatic).unwrap();
+        let mut sink = CollectSink::default();
+        let stats = crest_l2_sweep(&arr, &CountMeasure, &mut sink);
+        assert!(stats.labels as usize >= arr.len());
+        let checked = check_against_oracle(&arr, &sink.regions);
+        assert!(checked * 2 >= sink.regions.len(), "too many ambiguous labels");
+    }
+}
+
+#[test]
+fn optimized_and_full_l2_sweeps_agree_on_signatures() {
+    let (clients, facilities) = workload(40, 5, 9);
+    let arr = build_disk_arrangement(&clients, &facilities, Mode::Bichromatic).unwrap();
+    let mut a = CollectSink::default();
+    let mut b = CollectSink::default();
+    let s_opt = crest_l2_sweep(&arr, &CountMeasure, &mut a);
+    let s_full = crest_l2_full_sweep(&arr, &CountMeasure, &mut b);
+    let mut sa: Vec<Vec<u32>> = a.regions.iter().map(|r| signature(&r.rnn)).collect();
+    let mut sb: Vec<Vec<u32>> = b.regions.iter().map(|r| signature(&r.rnn)).collect();
+    sa.sort();
+    sa.dedup();
+    sb.sort();
+    sb.dedup();
+    sa.retain(|s| !s.is_empty());
+    sb.retain(|s| !s.is_empty());
+    assert_eq!(sa, sb);
+    assert!(s_opt.labels <= s_full.labels, "optimized sweep must label no more");
+}
+
+#[test]
+fn pruning_agrees_with_crest_on_max_region() {
+    for seed in 10..14 {
+        let (clients, facilities) = workload(40, 8, seed);
+        let arr = build_disk_arrangement(&clients, &facilities, Mode::Bichromatic).unwrap();
+        let (c_best, _) = crest_l2_max_region(&arr, &CountMeasure);
+        let (p_best, pstats): (_, PruningStats) =
+            pruning_max_region(&arr, &CountMeasure, PruningConfig::default());
+        let c = c_best.unwrap();
+        let p = p_best.unwrap();
+        if pstats.truncated {
+            assert!(p.influence <= c.influence + 1e-9, "truncated run is a lower bound");
+        } else {
+            assert_eq!(p.influence, c.influence, "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn max_region_dominates_every_label() {
+    let (clients, facilities) = workload(50, 10, 21);
+    let arr = build_disk_arrangement(&clients, &facilities, Mode::Bichromatic).unwrap();
+    let mut all = CollectSink::default();
+    crest_l2_sweep(&arr, &CountMeasure, &mut all);
+    let (best, _) = crest_l2_max_region(&arr, &CountMeasure);
+    let best = best.unwrap().influence;
+    for r in &all.regions {
+        assert!(r.influence <= best);
+    }
+}
+
+#[test]
+fn monochromatic_l2_rnn_sets_are_bounded_by_six() {
+    // Korn & Muthukrishnan: a monochromatic L2 RNN set has at most six
+    // members (paper §VII-A uses this for the λ = O(1) complexity).
+    for seed in 30..34 {
+        let (points, _) = workload(100, 0, seed);
+        let arr = build_disk_arrangement(&points, &[], Mode::Monochromatic).unwrap();
+        let mut sink = NullSink;
+        let stats = crest_l2_sweep(&arr, &CountMeasure, &mut sink);
+        assert!(
+            stats.max_rnn <= 6,
+            "monochromatic λ = {} exceeds the theoretical bound 6 (seed {seed})",
+            stats.max_rnn
+        );
+    }
+}
+
+#[test]
+fn l2_raster_agrees_with_labels() {
+    let (clients, facilities) = workload(30, 4, 40);
+    let arr = build_disk_arrangement(&clients, &facilities, Mode::Bichromatic).unwrap();
+    let spec = GridSpec::new(48, 48, Rect::new(0.0, 10.0, 0.0, 10.0));
+    let raster = rasterize_disks(&arr, &CountMeasure, spec);
+    // Every pixel's raster value equals the oracle count at its center.
+    for row in 0..spec.height {
+        for col in 0..spec.width {
+            let p = spec.pixel_center(col, row);
+            let expect = rnn_at_disk(&arr, p).len() as f64;
+            assert_eq!(raster.get(col, row), expect, "pixel ({col},{row})");
+        }
+    }
+}
