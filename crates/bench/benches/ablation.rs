@@ -14,7 +14,7 @@ use rnnhm_bench::runner::{capacity_measure, count, square_arrangement};
 use rnnhm_bench::workload::{build_workload, DatasetKind};
 use rnnhm_core::baseline::baseline_sweep_with;
 use rnnhm_core::crest::{crest_a_sweep, crest_sweep};
-use rnnhm_core::parallel::parallel_crest;
+use rnnhm_core::parallel::parallel_crest_uncapped;
 use rnnhm_core::sink::{CollectSink, MaterializeSink};
 use rnnhm_geom::Metric;
 use rnnhm_index::{IntervalTree, RTree};
@@ -59,7 +59,7 @@ fn parallel_scaling(c: &mut Criterion) {
     for slabs in [1usize, 4] {
         group.bench_with_input(BenchmarkId::new("tiling", slabs), &arr, |b, arr| {
             b.iter(|| {
-                parallel_crest(black_box(arr), &count(), slabs, true, CollectSink::default)
+                parallel_crest_uncapped(black_box(arr), &count(), slabs, true, CollectSink::default)
             })
         });
     }

@@ -25,7 +25,9 @@ fn bench(c: &mut Criterion) {
             let tag = format!("{}/n{}", kind.name(), n);
             if baseline_cell_count(&arr) <= 4_000_000 {
                 group.bench_with_input(BenchmarkId::new("BA", &tag), &arr, |b, arr| {
-                    b.iter(|| baseline_sweep(black_box(arr), &count(), &mut MaterializeSink::default()))
+                    b.iter(|| {
+                        baseline_sweep(black_box(arr), &count(), &mut MaterializeSink::default())
+                    })
                 });
             }
             group.bench_with_input(BenchmarkId::new("CREST-A", &tag), &arr, |b, arr| {

@@ -103,10 +103,7 @@ fn kdtree_nn(c: &mut Criterion) {
             b.iter(|| {
                 let mut acc = 0.0;
                 for q in qs {
-                    let best = pts
-                        .iter()
-                        .map(|p| q.dist2_sq(p))
-                        .fold(f64::INFINITY, f64::min);
+                    let best = pts.iter().map(|p| q.dist2_sq(p)).fold(f64::INFINITY, f64::min);
                     acc += best.sqrt();
                 }
                 black_box(acc)

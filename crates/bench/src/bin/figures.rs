@@ -42,11 +42,8 @@ const PRUNING_BUDGET: u64 = 2_000_000_000;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let what = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| "all".to_string());
+    let what =
+        args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_else(|| "all".to_string());
     fs::create_dir_all("results").expect("create results dir");
 
     match what.as_str() {
@@ -96,7 +93,12 @@ fn table2() {
             let bbox = Rect::bounding(&ds.points).expect("non-empty data set");
             format!(
                 "{},{},lon[{:.2},{:.2}],lat[{:.2},{:.2}]",
-                ds.name, ds.points.len(), bbox.x_lo, bbox.x_hi, bbox.y_lo, bbox.y_hi
+                ds.name,
+                ds.points.len(),
+                bbox.x_lo,
+                bbox.x_hi,
+                bbox.y_lo,
+                bbox.y_hi
             )
         })
         .collect();
@@ -205,8 +207,7 @@ fn fig19(quick: bool) {
 fn showcase(quick: bool) {
     let (n_o, n_f, px) = if quick { (2_000, 600, 256) } else { (20_000, 6_000, 768) };
     for (ds, name) in [(Dataset::nyc(), "fig1_nyc"), (Dataset::la(), "fig15_la")] {
-        let (clients, facilities) =
-            rnnhm_data::sample_clients_facilities(&ds.points, n_o, n_f, 1);
+        let (clients, facilities) = rnnhm_data::sample_clients_facilities(&ds.points, n_o, n_f, 1);
         let arr = rnnhm_core::build_square_arrangement(
             &clients,
             &facilities,

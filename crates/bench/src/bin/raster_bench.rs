@@ -1,0 +1,42 @@
+//! `raster_bench` — single-shot raster-path comparison, emitting
+//! `BENCH_raster.json`.
+//!
+//! ```text
+//! cargo run --release -p rnnhm_bench --bin raster_bench [--quick] [out.json]
+//! ```
+//!
+//! The full run measures the ISSUE 1 acceptance configuration —
+//! 1024×1024 pixels, n = 100k clients, Uniform dataset, count measure —
+//! plus two smaller points for scaling context, and verifies the
+//! scanline raster is bit-identical to the per-pixel oracle.
+//! `--quick` shrinks the grid for CI-scale runs.
+
+use rnnhm_bench::raster::{compare_raster_paths, write_raster_json, RasterComparison};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("BENCH_raster.json");
+
+    let configs: &[(usize, usize)] =
+        if quick { &[(10_000, 256)] } else { &[(10_000, 512), (100_000, 512), (100_000, 1024)] };
+
+    let mut runs: Vec<RasterComparison> = Vec::new();
+    for &(n, px) in configs {
+        eprintln!("running n={n}, grid={px}x{px} ...");
+        let r = compare_raster_paths(n, 16, px, px, 42);
+        eprintln!(
+            "  oracle {:.1} ms | scanline {:.1} ms | fast-count {:.1} ms | speedup {:.1}x | identical: {}",
+            r.oracle_ms, r.scanline_ms, r.fast_count_ms, r.speedup, r.identical
+        );
+        assert!(r.identical, "scanline diverged from the oracle at n={n}, {px}x{px}");
+        runs.push(r);
+    }
+
+    write_raster_json(out, &runs).expect("write json");
+    eprintln!("wrote {out}");
+}

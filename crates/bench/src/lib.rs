@@ -11,5 +11,6 @@
 //! * Criterion benches under `benches/` — statistically sampled timings
 //!   for moderate input sizes.
 
+pub mod raster;
 pub mod runner;
 pub mod workload;

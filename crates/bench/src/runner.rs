@@ -78,11 +78,7 @@ pub fn capacity_measure(w: &Workload, seed: u64) -> CapacityMeasure {
 
 /// Times the baseline algorithm; skipped when its predicted grid size
 /// exceeds `max_cells` (the 24-hour cut-off analog of Figs 16–17).
-pub fn run_ba<M: InfluenceMeasure>(
-    arr: &SquareArrangement,
-    measure: &M,
-    max_cells: u64,
-) -> Timing {
+pub fn run_ba<M: InfluenceMeasure>(arr: &SquareArrangement, measure: &M, max_cells: u64) -> Timing {
     if baseline_cell_count(arr) > max_cells {
         return Timing::skipped("BA");
     }
@@ -135,8 +131,11 @@ pub fn run_pruning_max<M: InfluenceMeasure>(
     node_budget: u64,
 ) -> Timing {
     let start = Instant::now();
-    let (_, pstats) =
-        pruning_max_region(arr, measure, PruningConfig { max_nodes: node_budget, max_witnesses: 100_000 });
+    let (_, pstats) = pruning_max_region(
+        arr,
+        measure,
+        PruningConfig { max_nodes: node_budget, max_witnesses: 100_000 },
+    );
     let stats = SweepStats { labels: pstats.leaves, ..Default::default() };
     Timing {
         algo: if pstats.truncated { "Pruning*" } else { "Pruning" },
@@ -195,8 +194,7 @@ mod tests {
         let arr = disk_arrangement(&w);
         let measure = capacity_measure(&w, 1);
         let (crest_best, _) = crest_l2_max_region(&arr, &measure);
-        let (prune_best, _) =
-            pruning_max_region(&arr, &measure, PruningConfig::default());
+        let (prune_best, _) = pruning_max_region(&arr, &measure, PruningConfig::default());
         let c = crest_best.expect("crest best");
         let p = prune_best.expect("pruning best");
         assert!((c.influence - p.influence).abs() < 1e-9);

@@ -154,9 +154,7 @@ fn nn_radii(
                 .iter()
                 .enumerate()
                 .map(|(i, o)| {
-                    tree.nearest_excluding(o, metric, i as u32)
-                        .expect("at least two points")
-                        .1
+                    tree.nearest_excluding(o, metric, i as u32).expect("at least two points").1
                 })
                 .collect())
         }
@@ -178,10 +176,7 @@ pub fn build_square_arrangement(
     metric: Metric,
     mode: Mode,
 ) -> Result<SquareArrangement, BuildError> {
-    assert!(
-        metric != Metric::L2,
-        "L2 instances use build_disk_arrangement / crest_l2_sweep"
-    );
+    assert!(metric != Metric::L2, "L2 instances use build_disk_arrangement / crest_l2_sweep");
     let radii = nn_radii(clients, facilities, metric, mode)?;
     let space = match metric {
         Metric::L1 => CoordSpace::Rotated45,
@@ -237,9 +232,8 @@ mod tests {
         // squares centered at the clients with radius = L∞ distance to f1.
         let clients = vec![Point::new(0.0, 0.0), Point::new(3.0, 1.0)];
         let facilities = vec![Point::new(1.0, 1.0)];
-        let arr =
-            build_square_arrangement(&clients, &facilities, Metric::Linf, Mode::Bichromatic)
-                .unwrap();
+        let arr = build_square_arrangement(&clients, &facilities, Metric::Linf, Mode::Bichromatic)
+            .unwrap();
         assert_eq!(arr.len(), 2);
         assert_eq!(arr.squares[0], Rect::centered(clients[0], 1.0));
         assert_eq!(arr.squares[1], Rect::centered(clients[1], 2.0));
@@ -252,8 +246,7 @@ mod tests {
         let clients = vec![Point::new(0.0, 0.0)];
         let facilities = vec![Point::new(2.0, 0.0)]; // L1 distance 2
         let arr =
-            build_square_arrangement(&clients, &facilities, Metric::L1, Mode::Bichromatic)
-                .unwrap();
+            build_square_arrangement(&clients, &facilities, Metric::L1, Mode::Bichromatic).unwrap();
         assert_eq!(arr.space, CoordSpace::Rotated45);
         // Radius 2 diamond → square with half side 2/√2 = √2.
         let half = arr.squares[0].width() / 2.0;
@@ -281,9 +274,8 @@ mod tests {
     fn zero_radius_clients_dropped() {
         let clients = vec![Point::new(1.0, 1.0), Point::new(5.0, 5.0)];
         let facilities = vec![Point::new(1.0, 1.0)]; // first client coincides
-        let arr =
-            build_square_arrangement(&clients, &facilities, Metric::Linf, Mode::Bichromatic)
-                .unwrap();
+        let arr = build_square_arrangement(&clients, &facilities, Metric::Linf, Mode::Bichromatic)
+            .unwrap();
         assert_eq!(arr.len(), 1);
         assert_eq!(arr.dropped, 1);
         assert_eq!(arr.owners, vec![1]);
@@ -325,9 +317,8 @@ mod tests {
     fn bbox_covers_all_squares() {
         let clients = vec![Point::new(0.0, 0.0), Point::new(10.0, 10.0)];
         let facilities = vec![Point::new(1.0, 0.0)];
-        let arr =
-            build_square_arrangement(&clients, &facilities, Metric::Linf, Mode::Bichromatic)
-                .unwrap();
+        let arr = build_square_arrangement(&clients, &facilities, Metric::Linf, Mode::Bichromatic)
+            .unwrap();
         let bb = arr.bbox().unwrap();
         for s in &arr.squares {
             assert!(bb.contains_rect(s));

@@ -121,10 +121,8 @@ mod tests {
     #[test]
     fn two_overlapping_squares_grid() {
         // Sides at x ∈ {0,1,2,3}, y ∈ {0,1,2,3} → 3×3 = 9 cells.
-        let arr = arr_from_squares(vec![
-            Rect::new(0.0, 2.0, 0.0, 2.0),
-            Rect::new(1.0, 3.0, 1.0, 3.0),
-        ]);
+        let arr =
+            arr_from_squares(vec![Rect::new(0.0, 2.0, 0.0, 2.0), Rect::new(1.0, 3.0, 1.0, 3.0)]);
         let mut sink = CollectSink::default();
         let stats = baseline_sweep(&arr, &CountMeasure, &mut sink);
         assert_eq!(stats.labels, 9);
@@ -159,9 +157,8 @@ mod tests {
         // axis → (2n−1)² cells.
         let n = 10usize;
         let half = n as f64 / 2.0;
-        let squares: Vec<Rect> = (0..n)
-            .map(|i| Rect::centered(Point::new(i as f64, i as f64), half))
-            .collect();
+        let squares: Vec<Rect> =
+            (0..n).map(|i| Rect::centered(Point::new(i as f64, i as f64), half)).collect();
         let arr = arr_from_squares(squares);
         let m = baseline_cell_count(&arr);
         assert_eq!(m, ((2 * n - 1) * (2 * n - 1)) as u64);

@@ -139,7 +139,16 @@ pub fn crest_sweep<M: InfluenceMeasure, S: RegionSink>(
         merge_intervals(&mut intervals);
         for iv in &intervals {
             process_interval(
-                arr, &t, iv, &mut records, &mut base, measure, sink, x, x_next, &mut stats,
+                arr,
+                &t,
+                iv,
+                &mut records,
+                &mut base,
+                measure,
+                sink,
+                x,
+                x_next,
+                &mut stats,
                 &mut keys_scratch,
             );
         }
@@ -310,13 +319,7 @@ mod tests {
     fn arr_from_squares(squares: Vec<Rect>) -> SquareArrangement {
         let owners = (0..squares.len() as u32).collect();
         let n = squares.len();
-        SquareArrangement {
-            squares,
-            owners,
-            space: CoordSpace::Identity,
-            n_clients: n,
-            dropped: 0,
-        }
+        SquareArrangement { squares, owners, space: CoordSpace::Identity, n_clients: n, dropped: 0 }
     }
 
     fn sorted(mut v: Vec<u32>) -> Vec<u32> {
@@ -339,15 +342,12 @@ mod tests {
 
     #[test]
     fn two_disjoint_squares() {
-        let arr = arr_from_squares(vec![
-            Rect::new(0.0, 1.0, 0.0, 1.0),
-            Rect::new(5.0, 6.0, 5.0, 6.0),
-        ]);
+        let arr =
+            arr_from_squares(vec![Rect::new(0.0, 1.0, 0.0, 1.0), Rect::new(5.0, 6.0, 5.0, 6.0)]);
         let mut sink = CollectSink::default();
         let stats = crest_sweep(&arr, &CountMeasure, &mut sink);
         assert_eq!(stats.labels, 2);
-        let sets: Vec<Vec<u32>> =
-            sink.regions.iter().map(|r| sorted(r.rnn.clone())).collect();
+        let sets: Vec<Vec<u32>> = sink.regions.iter().map(|r| sorted(r.rnn.clone())).collect();
         assert!(sets.contains(&vec![0]));
         assert!(sets.contains(&vec![1]));
     }
@@ -355,14 +355,11 @@ mod tests {
     #[test]
     fn two_overlapping_squares_label_all_faces() {
         // Squares [0,2]² and [1,3]²: faces are A∖B, A∩B, B∖A (plus outside).
-        let arr = arr_from_squares(vec![
-            Rect::new(0.0, 2.0, 0.0, 2.0),
-            Rect::new(1.0, 3.0, 1.0, 3.0),
-        ]);
+        let arr =
+            arr_from_squares(vec![Rect::new(0.0, 2.0, 0.0, 2.0), Rect::new(1.0, 3.0, 1.0, 3.0)]);
         let mut sink = CollectSink::default();
         let stats = crest_sweep(&arr, &CountMeasure, &mut sink);
-        let mut sets: Vec<Vec<u32>> =
-            sink.regions.iter().map(|r| sorted(r.rnn.clone())).collect();
+        let mut sets: Vec<Vec<u32>> = sink.regions.iter().map(|r| sorted(r.rnn.clone())).collect();
         sets.sort();
         sets.dedup();
         assert!(sets.contains(&vec![0]));
@@ -381,23 +378,17 @@ mod tests {
     #[test]
     fn nested_squares() {
         // B strictly inside A: faces A∖B and A∩B={A,B}.
-        let arr = arr_from_squares(vec![
-            Rect::new(0.0, 10.0, 0.0, 10.0),
-            Rect::new(4.0, 6.0, 4.0, 6.0),
-        ]);
+        let arr =
+            arr_from_squares(vec![Rect::new(0.0, 10.0, 0.0, 10.0), Rect::new(4.0, 6.0, 4.0, 6.0)]);
         let mut sink = CollectSink::default();
         crest_sweep(&arr, &CountMeasure, &mut sink);
-        let mut sets: Vec<Vec<u32>> =
-            sink.regions.iter().map(|r| sorted(r.rnn.clone())).collect();
+        let mut sets: Vec<Vec<u32>> = sink.regions.iter().map(|r| sorted(r.rnn.clone())).collect();
         sets.sort();
         sets.dedup();
         assert_eq!(sets, vec![vec![0], vec![0, 1]]);
         // The inner region must be labeled exactly once, with both owners.
-        let inner: Vec<_> = sink
-            .regions
-            .iter()
-            .filter(|r| sorted(r.rnn.clone()) == vec![0, 1])
-            .collect();
+        let inner: Vec<_> =
+            sink.regions.iter().filter(|r| sorted(r.rnn.clone()) == vec![0, 1]).collect();
         assert_eq!(inner.len(), 1);
         assert_eq!(inner[0].rect, Rect::new(4.0, 6.0, 4.0, 6.0));
     }
@@ -413,8 +404,7 @@ mod tests {
         let arr = arr_from_squares(vec![c1, c2, c3]);
         let mut sink = CollectSink::default();
         let stats = crest_sweep(&arr, &CountMeasure, &mut sink);
-        let mut sets: Vec<Vec<u32>> =
-            sink.regions.iter().map(|r| sorted(r.rnn.clone())).collect();
+        let mut sets: Vec<Vec<u32>> = sink.regions.iter().map(|r| sorted(r.rnn.clone())).collect();
         sets.sort();
         sets.dedup();
         // Expected distinct non-empty RNN sets: {0}, {1}, {0,1}, {2}, {0,2}.
@@ -440,8 +430,7 @@ mod tests {
         let s_a = crest_a_sweep(&arr, &CountMeasure, &mut b);
         let mut sets_crest: Vec<Vec<u32>> =
             a.regions.iter().map(|r| sorted(r.rnn.clone())).collect();
-        let mut sets_a: Vec<Vec<u32>> =
-            b.regions.iter().map(|r| sorted(r.rnn.clone())).collect();
+        let mut sets_a: Vec<Vec<u32>> = b.regions.iter().map(|r| sorted(r.rnn.clone())).collect();
         sets_crest.sort();
         sets_crest.dedup();
         sets_a.sort();
@@ -466,8 +455,7 @@ mod tests {
         let arr = arr_from_squares(squares);
         let mut sink = CollectSink::default();
         let stats = crest_sweep(&arr, &CountMeasure, &mut sink);
-        let mut sets: Vec<Vec<u32>> =
-            sink.regions.iter().map(|r| sorted(r.rnn.clone())).collect();
+        let mut sets: Vec<Vec<u32>> = sink.regions.iter().map(|r| sorted(r.rnn.clone())).collect();
         sets.sort();
         sets.dedup();
         assert_eq!(sets.len(), n * (n + 1) / 2, "distinct non-empty RNN sets");
@@ -479,10 +467,8 @@ mod tests {
     #[test]
     fn labels_cover_every_strip_in_crest_a() {
         // CREST-A strips tile the x-extent of the arrangement.
-        let arr = arr_from_squares(vec![
-            Rect::new(0.0, 2.0, 0.0, 2.0),
-            Rect::new(1.0, 3.0, 0.5, 2.5),
-        ]);
+        let arr =
+            arr_from_squares(vec![Rect::new(0.0, 2.0, 0.0, 2.0), Rect::new(1.0, 3.0, 0.5, 2.5)]);
         let mut sink = CollectSink::default();
         crest_a_sweep(&arr, &CountMeasure, &mut sink);
         // Events at x = 0,1,2,3 → strips [0,1],[1,2],[2,3].
@@ -504,8 +490,7 @@ mod tests {
         ]);
         let mut sink = CollectSink::default();
         crest_sweep(&arr, &CountMeasure, &mut sink);
-        let mut sets: Vec<Vec<u32>> =
-            sink.regions.iter().map(|r| sorted(r.rnn.clone())).collect();
+        let mut sets: Vec<Vec<u32>> = sink.regions.iter().map(|r| sorted(r.rnn.clone())).collect();
         sets.sort();
         sets.dedup();
         // All the faces that exist geometrically must be covered.
@@ -529,11 +514,7 @@ mod tests {
         let arr = arr_from_squares(vec![sq; 5]);
         let mut sink = CollectSink::default();
         let stats = crest_sweep(&arr, &CountMeasure, &mut sink);
-        let full: Vec<_> = sink
-            .regions
-            .iter()
-            .filter(|r| r.rect.height() > 0.0)
-            .collect();
+        let full: Vec<_> = sink.regions.iter().filter(|r| r.rect.height() > 0.0).collect();
         assert!(!full.is_empty());
         for r in full {
             assert_eq!(sorted(r.rnn.clone()), vec![0, 1, 2, 3, 4]);
@@ -578,11 +559,8 @@ mod tests {
         let stats = crest_sweep(&arr, &CountMeasure, &mut sink);
         // The tall square's interior right of x=5 is one region; count how
         // often the sweep labeled it with exactly {0}.
-        let tall_labels = sink
-            .regions
-            .iter()
-            .filter(|r| r.rnn == vec![0] && r.rect.x_lo >= 5.0)
-            .count();
+        let tall_labels =
+            sink.regions.iter().filter(|r| r.rnn == vec![0] && r.rect.x_lo >= 5.0).count();
         // Its degree: 4 sides of its own + the comb's 8 side-endpoints on
         // its left edge; the bound is loose but must hold.
         assert!(tall_labels >= 1);
@@ -600,8 +578,7 @@ mod tests {
         ]);
         let mut sink = CollectSink::default();
         crest_sweep(&arr, &CountMeasure, &mut sink);
-        let mut sets: Vec<Vec<u32>> =
-            sink.regions.iter().map(|r| sorted(r.rnn.clone())).collect();
+        let mut sets: Vec<Vec<u32>> = sink.regions.iter().map(|r| sorted(r.rnn.clone())).collect();
         sets.sort();
         sets.dedup();
         assert_eq!(sets, vec![vec![0], vec![1]]);

@@ -151,11 +151,8 @@ impl LineStatus {
 
     fn arc_y(&self, s: Slot, disks: &[Circle], x: f64) -> f64 {
         let c = &disks[slot_disk(s) as usize];
-        let kind = if slot_upper(s) {
-            rnnhm_geom::ArcKind::Upper
-        } else {
-            rnnhm_geom::ArcKind::Lower
-        };
+        let kind =
+            if slot_upper(s) { rnnhm_geom::ArcKind::Upper } else { rnnhm_geom::ArcKind::Lower };
         c.arc_y_at(kind, x).unwrap_or(c.c.y)
     }
 
@@ -438,10 +435,7 @@ mod tests {
         let mut checked = 0usize;
         for r in regions {
             let center = r.rect.center();
-            let ambiguous = arr
-                .disks
-                .iter()
-                .any(|c| (c.c.dist2(&center) - c.r).abs() < 1e-9);
+            let ambiguous = arr.disks.iter().any(|c| (c.c.dist2(&center) - c.r).abs() < 1e-9);
             if ambiguous {
                 continue;
             }
@@ -586,9 +580,12 @@ mod tests {
         };
         let clients: Vec<Point> = (0..80).map(|_| Point::new(next(), next())).collect();
         let facilities: Vec<Point> = (0..6).map(|_| Point::new(next(), next())).collect();
-        let arr =
-            crate::arrangement::build_disk_arrangement(&clients, &facilities, crate::Mode::Bichromatic)
-                .unwrap();
+        let arr = crate::arrangement::build_disk_arrangement(
+            &clients,
+            &facilities,
+            crate::Mode::Bichromatic,
+        )
+        .unwrap();
         let mut sink = CollectSink::default();
         let stats = crest_l2_sweep(&arr, &CountMeasure, &mut sink);
         assert!(stats.labels > 80, "dense instance should have many regions");

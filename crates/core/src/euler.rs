@@ -146,9 +146,8 @@ mod tests {
         // Paper §IV: r = n² − n + 2 for the diagonal construction.
         for n in [2usize, 5, 10, 16] {
             let half = n as f64 / 2.0;
-            let squares: Vec<Rect> = (0..n)
-                .map(|i| Rect::centered(Point::new(i as f64, i as f64), half))
-                .collect();
+            let squares: Vec<Rect> =
+                (0..n).map(|i| Rect::centered(Point::new(i as f64, i as f64), half)).collect();
             let arr = arr_from_squares(squares);
             assert_eq!(region_count(&arr), (n * n - n + 2) as u64, "n = {n}");
         }
@@ -160,10 +159,8 @@ mod tests {
         // cross overlap of two squares crosses at 2 points per side pair:
         // [0,2]² and [1,3]² cross at exactly 2 points → r = 2 + 1 + 1 = 4
         // (outside, A∖B, B∖A, A∩B).
-        let arr = arr_from_squares(vec![
-            Rect::new(0.0, 2.0, 0.0, 2.0),
-            Rect::new(1.0, 3.0, 1.0, 3.0),
-        ]);
+        let arr =
+            arr_from_squares(vec![Rect::new(0.0, 2.0, 0.0, 2.0), Rect::new(1.0, 3.0, 1.0, 3.0)]);
         assert_eq!(region_count(&arr), 4);
     }
 

@@ -52,7 +52,8 @@ pub use arrangement::{
     SquareArrangement,
 };
 pub use measure::{
-    CapacityMeasure, ConnectivityMeasure, CountMeasure, InfluenceMeasure, WeightedMeasure,
+    CapacityMeasure, ConnectivityMeasure, CountMeasure, ExactFallback, IncrementalMeasure,
+    InfluenceMeasure, WeightedMeasure,
 };
 pub use rnnset::RnnSet;
 pub use sink::{

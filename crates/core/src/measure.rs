@@ -11,6 +11,11 @@
 //!   (courier scenario; used with the pruning comparator in Figs 18–19),
 //! * [`ConnectivityMeasure`] — number of "compatible passenger" edges
 //!   inside `R` (the taxi-sharing scenario of Fig 3).
+//!
+//! All four also implement [`IncrementalMeasure`] — constant-or-cheap
+//! add/remove/current maintenance of the influence value as clients
+//! enter and leave the RNN set, which the scanline rasterizer exploits.
+//! Custom measures get the same interface via [`ExactFallback`].
 
 /// A real-valued influence function over RNN sets.
 ///
@@ -34,6 +39,96 @@ pub trait InfluenceMeasure {
     }
 }
 
+/// A measure that can maintain its value *incrementally* as single
+/// clients enter and leave the RNN set.
+///
+/// The scanline rasterizer (`rnnhm_heatmap::compute`) sweeps each pixel
+/// row once, updating the active RNN set at interval endpoints instead of
+/// recomputing it per pixel; between two endpoints the influence is
+/// constant. That turns the per-pixel measure cost into a per-*event*
+/// cost, but requires the measure to expose add/remove/current
+/// operations over some running [`IncrementalMeasure::State`].
+///
+/// # Contract
+///
+/// For any sequence of `add`/`remove` calls describing a set `R`
+/// (each id added at most once before being removed, as NN-circles have
+/// one owner each), `current(&state)` must equal
+/// `influence(&r)` for a slice `r` holding `R` in *some* order:
+///
+/// * measures whose influence is an order-independent exact computation
+///   (integer-valued counts, capacities, edge counts — everything the
+///   paper evaluates) are **bit-identical** to any
+///   [`InfluenceMeasure::influence`] call on the same set;
+/// * measures summing arbitrary floating-point weights are exact up to
+///   f64 addition order (bit-identical when the weights sum exactly,
+///   e.g. small dyadic rationals — see `WeightedMeasure`).
+///
+/// Non-decomposable measures can fall back to [`ExactFallback`], which
+/// stores the member list and re-evaluates the measure per event run.
+pub trait IncrementalMeasure: InfluenceMeasure {
+    /// The running state: whatever the measure needs to answer
+    /// [`IncrementalMeasure::current`] in `O(1)`-ish time.
+    type State: Clone + Send;
+
+    /// A state describing the empty RNN set.
+    fn new_state(&self) -> Self::State;
+
+    /// Client `id` enters the RNN set.
+    fn add(&self, state: &mut Self::State, id: u32);
+
+    /// Client `id` leaves the RNN set.
+    fn remove(&self, state: &mut Self::State, id: u32);
+
+    /// The influence of the current RNN set.
+    fn current(&self, state: &Self::State) -> f64;
+}
+
+/// Adapts *any* [`InfluenceMeasure`] to [`IncrementalMeasure`] by keeping
+/// the member list and re-evaluating the measure on demand.
+///
+/// `current` costs one full `influence` call, so a scanline sweep pays
+/// `O(measure)` per *event run* instead of per pixel — still a large win
+/// over per-pixel evaluation, just not `O(1)`. Member order follows
+/// insertion order (with swap-removal), so order-sensitive float
+/// rounding may differ from another evaluation order by ~1 ULP.
+#[derive(Debug, Clone)]
+pub struct ExactFallback<M>(pub M);
+
+impl<M: InfluenceMeasure> InfluenceMeasure for ExactFallback<M> {
+    #[inline]
+    fn influence(&self, rnn: &[u32]) -> f64 {
+        self.0.influence(rnn)
+    }
+
+    #[inline]
+    fn upper_bound(&self, inside: &[u32], undecided: &[u32]) -> f64 {
+        self.0.upper_bound(inside, undecided)
+    }
+}
+
+impl<M: InfluenceMeasure> IncrementalMeasure for ExactFallback<M> {
+    type State = Vec<u32>;
+
+    fn new_state(&self) -> Vec<u32> {
+        Vec::new()
+    }
+
+    fn add(&self, state: &mut Vec<u32>, id: u32) {
+        state.push(id);
+    }
+
+    fn remove(&self, state: &mut Vec<u32>, id: u32) {
+        let pos =
+            state.iter().position(|&m| m == id).expect("removing an id that is not in the RNN set");
+        state.swap_remove(pos);
+    }
+
+    fn current(&self, state: &Vec<u32>) -> f64 {
+        self.0.influence(state)
+    }
+}
+
 /// `|R|`: the size of the RNN set.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CountMeasure;
@@ -47,6 +142,30 @@ impl InfluenceMeasure for CountMeasure {
     #[inline]
     fn upper_bound(&self, inside: &[u32], undecided: &[u32]) -> f64 {
         (inside.len() + undecided.len()) as f64
+    }
+}
+
+impl IncrementalMeasure for CountMeasure {
+    type State = usize;
+
+    #[inline]
+    fn new_state(&self) -> usize {
+        0
+    }
+
+    #[inline]
+    fn add(&self, state: &mut usize, _id: u32) {
+        *state += 1;
+    }
+
+    #[inline]
+    fn remove(&self, state: &mut usize, _id: u32) {
+        *state -= 1;
+    }
+
+    #[inline]
+    fn current(&self, state: &usize) -> f64 {
+        *state as f64
     }
 }
 
@@ -68,6 +187,53 @@ impl InfluenceMeasure for WeightedMeasure {
     #[inline]
     fn influence(&self, rnn: &[u32]) -> f64 {
         rnn.iter().map(|&id| self.weights[id as usize]).sum()
+    }
+}
+
+/// Running state of [`WeightedMeasure`]: the weight sum plus the member
+/// count. The sum snaps back to the empty-sum identity whenever the set
+/// empties, so rounding drift cannot leak across disjoint intervals of
+/// a scan.
+///
+/// The empty sum is `-0.0`, matching `Iterator::sum::<f64>()` over an
+/// empty iterator (std uses the true floating-point additive identity),
+/// so an empty incremental state is bit-identical to
+/// `WeightedMeasure::influence(&[])`.
+#[derive(Debug, Clone, Copy)]
+pub struct WeightedState {
+    sum: f64,
+    len: usize,
+}
+
+/// `Iterator::sum::<f64>()` of nothing — the f64 additive identity.
+const EMPTY_SUM: f64 = -0.0;
+
+impl IncrementalMeasure for WeightedMeasure {
+    type State = WeightedState;
+
+    #[inline]
+    fn new_state(&self) -> WeightedState {
+        WeightedState { sum: EMPTY_SUM, len: 0 }
+    }
+
+    #[inline]
+    fn add(&self, state: &mut WeightedState, id: u32) {
+        state.sum += self.weights[id as usize];
+        state.len += 1;
+    }
+
+    #[inline]
+    fn remove(&self, state: &mut WeightedState, id: u32) {
+        state.sum -= self.weights[id as usize];
+        state.len -= 1;
+        if state.len == 0 {
+            state.sum = EMPTY_SUM;
+        }
+    }
+
+    #[inline]
+    fn current(&self, state: &WeightedState) -> f64 {
+        state.sum
     }
 }
 
@@ -106,11 +272,7 @@ impl CapacityMeasure {
         for &f in &assigned {
             base_counts[f as usize] += 1;
         }
-        let base_total = base_counts
-            .iter()
-            .zip(&capacities)
-            .map(|(&n, &c)| n.min(c) as f64)
-            .sum();
+        let base_total = base_counts.iter().zip(&capacities).map(|(&n, &c)| n.min(c) as f64).sum();
         CapacityMeasure { assigned, capacities, base_counts, base_total, new_capacity }
     }
 
@@ -151,6 +313,65 @@ impl InfluenceMeasure for CapacityMeasure {
     }
 }
 
+/// Running state of [`CapacityMeasure`]: per-facility defection counts
+/// plus the integer change in served clients across existing facilities.
+///
+/// Every quantity involved is an integer below 2^53, so the incremental
+/// value is bit-identical to [`CapacityMeasure::influence`] on the same
+/// set regardless of evaluation order.
+#[derive(Debug, Clone)]
+pub struct CapacityState {
+    /// `moved[f]` = members of the running RNN set assigned to `f`.
+    moved: Vec<u32>,
+    /// `Σ_f [min(|R(f)|−moved[f], c(f)) − min(|R(f)|, c(f))]`.
+    served_delta: i64,
+    /// Size of the running RNN set.
+    len: usize,
+}
+
+impl CapacityMeasure {
+    /// Served-count contribution of facility `f` when `m` of its clients
+    /// have defected to the candidate.
+    #[inline]
+    fn served(&self, f: usize, m: u32) -> i64 {
+        let before = self.base_counts[f];
+        debug_assert!(m <= before, "more defectors than clients at facility {f}");
+        (before - m).min(self.capacities[f]) as i64
+    }
+}
+
+impl IncrementalMeasure for CapacityMeasure {
+    type State = CapacityState;
+
+    fn new_state(&self) -> CapacityState {
+        CapacityState { moved: vec![0; self.capacities.len()], served_delta: 0, len: 0 }
+    }
+
+    fn add(&self, state: &mut CapacityState, id: u32) {
+        let f = self.assigned[id as usize] as usize;
+        let m = state.moved[f];
+        state.served_delta += self.served(f, m + 1) - self.served(f, m);
+        state.moved[f] = m + 1;
+        state.len += 1;
+    }
+
+    fn remove(&self, state: &mut CapacityState, id: u32) {
+        let f = self.assigned[id as usize] as usize;
+        let m = state.moved[f];
+        debug_assert!(m > 0, "removing from a facility with no defectors");
+        state.served_delta += self.served(f, m - 1) - self.served(f, m);
+        state.moved[f] = m - 1;
+        state.len -= 1;
+    }
+
+    fn current(&self, state: &CapacityState) -> f64 {
+        // All terms are integers < 2^53: exact in f64, any order.
+        self.base_total
+            + state.served_delta as f64
+            + (state.len as u32).min(self.new_capacity) as f64
+    }
+}
+
 /// Number of "compatibility" edges with both endpoints inside the RNN set
 /// (the taxi-sharing measure of Fig 3: passengers connected by an edge can
 /// share a ride).
@@ -186,6 +407,39 @@ impl InfluenceMeasure for ConnectivityMeasure {
             }
         }
         (twice_edges / 2) as f64
+    }
+}
+
+/// Running state of [`ConnectivityMeasure`]: a membership bitmap plus the
+/// count of edges with both endpoints present. Updates cost `O(deg)`.
+#[derive(Debug, Clone)]
+pub struct ConnectivityState {
+    present: Vec<bool>,
+    edges: u64,
+}
+
+impl IncrementalMeasure for ConnectivityMeasure {
+    type State = ConnectivityState;
+
+    fn new_state(&self) -> ConnectivityState {
+        ConnectivityState { present: vec![false; self.adj.len()], edges: 0 }
+    }
+
+    fn add(&self, state: &mut ConnectivityState, id: u32) {
+        debug_assert!(!state.present[id as usize], "duplicate add of client {id}");
+        state.edges +=
+            self.adj[id as usize].iter().filter(|&&nb| state.present[nb as usize]).count() as u64;
+        state.present[id as usize] = true;
+    }
+
+    fn remove(&self, state: &mut ConnectivityState, id: u32) {
+        state.present[id as usize] = false;
+        state.edges -=
+            self.adj[id as usize].iter().filter(|&&nb| state.present[nb as usize]).count() as u64;
+    }
+
+    fn current(&self, state: &ConnectivityState) -> f64 {
+        state.edges as f64
     }
 }
 
@@ -270,12 +524,79 @@ mod tests {
                         s.push(u);
                     }
                 }
-                assert!(
-                    measure.influence(&s) <= ub + 1e-9,
-                    "ub {ub} violated by subset {s:?}"
-                );
+                assert!(measure.influence(&s) <= ub + 1e-9, "ub {ub} violated by subset {s:?}");
             }
         }
+    }
+
+    /// Replays random add/remove sequences against a measure, asserting
+    /// after each step that the incremental value equals a from-scratch
+    /// `influence` evaluation of the same set (bitwise).
+    fn check_incremental<M: IncrementalMeasure>(measure: &M, universe: u32, seed: u64) {
+        let mut state = measure.new_state();
+        let mut members: Vec<u32> = Vec::new();
+        let mut rng_state = seed;
+        let mut next = |m: u64| {
+            rng_state =
+                rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (rng_state >> 33) % m
+        };
+        for step in 0..500 {
+            let id = next(universe as u64) as u32;
+            if let Some(pos) = members.iter().position(|&m| m == id) {
+                members.swap_remove(pos);
+                measure.remove(&mut state, id);
+            } else {
+                members.push(id);
+                measure.add(&mut state, id);
+            }
+            let expect = measure.influence(&members);
+            let got = measure.current(&state);
+            assert!(
+                got.to_bits() == expect.to_bits(),
+                "step {step}: incremental {got} != influence {expect} on {members:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn count_incremental_matches_influence() {
+        check_incremental(&CountMeasure, 40, 1);
+    }
+
+    #[test]
+    fn weighted_incremental_matches_influence_on_dyadic_weights() {
+        // Dyadic weights sum exactly in f64, so insertion order cannot
+        // change the result and bit-identity must hold.
+        let weights: Vec<f64> = (0..40).map(|i| (i % 13) as f64 * 0.25).collect();
+        check_incremental(&WeightedMeasure::new(weights), 40, 2);
+    }
+
+    #[test]
+    fn capacity_incremental_matches_influence() {
+        let assigned: Vec<u32> = (0..40).map(|i| i % 5).collect();
+        let capacities = vec![1, 5, 2, 3, 4];
+        check_incremental(&CapacityMeasure::new(assigned, capacities, 3), 40, 3);
+    }
+
+    #[test]
+    fn connectivity_incremental_matches_influence() {
+        let edges: Vec<(u32, u32)> =
+            (0..40u32).flat_map(|a| [(a, (a + 1) % 40), (a, (a + 7) % 40)]).collect();
+        check_incremental(&ConnectivityMeasure::from_edges(40, &edges), 40, 4);
+    }
+
+    #[test]
+    fn exact_fallback_tracks_any_measure() {
+        // A deliberately order-insensitive but non-decomposable measure:
+        // the maximum client id in the set.
+        struct MaxId;
+        impl InfluenceMeasure for MaxId {
+            fn influence(&self, rnn: &[u32]) -> f64 {
+                rnn.iter().copied().max().map_or(0.0, |m| m as f64 + 1.0)
+            }
+        }
+        check_incremental(&ExactFallback(MaxId), 25, 5);
     }
 
     #[test]

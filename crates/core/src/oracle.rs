@@ -56,10 +56,7 @@ pub fn rnn_at_points(
     let mut out = Vec::new();
     for (i, o) in clients.iter().enumerate() {
         let d_q = metric.dist(o, &q);
-        let d_nn = facilities
-            .iter()
-            .map(|f| metric.dist(o, f))
-            .fold(f64::INFINITY, f64::min);
+        let d_nn = facilities.iter().map(|f| metric.dist(o, f)).fold(f64::INFINITY, f64::min);
         if d_q < d_nn {
             out.push(i as u32);
         }
@@ -94,17 +91,10 @@ pub fn area_by_signature(regions: &[LabeledRegion]) -> HashMap<Vec<u32>, f64> {
 
 /// Asserts two signature→area maps agree up to `tol` (panics with a
 /// readable diff otherwise). Test helper.
-pub fn assert_area_maps_equal(
-    a: &HashMap<Vec<u32>, f64>,
-    b: &HashMap<Vec<u32>, f64>,
-    tol: f64,
-) {
+pub fn assert_area_maps_equal(a: &HashMap<Vec<u32>, f64>, b: &HashMap<Vec<u32>, f64>, tol: f64) {
     for (sig, &area_a) in a {
         let area_b = b.get(sig).copied().unwrap_or(0.0);
-        assert!(
-            (area_a - area_b).abs() <= tol,
-            "signature {sig:?}: area {area_a} vs {area_b}"
-        );
+        assert!((area_a - area_b).abs() <= tol, "signature {sig:?}: area {area_a} vs {area_b}");
     }
     for (sig, &area_b) in b {
         if !a.contains_key(sig) {
@@ -125,8 +115,7 @@ mod tests {
         let facilities = vec![Point::new(1.0, 0.0), Point::new(5.0, 5.0)];
         for metric in [Metric::Linf, Metric::L1] {
             let arr =
-                build_square_arrangement(&clients, &facilities, metric, Mode::Bichromatic)
-                    .unwrap();
+                build_square_arrangement(&clients, &facilities, metric, Mode::Bichromatic).unwrap();
             let probes = [
                 Point::new(0.5, 0.25),
                 Point::new(3.0, 0.5),

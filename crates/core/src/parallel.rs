@@ -19,6 +19,40 @@ use crate::measure::InfluenceMeasure;
 use crate::sink::{CollectSink, MaxSink, RegionSink, ThresholdSink, TopKSink};
 use crate::stats::SweepStats;
 
+/// The number of worker threads worth spawning on this machine:
+/// `std::thread::available_parallelism()`, falling back to 1 when the
+/// parallelism cannot be determined.
+///
+/// Both the slab-parallel CREST driver and the row-parallel scanline
+/// rasterizer cap their fan-out at this value — spawning more threads
+/// than cores only adds scheduling overhead.
+pub fn effective_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Splits `0..total` into at most `parts` contiguous, balanced,
+/// non-empty ranges (fewer when `total < parts`).
+///
+/// Used to hand each worker thread a contiguous block of work (pixel
+/// rows, slabs) whose sizes differ by at most one.
+pub fn chunk_ranges(total: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let parts = parts.max(1).min(total.max(1));
+    if total == 0 {
+        return Vec::new();
+    }
+    let base = total / parts;
+    let extra = total % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, total);
+    out
+}
+
 /// A sink whose per-thread instances can be folded into one result.
 pub trait MergeableSink: RegionSink + Send {
     /// Absorbs another instance's labels.
@@ -96,6 +130,12 @@ fn slab_bounds(arr: &SquareArrangement, n_slabs: usize) -> Vec<f64> {
 /// `make_sink` creates one sink per slab. Returns the merged sink and
 /// aggregate statistics. With `full_strips = true` the CREST-A tiling
 /// sweep is used instead (exact strip tiling, e.g. for rasterization).
+///
+/// One worker thread is spawned per slab, so `n_slabs` is capped at
+/// [`effective_parallelism`]: requesting more slabs than cores would
+/// oversubscribe the machine and re-balance bounds for slabs that can
+/// never run concurrently. The balanced slab bounds are computed once,
+/// for the capped count.
 pub fn parallel_crest<M, S, F>(
     arr: &SquareArrangement,
     measure: &M,
@@ -109,6 +149,33 @@ where
     F: Fn() -> S,
 {
     assert!(n_slabs >= 1, "need at least one slab");
+    parallel_crest_uncapped(
+        arr,
+        measure,
+        n_slabs.min(effective_parallelism()),
+        full_strips,
+        make_sink,
+    )
+}
+
+/// [`parallel_crest`] without the [`effective_parallelism`] cap.
+///
+/// Exposed so correctness tests can exercise the multi-slab merge path
+/// regardless of the host's core count; production callers should use
+/// [`parallel_crest`].
+#[doc(hidden)]
+pub fn parallel_crest_uncapped<M, S, F>(
+    arr: &SquareArrangement,
+    measure: &M,
+    n_slabs: usize,
+    full_strips: bool,
+    make_sink: F,
+) -> (S, SweepStats)
+where
+    M: InfluenceMeasure + Sync,
+    S: MergeableSink,
+    F: Fn() -> S,
+{
     if arr.is_empty() || n_slabs == 1 {
         let mut sink = make_sink();
         let stats = if full_strips {
@@ -119,10 +186,8 @@ where
         return (sink, stats);
     }
     let bounds = slab_bounds(arr, n_slabs);
-    let slabs: Vec<SquareArrangement> = bounds
-        .windows(2)
-        .map(|w| clip_to_slab(arr, w[0], w[1]))
-        .collect();
+    let slabs: Vec<SquareArrangement> =
+        bounds.windows(2).map(|w| clip_to_slab(arr, w[0], w[1])).collect();
 
     let mut results: Vec<(S, SweepStats)> = Vec::with_capacity(slabs.len());
     thread::scope(|scope| {
@@ -186,8 +251,7 @@ mod tests {
         let arr = arr_from_squares(pseudo_squares(60, 42));
         let mut seq = CollectSink::default();
         crest_a_sweep(&arr, &CountMeasure, &mut seq);
-        let (par, _) =
-            parallel_crest(&arr, &CountMeasure, 4, true, CollectSink::default);
+        let (par, _) = parallel_crest_uncapped(&arr, &CountMeasure, 4, true, CollectSink::default);
         let a = area_by_signature(&seq.regions);
         let b = area_by_signature(&par.regions);
         assert_area_maps_equal(&a, &b, 1e-6);
@@ -198,7 +262,7 @@ mod tests {
         let arr = arr_from_squares(pseudo_squares(80, 7));
         let mut seq = MaxSink::default();
         crest_sweep(&arr, &CountMeasure, &mut seq);
-        let (par, _) = parallel_crest(&arr, &CountMeasure, 4, false, MaxSink::default);
+        let (par, _) = parallel_crest_uncapped(&arr, &CountMeasure, 4, false, MaxSink::default);
         assert_eq!(
             seq.best.unwrap().influence,
             par.best.unwrap().influence,
@@ -207,12 +271,49 @@ mod tests {
     }
 
     #[test]
+    fn chunk_ranges_are_balanced_and_cover() {
+        for (total, parts) in [(10, 3), (7, 7), (3, 8), (1024, 16), (0, 4), (5, 1)] {
+            let ranges = chunk_ranges(total, parts);
+            assert!(ranges.len() <= parts.max(1));
+            // Contiguous cover of 0..total.
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next);
+                assert!(!r.is_empty(), "no empty chunks");
+                next = r.end;
+            }
+            assert_eq!(next, total);
+            // Balanced: sizes differ by at most one.
+            if let (Some(min), Some(max)) =
+                (ranges.iter().map(|r| r.len()).min(), ranges.iter().map(|r| r.len()).max())
+            {
+                assert!(max - min <= 1, "unbalanced chunks for {total}/{parts}");
+            }
+        }
+    }
+
+    #[test]
+    fn capped_slab_count_still_correct() {
+        // Request far more slabs than any machine has cores: the public
+        // entry point must cap and still produce an exact tiling.
+        let arr = arr_from_squares(pseudo_squares(40, 11));
+        let mut seq = CollectSink::default();
+        crest_a_sweep(&arr, &CountMeasure, &mut seq);
+        let (par, _) = parallel_crest(&arr, &CountMeasure, 4096, true, CollectSink::default);
+        assert_area_maps_equal(
+            &area_by_signature(&seq.regions),
+            &area_by_signature(&par.regions),
+            1e-6,
+        );
+        assert!(effective_parallelism() >= 1);
+    }
+
+    #[test]
     fn single_slab_falls_through() {
         let arr = arr_from_squares(pseudo_squares(10, 3));
         let mut seq = CollectSink::default();
         let seq_stats = crest_sweep(&arr, &CountMeasure, &mut seq);
-        let (par, par_stats) =
-            parallel_crest(&arr, &CountMeasure, 1, false, CollectSink::default);
+        let (par, par_stats) = parallel_crest(&arr, &CountMeasure, 1, false, CollectSink::default);
         assert_eq!(seq.regions.len(), par.regions.len());
         assert_eq!(seq_stats, par_stats);
     }
@@ -222,7 +323,7 @@ mod tests {
         let arr = arr_from_squares(pseudo_squares(50, 99));
         let mut seq = TopKSink::new(5);
         crest_sweep(&arr, &CountMeasure, &mut seq);
-        let (par, _) = parallel_crest(&arr, &CountMeasure, 3, false, || TopKSink::new(5));
+        let (par, _) = parallel_crest_uncapped(&arr, &CountMeasure, 3, false, || TopKSink::new(5));
         let seq_top: Vec<f64> = seq.top().iter().map(|r| r.influence).collect();
         let par_top: Vec<f64> = par.top().iter().map(|r| r.influence).collect();
         assert_eq!(seq_top, par_top, "top-k influences differ");

@@ -25,7 +25,8 @@ pub fn top_k(regions: &[LabeledRegion], k: usize) -> Vec<LabeledRegion> {
             None => seen.push((sig, i)),
         }
     }
-    let mut picked: Vec<LabeledRegion> = seen.into_iter().map(|(_, i)| regions[i].clone()).collect();
+    let mut picked: Vec<LabeledRegion> =
+        seen.into_iter().map(|(_, i)| regions[i].clone()).collect();
     picked.sort_by(|a, b| b.influence.partial_cmp(&a.influence).expect("finite influence"));
     picked.truncate(k);
     picked
@@ -79,12 +80,8 @@ mod tests {
 
     #[test]
     fn distinct_signature_count() {
-        let regions = vec![
-            region(&[1], 1.0),
-            region(&[1], 1.0),
-            region(&[2], 1.0),
-            region(&[], 0.0),
-        ];
+        let regions =
+            vec![region(&[1], 1.0), region(&[1], 1.0), region(&[2], 1.0), region(&[], 0.0)];
         assert_eq!(distinct_signatures(&regions), 3);
     }
 }

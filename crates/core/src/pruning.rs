@@ -89,13 +89,7 @@ impl<M: InfluenceMeasure> Search<'_, M> {
     /// prune: a partial assignment no existing face matches is abandoned
     /// immediately. Combined with the influence upper bound this is the
     /// paper's "filter and refine paradigm … with pruning techniques".
-    fn dfs(
-        &mut self,
-        nbr_owners: &[u32],
-        idx: usize,
-        faces: &[(Mask, Point)],
-        cand: &[u32],
-    ) {
+    fn dfs(&mut self, nbr_owners: &[u32], idx: usize, faces: &[(Mask, Point)], cand: &[u32]) {
         if cand.is_empty() {
             return; // no enumerated region exists under this assignment
         }
@@ -418,10 +412,8 @@ mod tests {
     fn witness_pool_covers_lens_faces() {
         // Two crossing circles: the pool must contain witnesses for all
         // three faces of the lens configuration.
-        let disks = vec![
-            Circle::new(Point::new(0.0, 0.0), 1.0),
-            Circle::new(Point::new(1.0, 0.0), 1.0),
-        ];
+        let disks =
+            vec![Circle::new(Point::new(0.0, 0.0), 1.0), Circle::new(Point::new(1.0, 0.0), 1.0)];
         let cands = witness_candidates(&disks, 0, &[1], 10_000);
         let in_both =
             cands.iter().any(|w| disks[0].contains_open(*w) && disks[1].contains_open(*w));
@@ -433,10 +425,8 @@ mod tests {
 
     #[test]
     fn face_table_distinguishes_faces() {
-        let disks = vec![
-            Circle::new(Point::new(0.0, 0.0), 1.0),
-            Circle::new(Point::new(1.0, 0.0), 1.0),
-        ];
+        let disks =
+            vec![Circle::new(Point::new(0.0, 0.0), 1.0), Circle::new(Point::new(1.0, 0.0), 1.0)];
         let witnesses = witness_candidates(&disks, 0, &[1], 10_000);
         let mut stats = PruningStats::default();
         let mut budget = u64::MAX;

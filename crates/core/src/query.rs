@@ -100,12 +100,14 @@ mod tests {
 
     #[test]
     fn candidate_scores_match_containment() {
-        let arr = arr_from_squares(vec![
-            Rect::new(0.0, 2.0, 0.0, 2.0),
-            Rect::new(1.0, 3.0, 1.0, 3.0),
-        ]);
-        let candidates =
-            vec![Point::new(0.5, 0.5), Point::new(1.5, 1.5), Point::new(2.5, 2.5), Point::new(5.0, 5.0)];
+        let arr =
+            arr_from_squares(vec![Rect::new(0.0, 2.0, 0.0, 2.0), Rect::new(1.0, 3.0, 1.0, 3.0)]);
+        let candidates = vec![
+            Point::new(0.5, 0.5),
+            Point::new(1.5, 1.5),
+            Point::new(2.5, 2.5),
+            Point::new(5.0, 5.0),
+        ];
         let scored = influence_at_points_square(&arr, &CountMeasure, &candidates);
         let counts: Vec<f64> = scored.iter().map(|(_, f)| *f).collect();
         assert_eq!(counts, vec![1.0, 2.0, 1.0, 0.0]);
@@ -146,10 +148,8 @@ mod tests {
 
     #[test]
     fn disk_candidates_match_containment() {
-        let disks = vec![
-            Circle::new(Point::new(0.0, 0.0), 2.0),
-            Circle::new(Point::new(1.0, 0.0), 2.0),
-        ];
+        let disks =
+            vec![Circle::new(Point::new(0.0, 0.0), 2.0), Circle::new(Point::new(1.0, 0.0), 2.0)];
         let arr = DiskArrangement { disks, owners: vec![0, 1], n_clients: 2, dropped: 0 };
         let scored = influence_at_points_disk(
             &arr,

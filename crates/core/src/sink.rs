@@ -125,16 +125,13 @@ impl RegionSink for TopKSink {
             return;
         }
         // Collapse relabelings of the same region (same RNN set).
-        if let Some(existing) = self.entries.iter().position(|e| Self::signature_eq(&e.rnn, rnn))
-        {
+        if let Some(existing) = self.entries.iter().position(|e| Self::signature_eq(&e.rnn, rnn)) {
             if self.entries[existing].influence >= influence {
                 return;
             }
             self.entries.remove(existing);
         }
-        let pos = self
-            .entries
-            .partition_point(|e| e.influence >= influence);
+        let pos = self.entries.partition_point(|e| e.influence >= influence);
         self.entries.insert(pos, LabeledRegion { rect, rnn: rnn.to_vec(), influence });
         self.entries.truncate(self.k);
     }

@@ -68,9 +68,7 @@ impl<'a, S: RegionSink> WindowSink<'a, S> {
 impl<S: RegionSink> RegionSink for WindowSink<'_, S> {
     fn label(&mut self, rect: Rect, rnn: &[u32], influence: f64) {
         match rect.intersection(&self.window) {
-            Some(clipped) if clipped.area() > 0.0 => {
-                self.inner.label(clipped, rnn, influence)
-            }
+            Some(clipped) if clipped.area() > 0.0 => self.inner.label(clipped, rnn, influence),
             _ => self.dropped += 1,
         }
     }
@@ -192,10 +190,8 @@ mod tests {
 
     #[test]
     fn clip_preserves_owner_mapping() {
-        let arr = arr_from_squares(vec![
-            Rect::new(0.0, 4.0, 0.0, 4.0),
-            Rect::new(6.0, 9.0, 6.0, 9.0),
-        ]);
+        let arr =
+            arr_from_squares(vec![Rect::new(0.0, 4.0, 0.0, 4.0), Rect::new(6.0, 9.0, 6.0, 9.0)]);
         let window = Rect::new(3.0, 7.0, 0.0, 10.0);
         let clipped = clip_arrangement(&arr, &window);
         assert_eq!(clipped.owners, vec![0, 1]);

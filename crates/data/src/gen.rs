@@ -81,9 +81,7 @@ mod tests {
     fn uniform_covers_all_quadrants() {
         let pts = uniform(2000, UNIT, 3);
         let q = |px: bool, py: bool| {
-            pts.iter()
-                .filter(|p| (p.x > 0.5) == px && (p.y > 0.5) == py)
-                .count()
+            pts.iter().filter(|p| (p.x > 0.5) == px && (p.y > 0.5) == py).count()
         };
         for (px, py) in [(false, false), (false, true), (true, false), (true, true)] {
             let c = q(px, py);

@@ -35,7 +35,10 @@ pub fn read_points<R: Read>(r: R) -> io::Result<Vec<Point>> {
         let parse = |s: Option<&str>| -> io::Result<f64> {
             s.map(str::trim)
                 .ok_or_else(|| {
-                    io::Error::new(io::ErrorKind::InvalidData, format!("line {}: missing field", lineno + 1))
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("line {}: missing field", lineno + 1),
+                    )
                 })?
                 .parse::<f64>()
                 .map_err(|e| {

@@ -24,13 +24,16 @@ pub struct RandomWaypoint {
 impl RandomWaypoint {
     /// Starts `points` moving inside `extent` with speeds uniform in
     /// `[min_speed, max_speed]` (distance per tick).
-    pub fn new(points: Vec<Point>, extent: Rect, min_speed: f64, max_speed: f64, seed: u64) -> Self {
+    pub fn new(
+        points: Vec<Point>,
+        extent: Rect,
+        min_speed: f64,
+        max_speed: f64,
+        seed: u64,
+    ) -> Self {
         assert!(min_speed >= 0.0 && max_speed >= min_speed, "invalid speed range");
         let mut rng = StdRng::seed_from_u64(seed);
-        let targets = points
-            .iter()
-            .map(|_| random_point(&mut rng, &extent))
-            .collect();
+        let targets = points.iter().map(|_| random_point(&mut rng, &extent)).collect();
         let speeds = points
             .iter()
             .map(|_| min_speed + rng.random::<f64>() * (max_speed - min_speed))
@@ -102,12 +105,7 @@ mod tests {
         let pts = vec![Point::new(5.0, 5.0); 5];
         let mut m = RandomWaypoint::new(pts.clone(), unit(), 0.2, 0.2, 9);
         m.step();
-        let moved = m
-            .positions()
-            .iter()
-            .zip(&pts)
-            .filter(|(a, b)| a.dist2(b) > 1e-12)
-            .count();
+        let moved = m.positions().iter().zip(&pts).filter(|(a, b)| a.dist2(b) > 1e-12).count();
         assert_eq!(moved, 5, "every point moves each tick");
         // Step length respects the speed.
         for (a, b) in m.positions().iter().zip(&pts) {

@@ -83,10 +83,8 @@ pub fn sample_clients_facilities(
     let mut idx: Vec<u32> = (0..points.len() as u32).collect();
     idx.shuffle(&mut rng);
     let clients = idx[..n_clients].iter().map(|&i| points[i as usize]).collect();
-    let facilities = idx[n_clients..n_clients + n_facilities]
-        .iter()
-        .map(|&i| points[i as usize])
-        .collect();
+    let facilities =
+        idx[n_clients..n_clients + n_facilities].iter().map(|&i| points[i as usize]).collect();
     (clients, facilities)
 }
 

@@ -257,10 +257,7 @@ mod tests {
         let ba = b.intersect(&a);
         assert_eq!(ab.len(), ba.len());
         for p in &ab {
-            assert!(ba
-                .as_slice()
-                .iter()
-                .any(|q| p.dist2(q) < 1e-9));
+            assert!(ba.as_slice().iter().any(|q| p.dist2(q) < 1e-9));
         }
     }
 

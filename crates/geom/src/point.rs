@@ -65,10 +65,7 @@ impl Point {
     /// Lexicographic (x, then y) comparison; a total order for finite points.
     #[inline]
     pub fn lex_cmp(&self, other: &Point) -> std::cmp::Ordering {
-        self.x
-            .partial_cmp(&other.x)
-            .unwrap()
-            .then(self.y.partial_cmp(&other.y).unwrap())
+        self.x.partial_cmp(&other.x).unwrap().then(self.y.partial_cmp(&other.y).unwrap())
     }
 }
 

@@ -126,12 +126,7 @@ impl Rect {
 
     /// Expands every side outward by `margin` (inward if negative).
     pub fn inflate(&self, margin: f64) -> Rect {
-        Rect::new(
-            self.x_lo - margin,
-            self.x_hi + margin,
-            self.y_lo - margin,
-            self.y_hi + margin,
-        )
+        Rect::new(self.x_lo - margin, self.x_hi + margin, self.y_lo - margin, self.y_hi + margin)
     }
 
     /// Minimum L2 distance from `p` to the closed rectangle (0 if inside).

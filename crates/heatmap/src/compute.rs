@@ -1,30 +1,76 @@
 //! Rasterization: influence values on a pixel grid.
 //!
-//! Two paths:
+//! Three paths, trading generality for speed:
 //!
-//! * **Exact, generic** ([`rasterize_squares`], [`rasterize_disks`]):
-//!   a point-enclosure query per pixel center against the NN-circle
-//!   index, then the influence measure on the resulting RNN set. Exact
-//!   for *any* measure; `O(P · (log n + α + measure))` for `P` pixels.
+//! * **Exact scanline** ([`rasterize_squares`], [`rasterize_disks`] —
+//!   the default): each pixel row is swept once; NN-shapes contribute
+//!   enter/leave events at the pixel columns where their row span
+//!   starts and ends, and the influence is maintained *incrementally*
+//!   ([`rnnhm_core::IncrementalMeasure`]) between events instead of
+//!   being recomputed per pixel. Rows render in parallel bands across
+//!   all cores. `O(Σ rows(shape) + events·log events + P)` — typically
+//!   orders of magnitude less work than the per-pixel oracle at heat-map
+//!   resolutions. Implemented in [`crate::scanline`].
+//! * **Exact per-pixel oracle** ([`rasterize_squares_oracle`],
+//!   [`rasterize_disks_oracle`]): an independent point-enclosure query
+//!   per pixel center against an R-tree over the NN-circles, then the
+//!   measure on the resulting RNN set. `O(P · (log n + α + measure))`
+//!   with no coherence between adjacent pixels. Works for any
+//!   [`InfluenceMeasure`] (no incremental interface needed) and serves
+//!   as the reference implementation the scanline path is tested
+//!   bit-identical against (`tests/scanline_matches_oracle.rs`).
 //! * **Fast, count-only** ([`rasterize_count_squares_fast`]): the paper's
 //!   superimposition (Fig 3(b)) as a 2-D difference array over pixel
 //!   bins, `O(n + P)`. As §I explains, superimposition is only correct
-//!   when the influence is the plain RNN count.
+//!   when the influence is the plain RNN count — and here only for
+//!   *binned* (pixel-aligned) coverage in identity coordinates.
+//!
+//! The scanline path is bit-identical to the oracle for every measure
+//! whose value is an order-insensitive exact computation (all four
+//! paper measures; see [`rnnhm_core::IncrementalMeasure`]'s contract).
+//! Measures summing arbitrary floats may differ from the oracle by f64
+//! addition order (~1 ULP); use [`rasterize_squares_oracle`] when exact
+//! stab-order rounding is required.
 
 use rnnhm_core::arrangement::{DiskArrangement, SquareArrangement};
-use rnnhm_core::measure::InfluenceMeasure;
+use rnnhm_core::measure::{IncrementalMeasure, InfluenceMeasure};
 use rnnhm_geom::{Circle, Rect};
 use rnnhm_index::RTree;
 
 use crate::raster::{GridSpec, HeatRaster};
+use crate::scanline::{rasterize_disks_scanline, rasterize_squares_scanline};
 
 /// Exact rasterization of a square arrangement (L∞ or rotated L1) under
-/// any influence measure.
+/// any incremental influence measure — the row-parallel scanline path.
 ///
 /// `spec.extent` is in *original* (input) coordinates; pixel centers are
 /// mapped through the arrangement's [`rnnhm_core::CoordSpace`] before the
-/// enclosure query, so L1 heat maps come out unrotated.
-pub fn rasterize_squares<M: InfluenceMeasure>(
+/// enclosure test, so L1 heat maps come out unrotated.
+///
+/// Measures without a native [`IncrementalMeasure`] implementation can
+/// be wrapped in [`rnnhm_core::ExactFallback`]; the fully generic
+/// per-pixel path remains available as [`rasterize_squares_oracle`].
+pub fn rasterize_squares<M: IncrementalMeasure + Sync>(
+    arr: &SquareArrangement,
+    measure: &M,
+    spec: GridSpec,
+) -> HeatRaster {
+    rasterize_squares_scanline(arr, measure, spec)
+}
+
+/// Exact rasterization of a disk arrangement (L2) under any incremental
+/// influence measure — the row-parallel scanline path.
+pub fn rasterize_disks<M: IncrementalMeasure + Sync>(
+    arr: &DiskArrangement,
+    measure: &M,
+    spec: GridSpec,
+) -> HeatRaster {
+    rasterize_disks_scanline(arr, measure, spec)
+}
+
+/// Per-pixel-stab exact rasterization of a square arrangement — the
+/// reference implementation (see module docs).
+pub fn rasterize_squares_oracle<M: InfluenceMeasure>(
     arr: &SquareArrangement,
     measure: &M,
     spec: GridSpec,
@@ -46,8 +92,9 @@ pub fn rasterize_squares<M: InfluenceMeasure>(
     raster
 }
 
-/// Exact rasterization of a disk arrangement (L2) under any measure.
-pub fn rasterize_disks<M: InfluenceMeasure>(
+/// Per-pixel-stab exact rasterization of a disk arrangement — the
+/// reference implementation (see module docs).
+pub fn rasterize_disks_oracle<M: InfluenceMeasure>(
     arr: &DiskArrangement,
     measure: &M,
     spec: GridSpec,
@@ -143,7 +190,9 @@ mod tests {
             ((state >> 11) as f64) / ((1u64 << 53) as f64)
         };
         (0..n)
-            .map(|_| Rect::centered(Point::new(next() * 8.0 + 1.0, next() * 8.0 + 1.0), 0.3 + next()))
+            .map(|_| {
+                Rect::centered(Point::new(next() * 8.0 + 1.0, next() * 8.0 + 1.0), 0.3 + next())
+            })
             .collect()
     }
 
@@ -167,10 +216,8 @@ mod tests {
 
     #[test]
     fn disks_raster_counts_coverage() {
-        let disks = vec![
-            Circle::new(Point::new(5.0, 5.0), 2.0),
-            Circle::new(Point::new(6.0, 5.0), 2.0),
-        ];
+        let disks =
+            vec![Circle::new(Point::new(5.0, 5.0), 2.0), Circle::new(Point::new(6.0, 5.0), 2.0)];
         let owners = vec![0, 1];
         let arr = DiskArrangement { disks, owners, n_clients: 2, dropped: 0 };
         let spec = GridSpec::new(50, 50, Rect::new(0.0, 10.0, 0.0, 10.0));

@@ -5,11 +5,14 @@
 //! Figs 1 and 15.
 //!
 //! * [`raster::HeatRaster`] — a rectangular grid of influence values,
-//! * [`compute`] — exact per-pixel rasterization for any influence
-//!   measure (point-enclosure queries on pixel centers) plus an `O(n + P)`
-//!   fast path for the count measure (2-D difference array — the
-//!   "superimposition" of paper Fig 3(b), which is exact for counts and
-//!   only for counts),
+//! * [`scanline`] — the default exact rasterizer: per-row enter/leave
+//!   events over NN-shape spans, incremental influence maintenance
+//!   between events, row-parallel across all cores,
+//! * [`compute`] — the rasterization front ends: scanline (default),
+//!   the per-pixel-stab oracle (any measure; the scanline path's test
+//!   reference) and an `O(n + P)` fast path for the count measure
+//!   (2-D difference array — the "superimposition" of paper Fig 3(b),
+//!   which is exact for counts and only for counts),
 //! * [`render`] — PPM/PGM/ASCII writers with heat color ramps (darker =
 //!   more influential, following the paper's figures).
 
@@ -17,8 +20,12 @@ pub mod compute;
 pub mod ops;
 pub mod raster;
 pub mod render;
+pub mod scanline;
 
-pub use compute::{rasterize_count_squares_fast, rasterize_disks, rasterize_squares};
-pub use raster::{GridSpec, HeatRaster};
+pub use compute::{
+    rasterize_count_squares_fast, rasterize_disks, rasterize_disks_oracle, rasterize_squares,
+    rasterize_squares_oracle,
+};
 pub use ops::{diff, downsample, max_pixel};
+pub use raster::{GridSpec, HeatRaster};
 pub use render::{write_pgm, write_ppm, ColorRamp};

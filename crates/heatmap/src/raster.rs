@@ -60,6 +60,15 @@ impl HeatRaster {
         HeatRaster { spec, values: vec![0.0; spec.width * spec.height] }
     }
 
+    /// Wraps an existing row-major value buffer (row 0 at the bottom).
+    ///
+    /// Used by renderers that fill rows in parallel and hand the buffer
+    /// over in one move. Panics if the length does not match the spec.
+    pub fn from_values(spec: GridSpec, values: Vec<f64>) -> Self {
+        assert_eq!(values.len(), spec.width * spec.height, "buffer/spec size mismatch");
+        HeatRaster { spec, values }
+    }
+
     /// Value at `(col, row)`.
     #[inline]
     pub fn get(&self, col: usize, row: usize) -> f64 {

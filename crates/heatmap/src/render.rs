@@ -38,8 +38,8 @@ impl ColorRamp {
                 let f = scaled - i as f64;
                 let mut rgb = [0u8; 3];
                 for k in 0..3 {
-                    rgb[k] = (ANCHORS[i][k] + (ANCHORS[i + 1][k] - ANCHORS[i][k]) * f)
-                        .round() as u8;
+                    rgb[k] =
+                        (ANCHORS[i][k] + (ANCHORS[i + 1][k] - ANCHORS[i][k]) * f).round() as u8;
                 }
                 rgb
             }

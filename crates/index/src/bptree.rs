@@ -108,10 +108,8 @@ impl<K: Ord + Copy> BPlusTree<K> {
             }
             InsertResult::Split(sep, right) => {
                 let old_root = self.root;
-                let new_root = self.alloc(Node::Internal {
-                    keys: vec![sep],
-                    children: vec![old_root, right],
-                });
+                let new_root =
+                    self.alloc(Node::Internal { keys: vec![sep], children: vec![old_root, right] });
                 self.root = new_root;
                 self.len += 1;
                 true
@@ -121,19 +119,17 @@ impl<K: Ord + Copy> BPlusTree<K> {
 
     fn insert_rec(&mut self, node: NodeId, key: K) -> InsertResult<K> {
         match &mut self.nodes[node] {
-            Node::Leaf { keys, .. } => {
-                match keys.binary_search(&key) {
-                    Ok(_) => InsertResult::Duplicate,
-                    Err(pos) => {
-                        keys.insert(pos, key);
-                        if keys.len() > MAX_KEYS {
-                            self.split_leaf(node)
-                        } else {
-                            InsertResult::Done
-                        }
+            Node::Leaf { keys, .. } => match keys.binary_search(&key) {
+                Ok(_) => InsertResult::Duplicate,
+                Err(pos) => {
+                    keys.insert(pos, key);
+                    if keys.len() > MAX_KEYS {
+                        self.split_leaf(node)
+                    } else {
+                        InsertResult::Done
                     }
                 }
-            }
+            },
             Node::Internal { keys, children } => {
                 let idx = keys.partition_point(|s| *s <= key);
                 let child = children[idx];

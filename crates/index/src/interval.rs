@@ -34,6 +34,22 @@ impl Interval {
     pub fn contains(&self, v: f64) -> bool {
         self.lo <= v && v <= self.hi
     }
+
+    /// Intersection of two closed intervals, if non-empty (a shared
+    /// endpoint yields a zero-length interval).
+    ///
+    /// Used by the scanline rasterizer to clip per-row coverage chords
+    /// to the raster's column span.
+    #[inline]
+    pub fn intersect(&self, other: &Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        if lo <= hi {
+            Some(Interval { lo, hi })
+        } else {
+            None
+        }
+    }
 }
 
 /// Merges intervals in place: sorts by `lo` and coalesces touching ones.
@@ -105,6 +121,20 @@ mod tests {
         // [y_1, ȳ_1] and [y_4, ȳ_4] merge into one interval because they
         // intersect.
         assert_eq!(merged(&[(1.0, 4.0), (3.0, 7.0)]), vec![(1.0, 7.0)]);
+    }
+
+    #[test]
+    fn intersect_clips() {
+        let a = Interval::new(0.0, 4.0);
+        let b = Interval::new(2.0, 6.0);
+        assert_eq!(a.intersect(&b), Some(Interval::new(2.0, 4.0)));
+        assert_eq!(b.intersect(&a), Some(Interval::new(2.0, 4.0)));
+        // Touching endpoints intersect in a zero-length interval.
+        let c = Interval::new(4.0, 5.0);
+        assert_eq!(a.intersect(&c), Some(Interval::new(4.0, 4.0)));
+        // Disjoint intervals do not intersect.
+        let d = Interval::new(4.5, 5.0);
+        assert_eq!(a.intersect(&d), None);
     }
 
     #[test]

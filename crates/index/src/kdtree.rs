@@ -61,12 +61,7 @@ impl KdTree {
 
     /// Nearest neighbor excluding one original index (for monochromatic
     /// RNN queries, where a point must not be its own NN).
-    pub fn nearest_excluding(
-        &self,
-        q: &Point,
-        metric: Metric,
-        exclude: u32,
-    ) -> Option<(u32, f64)> {
+    pub fn nearest_excluding(&self, q: &Point, metric: Metric, exclude: u32) -> Option<(u32, f64)> {
         if self.pts.len() < 2 && self.ids.first() == Some(&exclude) {
             return None;
         }
@@ -180,7 +175,14 @@ fn build_rec(pts: &mut [Point], ids: &mut [u32], lo: usize, hi: usize, depth: us
 }
 
 /// Quickselect on the coordinate chosen by `by_x`, permuting `ids` along.
-fn select_nth(pts: &mut [Point], ids: &mut [u32], mut lo: usize, mut hi: usize, nth: usize, by_x: bool) {
+fn select_nth(
+    pts: &mut [Point],
+    ids: &mut [u32],
+    mut lo: usize,
+    mut hi: usize,
+    nth: usize,
+    by_x: bool,
+) {
     let coord = |p: &Point| if by_x { p.x } else { p.y };
     while hi - lo > 1 {
         // Median-of-three pivot for resilience against sorted inputs.

@@ -55,10 +55,8 @@ impl RTree {
         // Build internal levels until a single root remains.
         let mut level = leaf_ids;
         while level.len() > 1 {
-            let mut upper: Vec<(Rect, u32)> = level
-                .iter()
-                .map(|&id| (node_mbr(&nodes[id]), id as u32))
-                .collect();
+            let mut upper: Vec<(Rect, u32)> =
+                level.iter().map(|&id| (node_mbr(&nodes[id]), id as u32)).collect();
             level = Self::pack(&mut upper, &mut nodes, false);
         }
         let root = level[0];

@@ -21,10 +21,8 @@ fn main() {
 
     // Current assignment: every client uses its nearest service point.
     let tree = KdTree::build(&facilities);
-    let assigned: Vec<u32> = clients
-        .iter()
-        .map(|o| tree.nearest(o, Metric::L2).expect("facilities").0)
-        .collect();
+    let assigned: Vec<u32> =
+        clients.iter().map(|o| tree.nearest(o, Metric::L2).expect("facilities").0).collect();
     let mut load = vec![0u32; facilities.len()];
     for &f in &assigned {
         load[f as usize] += 1;
@@ -44,8 +42,8 @@ fn main() {
 
     // Where would one new 50-slot service point help most? Color the
     // regions under the capacity measure and take the best.
-    let arr = build_disk_arrangement(&clients, &facilities, Mode::Bichromatic)
-        .expect("non-empty input");
+    let arr =
+        build_disk_arrangement(&clients, &facilities, Mode::Bichromatic).expect("non-empty input");
     let (best, stats) = crest_l2_max_region(&arr, &measure);
     let best = best.expect("some region exists");
     let c = best.rect.center();
@@ -58,10 +56,7 @@ fn main() {
         best.influence - measure.base_total(),
         best.rnn.len()
     );
-    println!(
-        "CREST-L2 labeled {} regions across {} events",
-        stats.labels, stats.events
-    );
+    println!("CREST-L2 labeled {} regions across {} events", stats.labels, stats.events);
 
     // Cross-check with the filter-and-refine comparator of [22]. Its
     // enumeration is exponential in the overlap degree (this is exactly

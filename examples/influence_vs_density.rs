@@ -41,13 +41,7 @@ fn main() {
     for (i, r) in top.iter().enumerate() {
         // Labels are in the rotated (L1 sweep) frame; map back.
         let c = arr.space.to_original(r.rect.center());
-        println!(
-            "  #{}: influence {:>5.0} at ({:.2}, {:.2})",
-            i + 1,
-            r.influence,
-            c.x,
-            c.y
-        );
+        println!("  #{}: influence {:>5.0} at ({:.2}, {:.2})", i + 1, r.influence, c.x, c.y);
     }
 
     // The punchline: the best regions are NOT inside the dense cluster.

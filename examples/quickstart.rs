@@ -30,8 +30,8 @@ fn main() {
 
     // 1. Reduce the heat map problem to Region Coloring: build the
     //    NN-circle arrangement (L2 distance here).
-    let arr = build_disk_arrangement(&clients, &facilities, Mode::Bichromatic)
-        .expect("non-empty input");
+    let arr =
+        build_disk_arrangement(&clients, &facilities, Mode::Bichromatic).expect("non-empty input");
     println!(
         "{} clients, {} facilities -> {} NN-circles",
         clients.len(),

@@ -28,7 +28,7 @@ use rnnhm_core::arrangement::{
 };
 use rnnhm_core::crest::crest_sweep;
 use rnnhm_core::crest_l2::crest_l2_sweep;
-use rnnhm_core::measure::InfluenceMeasure;
+use rnnhm_core::measure::{IncrementalMeasure, InfluenceMeasure};
 use rnnhm_core::postprocess::{threshold, top_k};
 use rnnhm_core::query::{influence_at_points_disk, influence_at_points_square};
 use rnnhm_core::sink::{CollectSink, LabeledRegion};
@@ -80,8 +80,7 @@ impl HeatMapBuilder {
                 (Arrangement::Disk(arr), stats)
             }
             m => {
-                let arr =
-                    build_square_arrangement(&self.clients, &self.facilities, m, self.mode)?;
+                let arr = build_square_arrangement(&self.clients, &self.facilities, m, self.mode)?;
                 let stats = crest_sweep(&arr, &measure, &mut sink);
                 (Arrangement::Square(arr), stats)
             }
@@ -153,19 +152,43 @@ impl<M: InfluenceMeasure> RnnHeatMap<M> {
         }
     }
 
-    /// Renders the heat map exactly over `spec` (input-space extent).
+    /// Number of NN-circles in the arrangement.
+    pub fn n_circles(&self) -> usize {
+        match &self.arrangement {
+            Arrangement::Square(arr) => arr.len(),
+            Arrangement::Disk(arr) => arr.len(),
+        }
+    }
+}
+
+impl<M: IncrementalMeasure + Sync> RnnHeatMap<M> {
+    /// Renders the heat map exactly over `spec` (input-space extent)
+    /// with the row-parallel scanline rasterizer.
+    ///
+    /// Measures without a native [`IncrementalMeasure`] implementation
+    /// can build the map through
+    /// [`rnnhm_core::measure::ExactFallback`], or render with
+    /// [`RnnHeatMap::raster_oracle`].
     pub fn raster(&self, spec: GridSpec) -> HeatRaster {
         match &self.arrangement {
             Arrangement::Square(arr) => rasterize_squares(arr, &self.measure, spec),
             Arrangement::Disk(arr) => rasterize_disks(arr, &self.measure, spec),
         }
     }
+}
 
-    /// Number of NN-circles in the arrangement.
-    pub fn n_circles(&self) -> usize {
+impl<M: InfluenceMeasure> RnnHeatMap<M> {
+    /// Renders the heat map with the per-pixel-stab reference path —
+    /// available for any [`InfluenceMeasure`], at
+    /// `O(P · (log n + α + measure))` cost.
+    pub fn raster_oracle(&self, spec: GridSpec) -> HeatRaster {
         match &self.arrangement {
-            Arrangement::Square(arr) => arr.len(),
-            Arrangement::Disk(arr) => arr.len(),
+            Arrangement::Square(arr) => {
+                rnnhm_heatmap::rasterize_squares_oracle(arr, &self.measure, spec)
+            }
+            Arrangement::Disk(arr) => {
+                rnnhm_heatmap::rasterize_disks_oracle(arr, &self.measure, spec)
+            }
         }
     }
 }
@@ -178,7 +201,12 @@ mod tests {
 
     fn toy() -> (Vec<Point>, Vec<Point>) {
         (
-            vec![Point::new(0.0, 0.0), Point::new(2.0, 1.0), Point::new(1.0, 3.0), Point::new(4.0, 4.0)],
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(2.0, 1.0),
+                Point::new(1.0, 3.0),
+                Point::new(4.0, 4.0),
+            ],
             vec![Point::new(1.0, 1.0)],
         )
     }
@@ -206,9 +234,14 @@ mod tests {
 
     #[test]
     fn monochromatic_build() {
-        let pts =
-            vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(0.0, 1.5), Point::new(5.0, 5.0)];
-        let map = HeatMapBuilder::monochromatic(pts).metric(Metric::Linf).build(CountMeasure).unwrap();
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.5),
+            Point::new(5.0, 5.0),
+        ];
+        let map =
+            HeatMapBuilder::monochromatic(pts).metric(Metric::Linf).build(CountMeasure).unwrap();
         assert!(map.n_circles() > 0);
         assert!(map.max_region().is_some());
     }

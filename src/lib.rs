@@ -66,7 +66,8 @@ pub mod prelude {
     pub use rnnhm_core::crest::{crest_a_sweep, crest_sweep};
     pub use rnnhm_core::crest_l2::crest_l2_sweep;
     pub use rnnhm_core::measure::{
-        CapacityMeasure, ConnectivityMeasure, CountMeasure, InfluenceMeasure, WeightedMeasure,
+        CapacityMeasure, ConnectivityMeasure, CountMeasure, ExactFallback, IncrementalMeasure,
+        InfluenceMeasure, WeightedMeasure,
     };
     pub use rnnhm_core::parallel::parallel_crest;
     pub use rnnhm_core::postprocess::{threshold, top_k};
@@ -79,7 +80,7 @@ pub mod prelude {
     pub use rnnhm_data::{sample_clients_facilities, Dataset};
     pub use rnnhm_geom::{Metric, Point, Rect};
     pub use rnnhm_heatmap::{
-        rasterize_count_squares_fast, rasterize_disks, rasterize_squares, ColorRamp, GridSpec,
-        HeatRaster,
+        rasterize_count_squares_fast, rasterize_disks, rasterize_disks_oracle, rasterize_squares,
+        rasterize_squares_oracle, ColorRamp, GridSpec, HeatRaster,
     };
 }

@@ -11,12 +11,11 @@ use rand::{Rng, SeedableRng};
 use rnn_heatmap::prelude::*;
 use rnnhm_core::baseline::baseline_sweep;
 use rnnhm_core::oracle::{area_by_signature, assert_area_maps_equal, rnn_at_square, signature};
+use rnnhm_core::parallel::parallel_crest_uncapped;
 
 fn workload(n_clients: usize, n_facilities: usize, seed: u64) -> (Vec<Point>, Vec<Point>) {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut pt = |scale: f64| {
-        Point::new(rng.random::<f64>() * scale, rng.random::<f64>() * scale)
-    };
+    let mut pt = |scale: f64| Point::new(rng.random::<f64>() * scale, rng.random::<f64>() * scale);
     let clients = (0..n_clients).map(|_| pt(10.0)).collect();
     let facilities = (0..n_facilities).map(|_| pt(10.0)).collect();
     (clients, facilities)
@@ -26,9 +25,8 @@ fn workload(n_clients: usize, n_facilities: usize, seed: u64) -> (Vec<Point>, Ve
 fn ba_and_crest_a_tile_identically_linf() {
     for seed in 0..5 {
         let (clients, facilities) = workload(60, 6, seed);
-        let arr =
-            build_square_arrangement(&clients, &facilities, Metric::Linf, Mode::Bichromatic)
-                .unwrap();
+        let arr = build_square_arrangement(&clients, &facilities, Metric::Linf, Mode::Bichromatic)
+            .unwrap();
         let mut ba = CollectSink::default();
         baseline_sweep(&arr, &CountMeasure, &mut ba);
         let mut ca = CollectSink::default();
@@ -46,8 +44,7 @@ fn ba_and_crest_a_tile_identically_l1_rotated() {
     for seed in 5..9 {
         let (clients, facilities) = workload(50, 10, seed);
         let arr =
-            build_square_arrangement(&clients, &facilities, Metric::L1, Mode::Bichromatic)
-                .unwrap();
+            build_square_arrangement(&clients, &facilities, Metric::L1, Mode::Bichromatic).unwrap();
         let mut ba = CollectSink::default();
         baseline_sweep(&arr, &CountMeasure, &mut ba);
         let mut ca = CollectSink::default();
@@ -87,9 +84,8 @@ fn crest_labels_match_oracle_on_workloads() {
 fn crest_distinct_sets_match_crest_a_on_workloads() {
     for seed in 20..25 {
         let (clients, facilities) = workload(70, 7, seed);
-        let arr =
-            build_square_arrangement(&clients, &facilities, Metric::Linf, Mode::Bichromatic)
-                .unwrap();
+        let arr = build_square_arrangement(&clients, &facilities, Metric::Linf, Mode::Bichromatic)
+            .unwrap();
         let mut crest = CollectSink::default();
         let s_crest = crest_sweep(&arr, &CountMeasure, &mut crest);
         let mut full = CollectSink::default();
@@ -113,8 +109,7 @@ fn crest_distinct_sets_match_crest_a_on_workloads() {
 #[test]
 fn monochromatic_mode_matches_oracle() {
     let (points, _) = workload(60, 0, 33);
-    let arr =
-        build_square_arrangement(&points, &[], Metric::Linf, Mode::Monochromatic).unwrap();
+    let arr = build_square_arrangement(&points, &[], Metric::Linf, Mode::Monochromatic).unwrap();
     let mut sink = CollectSink::default();
     let stats = crest_sweep(&arr, &CountMeasure, &mut sink);
     assert!(stats.labels > 0);
@@ -129,14 +124,14 @@ fn monochromatic_mode_matches_oracle() {
 #[test]
 fn parallel_matches_sequential_on_workload() {
     let (clients, facilities) = workload(120, 12, 44);
-    let arr = build_square_arrangement(&clients, &facilities, Metric::Linf, Mode::Bichromatic)
-        .unwrap();
+    let arr =
+        build_square_arrangement(&clients, &facilities, Metric::Linf, Mode::Bichromatic).unwrap();
     // Exact tiling comparison across slab counts.
     let mut seq = CollectSink::default();
     crest_a_sweep(&arr, &CountMeasure, &mut seq);
     for slabs in [2, 3, 8] {
         let (par, _) =
-            parallel_crest(&arr, &CountMeasure, slabs, true, CollectSink::default);
+            parallel_crest_uncapped(&arr, &CountMeasure, slabs, true, CollectSink::default);
         assert_area_maps_equal(
             &area_by_signature(&seq.regions),
             &area_by_signature(&par.regions),
@@ -146,11 +141,8 @@ fn parallel_matches_sequential_on_workload() {
     // Max-region agreement with optimal labeling.
     let mut max_seq = MaxSink::default();
     crest_sweep(&arr, &CountMeasure, &mut max_seq);
-    let (max_par, _) = parallel_crest(&arr, &CountMeasure, 4, false, MaxSink::default);
-    assert_eq!(
-        max_seq.best.unwrap().influence,
-        max_par.best.unwrap().influence
-    );
+    let (max_par, _) = parallel_crest_uncapped(&arr, &CountMeasure, 4, false, MaxSink::default);
+    assert_eq!(max_seq.best.unwrap().influence, max_par.best.unwrap().influence);
 }
 
 #[test]
@@ -159,8 +151,8 @@ fn dropped_zero_radius_clients_do_not_break_sweeps() {
     // Duplicate some facilities as clients: zero NN distance.
     clients.push(facilities[0]);
     clients.push(facilities[1]);
-    let arr = build_square_arrangement(&clients, &facilities, Metric::Linf, Mode::Bichromatic)
-        .unwrap();
+    let arr =
+        build_square_arrangement(&clients, &facilities, Metric::Linf, Mode::Bichromatic).unwrap();
     assert_eq!(arr.dropped, 2);
     let mut sink = CollectSink::default();
     let stats = crest_sweep(&arr, &CountMeasure, &mut sink);

@@ -19,8 +19,8 @@ fn workload(seed: u64) -> (Vec<Point>, Vec<Point>) {
 #[test]
 fn fast_and_exact_rasters_agree_on_nn_circles() {
     let (clients, facilities) = workload(1);
-    let arr = build_square_arrangement(&clients, &facilities, Metric::Linf, Mode::Bichromatic)
-        .unwrap();
+    let arr =
+        build_square_arrangement(&clients, &facilities, Metric::Linf, Mode::Bichromatic).unwrap();
     let spec = GridSpec::new(80, 60, Rect::new(0.0, 10.0, 0.0, 10.0));
     let exact = rasterize_squares(&arr, &CountMeasure, spec);
     let fast = rasterize_count_squares_fast(&arr, spec);
@@ -53,8 +53,8 @@ fn l1_raster_answers_in_input_space() {
 #[test]
 fn renders_are_deterministic() {
     let (clients, facilities) = workload(3);
-    let arr = build_square_arrangement(&clients, &facilities, Metric::Linf, Mode::Bichromatic)
-        .unwrap();
+    let arr =
+        build_square_arrangement(&clients, &facilities, Metric::Linf, Mode::Bichromatic).unwrap();
     let spec = GridSpec::new(64, 64, Rect::new(0.0, 10.0, 0.0, 10.0));
     let raster = rasterize_count_squares_fast(&arr, spec);
     let mut ppm1 = Vec::new();
@@ -77,8 +77,8 @@ fn placing_a_facility_at_the_peak_cools_the_map() {
     // (the new facility sits on it, so no client's NN-circle contains it
     // strictly… its own clients now have zero-radius circles).
     let (clients, mut facilities) = workload(4);
-    let arr = build_square_arrangement(&clients, &facilities, Metric::Linf, Mode::Bichromatic)
-        .unwrap();
+    let arr =
+        build_square_arrangement(&clients, &facilities, Metric::Linf, Mode::Bichromatic).unwrap();
     let spec = GridSpec::new(50, 50, Rect::new(0.0, 10.0, 0.0, 10.0));
     let before = rasterize_squares(&arr, &CountMeasure, spec);
     let (pc, pr, peak) = max_pixel(&before);
@@ -86,8 +86,8 @@ fn placing_a_facility_at_the_peak_cools_the_map() {
 
     let new_facility = spec.pixel_center(pc, pr);
     facilities.push(new_facility);
-    let arr2 = build_square_arrangement(&clients, &facilities, Metric::Linf, Mode::Bichromatic)
-        .unwrap();
+    let arr2 =
+        build_square_arrangement(&clients, &facilities, Metric::Linf, Mode::Bichromatic).unwrap();
     let after = rasterize_squares(&arr2, &CountMeasure, spec);
     // Under the strict RNN definition no client is now *strictly* closer
     // to the peak than to its facility set (the new facility sits there).
@@ -116,8 +116,8 @@ fn window_and_raster_agree_on_hotspots() {
     // The windowed CREST sweep and the rasterizer must see the same
     // maximum influence inside a viewport (raster at pixel granularity).
     let (clients, facilities) = workload(5);
-    let arr = build_square_arrangement(&clients, &facilities, Metric::Linf, Mode::Bichromatic)
-        .unwrap();
+    let arr =
+        build_square_arrangement(&clients, &facilities, Metric::Linf, Mode::Bichromatic).unwrap();
     let window = Rect::new(2.0, 8.0, 2.0, 8.0);
     let mut max_sink = MaxSink::default();
     crest_window(&arr, window, &CountMeasure, &mut max_sink);

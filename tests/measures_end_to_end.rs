@@ -25,8 +25,8 @@ fn fig3() -> (Vec<Point>, Vec<Point>, ConnectivityMeasure) {
 #[test]
 fn fig3_superimposition_ties_but_connectivity_separates() {
     let (clients, facilities, connectivity) = fig3();
-    let arr = build_square_arrangement(&clients, &facilities, Metric::Linf, Mode::Bichromatic)
-        .unwrap();
+    let arr =
+        build_square_arrangement(&clients, &facilities, Metric::Linf, Mode::Bichromatic).unwrap();
 
     // Count measure: the two 3-overlap regions tie at heat 3.
     let mut count_sink = CollectSink::default();
@@ -49,12 +49,7 @@ fn fig3_superimposition_ties_but_connectivity_separates() {
 
 /// Brute-force capacity utility: simulate the assignment after placing a
 /// new facility that captures exactly `rnn`, then sum `min(cap, load)`.
-fn capacity_oracle(
-    assigned: &[u32],
-    capacities: &[u32],
-    new_capacity: u32,
-    rnn: &[u32],
-) -> f64 {
+fn capacity_oracle(assigned: &[u32], capacities: &[u32], new_capacity: u32, rnn: &[u32]) -> f64 {
     let mut load = vec![0u32; capacities.len()];
     for (o, &f) in assigned.iter().enumerate() {
         if !rnn.contains(&(o as u32)) {
@@ -77,8 +72,7 @@ fn capacity_measure_matches_brute_force_simulation() {
         let measure = CapacityMeasure::new(assigned.clone(), capacities.clone(), new_capacity);
         // Random RNN subsets.
         for _ in 0..10 {
-            let rnn: Vec<u32> =
-                (0..n_c as u32).filter(|_| rng.random::<bool>()).collect();
+            let rnn: Vec<u32> = (0..n_c as u32).filter(|_| rng.random::<bool>()).collect();
             assert_eq!(
                 measure.influence(&rnn),
                 capacity_oracle(&assigned, &capacities, new_capacity, &rnn),
@@ -119,8 +113,8 @@ fn weighted_measure_through_sweep() {
     let clients = vec![Point::new(1.0, 1.0), Point::new(2.0, 1.2), Point::new(8.0, 8.0)];
     let facilities = vec![Point::new(0.0, 0.0)];
     let weights = vec![2.5, 1.0, 10.0];
-    let arr = build_square_arrangement(&clients, &facilities, Metric::Linf, Mode::Bichromatic)
-        .unwrap();
+    let arr =
+        build_square_arrangement(&clients, &facilities, Metric::Linf, Mode::Bichromatic).unwrap();
     let mut sink = CollectSink::default();
     crest_sweep(&arr, &WeightedMeasure::new(weights.clone()), &mut sink);
     for r in &sink.regions {
@@ -136,8 +130,8 @@ fn threshold_and_topk_are_consistent_with_collect() {
         (0..60).map(|_| Point::new(rng.random::<f64>() * 5.0, rng.random::<f64>() * 5.0)).collect();
     let facilities: Vec<Point> =
         (0..6).map(|_| Point::new(rng.random::<f64>() * 5.0, rng.random::<f64>() * 5.0)).collect();
-    let arr = build_square_arrangement(&clients, &facilities, Metric::Linf, Mode::Bichromatic)
-        .unwrap();
+    let arr =
+        build_square_arrangement(&clients, &facilities, Metric::Linf, Mode::Bichromatic).unwrap();
 
     let mut all = CollectSink::default();
     let mut top = TopKSink::new(3);

@@ -20,11 +20,10 @@ use rnnhm_index::interval::{merge_intervals, Interval};
 /// to quarter-integers makes degenerate alignments — shared sides, equal
 /// coordinates — *common* rather than rare, which is exactly what we
 /// want to stress).
-fn points_strategy(
-    n: std::ops::Range<usize>,
-) -> impl Strategy<Value = Vec<Point>> {
-    prop::collection::vec((0u32..40, 0u32..40), n)
-        .prop_map(|v| v.into_iter().map(|(x, y)| Point::new(x as f64 / 4.0, y as f64 / 4.0)).collect())
+fn points_strategy(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec((0u32..40, 0u32..40), n).prop_map(|v| {
+        v.into_iter().map(|(x, y)| Point::new(x as f64 / 4.0, y as f64 / 4.0)).collect()
+    })
 }
 
 proptest! {
