@@ -162,7 +162,7 @@ fn fig17(quick: bool) {
 }
 
 /// Fig 18: effect of |O|/|F| with L2 distance (max-influence task,
-/// capacity-constrained measure of [22]; n = |O| = 2^10).
+/// capacity-constrained measure of \[22\]; n = |O| = 2^10).
 fn fig18(quick: bool) {
     let n = 1024;
     let mut rows = Vec::new();

@@ -13,4 +13,5 @@
 
 pub mod raster;
 pub mod runner;
+pub mod tiles;
 pub mod workload;

@@ -55,7 +55,7 @@ pub fn disk_arrangement(w: &Workload) -> DiskArrangement {
         .expect("non-empty workload")
 }
 
-/// Builds the capacity-constrained measure of [22] for a workload:
+/// Builds the capacity-constrained measure of \[22\] for a workload:
 /// every client is assigned to its L2-nearest facility; capacities are
 /// seeded uniform in `1..=5`, the candidate's capacity is 3 (arbitrary
 /// but fixed — the paper does not publish its capacity values).

@@ -70,12 +70,96 @@ pub struct SquareArrangement {
     pub dropped: usize,
 }
 
+/// FNV-1a over a stream of `u64` words — the workspace-wide stable
+/// hash used for cache keys (no `std::hash` involvement, so the value
+/// is identical across runs, platforms and std versions). Used by the
+/// arrangement fingerprints, the measure cache keys, and the tile
+/// scheme fingerprint in `rnnhm_heatmap::tiles`.
+pub fn fnv1a_words(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for w in words {
+        for byte in w.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
 impl SquareArrangement {
+    /// A stable fingerprint of the arrangement's full geometry —
+    /// squares (bitwise), owners, coordinate space and client universe.
+    ///
+    /// Two arrangements share a fingerprint iff they would label every
+    /// point of the plane identically, so the fingerprint is a sound
+    /// cache key for derived artifacts (rendered heat-map tiles, in
+    /// `rnnhm_heatmap::tiles`). The hash is FNV-1a over the coordinate
+    /// bits: deterministic across runs and platforms.
+    pub fn fingerprint(&self) -> u64 {
+        let header = [
+            0x5153, // "SQ" discriminant: square vs disk arrangements
+            self.space as u64,
+            self.n_clients as u64,
+            self.squares.len() as u64,
+        ];
+        fnv1a_words(
+            header
+                .into_iter()
+                .chain(self.squares.iter().flat_map(|s| {
+                    [s.x_lo.to_bits(), s.x_hi.to_bits(), s.y_lo.to_bits(), s.y_hi.to_bits()]
+                }))
+                .chain(self.owners.iter().map(|&o| o as u64)),
+        )
+    }
+
     /// Bounding box of all squares (sweep space); `None` when empty.
     pub fn bbox(&self) -> Option<Rect> {
         let mut it = self.squares.iter();
         let first = *it.next()?;
         Some(it.fold(first, |acc, r| acc.union(r)))
+    }
+
+    /// The sub-arrangement of NN-circles that can influence any point
+    /// of `extent` (given in *input-space* coordinates; for rotated L1
+    /// arrangements the filter runs against the sweep-space bounding
+    /// box of the rotated extent). Owner ids, coordinate space and the
+    /// client universe are preserved, so any influence query or raster
+    /// restricted to `extent` is *exact* on the sub-arrangement: both
+    /// rasterization paths only count a shape at a point its closed
+    /// bounding square contains, and such a point inside `extent`
+    /// implies the square intersects `extent`.
+    ///
+    /// This is what makes tile rendering `O(n)` *filter* + output-local
+    /// work instead of `O(n)` *setup* per tile
+    /// (`rnnhm_heatmap::tiles`).
+    pub fn restrict_to(&self, extent: Rect) -> SquareArrangement {
+        let window = match self.space {
+            CoordSpace::Identity => extent,
+            CoordSpace::Rotated45 => {
+                let corners = [
+                    rotate45(Point::new(extent.x_lo, extent.y_lo)),
+                    rotate45(Point::new(extent.x_lo, extent.y_hi)),
+                    rotate45(Point::new(extent.x_hi, extent.y_lo)),
+                    rotate45(Point::new(extent.x_hi, extent.y_hi)),
+                ];
+                Rect::bounding(&corners).expect("four corners")
+            }
+        };
+        let mut squares = Vec::new();
+        let mut owners = Vec::new();
+        for (s, &o) in self.squares.iter().zip(&self.owners) {
+            if s.intersects(&window) {
+                squares.push(*s);
+                owners.push(o);
+            }
+        }
+        SquareArrangement {
+            squares,
+            owners,
+            space: self.space,
+            n_clients: self.n_clients,
+            dropped: self.dropped,
+        }
     }
 
     /// Number of NN-circles.
@@ -103,11 +187,47 @@ pub struct DiskArrangement {
 }
 
 impl DiskArrangement {
+    /// A stable fingerprint of the arrangement's full geometry; see
+    /// [`SquareArrangement::fingerprint`] for the contract.
+    pub fn fingerprint(&self) -> u64 {
+        let header = [
+            0x4b53, // "DK" discriminant
+            self.n_clients as u64,
+            self.disks.len() as u64,
+        ];
+        fnv1a_words(
+            header
+                .into_iter()
+                .chain(
+                    self.disks
+                        .iter()
+                        .flat_map(|d| [d.c.x.to_bits(), d.c.y.to_bits(), d.r.to_bits()]),
+                )
+                .chain(self.owners.iter().map(|&o| o as u64)),
+        )
+    }
+
     /// Bounding box of all disks; `None` when empty.
     pub fn bbox(&self) -> Option<Rect> {
         let mut it = self.disks.iter();
         let first = it.next()?.bbox();
         Some(it.fold(first, |acc, c| acc.union(&c.bbox())))
+    }
+
+    /// The sub-arrangement of NN-circles that can influence any point
+    /// of `extent`; see [`SquareArrangement::restrict_to`] for the
+    /// exactness contract (both rasterization paths gate coverage on
+    /// the disk's closed bounding box containing the query point).
+    pub fn restrict_to(&self, extent: Rect) -> DiskArrangement {
+        let mut disks = Vec::new();
+        let mut owners = Vec::new();
+        for (d, &o) in self.disks.iter().zip(&self.owners) {
+            if d.bbox().intersects(&extent) {
+                disks.push(*d);
+                owners.push(o);
+            }
+        }
+        DiskArrangement { disks, owners, n_clients: self.n_clients, dropped: self.dropped }
     }
 
     /// Number of NN-circles.
@@ -311,6 +431,60 @@ mod tests {
             build_disk_arrangement(&[], &pts, Mode::Bichromatic).unwrap_err(),
             BuildError::NoClients
         );
+    }
+
+    #[test]
+    fn restrict_keeps_exactly_the_overlapping_shapes() {
+        let clients = vec![Point::new(1.0, 1.0), Point::new(8.0, 8.0), Point::new(4.0, 4.0)];
+        let facilities = vec![Point::new(0.0, 1.0)];
+        let arr = build_square_arrangement(&clients, &facilities, Metric::Linf, Mode::Bichromatic)
+            .unwrap();
+        let sub = arr.restrict_to(Rect::new(0.0, 2.5, 0.0, 2.5));
+        // Client 0 (radius 1 around (1,1)) overlaps; client 1 (radius 8
+        // around (8,8) reaches down to 0) overlaps too; client 2 at
+        // (4,4) radius 5 reaches to -1 and overlaps as well — shrink
+        // the window until only client 0 remains.
+        assert!(!sub.is_empty() && sub.owners.contains(&0));
+        assert_eq!(sub.n_clients, arr.n_clients, "client universe preserved");
+        assert_eq!(sub.space, arr.space);
+        let tiny = arr.restrict_to(Rect::new(1.9, 2.0, 0.0, 0.1));
+        for (s, &o) in tiny.squares.iter().zip(&tiny.owners) {
+            assert!(s.intersects(&Rect::new(1.9, 2.0, 0.0, 0.1)), "owner {o} kept wrongly");
+        }
+        // Disk variant.
+        let disks = build_disk_arrangement(&clients, &facilities, Mode::Bichromatic).unwrap();
+        let dsub = disks.restrict_to(Rect::new(0.0, 2.0, 0.0, 2.0));
+        assert!(dsub.owners.contains(&0));
+        assert_eq!(dsub.n_clients, disks.n_clients);
+        // L1 (rotated frame): the input-space window is mapped through
+        // the rotation before filtering; the result must keep every
+        // shape whose sweep square meets the rotated window.
+        let l1 =
+            build_square_arrangement(&clients, &facilities, Metric::L1, Mode::Bichromatic).unwrap();
+        let l1_sub = l1.restrict_to(Rect::new(0.0, 2.0, 0.0, 2.0));
+        assert!(l1_sub.owners.contains(&0));
+        assert_eq!(l1_sub.space, CoordSpace::Rotated45);
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_discriminating() {
+        let clients = vec![Point::new(0.0, 0.0), Point::new(3.0, 1.0)];
+        let facilities = vec![Point::new(1.0, 1.0)];
+        let a = build_square_arrangement(&clients, &facilities, Metric::Linf, Mode::Bichromatic)
+            .unwrap();
+        let b = build_square_arrangement(&clients, &facilities, Metric::Linf, Mode::Bichromatic)
+            .unwrap();
+        // Same instance → same key, across independent builds.
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Any geometric change flips the key.
+        let moved = vec![Point::new(0.0, 0.0), Point::new(3.0, 1.0 + 1e-12)];
+        let c =
+            build_square_arrangement(&moved, &facilities, Metric::Linf, Mode::Bichromatic).unwrap();
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        // Square and disk arrangements never collide on the same points.
+        let d = build_disk_arrangement(&clients, &facilities, Mode::Bichromatic).unwrap();
+        assert_ne!(a.fingerprint(), d.fingerprint());
+        assert_eq!(d.fingerprint(), d.clone().fingerprint());
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! RC problem by running a point-enclosure query on the centroid of every
 //! grid cell: `O(n log² n + m log n + m λ)` with `m = O(n²)` cells.
 //!
-//! Where the paper indexes the NN-circles with the S-tree [25], we use
+//! Where the paper indexes the NN-circles with the S-tree \[25\], we use
 //! the STR R-tree from `rnnhm-index` — the paper notes "other spatial
 //! indexes such as the R-tree may be used". The baseline's two structural
 //! drawbacks, which CREST removes, are unchanged: it runs `m` enclosure
@@ -51,7 +51,7 @@ pub fn baseline_sweep<M: InfluenceMeasure, S: RegionSink>(
 }
 
 /// [`baseline_sweep`] with a caller-chosen point-enclosure backend
-/// (R-tree or the interval tree closer to the paper's S-tree [25]).
+/// (R-tree or the interval tree closer to the paper's S-tree \[25\]).
 pub fn baseline_sweep_with<I: EnclosureIndex, M: InfluenceMeasure, S: RegionSink>(
     arr: &SquareArrangement,
     measure: &M,

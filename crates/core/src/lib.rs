@@ -24,7 +24,7 @@
 //!   (no point-enclosure queries), used as an ablation,
 //! * [`crest_l2::crest_l2_sweep`] — the L2 variant of §VII-C,
 //! * [`pruning::pruning_max_region`] — the filter-and-refine comparator
-//!   adapted from [22], used against CREST-L2 in Figs 18–19,
+//!   adapted from \[22\], used against CREST-L2 in Figs 18–19,
 //! * [`oracle`] — brute-force reference implementations for testing.
 //!
 //! Influence measures are pluggable via [`measure::InfluenceMeasure`];

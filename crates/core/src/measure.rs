@@ -4,10 +4,10 @@
 //! stresses that CREST is generic over the measure; the measures here are
 //! the ones its examples and experiments use:
 //!
-//! * [`CountMeasure`] — `|R|` (Korn & Muthukrishnan [12]; used for the
+//! * [`CountMeasure`] — `|R|` (Korn & Muthukrishnan \[12\]; used for the
 //!   showcase heat maps of Figs 1 and 15),
-//! * [`WeightedMeasure`] — sum of client weights [12],
-//! * [`CapacityMeasure`] — the capacity-constrained utility of [22]
+//! * [`WeightedMeasure`] — sum of client weights \[12\],
+//! * [`CapacityMeasure`] — the capacity-constrained utility of \[22\]
 //!   (courier scenario; used with the pruning comparator in Figs 18–19),
 //! * [`ConnectivityMeasure`] — number of "compatible passenger" edges
 //!   inside `R` (the taxi-sharing scenario of Fig 3).
@@ -36,6 +36,19 @@ pub trait InfluenceMeasure {
         all.extend_from_slice(inside);
         all.extend_from_slice(undecided);
         self.influence(&all)
+    }
+
+    /// A stable key identifying this measure — type *and* parameters —
+    /// for caches of derived artifacts (e.g. the rendered heat-map
+    /// tiles of `rnnhm_heatmap::tiles`): two measures with the same key
+    /// must assign the same influence to every RNN set.
+    ///
+    /// The default hashes the concrete type name, which is sound only
+    /// for parameterless measures; **measures carrying parameters must
+    /// override it** to mix the parameters in (as the weighted,
+    /// capacity and connectivity measures here do).
+    fn cache_key(&self) -> u64 {
+        crate::arrangement::fnv1a_words(std::any::type_name::<Self>().bytes().map(|b| b as u64))
     }
 }
 
@@ -104,6 +117,12 @@ impl<M: InfluenceMeasure> InfluenceMeasure for ExactFallback<M> {
     #[inline]
     fn upper_bound(&self, inside: &[u32], undecided: &[u32]) -> f64 {
         self.0.upper_bound(inside, undecided)
+    }
+
+    fn cache_key(&self) -> u64 {
+        // The wrapper computes the same influence as the inner measure,
+        // so it shares the inner cache identity.
+        self.0.cache_key()
     }
 }
 
@@ -188,6 +207,14 @@ impl InfluenceMeasure for WeightedMeasure {
     fn influence(&self, rnn: &[u32]) -> f64 {
         rnn.iter().map(|&id| self.weights[id as usize]).sum()
     }
+
+    fn cache_key(&self) -> u64 {
+        crate::arrangement::fnv1a_words(
+            [0x5754u64, self.weights.len() as u64] // "WT"
+                .into_iter()
+                .chain(self.weights.iter().map(|w| w.to_bits())),
+        )
+    }
 }
 
 /// Running state of [`WeightedMeasure`]: the weight sum plus the member
@@ -237,7 +264,7 @@ impl IncrementalMeasure for WeightedMeasure {
     }
 }
 
-/// The capacity-constrained utility of [22] (paper §I, footnote 1):
+/// The capacity-constrained utility of \[22\] (paper §I, footnote 1):
 ///
 /// ```text
 /// influence(p) = Σ_{f ∈ F ∪ {p}} min(c(f), |R(f)|)
@@ -310,6 +337,15 @@ impl InfluenceMeasure for CapacityMeasure {
         // many of `inside ∪ undecided` as it can.
         let gain = ((inside.len() + undecided.len()) as u32).min(self.new_capacity) as f64;
         self.base_total + gain
+    }
+
+    fn cache_key(&self) -> u64 {
+        crate::arrangement::fnv1a_words(
+            [0x4341u64, self.new_capacity as u64, self.assigned.len() as u64] // "CA"
+                .into_iter()
+                .chain(self.assigned.iter().map(|&a| a as u64))
+                .chain(self.capacities.iter().map(|&c| c as u64)),
+        )
     }
 }
 
@@ -407,6 +443,15 @@ impl InfluenceMeasure for ConnectivityMeasure {
             }
         }
         (twice_edges / 2) as f64
+    }
+
+    fn cache_key(&self) -> u64 {
+        crate::arrangement::fnv1a_words([0x434eu64, self.adj.len() as u64].into_iter().chain(
+            self.adj.iter().flat_map(|nbrs| {
+                // "CN"; adjacency lists in id order pin the edge set.
+                std::iter::once(nbrs.len() as u64).chain(nbrs.iter().map(|&n| n as u64))
+            }),
+        ))
     }
 }
 
@@ -597,6 +642,28 @@ mod tests {
             }
         }
         check_incremental(&ExactFallback(MaxId), 25, 5);
+    }
+
+    #[test]
+    fn cache_keys_distinguish_types_and_parameters() {
+        let count = CountMeasure.cache_key();
+        let w1 = WeightedMeasure::new(vec![1.0, 2.0]).cache_key();
+        let w2 = WeightedMeasure::new(vec![1.0, 2.5]).cache_key();
+        let cap1 = CapacityMeasure::new(vec![0, 0], vec![2], 1).cache_key();
+        let cap2 = CapacityMeasure::new(vec![0, 0], vec![2], 2).cache_key();
+        let conn1 = ConnectivityMeasure::from_edges(3, &[(0, 1)]).cache_key();
+        let conn2 = ConnectivityMeasure::from_edges(3, &[(0, 2)]).cache_key();
+        let keys = [count, w1, w2, cap1, cap2, conn1, conn2];
+        for (i, a) in keys.iter().enumerate() {
+            for b in &keys[i + 1..] {
+                assert_ne!(a, b, "cache keys must separate measures");
+            }
+        }
+        // Stability across instances with identical parameters.
+        assert_eq!(w1, WeightedMeasure::new(vec![1.0, 2.0]).cache_key());
+        assert_eq!(count, CountMeasure.cache_key());
+        // The fallback wrapper computes the same function → same key.
+        assert_eq!(ExactFallback(CountMeasure).cache_key(), count);
     }
 
     #[test]

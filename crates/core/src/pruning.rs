@@ -1,4 +1,4 @@
-//! The filter-and-refine "Pruning" comparator (paper §VII-C, from [22]).
+//! The filter-and-refine "Pruning" comparator (paper §VII-C, from \[22\]).
 //!
 //! The algorithm the paper benchmarks CREST-L2 against in Figs 18–19. It
 //! finds the maximum-influence region of a disk arrangement by
@@ -243,7 +243,7 @@ fn face_table(
 }
 
 /// Finds the maximum-influence region of a disk arrangement by the
-/// filter-and-refine pruning algorithm of [22].
+/// filter-and-refine pruning algorithm of \[22\].
 ///
 /// Returns the best region found (a point-sized rectangle at the witness)
 /// and work counters. The result is the exact maximum when no truncation

@@ -1,8 +1,8 @@
 //! Point-influence queries over candidate locations.
 //!
 //! The paper positions RNNHM as a generalization of location-selection
-//! problems that score a *given* candidate set (Huang et al. [11], Xia
-//! et al. [27]: "top-t most influential sites"): once the NN-circles are
+//! problems that score a *given* candidate set (Huang et al. \[11\], Xia
+//! et al. \[27\]: "top-t most influential sites"): once the NN-circles are
 //! built, the influence of any candidate location is a point-enclosure
 //! query plus one measure evaluation. This module provides that adapted
 //! solution.
@@ -69,7 +69,7 @@ pub fn influence_at_points_disk<M: InfluenceMeasure>(
 
 /// The `t` most influential candidates (indices into `candidates`),
 /// ties broken by input order — the adapted top-t most influential
-/// sites query of [11]/[27].
+/// sites query of \[11\]/\[27\].
 pub fn top_t_candidates_square<M: InfluenceMeasure>(
     arr: &SquareArrangement,
     measure: &M,

@@ -1,7 +1,7 @@
 //! Synthetic city POI simulator — the stand-in for the paper's NYC/LA
 //! points-of-interest data sets (Table II).
 //!
-//! The real data (from Bao et al. [2]) is not redistributable. What the
+//! The real data (from Bao et al. \[2\]) is not redistributable. What the
 //! experiments actually exercise is the *shape* of urban POI data:
 //!
 //! * dense multi-scale clusters (commercial centers, neighborhoods),

@@ -9,7 +9,7 @@
 //! * **Uniform** — synthetic uniform points,
 //! * **Zipfian** — synthetic points with Zipf skew 0.2.
 //!
-//! The real POI data (obtained by the authors from [2]) is not publicly
+//! The real POI data (obtained by the authors from \[2\]) is not publicly
 //! redistributable; [`city`] provides a seeded synthetic *city simulator*
 //! that reproduces the properties the experiments depend on — multi-scale
 //! clustering along street grids, uniform background noise, and empty

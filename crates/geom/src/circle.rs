@@ -13,7 +13,9 @@ use crate::rect::Rect;
 /// A circle with center `c` and radius `r ≥ 0`.
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub struct Circle {
+    /// Center.
     pub c: Point,
+    /// Radius (non-negative).
     pub r: f64,
 }
 
@@ -36,7 +38,9 @@ pub enum ArcKind {
 /// queries go through the owning [`Circle`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 pub struct Arc {
+    /// Index of the owning NN-circle in the client set.
     pub id: u32,
+    /// Which semicircle of the owning circle this arc is.
     pub kind: ArcKind,
 }
 

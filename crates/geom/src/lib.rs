@@ -17,6 +17,8 @@
 //! All coordinates are `f64`; the robustness policy (documented in
 //! DESIGN.md) is centralised in the [`eps`] module.
 
+#![warn(missing_docs)]
+
 pub mod circle;
 pub mod eps;
 pub mod metric;

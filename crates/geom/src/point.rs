@@ -9,7 +9,9 @@ use std::ops::{Add, Mul, Sub};
 /// finiteness so that NaNs cannot silently poison sweep-line orderings.
 #[derive(Clone, Copy, PartialEq, Default)]
 pub struct Point {
+    /// Horizontal coordinate.
     pub x: f64,
+    /// Vertical coordinate.
     pub y: f64,
 }
 

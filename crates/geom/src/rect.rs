@@ -12,9 +12,13 @@ use crate::point::Point;
 /// treats zero-height pairs as "special rectangles" containing no point.
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub struct Rect {
+    /// Left edge (inclusive under closed semantics).
     pub x_lo: f64,
+    /// Right edge.
     pub x_hi: f64,
+    /// Bottom edge.
     pub y_lo: f64,
+    /// Top edge.
     pub y_hi: f64,
 }
 

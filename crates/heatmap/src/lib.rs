@@ -14,18 +14,26 @@
 //!   (2-D difference array — the "superimposition" of paper Fig 3(b),
 //!   which is exact for counts and only for counts),
 //! * [`render`] — PPM/PGM/ASCII writers with heat color ramps (darker =
-//!   more influential, following the paper's figures).
+//!   more influential, following the paper's figures),
+//! * [`tiles`] — the interactive-exploration serving layer: a
+//!   multi-resolution tile pyramid rendered through the scanline
+//!   engine, an LRU tile cache, and cached viewport stitching with
+//!   parent-tile previews.
+
+#![warn(missing_docs)]
 
 pub mod compute;
 pub mod ops;
 pub mod raster;
 pub mod render;
 pub mod scanline;
+pub mod tiles;
 
 pub use compute::{
     rasterize_count_squares_fast, rasterize_disks, rasterize_disks_oracle, rasterize_squares,
     rasterize_squares_oracle,
 };
-pub use ops::{diff, downsample, max_pixel};
+pub use ops::{blit, diff, downsample, max_pixel, upsample_nearest};
 pub use raster::{GridSpec, HeatRaster};
 pub use render::{write_pgm, write_ppm, ColorRamp};
+pub use tiles::{CacheStats, Preview, TileCache, TileId, TileKey, TileScheme, Viewport};

@@ -46,6 +46,52 @@ pub fn downsample(r: &HeatRaster, factor: usize) -> HeatRaster {
     out
 }
 
+/// Copies a `w × h` pixel block from `src` (starting at
+/// `(src_col, src_row)`) into `dst` (starting at `(dst_col, dst_row)`),
+/// row segment by row segment.
+///
+/// This is the tile-stitching primitive: a viewport raster is assembled
+/// by blitting the overlapping block of every covering tile. Values are
+/// copied bitwise, so a stitched raster is exactly the tiles' pixels.
+///
+/// Panics if either block runs outside its raster.
+pub fn blit(
+    dst: &mut HeatRaster,
+    src: &HeatRaster,
+    (src_col, src_row): (usize, usize),
+    (dst_col, dst_row): (usize, usize),
+    (w, h): (usize, usize),
+) {
+    assert!(src_col + w <= src.spec.width && src_row + h <= src.spec.height, "src block oob");
+    assert!(dst_col + w <= dst.spec.width && dst_row + h <= dst.spec.height, "dst block oob");
+    let (sw, dw) = (src.spec.width, dst.spec.width);
+    for dy in 0..h {
+        let s0 = (src_row + dy) * sw + src_col;
+        let d0 = (dst_row + dy) * dw + dst_col;
+        let src_vals = &src.values()[s0..s0 + w];
+        dst.values_mut()[d0..d0 + w].copy_from_slice(src_vals);
+    }
+}
+
+/// Upsamples by an integer `factor` with nearest-neighbor replication:
+/// every source pixel becomes a `factor × factor` block — the inverse
+/// companion of [`downsample`], for zoom-out display of an existing
+/// raster. (Tile previews use the same nearest-neighbor rule but with
+/// per-block offsets into the ancestor tile, implemented inline in
+/// `tiles::Viewport::preview`.)
+pub fn upsample_nearest(r: &HeatRaster, factor: usize) -> HeatRaster {
+    assert!(factor >= 1, "factor must be positive");
+    let spec = r.spec;
+    let out_spec = GridSpec::new(spec.width * factor, spec.height * factor, spec.extent);
+    let mut out = HeatRaster::new(out_spec);
+    for row in 0..out_spec.height {
+        for col in 0..out_spec.width {
+            out.set(col, row, r.get(col / factor, row / factor));
+        }
+    }
+    out
+}
+
 /// The hottest pixel: `(col, row, value)`. Ties go to the first in
 /// row-major order. `None` on an all-NaN-free empty… rasters are never
 /// empty, so this always returns a pixel.
@@ -127,6 +173,42 @@ mod tests {
                 assert_eq!(d.get(col, row), 1.0);
             }
         }
+    }
+
+    #[test]
+    fn blit_copies_block() {
+        let src = raster_with(&[(0, 0, 1.0), (1, 0, 2.0), (0, 1, 3.0), (1, 1, 4.0)], 3, 3);
+        let mut dst = raster_with(&[(0, 0, 9.0)], 4, 4);
+        blit(&mut dst, &src, (0, 0), (2, 1), (2, 2));
+        assert_eq!(dst.get(2, 1), 1.0);
+        assert_eq!(dst.get(3, 1), 2.0);
+        assert_eq!(dst.get(2, 2), 3.0);
+        assert_eq!(dst.get(3, 2), 4.0);
+        // Pixels outside the destination block are untouched.
+        assert_eq!(dst.get(0, 0), 9.0);
+        assert_eq!(dst.get(1, 1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "oob")]
+    fn blit_rejects_out_of_bounds() {
+        let src = raster_with(&[], 2, 2);
+        let mut dst = raster_with(&[], 2, 2);
+        blit(&mut dst, &src, (1, 1), (0, 0), (2, 2));
+    }
+
+    #[test]
+    fn upsample_replicates_and_inverts_downsample() {
+        let src = raster_with(&[(0, 0, 1.0), (1, 0, 2.0), (0, 1, 3.0), (1, 1, 4.0)], 2, 2);
+        let up = upsample_nearest(&src, 2);
+        assert_eq!(up.spec.width, 4);
+        assert_eq!(up.spec.height, 4);
+        for (col, row, v) in [(0, 0, 1.0), (1, 1, 1.0), (2, 0, 2.0), (1, 2, 3.0), (3, 3, 4.0)] {
+            assert_eq!(up.get(col, row), v, "({col},{row})");
+        }
+        // Averaging each replicated block recovers the original.
+        let down = downsample(&up, 2);
+        assert_eq!(down.values(), src.values());
     }
 
     #[test]

@@ -23,13 +23,21 @@ impl GridSpec {
 
     /// Center point of pixel `(col, row)`; row 0 is the *bottom* row
     /// (y increases upward, like map coordinates).
+    ///
+    /// Computed as `x_lo + (col + 0.5) · pixel_size` with the pixel size
+    /// divided out first. When the extent is aligned to a dyadic pixel
+    /// lattice — origin and width both integer multiples of a
+    /// power-of-two pixel size, as every [`crate::tiles::TileScheme`]
+    /// grid is — each operation's true result is representable and the
+    /// center is *exact*, independent of the grid's width/height. That
+    /// is what makes a tile raster, a stitched viewport, and a one-shot
+    /// raster of the same extent agree bit for bit: they all evaluate
+    /// the same exact pixel-center coordinates.
     #[inline]
     pub fn pixel_center(&self, col: usize, row: usize) -> Point {
-        let fx = (col as f64 + 0.5) / self.width as f64;
-        let fy = (row as f64 + 0.5) / self.height as f64;
         Point::new(
-            self.extent.x_lo + fx * self.extent.width(),
-            self.extent.y_lo + fy * self.extent.height(),
+            self.extent.x_lo + (col as f64 + 0.5) * (self.extent.width() / self.width as f64),
+            self.extent.y_lo + (row as f64 + 0.5) * (self.extent.height() / self.height as f64),
         )
     }
 
@@ -90,6 +98,13 @@ impl HeatRaster {
     /// The raw values, row-major with row 0 at the bottom.
     pub fn values(&self) -> &[f64] {
         &self.values
+    }
+
+    /// Mutable access to the raw values (row-major, row 0 at the
+    /// bottom). Used by the tile stitcher to copy whole row segments
+    /// with `copy_from_slice` instead of per-pixel `set` calls.
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
     }
 
     /// Minimum and maximum value.

@@ -32,8 +32,8 @@
 //! ## Exactness
 //!
 //! Span endpoints are found by *trimming*: an arithmetic estimate of
-//! the span (widened by [`Grid::error_margin`] — a base
-//! [`COL_MARGIN`] plus the coordinate ULPs in pixel units, so
+//! the span (widened by `Grid::error_margin` — a base
+//! `COL_MARGIN` plus the coordinate ULPs in pixel units, so
 //! large-offset coordinate systems stay safe) is refined by evaluating
 //! the exact
 //! same containment predicate the per-pixel oracle uses (closed-rect
@@ -244,16 +244,16 @@ impl Grid {
     /// [`GridSpec::pixel_center`]'s x.
     #[inline]
     fn x_of_col(&self, col: usize) -> f64 {
-        let fx = (col as f64 + 0.5) / self.spec.width as f64;
-        self.spec.extent.x_lo + fx * self.spec.extent.width()
+        let ext = self.spec.extent;
+        ext.x_lo + (col as f64 + 0.5) * (ext.width() / self.spec.width as f64)
     }
 
     /// y-coordinate of row centers — bitwise identical to
     /// [`GridSpec::pixel_center`]'s y.
     #[inline]
     fn y_of_row(&self, row: usize) -> f64 {
-        let fy = (row as f64 + 0.5) / self.spec.height as f64;
-        self.spec.extent.y_lo + fy * self.spec.extent.height()
+        let ext = self.spec.extent;
+        ext.y_lo + (row as f64 + 0.5) * (ext.height() / self.spec.height as f64)
     }
 
     /// Slack (in pixels) covering the floating-point error of mapping

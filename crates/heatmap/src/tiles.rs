@@ -1,0 +1,1088 @@
+//! Multi-resolution tile pyramid with cached viewport rendering — the
+//! interactive-exploration serving layer.
+//!
+//! The paper frames RNN heat maps as a tool an analyst *explores*: pan,
+//! zoom, score a candidate site, pan again. A full-frame render per
+//! viewport change (even a fast one) repeats almost all of its work,
+//! because consecutive viewports overlap heavily. Real map servers
+//! amortize that cost with a **tile pyramid**: the world is cut into
+//! fixed-size square tiles at power-of-two zoom levels, tiles are
+//! rendered once and cached, and a viewport is *stitched* from the
+//! covering tiles. This module is that substrate:
+//!
+//! * [`TileId`] / [`TileScheme`] — tile addressing `(zoom, tx, ty)`
+//!   over a fixed world extent, with per-tile [`GridSpec`] derivation,
+//! * [`TileCache`] — a byte-accounted LRU cache keyed by
+//!   `(arrangement fingerprint, measure key, tile)` with hit/miss
+//!   statistics, safe to share across threads,
+//! * [`Viewport`] — resolves a map rectangle plus an on-screen pixel
+//!   budget to a zoom level and a pixel window of the global grid,
+//!   fetches/renders the covering tiles in parallel, and stitches them
+//!   into one [`HeatRaster`],
+//! * [`Viewport::preview`] — an *instant* coarse image built purely
+//!   from already-cached tiles (exact where present, parent tiles
+//!   upsampled where not), for progressive display while exact tiles
+//!   fill in.
+//!
+//! ## Exactness: why stitched equals one-shot, bit for bit
+//!
+//! [`TileScheme::for_extent`] snaps the world to a square whose side is
+//! a power of two and whose origin is an integer multiple of
+//! `side / 2^10`. Every derived quantity is then *dyadic* with a short
+//! mantissa: the pixel size at zoom `z`
+//! is `side / (tile_px · 2^z)` (a power of two times a power of two),
+//! and every tile or viewport extent is an integer multiple of it. With
+//! [`GridSpec::pixel_center`]'s pixel-size-first formula, each floating
+//! point operation's true result is representable, so pixel centers
+//! come out **exact** — a tile raster, a stitched viewport, and a
+//! one-shot render of the viewport's own `GridSpec` all evaluate
+//! influence at bitwise-identical coordinates and therefore agree bit
+//! for bit (property-tested in `tests/tiles_match_raster.rs`). Tiles
+//! cached at one viewport remain exact for every future viewport.
+//!
+//! The guarantee needs the world coordinates to be moderate relative to
+//! the pixel size (the dyadic values must fit in f64's 53-bit
+//! mantissa); beyond that the pyramid still renders correctly, merely
+//! without the structural bit-identity argument.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+use rnnhm_core::parallel::{chunk_ranges, effective_parallelism};
+use rnnhm_geom::Rect;
+
+use crate::ops::blit;
+use crate::raster::{GridSpec, HeatRaster};
+
+/// Total pixels per axis of the finest zoom level are capped at
+/// `2^MAX_GRID_BITS` so pixel indices stay well inside `u32`/`f64`
+/// integer range.
+const MAX_GRID_BITS: u32 = 30;
+
+/// Approximate fixed per-entry bookkeeping cost counted against the
+/// cache capacity on top of the pixel payload.
+const ENTRY_OVERHEAD_BYTES: usize = 128;
+
+/// Address of one tile: zoom level plus tile column/row.
+///
+/// Zoom `z` cuts the world into `2^z × 2^z` tiles; `(tx, ty) = (0, 0)`
+/// is the south-west corner (rows grow upward, like raster rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TileId {
+    /// Zoom level; the world is `2^zoom` tiles on each axis.
+    pub zoom: u8,
+    /// Tile column, `0 ..= 2^zoom - 1`, west to east.
+    pub tx: u32,
+    /// Tile row, `0 ..= 2^zoom - 1`, south to north.
+    pub ty: u32,
+}
+
+impl TileId {
+    /// The tile one zoom level up that contains this tile, or `None`
+    /// at zoom 0.
+    pub fn parent(self) -> Option<TileId> {
+        if self.zoom == 0 {
+            return None;
+        }
+        Some(TileId { zoom: self.zoom - 1, tx: self.tx >> 1, ty: self.ty >> 1 })
+    }
+
+    /// The ancestor `levels` zoom steps up (`levels = 0` is `self`), or
+    /// `None` when that would rise past zoom 0.
+    pub fn ancestor(self, levels: u8) -> Option<TileId> {
+        if levels > self.zoom {
+            return None;
+        }
+        Some(TileId { zoom: self.zoom - levels, tx: self.tx >> levels, ty: self.ty >> levels })
+    }
+}
+
+impl std::fmt::Display for TileId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}/{}", self.zoom, self.tx, self.ty)
+    }
+}
+
+/// Tile-pyramid geometry: a fixed square world extent divided into
+/// `2^zoom × 2^zoom` tiles of `tile_px × tile_px` pixels each.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TileScheme {
+    world: Rect,
+    tile_px: usize,
+    max_zoom: u8,
+}
+
+impl TileScheme {
+    /// Builds a scheme whose world is a small dyadic square containing
+    /// `bbox`: the side is a power of two and the origin an integer
+    /// multiple of `side / 2^10` — every world/tile/pixel coordinate is
+    /// then dyadic with a short mantissa, which is what makes all
+    /// derived pixel-center arithmetic exact (see the module docs).
+    ///
+    /// `tile_px` is the tile edge in pixels; it must be a power of two
+    /// of at least 8 (servers typically use 256).
+    pub fn for_extent(bbox: Rect, tile_px: usize) -> TileScheme {
+        assert!(tile_px.is_power_of_two() && tile_px >= 8, "tile_px must be a power of two >= 8");
+        let span = bbox.width().max(bbox.height()).max(1e-9);
+        // Smallest power of two >= span (shrinking for sub-unit spans).
+        let mut side = 1.0f64;
+        while side < span {
+            side *= 2.0;
+        }
+        while side * 0.5 >= span {
+            side *= 0.5;
+        }
+        // Snap the origin *down* to the lattice of side/2^10. The
+        // lattice must be finer than the side itself: a bbox straddling
+        // a coarse lattice line (e.g. 0) would otherwise never fit in
+        // one cell at any side. At most one doubling is needed, since
+        // snapping loses under side/1024 of headroom per axis.
+        let world = loop {
+            let g = side / 1024.0;
+            let mut x0 = (bbox.x_lo / g).floor() * g;
+            let mut y0 = (bbox.y_lo / g).floor() * g;
+            // floor(x/g)·g can land one lattice step high when x/g
+            // rounds up to an integer; step back down.
+            if x0 > bbox.x_lo {
+                x0 -= g;
+            }
+            if y0 > bbox.y_lo {
+                y0 -= g;
+            }
+            if bbox.x_hi <= x0 + side && bbox.y_hi <= y0 + side {
+                break Rect::new(x0, x0 + side, y0, y0 + side);
+            }
+            side *= 2.0;
+        };
+        let max_zoom = (MAX_GRID_BITS - tile_px.trailing_zeros()) as u8;
+        TileScheme { world, tile_px, max_zoom }
+    }
+
+    /// The (snapped) world extent the pyramid covers.
+    pub fn world(&self) -> Rect {
+        self.world
+    }
+
+    /// A stable fingerprint of the pyramid geometry (world extent +
+    /// tile size). Part of every [`TileKey`]: two schemes over the
+    /// same arrangement address geometrically different tiles with the
+    /// same `(zoom, tx, ty)`, so a shared cache must separate them.
+    pub fn fingerprint(&self) -> u64 {
+        rnnhm_core::arrangement::fnv1a_words([
+            0x4d5348, // "SHM" discriminant
+            self.world.x_lo.to_bits(),
+            self.world.y_lo.to_bits(),
+            self.world.x_hi.to_bits(),
+            self.tile_px as u64,
+        ])
+    }
+
+    /// Tile edge length in pixels.
+    pub fn tile_px(&self) -> usize {
+        self.tile_px
+    }
+
+    /// The deepest zoom level the scheme addresses.
+    pub fn max_zoom(&self) -> u8 {
+        self.max_zoom
+    }
+
+    /// Number of tiles per axis at `zoom` (`2^zoom`).
+    pub fn n_tiles(&self, zoom: u8) -> u32 {
+        1u32 << zoom
+    }
+
+    /// Number of pixels per axis of the full world grid at `zoom`.
+    pub fn n_px(&self, zoom: u8) -> usize {
+        self.tile_px << zoom
+    }
+
+    /// Side length of one pixel at `zoom` (exact: a power of two times
+    /// the world side).
+    pub fn pixel_size(&self, zoom: u8) -> f64 {
+        self.world.width() / self.n_px(zoom) as f64
+    }
+
+    /// Map extent of tile `id` (an exact dyadic sub-square of the
+    /// world).
+    pub fn tile_extent(&self, id: TileId) -> Rect {
+        debug_assert!(id.zoom <= self.max_zoom, "zoom {} past max {}", id.zoom, self.max_zoom);
+        debug_assert!(id.tx < self.n_tiles(id.zoom) && id.ty < self.n_tiles(id.zoom));
+        let side = self.world.width() / self.n_tiles(id.zoom) as f64;
+        Rect::new(
+            self.world.x_lo + id.tx as f64 * side,
+            self.world.x_lo + (id.tx + 1) as f64 * side,
+            self.world.y_lo + id.ty as f64 * side,
+            self.world.y_lo + (id.ty + 1) as f64 * side,
+        )
+    }
+
+    /// The `GridSpec` a renderer must use to produce tile `id`.
+    pub fn tile_spec(&self, id: TileId) -> GridSpec {
+        GridSpec::new(self.tile_px, self.tile_px, self.tile_extent(id))
+    }
+
+    /// The shallowest zoom whose pixels are at least as fine as
+    /// `rect` drawn on a `px_w × px_h` screen, clamped to
+    /// [`TileScheme::max_zoom`].
+    pub fn zoom_for(&self, rect: Rect, px_w: usize, px_h: usize) -> u8 {
+        assert!(px_w > 0 && px_h > 0, "empty pixel budget");
+        let target = (rect.width() / px_w as f64).min(rect.height() / px_h as f64);
+        let mut zoom = 0u8;
+        while zoom < self.max_zoom && self.pixel_size(zoom) > target {
+            zoom += 1;
+        }
+        zoom
+    }
+
+    /// Resolves a viewport: the window of global pixels (at the zoom
+    /// chosen by [`TileScheme::zoom_for`]) covering `rect`, clamped to
+    /// the world, together with the tiles that cover it.
+    ///
+    /// The returned window is *snapped to the tile grid's pixel
+    /// lattice*, so its raster is at least as sharp as the requested
+    /// `px_w × px_h` budget and every pixel coincides with a tile
+    /// pixel — the property that lets cached tiles be reused bitwise.
+    pub fn viewport(&self, rect: Rect, px_w: usize, px_h: usize) -> Viewport {
+        let zoom = self.zoom_for(rect, px_w, px_h);
+        let p = self.pixel_size(zoom);
+        let n = self.n_px(zoom);
+        let lo_px = |v: f64, origin: f64| -> usize {
+            let i = ((v - origin) / p).floor();
+            (i.max(0.0) as usize).min(n - 1)
+        };
+        let hi_px = |v: f64, origin: f64, lo: usize| -> usize {
+            let i = ((v - origin) / p).ceil();
+            (i.max(0.0) as usize).clamp(lo + 1, n)
+        };
+        let col0 = lo_px(rect.x_lo, self.world.x_lo);
+        let col1 = hi_px(rect.x_hi, self.world.x_lo, col0);
+        let row0 = lo_px(rect.y_lo, self.world.y_lo);
+        let row1 = hi_px(rect.y_hi, self.world.y_lo, row0);
+        let extent = Rect::new(
+            self.world.x_lo + col0 as f64 * p,
+            self.world.x_lo + col1 as f64 * p,
+            self.world.y_lo + row0 as f64 * p,
+            self.world.y_lo + row1 as f64 * p,
+        );
+        let spec = GridSpec::new(col1 - col0, row1 - row0, extent);
+        let t = self.tile_px;
+        let mut tiles = Vec::new();
+        for ty in (row0 / t)..=((row1 - 1) / t) {
+            for tx in (col0 / t)..=((col1 - 1) / t) {
+                tiles.push(TileId { zoom, tx: tx as u32, ty: ty as u32 });
+            }
+        }
+        Viewport { zoom, col0, row0, spec, tiles }
+    }
+}
+
+/// A resolved viewport: zoom level, pixel window of the global grid,
+/// output [`GridSpec`], and the covering tiles.
+///
+/// Produced by [`TileScheme::viewport`]; consumed by
+/// [`Viewport::stitch`] (exact) or [`Viewport::preview`]
+/// (cache-only, instant).
+#[derive(Debug, Clone)]
+pub struct Viewport {
+    /// Resolved zoom level.
+    pub zoom: u8,
+    col0: usize,
+    row0: usize,
+    spec: GridSpec,
+    tiles: Vec<TileId>,
+}
+
+impl Viewport {
+    /// The grid the stitched raster will cover (pixel-lattice-snapped;
+    /// rendering this spec in one shot yields bit-identical output).
+    pub fn spec(&self) -> GridSpec {
+        self.spec
+    }
+
+    /// Global pixel coordinates of the window's south-west corner.
+    pub fn pixel_origin(&self) -> (usize, usize) {
+        (self.col0, self.row0)
+    }
+
+    /// The tiles covering the window, row-major from the south-west.
+    pub fn tiles(&self) -> &[TileId] {
+        &self.tiles
+    }
+
+    /// The overlap of tile `id` with the window:
+    /// `(tile-local origin, window-local origin, block size)`.
+    fn overlap(
+        &self,
+        scheme: &TileScheme,
+        id: TileId,
+    ) -> ((usize, usize), (usize, usize), (usize, usize)) {
+        let t = scheme.tile_px;
+        let (tc0, tr0) = (id.tx as usize * t, id.ty as usize * t);
+        let c_lo = tc0.max(self.col0);
+        let c_hi = (tc0 + t).min(self.col0 + self.spec.width);
+        let r_lo = tr0.max(self.row0);
+        let r_hi = (tr0 + t).min(self.row0 + self.spec.height);
+        debug_assert!(c_lo < c_hi && r_lo < r_hi, "tile {id} does not overlap the window");
+        ((c_lo - tc0, r_lo - tr0), (c_lo - self.col0, r_lo - self.row0), (c_hi - c_lo, r_hi - r_lo))
+    }
+
+    /// Assembles the viewport raster from `rasters`, one per
+    /// [`Viewport::tiles`] entry in the same order.
+    ///
+    /// The output buffer is filled row by row with one
+    /// `extend_from_slice` per (row, tile) segment — append-only, no
+    /// zero-fill pass — because the covering tiles blanket every
+    /// window pixel.
+    pub fn stitch(&self, scheme: &TileScheme, rasters: &[Arc<HeatRaster>]) -> HeatRaster {
+        assert_eq!(rasters.len(), self.tiles.len(), "one raster per covering tile");
+        let t = scheme.tile_px;
+        for tile in rasters {
+            assert_eq!(
+                (tile.spec.width, tile.spec.height),
+                (t, t),
+                "tile raster has wrong dimensions"
+            );
+        }
+        let (w, h) = (self.spec.width, self.spec.height);
+        let ty0 = self.row0 / t;
+        let cols = (self.col0 + w - 1) / t - self.col0 / t + 1;
+        debug_assert_eq!(self.tiles.len() % cols, 0, "row-major cover");
+        let mut values = Vec::with_capacity(w * h);
+        for r in 0..h {
+            let g_row = self.row0 + r;
+            let row_base = (g_row / t - ty0) * cols;
+            let src_row = g_row % t;
+            for k in 0..cols {
+                let id = self.tiles[row_base + k];
+                let tc0 = id.tx as usize * t;
+                let c_lo = tc0.max(self.col0);
+                let c_hi = (tc0 + t).min(self.col0 + w);
+                let s0 = src_row * t + (c_lo - tc0);
+                values.extend_from_slice(&rasters[row_base + k].values()[s0..s0 + (c_hi - c_lo)]);
+            }
+        }
+        HeatRaster::from_values(self.spec, values)
+    }
+
+    /// Builds a coarse image *instantly* from whatever the cache
+    /// already holds — no rendering. Exact tiles are blitted where
+    /// present; elsewhere the nearest cached ancestor tile is upsampled
+    /// (nearest-neighbor), and pixels with no cached cover at all are
+    /// filled with `background` (the measure's empty-set influence).
+    ///
+    /// Returns the raster plus the fraction of pixels backed by
+    /// exact-zoom tiles — `1.0` means the preview *is* the exact image.
+    /// Lookups use [`TileCache::peek`], so previews neither disturb the
+    /// LRU order nor inflate the hit/miss statistics.
+    pub fn preview(
+        &self,
+        scheme: &TileScheme,
+        cache: &TileCache,
+        arrangement: u64,
+        measure: u64,
+        background: f64,
+    ) -> Preview {
+        let mut out = HeatRaster::new(self.spec);
+        let t = scheme.tile_px;
+        let scheme_key = scheme.fingerprint();
+        let mut exact_px = 0usize;
+        for &id in &self.tiles {
+            let (src, dst, size) = self.overlap(scheme, id);
+            let key = TileKey { arrangement, measure, scheme: scheme_key, tile: id };
+            if let Some(tile) = cache.peek(key) {
+                blit(&mut out, &tile, src, dst, size);
+                exact_px += size.0 * size.1;
+                continue;
+            }
+            // Walk up the pyramid for the nearest cached ancestor.
+            let mut coarse: Option<(u8, Arc<HeatRaster>)> = None;
+            for levels in 1..=id.zoom {
+                let anc = id.ancestor(levels).expect("levels <= zoom");
+                let key = TileKey { arrangement, measure, scheme: scheme_key, tile: anc };
+                if let Some(tile) = cache.peek(key) {
+                    coarse = Some((levels, tile));
+                    break;
+                }
+            }
+            match coarse {
+                Some((levels, tile)) => {
+                    // Global fine pixel C at this zoom sits inside
+                    // ancestor-local pixel (C >> levels) - anc_origin.
+                    let anc_c0 = (id.tx as usize >> levels) * t;
+                    let anc_r0 = (id.ty as usize >> levels) * t;
+                    for dy in 0..size.1 {
+                        let fine_row = self.row0 + dst.1 + dy;
+                        let sr = (fine_row >> levels) - anc_r0;
+                        for dx in 0..size.0 {
+                            let fine_col = self.col0 + dst.0 + dx;
+                            let sc = (fine_col >> levels) - anc_c0;
+                            out.set(dst.0 + dx, dst.1 + dy, tile.get(sc, sr));
+                        }
+                    }
+                }
+                None => {
+                    for dy in 0..size.1 {
+                        for dx in 0..size.0 {
+                            out.set(dst.0 + dx, dst.1 + dy, background);
+                        }
+                    }
+                }
+            }
+        }
+        let total = self.spec.width * self.spec.height;
+        Preview { raster: out, resolved: exact_px as f64 / total as f64 }
+    }
+
+    /// Fetches the covering tiles through `cache` — rendering the
+    /// misses in parallel via `render` — and stitches the exact
+    /// viewport raster.
+    pub fn render<F>(
+        &self,
+        scheme: &TileScheme,
+        cache: &TileCache,
+        arrangement: u64,
+        measure: u64,
+        render: F,
+    ) -> HeatRaster
+    where
+        F: Fn(TileId, GridSpec) -> HeatRaster + Sync,
+    {
+        let rasters = cache.fetch(arrangement, measure, scheme, &self.tiles, render);
+        self.stitch(scheme, &rasters)
+    }
+}
+
+/// A [`Viewport::preview`] result: the coarse raster plus how much of
+/// it is already exact.
+#[derive(Debug, Clone)]
+pub struct Preview {
+    /// The preview image over the viewport's [`Viewport::spec`].
+    pub raster: HeatRaster,
+    /// Fraction of pixels backed by exact-zoom cached tiles, in
+    /// `[0, 1]`.
+    pub resolved: f64,
+}
+
+/// Cache key: which arrangement, under which measure, through which
+/// pyramid geometry, which tile.
+///
+/// Arrangement fingerprints come from
+/// `rnnhm_core::arrangement::{SquareArrangement, DiskArrangement}::fingerprint`;
+/// measure keys from `rnnhm_core::measure::InfluenceMeasure::cache_key`;
+/// scheme fingerprints from [`TileScheme::fingerprint`]. Together they
+/// make one shared cache safe for many heat maps: the same `(zoom,
+/// tx, ty)` addresses geometrically different tiles under different
+/// schemes, so the scheme must be part of the key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TileKey {
+    /// Stable fingerprint of the NN-circle arrangement.
+    pub arrangement: u64,
+    /// Stable key of the influence measure (type + parameters).
+    pub measure: u64,
+    /// Stable fingerprint of the tile scheme (world extent + tile
+    /// size).
+    pub scheme: u64,
+    /// The tile address.
+    pub tile: TileId,
+}
+
+/// Counters describing a [`TileCache`]'s behaviour since creation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Tiles inserted.
+    pub insertions: u64,
+    /// Tiles evicted to make room.
+    pub evictions: u64,
+    /// Bytes currently accounted to cached tiles.
+    pub bytes: usize,
+    /// Tiles currently cached.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// `hits / (hits + misses)`, or 0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct CacheEntry {
+    raster: Arc<HeatRaster>,
+    bytes: usize,
+    stamp: u64,
+}
+
+struct CacheInner {
+    map: HashMap<TileKey, CacheEntry>,
+    /// Recency order: oldest stamp first. Stamps are unique (a
+    /// monotonically increasing clock), so this is a faithful LRU list.
+    lru: BTreeMap<u64, TileKey>,
+    clock: u64,
+    bytes: usize,
+    hits: u64,
+    misses: u64,
+    insertions: u64,
+    evictions: u64,
+}
+
+/// A thread-safe, byte-accounted LRU cache of rendered tiles.
+///
+/// Capacity is in bytes (pixel payload plus a fixed per-entry
+/// overhead); inserting past capacity evicts least-recently-used tiles
+/// first. [`TileCache::get`] refreshes recency and counts hit/miss;
+/// [`TileCache::peek`] does neither (used by previews).
+pub struct TileCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+}
+
+impl TileCache {
+    /// Creates a cache bounded at `capacity_bytes`.
+    pub fn new(capacity_bytes: usize) -> TileCache {
+        TileCache {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                lru: BTreeMap::new(),
+                clock: 0,
+                bytes: 0,
+                hits: 0,
+                misses: 0,
+                insertions: 0,
+                evictions: 0,
+            }),
+            capacity: capacity_bytes,
+        }
+    }
+
+    /// The byte capacity the cache was built with.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Looks `key` up, refreshing its recency; counts a hit or miss.
+    pub fn get(&self, key: TileKey) -> Option<Arc<HeatRaster>> {
+        let mut inner = self.lock();
+        inner.clock += 1;
+        let stamp = inner.clock;
+        match inner.map.get_mut(&key) {
+            Some(entry) => {
+                let old = std::mem::replace(&mut entry.stamp, stamp);
+                let raster = entry.raster.clone();
+                inner.lru.remove(&old);
+                inner.lru.insert(stamp, key);
+                inner.hits += 1;
+                Some(raster)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Looks `key` up without touching recency or statistics.
+    pub fn peek(&self, key: TileKey) -> Option<Arc<HeatRaster>> {
+        self.lock().map.get(&key).map(|e| e.raster.clone())
+    }
+
+    /// Inserts (or replaces) a tile, evicting LRU entries until the
+    /// byte budget holds. A tile larger than the whole capacity is not
+    /// cached at all.
+    pub fn insert(&self, key: TileKey, raster: Arc<HeatRaster>) {
+        let bytes = raster.spec.width * raster.spec.height * std::mem::size_of::<f64>()
+            + ENTRY_OVERHEAD_BYTES;
+        if bytes > self.capacity {
+            return;
+        }
+        let mut inner = self.lock();
+        inner.clock += 1;
+        let stamp = inner.clock;
+        if let Some(old) = inner.map.insert(key, CacheEntry { raster, bytes, stamp }) {
+            inner.lru.remove(&old.stamp);
+            inner.bytes -= old.bytes;
+        }
+        inner.lru.insert(stamp, key);
+        inner.bytes += bytes;
+        inner.insertions += 1;
+        while inner.bytes > self.capacity {
+            let (&oldest, &victim) = inner.lru.iter().next().expect("bytes > 0 implies entries");
+            inner.lru.remove(&oldest);
+            let gone = inner.map.remove(&victim).expect("lru and map agree");
+            inner.bytes -= gone.bytes;
+            inner.evictions += 1;
+        }
+    }
+
+    /// Drops every cached tile (statistics are kept).
+    pub fn clear(&self) {
+        let mut inner = self.lock();
+        inner.map.clear();
+        inner.lru.clear();
+        inner.bytes = 0;
+    }
+
+    /// A consistent snapshot of the cache counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.lock();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            insertions: inner.insertions,
+            evictions: inner.evictions,
+            bytes: inner.bytes,
+            entries: inner.map.len(),
+        }
+    }
+
+    /// Fetches `ids` in order: cached tiles are returned immediately,
+    /// misses are rendered via `render` — in parallel across all cores
+    /// when more than one tile is missing — and inserted.
+    ///
+    /// `render` receives the tile id and the exact [`GridSpec`] the
+    /// tile must be rendered with ([`TileScheme::tile_spec`]).
+    pub fn fetch<F>(
+        &self,
+        arrangement: u64,
+        measure: u64,
+        scheme: &TileScheme,
+        ids: &[TileId],
+        render: F,
+    ) -> Vec<Arc<HeatRaster>>
+    where
+        F: Fn(TileId, GridSpec) -> HeatRaster + Sync,
+    {
+        let scheme_key = scheme.fingerprint();
+        let mut out: Vec<Option<Arc<HeatRaster>>> = ids
+            .iter()
+            .map(|&tile| self.get(TileKey { arrangement, measure, scheme: scheme_key, tile }))
+            .collect();
+        let missing: Vec<usize> =
+            out.iter().enumerate().filter(|(_, r)| r.is_none()).map(|(i, _)| i).collect();
+        if !missing.is_empty() {
+            let workers = effective_parallelism().min(missing.len());
+            let rendered: Vec<(usize, HeatRaster)> = if workers <= 1 {
+                missing.iter().map(|&i| (i, render(ids[i], scheme.tile_spec(ids[i])))).collect()
+            } else {
+                let missing = &missing;
+                let render = &render;
+                let mut all = Vec::with_capacity(missing.len());
+                thread::scope(|scope| {
+                    let handles: Vec<_> = chunk_ranges(missing.len(), workers)
+                        .into_iter()
+                        .map(|range| {
+                            scope.spawn(move || {
+                                range
+                                    .map(|k| {
+                                        let i = missing[k];
+                                        (i, render(ids[i], scheme.tile_spec(ids[i])))
+                                    })
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        all.extend(h.join().expect("tile render worker panicked"));
+                    }
+                });
+                all
+            };
+            for (i, raster) in rendered {
+                let arc = Arc::new(raster);
+                let key = TileKey { arrangement, measure, scheme: scheme_key, tile: ids[i] };
+                self.insert(key, arc.clone());
+                out[i] = Some(arc);
+            }
+        }
+        out.into_iter().map(|r| r.expect("every tile fetched or rendered")).collect()
+    }
+
+    /// [`TileCache::fetch`] with the *two-stage restriction* pattern
+    /// viewport serving uses (both the facade and `tile_bench` go
+    /// through this): `make_base` builds a render base restricted to
+    /// the union extent of the tiles currently missing the cache — on
+    /// a pan, a thin strip of the viewport — and `render` draws one
+    /// tile from that base, restricting it further to the tile's own
+    /// extent. For any missing tile outside the snapshot union
+    /// (possible when a concurrent eviction races the initial peek),
+    /// `make_base` is re-invoked with the tile's own extent, so the
+    /// two-stage filter is a pure optimization, never a correctness
+    /// dependency.
+    pub fn fetch_restricted<B, F, G>(
+        &self,
+        arrangement: u64,
+        measure: u64,
+        scheme: &TileScheme,
+        ids: &[TileId],
+        make_base: F,
+        render: G,
+    ) -> Vec<Arc<HeatRaster>>
+    where
+        B: Sync,
+        F: Fn(Rect) -> B + Sync,
+        G: Fn(&B, TileId, GridSpec) -> HeatRaster + Sync,
+    {
+        let scheme_key = scheme.fingerprint();
+        let missing_union = ids
+            .iter()
+            .filter(|&&tile| {
+                self.peek(TileKey { arrangement, measure, scheme: scheme_key, tile }).is_none()
+            })
+            .map(|&tile| scheme.tile_extent(tile))
+            .reduce(|a, b| a.union(&b));
+        let base = missing_union.map(|u| (u, make_base(u)));
+        self.fetch(arrangement, measure, scheme, ids, |id, spec| match &base {
+            Some((u, b)) if u.contains_rect(&spec.extent) => render(b, id, spec),
+            _ => render(&make_base(spec.extent), id, spec),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnnhm_geom::Point;
+
+    fn scheme() -> TileScheme {
+        TileScheme::for_extent(Rect::new(0.1, 9.3, 0.4, 7.9), 16)
+    }
+
+    #[test]
+    fn world_snap_is_dyadic_and_contains_bbox() {
+        let bbox = Rect::new(0.1, 9.3, 0.4, 7.9);
+        let s = TileScheme::for_extent(bbox, 16);
+        let w = s.world();
+        assert!(w.contains_rect(&bbox));
+        assert_eq!(w.width(), w.height(), "world must be square");
+        assert_eq!(w.width(), 16.0, "smallest power of two covering span 9.2");
+        let g = w.width() / 1024.0;
+        assert_eq!(w.x_lo % g, 0.0, "origin aligned to the side/2^10 lattice");
+        assert_eq!(w.y_lo % g, 0.0);
+    }
+
+    #[test]
+    fn world_snap_handles_negative_and_tiny_extents() {
+        let s = TileScheme::for_extent(Rect::new(-3.7, -1.2, -9.9, -8.0), 16);
+        assert!(s.world().contains_rect(&Rect::new(-3.7, -1.2, -9.9, -8.0)));
+        // A degenerate (point) extent still yields a usable world.
+        let p = TileScheme::for_extent(Rect::new(2.0, 2.0, 5.0, 5.0), 16);
+        assert!(p.world().width() > 0.0);
+        assert!(p.world().contains_closed(Point::new(2.0, 5.0)));
+        // Extents straddling 0 (the regression that used to hang: 0 is
+        // a cell boundary at *every* power-of-two side).
+        let z = TileScheme::for_extent(Rect::new(-1.5, 8.3, -0.1, 9.9), 16);
+        assert!(z.world().contains_rect(&Rect::new(-1.5, 8.3, -0.1, 9.9)));
+        assert!(z.world().width() <= 32.0, "no runaway doubling");
+    }
+
+    #[test]
+    fn tile_extents_partition_the_world() {
+        let s = scheme();
+        for zoom in 0..3u8 {
+            let n = s.n_tiles(zoom);
+            let mut area = 0.0;
+            for ty in 0..n {
+                for tx in 0..n {
+                    let e = s.tile_extent(TileId { zoom, tx, ty });
+                    assert!(s.world().contains_rect(&e));
+                    area += e.area();
+                }
+            }
+            assert!((area - s.world().area()).abs() < 1e-9, "zoom {zoom} tiles must tile");
+            // Adjacent tiles share edges exactly (dyadic coordinates).
+            if n > 1 {
+                let a = s.tile_extent(TileId { zoom, tx: 0, ty: 0 });
+                let b = s.tile_extent(TileId { zoom, tx: 1, ty: 0 });
+                assert_eq!(a.x_hi, b.x_lo);
+            }
+        }
+    }
+
+    #[test]
+    fn pixel_centers_are_globally_consistent() {
+        // The structural invariant behind stitch-vs-one-shot
+        // bit-identity: a tile's GridSpec computes the *same f64* for a
+        // pixel center as any viewport window spec covering that pixel.
+        let s = scheme();
+        let zoom = 2u8;
+        let p = s.pixel_size(zoom);
+        for (tx, ty) in [(0u32, 0u32), (1, 2), (3, 3)] {
+            let id = TileId { zoom, tx, ty };
+            let spec = s.tile_spec(id);
+            for (c, r) in [(0usize, 0usize), (7, 3), (15, 15)] {
+                let center = spec.pixel_center(c, r);
+                let global_c = tx as usize * s.tile_px() + c;
+                let global_r = ty as usize * s.tile_px() + r;
+                let expect_x = s.world().x_lo + (global_c as f64 + 0.5) * p;
+                let expect_y = s.world().y_lo + (global_r as f64 + 0.5) * p;
+                assert_eq!(center.x.to_bits(), expect_x.to_bits(), "tile {id} px ({c},{r})");
+                assert_eq!(center.y.to_bits(), expect_y.to_bits(), "tile {id} px ({c},{r})");
+            }
+        }
+        // And the same for an odd-sized viewport window straddling tiles.
+        let view = s.viewport(Rect::new(3.1, 11.0, 2.9, 9.7), 37, 53);
+        let spec = view.spec();
+        let (c0, r0) = view.pixel_origin();
+        let pz = s.pixel_size(view.zoom);
+        for (c, r) in [(0usize, 0usize), (spec.width - 1, spec.height - 1), (3, 5)] {
+            let center = spec.pixel_center(c, r);
+            let expect_x = s.world().x_lo + ((c0 + c) as f64 + 0.5) * pz;
+            let expect_y = s.world().y_lo + ((r0 + r) as f64 + 0.5) * pz;
+            assert_eq!(center.x.to_bits(), expect_x.to_bits());
+            assert_eq!(center.y.to_bits(), expect_y.to_bits());
+        }
+    }
+
+    #[test]
+    fn zoom_resolution_meets_request() {
+        let s = scheme();
+        let rect = Rect::new(1.0, 3.0, 1.0, 3.0);
+        let zoom = s.zoom_for(rect, 256, 256);
+        assert!(s.pixel_size(zoom) <= rect.width() / 256.0);
+        // Zoomed far out: zoom 0 suffices.
+        assert_eq!(s.zoom_for(s.world(), 8, 8), 0);
+        // Absurdly deep requests clamp at max_zoom.
+        let deep = s.zoom_for(Rect::new(1.0, 1.0 + 1e-12, 1.0, 1.0 + 1e-12), 512, 512);
+        assert_eq!(deep, s.max_zoom());
+    }
+
+    #[test]
+    fn viewport_covers_request_and_clamps_to_world() {
+        let s = scheme();
+        let rect = Rect::new(2.3, 6.7, 1.1, 5.5);
+        let v = s.viewport(rect, 100, 100);
+        let spec = v.spec();
+        assert!(spec.extent.contains_rect(&rect));
+        assert!(spec.width >= 100 && spec.height >= 100, "at least the requested sharpness");
+        // Every covering tile overlaps the window.
+        assert!(!v.tiles().is_empty());
+        // A rect hanging off the world is clamped.
+        let off = s.viewport(Rect::new(-50.0, 1.0, -50.0, 1.0), 64, 64);
+        assert!(s.world().contains_rect(&off.spec().extent));
+    }
+
+    #[test]
+    fn tile_parent_and_ancestor() {
+        let id = TileId { zoom: 3, tx: 5, ty: 6 };
+        assert_eq!(id.parent(), Some(TileId { zoom: 2, tx: 2, ty: 3 }));
+        assert_eq!(id.ancestor(0), Some(id));
+        assert_eq!(id.ancestor(3), Some(TileId { zoom: 0, tx: 0, ty: 0 }));
+        assert_eq!(id.ancestor(4), None);
+        assert_eq!(TileId { zoom: 0, tx: 0, ty: 0 }.parent(), None);
+    }
+
+    fn flat_tile(s: &TileScheme, id: TileId, v: f64) -> Arc<HeatRaster> {
+        let spec = s.tile_spec(id);
+        let values = vec![v; spec.width * spec.height];
+        Arc::new(HeatRaster::from_values(spec, values))
+    }
+
+    fn key(tile: TileId) -> TileKey {
+        TileKey { arrangement: 1, measure: 2, scheme: scheme().fingerprint(), tile }
+    }
+
+    #[test]
+    fn scheme_fingerprint_separates_pyramids() {
+        // Same (zoom, tx, ty) under different schemes addresses
+        // geometrically different tiles; the fingerprint keeps their
+        // cache entries apart.
+        let a = TileScheme::for_extent(Rect::new(0.0, 1.0, 0.0, 1.0), 16);
+        let b = TileScheme::for_extent(Rect::new(0.0, 2.5, 0.0, 2.5), 16);
+        let c = TileScheme::for_extent(Rect::new(0.0, 1.0, 0.0, 1.0), 32);
+        assert_ne!(a.fingerprint(), b.fingerprint(), "different worlds");
+        assert_ne!(a.fingerprint(), c.fingerprint(), "different tile sizes");
+        assert_eq!(
+            a.fingerprint(),
+            TileScheme::for_extent(Rect::new(0.0, 1.0, 0.0, 1.0), 16).fingerprint(),
+            "stable across instances"
+        );
+        // End to end: a tile cached under scheme `a` is invisible to a
+        // fetch through scheme `b`.
+        let cache = TileCache::new(64 << 20);
+        let id = TileId { zoom: 1, tx: 0, ty: 0 };
+        let render =
+            |_, spec: GridSpec| HeatRaster::from_values(spec, vec![1.0; spec.width * spec.height]);
+        cache.fetch(1, 2, &a, &[id], render);
+        assert_eq!(cache.stats().misses, 1);
+        cache.fetch(1, 2, &b, &[id], render);
+        assert_eq!(cache.stats().misses, 2, "same id under scheme b must re-render");
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn fetch_restricted_matches_fetch_and_reuses_base() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let s = scheme();
+        let cache = TileCache::new(64 << 20);
+        let v = s.viewport(Rect::new(1.0, 7.0, 1.0, 7.0), 40, 40);
+        let bases = AtomicUsize::new(0);
+        let rasters = cache.fetch_restricted(
+            3,
+            4,
+            &s,
+            v.tiles(),
+            |extent| {
+                bases.fetch_add(1, Ordering::Relaxed);
+                extent
+            },
+            |base, _, spec| {
+                assert!(base.contains_rect(&spec.extent), "base must cover the tile");
+                HeatRaster::from_values(spec, vec![base.x_lo; spec.width * spec.height])
+            },
+        );
+        assert_eq!(rasters.len(), v.tiles().len());
+        assert_eq!(bases.load(Ordering::Relaxed), 1, "one base for the whole missing batch");
+        // All warm: no base is built at all.
+        cache.fetch_restricted(
+            3,
+            4,
+            &s,
+            v.tiles(),
+            |extent| {
+                bases.fetch_add(1, Ordering::Relaxed);
+                extent
+            },
+            |_, _, spec| HeatRaster::new(spec),
+        );
+        assert_eq!(bases.load(Ordering::Relaxed), 1, "warm fetch builds no base");
+    }
+
+    #[test]
+    fn cache_lru_eviction_and_stats() {
+        let s = scheme();
+        let tile_bytes = s.tile_px() * s.tile_px() * 8 + ENTRY_OVERHEAD_BYTES;
+        let cache = TileCache::new(tile_bytes * 2); // room for two tiles
+        let ids: Vec<TileId> = (0..3).map(|i| TileId { zoom: 2, tx: i, ty: 0 }).collect();
+        cache.insert(key(ids[0]), flat_tile(&s, ids[0], 0.0));
+        cache.insert(key(ids[1]), flat_tile(&s, ids[1], 1.0));
+        // Touch tile 0 so tile 1 becomes the LRU victim.
+        assert!(cache.get(key(ids[0])).is_some());
+        cache.insert(key(ids[2]), flat_tile(&s, ids[2], 2.0));
+        assert!(cache.peek(key(ids[0])).is_some(), "recently used survives");
+        assert!(cache.peek(key(ids[1])).is_none(), "LRU evicted");
+        assert!(cache.peek(key(ids[2])).is_some());
+        let st = cache.stats();
+        assert_eq!(st.entries, 2);
+        assert_eq!(st.evictions, 1);
+        assert_eq!(st.insertions, 3);
+        assert_eq!(st.hits, 1);
+        assert_eq!(st.bytes, tile_bytes * 2);
+        assert!(st.bytes <= cache.capacity_bytes());
+        // A miss is counted by get, not peek.
+        assert!(cache.get(key(ids[1])).is_none());
+        assert_eq!(cache.stats().misses, 1);
+        assert!((cache.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_rejects_oversized_and_replaces_in_place() {
+        let s = scheme();
+        let cache = TileCache::new(64); // smaller than any tile
+        let id = TileId { zoom: 0, tx: 0, ty: 0 };
+        cache.insert(key(id), flat_tile(&s, id, 1.0));
+        assert_eq!(cache.stats().entries, 0, "oversized tiles are not cached");
+
+        let tile_bytes = s.tile_px() * s.tile_px() * 8 + ENTRY_OVERHEAD_BYTES;
+        let cache = TileCache::new(tile_bytes * 4);
+        cache.insert(key(id), flat_tile(&s, id, 1.0));
+        cache.insert(key(id), flat_tile(&s, id, 2.0));
+        let st = cache.stats();
+        assert_eq!(st.entries, 1, "same key replaces");
+        assert_eq!(st.bytes, tile_bytes);
+        assert_eq!(cache.peek(key(id)).unwrap().get(0, 0), 2.0);
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.stats().bytes, 0);
+    }
+
+    #[test]
+    fn fetch_renders_misses_once_then_hits() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let s = scheme();
+        let cache = TileCache::new(64 << 20);
+        let v = s.viewport(Rect::new(1.0, 7.0, 1.0, 7.0), 40, 40);
+        let renders = AtomicUsize::new(0);
+        let render = |id: TileId, spec: GridSpec| {
+            renders.fetch_add(1, Ordering::Relaxed);
+            HeatRaster::from_values(spec, vec![id.tx as f64; spec.width * spec.height])
+        };
+        let first = cache.fetch(7, 9, &s, v.tiles(), render);
+        assert_eq!(renders.load(Ordering::Relaxed), v.tiles().len());
+        let second = cache.fetch(7, 9, &s, v.tiles(), render);
+        assert_eq!(renders.load(Ordering::Relaxed), v.tiles().len(), "all warm, no re-render");
+        for (a, b) in first.iter().zip(&second) {
+            assert!(Arc::ptr_eq(a, b), "warm fetch returns the cached tile");
+        }
+        let st = cache.stats();
+        assert_eq!(st.hits as usize, v.tiles().len());
+        assert_eq!(st.misses as usize, v.tiles().len());
+        // Different measure key: cold again.
+        cache.fetch(7, 10, &s, v.tiles(), render);
+        assert_eq!(renders.load(Ordering::Relaxed), 2 * v.tiles().len());
+    }
+
+    #[test]
+    fn stitch_places_tiles_by_address() {
+        let s = scheme();
+        let v = s.viewport(Rect::new(0.5, 14.0, 0.5, 14.0), 30, 30);
+        let rasters: Vec<Arc<HeatRaster>> =
+            v.tiles().iter().map(|&id| flat_tile(&s, id, (id.tx * 100 + id.ty) as f64)).collect();
+        let out = v.stitch(&s, &rasters);
+        let spec = out.spec;
+        // Every pixel carries its owning tile's marker value.
+        let t = s.tile_px();
+        let (c0, r0) = v.pixel_origin();
+        for row in [0, spec.height / 2, spec.height - 1] {
+            for col in [0, spec.width / 2, spec.width - 1] {
+                let tx = (c0 + col) / t;
+                let ty = (r0 + row) / t;
+                assert_eq!(out.get(col, row), (tx * 100 + ty) as f64, "pixel ({col},{row})");
+            }
+        }
+    }
+
+    #[test]
+    fn preview_uses_parents_and_reports_coverage() {
+        let s = scheme();
+        let cache = TileCache::new(64 << 20);
+        let v = s.viewport(Rect::new(1.0, 7.0, 1.0, 7.0), 48, 48);
+        assert!(v.zoom >= 1, "test needs a parent level to exist");
+
+        // Nothing cached: fully background, zero resolved.
+        let p0 = v.preview(&s, &cache, 1, 2, 7.5);
+        assert_eq!(p0.resolved, 0.0);
+        assert!(p0.raster.values().iter().all(|&x| x == 7.5));
+
+        // Cache one exact tile and the *parent* of another.
+        let exact = v.tiles()[0];
+        cache.insert(key(exact), flat_tile(&s, exact, 3.0));
+        let other = *v.tiles().last().unwrap();
+        let parent = other.parent().unwrap();
+        cache.insert(key(parent), flat_tile(&s, parent, 4.0));
+        let p1 = v.preview(&s, &cache, 1, 2, 7.5);
+        assert!(p1.resolved > 0.0 && p1.resolved < 1.0);
+        // A pixel inside the exact tile's block shows its value.
+        let (_, dst, _) = v.overlap(&s, exact);
+        assert_eq!(p1.raster.get(dst.0, dst.1), 3.0);
+        // A pixel inside the parent-backed block shows the parent value.
+        let (_, dst_o, size_o) = v.overlap(&s, other);
+        assert_eq!(p1.raster.get(dst_o.0 + size_o.0 - 1, dst_o.1 + size_o.1 - 1), 4.0);
+        // Previews must not skew hit/miss statistics.
+        assert_eq!(cache.stats().hits, 0);
+        assert_eq!(cache.stats().misses, 0);
+    }
+}

@@ -1,6 +1,6 @@
 //! A static interval tree for rectangle point-enclosure (stabbing)
 //! queries — an alternative backend to the R-tree, structurally closer
-//! to the S-tree of Vaishnavi [25] that the paper's baseline uses
+//! to the S-tree of Vaishnavi \[25\] that the paper's baseline uses
 //! (a tree over x-intervals answering stabbing queries, refined by y).
 //!
 //! Classic centered interval tree over the rectangles' x-intervals:

@@ -2,7 +2,7 @@
 //!
 //! Used to precompute NN-circles: for every client `o ∈ O` we need the
 //! distance to its nearest facility in `F` (paper §III-A; the paper assumes
-//! NN-circles are precomputed with "efficient algorithms" [12]).
+//! NN-circles are precomputed with "efficient algorithms" \[12\]).
 //!
 //! The tree is built once over a fixed point set by recursive median
 //! splits on alternating axes, stored implicitly in an array, and answers

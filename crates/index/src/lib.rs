@@ -11,10 +11,10 @@
 //!   nodes (e.g., a B+-tree)").
 //! * [`kdtree::KdTree`] — a static kd-tree answering nearest-neighbor
 //!   queries under L1/L2/L∞, used to precompute the NN-circles
-//!   (the paper cites Korn & Muthukrishnan [12] for this step).
+//!   (the paper cites Korn & Muthukrishnan \[12\] for this step).
 //! * [`rtree::RTree`] — an STR bulk-loaded R-tree answering point-enclosure
 //!   (stabbing) and rectangle-intersection queries. It stands in for the
-//!   S-tree [25] in the baseline algorithm; the paper explicitly allows
+//!   S-tree \[25\] in the baseline algorithm; the paper explicitly allows
 //!   "other spatial indexes such as the R-tree".
 //! * [`interval`] — merging of *changed intervals* (paper §V-C1).
 

@@ -2,7 +2,7 @@
 //!
 //! The baseline algorithm (paper §IV) needs an index over the NN-circles
 //! that, given a point, returns every circle enclosing it. The paper uses
-//! the S-tree [25] "for ease of analysis, although other spatial indexes
+//! the S-tree \[25\] "for ease of analysis, although other spatial indexes
 //! such as the R-tree may be used" — we use a Sort-Tile-Recursive (STR)
 //! packed R-tree, which is static (the circle set is fixed for a given
 //! heat map) and output-sensitive in practice.

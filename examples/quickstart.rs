@@ -1,68 +1,58 @@
-//! Quickstart: build an RNN heat map for a small scenario and explore it.
+//! Quickstart: the README's code block, runnable.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 //!
-//! Mirrors the paper's running example: clients (potential customers) and
-//! facilities (existing service points); the heat of a location is the
-//! number of clients that would switch to a facility opened there.
+//! Build an RNN heat map in one expression with the high-level API,
+//! find the most influential region, score a candidate site, and
+//! render the map.
 
 use rnn_heatmap::prelude::*;
+use rnn_heatmap::HeatMapBuilder;
 use rnnhm_heatmap::render::ascii_art;
 
 fn main() {
-    // A toy city block: a cluster of clients in the north-west, a strip
-    // of clients along the south, and two existing facilities.
-    let clients = vec![
-        Point::new(1.0, 8.0),
-        Point::new(1.5, 8.5),
-        Point::new(2.0, 8.2),
-        Point::new(1.2, 7.6),
-        Point::new(2.5, 9.0),
-        Point::new(2.0, 1.0),
-        Point::new(4.0, 1.2),
-        Point::new(6.0, 0.8),
-        Point::new(8.0, 1.1),
-        Point::new(5.0, 5.0),
-    ];
-    let facilities = vec![Point::new(3.0, 6.0), Point::new(6.5, 2.5)];
+    // Clients (e.g. customers) and facilities (e.g. existing stores).
+    let clients = vec![Point::new(0.0, 0.0), Point::new(2.0, 1.0), Point::new(1.0, 3.0)];
+    let facilities = vec![Point::new(1.0, 1.0)];
+    let map = HeatMapBuilder::bichromatic(clients, facilities)
+        .metric(Metric::L2)
+        .build(CountMeasure)
+        .expect("non-empty input");
 
-    // 1. Reduce the heat map problem to Region Coloring: build the
-    //    NN-circle arrangement (L2 distance here).
-    let arr =
-        build_disk_arrangement(&clients, &facilities, Mode::Bichromatic).expect("non-empty input");
+    // The single most influential region and its RNN set.
+    let best = map.max_region().expect("some region exists");
+    let at = map.region_center(&best);
     println!(
-        "{} clients, {} facilities -> {} NN-circles",
-        clients.len(),
-        facilities.len(),
-        arr.len()
+        "best region: influence {:.0} at ({:.2}, {:.2}) serving clients {:?}",
+        best.influence, at.x, at.y, best.rnn
     );
 
-    // 2. Color the regions with CREST-L2, collecting every labeled region.
-    let mut regions = CollectSink::default();
-    let stats = crest_l2_sweep(&arr, &CountMeasure, &mut regions);
+    // Score an arbitrary candidate site.
+    let (rnn, influence) = map.influence_at(Point::new(0.5, 0.5));
+    println!("candidate (0.5, 0.5): influence {influence:.0}, RNN set {rnn:?}");
+
+    // Render the full heat map over a chosen extent.
+    let raster = map.raster(GridSpec::new(512, 512, Rect::new(-1.0, 3.0, -1.0, 4.0)));
+    let (lo, hi) = raster.min_max();
+    println!("rendered 512x512 raster, influence range [{lo:.0}, {hi:.0}]");
+
+    // Interactive exploration: tiled, cached viewport rendering.
+    let view = Rect::new(-1.0, 3.0, -1.0, 4.0);
+    let frame = map.viewport(view, 512, 512); // renders + caches the covering tiles
+    let preview = map.viewport_preview(view, 512, 512); // instant, cache-only
+    assert_eq!(preview.resolved, 1.0); // the whole viewport is already cached
+    let stats = map.tile_cache_stats();
     println!(
-        "CREST: {} region labelings, {} events, max |RNN| = {}",
-        stats.labels, stats.events, stats.max_rnn
+        "viewport {}x{} px from {} cached tiles (preview {:.0}% resolved)",
+        frame.spec.width,
+        frame.spec.height,
+        stats.entries,
+        preview.resolved * 100.0
     );
 
-    // 3. Post-process: the five most influential regions.
-    println!("\nTop regions by influence:");
-    for (i, r) in top_k(&regions.regions, 5).iter().enumerate() {
-        let c = r.rect.center();
-        println!(
-            "  #{}: influence {:.0} at ({:.2}, {:.2}) serving clients {:?}",
-            i + 1,
-            r.influence,
-            c.x,
-            c.y,
-            r.rnn
-        );
-    }
-
-    // 4. Render the full heat map (exact, per-pixel) as terminal art.
-    let spec = GridSpec::new(64, 24, Rect::new(0.0, 10.0, 0.0, 10.0));
-    let raster = rasterize_disks(&arr, &CountMeasure, spec);
-    println!("\nHeat map (darker glyph = more influence):\n{}", ascii_art(&raster));
+    // A coarse terminal view (darker glyph = more influence).
+    let small = map.raster(GridSpec::new(64, 24, Rect::new(-1.0, 3.0, -1.0, 4.0)));
+    println!("{}", ascii_art(&small));
 }

@@ -23,6 +23,8 @@
 //! assert_eq!(rnn.len(), best.rnn.len());
 //! ```
 
+use std::sync::{Arc, OnceLock};
+
 use rnnhm_core::arrangement::{
     build_disk_arrangement, build_square_arrangement, DiskArrangement, Mode, SquareArrangement,
 };
@@ -34,9 +36,18 @@ use rnnhm_core::query::{influence_at_points_disk, influence_at_points_square};
 use rnnhm_core::sink::{CollectSink, LabeledRegion};
 use rnnhm_core::stats::SweepStats;
 use rnnhm_core::BuildError;
-use rnnhm_geom::{Metric, Point};
+use rnnhm_geom::{Metric, Point, Rect};
 use rnnhm_heatmap::compute::{rasterize_disks, rasterize_squares};
 use rnnhm_heatmap::raster::{GridSpec, HeatRaster};
+use rnnhm_heatmap::scanline::{rasterize_disks_scanline_bands, rasterize_squares_scanline_bands};
+use rnnhm_heatmap::tiles::{CacheStats, Preview, TileCache, TileId, TileScheme};
+
+/// Default byte budget of a heat map's private tile cache (64 MiB —
+/// roughly 120 cached 256×256 tiles).
+const DEFAULT_TILE_CACHE_BYTES: usize = 64 << 20;
+
+/// Default tile edge in pixels (the web-map convention).
+const DEFAULT_TILE_PX: usize = 256;
 
 /// Configures and builds an [`RnnHeatMap`].
 #[derive(Debug, Clone)]
@@ -45,27 +56,53 @@ pub struct HeatMapBuilder {
     facilities: Vec<Point>,
     metric: Metric,
     mode: Mode,
+    tile_px: usize,
+    tile_cache_bytes: usize,
 }
 
 impl HeatMapBuilder {
     /// Clients and facilities are distinct sets (the common case).
     pub fn bichromatic(clients: Vec<Point>, facilities: Vec<Point>) -> Self {
-        HeatMapBuilder { clients, facilities, metric: Metric::L2, mode: Mode::Bichromatic }
+        HeatMapBuilder {
+            clients,
+            facilities,
+            metric: Metric::L2,
+            mode: Mode::Bichromatic,
+            tile_px: DEFAULT_TILE_PX,
+            tile_cache_bytes: DEFAULT_TILE_CACHE_BYTES,
+        }
     }
 
     /// One point set; every point's NN excludes itself (paper §VII-A).
     pub fn monochromatic(points: Vec<Point>) -> Self {
         HeatMapBuilder {
-            clients: points,
             facilities: Vec::new(),
-            metric: Metric::L2,
             mode: Mode::Monochromatic,
+            ..Self::bichromatic(points, Vec::new())
         }
     }
 
     /// Distance metric (default: L2).
     pub fn metric(mut self, metric: Metric) -> Self {
         self.metric = metric;
+        self
+    }
+
+    /// Tile edge in pixels for the viewport tile pyramid (default 256).
+    ///
+    /// # Panics
+    /// Panics immediately unless `tile_px` is a power of two ≥ 8 —
+    /// here, at the configuration site, rather than on the first
+    /// (possibly much later) viewport call.
+    pub fn tile_px(mut self, tile_px: usize) -> Self {
+        assert!(tile_px.is_power_of_two() && tile_px >= 8, "tile_px must be a power of two >= 8");
+        self.tile_px = tile_px;
+        self
+    }
+
+    /// Byte budget of the heat map's tile cache (default 64 MiB).
+    pub fn tile_cache_bytes(mut self, bytes: usize) -> Self {
+        self.tile_cache_bytes = bytes;
         self
     }
 
@@ -85,7 +122,15 @@ impl HeatMapBuilder {
                 (Arrangement::Square(arr), stats)
             }
         };
-        Ok(RnnHeatMap { arrangement, measure, regions: sink.regions, stats })
+        Ok(RnnHeatMap {
+            arrangement,
+            measure,
+            regions: sink.regions,
+            stats,
+            tile_px: self.tile_px,
+            tile_cache_bytes: self.tile_cache_bytes,
+            tile_store: OnceLock::new(),
+        })
     }
 }
 
@@ -95,6 +140,38 @@ enum Arrangement {
     Disk(DiskArrangement),
 }
 
+/// An arrangement pre-restricted to a region, used as the base for
+/// per-tile restriction during viewport rendering.
+enum RestrictedBase {
+    Square(SquareArrangement),
+    Disk(DiskArrangement),
+}
+
+impl RestrictedBase {
+    /// Restricts to the tile's extent and renders it single-band.
+    fn render<M: IncrementalMeasure + Sync>(&self, measure: &M, spec: GridSpec) -> HeatRaster {
+        match self {
+            RestrictedBase::Square(arr) => {
+                let sub = arr.restrict_to(spec.extent);
+                rasterize_squares_scanline_bands(&sub, measure, spec, 1)
+            }
+            RestrictedBase::Disk(arr) => {
+                let sub = arr.restrict_to(spec.extent);
+                rasterize_disks_scanline_bands(&sub, measure, spec, 1)
+            }
+        }
+    }
+}
+
+/// The lazily initialised tile-pyramid serving state of one heat map:
+/// pyramid geometry plus the tile cache and the stable cache keys.
+struct TileStore {
+    scheme: TileScheme,
+    cache: TileCache,
+    arrangement_key: u64,
+    measure_key: u64,
+}
+
 /// A fully computed RNN heat map: every region of the plane labeled with
 /// its RNN set and influence, plus query and rendering entry points.
 pub struct RnnHeatMap<M: InfluenceMeasure> {
@@ -102,6 +179,9 @@ pub struct RnnHeatMap<M: InfluenceMeasure> {
     measure: M,
     regions: Vec<LabeledRegion>,
     stats: SweepStats,
+    tile_px: usize,
+    tile_cache_bytes: usize,
+    tile_store: OnceLock<TileStore>,
 }
 
 impl<M: InfluenceMeasure> RnnHeatMap<M> {
@@ -131,7 +211,7 @@ impl<M: InfluenceMeasure> RnnHeatMap<M> {
     }
 
     /// The RNN set and influence of an arbitrary location (input-space
-    /// coordinates) — the candidate-scoring query of [11]/[27].
+    /// coordinates) — the candidate-scoring query of \[11\]/\[27\].
     pub fn influence_at(&self, q: Point) -> (Vec<u32>, f64) {
         match &self.arrangement {
             Arrangement::Square(arr) => influence_at_points_square(arr, &self.measure, &[q])
@@ -159,6 +239,76 @@ impl<M: InfluenceMeasure> RnnHeatMap<M> {
             Arrangement::Disk(arr) => arr.len(),
         }
     }
+
+    /// Bounding box of the arrangement in *input-space* coordinates
+    /// (L1 arrangements live in a rotated sweep frame; their bbox is
+    /// mapped back). Everything outside carries the measure's
+    /// empty-set influence.
+    fn input_bbox(&self) -> Rect {
+        let fallback = Rect::new(0.0, 1.0, 0.0, 1.0);
+        match &self.arrangement {
+            Arrangement::Square(arr) => arr.bbox().map_or(fallback, |bb| {
+                let corners = [
+                    arr.space.to_original(Point::new(bb.x_lo, bb.y_lo)),
+                    arr.space.to_original(Point::new(bb.x_lo, bb.y_hi)),
+                    arr.space.to_original(Point::new(bb.x_hi, bb.y_lo)),
+                    arr.space.to_original(Point::new(bb.x_hi, bb.y_hi)),
+                ];
+                Rect::bounding(&corners).expect("four corners")
+            }),
+            Arrangement::Disk(arr) => arr.bbox().unwrap_or(fallback),
+        }
+    }
+
+    /// The tile store, created on first use: the pyramid's world is the
+    /// dyadic snap of the arrangement's bbox, and the cache keys are
+    /// the arrangement fingerprint plus the measure's
+    /// [`InfluenceMeasure::cache_key`].
+    fn tile_store(&self) -> &TileStore {
+        self.tile_store.get_or_init(|| {
+            let arrangement_key = match &self.arrangement {
+                Arrangement::Square(arr) => arr.fingerprint(),
+                Arrangement::Disk(arr) => arr.fingerprint(),
+            };
+            TileStore {
+                scheme: TileScheme::for_extent(self.input_bbox(), self.tile_px),
+                cache: TileCache::new(self.tile_cache_bytes),
+                arrangement_key,
+                measure_key: self.measure.cache_key(),
+            }
+        })
+    }
+
+    /// The tile-pyramid geometry serving this heat map's viewports.
+    pub fn tile_scheme(&self) -> &TileScheme {
+        &self.tile_store().scheme
+    }
+
+    /// Hit/miss/byte statistics of the viewport tile cache.
+    pub fn tile_cache_stats(&self) -> CacheStats {
+        self.tile_store().cache.stats()
+    }
+
+    /// An *instant* coarse image of the viewport, built purely from
+    /// already-cached tiles: exact tiles where cached, parent tiles
+    /// upsampled where not, the empty-set influence elsewhere. Never
+    /// renders — pair it with [`RnnHeatMap::viewport`] (run the
+    /// preview first, display it, then replace it with the exact
+    /// raster once `viewport` returns).
+    ///
+    /// `Preview::resolved` reports the fraction of pixels already
+    /// exact.
+    pub fn viewport_preview(&self, rect: Rect, px_w: usize, px_h: usize) -> Preview {
+        let store = self.tile_store();
+        let view = store.scheme.viewport(rect, px_w, px_h);
+        view.preview(
+            &store.scheme,
+            &store.cache,
+            store.arrangement_key,
+            store.measure_key,
+            self.measure.influence(&[]),
+        )
+    }
 }
 
 impl<M: IncrementalMeasure + Sync> RnnHeatMap<M> {
@@ -174,6 +324,52 @@ impl<M: IncrementalMeasure + Sync> RnnHeatMap<M> {
             Arrangement::Square(arr) => rasterize_squares(arr, &self.measure, spec),
             Arrangement::Disk(arr) => rasterize_disks(arr, &self.measure, spec),
         }
+    }
+
+    /// Renders one tile through the cache (render-on-miss). Each tile
+    /// renders only the NN-circles that can reach it
+    /// ([`SquareArrangement::restrict_to`]) — tile cost is local to the
+    /// tile, not `O(n)` setup — and without band parallelism, because
+    /// viewports parallelize *across* tiles.
+    ///
+    /// The restriction runs in two stages
+    /// ([`TileCache::fetch_restricted`]): one pass over the full
+    /// arrangement restricted to the union of the tiles that currently
+    /// miss the cache (on a pan, a thin strip of the viewport), then a
+    /// per-tile restriction of that small base.
+    fn fetch_tiles(&self, ids: &[TileId]) -> Vec<Arc<HeatRaster>> {
+        let store = self.tile_store();
+        store.cache.fetch_restricted(
+            store.arrangement_key,
+            store.measure_key,
+            &store.scheme,
+            ids,
+            |extent| match &self.arrangement {
+                Arrangement::Square(arr) => RestrictedBase::Square(arr.restrict_to(extent)),
+                Arrangement::Disk(arr) => RestrictedBase::Disk(arr.restrict_to(extent)),
+            },
+            |base, _, spec| base.render(&self.measure, spec),
+        )
+    }
+
+    /// Renders the viewport `rect` at (at least) `px_w × px_h` pixels
+    /// through the tile pyramid: resolves the zoom level, fetches the
+    /// covering tiles — cache hits are reused bitwise, misses render in
+    /// parallel across all cores — and stitches them into one raster.
+    ///
+    /// The result is snapped to the tile grid's pixel lattice (its
+    /// [`GridSpec`] reports the exact extent, which always covers
+    /// `rect` clamped to the [`RnnHeatMap::tile_scheme`] world) and is
+    /// **bit-identical** to a one-shot [`RnnHeatMap::raster`] of that
+    /// same spec — caching never changes pixels. Repeated overlapping
+    /// viewports (panning, zoom-outs over rendered areas) hit the
+    /// cache and skip most of the rasterization work; see
+    /// `BENCH_tiles.json`.
+    pub fn viewport(&self, rect: Rect, px_w: usize, px_h: usize) -> HeatRaster {
+        let store = self.tile_store();
+        let view = store.scheme.viewport(rect, px_w, px_h);
+        let tiles = self.fetch_tiles(view.tiles());
+        view.stitch(&store.scheme, &tiles)
     }
 }
 
@@ -258,6 +454,53 @@ mod tests {
         let (lo, hi) = raster.min_max();
         assert!(lo >= 0.0);
         assert!(hi >= 1.0, "some pixel must see influence");
+    }
+
+    #[test]
+    fn viewport_matches_one_shot_raster_and_caches() {
+        let (clients, facilities) = toy();
+        for metric in Metric::ALL {
+            let map = HeatMapBuilder::bichromatic(clients.clone(), facilities.clone())
+                .metric(metric)
+                .tile_px(16)
+                .build(CountMeasure)
+                .unwrap();
+            let rect = Rect::new(0.5, 3.5, 0.2, 3.8);
+            let stitched = map.viewport(rect, 50, 60);
+            assert!(stitched.spec.extent.contains_rect(&rect), "{metric:?}");
+            assert!(stitched.spec.width >= 50 && stitched.spec.height >= 60);
+            // Bit-identity with a one-shot render of the same spec.
+            let one_shot = map.raster(stitched.spec);
+            for (a, b) in stitched.values().iter().zip(one_shot.values()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{metric:?}");
+            }
+            // A repeat of the same viewport is served from the cache.
+            let cold = map.tile_cache_stats();
+            assert_eq!(cold.hits, 0);
+            assert!(cold.misses > 0 && cold.entries > 0);
+            let again = map.viewport(rect, 50, 60);
+            assert_eq!(again.values(), stitched.values());
+            let warm = map.tile_cache_stats();
+            assert_eq!(warm.misses, cold.misses, "no new renders on a warm pan");
+            assert_eq!(warm.hits as usize, cold.entries);
+        }
+    }
+
+    #[test]
+    fn preview_becomes_exact_after_render() {
+        let (clients, facilities) = toy();
+        let map = HeatMapBuilder::bichromatic(clients, facilities)
+            .tile_px(16)
+            .build(CountMeasure)
+            .unwrap();
+        let rect = Rect::new(0.0, 4.0, 0.0, 4.0);
+        // Nothing cached yet: the preview is instant but unresolved.
+        let before = map.viewport_preview(rect, 40, 40);
+        assert_eq!(before.resolved, 0.0);
+        let exact = map.viewport(rect, 40, 40);
+        let after = map.viewport_preview(rect, 40, 40);
+        assert_eq!(after.resolved, 1.0, "all tiles cached now");
+        assert_eq!(after.raster.values(), exact.values());
     }
 
     #[test]

@@ -47,6 +47,8 @@
 //! | [`data`] | uniform / Zipfian / synthetic-city data sets, sampling |
 //! | [`heatmap`] | rasterization and PPM/PGM/ASCII rendering |
 
+#![warn(missing_docs)]
+
 pub mod highlevel;
 
 pub use highlevel::{HeatMapBuilder, RnnHeatMap};
@@ -81,6 +83,7 @@ pub mod prelude {
     pub use rnnhm_geom::{Metric, Point, Rect};
     pub use rnnhm_heatmap::{
         rasterize_count_squares_fast, rasterize_disks, rasterize_disks_oracle, rasterize_squares,
-        rasterize_squares_oracle, ColorRamp, GridSpec, HeatRaster,
+        rasterize_squares_oracle, CacheStats, ColorRamp, GridSpec, HeatRaster, Preview, TileCache,
+        TileId, TileScheme, Viewport,
     };
 }
