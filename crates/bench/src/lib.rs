@@ -11,6 +11,7 @@
 //! * Criterion benches under `benches/` — statistically sampled timings
 //!   for moderate input sizes.
 
+pub mod edits;
 pub mod raster;
 pub mod runner;
 pub mod tiles;

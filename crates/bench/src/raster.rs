@@ -14,9 +14,9 @@ use rnnhm_core::measure::CountMeasure;
 use rnnhm_geom::{Metric, Rect};
 use rnnhm_heatmap::compute::{rasterize_count_squares_fast, rasterize_squares_oracle};
 use rnnhm_heatmap::scanline::rasterize_squares_scanline;
-use rnnhm_heatmap::{GridSpec, HeatRaster};
+use rnnhm_heatmap::GridSpec;
 
-use crate::runner::square_arrangement;
+use crate::runner::{bit_identical, ms, square_arrangement};
 use crate::workload::{build_workload, DatasetKind};
 
 /// Wall-clock results of one raster comparison run.
@@ -39,15 +39,6 @@ pub struct RasterComparison {
     pub speedup: f64,
     /// Whether the scanline raster was bit-identical to the oracle.
     pub identical: bool,
-}
-
-fn ms(start: Instant) -> f64 {
-    start.elapsed().as_secs_f64() * 1e3
-}
-
-fn bit_identical(a: &HeatRaster, b: &HeatRaster) -> bool {
-    a.values().len() == b.values().len()
-        && a.values().iter().zip(b.values()).all(|(x, y)| x.to_bits() == y.to_bits())
 }
 
 /// Times the three raster paths on a Uniform workload under the count

@@ -39,8 +39,16 @@ impl Timing {
     }
 }
 
-fn ms(start: Instant) -> f64 {
+/// Milliseconds elapsed since `start` (shared by every bench runner).
+pub fn ms(start: Instant) -> f64 {
     start.elapsed().as_secs_f64() * 1e3
+}
+
+/// Whether two rasters agree bit for bit — the acceptance notion of
+/// "same heat map" every bench asserts.
+pub fn bit_identical(a: &rnnhm_heatmap::HeatRaster, b: &rnnhm_heatmap::HeatRaster) -> bool {
+    a.values().len() == b.values().len()
+        && a.values().iter().zip(b.values()).all(|(x, y)| x.to_bits() == y.to_bits())
 }
 
 /// Builds the square arrangement for a workload (untimed setup).

@@ -20,9 +20,8 @@ use rnnhm_core::parallel::effective_parallelism;
 use rnnhm_geom::{Metric, Rect};
 use rnnhm_heatmap::scanline::{rasterize_squares_scanline, rasterize_squares_scanline_bands};
 use rnnhm_heatmap::tiles::{TileCache, TileScheme};
-use rnnhm_heatmap::HeatRaster;
 
-use crate::runner::square_arrangement;
+use crate::runner::{bit_identical, ms, square_arrangement};
 use crate::workload::{build_workload, DatasetKind};
 
 /// Number of drag steps; together they pan one full viewport width.
@@ -67,15 +66,6 @@ pub struct TileComparison {
     /// Whether the final stitched frame was bit-identical to the
     /// one-shot render of the same spec.
     pub identical: bool,
-}
-
-fn ms(start: Instant) -> f64 {
-    start.elapsed().as_secs_f64() * 1e3
-}
-
-fn bit_identical(a: &HeatRaster, b: &HeatRaster) -> bool {
-    a.values().len() == b.values().len()
-        && a.values().iter().zip(b.values()).all(|(x, y)| x.to_bits() == y.to_bits())
 }
 
 /// Runs the exploration scenario on a Uniform workload under the count

@@ -241,16 +241,20 @@ impl DiskArrangement {
     }
 }
 
-/// Computes each client's NN distance to the facility set.
+/// Computes each client's nearest neighbor as `(id, distance)`.
 ///
-/// In monochromatic mode `facilities` is ignored and each client's NN is
-/// its nearest *other* client.
-fn nn_radii(
+/// In bichromatic mode `id` indexes `facilities`; in monochromatic mode
+/// `facilities` is ignored, each client's NN is its nearest *other*
+/// client, and `id` indexes `clients`. The distances are exactly what
+/// the arrangement builders use as NN-circle radii; the ids let
+/// [`crate::edit::DynamicArrangement`] maintain the assignment
+/// incrementally under facility edits.
+pub fn nn_assignments(
     clients: &[Point],
     facilities: &[Point],
     metric: Metric,
     mode: Mode,
-) -> Result<Vec<f64>, BuildError> {
+) -> Result<Vec<(u32, f64)>, BuildError> {
     if clients.is_empty() {
         return Err(BuildError::NoClients);
     }
@@ -262,7 +266,7 @@ fn nn_radii(
             let tree = KdTree::build(facilities);
             Ok(clients
                 .iter()
-                .map(|o| tree.nearest(o, metric).expect("non-empty facility tree").1)
+                .map(|o| tree.nearest(o, metric).expect("non-empty facility tree"))
                 .collect())
         }
         Mode::Monochromatic => {
@@ -274,11 +278,21 @@ fn nn_radii(
                 .iter()
                 .enumerate()
                 .map(|(i, o)| {
-                    tree.nearest_excluding(o, metric, i as u32).expect("at least two points").1
+                    tree.nearest_excluding(o, metric, i as u32).expect("at least two points")
                 })
                 .collect())
         }
     }
+}
+
+/// Computes each client's NN distance to the facility set.
+fn nn_radii(
+    clients: &[Point],
+    facilities: &[Point],
+    metric: Metric,
+    mode: Mode,
+) -> Result<Vec<f64>, BuildError> {
+    Ok(nn_assignments(clients, facilities, metric, mode)?.into_iter().map(|(_, d)| d).collect())
 }
 
 /// Builds the square arrangement for L∞ or L1 instances.

@@ -1,0 +1,889 @@
+//! Dynamic what-if editing: incremental facility updates (an extension
+//! beyond the paper).
+//!
+//! The paper frames RNN heat maps as a tool for *influence exploration*:
+//! an analyst asks "what if I add / move / remove a facility here?" and
+//! watches influence shift (§I; the taxi-sharing and courier scenarios).
+//! Rebuilding the whole arrangement per what-if edit wastes almost all
+//! of its work — a single facility edit changes only the NN-circles of
+//! the clients whose nearest facility changes, and every such circle is
+//! geometrically local to the edit site.
+//!
+//! [`DynamicArrangement`] keeps the problem instance (clients,
+//! facilities, metric, mode) *together with* its NN-circle arrangement
+//! and maintains both under three edit operations:
+//!
+//! * [`DynamicArrangement::insert_facility`] — clients closer to the new
+//!   facility than to their current NN shrink their circles,
+//! * [`DynamicArrangement::remove_facility`] — clients served by the
+//!   removed facility re-resolve their NN and grow their circles,
+//! * [`DynamicArrangement::move_facility`] — remove + insert fused into
+//!   one pass.
+//!
+//! Each edit returns an [`EditOutcome`]: the [`DirtyRegion`] — the union
+//! of bounding boxes of every changed NN-circle (old and new shape), in
+//! *input-space* coordinates — plus the per-circle [`CircleChange`]
+//! list. Everything outside the dirty region provably kept its RNN set:
+//! the RNN set of a point is determined by the circles containing it,
+//! and all changed area lies inside the changed circles' bboxes. The
+//! tile cache consumes the dirty region to invalidate only intersecting
+//! tiles (`rnnhm_heatmap::tiles`), the scanline engine re-renders only
+//! the dirty pixel windows, and the facade updates labeled regions via
+//! the measure delta hooks
+//! ([`crate::measure::InfluenceMeasure::influence_delta`]).
+//!
+//! ## Bit-identity with a from-scratch rebuild
+//!
+//! The maintained radii are *bitwise equal* to what a fresh
+//! [`crate::arrangement::build_square_arrangement`] /
+//! [`crate::arrangement::build_disk_arrangement`] over the current
+//! facility set would compute: every radius is the minimum of per-pair
+//! distances evaluated by the same [`Metric`] primitives, minimization
+//! commutes bitwise with the final `sqrt` (L2), and circle construction
+//! uses the exact same formulas. Only the *order* of the arrangement's
+//! shape vectors differs after edits — which no raster or query output
+//! depends on for order-insensitive measures (see
+//! [`crate::measure::IncrementalMeasure`]'s contract). This is
+//! property-tested in `tests/edits_match_rebuild.rs`.
+//!
+//! Derived-artifact caches key on [`DynamicArrangement::fingerprint`],
+//! which mixes a *generation counter* bumped on every geometry-changing
+//! edit into the build-time fingerprint — `O(1)` per edit instead of an
+//! `O(n)` geometry rehash.
+
+use rnnhm_geom::transform::{l1_radius_to_linf, rotate45};
+use rnnhm_geom::{Circle, Metric, Point, Rect};
+use rnnhm_index::KdTree;
+
+use crate::arrangement::{
+    fnv1a_words, nn_assignments, CoordSpace, DiskArrangement, Mode, SquareArrangement,
+};
+use crate::BuildError;
+
+/// Sentinel for "client has no shape in the arrangement" (zero-radius
+/// NN-circle: the client coincides with a facility).
+const NO_SHAPE: u32 = u32::MAX;
+
+/// Stored rectangles per dirty region before coalescing everything into
+/// one bounding box. Edits are local, so the per-client rectangles
+/// almost always merge into one or two clusters long before the cap.
+const MAX_DIRTY_RECTS: usize = 32;
+
+/// Errors from facility edit operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EditError {
+    /// The facility id does not name a live facility.
+    UnknownFacility,
+    /// Removing the last facility would leave clients without any NN.
+    LastFacility,
+    /// The instance is monochromatic: there is no facility set to edit.
+    ImmutableMode,
+}
+
+impl std::fmt::Display for EditError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EditError::UnknownFacility => write!(f, "no live facility with this id"),
+            EditError::LastFacility => write!(f, "cannot remove the last facility"),
+            EditError::ImmutableMode => {
+                write!(f, "monochromatic instances have no editable facility set")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EditError {}
+
+/// The union of bounding boxes of every region whose RNN set an edit
+/// changed, in *input-space* coordinates.
+///
+/// Kept as a small list of rectangles (overlapping rectangles are
+/// coalesced on insertion, and the list falls back to one overall
+/// bounding box past a fixed cap), so a far-apart
+/// remove+insert pair — a long-distance [`DynamicArrangement::move_facility`]
+/// — stays two tight boxes instead of one huge one. The region is a
+/// conservative *superset* of the changed area: everything outside it
+/// is guaranteed unchanged.
+#[derive(Debug, Clone, Default)]
+pub struct DirtyRegion {
+    rects: Vec<Rect>,
+}
+
+impl DirtyRegion {
+    /// An empty region (nothing changed).
+    pub fn new() -> DirtyRegion {
+        DirtyRegion::default()
+    }
+
+    /// Whether nothing was marked dirty.
+    pub fn is_empty(&self) -> bool {
+        self.rects.is_empty()
+    }
+
+    /// The dirty rectangles (input space). Rectangles may overlap; the
+    /// region is their union.
+    pub fn rects(&self) -> &[Rect] {
+        &self.rects
+    }
+
+    /// Bounding box of the whole region, or `None` when empty.
+    pub fn bbox(&self) -> Option<Rect> {
+        let mut it = self.rects.iter();
+        let first = *it.next()?;
+        Some(it.fold(first, |acc, r| acc.union(r)))
+    }
+
+    /// Whether `rect` intersects the dirty region (closed semantics,
+    /// matching tile extents that share boundaries).
+    pub fn intersects(&self, rect: &Rect) -> bool {
+        self.rects.iter().any(|r| r.intersects(rect))
+    }
+
+    /// Marks `rect` dirty, coalescing every stored rectangle it
+    /// overlaps into it (cascading, so the stored rectangles stay
+    /// pairwise disjoint and no pixel window is re-rendered twice).
+    pub fn push(&mut self, mut rect: Rect) {
+        // Each merge can create a new overlap with an earlier rect.
+        while let Some(i) = self.rects.iter().position(|r| r.intersects(&rect)) {
+            rect = self.rects.swap_remove(i).union(&rect);
+        }
+        if self.rects.len() == MAX_DIRTY_RECTS {
+            let all = self.bbox().expect("cap implies non-empty").union(&rect);
+            self.rects.clear();
+            self.rects.push(all);
+            return;
+        }
+        self.rects.push(rect);
+    }
+
+    /// Absorbs another dirty region.
+    pub fn merge(&mut self, other: &DirtyRegion) {
+        for &r in other.rects() {
+            self.push(r);
+        }
+    }
+}
+
+/// One NN-circle shape, in the arrangement's own (sweep-space)
+/// coordinates: squares for L∞, rotated squares for L1, disks for L2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Shape {
+    /// An axis-aligned square NN-circle (sweep space).
+    Square(Rect),
+    /// A Euclidean disk NN-circle.
+    Disk(Circle),
+}
+
+impl Shape {
+    /// Whether every interior point of `rect` lies inside the closed
+    /// shape (`rect` in the shape's own coordinate space).
+    pub fn covers_rect(&self, rect: &Rect) -> bool {
+        match self {
+            Shape::Square(s) => s.contains_rect(rect),
+            Shape::Disk(d) => {
+                d.contains_closed(Point::new(rect.x_lo, rect.y_lo))
+                    && d.contains_closed(Point::new(rect.x_lo, rect.y_hi))
+                    && d.contains_closed(Point::new(rect.x_hi, rect.y_lo))
+                    && d.contains_closed(Point::new(rect.x_hi, rect.y_hi))
+            }
+        }
+    }
+
+    /// Whether no interior point of `rect` lies inside the closed shape.
+    pub fn misses_rect(&self, rect: &Rect) -> bool {
+        match self {
+            // Sharing only a boundary still counts as a miss: interior
+            // points are strictly beyond the shared edge.
+            Shape::Square(s) => {
+                !(s.x_lo < rect.x_hi
+                    && rect.x_lo < s.x_hi
+                    && s.y_lo < rect.y_hi
+                    && rect.y_lo < s.y_hi)
+            }
+            // Conservative for disks: require strict clearance.
+            Shape::Disk(d) => rect.dist2_to_point(d.c) > d.r,
+        }
+    }
+}
+
+/// One changed NN-circle: the owning client and its shape before and
+/// after the edit (`None` = no circle, i.e. a zero-radius NN distance).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CircleChange {
+    /// The client whose NN-circle changed.
+    pub owner: u32,
+    /// The shape before the edit.
+    pub old: Option<Shape>,
+    /// The shape after the edit.
+    pub new: Option<Shape>,
+}
+
+/// What one edit changed: the dirty region plus the per-circle deltas.
+#[derive(Debug, Clone, Default)]
+pub struct EditOutcome {
+    /// Union of changed-area bounding boxes, input space.
+    pub dirty: DirtyRegion,
+    /// Every NN-circle the edit changed, with old and new geometry.
+    pub changes: Vec<CircleChange>,
+}
+
+/// A borrowed view of the arrangement behind a [`DynamicArrangement`].
+#[derive(Clone, Copy)]
+pub enum ArrangementRef<'a> {
+    /// Square NN-circles (L∞ directly, L1 in the rotated sweep frame).
+    Square(&'a SquareArrangement),
+    /// Disk NN-circles (L2).
+    Disk(&'a DiskArrangement),
+}
+
+/// A problem instance plus its NN-circle arrangement, maintained
+/// incrementally under facility edits. See the module docs.
+pub struct DynamicArrangement {
+    metric: Metric,
+    mode: Mode,
+    clients: Vec<Point>,
+    /// Facility slots; removed facilities stay as dead slots so ids
+    /// remain stable across edits.
+    facilities: Vec<Point>,
+    alive: Vec<bool>,
+    n_alive: usize,
+    /// Per client: slot id of a nearest facility (an argmin; ties may
+    /// resolve to any of the tied facilities). Monochromatic instances
+    /// store the nearest *other client* id instead.
+    nn_fac: Vec<u32>,
+    /// Per client: NN distance (the NN-circle radius).
+    radii: Vec<f64>,
+    /// Per client: index of its shape in the arrangement vectors, or
+    /// [`NO_SHAPE`] for zero-radius (dropped) clients.
+    shape_at: Vec<u32>,
+    repr: Repr,
+    base_fingerprint: u64,
+    generation: u64,
+}
+
+enum Repr {
+    Square(SquareArrangement),
+    Disk(DiskArrangement),
+}
+
+impl DynamicArrangement {
+    /// Builds the instance and its arrangement.
+    ///
+    /// The initial arrangement is identical (including shape order) to
+    /// what [`crate::arrangement::build_square_arrangement`] /
+    /// [`crate::arrangement::build_disk_arrangement`] produce for the
+    /// same input. Monochromatic instances build fine but reject every
+    /// edit with [`EditError::ImmutableMode`].
+    pub fn build(
+        clients: Vec<Point>,
+        facilities: Vec<Point>,
+        metric: Metric,
+        mode: Mode,
+    ) -> Result<DynamicArrangement, BuildError> {
+        let assignments = nn_assignments(&clients, &facilities, metric, mode)?;
+        let n = clients.len();
+        let mut nn_fac = Vec::with_capacity(n);
+        let mut radii = Vec::with_capacity(n);
+        let mut shape_at = vec![NO_SHAPE; n];
+        let mut owners: Vec<u32> = Vec::with_capacity(n);
+        let mut dropped = 0usize;
+        let mut squares: Vec<Rect> = Vec::new();
+        let mut disks: Vec<Circle> = Vec::new();
+        for (i, &(fac, r)) in assignments.iter().enumerate() {
+            nn_fac.push(fac);
+            radii.push(r);
+            if r <= 0.0 {
+                dropped += 1;
+                continue;
+            }
+            shape_at[i] = owners.len() as u32;
+            owners.push(i as u32);
+            match metric {
+                Metric::L2 => disks.push(Circle::new(clients[i], r)),
+                Metric::Linf => squares.push(Rect::centered(clients[i], r)),
+                Metric::L1 => {
+                    squares.push(Rect::centered(rotate45(clients[i]), l1_radius_to_linf(r)))
+                }
+            }
+        }
+        let repr = match metric {
+            Metric::L2 => Repr::Disk(DiskArrangement { disks, owners, n_clients: n, dropped }),
+            m => Repr::Square(SquareArrangement {
+                squares,
+                owners,
+                space: if m == Metric::L1 { CoordSpace::Rotated45 } else { CoordSpace::Identity },
+                n_clients: n,
+                dropped,
+            }),
+        };
+        let base_fingerprint = match &repr {
+            Repr::Square(a) => a.fingerprint(),
+            Repr::Disk(a) => a.fingerprint(),
+        };
+        let n_alive = facilities.len();
+        Ok(DynamicArrangement {
+            metric,
+            mode,
+            clients,
+            alive: vec![true; n_alive],
+            n_alive,
+            facilities,
+            nn_fac,
+            radii,
+            shape_at,
+            repr,
+            base_fingerprint,
+            generation: 0,
+        })
+    }
+
+    /// The distance metric of the instance.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// Bichromatic or monochromatic.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// The client set (never edited).
+    pub fn clients(&self) -> &[Point] {
+        &self.clients
+    }
+
+    /// The arrangement view for queries, sweeps and rasterization.
+    pub fn as_ref(&self) -> ArrangementRef<'_> {
+        match &self.repr {
+            Repr::Square(a) => ArrangementRef::Square(a),
+            Repr::Disk(a) => ArrangementRef::Disk(a),
+        }
+    }
+
+    /// The square arrangement, when the metric is L∞ or L1.
+    pub fn square(&self) -> Option<&SquareArrangement> {
+        match &self.repr {
+            Repr::Square(a) => Some(a),
+            Repr::Disk(_) => None,
+        }
+    }
+
+    /// The disk arrangement, when the metric is L2.
+    pub fn disk(&self) -> Option<&DiskArrangement> {
+        match &self.repr {
+            Repr::Square(_) => None,
+            Repr::Disk(a) => Some(a),
+        }
+    }
+
+    /// Live facilities as `(id, location)`, in id order. The ids are
+    /// stable across edits and valid for
+    /// [`DynamicArrangement::remove_facility`] /
+    /// [`DynamicArrangement::move_facility`].
+    pub fn facilities(&self) -> impl Iterator<Item = (u32, Point)> + '_ {
+        self.facilities
+            .iter()
+            .zip(&self.alive)
+            .enumerate()
+            .filter(|(_, (_, &alive))| alive)
+            .map(|(i, (&p, _))| (i as u32, p))
+    }
+
+    /// Live facility locations in id order (the list a from-scratch
+    /// rebuild of the current instance would start from).
+    pub fn facility_points(&self) -> Vec<Point> {
+        self.facilities().map(|(_, p)| p).collect()
+    }
+
+    /// The location of live facility `id`.
+    pub fn facility(&self, id: u32) -> Option<Point> {
+        let i = id as usize;
+        (i < self.facilities.len() && self.alive[i]).then(|| self.facilities[i])
+    }
+
+    /// Number of live facilities.
+    pub fn n_facilities(&self) -> usize {
+        self.n_alive
+    }
+
+    /// How many geometry-changing edits this instance has absorbed.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// A stable cache key for derived artifacts (rendered tiles, …):
+    /// the build-time arrangement fingerprint mixed with the edit
+    /// generation. `O(1)` per edit — the generation bump replaces a
+    /// full geometry rehash. Two *different* generations of the same
+    /// instance never collide, which is all a private cache needs; the
+    /// key deliberately does not try to detect that an edit script
+    /// returned to an earlier geometry.
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a_words([0x4459, self.base_fingerprint, self.generation]) // "DY"
+    }
+
+    /// Adds a facility at `p`. Returns the new facility's id and what
+    /// changed: every client strictly closer to `p` than to its current
+    /// NN shrinks its circle.
+    pub fn insert_facility(&mut self, p: Point) -> Result<(u32, EditOutcome), EditError> {
+        if self.mode != Mode::Bichromatic {
+            return Err(EditError::ImmutableMode);
+        }
+        let slot = self.facilities.len() as u32;
+        self.facilities.push(p);
+        self.alive.push(true);
+        self.n_alive += 1;
+        let mut out = EditOutcome::default();
+        for o in 0..self.clients.len() {
+            let d = self.metric.dist(&self.clients[o], &p);
+            if d < self.radii[o] {
+                self.set_radius(o, d, slot, &mut out);
+            }
+        }
+        if !out.dirty.is_empty() {
+            self.generation += 1;
+        }
+        Ok((slot, out))
+    }
+
+    /// Removes facility `id`. Every client it served re-resolves its NN
+    /// among the remaining facilities and grows its circle.
+    pub fn remove_facility(&mut self, id: u32) -> Result<EditOutcome, EditError> {
+        if self.mode != Mode::Bichromatic {
+            return Err(EditError::ImmutableMode);
+        }
+        let i = id as usize;
+        if i >= self.facilities.len() || !self.alive[i] {
+            return Err(EditError::UnknownFacility);
+        }
+        if self.n_alive == 1 {
+            return Err(EditError::LastFacility);
+        }
+        self.alive[i] = false;
+        self.n_alive -= 1;
+        let (tree, slots) = self.facility_tree();
+        let mut out = EditOutcome::default();
+        for o in 0..self.clients.len() {
+            if self.nn_fac[o] != id {
+                continue;
+            }
+            let (k, d) =
+                tree.nearest(&self.clients[o], self.metric).expect("n_alive >= 1 after removal");
+            self.set_radius(o, d, slots[k as usize], &mut out);
+        }
+        if !out.dirty.is_empty() {
+            self.generation += 1;
+        }
+        Ok(out)
+    }
+
+    /// Moves facility `id` to `to` — a remove + insert fused into one
+    /// pass: clients served by `id` re-resolve their NN (it may still
+    /// be `id`), every other client checks whether `id`'s new location
+    /// undercuts its current NN distance.
+    pub fn move_facility(&mut self, id: u32, to: Point) -> Result<EditOutcome, EditError> {
+        if self.mode != Mode::Bichromatic {
+            return Err(EditError::ImmutableMode);
+        }
+        let i = id as usize;
+        if i >= self.facilities.len() || !self.alive[i] {
+            return Err(EditError::UnknownFacility);
+        }
+        self.facilities[i] = to;
+        let (tree, slots) = self.facility_tree();
+        let mut out = EditOutcome::default();
+        for o in 0..self.clients.len() {
+            if self.nn_fac[o] == id {
+                let (k, d) =
+                    tree.nearest(&self.clients[o], self.metric).expect("live facilities exist");
+                self.set_radius(o, d, slots[k as usize], &mut out);
+            } else {
+                let d = self.metric.dist(&self.clients[o], &to);
+                if d < self.radii[o] {
+                    self.set_radius(o, d, id, &mut out);
+                }
+            }
+        }
+        if !out.dirty.is_empty() {
+            self.generation += 1;
+        }
+        Ok(out)
+    }
+
+    /// A kd-tree over the live facilities plus the compacted-index →
+    /// slot-id mapping.
+    fn facility_tree(&self) -> (KdTree, Vec<u32>) {
+        let mut pts = Vec::with_capacity(self.n_alive);
+        let mut slots = Vec::with_capacity(self.n_alive);
+        for (id, p) in self.facilities() {
+            pts.push(p);
+            slots.push(id);
+        }
+        (KdTree::build(&pts), slots)
+    }
+
+    /// The sweep-space shape of client `o`'s NN-circle at radius `r`,
+    /// or `None` for a zero radius — the exact formulas of the static
+    /// builders.
+    fn shape_of(&self, o: usize, r: f64) -> Option<Shape> {
+        if r <= 0.0 {
+            return None;
+        }
+        Some(match self.metric {
+            Metric::Linf => Shape::Square(Rect::centered(self.clients[o], r)),
+            Metric::L1 => {
+                Shape::Square(Rect::centered(rotate45(self.clients[o]), l1_radius_to_linf(r)))
+            }
+            Metric::L2 => Shape::Disk(Circle::new(self.clients[o], r)),
+        })
+    }
+
+    /// Records client `o`'s new NN `(new_fac, new_r)` and updates the
+    /// arrangement geometry, the dirty region and the change list. A
+    /// bitwise-unchanged radius only refreshes the NN assignment — the
+    /// circle is geometrically identical, so nothing is dirty.
+    fn set_radius(&mut self, o: usize, new_r: f64, new_fac: u32, out: &mut EditOutcome) {
+        self.nn_fac[o] = new_fac;
+        let old_r = self.radii[o];
+        if new_r.to_bits() == old_r.to_bits() {
+            return;
+        }
+        self.radii[o] = new_r;
+        // Both circles are centered at the client with radius ≤
+        // max(old, new) under every metric, so one input-space box
+        // covers the union of old and new shape.
+        out.dirty.push(Rect::centered(self.clients[o], old_r.max(new_r)));
+        let old_shape = self.shape_of(o, old_r);
+        let new_shape = self.shape_of(o, new_r);
+        out.changes.push(CircleChange { owner: o as u32, old: old_shape, new: new_shape });
+
+        let idx = self.shape_at[o];
+        match (idx == NO_SHAPE, new_shape) {
+            (false, Some(shape)) => {
+                // Replace in place; owner unchanged.
+                match (&mut self.repr, shape) {
+                    (Repr::Square(a), Shape::Square(s)) => a.squares[idx as usize] = s,
+                    (Repr::Disk(a), Shape::Disk(d)) => a.disks[idx as usize] = d,
+                    _ => unreachable!("shape kind matches the metric"),
+                }
+            }
+            (false, None) => {
+                // The client now coincides with a facility: drop its
+                // (empty-interior) circle via swap-remove.
+                let idx = idx as usize;
+                let moved_owner = match &mut self.repr {
+                    Repr::Square(a) => {
+                        a.squares.swap_remove(idx);
+                        a.owners.swap_remove(idx);
+                        a.dropped += 1;
+                        a.owners.get(idx).copied()
+                    }
+                    Repr::Disk(a) => {
+                        a.disks.swap_remove(idx);
+                        a.owners.swap_remove(idx);
+                        a.dropped += 1;
+                        a.owners.get(idx).copied()
+                    }
+                };
+                if let Some(m) = moved_owner {
+                    self.shape_at[m as usize] = idx as u32;
+                }
+                self.shape_at[o] = NO_SHAPE;
+            }
+            (true, Some(shape)) => {
+                // A previously dropped client regains a circle.
+                let new_idx = match (&mut self.repr, shape) {
+                    (Repr::Square(a), Shape::Square(s)) => {
+                        a.squares.push(s);
+                        a.owners.push(o as u32);
+                        a.dropped -= 1;
+                        a.squares.len() - 1
+                    }
+                    (Repr::Disk(a), Shape::Disk(d)) => {
+                        a.disks.push(d);
+                        a.owners.push(o as u32);
+                        a.dropped -= 1;
+                        a.disks.len() - 1
+                    }
+                    _ => unreachable!("shape kind matches the metric"),
+                };
+                self.shape_at[o] = new_idx as u32;
+            }
+            (true, None) => unreachable!("a radius change implies at least one non-zero radius"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrangement::{build_disk_arrangement, build_square_arrangement};
+
+    fn pseudo_points(n: usize, seed: u64, span: f64) -> Vec<Point> {
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        (0..n).map(|_| Point::new(next() * span, next() * span)).collect()
+    }
+
+    /// Asserts the dynamic arrangement matches a from-scratch rebuild
+    /// over its current facility set: same per-client radii (bitwise)
+    /// and the same (owner → shape) mapping as sets.
+    fn assert_matches_rebuild(dy: &DynamicArrangement) {
+        let facs = dy.facility_points();
+        match dy.metric() {
+            Metric::L2 => {
+                let fresh = build_disk_arrangement(dy.clients(), &facs, Mode::Bichromatic).unwrap();
+                let a = dy.disk().unwrap();
+                assert_eq!(a.len(), fresh.len());
+                assert_eq!(a.dropped, fresh.dropped);
+                let mut ours: Vec<(u32, u64, u64, u64)> = a
+                    .owners
+                    .iter()
+                    .zip(&a.disks)
+                    .map(|(&o, d)| (o, d.c.x.to_bits(), d.c.y.to_bits(), d.r.to_bits()))
+                    .collect();
+                let mut theirs: Vec<(u32, u64, u64, u64)> = fresh
+                    .owners
+                    .iter()
+                    .zip(&fresh.disks)
+                    .map(|(&o, d)| (o, d.c.x.to_bits(), d.c.y.to_bits(), d.r.to_bits()))
+                    .collect();
+                ours.sort_unstable();
+                theirs.sort_unstable();
+                assert_eq!(ours, theirs, "disk set diverged from rebuild");
+            }
+            m => {
+                let fresh =
+                    build_square_arrangement(dy.clients(), &facs, m, Mode::Bichromatic).unwrap();
+                let a = dy.square().unwrap();
+                assert_eq!(a.len(), fresh.len());
+                assert_eq!(a.dropped, fresh.dropped);
+                assert_eq!(a.space, fresh.space);
+                let key = |o: u32, s: &Rect| {
+                    (o, s.x_lo.to_bits(), s.x_hi.to_bits(), s.y_lo.to_bits(), s.y_hi.to_bits())
+                };
+                let mut ours: Vec<_> =
+                    a.owners.iter().zip(&a.squares).map(|(&o, s)| key(o, s)).collect();
+                let mut theirs: Vec<_> =
+                    fresh.owners.iter().zip(&fresh.squares).map(|(&o, s)| key(o, s)).collect();
+                ours.sort_unstable();
+                theirs.sort_unstable();
+                assert_eq!(ours, theirs, "square set diverged from rebuild ({m:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn build_matches_static_builders_exactly() {
+        let clients = pseudo_points(40, 7, 10.0);
+        let facs = pseudo_points(5, 9, 10.0);
+        for metric in Metric::ALL {
+            let dy =
+                DynamicArrangement::build(clients.clone(), facs.clone(), metric, Mode::Bichromatic)
+                    .unwrap();
+            match metric {
+                Metric::L2 => {
+                    let fresh = build_disk_arrangement(&clients, &facs, Mode::Bichromatic).unwrap();
+                    assert_eq!(dy.disk().unwrap().fingerprint(), fresh.fingerprint());
+                }
+                m => {
+                    let fresh =
+                        build_square_arrangement(&clients, &facs, m, Mode::Bichromatic).unwrap();
+                    assert_eq!(dy.square().unwrap().fingerprint(), fresh.fingerprint());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edit_script_matches_rebuild_all_metrics() {
+        let clients = pseudo_points(60, 3, 10.0);
+        let facs = pseudo_points(4, 11, 10.0);
+        for metric in Metric::ALL {
+            let mut dy =
+                DynamicArrangement::build(clients.clone(), facs.clone(), metric, Mode::Bichromatic)
+                    .unwrap();
+            let (id_a, _) = dy.insert_facility(Point::new(2.5, 2.5)).unwrap();
+            assert_matches_rebuild(&dy);
+            dy.move_facility(id_a, Point::new(7.5, 7.5)).unwrap();
+            assert_matches_rebuild(&dy);
+            dy.remove_facility(0).unwrap();
+            assert_matches_rebuild(&dy);
+            dy.remove_facility(id_a).unwrap();
+            assert_matches_rebuild(&dy);
+            let (_, out) = dy.insert_facility(Point::new(0.1, 9.9)).unwrap();
+            // The outcome's change list and dirty region agree.
+            for ch in &out.changes {
+                assert!(ch.old != ch.new, "listed change must change geometry");
+            }
+            assert_eq!(out.dirty.is_empty(), out.changes.is_empty());
+            assert_matches_rebuild(&dy);
+        }
+    }
+
+    #[test]
+    fn insert_on_client_drops_its_circle_and_remove_restores_it() {
+        let clients = vec![Point::new(1.0, 1.0), Point::new(8.0, 8.0)];
+        let facs = vec![Point::new(4.0, 4.0)];
+        let mut dy =
+            DynamicArrangement::build(clients, facs, Metric::Linf, Mode::Bichromatic).unwrap();
+        assert_eq!(dy.square().unwrap().len(), 2);
+        let (id, out) = dy.insert_facility(Point::new(1.0, 1.0)).unwrap();
+        assert_eq!(dy.square().unwrap().len(), 1, "coincident client drops its circle");
+        assert_eq!(dy.square().unwrap().dropped, 1);
+        assert!(out.changes.iter().any(|c| c.owner == 0 && c.new.is_none()));
+        assert_matches_rebuild(&dy);
+        dy.remove_facility(id).unwrap();
+        assert_eq!(dy.square().unwrap().len(), 2, "removal restores the dropped circle");
+        assert_eq!(dy.square().unwrap().dropped, 0);
+        assert_matches_rebuild(&dy);
+    }
+
+    #[test]
+    fn dirty_region_bounds_every_change() {
+        let clients = pseudo_points(50, 21, 10.0);
+        let facs = pseudo_points(6, 22, 10.0);
+        let mut dy =
+            DynamicArrangement::build(clients, facs, Metric::L2, Mode::Bichromatic).unwrap();
+        let (_, out) = dy.insert_facility(Point::new(5.0, 5.0)).unwrap();
+        assert!(!out.dirty.is_empty(), "a central insert must steal some clients");
+        for ch in &out.changes {
+            for shape in ch.old.iter().chain(ch.new.iter()) {
+                let bbox = match shape {
+                    Shape::Square(s) => *s,
+                    Shape::Disk(d) => d.bbox(),
+                };
+                // L2/L∞ shapes live in input space; every changed shape
+                // must be covered by the dirty region.
+                assert!(
+                    out.dirty.rects().iter().any(|r| r.contains_rect(&bbox)),
+                    "changed circle of client {} escapes the dirty region",
+                    ch.owner
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn noop_edits_keep_generation_and_report_empty_dirty() {
+        let clients = vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)];
+        let facs = vec![Point::new(1.0, 0.0), Point::new(9.0, 0.0)];
+        let mut dy =
+            DynamicArrangement::build(clients, facs, Metric::Linf, Mode::Bichromatic).unwrap();
+        let g0 = dy.generation();
+        let fp0 = dy.fingerprint();
+        // A facility far from everything changes no NN distance.
+        let (far, out) = dy.insert_facility(Point::new(100.0, 100.0)).unwrap();
+        assert!(out.dirty.is_empty());
+        assert!(out.changes.is_empty());
+        assert_eq!(dy.generation(), g0);
+        assert_eq!(dy.fingerprint(), fp0, "no geometry change, no key change");
+        // Moving it around far away is equally invisible.
+        let out = dy.move_facility(far, Point::new(200.0, 200.0)).unwrap();
+        assert!(out.dirty.is_empty());
+        // Removing it: its (zero) clients re-resolve — still nothing.
+        let out = dy.remove_facility(far).unwrap();
+        assert!(out.dirty.is_empty());
+        assert_eq!(dy.fingerprint(), fp0);
+        // A real edit bumps the fingerprint.
+        dy.insert_facility(Point::new(0.5, 0.0)).unwrap();
+        assert_ne!(dy.fingerprint(), fp0);
+        assert_eq!(dy.generation(), g0 + 1);
+    }
+
+    #[test]
+    fn edit_errors() {
+        let clients = vec![Point::new(0.0, 0.0), Point::new(5.0, 5.0)];
+        let facs = vec![Point::new(1.0, 1.0)];
+        let mut dy = DynamicArrangement::build(
+            clients.clone(),
+            facs.clone(),
+            Metric::Linf,
+            Mode::Bichromatic,
+        )
+        .unwrap();
+        assert_eq!(dy.remove_facility(0).unwrap_err(), EditError::LastFacility);
+        assert_eq!(dy.remove_facility(7).unwrap_err(), EditError::UnknownFacility);
+        assert_eq!(
+            dy.move_facility(9, Point::new(0.0, 0.0)).unwrap_err(),
+            EditError::UnknownFacility
+        );
+        let (id, _) = dy.insert_facility(Point::new(4.0, 4.0)).unwrap();
+        dy.remove_facility(id).unwrap();
+        assert_eq!(dy.remove_facility(id).unwrap_err(), EditError::UnknownFacility);
+
+        let mut mono =
+            DynamicArrangement::build(clients, vec![], Metric::Linf, Mode::Monochromatic).unwrap();
+        assert_eq!(
+            mono.insert_facility(Point::new(1.0, 1.0)).unwrap_err(),
+            EditError::ImmutableMode
+        );
+        assert_eq!(mono.remove_facility(0).unwrap_err(), EditError::ImmutableMode);
+        assert_eq!(
+            mono.move_facility(0, Point::new(1.0, 1.0)).unwrap_err(),
+            EditError::ImmutableMode
+        );
+    }
+
+    #[test]
+    fn facility_ids_stay_stable_across_edits() {
+        let clients = pseudo_points(10, 5, 4.0);
+        let facs = vec![Point::new(1.0, 1.0), Point::new(3.0, 3.0)];
+        let mut dy =
+            DynamicArrangement::build(clients, facs, Metric::L1, Mode::Bichromatic).unwrap();
+        let (id2, _) = dy.insert_facility(Point::new(2.0, 2.0)).unwrap();
+        assert_eq!(id2, 2);
+        dy.remove_facility(0).unwrap();
+        assert_eq!(dy.n_facilities(), 2);
+        let ids: Vec<u32> = dy.facilities().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![1, 2], "dead slots keep later ids stable");
+        assert_eq!(dy.facility(0), None);
+        assert_eq!(dy.facility(1), Some(Point::new(3.0, 3.0)));
+        dy.move_facility(id2, Point::new(0.5, 0.5)).unwrap();
+        assert_eq!(dy.facility(id2), Some(Point::new(0.5, 0.5)));
+    }
+
+    #[test]
+    fn dirty_region_coalesces_and_caps() {
+        let mut d = DirtyRegion::new();
+        assert!(d.is_empty());
+        d.push(Rect::new(0.0, 1.0, 0.0, 1.0));
+        d.push(Rect::new(0.5, 2.0, 0.5, 2.0)); // overlaps → coalesce
+        assert_eq!(d.rects().len(), 1);
+        assert_eq!(d.rects()[0], Rect::new(0.0, 2.0, 0.0, 2.0));
+        d.push(Rect::new(50.0, 51.0, 50.0, 51.0)); // disjoint → second rect
+        assert_eq!(d.rects().len(), 2);
+        assert!(d.intersects(&Rect::new(1.5, 1.6, 0.0, 0.5)));
+        assert!(d.intersects(&Rect::new(50.5, 99.0, 50.5, 99.0)));
+        assert!(!d.intersects(&Rect::new(10.0, 20.0, 10.0, 20.0)));
+        // Push far past the cap: the region folds into one bbox but
+        // still covers everything ever pushed.
+        for i in 0..100 {
+            let x = i as f64 * 10.0;
+            d.push(Rect::new(x, x + 1.0, -500.0, -499.0));
+        }
+        assert!(d.rects().len() <= MAX_DIRTY_RECTS);
+        assert!(d.intersects(&Rect::new(990.2, 990.8, -499.5, -499.4)));
+        assert!(d.bbox().unwrap().contains_rect(&Rect::new(0.0, 2.0, 0.0, 2.0)));
+    }
+
+    #[test]
+    fn shape_rect_relations() {
+        let sq = Shape::Square(Rect::new(0.0, 4.0, 0.0, 4.0));
+        assert!(sq.covers_rect(&Rect::new(1.0, 3.0, 1.0, 3.0)));
+        assert!(sq.covers_rect(&Rect::new(0.0, 4.0, 0.0, 4.0)), "closed cover");
+        assert!(sq.misses_rect(&Rect::new(4.0, 5.0, 0.0, 4.0)), "shared edge is a miss");
+        assert!(sq.misses_rect(&Rect::new(9.0, 10.0, 9.0, 10.0)));
+        assert!(!sq.covers_rect(&Rect::new(3.0, 5.0, 0.0, 1.0)));
+        assert!(!sq.misses_rect(&Rect::new(3.0, 5.0, 0.0, 1.0)));
+        let dk = Shape::Disk(Circle::new(Point::new(0.0, 0.0), 2.0));
+        assert!(dk.covers_rect(&Rect::new(-1.0, 1.0, -1.0, 1.0)));
+        assert!(dk.misses_rect(&Rect::new(3.0, 4.0, 3.0, 4.0)));
+        let straddle = Rect::new(1.0, 3.0, -0.5, 0.5);
+        assert!(!dk.covers_rect(&straddle));
+        assert!(!dk.misses_rect(&straddle));
+    }
+}

@@ -30,11 +30,18 @@
 //! Influence measures are pluggable via [`measure::InfluenceMeasure`];
 //! labeled regions stream into a [`sink::RegionSink`], so top-k /
 //! threshold post-processing (§I) and rasterization compose freely.
+//!
+//! Beyond the paper, [`edit::DynamicArrangement`] keeps an instance
+//! *editable*: facilities can be inserted, removed and moved with
+//! incremental NN-circle maintenance, each edit reporting the
+//! [`edit::DirtyRegion`] outside which nothing changed — the basis of
+//! interactive what-if exploration.
 
 pub mod arrangement;
 pub mod baseline;
 pub mod crest;
 pub mod crest_l2;
+pub mod edit;
 pub mod euler;
 pub mod measure;
 pub mod oracle;
@@ -48,8 +55,11 @@ pub mod stats;
 pub mod window;
 
 pub use arrangement::{
-    build_disk_arrangement, build_square_arrangement, CoordSpace, DiskArrangement, Mode,
-    SquareArrangement,
+    build_disk_arrangement, build_square_arrangement, nn_assignments, CoordSpace, DiskArrangement,
+    Mode, SquareArrangement,
+};
+pub use edit::{
+    ArrangementRef, CircleChange, DirtyRegion, DynamicArrangement, EditError, EditOutcome, Shape,
 };
 pub use measure::{
     CapacityMeasure, ConnectivityMeasure, CountMeasure, ExactFallback, IncrementalMeasure,

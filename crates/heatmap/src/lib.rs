@@ -36,4 +36,5 @@ pub use compute::{
 pub use ops::{blit, diff, downsample, max_pixel, upsample_nearest};
 pub use raster::{GridSpec, HeatRaster};
 pub use render::{write_pgm, write_ppm, ColorRamp};
+pub use scanline::{refresh_disks_dirty, refresh_squares_dirty};
 pub use tiles::{CacheStats, Preview, TileCache, TileId, TileKey, TileScheme, Viewport};

@@ -499,6 +499,9 @@ pub struct CacheStats {
     pub insertions: u64,
     /// Tiles evicted to make room.
     pub evictions: u64,
+    /// Tiles dropped by [`TileCache::invalidate_region`] because a
+    /// what-if edit dirtied their extent.
+    pub invalidations: u64,
     /// Bytes currently accounted to cached tiles.
     pub bytes: usize,
     /// Tiles currently cached.
@@ -534,6 +537,7 @@ struct CacheInner {
     misses: u64,
     insertions: u64,
     evictions: u64,
+    invalidations: u64,
 }
 
 /// A thread-safe, byte-accounted LRU cache of rendered tiles.
@@ -560,6 +564,7 @@ impl TileCache {
                 misses: 0,
                 insertions: 0,
                 evictions: 0,
+                invalidations: 0,
             }),
             capacity: capacity_bytes,
         }
@@ -644,6 +649,7 @@ impl TileCache {
             misses: inner.misses,
             insertions: inner.insertions,
             evictions: inner.evictions,
+            invalidations: inner.invalidations,
             bytes: inner.bytes,
             entries: inner.map.len(),
         }
@@ -709,6 +715,68 @@ impl TileCache {
             }
         }
         out.into_iter().map(|r| r.expect("every tile fetched or rendered")).collect()
+    }
+
+    /// Applies a what-if edit to the cache: entries keyed under
+    /// `old_arrangement` (and this `scheme`) whose tile extent
+    /// intersects `dirty` are dropped — their pixels may have changed —
+    /// while all other entries of that arrangement are *re-keyed* to
+    /// `new_arrangement`, preserving bytes, payload and recency.
+    ///
+    /// This is what keeps viewports warm across edits: the edited
+    /// arrangement gets a fresh fingerprint (a generation bump, see
+    /// `rnnhm_core::edit::DynamicArrangement::fingerprint`), and
+    /// instead of orphaning every cached tile under the stale key, the
+    /// untouched tiles — provably pixel-identical, because all changed
+    /// area lies inside the dirty region — migrate to the new key in
+    /// one `O(entries)` pass. Tiles of *other* arrangements or schemes
+    /// sharing the cache are untouched.
+    ///
+    /// Returns `(invalidated, rekeyed)` counts; invalidated tiles are
+    /// also reported in [`CacheStats::invalidations`].
+    pub fn invalidate_region(
+        &self,
+        old_arrangement: u64,
+        new_arrangement: u64,
+        scheme: &TileScheme,
+        dirty: &rnnhm_core::edit::DirtyRegion,
+    ) -> (usize, usize) {
+        let scheme_key = scheme.fingerprint();
+        let mut inner = self.lock();
+        let affected: Vec<TileKey> = inner
+            .map
+            .keys()
+            .filter(|k| k.arrangement == old_arrangement && k.scheme == scheme_key)
+            .copied()
+            .collect();
+        let mut invalidated = 0usize;
+        let mut rekeyed = 0usize;
+        for key in affected {
+            if dirty.intersects(&scheme.tile_extent(key.tile)) {
+                let entry = inner.map.remove(&key).expect("key just listed");
+                inner.lru.remove(&entry.stamp);
+                inner.bytes -= entry.bytes;
+                inner.invalidations += 1;
+                invalidated += 1;
+            } else if new_arrangement != old_arrangement {
+                let entry = inner.map.remove(&key).expect("key just listed");
+                let new_key = TileKey { arrangement: new_arrangement, ..key };
+                if inner.map.contains_key(&new_key) {
+                    // The target key is already cached (a caller
+                    // re-keyed back onto an existing fingerprint):
+                    // keep the existing entry, drop this one —
+                    // inserting over it would orphan its LRU stamp
+                    // and leak its byte accounting.
+                    inner.lru.remove(&entry.stamp);
+                    inner.bytes -= entry.bytes;
+                } else {
+                    inner.lru.insert(entry.stamp, new_key);
+                    inner.map.insert(new_key, entry);
+                    rekeyed += 1;
+                }
+            }
+        }
+        (invalidated, rekeyed)
     }
 
     /// [`TileCache::fetch`] with the *two-stage restriction* pattern
@@ -1053,6 +1121,121 @@ mod tests {
                 assert_eq!(out.get(col, row), (tx * 100 + ty) as f64, "pixel ({col},{row})");
             }
         }
+    }
+
+    #[test]
+    fn invalidate_region_evicts_exactly_intersecting_and_rekeys_the_rest() {
+        use rnnhm_core::edit::DirtyRegion;
+        let s = scheme();
+        let cache = TileCache::new(64 << 20);
+        // Populate every zoom-2 tile under arrangement key 1, plus one
+        // tile of an unrelated arrangement (key 9) that must survive.
+        let n = s.n_tiles(2);
+        for ty in 0..n {
+            for tx in 0..n {
+                let id = TileId { zoom: 2, tx, ty };
+                cache.insert(key(id), flat_tile(&s, id, (tx + ty) as f64));
+            }
+        }
+        let foreign = TileId { zoom: 2, tx: 0, ty: 0 };
+        cache.insert(
+            TileKey { arrangement: 9, measure: 2, scheme: s.fingerprint(), tile: foreign },
+            flat_tile(&s, foreign, 42.0),
+        );
+        let entries_before = cache.stats().entries;
+
+        let mut dirty = DirtyRegion::new();
+        // One tile-sized box in the world's south-west corner.
+        let w = s.world();
+        let tile_side = w.width() / n as f64;
+        dirty.push(Rect::new(
+            w.x_lo + 0.1 * tile_side,
+            w.x_lo + 0.9 * tile_side,
+            w.y_lo + 0.1 * tile_side,
+            w.y_lo + 0.9 * tile_side,
+        ));
+        let (invalidated, rekeyed) = cache.invalidate_region(1, 2, &s, &dirty);
+        assert_eq!(invalidated, 1, "exactly the one intersecting tile is dropped");
+        assert_eq!(rekeyed, (n * n) as usize - 1);
+        assert_eq!(cache.stats().invalidations, 1);
+        assert_eq!(cache.stats().entries, entries_before - 1);
+        for ty in 0..n {
+            for tx in 0..n {
+                let id = TileId { zoom: 2, tx, ty };
+                let old = key(id);
+                let new = TileKey { arrangement: 2, ..old };
+                assert!(cache.peek(old).is_none(), "no entry may keep the stale key");
+                if tx == 0 && ty == 0 {
+                    assert!(cache.peek(new).is_none(), "dirty tile evicted");
+                } else {
+                    let tile = cache.peek(new).expect("clean tile re-keyed");
+                    assert_eq!(tile.get(0, 0), (tx + ty) as f64, "payload preserved");
+                }
+            }
+        }
+        // The unrelated arrangement is untouched.
+        assert!(cache
+            .peek(TileKey { arrangement: 9, measure: 2, scheme: s.fingerprint(), tile: foreign })
+            .is_some());
+    }
+
+    #[test]
+    fn invalidate_region_respects_boundaries_and_byte_accounting() {
+        use rnnhm_core::edit::DirtyRegion;
+        let s = scheme();
+        let tile_bytes = s.tile_px() * s.tile_px() * 8 + ENTRY_OVERHEAD_BYTES;
+        let cache = TileCache::new(64 << 20);
+        let a = TileId { zoom: 1, tx: 0, ty: 0 };
+        let b = TileId { zoom: 1, tx: 1, ty: 1 };
+        cache.insert(key(a), flat_tile(&s, a, 1.0));
+        cache.insert(key(b), flat_tile(&s, b, 2.0));
+        // A dirty box touching tile `a` only at its shared corner with
+        // `b`'s quadrant: closed-rect semantics still count the touch.
+        let w = s.world();
+        let mid_x = s.tile_extent(a).x_hi;
+        let mid_y = s.tile_extent(a).y_hi;
+        let mut dirty = DirtyRegion::new();
+        dirty.push(Rect::new(mid_x, w.x_hi, mid_y, w.y_hi)); // b's quadrant, touching a's corner
+        let (invalidated, _) = cache.invalidate_region(1, 7, &s, &dirty);
+        assert_eq!(invalidated, 2, "corner touch invalidates both (closed semantics)");
+        assert_eq!(cache.stats().bytes, 0);
+        assert_eq!(cache.stats().entries, 0);
+        // Re-key only (empty dirty): nothing invalidated, key moves.
+        cache.insert(key(a), flat_tile(&s, a, 3.0));
+        let (invalidated, rekeyed) = cache.invalidate_region(1, 5, &s, &DirtyRegion::new());
+        assert_eq!((invalidated, rekeyed), (0, 1));
+        assert_eq!(cache.stats().bytes, tile_bytes);
+        assert!(cache.peek(TileKey { arrangement: 5, ..key(a) }).is_some());
+        // LRU still works on a re-keyed entry (stamp preserved).
+        assert!(cache.get(TileKey { arrangement: 5, ..key(a) }).is_some());
+    }
+
+    #[test]
+    fn invalidate_region_rekey_onto_existing_key_keeps_accounting_sound() {
+        use rnnhm_core::edit::DirtyRegion;
+        let s = scheme();
+        let tile_bytes = s.tile_px() * s.tile_px() * 8 + ENTRY_OVERHEAD_BYTES;
+        let cache = TileCache::new(tile_bytes * 2); // room for exactly two tiles
+        let id = TileId { zoom: 1, tx: 0, ty: 0 };
+        // The same tile cached under two arrangement keys, then re-key
+        // 1 → 5 where 5 already holds an entry: one of the two must be
+        // dropped cleanly (bytes and LRU stay consistent).
+        cache.insert(key(id), flat_tile(&s, id, 1.0));
+        cache.insert(TileKey { arrangement: 5, ..key(id) }, flat_tile(&s, id, 5.0));
+        let (invalidated, rekeyed) = cache.invalidate_region(1, 5, &s, &DirtyRegion::new());
+        assert_eq!((invalidated, rekeyed), (0, 0), "collision is neither eviction nor re-key");
+        let st = cache.stats();
+        assert_eq!(st.entries, 1);
+        assert_eq!(st.bytes, tile_bytes, "the dropped entry's bytes are released");
+        assert_eq!(cache.peek(TileKey { arrangement: 5, ..key(id) }).unwrap().get(0, 0), 5.0);
+        // The cache still evicts without panicking (the LRU list holds
+        // no dangling stamp for the dropped entry).
+        let other = TileId { zoom: 1, tx: 1, ty: 0 };
+        cache.insert(TileKey { arrangement: 5, ..key(other) }, flat_tile(&s, other, 6.0));
+        let third = TileId { zoom: 1, tx: 0, ty: 1 };
+        cache.insert(TileKey { arrangement: 5, ..key(third) }, flat_tile(&s, third, 7.0));
+        assert_eq!(cache.stats().entries, 2);
+        assert_eq!(cache.stats().evictions, 1);
     }
 
     #[test]

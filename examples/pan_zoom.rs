@@ -60,7 +60,8 @@ fn main() {
         let (_, hottest) = frame.min_max();
         println!(
             "{label:>20}: {}x{} px in {ms:6.1} ms | preview {:3.0}% resolved | \
-             cache {} tiles / {:.1} MiB, {} hits, {} misses | peak influence {hottest:.0}",
+             cache {} tiles / {:.1} MiB, {} hits, {} misses, {} invalidations | \
+             peak influence {hottest:.0}",
             frame.spec.width,
             frame.spec.height,
             preview.resolved * 100.0,
@@ -68,6 +69,7 @@ fn main() {
             stats.bytes as f64 / (1 << 20) as f64,
             stats.hits,
             stats.misses,
+            stats.invalidations,
         );
     }
 

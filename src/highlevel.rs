@@ -1,4 +1,5 @@
-//! High-level API: build an RNN heat map in one expression and explore it.
+//! High-level API: build an RNN heat map in one expression, explore it,
+//! and edit it interactively.
 //!
 //! The low-level crates expose the paper's machinery (arrangements,
 //! sweeps, sinks); this module wraps the common path — *points in,
@@ -22,24 +23,58 @@
 //! assert_eq!(influence, best.influence);
 //! assert_eq!(rnn.len(), best.rnn.len());
 //! ```
+//!
+//! ## What-if editing
+//!
+//! Bichromatic maps stay *live* under facility edits
+//! ([`RnnHeatMap::add_facility`] / [`RnnHeatMap::remove_facility`] /
+//! [`RnnHeatMap::move_facility`]): the NN-circle arrangement is
+//! maintained incrementally (`rnnhm_core::edit`), cached viewport tiles
+//! outside the returned [`DirtyRegion`] survive the edit, and labeled
+//! regions update through the measure delta hooks instead of a full
+//! resweep. See `examples/what_if.rs` for a walkthrough.
+//!
+//! ```
+//! use rnn_heatmap::HeatMapBuilder;
+//! use rnn_heatmap::prelude::*;
+//!
+//! let clients = vec![Point::new(0.0, 0.0), Point::new(2.0, 1.0), Point::new(1.0, 3.0)];
+//! let mut map = HeatMapBuilder::bichromatic(clients, vec![Point::new(1.0, 1.0)])
+//!     .build(CountMeasure)
+//!     .expect("non-empty input");
+//! // What if we open a store at (0.2, 0.2)? The client at the origin
+//! // defects to it; only that neighborhood is dirtied.
+//! let (id, dirty) = map.add_facility(Point::new(0.2, 0.2)).unwrap();
+//! assert!(!dirty.is_empty());
+//! assert_eq!(map.influence_at(Point::new(0.2, 0.2)).1, 1.0);
+//! // Undo: removing it restores the original influence field.
+//! map.remove_facility(id).unwrap();
+//! assert_eq!(map.n_facilities(), 1);
+//! ```
 
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
-use rnnhm_core::arrangement::{
-    build_disk_arrangement, build_square_arrangement, DiskArrangement, Mode, SquareArrangement,
-};
+use rnnhm_core::arrangement::{CoordSpace, DiskArrangement, SquareArrangement};
 use rnnhm_core::crest::crest_sweep;
 use rnnhm_core::crest_l2::crest_l2_sweep;
+use rnnhm_core::edit::{
+    ArrangementRef, DirtyRegion, DynamicArrangement, EditError, EditOutcome, Shape,
+};
 use rnnhm_core::measure::{IncrementalMeasure, InfluenceMeasure};
 use rnnhm_core::postprocess::{threshold, top_k};
 use rnnhm_core::query::{influence_at_points_disk, influence_at_points_square};
 use rnnhm_core::sink::{CollectSink, LabeledRegion};
 use rnnhm_core::stats::SweepStats;
-use rnnhm_core::BuildError;
+use rnnhm_core::window::crest_window;
+use rnnhm_core::{BuildError, Mode};
+use rnnhm_geom::transform::rotate45;
 use rnnhm_geom::{Metric, Point, Rect};
 use rnnhm_heatmap::compute::{rasterize_disks, rasterize_squares};
 use rnnhm_heatmap::raster::{GridSpec, HeatRaster};
-use rnnhm_heatmap::scanline::{rasterize_disks_scanline_bands, rasterize_squares_scanline_bands};
+use rnnhm_heatmap::scanline::{
+    rasterize_disks_scanline_bands, rasterize_squares_scanline_bands, refresh_disks_dirty,
+    refresh_squares_dirty,
+};
 use rnnhm_heatmap::tiles::{CacheStats, Preview, TileCache, TileId, TileScheme};
 
 /// Default byte budget of a heat map's private tile cache (64 MiB —
@@ -48,6 +83,12 @@ const DEFAULT_TILE_CACHE_BYTES: usize = 64 << 20;
 
 /// Default tile edge in pixels (the web-map convention).
 const DEFAULT_TILE_PX: usize = 256;
+
+/// Incremental region maintenance gives up (falling back to a lazy
+/// full resweep) once the label list outgrows the last full sweep by
+/// this factor: every edit appends window labels, and past this point
+/// the duplicates cost more than one clean resweep.
+const REGION_GROWTH_CAP: usize = 4;
 
 /// Configures and builds an [`RnnHeatMap`].
 #[derive(Debug, Clone)]
@@ -74,6 +115,8 @@ impl HeatMapBuilder {
     }
 
     /// One point set; every point's NN excludes itself (paper §VII-A).
+    /// Monochromatic maps have no facility set, so they reject the
+    /// what-if edit operations.
     pub fn monochromatic(points: Vec<Point>) -> Self {
         HeatMapBuilder {
             facilities: Vec::new(),
@@ -106,38 +149,25 @@ impl HeatMapBuilder {
         self
     }
 
-    /// Builds the arrangement, runs CREST, and collects every labeled
-    /// region under `measure`.
+    /// Builds the NN-circle arrangement (kept editable) under `measure`.
+    ///
+    /// Region labeling (the CREST sweep) is *lazy*: it runs on the
+    /// first call to [`RnnHeatMap::regions`] / [`RnnHeatMap::top_k`] /
+    /// [`RnnHeatMap::max_region`] / [`RnnHeatMap::at_least`] /
+    /// [`RnnHeatMap::stats`], so maps built purely for rendering or
+    /// editing never pay for it.
     pub fn build<M: InfluenceMeasure>(self, measure: M) -> Result<RnnHeatMap<M>, BuildError> {
-        let mut sink = CollectSink::default();
-        let (arrangement, stats) = match self.metric {
-            Metric::L2 => {
-                let arr = build_disk_arrangement(&self.clients, &self.facilities, self.mode)?;
-                let stats = crest_l2_sweep(&arr, &measure, &mut sink);
-                (Arrangement::Disk(arr), stats)
-            }
-            m => {
-                let arr = build_square_arrangement(&self.clients, &self.facilities, m, self.mode)?;
-                let stats = crest_sweep(&arr, &measure, &mut sink);
-                (Arrangement::Square(arr), stats)
-            }
-        };
+        let dynamic =
+            DynamicArrangement::build(self.clients, self.facilities, self.metric, self.mode)?;
         Ok(RnnHeatMap {
-            arrangement,
+            dynamic,
             measure,
-            regions: sink.regions,
-            stats,
+            regions: Mutex::new(RegionsCache::default()),
             tile_px: self.tile_px,
             tile_cache_bytes: self.tile_cache_bytes,
             tile_store: OnceLock::new(),
         })
     }
-}
-
-/// The NN-circle arrangement behind a heat map.
-enum Arrangement {
-    Square(SquareArrangement),
-    Disk(DiskArrangement),
 }
 
 /// An arrangement pre-restricted to a region, used as the base for
@@ -165,6 +195,8 @@ impl RestrictedBase {
 
 /// The lazily initialised tile-pyramid serving state of one heat map:
 /// pyramid geometry plus the tile cache and the stable cache keys.
+/// `arrangement_key` tracks [`DynamicArrangement::fingerprint`] and is
+/// advanced by edits together with the cache re-keying.
 struct TileStore {
     scheme: TileScheme,
     cache: TileCache,
@@ -172,32 +204,78 @@ struct TileStore {
     measure_key: u64,
 }
 
-/// A fully computed RNN heat map: every region of the plane labeled with
-/// its RNN set and influence, plus query and rendering entry points.
-pub struct RnnHeatMap<M: InfluenceMeasure> {
-    arrangement: Arrangement,
-    measure: M,
-    regions: Vec<LabeledRegion>,
+/// The lazily computed labeled-region state of one heat map.
+#[derive(Default)]
+struct RegionsCache {
+    list: Vec<LabeledRegion>,
     stats: SweepStats,
+    /// Whether `list` currently describes the arrangement.
+    fresh: bool,
+    /// Label count of the last *full* sweep (growth-cap baseline).
+    full_len: usize,
+}
+
+/// A fully computed RNN heat map: every region of the plane labeled with
+/// its RNN set and influence, plus query, rendering and what-if editing
+/// entry points.
+pub struct RnnHeatMap<M: InfluenceMeasure> {
+    dynamic: DynamicArrangement,
+    measure: M,
+    regions: Mutex<RegionsCache>,
     tile_px: usize,
     tile_cache_bytes: usize,
     tile_store: OnceLock<TileStore>,
 }
 
 impl<M: InfluenceMeasure> RnnHeatMap<M> {
-    /// All labeled regions, in sweep emission order.
-    pub fn regions(&self) -> &[LabeledRegion] {
-        &self.regions
+    /// The regions cache, computed (or recomputed after edits
+    /// invalidated it) on demand.
+    fn regions_cache(&self) -> MutexGuard<'_, RegionsCache> {
+        let mut cache = self.regions.lock().unwrap_or_else(|e| e.into_inner());
+        if !cache.fresh {
+            let mut sink = CollectSink::default();
+            let stats = match self.dynamic.as_ref() {
+                ArrangementRef::Square(arr) => crest_sweep(arr, &self.measure, &mut sink),
+                ArrangementRef::Disk(arr) => crest_l2_sweep(arr, &self.measure, &mut sink),
+            };
+            cache.full_len = sink.regions.len();
+            cache.list = sink.regions;
+            cache.stats = stats;
+            cache.fresh = true;
+        }
+        cache
     }
 
-    /// Sweep statistics (`labels` is the paper's `k`).
+    /// All labeled regions (computing them on first use). After edits,
+    /// the list may contain additional relabelings of the same region
+    /// (consistent duplicates, as CREST itself emits — Lemma 3).
+    ///
+    /// This *clones* the full list (each label owns its RNN vector);
+    /// for read-only access at scale use [`RnnHeatMap::with_regions`],
+    /// or the [`RnnHeatMap::top_k`] / [`RnnHeatMap::at_least`]
+    /// accessors, which only copy what they return.
+    pub fn regions(&self) -> Vec<LabeledRegion> {
+        self.regions_cache().list.clone()
+    }
+
+    /// Runs `f` over the labeled regions *in place* — no cloning —
+    /// computing them on first use. The region lock is held for the
+    /// duration of `f`; don't call other region accessors or edit
+    /// operations from inside it.
+    pub fn with_regions<R>(&self, f: impl FnOnce(&[LabeledRegion]) -> R) -> R {
+        f(&self.regions_cache().list)
+    }
+
+    /// Statistics of the sweep that produced the current region labels
+    /// (`labels` is the paper's `k`). Incremental edit maintenance does
+    /// not update these; they describe the last full sweep.
     pub fn stats(&self) -> SweepStats {
-        self.stats
+        self.regions_cache().stats
     }
 
     /// The `k` most influential regions (deduplicated by RNN set).
     pub fn top_k(&self, k: usize) -> Vec<LabeledRegion> {
-        top_k(&self.regions, k)
+        top_k(&self.regions_cache().list, k)
     }
 
     /// The single most influential region.
@@ -207,17 +285,17 @@ impl<M: InfluenceMeasure> RnnHeatMap<M> {
 
     /// Regions with influence at or above `min_influence`.
     pub fn at_least(&self, min_influence: f64) -> Vec<LabeledRegion> {
-        threshold(&self.regions, min_influence)
+        threshold(&self.regions_cache().list, min_influence)
     }
 
     /// The RNN set and influence of an arbitrary location (input-space
     /// coordinates) — the candidate-scoring query of \[11\]/\[27\].
     pub fn influence_at(&self, q: Point) -> (Vec<u32>, f64) {
-        match &self.arrangement {
-            Arrangement::Square(arr) => influence_at_points_square(arr, &self.measure, &[q])
+        match self.dynamic.as_ref() {
+            ArrangementRef::Square(arr) => influence_at_points_square(arr, &self.measure, &[q])
                 .pop()
                 .expect("one candidate in, one result out"),
-            Arrangement::Disk(arr) => influence_at_points_disk(arr, &self.measure, &[q])
+            ArrangementRef::Disk(arr) => influence_at_points_disk(arr, &self.measure, &[q])
                 .pop()
                 .expect("one candidate in, one result out"),
         }
@@ -226,18 +304,35 @@ impl<M: InfluenceMeasure> RnnHeatMap<M> {
     /// Maps a labeled region's representative point back to input-space
     /// coordinates (L1 maps live in a rotated sweep frame).
     pub fn region_center(&self, region: &LabeledRegion) -> Point {
-        match &self.arrangement {
-            Arrangement::Square(arr) => arr.space.to_original(region.rect.center()),
-            Arrangement::Disk(_) => region.rect.center(),
+        match self.dynamic.as_ref() {
+            ArrangementRef::Square(arr) => arr.space.to_original(region.rect.center()),
+            ArrangementRef::Disk(_) => region.rect.center(),
         }
     }
 
     /// Number of NN-circles in the arrangement.
     pub fn n_circles(&self) -> usize {
-        match &self.arrangement {
-            Arrangement::Square(arr) => arr.len(),
-            Arrangement::Disk(arr) => arr.len(),
+        match self.dynamic.as_ref() {
+            ArrangementRef::Square(arr) => arr.len(),
+            ArrangementRef::Disk(arr) => arr.len(),
         }
+    }
+
+    /// Live facilities as `(id, location)`; the ids are stable across
+    /// edits and valid for [`RnnHeatMap::remove_facility`] /
+    /// [`RnnHeatMap::move_facility`].
+    pub fn facilities(&self) -> Vec<(u32, Point)> {
+        self.dynamic.facilities().collect()
+    }
+
+    /// Number of live facilities (0 for monochromatic maps).
+    pub fn n_facilities(&self) -> usize {
+        self.dynamic.n_facilities()
+    }
+
+    /// How many geometry-changing edits this map has absorbed.
+    pub fn generation(&self) -> u64 {
+        self.dynamic.generation()
     }
 
     /// Bounding box of the arrangement in *input-space* coordinates
@@ -246,8 +341,8 @@ impl<M: InfluenceMeasure> RnnHeatMap<M> {
     /// empty-set influence.
     fn input_bbox(&self) -> Rect {
         let fallback = Rect::new(0.0, 1.0, 0.0, 1.0);
-        match &self.arrangement {
-            Arrangement::Square(arr) => arr.bbox().map_or(fallback, |bb| {
+        match self.dynamic.as_ref() {
+            ArrangementRef::Square(arr) => arr.bbox().map_or(fallback, |bb| {
                 let corners = [
                     arr.space.to_original(Point::new(bb.x_lo, bb.y_lo)),
                     arr.space.to_original(Point::new(bb.x_lo, bb.y_hi)),
@@ -256,26 +351,20 @@ impl<M: InfluenceMeasure> RnnHeatMap<M> {
                 ];
                 Rect::bounding(&corners).expect("four corners")
             }),
-            Arrangement::Disk(arr) => arr.bbox().unwrap_or(fallback),
+            ArrangementRef::Disk(arr) => arr.bbox().unwrap_or(fallback),
         }
     }
 
     /// The tile store, created on first use: the pyramid's world is the
     /// dyadic snap of the arrangement's bbox, and the cache keys are
-    /// the arrangement fingerprint plus the measure's
+    /// the dynamic arrangement fingerprint plus the measure's
     /// [`InfluenceMeasure::cache_key`].
     fn tile_store(&self) -> &TileStore {
-        self.tile_store.get_or_init(|| {
-            let arrangement_key = match &self.arrangement {
-                Arrangement::Square(arr) => arr.fingerprint(),
-                Arrangement::Disk(arr) => arr.fingerprint(),
-            };
-            TileStore {
-                scheme: TileScheme::for_extent(self.input_bbox(), self.tile_px),
-                cache: TileCache::new(self.tile_cache_bytes),
-                arrangement_key,
-                measure_key: self.measure.cache_key(),
-            }
+        self.tile_store.get_or_init(|| TileStore {
+            scheme: TileScheme::for_extent(self.input_bbox(), self.tile_px),
+            cache: TileCache::new(self.tile_cache_bytes),
+            arrangement_key: self.dynamic.fingerprint(),
+            measure_key: self.measure.cache_key(),
         })
     }
 
@@ -284,7 +373,8 @@ impl<M: InfluenceMeasure> RnnHeatMap<M> {
         &self.tile_store().scheme
     }
 
-    /// Hit/miss/byte statistics of the viewport tile cache.
+    /// Hit/miss/eviction/invalidation statistics of the viewport tile
+    /// cache.
     pub fn tile_cache_stats(&self) -> CacheStats {
         self.tile_store().cache.stats()
     }
@@ -309,6 +399,183 @@ impl<M: InfluenceMeasure> RnnHeatMap<M> {
             self.measure.influence(&[]),
         )
     }
+
+    // ---- what-if editing -------------------------------------------------
+
+    /// Adds a facility at `p`, returning its id and the dirty region
+    /// (everything outside it provably kept its influence).
+    ///
+    /// The arrangement updates incrementally; cached viewport tiles
+    /// intersecting the dirty region are invalidated while all others
+    /// stay warm under the new arrangement fingerprint; labeled
+    /// regions (if already computed) update via the measure's
+    /// [`InfluenceMeasure::influence_delta`] hook plus a windowed
+    /// resweep of the dirty area. Errors on monochromatic maps.
+    pub fn add_facility(&mut self, p: Point) -> Result<(u32, DirtyRegion), EditError> {
+        let (id, outcome) = self.dynamic.insert_facility(p)?;
+        self.after_edit(&outcome);
+        Ok((id, outcome.dirty))
+    }
+
+    /// Removes facility `id`; its clients re-resolve their NN. See
+    /// [`RnnHeatMap::add_facility`] for what stays live.
+    pub fn remove_facility(&mut self, id: u32) -> Result<DirtyRegion, EditError> {
+        let outcome = self.dynamic.remove_facility(id)?;
+        self.after_edit(&outcome);
+        Ok(outcome.dirty)
+    }
+
+    /// Moves facility `id` to `to` (remove + insert in one pass). See
+    /// [`RnnHeatMap::add_facility`] for what stays live.
+    pub fn move_facility(&mut self, id: u32, to: Point) -> Result<DirtyRegion, EditError> {
+        let outcome = self.dynamic.move_facility(id, to)?;
+        self.after_edit(&outcome);
+        Ok(outcome.dirty)
+    }
+
+    /// Propagates one edit outcome to the derived state: labeled
+    /// regions and the tile cache.
+    fn after_edit(&mut self, outcome: &EditOutcome) {
+        if outcome.dirty.is_empty() {
+            return;
+        }
+        self.maintain_regions(outcome);
+        let new_key = self.dynamic.fingerprint();
+        if let Some(store) = self.tile_store.get_mut() {
+            store.cache.invalidate_region(
+                store.arrangement_key,
+                new_key,
+                &store.scheme,
+                &outcome.dirty,
+            );
+            store.arrangement_key = new_key;
+        }
+    }
+
+    /// Updates the labeled-region cache for one edit, if it is fresh:
+    ///
+    /// * regions whose representative rect misses the (sweep-space)
+    ///   dirty window are untouched;
+    /// * regions uniformly inside/outside every changed circle, old
+    ///   and new, keep their rect — their RNN delta is known exactly,
+    ///   so the influence updates through
+    ///   [`InfluenceMeasure::influence_delta`] without recomputation;
+    /// * regions straddling a changed boundary are dropped, and a
+    ///   windowed CREST resweep relabels everything there (clipped
+    ///   representative rects). The resweep window is the dirty
+    ///   window *grown to cover every dropped rect*: a dropped label
+    ///   may extend far past the dirty area, and the part of its
+    ///   region outside the dirty window still needs a label after
+    ///   the drop.
+    ///
+    /// L2 maps mark the cache stale instead (no windowed L2 sweep);
+    /// the next region query resweeps fully.
+    fn maintain_regions(&self, outcome: &EditOutcome) {
+        let mut cache = self.regions.lock().unwrap_or_else(|e| e.into_inner());
+        if !cache.fresh {
+            return;
+        }
+        let arr = match self.dynamic.as_ref() {
+            ArrangementRef::Disk(_) => {
+                cache.fresh = false;
+                cache.list.clear();
+                return;
+            }
+            ArrangementRef::Square(arr) => arr,
+        };
+        let dirty_bbox = outcome.dirty.bbox().expect("caller checked non-empty");
+        let window = match arr.space {
+            CoordSpace::Identity => dirty_bbox,
+            CoordSpace::Rotated45 => {
+                let corners = [
+                    rotate45(Point::new(dirty_bbox.x_lo, dirty_bbox.y_lo)),
+                    rotate45(Point::new(dirty_bbox.x_lo, dirty_bbox.y_hi)),
+                    rotate45(Point::new(dirty_bbox.x_hi, dirty_bbox.y_lo)),
+                    rotate45(Point::new(dirty_bbox.x_hi, dirty_bbox.y_hi)),
+                ];
+                Rect::bounding(&corners).expect("four corners")
+            }
+        };
+
+        let list = std::mem::take(&mut cache.list);
+        let mut kept: Vec<LabeledRegion> = Vec::with_capacity(list.len());
+        let mut added: Vec<u32> = Vec::new();
+        let mut removed: Vec<u32> = Vec::new();
+        // The resweep must relabel everything a dropped label used to
+        // describe, and dropped rects can reach past the dirty window.
+        let mut resweep = window;
+        'regions: for mut region in list {
+            if !region.rect.intersects(&window) {
+                kept.push(region);
+                continue;
+            }
+            added.clear();
+            removed.clear();
+            for ch in &outcome.changes {
+                let was = membership(ch.old.as_ref(), &region.rect);
+                let now = membership(ch.new.as_ref(), &region.rect);
+                match (was, now) {
+                    (Some(a), Some(b)) if a == b => {}
+                    (Some(false), Some(true)) if !region.rnn.contains(&ch.owner) => {
+                        added.push(ch.owner);
+                    }
+                    (Some(true), Some(false)) if region.rnn.contains(&ch.owner) => {
+                        removed.push(ch.owner);
+                    }
+                    // A changed boundary crosses the rect (or the label
+                    // disagrees with the geometry): drop the label and
+                    // leave relabeling its whole footprint — not just
+                    // the dirty part — to the resweep.
+                    _ => {
+                        resweep = resweep.union(&region.rect);
+                        continue 'regions;
+                    }
+                }
+            }
+            if !added.is_empty() || !removed.is_empty() {
+                region.influence =
+                    self.measure.influence_delta(region.influence, &region.rnn, &added, &removed);
+                region.rnn.retain(|id| !removed.contains(id));
+                region.rnn.extend_from_slice(&added);
+            }
+            kept.push(region);
+        }
+        // Inflate the resweep window a hair: a changed square's edge
+        // is itself a new strip boundary, so regions created right
+        // outside it touch the window only along a zero-area line and
+        // the window sink would drop their (empty) clipped labels. A
+        // relative epsilon gives each such neighbor a positive-area
+        // sliver to be labeled in.
+        let magnitude = resweep
+            .x_lo
+            .abs()
+            .max(resweep.x_hi.abs())
+            .max(resweep.y_lo.abs())
+            .max(resweep.y_hi.abs());
+        let resweep = resweep.inflate((magnitude * 1e-12).max(1e-12));
+        let mut sink = CollectSink::default();
+        crest_window(arr, resweep, &self.measure, &mut sink);
+        kept.extend(sink.regions);
+        if kept.len() > REGION_GROWTH_CAP * cache.full_len + 1024 {
+            // Too many accumulated duplicates: cheaper to resweep.
+            cache.fresh = false;
+            cache.list.clear();
+        } else {
+            cache.list = kept;
+        }
+    }
+}
+
+/// Whether every interior point of `rect` is inside (`Some(true)`),
+/// outside (`Some(false)`), or on both sides (`None`) of the closed
+/// shape; `None` shape means "no circle" (always outside).
+fn membership(shape: Option<&Shape>, rect: &Rect) -> Option<bool> {
+    match shape {
+        None => Some(false),
+        Some(s) if s.covers_rect(rect) => Some(true),
+        Some(s) if s.misses_rect(rect) => Some(false),
+        Some(_) => None,
+    }
 }
 
 impl<M: IncrementalMeasure + Sync> RnnHeatMap<M> {
@@ -320,9 +587,23 @@ impl<M: IncrementalMeasure + Sync> RnnHeatMap<M> {
     /// [`rnnhm_core::measure::ExactFallback`], or render with
     /// [`RnnHeatMap::raster_oracle`].
     pub fn raster(&self, spec: GridSpec) -> HeatRaster {
-        match &self.arrangement {
-            Arrangement::Square(arr) => rasterize_squares(arr, &self.measure, spec),
-            Arrangement::Disk(arr) => rasterize_disks(arr, &self.measure, spec),
+        match self.dynamic.as_ref() {
+            ArrangementRef::Square(arr) => rasterize_squares(arr, &self.measure, spec),
+            ArrangementRef::Disk(arr) => rasterize_disks(arr, &self.measure, spec),
+        }
+    }
+
+    /// Re-renders, in place, exactly the pixels of a previously
+    /// rendered full-frame raster that an edit's [`DirtyRegion`] may
+    /// have changed — the full-frame analog of the tile layer's
+    /// targeted invalidation. The refreshed raster is bit-identical to
+    /// a fresh [`RnnHeatMap::raster`] of the same spec (for the
+    /// order-insensitive exact measures; see
+    /// `rnnhm_heatmap::scanline::refresh_squares_dirty`).
+    pub fn refresh_raster(&self, raster: &mut HeatRaster, dirty: &DirtyRegion) {
+        match self.dynamic.as_ref() {
+            ArrangementRef::Square(arr) => refresh_squares_dirty(arr, &self.measure, raster, dirty),
+            ArrangementRef::Disk(arr) => refresh_disks_dirty(arr, &self.measure, raster, dirty),
         }
     }
 
@@ -344,9 +625,9 @@ impl<M: IncrementalMeasure + Sync> RnnHeatMap<M> {
             store.measure_key,
             &store.scheme,
             ids,
-            |extent| match &self.arrangement {
-                Arrangement::Square(arr) => RestrictedBase::Square(arr.restrict_to(extent)),
-                Arrangement::Disk(arr) => RestrictedBase::Disk(arr.restrict_to(extent)),
+            |extent| match self.dynamic.as_ref() {
+                ArrangementRef::Square(arr) => RestrictedBase::Square(arr.restrict_to(extent)),
+                ArrangementRef::Disk(arr) => RestrictedBase::Disk(arr.restrict_to(extent)),
             },
             |base, _, spec| base.render(&self.measure, spec),
         )
@@ -364,7 +645,9 @@ impl<M: IncrementalMeasure + Sync> RnnHeatMap<M> {
     /// same spec — caching never changes pixels. Repeated overlapping
     /// viewports (panning, zoom-outs over rendered areas) hit the
     /// cache and skip most of the rasterization work; see
-    /// `BENCH_tiles.json`.
+    /// `BENCH_tiles.json`. What-if edits keep every cached tile
+    /// outside their dirty region valid and warm; see
+    /// `BENCH_edits.json`.
     pub fn viewport(&self, rect: Rect, px_w: usize, px_h: usize) -> HeatRaster {
         let store = self.tile_store();
         let view = store.scheme.viewport(rect, px_w, px_h);
@@ -378,11 +661,11 @@ impl<M: InfluenceMeasure> RnnHeatMap<M> {
     /// available for any [`InfluenceMeasure`], at
     /// `O(P · (log n + α + measure))` cost.
     pub fn raster_oracle(&self, spec: GridSpec) -> HeatRaster {
-        match &self.arrangement {
-            Arrangement::Square(arr) => {
+        match self.dynamic.as_ref() {
+            ArrangementRef::Square(arr) => {
                 rnnhm_heatmap::rasterize_squares_oracle(arr, &self.measure, spec)
             }
-            Arrangement::Disk(arr) => {
+            ArrangementRef::Disk(arr) => {
                 rnnhm_heatmap::rasterize_disks_oracle(arr, &self.measure, spec)
             }
         }
@@ -436,10 +719,16 @@ mod tests {
             Point::new(0.0, 1.5),
             Point::new(5.0, 5.0),
         ];
-        let map =
+        let mut map =
             HeatMapBuilder::monochromatic(pts).metric(Metric::Linf).build(CountMeasure).unwrap();
         assert!(map.n_circles() > 0);
         assert!(map.max_region().is_some());
+        assert_eq!(map.n_facilities(), 0);
+        assert_eq!(
+            map.add_facility(Point::new(0.5, 0.5)).unwrap_err(),
+            EditError::ImmutableMode,
+            "monochromatic maps have no editable facilities"
+        );
     }
 
     #[test]
@@ -512,5 +801,116 @@ mod tests {
             Ok(_) => panic!("empty client set must fail"),
         };
         assert_eq!(err, BuildError::NoClients);
+    }
+
+    #[test]
+    fn edits_update_queries_and_errors_are_reported() {
+        let (clients, facilities) = toy();
+        let mut map = HeatMapBuilder::bichromatic(clients, facilities)
+            .metric(Metric::Linf)
+            .build(CountMeasure)
+            .unwrap();
+        // A facility on top of a far client serves exactly that client.
+        let before = map.influence_at(Point::new(4.0, 4.0)).1;
+        assert!(before >= 1.0);
+        let (id, dirty) = map.add_facility(Point::new(4.0, 4.0)).unwrap();
+        assert!(!dirty.is_empty());
+        assert_eq!(map.n_facilities(), 2);
+        assert_eq!(
+            map.influence_at(Point::new(4.0, 4.0)).1,
+            0.0,
+            "the client now sits on its facility: zero NN-circle"
+        );
+        assert_eq!(map.remove_facility(99).unwrap_err(), EditError::UnknownFacility);
+        map.remove_facility(id).unwrap();
+        assert_eq!(map.influence_at(Point::new(4.0, 4.0)).1, before, "edit undone exactly");
+        let last = map.facilities()[0].0;
+        assert_eq!(map.remove_facility(last).unwrap_err(), EditError::LastFacility);
+    }
+
+    #[test]
+    fn regions_stay_correct_across_edits() {
+        // Regions computed *before* an edit must agree with a fresh
+        // rebuild *after* it — exercising the delta-hook maintenance
+        // (squares) and the stale-marking fallback (disks).
+        let (clients, facilities) = toy();
+        for metric in Metric::ALL {
+            let mut map = HeatMapBuilder::bichromatic(clients.clone(), facilities.clone())
+                .metric(metric)
+                .build(CountMeasure)
+                .unwrap();
+            let _ = map.regions(); // force the lazy sweep before editing
+            let (id, _) = map.add_facility(Point::new(3.0, 3.0)).unwrap();
+            map.move_facility(id, Point::new(0.5, 2.5)).unwrap();
+            let rebuilt = HeatMapBuilder::bichromatic(
+                map.dynamic.clients().to_vec(),
+                map.dynamic.facility_points(),
+            )
+            .metric(metric)
+            .build(CountMeasure)
+            .unwrap();
+            let ours = map.max_region().expect("regions exist");
+            let theirs = rebuilt.max_region().expect("regions exist");
+            assert_eq!(ours.influence, theirs.influence, "{metric:?}: max influence diverged");
+            // Every maintained label must score its own witness point
+            // (degenerate "special rectangles" have no interior point
+            // to witness — the paper's zero-height strips — so skip
+            // them, as the windowed-sweep tests do).
+            for r in map.top_k(10) {
+                if r.rect.width() < 1e-9 || r.rect.height() < 1e-9 {
+                    continue;
+                }
+                let (_, influence) = map.influence_at(map.region_center(&r));
+                assert_eq!(influence, r.influence, "{metric:?}: stale label {r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn edits_keep_viewports_live_and_warm() {
+        let (mut clients, mut facilities) = toy();
+        // A far-away neighborhood with its own facility, so near edits
+        // cannot change its clients' NN distances.
+        clients.push(Point::new(20.0, 20.0));
+        facilities.push(Point::new(20.0, 20.5));
+        let mut map = HeatMapBuilder::bichromatic(clients, facilities)
+            .metric(Metric::Linf)
+            .tile_px(8)
+            .build(CountMeasure)
+            .unwrap();
+        let near = Rect::new(0.0, 4.5, 0.0, 4.5);
+        let far = Rect::new(18.0, 22.0, 18.0, 22.0);
+        let _ = map.viewport(near, 32, 32);
+        let _ = map.viewport(far, 32, 32);
+        let warm = map.tile_cache_stats();
+
+        // Edit inside the near viewport.
+        let (_, dirty) = map.add_facility(Point::new(2.0, 2.0)).unwrap();
+        assert!(dirty.rects().iter().all(|r| r.x_hi < 18.0), "edit is local to the near area");
+        let stats = map.tile_cache_stats();
+        assert!(stats.invalidations > 0, "some near tiles must be invalidated");
+
+        // The far viewport re-renders nothing: all its tiles were
+        // re-keyed to the new fingerprint, not dropped.
+        let misses_before = map.tile_cache_stats().misses;
+        let _ = map.viewport(far, 32, 32);
+        assert_eq!(map.tile_cache_stats().misses, misses_before, "far viewport fully warm");
+
+        // The near viewport re-renders exactly the dirty tiles, and the
+        // result is bit-identical to an uncached render of its spec.
+        let view = map.tile_scheme().viewport(near, 32, 32);
+        let expected_rerenders = view
+            .tiles()
+            .iter()
+            .filter(|&&t| dirty.intersects(&map.tile_scheme().tile_extent(t)))
+            .count();
+        let frame = map.viewport(near, 32, 32);
+        let rerenders = (map.tile_cache_stats().misses - misses_before) as usize;
+        assert_eq!(rerenders, expected_rerenders, "exactly the dirty tiles re-render");
+        let one_shot = map.raster(frame.spec);
+        for (a, b) in frame.values().iter().zip(one_shot.values()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "edited viewport must stay exact");
+        }
+        let _ = warm;
     }
 }

@@ -61,12 +61,16 @@ pub use rnnhm_index as index;
 /// The commonly used names, importable in one line.
 pub mod prelude {
     pub use rnnhm_core::arrangement::{
-        build_disk_arrangement, build_square_arrangement, CoordSpace, DiskArrangement, Mode,
-        SquareArrangement,
+        build_disk_arrangement, build_square_arrangement, nn_assignments, CoordSpace,
+        DiskArrangement, Mode, SquareArrangement,
     };
     pub use rnnhm_core::baseline::baseline_sweep;
     pub use rnnhm_core::crest::{crest_a_sweep, crest_sweep};
     pub use rnnhm_core::crest_l2::crest_l2_sweep;
+    pub use rnnhm_core::edit::{
+        ArrangementRef, CircleChange, DirtyRegion, DynamicArrangement, EditError, EditOutcome,
+        Shape,
+    };
     pub use rnnhm_core::measure::{
         CapacityMeasure, ConnectivityMeasure, CountMeasure, ExactFallback, IncrementalMeasure,
         InfluenceMeasure, WeightedMeasure,
@@ -83,7 +87,7 @@ pub mod prelude {
     pub use rnnhm_geom::{Metric, Point, Rect};
     pub use rnnhm_heatmap::{
         rasterize_count_squares_fast, rasterize_disks, rasterize_disks_oracle, rasterize_squares,
-        rasterize_squares_oracle, CacheStats, ColorRamp, GridSpec, HeatRaster, Preview, TileCache,
-        TileId, TileScheme, Viewport,
+        rasterize_squares_oracle, refresh_disks_dirty, refresh_squares_dirty, CacheStats,
+        ColorRamp, GridSpec, HeatRaster, Preview, TileCache, TileId, TileScheme, Viewport,
     };
 }

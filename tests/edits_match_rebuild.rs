@@ -1,0 +1,371 @@
+//! Differential property tests for what-if editing (ISSUE 3
+//! acceptance): after *any* random script of insert / remove / move
+//! facility edits, the edited map is **bit-identical** to a
+//! from-scratch rebuild over the resulting facility set, along every
+//! path that renders or queries it:
+//!
+//! * a one-shot `raster()` of a fixed spec,
+//! * a full-frame raster held across the edits and repaired in place
+//!   with `refresh_raster` (the scanline dirty-rect path),
+//! * a `viewport()` served through the (partially invalidated,
+//!   partially re-keyed) tile cache,
+//! * the maintained labeled regions' maximum influence.
+//!
+//! Covered across all three metrics (square and disk arrangements) and
+//! the four paper measures; weights are dyadic rationals so every
+//! measure is an order-insensitive exact computation and bit-equality
+//! is the right notion of "same heat map".
+//!
+//! (The vendored proptest stub only supports `ident in strategy`
+//! bindings — tuples are bound whole and destructured inside.)
+
+use proptest::prelude::*;
+use rnn_heatmap::prelude::*;
+use rnn_heatmap::{HeatMapBuilder, RnnHeatMap};
+
+/// One edit: `(op, x, y, pick)` decoded by [`apply_script`].
+type Step = (u8, u32, u32, u32);
+
+fn assert_bits(a: &HeatRaster, b: &HeatRaster, what: &str) {
+    assert_eq!(a.spec, b.spec, "{what}: spec mismatch");
+    for row in 0..a.spec.height {
+        for col in 0..a.spec.width {
+            assert!(
+                a.get(col, row).to_bits() == b.get(col, row).to_bits(),
+                "{what}: pixel ({col},{row}): edited {} vs rebuilt {}",
+                a.get(col, row),
+                b.get(col, row)
+            );
+        }
+    }
+}
+
+fn decode_point(x: u32, y: u32) -> Point {
+    Point::new(x as f64 / 4.0 - 0.5, y as f64 / 4.0 - 0.5)
+}
+
+/// Applies the script through the facade, repairing `held` with each
+/// edit's dirty region. Skipped steps (removing the last facility)
+/// must error, not panic.
+fn apply_script<M: IncrementalMeasure + Sync>(
+    map: &mut RnnHeatMap<M>,
+    script: &[Step],
+    held: &mut HeatRaster,
+) {
+    for &(op, x, y, pick) in script {
+        let p = decode_point(x, y);
+        let dirty = match op % 3 {
+            0 => map.add_facility(p).expect("bichromatic map accepts adds").1,
+            1 => {
+                let facs = map.facilities();
+                let id = facs[pick as usize % facs.len()].0;
+                match map.remove_facility(id) {
+                    Ok(d) => d,
+                    Err(EditError::LastFacility) => continue,
+                    Err(e) => panic!("unexpected edit error {e}"),
+                }
+            }
+            _ => {
+                let facs = map.facilities();
+                let id = facs[pick as usize % facs.len()].0;
+                map.move_facility(id, p).expect("live facility moves")
+            }
+        };
+        map.refresh_raster(held, &dirty);
+    }
+}
+
+/// The shared differential body: build, warm every cache, edit, then
+/// compare all paths against a clean rebuild.
+fn run_case<M: IncrementalMeasure + Sync + Clone>(
+    clients: &[Point],
+    facilities: &[Point],
+    metric: Metric,
+    measure: M,
+    script: &[Step],
+    what: &str,
+) {
+    let mut map = match HeatMapBuilder::bichromatic(clients.to_vec(), facilities.to_vec())
+        .metric(metric)
+        .tile_px(16)
+        .build(measure.clone())
+    {
+        Ok(m) => m,
+        Err(_) => return, // degenerate instance (e.g. no clients)
+    };
+    let spec = GridSpec::new(48, 40, Rect::new(-1.0, 11.0, -1.0, 11.0));
+    let mut held = map.raster(spec);
+    let _ = map.stats(); // force the region sweep so edits maintain it
+    let vrect = Rect::new(0.7, 8.3, 0.9, 7.7);
+    let _ = map.viewport(vrect, 40, 40); // warm the tile cache pre-edit
+
+    apply_script(&mut map, script, &mut held);
+
+    let rebuilt = HeatMapBuilder::bichromatic(
+        clients.to_vec(),
+        map.facilities().into_iter().map(|(_, p)| p).collect(),
+    )
+    .metric(metric)
+    .build(measure)
+    .expect("facility set never empties");
+
+    let fresh = rebuilt.raster(spec);
+    assert_bits(&map.raster(spec), &fresh, &format!("{what}: one-shot raster"));
+    assert_bits(&held, &fresh, &format!("{what}: refreshed held raster"));
+
+    let frame = map.viewport(vrect, 40, 40);
+    let one_shot = rebuilt.raster(frame.spec);
+    assert_bits(&frame, &one_shot, &format!("{what}: viewport through edited cache"));
+
+    // The maintained label list must keep *every* region represented:
+    // the top influence values over deduplicated RNN signatures agree
+    // with a clean full sweep. This is what catches dropped labels
+    // whose region was never relabeled (regression: the windowed
+    // resweep used to cover only the dirty bbox, losing the part of a
+    // dropped label outside it). Empty-RNN labels are skipped on both
+    // sides: the windowed resweep labels the uncovered face inside its
+    // window, which a full sweep never emits — a consistent extra
+    // label, not a divergence.
+    let ours = top_influences(&map.regions(), 5, what);
+    let theirs = top_influences(&rebuilt.regions(), 5, what);
+    assert_eq!(ours, theirs, "{what}: top influences diverged (maintained vs rebuilt label lists)");
+    // Stronger: every (RNN set, influence) signature the rebuild's
+    // full sweep labels must be represented in the maintained list —
+    // incremental maintenance may add consistent duplicates but must
+    // never lose a region.
+    map.with_regions(|ours| {
+        rebuilt.with_regions(|theirs| {
+            let have = signature_set(ours);
+            for sig in signature_set(theirs) {
+                assert!(
+                    have.contains(&sig),
+                    "{what}: rebuilt signature {sig:?} lost from the maintained label list"
+                );
+            }
+        })
+    });
+}
+
+/// Deduplicated (sorted RNN set, influence bits) signatures of a label
+/// list, skipping empty-RNN labels (see [`run_case`]).
+fn signature_set(regions: &[LabeledRegion]) -> Vec<(Vec<u32>, u64)> {
+    let mut out: Vec<(Vec<u32>, u64)> = Vec::new();
+    for r in regions {
+        if r.rnn.is_empty() {
+            continue;
+        }
+        let mut sig = r.rnn.clone();
+        sig.sort_unstable();
+        let entry = (sig, r.influence.to_bits());
+        if !out.contains(&entry) {
+            out.push(entry);
+        }
+    }
+    out
+}
+
+/// Top-`k` influence values over distinct non-empty RNN signatures,
+/// asserting en route that duplicate labels of the same signature carry
+/// identical influence bits.
+fn top_influences(regions: &[LabeledRegion], k: usize, what: &str) -> Vec<u64> {
+    let mut seen: Vec<(Vec<u32>, u64)> = Vec::new();
+    for r in regions {
+        if r.rnn.is_empty() {
+            continue;
+        }
+        let mut sig = r.rnn.clone();
+        sig.sort_unstable();
+        match seen.iter().find(|(s, _)| *s == sig) {
+            Some((_, influence)) => assert_eq!(
+                *influence,
+                r.influence.to_bits(),
+                "{what}: one RNN set, two influences ({sig:?})"
+            ),
+            None => seen.push((sig, r.influence.to_bits())),
+        }
+    }
+    let mut vals: Vec<u64> = seen.into_iter().map(|(_, i)| i).collect();
+    vals.sort_by(|a, b| f64::from_bits(*b).total_cmp(&f64::from_bits(*a)));
+    vals.truncate(k);
+    vals
+}
+
+fn decode_points(raw: &[(u32, u32)]) -> Vec<Point> {
+    raw.iter().map(|&(x, y)| decode_point(x, y)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn random_edit_scripts_match_rebuild_count(
+        raw_clients in prop::collection::vec((0u32..44, 0u32..44), 3..18),
+        raw_facs in prop::collection::vec((0u32..44, 0u32..44), 1..4),
+        script in prop::collection::vec((0u8..3, 0u32..44, 0u32..44, 0u32..8), 1..10),
+    ) {
+        let clients = decode_points(&raw_clients);
+        let facs = decode_points(&raw_facs);
+        for metric in Metric::ALL {
+            run_case(&clients, &facs, metric, CountMeasure, &script, "count");
+        }
+    }
+
+    #[test]
+    fn random_edit_scripts_match_rebuild_weighted(
+        raw_clients in prop::collection::vec((0u32..44, 0u32..44), 3..18),
+        raw_facs in prop::collection::vec((0u32..44, 0u32..44), 1..4),
+        script in prop::collection::vec((0u8..3, 0u32..44, 0u32..44, 0u32..8), 1..10),
+    ) {
+        let clients = decode_points(&raw_clients);
+        let facs = decode_points(&raw_facs);
+        // Dyadic weights: exact sums in any order, so bit-identity is
+        // the right comparison even for a float-valued measure.
+        let weights: Vec<f64> = (0..clients.len()).map(|i| (i % 9) as f64 * 0.25).collect();
+        for metric in Metric::ALL {
+            run_case(&clients, &facs, metric, WeightedMeasure::new(weights.clone()), &script, "weighted");
+        }
+    }
+
+    #[test]
+    fn random_edit_scripts_match_rebuild_capacity_and_connectivity(
+        raw_clients in prop::collection::vec((0u32..44, 0u32..44), 3..14),
+        raw_facs in prop::collection::vec((0u32..44, 0u32..44), 1..4),
+        script in prop::collection::vec((0u8..3, 0u32..44, 0u32..44, 0u32..8), 1..8),
+    ) {
+        let clients = decode_points(&raw_clients);
+        let facs = decode_points(&raw_facs);
+        let n = clients.len();
+        // Measure parameters describe the *initial* assignment — they
+        // are data, not live facility state, so the rebuilt map uses
+        // the identical measure.
+        let nf = facs.len() as u32;
+        let assigned: Vec<u32> = (0..n as u32).map(|i| i % nf).collect();
+        let capacities: Vec<u32> = (0..nf).map(|f| 1 + f % 4).collect();
+        let capacity = CapacityMeasure::new(assigned, capacities, 2);
+        let edges: Vec<(u32, u32)> =
+            (0..n as u32).flat_map(|a| [(a, (a + 1) % n as u32), (a, (a + 3) % n as u32)]).collect();
+        let connectivity = ConnectivityMeasure::from_edges(n, &edges);
+        for metric in Metric::ALL {
+            run_case(&clients, &facs, metric, capacity.clone(), &script, "capacity");
+            run_case(&clients, &facs, metric, connectivity.clone(), &script, "connectivity");
+        }
+    }
+}
+
+/// A fixed, deterministic scenario exercising every op and every
+/// measure, including drop/regrow transitions (a facility lands exactly
+/// on a client, then moves away).
+#[test]
+fn scripted_scenario_all_measures_all_metrics() {
+    let clients: Vec<Point> = (0..24)
+        .map(|i| Point::new((i % 6) as f64 * 1.7 + 0.2, (i / 6) as f64 * 2.1 + 0.4))
+        .collect();
+    let facs = vec![Point::new(1.0, 1.0), Point::new(7.0, 6.0)];
+    // add on a client (drops its circle), move that facility away
+    // (regrows it), remove one, add two more, move across the map.
+    let script: Vec<Step> = vec![
+        (0, 6, 10, 0),  // add at (1.0, 2.0)... decoded (6/4-0.5, 10/4-0.5) = (1.0, 2.0)
+        (0, 2, 2, 0),   // add at (0.0, 0.0)
+        (2, 30, 30, 2), // move someone to (7.0, 7.0)
+        (1, 0, 0, 1),   // remove
+        (0, 14, 4, 0),  // add at (3.0, 0.5)
+        (2, 2, 2, 3),   // move to (0.0, 0.0)
+        (1, 0, 0, 0),   // remove
+        (0, 22, 18, 0), // add at (5.0, 4.0)
+    ];
+    let n = clients.len();
+    let weights: Vec<f64> = (0..n).map(|i| (i % 7) as f64 * 0.5).collect();
+    let assigned: Vec<u32> = (0..n as u32).map(|i| i % 2).collect();
+    let capacity = CapacityMeasure::new(assigned, vec![3, 5], 2);
+    let edges: Vec<(u32, u32)> = (0..n as u32).map(|a| (a, (a + 5) % n as u32)).collect();
+    let connectivity = ConnectivityMeasure::from_edges(n, &edges);
+    for metric in Metric::ALL {
+        run_case(&clients, &facs, metric, CountMeasure, &script, "scripted/count");
+        run_case(
+            &clients,
+            &facs,
+            metric,
+            WeightedMeasure::new(weights.clone()),
+            &script,
+            "scripted/weighted",
+        );
+        run_case(&clients, &facs, metric, capacity.clone(), &script, "scripted/capacity");
+        run_case(&clients, &facs, metric, connectivity.clone(), &script, "scripted/connectivity");
+    }
+}
+
+/// After an edit, *every* RNN signature a from-scratch rebuild labels
+/// must still be represented in the maintained list (regression: a
+/// dropped straddling label used to lose the part of its region
+/// outside the dirty window, because the resweep only covered the
+/// dirty bbox — labels wide NN-circles produce are the trigger, so
+/// this uses few facilities and full-set comparison rather than
+/// top-k).
+#[test]
+fn maintained_labels_cover_every_rebuilt_signature() {
+    let mut state = 0xfeed_u64;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 11) as f64) / ((1u64 << 53) as f64) * 10.0
+    };
+    let clients: Vec<Point> = (0..50).map(|_| Point::new(next(), next())).collect();
+    let facs: Vec<Point> = (0..5).map(|_| Point::new(next(), next())).collect();
+    for metric in [Metric::Linf, Metric::L1] {
+        for remove_pick in 0..5u32 {
+            let mut map = HeatMapBuilder::bichromatic(clients.clone(), facs.clone())
+                .metric(metric)
+                .build(CountMeasure)
+                .unwrap();
+            let _ = map.stats(); // compute regions before the edit
+            let id = map.facilities()[remove_pick as usize].0;
+            map.remove_facility(id).unwrap();
+            let rebuilt = HeatMapBuilder::bichromatic(
+                clients.clone(),
+                map.facilities().into_iter().map(|(_, p)| p).collect(),
+            )
+            .metric(metric)
+            .build(CountMeasure)
+            .unwrap();
+            let ours = map.with_regions(signature_set);
+            let theirs = rebuilt.with_regions(signature_set);
+            for sig in &theirs {
+                assert!(
+                    ours.contains(sig),
+                    "{metric:?}, remove {remove_pick}: rebuilt signature {sig:?} lost from the \
+                     maintained label list"
+                );
+            }
+        }
+    }
+}
+
+/// A facility placed exactly on every client of a cluster erases all
+/// their circles; removing it restores the exact pre-edit heat map —
+/// the strongest "undo" check.
+#[test]
+fn add_then_remove_is_bitwise_undo() {
+    let clients = vec![
+        Point::new(1.0, 1.0),
+        Point::new(2.0, 2.0),
+        Point::new(8.0, 8.0),
+        Point::new(9.0, 7.0),
+    ];
+    let facs = vec![Point::new(5.0, 5.0)];
+    for metric in Metric::ALL {
+        let mut map = HeatMapBuilder::bichromatic(clients.clone(), facs.clone())
+            .metric(metric)
+            .tile_px(16)
+            .build(CountMeasure)
+            .unwrap();
+        let spec = GridSpec::new(40, 40, Rect::new(0.0, 10.0, 0.0, 10.0));
+        let before = map.raster(spec);
+        let mut held = before.clone();
+        let (id, d1) = map.add_facility(Point::new(1.0, 1.0)).unwrap();
+        map.refresh_raster(&mut held, &d1);
+        let d2 = map.remove_facility(id).unwrap();
+        map.refresh_raster(&mut held, &d2);
+        assert_bits(&map.raster(spec), &before, "undo one-shot");
+        assert_bits(&held, &before, "undo refreshed");
+        assert_eq!(map.n_facilities(), 1);
+    }
+}

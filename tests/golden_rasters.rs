@@ -1,0 +1,134 @@
+//! Golden-raster snapshot tests: small rendered grids for every
+//! measure × metric combination are hashed into checked-in constants,
+//! so a future raster refactor cannot silently change output.
+//!
+//! Everything here is deterministic and platform-independent: the
+//! instance comes from a fixed LCG, all arithmetic is IEEE f64 with
+//! correctly rounded ops (`sqrt` included), weights are dyadic so
+//! sums are exact in any order, and the scanline renderer is
+//! bit-identical across band counts (`tests/scanline_matches_oracle`),
+//! so core-count differences cannot move a bit.
+//!
+//! ## Regenerating
+//!
+//! After an *intentional* output change, print the new table with
+//!
+//! ```text
+//! cargo test --test golden_rasters -- --ignored --nocapture
+//! ```
+//!
+//! and replace the `GOLDEN` constant below with the printed rows —
+//! after convincing yourself the change is meant to alter pixels
+//! (compare against the per-pixel oracle first).
+
+use rnn_heatmap::prelude::*;
+use rnn_heatmap::HeatMapBuilder;
+use rnnhm_core::arrangement::fnv1a_words;
+
+/// 60 clients + 7 facilities from a fixed LCG on [0, 10]².
+fn instance() -> (Vec<Point>, Vec<Point>) {
+    let mut state = 0x5eed_cafe_u64;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 11) as f64) / ((1u64 << 53) as f64) * 10.0
+    };
+    let clients = (0..60).map(|_| Point::new(next(), next())).collect();
+    let facilities = (0..7).map(|_| Point::new(next(), next())).collect();
+    (clients, facilities)
+}
+
+fn spec() -> GridSpec {
+    GridSpec::new(64, 64, Rect::new(-1.0, 11.0, -1.0, 11.0))
+}
+
+fn hash_raster(r: &HeatRaster) -> u64 {
+    fnv1a_words(r.values().iter().map(|v| v.to_bits()))
+}
+
+fn metric_name(m: Metric) -> &'static str {
+    match m {
+        Metric::L1 => "L1",
+        Metric::L2 => "L2",
+        Metric::Linf => "Linf",
+    }
+}
+
+/// Renders one measure/metric combo and returns its hash.
+fn render_hash(measure_key: &str, metric: Metric) -> u64 {
+    let (clients, facilities) = instance();
+    let n = clients.len();
+    let builder = HeatMapBuilder::bichromatic(clients, facilities).metric(metric);
+    let raster = match measure_key {
+        "count" => builder.build(CountMeasure).unwrap().raster(spec()),
+        "weighted" => {
+            let weights: Vec<f64> = (0..n).map(|i| (i % 9) as f64 * 0.25).collect();
+            builder.build(WeightedMeasure::new(weights)).unwrap().raster(spec())
+        }
+        "capacity" => {
+            let assigned: Vec<u32> = (0..n as u32).map(|i| i % 7).collect();
+            let capacities: Vec<u32> = (0..7u32).map(|f| 1 + f % 5).collect();
+            builder.build(CapacityMeasure::new(assigned, capacities, 3)).unwrap().raster(spec())
+        }
+        "connectivity" => {
+            let edges: Vec<(u32, u32)> = (0..n as u32)
+                .flat_map(|a| [(a, (a + 1) % n as u32), (a, (a + 11) % n as u32)])
+                .collect();
+            builder.build(ConnectivityMeasure::from_edges(n, &edges)).unwrap().raster(spec())
+        }
+        other => panic!("unknown measure key {other}"),
+    };
+    hash_raster(&raster)
+}
+
+const MEASURES: [&str; 4] = ["count", "weighted", "capacity", "connectivity"];
+
+/// The checked-in golden hashes: (measure, metric, fnv1a over pixel
+/// bits of the 64×64 render). See the module docs for the regen path.
+const GOLDEN: &[(&str, &str, u64)] = &[
+    ("count", "L1", 0x13095bbc3dc7f47f),
+    ("count", "L2", 0x043b3634d3b7fc2f),
+    ("count", "Linf", 0x2f8e0bfc2f363cfb),
+    ("weighted", "L1", 0x274047d20e4b573b),
+    ("weighted", "L2", 0x020344a985dc1515),
+    ("weighted", "Linf", 0x38ed0ea51210017f),
+    ("capacity", "L1", 0x51b32df263b2f33c),
+    ("capacity", "L2", 0xc1b2137aa837c773),
+    ("capacity", "Linf", 0x90204f28b06b62dc),
+    ("connectivity", "L1", 0x52b525f382081261),
+    ("connectivity", "L2", 0xd2be0053d946d520),
+    ("connectivity", "Linf", 0xa6ccf79ca6ea9cdf),
+];
+
+#[test]
+fn golden_hashes_are_stable() {
+    for measure in MEASURES {
+        for metric in Metric::ALL {
+            let got = render_hash(measure, metric);
+            let expect = GOLDEN
+                .iter()
+                .find(|(m, k, _)| *m == measure && *k == metric_name(metric))
+                .unwrap_or_else(|| panic!("no golden entry for {measure}/{metric:?}"))
+                .2;
+            assert_eq!(
+                got,
+                expect,
+                "golden raster changed for {measure}/{}: got {got:#018x}. If this is an \
+                 intentional output change, regenerate the table with `cargo test --test \
+                 golden_rasters -- --ignored --nocapture` (see module docs).",
+                metric_name(metric)
+            );
+        }
+    }
+}
+
+/// Prints the golden table for regeneration (see module docs).
+#[test]
+#[ignore = "regeneration helper, not a check"]
+fn regen_golden_hashes() {
+    for measure in MEASURES {
+        for metric in Metric::ALL {
+            let hash = render_hash(measure, metric);
+            println!("    (\"{measure}\", \"{}\", {hash:#018x}),", metric_name(metric));
+        }
+    }
+}
