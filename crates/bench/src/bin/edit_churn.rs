@@ -12,9 +12,12 @@
 //! invalidated tiles rasterize), against a per-step full rebuild
 //! (from-scratch NN recompute + one-shot render of the same spec).
 //! The acceptance bar is a median per-step speedup ≥ **5×** with
-//! bit-identical frames. `--quick` shrinks the grid for CI-scale runs.
+//! bit-identical frames. The run then sweeps the RkNN depth
+//! k ∈ {4, 16} at the top configuration (wider circles → larger dirty
+//! regions per edit). `--quick` shrinks the grid for CI-scale runs but
+//! keeps the full k ∈ {1, 4, 16} sweep.
 
-use rnnhm_bench::edits::{compare_edit_paths, write_edits_json, EditChurn};
+use rnnhm_bench::edits::{compare_edit_paths_k, write_edits_json, EditChurn};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -25,17 +28,23 @@ fn main() {
         .map(String::as_str)
         .unwrap_or("BENCH_edits.json");
 
-    // (n_clients, viewport px, tile px)
-    let configs: &[(usize, usize, usize)] = if quick {
-        &[(10_000, 256, 64)]
+    // (n_clients, viewport px, tile px, k)
+    let configs: &[(usize, usize, usize, usize)] = if quick {
+        &[(10_000, 256, 64, 1), (10_000, 256, 64, 4), (10_000, 256, 64, 16)]
     } else {
-        &[(10_000, 512, 256), (100_000, 512, 256), (100_000, 1024, 256)]
+        &[
+            (10_000, 512, 256, 1),
+            (100_000, 512, 256, 1),
+            (100_000, 1024, 256, 1),
+            (100_000, 1024, 256, 4),
+            (100_000, 1024, 256, 16),
+        ]
     };
 
     let mut runs: Vec<EditChurn> = Vec::new();
-    for &(n, px, tile) in configs {
-        eprintln!("running n={n}, view={px}x{px}, tile={tile} ...");
-        let r = compare_edit_paths(n, 16, px, tile, 42);
+    for &(n, px, tile, k) in configs {
+        eprintln!("running n={n}, view={px}x{px}, tile={tile}, k={k} ...");
+        let r = compare_edit_paths_k(n, 16, px, tile, 42, k);
         eprintln!(
             "  cold {:.1} ms | edit+render median {:.1} ms (mean {:.1}) | rebuild median {:.1} ms \
              | speedup {:.1}x | {} tiles invalidated, {} re-rendered, {} per view | identical: {}",
@@ -49,11 +58,12 @@ fn main() {
             r.tiles_total,
             r.identical
         );
-        assert!(r.identical, "edited viewport diverged from rebuild at n={n}, {px}x{px}");
-        // The acceptance bar is defined at the full configuration
+        assert!(r.identical, "edited viewport diverged from rebuild at n={n}, {px}x{px}, k={k}");
+        // The acceptance bar is defined at the full k = 1 configuration
         // (n = 100k): there the rebuild's from-scratch NN recompute
-        // dominates. Smaller warm-up runs are reported but not gated.
-        if !quick && n >= 100_000 {
+        // dominates. Smaller warm-up runs and the k sweep are reported
+        // but not gated (k > 1 edits dirty far more area by design).
+        if !quick && n >= 100_000 && k == 1 {
             assert!(
                 r.speedup_median >= 5.0,
                 "acceptance: median edit-step speedup {:.2}x below the 5x bar at n={n}",

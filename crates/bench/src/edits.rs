@@ -17,7 +17,7 @@
 use std::io::Write as _;
 use std::time::Instant;
 
-use rnnhm_core::arrangement::{build_square_arrangement, Mode};
+use rnnhm_core::arrangement::{build_square_arrangement_k, Mode};
 use rnnhm_core::measure::CountMeasure;
 use rnnhm_core::parallel::effective_parallelism;
 use rnnhm_geom::{Metric, Point, Rect};
@@ -35,6 +35,10 @@ const EDIT_STEPS: usize = 16;
 pub struct EditChurn {
     /// Number of clients.
     pub n_clients: usize,
+    /// The RkNN `k` of the map (1 = plain RNN). Higher `k` widens the
+    /// circles, so each edit dirties more area — the edit path's
+    /// stress axis.
+    pub k: usize,
     /// Number of initial facilities (`|O| / ratio`).
     pub n_facilities: usize,
     /// Requested viewport pixel budget per axis.
@@ -84,10 +88,26 @@ pub fn compare_edit_paths(
     tile_px: usize,
     seed: u64,
 ) -> EditChurn {
+    compare_edit_paths_k(n_clients, ratio, view_px, tile_px, seed, 1)
+}
+
+/// [`compare_edit_paths`] at RkNN depth `k`: the rebuild path
+/// recomputes every client's `k`-NN from scratch, the edit path
+/// maintains the `k`-NN candidate lists incrementally.
+pub fn compare_edit_paths_k(
+    n_clients: usize,
+    ratio: usize,
+    view_px: usize,
+    tile_px: usize,
+    seed: u64,
+    k: usize,
+) -> EditChurn {
     let w = build_workload(DatasetKind::Uniform, n_clients, ratio, seed);
     let n_facilities = w.facilities.len();
+    assert!(n_facilities >= k, "workload must offer at least k facilities");
     let mut map = HeatMapBuilder::bichromatic(w.clients.clone(), w.facilities.clone())
         .metric(Metric::Linf)
+        .k(k)
         .tile_px(tile_px)
         .tile_cache_bytes(512 << 20)
         .build(CountMeasure)
@@ -148,9 +168,14 @@ pub fn compare_edit_paths(
         // facility set + one-shot render of the exact same spec.
         let facilities_now: Vec<Point> = map.facilities().into_iter().map(|(_, p)| p).collect();
         let start = Instant::now();
-        let arr =
-            build_square_arrangement(&w.clients, &facilities_now, Metric::Linf, Mode::Bichromatic)
-                .expect("non-empty instance");
+        let arr = build_square_arrangement_k(
+            &w.clients,
+            &facilities_now,
+            Metric::Linf,
+            Mode::Bichromatic,
+            k,
+        )
+        .expect("non-empty instance");
         let full = rasterize_squares_scanline(&arr, &CountMeasure, frame.spec);
         rebuild_ms.push(ms(start));
 
@@ -166,6 +191,7 @@ pub fn compare_edit_paths(
     let rebuild_median_ms = median(&rebuild_ms);
     EditChurn {
         n_clients,
+        k,
         n_facilities,
         view_px,
         tile_px,
@@ -202,6 +228,7 @@ pub fn write_edits_json(path: &str, runs: &[EditChurn]) -> std::io::Result<()> {
         let comma = if i + 1 < runs.len() { "," } else { "" };
         writeln!(f, "    {{")?;
         writeln!(f, "      \"n_clients\": {},", r.n_clients)?;
+        writeln!(f, "      \"k\": {},", r.k)?;
         writeln!(f, "      \"n_facilities\": {},", r.n_facilities)?;
         writeln!(f, "      \"view_px\": {},", r.view_px)?;
         writeln!(f, "      \"tile_px\": {},", r.tile_px)?;
@@ -238,6 +265,15 @@ mod tests {
             "warm frames must reuse clean tiles"
         );
         assert!(r.cold_ms > 0.0 && r.edit_median_ms > 0.0 && r.rebuild_median_ms > 0.0);
+    }
+
+    #[test]
+    fn k_sweep_edit_churn_runs_and_agrees() {
+        for k in [4usize, 16] {
+            let r = compare_edit_paths_k(256, 8, 64, 32, 11, k);
+            assert_eq!(r.k, k);
+            assert!(r.identical, "k={k}: every warm frame must match the rebuild bit for bit");
+        }
     }
 
     #[test]

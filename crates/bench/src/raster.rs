@@ -16,7 +16,7 @@ use rnnhm_heatmap::compute::{rasterize_count_squares_fast, rasterize_squares_ora
 use rnnhm_heatmap::scanline::rasterize_squares_scanline;
 use rnnhm_heatmap::GridSpec;
 
-use crate::runner::{bit_identical, ms, square_arrangement};
+use crate::runner::{bit_identical, ms, square_arrangement_k};
 use crate::workload::{build_workload, DatasetKind};
 
 /// Wall-clock results of one raster comparison run.
@@ -24,6 +24,9 @@ use crate::workload::{build_workload, DatasetKind};
 pub struct RasterComparison {
     /// Number of clients (NN-circles before zero-radius drops).
     pub n_clients: usize,
+    /// The RkNN `k` of the arrangement (1 = plain RNN; larger `k`
+    /// means larger, denser circles — the overlap-stress sweep).
+    pub k: usize,
     /// Grid width and height in pixels.
     pub grid: (usize, usize),
     /// Worker threads available to the scanline path.
@@ -53,8 +56,23 @@ pub fn compare_raster_paths(
     height: usize,
     seed: u64,
 ) -> RasterComparison {
+    compare_raster_paths_k(n_clients, ratio, width, height, seed, 1)
+}
+
+/// [`compare_raster_paths`] at RkNN depth `k`: circles grow to the
+/// `k`-th NN distance, so overlap density — the scanline engine's
+/// stress axis — rises with `k` while the oracle's per-pixel stab cost
+/// rises with it too.
+pub fn compare_raster_paths_k(
+    n_clients: usize,
+    ratio: usize,
+    width: usize,
+    height: usize,
+    seed: u64,
+    k: usize,
+) -> RasterComparison {
     let w = build_workload(DatasetKind::Uniform, n_clients, ratio, seed);
-    let arr = square_arrangement(&w, Metric::Linf);
+    let arr = square_arrangement_k(&w, Metric::Linf, k);
     let extent = Rect::new(0.0, 1.0, 0.0, 1.0);
     let spec = GridSpec::new(width, height, extent);
 
@@ -75,6 +93,7 @@ pub fn compare_raster_paths(
 
     RasterComparison {
         n_clients,
+        k,
         grid: (width, height),
         threads: rnnhm_core::parallel::effective_parallelism(),
         oracle_ms,
@@ -98,6 +117,7 @@ pub fn write_raster_json(path: &str, runs: &[RasterComparison]) -> std::io::Resu
         let comma = if i + 1 < runs.len() { "," } else { "" };
         writeln!(f, "    {{")?;
         writeln!(f, "      \"n_clients\": {},", r.n_clients)?;
+        writeln!(f, "      \"k\": {},", r.k)?;
         writeln!(f, "      \"grid\": [{}, {}],", r.grid.0, r.grid.1)?;
         writeln!(f, "      \"threads\": {},", r.threads)?;
         writeln!(f, "      \"oracle_ms\": {:.3},", r.oracle_ms)?;
@@ -121,6 +141,16 @@ mod tests {
         let r = compare_raster_paths(512, 16, 64, 64, 7);
         assert!(r.identical, "scanline must match the oracle bit for bit");
         assert!(r.oracle_ms > 0.0 && r.scanline_ms > 0.0);
+        assert_eq!(r.k, 1);
+    }
+
+    #[test]
+    fn k_sweep_comparison_runs_and_agrees() {
+        for k in [4usize, 16] {
+            let r = compare_raster_paths_k(512, 16, 48, 48, 7, k);
+            assert!(r.identical, "k={k}: scanline must match the oracle bit for bit");
+            assert_eq!(r.k, k);
+        }
     }
 
     #[test]

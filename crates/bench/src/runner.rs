@@ -8,7 +8,8 @@
 use std::time::Instant;
 
 use rnnhm_core::arrangement::{
-    build_disk_arrangement, build_square_arrangement, DiskArrangement, Mode, SquareArrangement,
+    build_disk_arrangement, build_square_arrangement, build_square_arrangement_k, DiskArrangement,
+    Mode, SquareArrangement,
 };
 use rnnhm_core::baseline::{baseline_cell_count, baseline_sweep};
 use rnnhm_core::crest::{crest_a_sweep, crest_sweep};
@@ -55,6 +56,13 @@ pub fn bit_identical(a: &rnnhm_heatmap::HeatRaster, b: &rnnhm_heatmap::HeatRaste
 pub fn square_arrangement(w: &Workload, metric: Metric) -> SquareArrangement {
     build_square_arrangement(&w.clients, &w.facilities, metric, Mode::Bichromatic)
         .expect("non-empty workload")
+}
+
+/// Builds the square k-NN-circle arrangement for a workload (untimed
+/// setup) — the RkNN generalization of [`square_arrangement`].
+pub fn square_arrangement_k(w: &Workload, metric: Metric, k: usize) -> SquareArrangement {
+    build_square_arrangement_k(&w.clients, &w.facilities, metric, Mode::Bichromatic, k)
+        .expect("workload offers at least k facilities")
 }
 
 /// Builds the disk arrangement for a workload (untimed setup).

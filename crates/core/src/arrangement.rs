@@ -4,6 +4,16 @@
 //! radius equal to the distance from `o` to its nearest facility. Under L∞
 //! NN-circles are squares, under L1 diamonds (squares after the π/4
 //! rotation of §VII-B), under L2 Euclidean disks.
+//!
+//! The construction generalizes to RkNN influence for any `k ≥ 1`: a
+//! client is influenced by a new facility iff that facility would be
+//! among its `k` nearest, which holds exactly when the facility lies
+//! inside the client's *k-NN circle* — same center, radius = distance
+//! to the `k`-th nearest facility. Everything downstream of circle
+//! construction (sweeps, rasterization, tiles, edits) is
+//! circle-generic, so the `k`-generic builders
+//! ([`build_square_arrangement_k`] / [`build_disk_arrangement_k`])
+//! produce arrangements the whole stack consumes unchanged.
 
 use rnnhm_geom::transform::{l1_radius_to_linf, rotate45, unrotate45};
 use rnnhm_geom::{Circle, Metric, Point, Rect};
@@ -68,6 +78,9 @@ pub struct SquareArrangement {
     /// Clients dropped because their NN distance is zero (they coincide
     /// with a facility; their NN-circle has empty interior).
     pub dropped: usize,
+    /// The `k` of the RkNN instance: every circle's radius is its
+    /// owner's distance to its `k`-th nearest facility (1 = plain RNN).
+    pub k: usize,
 }
 
 /// FNV-1a over a stream of `u64` words — the workspace-wide stable
@@ -101,6 +114,7 @@ impl SquareArrangement {
             self.space as u64,
             self.n_clients as u64,
             self.squares.len() as u64,
+            self.k as u64,
         ];
         fnv1a_words(
             header
@@ -159,6 +173,7 @@ impl SquareArrangement {
             space: self.space,
             n_clients: self.n_clients,
             dropped: self.dropped,
+            k: self.k,
         }
     }
 
@@ -184,6 +199,9 @@ pub struct DiskArrangement {
     pub n_clients: usize,
     /// Clients dropped for zero NN distance.
     pub dropped: usize,
+    /// The `k` of the RkNN instance: every disk's radius is its owner's
+    /// distance to its `k`-th nearest facility (1 = plain RNN).
+    pub k: usize,
 }
 
 impl DiskArrangement {
@@ -194,6 +212,7 @@ impl DiskArrangement {
             0x4b53, // "DK" discriminant
             self.n_clients as u64,
             self.disks.len() as u64,
+            self.k as u64,
         ];
         fnv1a_words(
             header
@@ -227,7 +246,13 @@ impl DiskArrangement {
                 owners.push(o);
             }
         }
-        DiskArrangement { disks, owners, n_clients: self.n_clients, dropped: self.dropped }
+        DiskArrangement {
+            disks,
+            owners,
+            n_clients: self.n_clients,
+            dropped: self.dropped,
+            k: self.k,
+        }
     }
 
     /// Number of NN-circles.
@@ -255,14 +280,9 @@ pub fn nn_assignments(
     metric: Metric,
     mode: Mode,
 ) -> Result<Vec<(u32, f64)>, BuildError> {
-    if clients.is_empty() {
-        return Err(BuildError::NoClients);
-    }
+    validate_instance(clients, facilities, mode, 1)?;
     match mode {
         Mode::Bichromatic => {
-            if facilities.is_empty() {
-                return Err(BuildError::NoFacilities);
-            }
             let tree = KdTree::build(facilities);
             Ok(clients
                 .iter()
@@ -270,9 +290,6 @@ pub fn nn_assignments(
                 .collect())
         }
         Mode::Monochromatic => {
-            if clients.len() < 2 {
-                return Err(BuildError::TooFewPoints);
-            }
             let tree = KdTree::build(clients);
             Ok(clients
                 .iter()
@@ -285,14 +302,109 @@ pub fn nn_assignments(
     }
 }
 
-/// Computes each client's NN distance to the facility set.
-fn nn_radii(
+/// Checks an instance for emptiness, non-finite coordinates (a release
+/// build would otherwise let a NaN silently poison kd-tree ordering and
+/// scanline span math — `Point::new` only debug-asserts) and a
+/// satisfiable `k`.
+fn validate_instance(
+    clients: &[Point],
+    facilities: &[Point],
+    mode: Mode,
+    k: usize,
+) -> Result<(), BuildError> {
+    if clients.is_empty() {
+        return Err(BuildError::NoClients);
+    }
+    if k == 0 {
+        return Err(BuildError::ZeroK);
+    }
+    if let Some(i) = clients.iter().position(|p| !p.x.is_finite() || !p.y.is_finite()) {
+        return Err(BuildError::NonFiniteClient(i));
+    }
+    match mode {
+        Mode::Bichromatic => {
+            if facilities.is_empty() {
+                return Err(BuildError::NoFacilities);
+            }
+            if let Some(i) = facilities.iter().position(|p| !p.x.is_finite() || !p.y.is_finite()) {
+                return Err(BuildError::NonFiniteFacility(i));
+            }
+            if k > facilities.len() {
+                return Err(BuildError::KTooLarge { k, available: facilities.len() });
+            }
+        }
+        Mode::Monochromatic => {
+            if clients.len() < 2 {
+                return Err(BuildError::TooFewPoints);
+            }
+            if k > clients.len() - 1 {
+                return Err(BuildError::KTooLarge { k, available: clients.len() - 1 });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Computes each client's `k` nearest neighbors as `(id, distance)`
+/// pairs sorted by increasing distance — the RkNN generalization of
+/// [`nn_assignments`] (which it reproduces bitwise at `k = 1`).
+///
+/// The last pair's distance is the client's `k`-th NN distance: the
+/// k-NN circle radius. In bichromatic mode ids index `facilities`; in
+/// monochromatic mode each client's neighbors are its nearest *other*
+/// clients and ids index `clients`. Errors on empty sets, non-finite
+/// coordinates, `k = 0`, and `k` larger than the available neighbor
+/// candidates.
+pub fn knn_assignments(
     clients: &[Point],
     facilities: &[Point],
     metric: Metric,
     mode: Mode,
+    k: usize,
+) -> Result<Vec<Vec<(u32, f64)>>, BuildError> {
+    if k == 1 {
+        // The 1-NN fast path avoids a per-client Vec growth loop and is
+        // bitwise identical (the k-NN query breaks ties like `nearest`).
+        return Ok(nn_assignments(clients, facilities, metric, mode)?
+            .into_iter()
+            .map(|pair| vec![pair])
+            .collect());
+    }
+    validate_instance(clients, facilities, mode, k)?;
+    match mode {
+        Mode::Bichromatic => {
+            let tree = KdTree::build(facilities);
+            Ok(clients.iter().map(|o| tree.k_nearest(o, metric, k)).collect())
+        }
+        Mode::Monochromatic => {
+            let tree = KdTree::build(clients);
+            Ok(clients
+                .iter()
+                .enumerate()
+                .map(|(i, o)| tree.k_nearest_excluding(o, metric, k, i as u32))
+                .collect())
+        }
+    }
+}
+
+/// Computes each client's `k`-th NN distance to the facility set.
+fn knn_radii(
+    clients: &[Point],
+    facilities: &[Point],
+    metric: Metric,
+    mode: Mode,
+    k: usize,
 ) -> Result<Vec<f64>, BuildError> {
-    Ok(nn_assignments(clients, facilities, metric, mode)?.into_iter().map(|(_, d)| d).collect())
+    if k == 1 {
+        return Ok(nn_assignments(clients, facilities, metric, mode)?
+            .into_iter()
+            .map(|(_, d)| d)
+            .collect());
+    }
+    Ok(knn_assignments(clients, facilities, metric, mode, k)?
+        .into_iter()
+        .map(|nn| nn.last().expect("validated k >= 1").1)
+        .collect())
 }
 
 /// Builds the square arrangement for L∞ or L1 instances.
@@ -310,8 +422,24 @@ pub fn build_square_arrangement(
     metric: Metric,
     mode: Mode,
 ) -> Result<SquareArrangement, BuildError> {
+    build_square_arrangement_k(clients, facilities, metric, mode, 1)
+}
+
+/// Builds the square arrangement of *k-NN circles* for L∞ or L1
+/// instances: each client's radius is its distance to its `k`-th
+/// nearest facility, so a point is inside the circle iff placing a
+/// facility there would make it one of the client's `k` nearest
+/// (RkNN influence). `k = 1` reproduces [`build_square_arrangement`]
+/// bitwise.
+pub fn build_square_arrangement_k(
+    clients: &[Point],
+    facilities: &[Point],
+    metric: Metric,
+    mode: Mode,
+    k: usize,
+) -> Result<SquareArrangement, BuildError> {
     assert!(metric != Metric::L2, "L2 instances use build_disk_arrangement / crest_l2_sweep");
-    let radii = nn_radii(clients, facilities, metric, mode)?;
+    let radii = knn_radii(clients, facilities, metric, mode, k)?;
     let space = match metric {
         Metric::L1 => CoordSpace::Rotated45,
         _ => CoordSpace::Identity,
@@ -332,7 +460,7 @@ pub fn build_square_arrangement(
         squares.push(Rect::centered(center, half));
         owners.push(i as u32);
     }
-    Ok(SquareArrangement { squares, owners, space, n_clients: clients.len(), dropped })
+    Ok(SquareArrangement { squares, owners, space, n_clients: clients.len(), dropped, k })
 }
 
 /// Builds the disk arrangement for L2 instances (§VII-C).
@@ -341,7 +469,18 @@ pub fn build_disk_arrangement(
     facilities: &[Point],
     mode: Mode,
 ) -> Result<DiskArrangement, BuildError> {
-    let radii = nn_radii(clients, facilities, Metric::L2, mode)?;
+    build_disk_arrangement_k(clients, facilities, mode, 1)
+}
+
+/// Builds the disk arrangement of *k-NN circles* for L2 instances; see
+/// [`build_square_arrangement_k`] for the RkNN radius contract.
+pub fn build_disk_arrangement_k(
+    clients: &[Point],
+    facilities: &[Point],
+    mode: Mode,
+    k: usize,
+) -> Result<DiskArrangement, BuildError> {
+    let radii = knn_radii(clients, facilities, Metric::L2, mode, k)?;
     let mut disks = Vec::with_capacity(clients.len());
     let mut owners = Vec::with_capacity(clients.len());
     let mut dropped = 0usize;
@@ -353,7 +492,7 @@ pub fn build_disk_arrangement(
         disks.push(Circle::new(o, r));
         owners.push(i as u32);
     }
-    Ok(DiskArrangement { disks, owners, n_clients: clients.len(), dropped })
+    Ok(DiskArrangement { disks, owners, n_clients: clients.len(), dropped, k })
 }
 
 #[cfg(test)]
@@ -499,6 +638,129 @@ mod tests {
         let d = build_disk_arrangement(&clients, &facilities, Mode::Bichromatic).unwrap();
         assert_ne!(a.fingerprint(), d.fingerprint());
         assert_eq!(d.fingerprint(), d.clone().fingerprint());
+    }
+
+    #[test]
+    fn k_builders_match_brute_force_radii() {
+        let mut state = 0xabcdu64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64) * 8.0
+        };
+        let clients: Vec<Point> = (0..40).map(|_| Point::new(next(), next())).collect();
+        let facilities: Vec<Point> = (0..9).map(|_| Point::new(next(), next())).collect();
+        for k in [1usize, 2, 4, 9] {
+            for metric in [Metric::Linf, Metric::L1] {
+                let arr =
+                    build_square_arrangement_k(&clients, &facilities, metric, Mode::Bichromatic, k)
+                        .unwrap();
+                assert_eq!(arr.k, k);
+                for (s, &o) in arr.squares.iter().zip(&arr.owners) {
+                    let mut ds: Vec<f64> =
+                        facilities.iter().map(|f| metric.dist(&clients[o as usize], f)).collect();
+                    ds.sort_by(f64::total_cmp);
+                    let half = match metric {
+                        Metric::L1 => ds[k - 1] / 2f64.sqrt(),
+                        _ => ds[k - 1],
+                    };
+                    assert!(
+                        ((s.x_hi - s.x_lo) / 2.0 - half).abs() < 1e-12,
+                        "{metric:?} k={k} owner {o}"
+                    );
+                }
+            }
+            let arr =
+                build_disk_arrangement_k(&clients, &facilities, Mode::Bichromatic, k).unwrap();
+            assert_eq!(arr.k, k);
+            for (d, &o) in arr.disks.iter().zip(&arr.owners) {
+                let mut ds: Vec<f64> =
+                    facilities.iter().map(|f| clients[o as usize].dist2(f)).collect();
+                ds.sort_by(f64::total_cmp);
+                assert_eq!(d.r.to_bits(), ds[k - 1].to_bits(), "L2 k={k} owner {o}");
+            }
+        }
+        // k = 1 through the k-generic path is bitwise the classic build.
+        let a = build_square_arrangement(&clients, &facilities, Metric::Linf, Mode::Bichromatic)
+            .unwrap();
+        let b =
+            build_square_arrangement_k(&clients, &facilities, Metric::Linf, Mode::Bichromatic, 1)
+                .unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn k_is_validated() {
+        let clients = vec![Point::new(0.0, 0.0), Point::new(1.0, 2.0), Point::new(3.0, 1.0)];
+        let facs = vec![Point::new(1.0, 1.0), Point::new(2.0, 2.0)];
+        assert_eq!(
+            build_square_arrangement_k(&clients, &facs, Metric::Linf, Mode::Bichromatic, 0)
+                .unwrap_err(),
+            BuildError::ZeroK
+        );
+        assert_eq!(
+            build_square_arrangement_k(&clients, &facs, Metric::Linf, Mode::Bichromatic, 3)
+                .unwrap_err(),
+            BuildError::KTooLarge { k: 3, available: 2 }
+        );
+        assert_eq!(
+            build_disk_arrangement_k(&clients, &[], Mode::Monochromatic, 3).unwrap_err(),
+            BuildError::KTooLarge { k: 3, available: 2 }
+        );
+        // k = available is fine in both modes.
+        assert!(
+            build_square_arrangement_k(&clients, &facs, Metric::L1, Mode::Bichromatic, 2).is_ok()
+        );
+        assert!(build_disk_arrangement_k(&clients, &[], Mode::Monochromatic, 2).is_ok());
+    }
+
+    #[test]
+    fn non_finite_points_are_rejected() {
+        let nan = f64::NAN;
+        let inf = f64::INFINITY;
+        // Bypass Point::new's debug assert the way a release-mode caller
+        // effectively does.
+        let bad_client = Point { x: nan, y: 0.0 };
+        let bad_fac = Point { x: 1.0, y: inf };
+        let good = Point::new(1.0, 1.0);
+        assert_eq!(
+            build_square_arrangement(&[good, bad_client], &[good], Metric::Linf, Mode::Bichromatic)
+                .unwrap_err(),
+            BuildError::NonFiniteClient(1)
+        );
+        assert_eq!(
+            build_disk_arrangement(&[good], &[bad_fac], Mode::Bichromatic).unwrap_err(),
+            BuildError::NonFiniteFacility(0)
+        );
+        assert_eq!(
+            nn_assignments(&[bad_client, good], &[], Metric::L2, Mode::Monochromatic).unwrap_err(),
+            BuildError::NonFiniteClient(0)
+        );
+        assert_eq!(
+            knn_assignments(&[good, good], &[good, bad_fac], Metric::L1, Mode::Bichromatic, 2)
+                .unwrap_err(),
+            BuildError::NonFiniteFacility(1)
+        );
+    }
+
+    #[test]
+    fn fingerprint_discriminates_k_on_identical_geometry() {
+        // Two coincident facilities: the 1-NN and 2-NN circles are
+        // geometrically identical, but the fingerprints must differ so
+        // tile caches never serve a k=1 render for a k=2 map.
+        let clients = vec![Point::new(0.0, 0.0), Point::new(3.0, 1.0)];
+        let facs = vec![Point::new(1.0, 1.0), Point::new(1.0, 1.0)];
+        let a = build_square_arrangement_k(&clients, &facs, Metric::Linf, Mode::Bichromatic, 1)
+            .unwrap();
+        let b = build_square_arrangement_k(&clients, &facs, Metric::Linf, Mode::Bichromatic, 2)
+            .unwrap();
+        assert_eq!(a.squares, b.squares, "coincident facilities: same geometry");
+        assert_ne!(a.fingerprint(), b.fingerprint(), "k must be part of the cache key");
+        let da = build_disk_arrangement_k(&clients, &facs, Mode::Bichromatic, 1).unwrap();
+        let db = build_disk_arrangement_k(&clients, &facs, Mode::Bichromatic, 2).unwrap();
+        assert_ne!(da.fingerprint(), db.fingerprint());
+        // restrict_to preserves k.
+        assert_eq!(b.restrict_to(Rect::new(-1.0, 1.0, -1.0, 1.0)).k, 2);
+        assert_eq!(db.restrict_to(Rect::new(-1.0, 1.0, -1.0, 1.0)).k, 2);
     }
 
     #[test]

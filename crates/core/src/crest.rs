@@ -319,7 +319,14 @@ mod tests {
     fn arr_from_squares(squares: Vec<Rect>) -> SquareArrangement {
         let owners = (0..squares.len() as u32).collect();
         let n = squares.len();
-        SquareArrangement { squares, owners, space: CoordSpace::Identity, n_clients: n, dropped: 0 }
+        SquareArrangement {
+            squares,
+            owners,
+            space: CoordSpace::Identity,
+            n_clients: n,
+            dropped: 0,
+            k: 1,
+        }
     }
 
     fn sorted(mut v: Vec<u32>) -> Vec<u32> {

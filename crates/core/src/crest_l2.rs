@@ -421,7 +421,7 @@ mod tests {
     fn arr_from_disks(disks: Vec<Circle>) -> DiskArrangement {
         let owners = (0..disks.len() as u32).collect();
         let n = disks.len();
-        DiskArrangement { disks, owners, n_clients: n, dropped: 0 }
+        DiskArrangement { disks, owners, n_clients: n, dropped: 0, k: 1 }
     }
 
     /// Every labeled region's representative center must have exactly the

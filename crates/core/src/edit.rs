@@ -10,8 +10,14 @@
 //! geometrically local to the edit site.
 //!
 //! [`DynamicArrangement`] keeps the problem instance (clients,
-//! facilities, metric, mode) *together with* its NN-circle arrangement
-//! and maintains both under three edit operations:
+//! facilities, metric, mode, RkNN depth `k`) *together with* its
+//! NN-circle arrangement and maintains both under three edit
+//! operations. At `k > 1` ([`DynamicArrangement::build_k`]) each
+//! client's full `k`-NN candidate set is maintained per edit: an insert
+//! admits the new facility into exactly the candidate sets whose `k`-th
+//! distance it beats, a removal re-resolves exactly the clients whose
+//! `k`-NN set contained the dead slot (everyone else's `k` smallest
+//! distances provably survive), and a move fuses both.
 //!
 //! * [`DynamicArrangement::insert_facility`] — clients closer to the new
 //!   facility than to their current NN shrink their circles,
@@ -56,7 +62,8 @@ use rnnhm_geom::{Circle, Metric, Point, Rect};
 use rnnhm_index::KdTree;
 
 use crate::arrangement::{
-    fnv1a_words, nn_assignments, CoordSpace, DiskArrangement, Mode, SquareArrangement,
+    fnv1a_words, knn_assignments, nn_assignments, CoordSpace, DiskArrangement, Mode,
+    SquareArrangement,
 };
 use crate::BuildError;
 
@@ -74,19 +81,29 @@ const MAX_DIRTY_RECTS: usize = 32;
 pub enum EditError {
     /// The facility id does not name a live facility.
     UnknownFacility,
-    /// Removing the last facility would leave clients without any NN.
-    LastFacility,
+    /// Removing the facility would leave fewer than `k` live
+    /// facilities, so clients' `k`-th NN distances become undefined
+    /// (for `k = 1`: cannot remove the last facility).
+    TooFewFacilities,
     /// The instance is monochromatic: there is no facility set to edit.
     ImmutableMode,
+    /// The edit's target point has a NaN or infinite coordinate, which
+    /// would silently corrupt NN maintenance in release builds.
+    NonFinitePoint,
 }
 
 impl std::fmt::Display for EditError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             EditError::UnknownFacility => write!(f, "no live facility with this id"),
-            EditError::LastFacility => write!(f, "cannot remove the last facility"),
+            EditError::TooFewFacilities => {
+                write!(f, "removal would leave fewer live facilities than the instance's k")
+            }
             EditError::ImmutableMode => {
                 write!(f, "monochromatic instances have no editable facility set")
+            }
+            EditError::NonFinitePoint => {
+                write!(f, "edit target has a non-finite coordinate")
             }
         }
     }
@@ -241,17 +258,23 @@ pub enum ArrangementRef<'a> {
 pub struct DynamicArrangement {
     metric: Metric,
     mode: Mode,
+    /// The `k` of the RkNN instance (1 = plain RNN).
+    k: usize,
     clients: Vec<Point>,
     /// Facility slots; removed facilities stay as dead slots so ids
     /// remain stable across edits.
     facilities: Vec<Point>,
     alive: Vec<bool>,
     n_alive: usize,
-    /// Per client: slot id of a nearest facility (an argmin; ties may
-    /// resolve to any of the tied facilities). Monochromatic instances
-    /// store the nearest *other client* id instead.
-    nn_fac: Vec<u32>,
-    /// Per client: NN distance (the NN-circle radius).
+    /// Per client, flattened `k` at a time: its `k` nearest facility
+    /// slots with distances, sorted by increasing distance (an argmin
+    /// selection; ties may resolve to any of the tied facilities, but
+    /// the distance *values* are always the `k` smallest, which is what
+    /// keeps the maintained radii bitwise equal to a rebuild).
+    /// Monochromatic instances store nearest *other client* ids instead.
+    cands: Vec<(u32, f64)>,
+    /// Per client: `k`-th NN distance (the k-NN circle radius) —
+    /// `cands[o * k + k - 1].1`, cached for the hot edit loops.
     radii: Vec<f64>,
     /// Per client: index of its shape in the arrangement vectors, or
     /// [`NO_SHAPE`] for zero-radius (dropped) clients.
@@ -280,17 +303,41 @@ impl DynamicArrangement {
         metric: Metric,
         mode: Mode,
     ) -> Result<DynamicArrangement, BuildError> {
-        let assignments = nn_assignments(&clients, &facilities, metric, mode)?;
+        DynamicArrangement::build_k(clients, facilities, metric, mode, 1)
+    }
+
+    /// Builds the RkNN instance for a configurable `k`: every circle's
+    /// radius is the client's distance to its `k`-th nearest facility,
+    /// and all three edit operations maintain the full `k`-NN candidate
+    /// sets (so the rebuild bit-identity invariant holds at every `k`).
+    /// The arrangement's [`DynamicArrangement::fingerprint`] mixes `k`,
+    /// keeping derived-artifact cache keys distinct across `k` even
+    /// when the circle geometry coincides.
+    pub fn build_k(
+        clients: Vec<Point>,
+        facilities: Vec<Point>,
+        metric: Metric,
+        mode: Mode,
+        k: usize,
+    ) -> Result<DynamicArrangement, BuildError> {
+        // Flat `n × k` candidate layout from the start; the k = 1 path
+        // reuses `nn_assignments`' already-flat output without the
+        // per-client Vec round trip.
+        let cands: Vec<(u32, f64)> = if k == 1 {
+            nn_assignments(&clients, &facilities, metric, mode)?
+        } else {
+            knn_assignments(&clients, &facilities, metric, mode, k)?.into_iter().flatten().collect()
+        };
         let n = clients.len();
-        let mut nn_fac = Vec::with_capacity(n);
+        debug_assert_eq!(cands.len(), n * k, "validated instance offers k neighbors per client");
         let mut radii = Vec::with_capacity(n);
         let mut shape_at = vec![NO_SHAPE; n];
         let mut owners: Vec<u32> = Vec::with_capacity(n);
         let mut dropped = 0usize;
         let mut squares: Vec<Rect> = Vec::new();
         let mut disks: Vec<Circle> = Vec::new();
-        for (i, &(fac, r)) in assignments.iter().enumerate() {
-            nn_fac.push(fac);
+        for i in 0..n {
+            let r = cands[i * k + k - 1].1;
             radii.push(r);
             if r <= 0.0 {
                 dropped += 1;
@@ -307,13 +354,14 @@ impl DynamicArrangement {
             }
         }
         let repr = match metric {
-            Metric::L2 => Repr::Disk(DiskArrangement { disks, owners, n_clients: n, dropped }),
+            Metric::L2 => Repr::Disk(DiskArrangement { disks, owners, n_clients: n, dropped, k }),
             m => Repr::Square(SquareArrangement {
                 squares,
                 owners,
                 space: if m == Metric::L1 { CoordSpace::Rotated45 } else { CoordSpace::Identity },
                 n_clients: n,
                 dropped,
+                k,
             }),
         };
         let base_fingerprint = match &repr {
@@ -324,11 +372,12 @@ impl DynamicArrangement {
         Ok(DynamicArrangement {
             metric,
             mode,
+            k,
             clients,
             alive: vec![true; n_alive],
             n_alive,
             facilities,
-            nn_fac,
+            cands,
             radii,
             shape_at,
             repr,
@@ -345,6 +394,11 @@ impl DynamicArrangement {
     /// Bichromatic or monochromatic.
     pub fn mode(&self) -> Mode {
         self.mode
+    }
+
+    /// The `k` of the RkNN instance (1 = plain RNN).
+    pub fn k(&self) -> usize {
+        self.k
     }
 
     /// The client set (never edited).
@@ -422,12 +476,54 @@ impl DynamicArrangement {
         fnv1a_words([0x4459, self.base_fingerprint, self.generation]) // "DY"
     }
 
+    /// Whether facility slot `id` is among client `o`'s `k` nearest.
+    #[inline]
+    fn serves(&self, o: usize, id: u32) -> bool {
+        self.cands[o * self.k..(o + 1) * self.k].iter().any(|&(f, _)| f == id)
+    }
+
+    /// Inserts `(id, d)` into client `o`'s candidate list (`id` must
+    /// not already be a candidate and `d` must beat the current `k`-th
+    /// distance strictly), evicting the old `k`-th. Returns the new
+    /// `k`-th distance — `max(old (k-1)-th, d)` — which is exactly the
+    /// `k`-th smallest of the updated distance multiset.
+    fn admit_candidate(&mut self, o: usize, id: u32, d: f64) -> f64 {
+        let slice = &mut self.cands[o * self.k..(o + 1) * self.k];
+        debug_assert!(d < slice[slice.len() - 1].1);
+        // Equidistant candidates insert after existing ones; any tied
+        // selection is a valid argmin set and the values stay the k
+        // smallest.
+        let pos = slice.partition_point(|&(_, cd)| cd <= d);
+        for j in (pos + 1..slice.len()).rev() {
+            slice[j] = slice[j - 1];
+        }
+        slice[pos] = (id, d);
+        slice[slice.len() - 1].1
+    }
+
+    /// Re-resolves client `o`'s full `k`-NN set from `tree` (a kd-tree
+    /// over the live facilities, with `slots` mapping compacted indices
+    /// back to slot ids). Returns the new `k`-th distance.
+    fn reresolve(&mut self, o: usize, tree: &KdTree, slots: &[u32]) -> f64 {
+        let nn = tree.k_nearest(&self.clients[o], self.metric, self.k);
+        debug_assert_eq!(nn.len(), self.k, "n_alive >= k is an edit invariant");
+        let base = o * self.k;
+        for (j, (ci, d)) in nn.into_iter().enumerate() {
+            self.cands[base + j] = (slots[ci as usize], d);
+        }
+        self.cands[base + self.k - 1].1
+    }
+
     /// Adds a facility at `p`. Returns the new facility's id and what
     /// changed: every client strictly closer to `p` than to its current
-    /// NN shrinks its circle.
+    /// `k`-th NN admits `p` into its `k`-NN set and (usually) shrinks
+    /// its circle.
     pub fn insert_facility(&mut self, p: Point) -> Result<(u32, EditOutcome), EditError> {
         if self.mode != Mode::Bichromatic {
             return Err(EditError::ImmutableMode);
+        }
+        if !p.x.is_finite() || !p.y.is_finite() {
+            return Err(EditError::NonFinitePoint);
         }
         let slot = self.facilities.len() as u32;
         self.facilities.push(p);
@@ -437,7 +533,8 @@ impl DynamicArrangement {
         for o in 0..self.clients.len() {
             let d = self.metric.dist(&self.clients[o], &p);
             if d < self.radii[o] {
-                self.set_radius(o, d, slot, &mut out);
+                let new_r = self.admit_candidate(o, slot, d);
+                self.set_radius(o, new_r, &mut out);
             }
         }
         if !out.dirty.is_empty() {
@@ -446,8 +543,11 @@ impl DynamicArrangement {
         Ok((slot, out))
     }
 
-    /// Removes facility `id`. Every client it served re-resolves its NN
-    /// among the remaining facilities and grows its circle.
+    /// Removes facility `id`. Exactly the clients whose `k`-NN set
+    /// contained `id` (tracked via the per-client candidate lists)
+    /// re-resolve their `k` nearest among the remaining facilities and
+    /// grow their circles; everyone else's `k` smallest distances are
+    /// provably unchanged.
     pub fn remove_facility(&mut self, id: u32) -> Result<EditOutcome, EditError> {
         if self.mode != Mode::Bichromatic {
             return Err(EditError::ImmutableMode);
@@ -456,20 +556,19 @@ impl DynamicArrangement {
         if i >= self.facilities.len() || !self.alive[i] {
             return Err(EditError::UnknownFacility);
         }
-        if self.n_alive == 1 {
-            return Err(EditError::LastFacility);
+        if self.n_alive <= self.k {
+            return Err(EditError::TooFewFacilities);
         }
         self.alive[i] = false;
         self.n_alive -= 1;
         let (tree, slots) = self.facility_tree();
         let mut out = EditOutcome::default();
         for o in 0..self.clients.len() {
-            if self.nn_fac[o] != id {
+            if !self.serves(o, id) {
                 continue;
             }
-            let (k, d) =
-                tree.nearest(&self.clients[o], self.metric).expect("n_alive >= 1 after removal");
-            self.set_radius(o, d, slots[k as usize], &mut out);
+            let new_r = self.reresolve(o, &tree, &slots);
+            self.set_radius(o, new_r, &mut out);
         }
         if !out.dirty.is_empty() {
             self.generation += 1;
@@ -478,12 +577,15 @@ impl DynamicArrangement {
     }
 
     /// Moves facility `id` to `to` — a remove + insert fused into one
-    /// pass: clients served by `id` re-resolve their NN (it may still
-    /// be `id`), every other client checks whether `id`'s new location
-    /// undercuts its current NN distance.
+    /// pass: clients with `id` in their `k`-NN set re-resolve it (the
+    /// set may keep `id`), every other client checks whether `id`'s new
+    /// location undercuts its current `k`-th NN distance.
     pub fn move_facility(&mut self, id: u32, to: Point) -> Result<EditOutcome, EditError> {
         if self.mode != Mode::Bichromatic {
             return Err(EditError::ImmutableMode);
+        }
+        if !to.x.is_finite() || !to.y.is_finite() {
+            return Err(EditError::NonFinitePoint);
         }
         let i = id as usize;
         if i >= self.facilities.len() || !self.alive[i] {
@@ -493,14 +595,14 @@ impl DynamicArrangement {
         let (tree, slots) = self.facility_tree();
         let mut out = EditOutcome::default();
         for o in 0..self.clients.len() {
-            if self.nn_fac[o] == id {
-                let (k, d) =
-                    tree.nearest(&self.clients[o], self.metric).expect("live facilities exist");
-                self.set_radius(o, d, slots[k as usize], &mut out);
+            if self.serves(o, id) {
+                let new_r = self.reresolve(o, &tree, &slots);
+                self.set_radius(o, new_r, &mut out);
             } else {
                 let d = self.metric.dist(&self.clients[o], &to);
                 if d < self.radii[o] {
-                    self.set_radius(o, d, id, &mut out);
+                    let new_r = self.admit_candidate(o, id, d);
+                    self.set_radius(o, new_r, &mut out);
                 }
             }
         }
@@ -538,12 +640,12 @@ impl DynamicArrangement {
         })
     }
 
-    /// Records client `o`'s new NN `(new_fac, new_r)` and updates the
+    /// Records client `o`'s new `k`-th NN distance `new_r` (the
+    /// candidate list is already updated by the caller) and updates the
     /// arrangement geometry, the dirty region and the change list. A
-    /// bitwise-unchanged radius only refreshes the NN assignment — the
-    /// circle is geometrically identical, so nothing is dirty.
-    fn set_radius(&mut self, o: usize, new_r: f64, new_fac: u32, out: &mut EditOutcome) {
-        self.nn_fac[o] = new_fac;
+    /// bitwise-unchanged radius is a geometric no-op — the circle is
+    /// identical, so nothing is dirty.
+    fn set_radius(&mut self, o: usize, new_r: f64, out: &mut EditOutcome) {
         let old_r = self.radii[o];
         if new_r.to_bits() == old_r.to_bits() {
             return;
@@ -617,7 +719,7 @@ impl DynamicArrangement {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::arrangement::{build_disk_arrangement, build_square_arrangement};
+    use crate::arrangement::{build_disk_arrangement_k, build_square_arrangement_k};
 
     fn pseudo_points(n: usize, seed: u64, span: f64) -> Vec<Point> {
         let mut state = seed;
@@ -635,7 +737,9 @@ mod tests {
         let facs = dy.facility_points();
         match dy.metric() {
             Metric::L2 => {
-                let fresh = build_disk_arrangement(dy.clients(), &facs, Mode::Bichromatic).unwrap();
+                let fresh =
+                    build_disk_arrangement_k(dy.clients(), &facs, Mode::Bichromatic, dy.k())
+                        .unwrap();
                 let a = dy.disk().unwrap();
                 assert_eq!(a.len(), fresh.len());
                 assert_eq!(a.dropped, fresh.dropped);
@@ -657,7 +761,8 @@ mod tests {
             }
             m => {
                 let fresh =
-                    build_square_arrangement(dy.clients(), &facs, m, Mode::Bichromatic).unwrap();
+                    build_square_arrangement_k(dy.clients(), &facs, m, Mode::Bichromatic, dy.k())
+                        .unwrap();
                 let a = dy.square().unwrap();
                 assert_eq!(a.len(), fresh.len());
                 assert_eq!(a.dropped, fresh.dropped);
@@ -686,12 +791,14 @@ mod tests {
                     .unwrap();
             match metric {
                 Metric::L2 => {
-                    let fresh = build_disk_arrangement(&clients, &facs, Mode::Bichromatic).unwrap();
+                    let fresh =
+                        build_disk_arrangement_k(&clients, &facs, Mode::Bichromatic, 1).unwrap();
                     assert_eq!(dy.disk().unwrap().fingerprint(), fresh.fingerprint());
                 }
                 m => {
                     let fresh =
-                        build_square_arrangement(&clients, &facs, m, Mode::Bichromatic).unwrap();
+                        build_square_arrangement_k(&clients, &facs, m, Mode::Bichromatic, 1)
+                            .unwrap();
                     assert_eq!(dy.square().unwrap().fingerprint(), fresh.fingerprint());
                 }
             }
@@ -805,7 +912,7 @@ mod tests {
             Mode::Bichromatic,
         )
         .unwrap();
-        assert_eq!(dy.remove_facility(0).unwrap_err(), EditError::LastFacility);
+        assert_eq!(dy.remove_facility(0).unwrap_err(), EditError::TooFewFacilities);
         assert_eq!(dy.remove_facility(7).unwrap_err(), EditError::UnknownFacility);
         assert_eq!(
             dy.move_facility(9, Point::new(0.0, 0.0)).unwrap_err(),
@@ -826,6 +933,68 @@ mod tests {
             mono.move_facility(0, Point::new(1.0, 1.0)).unwrap_err(),
             EditError::ImmutableMode
         );
+    }
+
+    #[test]
+    fn edit_scripts_match_rebuild_at_higher_k() {
+        let clients = pseudo_points(50, 13, 10.0);
+        let facs = pseudo_points(6, 29, 10.0);
+        for k in [2usize, 3, 5] {
+            for metric in Metric::ALL {
+                let mut dy = DynamicArrangement::build_k(
+                    clients.clone(),
+                    facs.clone(),
+                    metric,
+                    Mode::Bichromatic,
+                    k,
+                )
+                .unwrap();
+                assert_eq!(dy.k(), k);
+                assert_matches_rebuild(&dy);
+                let (id_a, _) = dy.insert_facility(Point::new(5.0, 5.0)).unwrap();
+                assert_matches_rebuild(&dy);
+                dy.move_facility(id_a, Point::new(1.0, 9.0)).unwrap();
+                assert_matches_rebuild(&dy);
+                dy.remove_facility(1).unwrap();
+                assert_matches_rebuild(&dy);
+                dy.move_facility(0, Point::new(9.5, 0.5)).unwrap();
+                assert_matches_rebuild(&dy);
+                dy.remove_facility(id_a).unwrap();
+                assert_matches_rebuild(&dy);
+            }
+        }
+    }
+
+    #[test]
+    fn removal_guards_on_k_not_one() {
+        let clients = pseudo_points(12, 3, 4.0);
+        let facs = pseudo_points(3, 5, 4.0);
+        let mut dy =
+            DynamicArrangement::build_k(clients, facs, Metric::L2, Mode::Bichromatic, 3).unwrap();
+        // 3 facilities at k = 3: any removal would orphan the 3rd NN.
+        assert_eq!(dy.remove_facility(0).unwrap_err(), EditError::TooFewFacilities);
+        let (id, _) = dy.insert_facility(Point::new(2.0, 2.0)).unwrap();
+        // 4 alive: one removal fine, a second blocked again.
+        dy.remove_facility(id).unwrap();
+        assert_matches_rebuild(&dy);
+        assert_eq!(dy.remove_facility(0).unwrap_err(), EditError::TooFewFacilities);
+    }
+
+    #[test]
+    fn non_finite_edit_targets_are_rejected() {
+        let clients = pseudo_points(8, 7, 4.0);
+        let facs = pseudo_points(2, 9, 4.0);
+        let mut dy =
+            DynamicArrangement::build(clients, facs, Metric::Linf, Mode::Bichromatic).unwrap();
+        let bad = Point { x: f64::NAN, y: 0.0 };
+        assert_eq!(dy.insert_facility(bad).unwrap_err(), EditError::NonFinitePoint);
+        assert_eq!(dy.move_facility(0, bad).unwrap_err(), EditError::NonFinitePoint);
+        let inf = Point { x: 0.0, y: f64::INFINITY };
+        assert_eq!(dy.insert_facility(inf).unwrap_err(), EditError::NonFinitePoint);
+        // The rejected edits left nothing behind.
+        assert_eq!(dy.n_facilities(), 2);
+        assert_eq!(dy.generation(), 0);
+        assert_matches_rebuild(&dy);
     }
 
     #[test]

@@ -55,8 +55,9 @@ pub mod stats;
 pub mod window;
 
 pub use arrangement::{
-    build_disk_arrangement, build_square_arrangement, nn_assignments, CoordSpace, DiskArrangement,
-    Mode, SquareArrangement,
+    build_disk_arrangement, build_disk_arrangement_k, build_square_arrangement,
+    build_square_arrangement_k, knn_assignments, nn_assignments, CoordSpace, DiskArrangement, Mode,
+    SquareArrangement,
 };
 pub use edit::{
     ArrangementRef, CircleChange, DirtyRegion, DynamicArrangement, EditError, EditOutcome, Shape,
@@ -81,6 +82,24 @@ pub enum BuildError {
     TooFewPoints,
     /// The client set is empty.
     NoClients,
+    /// `k = 0` was requested; RkNN needs `k ≥ 1`.
+    ZeroK,
+    /// `k` exceeds the number of neighbor candidates available (the
+    /// facility count in bichromatic mode, the point count minus one in
+    /// monochromatic mode), so the `k`-th NN distance is undefined.
+    KTooLarge {
+        /// The requested `k`.
+        k: usize,
+        /// How many neighbor candidates the instance actually offers.
+        available: usize,
+    },
+    /// A client coordinate is NaN or infinite (index into the client
+    /// slice). Non-finite points would silently corrupt kd-tree
+    /// ordering and sweep-line math, so they are rejected up front.
+    NonFiniteClient(usize),
+    /// A facility coordinate is NaN or infinite (index into the
+    /// facility slice).
+    NonFiniteFacility(usize),
 }
 
 impl std::fmt::Display for BuildError {
@@ -91,6 +110,16 @@ impl std::fmt::Display for BuildError {
                 write!(f, "monochromatic mode requires at least two points")
             }
             BuildError::NoClients => write!(f, "client set is empty"),
+            BuildError::ZeroK => write!(f, "k must be at least 1"),
+            BuildError::KTooLarge { k, available } => {
+                write!(f, "k = {k} exceeds the {available} neighbor candidate(s) available")
+            }
+            BuildError::NonFiniteClient(i) => {
+                write!(f, "client {i} has a non-finite coordinate")
+            }
+            BuildError::NonFiniteFacility(i) => {
+                write!(f, "facility {i} has a non-finite coordinate")
+            }
         }
     }
 }

@@ -106,6 +106,7 @@ fn clip_to_slab(arr: &SquareArrangement, x_lo: f64, x_hi: f64) -> SquareArrangem
         space: arr.space,
         n_clients: arr.n_clients,
         dropped: arr.dropped,
+        k: arr.k,
     }
 }
 
@@ -229,7 +230,14 @@ mod tests {
     fn arr_from_squares(squares: Vec<Rect>) -> SquareArrangement {
         let owners = (0..squares.len() as u32).collect();
         let n = squares.len();
-        SquareArrangement { squares, owners, space: CoordSpace::Identity, n_clients: n, dropped: 0 }
+        SquareArrangement {
+            squares,
+            owners,
+            space: CoordSpace::Identity,
+            n_clients: n,
+            dropped: 0,
+            k: 1,
+        }
     }
 
     fn pseudo_squares(n: usize, seed: u64) -> Vec<Rect> {

@@ -95,7 +95,14 @@ mod tests {
     fn arr_from_squares(squares: Vec<Rect>) -> SquareArrangement {
         let owners = (0..squares.len() as u32).collect();
         let n = squares.len();
-        SquareArrangement { squares, owners, space: CoordSpace::Identity, n_clients: n, dropped: 0 }
+        SquareArrangement {
+            squares,
+            owners,
+            space: CoordSpace::Identity,
+            n_clients: n,
+            dropped: 0,
+            k: 1,
+        }
     }
 
     #[test]
@@ -150,7 +157,7 @@ mod tests {
     fn disk_candidates_match_containment() {
         let disks =
             vec![Circle::new(Point::new(0.0, 0.0), 2.0), Circle::new(Point::new(1.0, 0.0), 2.0)];
-        let arr = DiskArrangement { disks, owners: vec![0, 1], n_clients: 2, dropped: 0 };
+        let arr = DiskArrangement { disks, owners: vec![0, 1], n_clients: 2, dropped: 0, k: 1 };
         let scored = influence_at_points_disk(
             &arr,
             &CountMeasure,

@@ -46,6 +46,7 @@ pub fn clip_arrangement(arr: &SquareArrangement, window: &Rect) -> SquareArrange
         space: arr.space,
         n_clients: arr.n_clients,
         dropped: arr.dropped,
+        k: arr.k,
     }
 }
 
@@ -103,7 +104,14 @@ mod tests {
     fn arr_from_squares(squares: Vec<Rect>) -> SquareArrangement {
         let owners = (0..squares.len() as u32).collect();
         let n = squares.len();
-        SquareArrangement { squares, owners, space: CoordSpace::Identity, n_clients: n, dropped: 0 }
+        SquareArrangement {
+            squares,
+            owners,
+            space: CoordSpace::Identity,
+            n_clients: n,
+            dropped: 0,
+            k: 1,
+        }
     }
 
     fn pseudo_squares(n: usize, seed: u64) -> Vec<Rect> {

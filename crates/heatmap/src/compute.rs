@@ -180,7 +180,14 @@ mod tests {
     fn arr_from_squares(squares: Vec<Rect>) -> SquareArrangement {
         let owners = (0..squares.len() as u32).collect();
         let n = squares.len();
-        SquareArrangement { squares, owners, space: CoordSpace::Identity, n_clients: n, dropped: 0 }
+        SquareArrangement {
+            squares,
+            owners,
+            space: CoordSpace::Identity,
+            n_clients: n,
+            dropped: 0,
+            k: 1,
+        }
     }
 
     fn pseudo_squares(n: usize, seed: u64) -> Vec<Rect> {
@@ -219,7 +226,7 @@ mod tests {
         let disks =
             vec![Circle::new(Point::new(5.0, 5.0), 2.0), Circle::new(Point::new(6.0, 5.0), 2.0)];
         let owners = vec![0, 1];
-        let arr = DiskArrangement { disks, owners, n_clients: 2, dropped: 0 };
+        let arr = DiskArrangement { disks, owners, n_clients: 2, dropped: 0, k: 1 };
         let spec = GridSpec::new(50, 50, Rect::new(0.0, 10.0, 0.0, 10.0));
         let raster = rasterize_disks(&arr, &CountMeasure, spec);
         // The midpoint between centers is inside both disks.

@@ -768,7 +768,14 @@ mod tests {
     fn arr_from_squares(squares: Vec<Rect>) -> SquareArrangement {
         let owners = (0..squares.len() as u32).collect();
         let n = squares.len();
-        SquareArrangement { squares, owners, space: CoordSpace::Identity, n_clients: n, dropped: 0 }
+        SquareArrangement {
+            squares,
+            owners,
+            space: CoordSpace::Identity,
+            n_clients: n,
+            dropped: 0,
+            k: 1,
+        }
     }
 
     fn pseudo(n: usize, seed: u64) -> impl FnMut() -> f64 {
@@ -821,7 +828,7 @@ mod tests {
             .collect();
         let owners = (0..disks.len() as u32).collect();
         let n = disks.len();
-        let arr = DiskArrangement { disks, owners, n_clients: n, dropped: 0 };
+        let arr = DiskArrangement { disks, owners, n_clients: n, dropped: 0, k: 1 };
         let spec = GridSpec::new(64, 80, Rect::new(0.0, 10.0, 0.0, 10.0));
         let oracle = rasterize_disks_oracle(&arr, &CountMeasure, spec);
         for bands in [1, 4] {
@@ -967,7 +974,7 @@ mod tests {
             .collect();
         let owners = (0..disks.len() as u32).collect();
         let n = disks.len();
-        let mut darr = DiskArrangement { disks, owners, n_clients: n, dropped: 0 };
+        let mut darr = DiskArrangement { disks, owners, n_clients: n, dropped: 0, k: 1 };
         let mut draster = rasterize_disks_scanline_bands(&darr, &CountMeasure, spec, 1);
         let gone = darr.disks.swap_remove(3);
         darr.owners.swap_remove(3);

@@ -78,6 +78,85 @@ impl KdTree {
         }
     }
 
+    /// The `k` nearest neighbors of `q` under `metric`, as `(original
+    /// index, distance)` pairs sorted by increasing distance.
+    ///
+    /// Returns fewer than `k` pairs when the tree holds fewer points.
+    /// Tie-breaking is deterministic and consistent with
+    /// [`KdTree::nearest`]: candidates are compared strictly, so among
+    /// equidistant points the one visited first in the (fixed) tree
+    /// traversal wins a slot. In particular `k_nearest(q, m, 1)` returns
+    /// exactly `nearest(q, m)`, and the `k`-th *distance* — the RkNN
+    /// circle radius — is the `k`-th smallest element of the distance
+    /// multiset regardless of which tied ids fill the set.
+    pub fn k_nearest(&self, q: &Point, metric: Metric, k: usize) -> Vec<(u32, f64)> {
+        self.k_nearest_impl(q, metric, k, None)
+    }
+
+    /// The `k` nearest neighbors of `q` excluding one original index
+    /// (for monochromatic RkNN queries, where a point must not count
+    /// itself among its neighbors). Same ordering and tie contract as
+    /// [`KdTree::k_nearest`].
+    pub fn k_nearest_excluding(
+        &self,
+        q: &Point,
+        metric: Metric,
+        k: usize,
+        exclude: u32,
+    ) -> Vec<(u32, f64)> {
+        self.k_nearest_impl(q, metric, k, Some(exclude))
+    }
+
+    fn k_nearest_impl(
+        &self,
+        q: &Point,
+        metric: Metric,
+        k: usize,
+        exclude: Option<u32>,
+    ) -> Vec<(u32, f64)> {
+        if self.pts.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        let mut acc = KnnAcc { k, best: Vec::with_capacity(k.min(self.pts.len())) };
+        let bounds = self.bounds.expect("non-empty tree has bounds");
+        self.k_nearest_rec(q, metric, 0, self.pts.len(), 0, bounds, exclude, &mut acc);
+        acc.best.into_iter().map(|(d, id)| (id, metric.cmp_to_dist(d))).collect()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn k_nearest_rec(
+        &self,
+        q: &Point,
+        metric: Metric,
+        lo: usize,
+        hi: usize,
+        depth: usize,
+        cell: Rect,
+        exclude: Option<u32>,
+        acc: &mut KnnAcc,
+    ) {
+        if lo >= hi {
+            return;
+        }
+        if metric.dist_cmp_to_rect(q, &cell) >= acc.bound() {
+            return;
+        }
+        let mid = lo + (hi - lo) / 2;
+        let p = self.pts[mid];
+        if exclude != Some(self.ids[mid]) {
+            acc.offer(metric.dist_cmp(q, &p), self.ids[mid]);
+        }
+        let (left_cell, right_cell) = split_cell(cell, depth, p);
+        let go_left_first = if depth.is_multiple_of(2) { q.x < p.x } else { q.y < p.y };
+        if go_left_first {
+            self.k_nearest_rec(q, metric, lo, mid, depth + 1, left_cell, exclude, acc);
+            self.k_nearest_rec(q, metric, mid + 1, hi, depth + 1, right_cell, exclude, acc);
+        } else {
+            self.k_nearest_rec(q, metric, mid + 1, hi, depth + 1, right_cell, exclude, acc);
+            self.k_nearest_rec(q, metric, lo, mid, depth + 1, left_cell, exclude, acc);
+        }
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn nearest_rec(
         &self,
@@ -147,6 +226,39 @@ impl KdTree {
             self.nearest_rec_excl(q, metric, mid + 1, hi, depth + 1, right_cell, exclude, best);
             self.nearest_rec_excl(q, metric, lo, mid, depth + 1, left_cell, exclude, best);
         }
+    }
+}
+
+/// Bounded best-`k` accumulator: `best` is kept sorted ascending by the
+/// comparison-surrogate distance. Candidates are admitted with a strict
+/// `<` against the current `k`-th, and equidistant candidates insert
+/// *after* existing ones, so among ties the first-visited point keeps
+/// its slot — the same deterministic tie rule as the 1-NN query.
+struct KnnAcc {
+    k: usize,
+    best: Vec<(f64, u32)>,
+}
+
+impl KnnAcc {
+    /// The pruning bound: distances at or beyond it cannot enter the set.
+    #[inline]
+    fn bound(&self) -> f64 {
+        if self.best.len() < self.k {
+            f64::INFINITY
+        } else {
+            self.best[self.k - 1].0
+        }
+    }
+
+    fn offer(&mut self, d: f64, id: u32) {
+        if self.best.len() == self.k {
+            if d >= self.best[self.k - 1].0 {
+                return;
+            }
+            self.best.pop();
+        }
+        let pos = self.best.partition_point(|&(bd, _)| bd <= d);
+        self.best.insert(pos, (d, id));
     }
 }
 
@@ -310,6 +422,101 @@ mod tests {
         let (id, d) = t.nearest_excluding(&Point::new(1.0, 1.0), Metric::L1, 5).unwrap();
         assert_ne!(id, 5);
         assert_eq!(d, 0.0);
+    }
+
+    fn brute_knn_dists(q: &Point, pts: &[Point], metric: Metric, k: usize) -> Vec<f64> {
+        let mut ds: Vec<f64> = pts.iter().map(|p| metric.dist(q, p)).collect();
+        ds.sort_by(f64::total_cmp);
+        ds.truncate(k);
+        ds
+    }
+
+    #[test]
+    fn k_nearest_matches_brute_force_all_metrics() {
+        let pts = pseudo_points(300, 17);
+        let queries = pseudo_points(40, 5);
+        let t = KdTree::build(&pts);
+        for metric in Metric::ALL {
+            for q in &queries {
+                for k in [1usize, 2, 3, 7, 16, 300, 500] {
+                    let got = t.k_nearest(q, metric, k);
+                    let want = brute_knn_dists(q, &pts, metric, k);
+                    assert_eq!(got.len(), want.len(), "metric {metric:?} k {k}");
+                    for (i, ((_, gd), wd)) in got.iter().zip(&want).enumerate() {
+                        assert_eq!(
+                            gd.to_bits(),
+                            wd.to_bits(),
+                            "metric {metric:?} k {k} rank {i}: kd {gd} vs brute {wd}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn k_nearest_one_is_nearest() {
+        let pts = pseudo_points(200, 23);
+        let queries = pseudo_points(50, 41);
+        let t = KdTree::build(&pts);
+        for metric in Metric::ALL {
+            for q in &queries {
+                let one = t.k_nearest(q, metric, 1);
+                assert_eq!(one.len(), 1);
+                let (id, d) = t.nearest(q, metric).unwrap();
+                assert_eq!(one[0].0, id, "tie-breaking must match nearest ({metric:?})");
+                assert_eq!(one[0].1.to_bits(), d.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn k_nearest_excluding_skips_the_excluded_id() {
+        let pts = pseudo_points(80, 9);
+        let t = KdTree::build(&pts);
+        for (i, q) in pts.iter().enumerate().take(20) {
+            let got = t.k_nearest_excluding(q, Metric::L2, 5, i as u32);
+            assert_eq!(got.len(), 5);
+            assert!(got.iter().all(|&(id, _)| id != i as u32));
+            // Against brute force over the other points.
+            let others: Vec<Point> =
+                pts.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, &p)| p).collect();
+            let want = brute_knn_dists(q, &others, Metric::L2, 5);
+            for ((_, gd), wd) in got.iter().zip(&want) {
+                assert_eq!(gd.to_bits(), wd.to_bits());
+            }
+            // Consistent with the 1-NN exclusion query.
+            let (id1, d1) = t.nearest_excluding(q, Metric::L2, i as u32).unwrap();
+            assert_eq!(got[0].0, id1);
+            assert_eq!(got[0].1.to_bits(), d1.to_bits());
+        }
+    }
+
+    #[test]
+    fn k_nearest_on_duplicates_is_well_defined() {
+        // 20 copies of the same point: every k-th distance is 0, and the
+        // id set is a deterministic selection.
+        let pts = vec![Point::new(2.0, 2.0); 20];
+        let t = KdTree::build(&pts);
+        for metric in Metric::ALL {
+            let got = t.k_nearest(&Point::new(2.0, 2.0), metric, 7);
+            assert_eq!(got.len(), 7);
+            assert!(got.iter().all(|&(_, d)| d == 0.0));
+            let again = t.k_nearest(&Point::new(2.0, 2.0), metric, 7);
+            assert_eq!(got, again, "deterministic under ties");
+        }
+        let excl = t.k_nearest_excluding(&Point::new(2.0, 2.0), Metric::L1, 19, 3);
+        assert_eq!(excl.len(), 19);
+        assert!(excl.iter().all(|&(id, _)| id != 3));
+    }
+
+    #[test]
+    fn k_nearest_degenerate_requests() {
+        let t = KdTree::build(&[]);
+        assert!(t.k_nearest(&Point::ORIGIN, Metric::L2, 3).is_empty());
+        let t = KdTree::build(&[Point::new(1.0, 0.0)]);
+        assert!(t.k_nearest(&Point::ORIGIN, Metric::L2, 0).is_empty());
+        assert_eq!(t.k_nearest(&Point::ORIGIN, Metric::L2, 4).len(), 1, "clamped to tree size");
     }
 
     #[test]

@@ -97,6 +97,7 @@ pub struct HeatMapBuilder {
     facilities: Vec<Point>,
     metric: Metric,
     mode: Mode,
+    k: usize,
     tile_px: usize,
     tile_cache_bytes: usize,
 }
@@ -109,6 +110,7 @@ impl HeatMapBuilder {
             facilities,
             metric: Metric::L2,
             mode: Mode::Bichromatic,
+            k: 1,
             tile_px: DEFAULT_TILE_PX,
             tile_cache_bytes: DEFAULT_TILE_CACHE_BYTES,
         }
@@ -128,6 +130,20 @@ impl HeatMapBuilder {
     /// Distance metric (default: L2).
     pub fn metric(mut self, metric: Metric) -> Self {
         self.metric = metric;
+        self
+    }
+
+    /// The `k` of the RkNN influence model (default 1, plain RNN): a
+    /// client is influenced by a facility placed at `q` iff `q` would
+    /// be among its `k` nearest facilities, so every NN-circle radius
+    /// becomes the distance to the client's `k`-th nearest facility.
+    ///
+    /// Validated by [`HeatMapBuilder::build`]: `k = 0` fails with
+    /// [`BuildError::ZeroK`], and a `k` exceeding the facility count
+    /// (bichromatic) or the point count minus one (monochromatic) fails
+    /// with [`BuildError::KTooLarge`].
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = k;
         self
     }
 
@@ -157,8 +173,13 @@ impl HeatMapBuilder {
     /// [`RnnHeatMap::stats`], so maps built purely for rendering or
     /// editing never pay for it.
     pub fn build<M: InfluenceMeasure>(self, measure: M) -> Result<RnnHeatMap<M>, BuildError> {
-        let dynamic =
-            DynamicArrangement::build(self.clients, self.facilities, self.metric, self.mode)?;
+        let dynamic = DynamicArrangement::build_k(
+            self.clients,
+            self.facilities,
+            self.metric,
+            self.mode,
+            self.k,
+        )?;
         Ok(RnnHeatMap {
             dynamic,
             measure,
@@ -333,6 +354,12 @@ impl<M: InfluenceMeasure> RnnHeatMap<M> {
     /// How many geometry-changing edits this map has absorbed.
     pub fn generation(&self) -> u64 {
         self.dynamic.generation()
+    }
+
+    /// The `k` of the RkNN influence model this map was built with
+    /// ([`HeatMapBuilder::k`]; 1 = plain RNN).
+    pub fn k(&self) -> usize {
+        self.dynamic.k()
     }
 
     /// Bounding box of the arrangement in *input-space* coordinates
@@ -825,7 +852,78 @@ mod tests {
         map.remove_facility(id).unwrap();
         assert_eq!(map.influence_at(Point::new(4.0, 4.0)).1, before, "edit undone exactly");
         let last = map.facilities()[0].0;
-        assert_eq!(map.remove_facility(last).unwrap_err(), EditError::LastFacility);
+        assert_eq!(map.remove_facility(last).unwrap_err(), EditError::TooFewFacilities);
+    }
+
+    #[test]
+    fn k_is_validated_and_flows_through() {
+        let (clients, facilities) = toy(); // 4 clients, 1 facility
+        assert_eq!(
+            HeatMapBuilder::bichromatic(clients.clone(), facilities.clone())
+                .k(0)
+                .build(CountMeasure)
+                .err(),
+            Some(BuildError::ZeroK)
+        );
+        assert_eq!(
+            HeatMapBuilder::bichromatic(clients.clone(), facilities.clone())
+                .k(2)
+                .build(CountMeasure)
+                .err(),
+            Some(BuildError::KTooLarge { k: 2, available: 1 })
+        );
+        // Monochromatic: k up to n - 1.
+        assert_eq!(
+            HeatMapBuilder::monochromatic(clients.clone()).k(4).build(CountMeasure).err(),
+            Some(BuildError::KTooLarge { k: 4, available: 3 })
+        );
+        let mono = HeatMapBuilder::monochromatic(clients.clone()).k(3).build(CountMeasure).unwrap();
+        assert_eq!(mono.k(), 3);
+        assert!(mono.max_region().is_some());
+        // A valid bichromatic k = 2 map: circles reach the 2nd NN, so
+        // influence at any client is at least as high as at k = 1.
+        let mut facs2 = facilities.clone();
+        facs2.push(Point::new(3.0, 3.0));
+        let k1 = HeatMapBuilder::bichromatic(clients.clone(), facs2.clone())
+            .metric(Metric::Linf)
+            .build(CountMeasure)
+            .unwrap();
+        let k2 = HeatMapBuilder::bichromatic(clients, facs2)
+            .metric(Metric::Linf)
+            .k(2)
+            .build(CountMeasure)
+            .unwrap();
+        assert_eq!(k2.k(), 2);
+        for q in [Point::new(0.0, 0.0), Point::new(2.0, 1.0), Point::new(1.0, 3.0)] {
+            assert!(k2.influence_at(q).1 >= k1.influence_at(q).1, "k-NN circles nest at {q:?}");
+        }
+    }
+
+    #[test]
+    fn non_finite_facade_inputs_are_rejected() {
+        let (clients, facilities) = toy();
+        let bad = Point { x: f64::NAN, y: 1.0 };
+        let mut with_bad_fac = facilities.clone();
+        with_bad_fac.push(bad);
+        assert_eq!(
+            HeatMapBuilder::bichromatic(clients.clone(), with_bad_fac).build(CountMeasure).err(),
+            Some(BuildError::NonFiniteFacility(1))
+        );
+        let mut with_bad_client = clients.clone();
+        with_bad_client.insert(0, Point { x: 0.0, y: f64::NEG_INFINITY });
+        assert_eq!(
+            HeatMapBuilder::bichromatic(with_bad_client, facilities.clone())
+                .build(CountMeasure)
+                .err(),
+            Some(BuildError::NonFiniteClient(0))
+        );
+        // Edit targets are validated too, and a rejected edit is a
+        // complete no-op.
+        let mut map = HeatMapBuilder::bichromatic(clients, facilities).build(CountMeasure).unwrap();
+        assert_eq!(map.add_facility(bad).unwrap_err(), EditError::NonFinitePoint);
+        assert_eq!(map.move_facility(0, bad).unwrap_err(), EditError::NonFinitePoint);
+        assert_eq!(map.n_facilities(), 1);
+        assert_eq!(map.generation(), 0);
     }
 
     #[test]

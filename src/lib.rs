@@ -61,8 +61,9 @@ pub use rnnhm_index as index;
 /// The commonly used names, importable in one line.
 pub mod prelude {
     pub use rnnhm_core::arrangement::{
-        build_disk_arrangement, build_square_arrangement, nn_assignments, CoordSpace,
-        DiskArrangement, Mode, SquareArrangement,
+        build_disk_arrangement, build_disk_arrangement_k, build_square_arrangement,
+        build_square_arrangement_k, knn_assignments, nn_assignments, CoordSpace, DiskArrangement,
+        Mode, SquareArrangement,
     };
     pub use rnnhm_core::baseline::baseline_sweep;
     pub use rnnhm_core::crest::{crest_a_sweep, crest_sweep};

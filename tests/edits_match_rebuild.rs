@@ -61,7 +61,7 @@ fn apply_script<M: IncrementalMeasure + Sync>(
                 let id = facs[pick as usize % facs.len()].0;
                 match map.remove_facility(id) {
                     Ok(d) => d,
-                    Err(EditError::LastFacility) => continue,
+                    Err(EditError::TooFewFacilities) => continue,
                     Err(e) => panic!("unexpected edit error {e}"),
                 }
             }

@@ -53,11 +53,12 @@ fn metric_name(m: Metric) -> &'static str {
     }
 }
 
-/// Renders one measure/metric combo and returns its hash.
-fn render_hash(measure_key: &str, metric: Metric) -> u64 {
+/// Renders one measure/metric combo at RkNN depth `k` and returns its
+/// hash.
+fn render_hash_k(measure_key: &str, metric: Metric, k: usize) -> u64 {
     let (clients, facilities) = instance();
     let n = clients.len();
-    let builder = HeatMapBuilder::bichromatic(clients, facilities).metric(metric);
+    let builder = HeatMapBuilder::bichromatic(clients, facilities).metric(metric).k(k);
     let raster = match measure_key {
         "count" => builder.build(CountMeasure).unwrap().raster(spec()),
         "weighted" => {
@@ -80,7 +81,17 @@ fn render_hash(measure_key: &str, metric: Metric) -> u64 {
     hash_raster(&raster)
 }
 
+/// Renders one measure/metric combo at k = 1 (the pre-RkNN path, which
+/// the generalization must reproduce bit-for-bit).
+fn render_hash(measure_key: &str, metric: Metric) -> u64 {
+    render_hash_k(measure_key, metric, 1)
+}
+
 const MEASURES: [&str; 4] = ["count", "weighted", "capacity", "connectivity"];
+
+/// The RkNN depths with checked-in goldens beyond the classic k = 1
+/// table (the instance has 7 facilities, so both are valid).
+const GOLDEN_KS: [usize; 2] = [2, 5];
 
 /// The checked-in golden hashes: (measure, metric, fnv1a over pixel
 /// bits of the 64×64 render). See the module docs for the regen path.
@@ -97,6 +108,35 @@ const GOLDEN: &[(&str, &str, u64)] = &[
     ("connectivity", "L1", 0x52b525f382081261),
     ("connectivity", "L2", 0xd2be0053d946d520),
     ("connectivity", "Linf", 0xa6ccf79ca6ea9cdf),
+];
+
+/// The k > 1 golden hashes: (k, measure, metric, hash). Regenerated the
+/// same way as `GOLDEN` (the regen helper prints both tables).
+const GOLDEN_K: &[(usize, &str, &str, u64)] = &[
+    (2, "count", "L1", 0x25a466a24a8c5243),
+    (2, "count", "L2", 0x9ede0712bf1fa8d6),
+    (2, "count", "Linf", 0xca93d675a7f4c6f2),
+    (2, "weighted", "L1", 0x485446ca22f42fc8),
+    (2, "weighted", "L2", 0x8d2619b5d0d2c3ed),
+    (2, "weighted", "Linf", 0x8c62d1bbb024dc43),
+    (2, "capacity", "L1", 0x43dc32690f1b7dca),
+    (2, "capacity", "L2", 0xc5c2a78efbe00113),
+    (2, "capacity", "Linf", 0x947545e05072b5a5),
+    (2, "connectivity", "L1", 0xb9013d0cb0aa1e27),
+    (2, "connectivity", "L2", 0xcbfb93ce79bf34cf),
+    (2, "connectivity", "Linf", 0xa60714d4c956a318),
+    (5, "count", "L1", 0xa40d7f4444616506),
+    (5, "count", "L2", 0x9d84441fca11adf7),
+    (5, "count", "Linf", 0x9dcf8712ff175868),
+    (5, "weighted", "L1", 0x73a99e6a0c395148),
+    (5, "weighted", "L2", 0x623c23311d9139d9),
+    (5, "weighted", "Linf", 0xf530eb3bc2481882),
+    (5, "capacity", "L1", 0xb0742eed996e40d1),
+    (5, "capacity", "L2", 0xec3c6e93a4123821),
+    (5, "capacity", "Linf", 0x7617be28ae8a4041),
+    (5, "connectivity", "L1", 0x539372f130823874),
+    (5, "connectivity", "L2", 0x9e954555ec21be82),
+    (5, "connectivity", "Linf", 0x73e4c5b19e44680f),
 ];
 
 #[test]
@@ -121,7 +161,45 @@ fn golden_hashes_are_stable() {
     }
 }
 
-/// Prints the golden table for regeneration (see module docs).
+#[test]
+fn golden_hashes_are_stable_at_higher_k() {
+    for &k in &GOLDEN_KS {
+        for measure in MEASURES {
+            for metric in Metric::ALL {
+                let got = render_hash_k(measure, metric, k);
+                let expect = GOLDEN_K
+                    .iter()
+                    .find(|(gk, m, mk, _)| *gk == k && *m == measure && *mk == metric_name(metric))
+                    .unwrap_or_else(|| panic!("no golden entry for k={k}/{measure}/{metric:?}"))
+                    .3;
+                assert_eq!(
+                    got,
+                    expect,
+                    "golden raster changed for k={k}/{measure}/{}: got {got:#018x}. If this is \
+                     an intentional output change, regenerate with `cargo test --test \
+                     golden_rasters -- --ignored --nocapture` (see module docs).",
+                    metric_name(metric)
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn k_goldens_differ_from_k1() {
+    // Sanity on the new table: the RkNN circles genuinely change the
+    // rendered field (the instance has no coincident facilities, so
+    // every k-th NN distance strictly exceeds the 1st).
+    for &k in &GOLDEN_KS {
+        assert_ne!(
+            render_hash_k("count", Metric::Linf, k),
+            render_hash("count", Metric::Linf),
+            "k = {k} raster unexpectedly equals the k = 1 raster"
+        );
+    }
+}
+
+/// Prints both golden tables for regeneration (see module docs).
 #[test]
 #[ignore = "regeneration helper, not a check"]
 fn regen_golden_hashes() {
@@ -129,6 +207,15 @@ fn regen_golden_hashes() {
         for metric in Metric::ALL {
             let hash = render_hash(measure, metric);
             println!("    (\"{measure}\", \"{}\", {hash:#018x}),", metric_name(metric));
+        }
+    }
+    println!("--- GOLDEN_K ---");
+    for &k in &GOLDEN_KS {
+        for measure in MEASURES {
+            for metric in Metric::ALL {
+                let hash = render_hash_k(measure, metric, k);
+                println!("    ({k}, \"{measure}\", \"{}\", {hash:#018x}),", metric_name(metric));
+            }
         }
     }
 }

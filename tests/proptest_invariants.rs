@@ -160,6 +160,7 @@ proptest! {
             space: rnnhm_core::CoordSpace::Identity,
             n_clients: n,
             dropped: 0,
+            k: 1,
         };
         let mut sink = CollectSink::default();
         crest_sweep(&arr, &CountMeasure, &mut sink);

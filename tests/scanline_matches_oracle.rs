@@ -58,7 +58,7 @@ fn disks_strategy(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Circle
 fn square_arrangement_of(squares: Vec<Rect>, space: CoordSpace) -> SquareArrangement {
     let owners = (0..squares.len() as u32).collect();
     let n = squares.len();
-    SquareArrangement { squares, owners, space, n_clients: n.max(1), dropped: 0 }
+    SquareArrangement { squares, owners, space, n_clients: n.max(1), dropped: 0, k: 1 }
 }
 
 /// All-measure comparison for one square arrangement.
@@ -135,7 +135,7 @@ proptest! {
     ) {
         let owners = (0..disks.len() as u32).collect();
         let n = disks.len().max(1);
-        let arr = DiskArrangement { disks, owners, n_clients: n, dropped: 0 };
+        let arr = DiskArrangement { disks, owners, n_clients: n, dropped: 0, k: 1 };
         let spec = GridSpec::new(49, 61, Rect::new(0.0, 10.0, 0.0, 10.0));
         let count = CountMeasure;
         let weighted =

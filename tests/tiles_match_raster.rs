@@ -61,7 +61,7 @@ fn disks_strategy(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Circle
 fn square_arrangement_of(squares: Vec<Rect>, space: CoordSpace) -> SquareArrangement {
     let owners = (0..squares.len() as u32).collect();
     let n = squares.len();
-    SquareArrangement { squares, owners, space, n_clients: n.max(1), dropped: 0 }
+    SquareArrangement { squares, owners, space, n_clients: n.max(1), dropped: 0, k: 1 }
 }
 
 /// Viewports drawn to straddle interesting places: tile interiors,
@@ -113,7 +113,7 @@ proptest! {
         let (rect, px_w, px_h) = view;
         let owners = (0..disks.len() as u32).collect();
         let n = disks.len().max(1);
-        let arr = DiskArrangement { disks, owners, n_clients: n, dropped: 0 };
+        let arr = DiskArrangement { disks, owners, n_clients: n, dropped: 0, k: 1 };
         let scheme = TileScheme::for_extent(
             arr.bbox().unwrap_or(Rect::new(0.0, 10.0, 0.0, 10.0)),
             16,
