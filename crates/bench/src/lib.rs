@@ -14,5 +14,6 @@
 pub mod edits;
 pub mod raster;
 pub mod runner;
+pub mod serve;
 pub mod tiles;
 pub mod workload;

@@ -57,19 +57,13 @@
 //! edit into the build-time fingerprint — `O(1)` per edit instead of an
 //! `O(n)` geometry rehash.
 
-use rnnhm_geom::transform::{l1_radius_to_linf, rotate45};
+use std::sync::Arc;
+
 use rnnhm_geom::{Circle, Metric, Point, Rect};
-use rnnhm_index::KdTree;
 
-use crate::arrangement::{
-    fnv1a_words, knn_assignments, nn_assignments, CoordSpace, DiskArrangement, Mode,
-    SquareArrangement,
-};
+use crate::arrangement::{DiskArrangement, Mode, SquareArrangement};
+use crate::snapshot::ArrangementSnapshot;
 use crate::BuildError;
-
-/// Sentinel for "client has no shape in the arrangement" (zero-radius
-/// NN-circle: the client coincides with a facility).
-const NO_SHAPE: u32 = u32::MAX;
 
 /// Stored rectangles per dirty region before coalescing everything into
 /// one bounding box. Edits are local, so the per-client rectangles
@@ -254,39 +248,17 @@ pub enum ArrangementRef<'a> {
 }
 
 /// A problem instance plus its NN-circle arrangement, maintained
-/// incrementally under facility edits. See the module docs.
+/// incrementally under facility edits — the thin single-user editor
+/// over [`ArrangementSnapshot`]. See the module docs.
+///
+/// Each edit produces a new committed snapshot (chunk-level
+/// copy-on-write, so unchanged circles and candidate lists stay
+/// physically shared with the previous version) and swaps it in;
+/// [`DynamicArrangement::snapshot`] exposes the current snapshot for
+/// `O(1)` forking into concurrent exploration sessions
+/// (`rnn_heatmap`'s `ExplorationEngine`).
 pub struct DynamicArrangement {
-    metric: Metric,
-    mode: Mode,
-    /// The `k` of the RkNN instance (1 = plain RNN).
-    k: usize,
-    clients: Vec<Point>,
-    /// Facility slots; removed facilities stay as dead slots so ids
-    /// remain stable across edits.
-    facilities: Vec<Point>,
-    alive: Vec<bool>,
-    n_alive: usize,
-    /// Per client, flattened `k` at a time: its `k` nearest facility
-    /// slots with distances, sorted by increasing distance (an argmin
-    /// selection; ties may resolve to any of the tied facilities, but
-    /// the distance *values* are always the `k` smallest, which is what
-    /// keeps the maintained radii bitwise equal to a rebuild).
-    /// Monochromatic instances store nearest *other client* ids instead.
-    cands: Vec<(u32, f64)>,
-    /// Per client: `k`-th NN distance (the k-NN circle radius) —
-    /// `cands[o * k + k - 1].1`, cached for the hot edit loops.
-    radii: Vec<f64>,
-    /// Per client: index of its shape in the arrangement vectors, or
-    /// [`NO_SHAPE`] for zero-radius (dropped) clients.
-    shape_at: Vec<u32>,
-    repr: Repr,
-    base_fingerprint: u64,
-    generation: u64,
-}
-
-enum Repr {
-    Square(SquareArrangement),
-    Disk(DiskArrangement),
+    snap: Arc<ArrangementSnapshot>,
 }
 
 impl DynamicArrangement {
@@ -310,9 +282,6 @@ impl DynamicArrangement {
     /// radius is the client's distance to its `k`-th nearest facility,
     /// and all three edit operations maintain the full `k`-NN candidate
     /// sets (so the rebuild bit-identity invariant holds at every `k`).
-    /// The arrangement's [`DynamicArrangement::fingerprint`] mixes `k`,
-    /// keeping derived-artifact cache keys distinct across `k` even
-    /// when the circle geometry coincides.
     pub fn build_k(
         clients: Vec<Point>,
         facilities: Vec<Point>,
@@ -320,114 +289,55 @@ impl DynamicArrangement {
         mode: Mode,
         k: usize,
     ) -> Result<DynamicArrangement, BuildError> {
-        // Flat `n × k` candidate layout from the start; the k = 1 path
-        // reuses `nn_assignments`' already-flat output without the
-        // per-client Vec round trip.
-        let cands: Vec<(u32, f64)> = if k == 1 {
-            nn_assignments(&clients, &facilities, metric, mode)?
-        } else {
-            knn_assignments(&clients, &facilities, metric, mode, k)?.into_iter().flatten().collect()
-        };
-        let n = clients.len();
-        debug_assert_eq!(cands.len(), n * k, "validated instance offers k neighbors per client");
-        let mut radii = Vec::with_capacity(n);
-        let mut shape_at = vec![NO_SHAPE; n];
-        let mut owners: Vec<u32> = Vec::with_capacity(n);
-        let mut dropped = 0usize;
-        let mut squares: Vec<Rect> = Vec::new();
-        let mut disks: Vec<Circle> = Vec::new();
-        for i in 0..n {
-            let r = cands[i * k + k - 1].1;
-            radii.push(r);
-            if r <= 0.0 {
-                dropped += 1;
-                continue;
-            }
-            shape_at[i] = owners.len() as u32;
-            owners.push(i as u32);
-            match metric {
-                Metric::L2 => disks.push(Circle::new(clients[i], r)),
-                Metric::Linf => squares.push(Rect::centered(clients[i], r)),
-                Metric::L1 => {
-                    squares.push(Rect::centered(rotate45(clients[i]), l1_radius_to_linf(r)))
-                }
-            }
-        }
-        let repr = match metric {
-            Metric::L2 => Repr::Disk(DiskArrangement { disks, owners, n_clients: n, dropped, k }),
-            m => Repr::Square(SquareArrangement {
-                squares,
-                owners,
-                space: if m == Metric::L1 { CoordSpace::Rotated45 } else { CoordSpace::Identity },
-                n_clients: n,
-                dropped,
-                k,
-            }),
-        };
-        let base_fingerprint = match &repr {
-            Repr::Square(a) => a.fingerprint(),
-            Repr::Disk(a) => a.fingerprint(),
-        };
-        let n_alive = facilities.len();
         Ok(DynamicArrangement {
-            metric,
-            mode,
-            k,
-            clients,
-            alive: vec![true; n_alive],
-            n_alive,
-            facilities,
-            cands,
-            radii,
-            shape_at,
-            repr,
-            base_fingerprint,
-            generation: 0,
+            snap: Arc::new(ArrangementSnapshot::build_k(clients, facilities, metric, mode, k)?),
         })
+    }
+
+    /// Wraps an existing committed snapshot (continuing its lineage).
+    pub fn from_snapshot(snap: Arc<ArrangementSnapshot>) -> DynamicArrangement {
+        DynamicArrangement { snap }
+    }
+
+    /// The current committed snapshot: immutable, cheaply shareable
+    /// (`Arc` clone = `O(1)` fork), never mutated by later edits.
+    pub fn snapshot(&self) -> &Arc<ArrangementSnapshot> {
+        &self.snap
     }
 
     /// The distance metric of the instance.
     pub fn metric(&self) -> Metric {
-        self.metric
+        self.snap.metric()
     }
 
     /// Bichromatic or monochromatic.
     pub fn mode(&self) -> Mode {
-        self.mode
+        self.snap.mode()
     }
 
     /// The `k` of the RkNN instance (1 = plain RNN).
     pub fn k(&self) -> usize {
-        self.k
+        self.snap.k()
     }
 
     /// The client set (never edited).
     pub fn clients(&self) -> &[Point] {
-        &self.clients
+        self.snap.clients()
     }
 
     /// The arrangement view for queries, sweeps and rasterization.
     pub fn as_ref(&self) -> ArrangementRef<'_> {
-        match &self.repr {
-            Repr::Square(a) => ArrangementRef::Square(a),
-            Repr::Disk(a) => ArrangementRef::Disk(a),
-        }
+        self.snap.arrangement()
     }
 
     /// The square arrangement, when the metric is L∞ or L1.
     pub fn square(&self) -> Option<&SquareArrangement> {
-        match &self.repr {
-            Repr::Square(a) => Some(a),
-            Repr::Disk(_) => None,
-        }
+        self.snap.square()
     }
 
     /// The disk arrangement, when the metric is L2.
     pub fn disk(&self) -> Option<&DiskArrangement> {
-        match &self.repr {
-            Repr::Square(_) => None,
-            Repr::Disk(a) => Some(a),
-        }
+        self.snap.disk()
     }
 
     /// Live facilities as `(id, location)`, in id order. The ids are
@@ -435,83 +345,36 @@ impl DynamicArrangement {
     /// [`DynamicArrangement::remove_facility`] /
     /// [`DynamicArrangement::move_facility`].
     pub fn facilities(&self) -> impl Iterator<Item = (u32, Point)> + '_ {
-        self.facilities
-            .iter()
-            .zip(&self.alive)
-            .enumerate()
-            .filter(|(_, (_, &alive))| alive)
-            .map(|(i, (&p, _))| (i as u32, p))
+        self.snap.facilities()
     }
 
     /// Live facility locations in id order (the list a from-scratch
     /// rebuild of the current instance would start from).
     pub fn facility_points(&self) -> Vec<Point> {
-        self.facilities().map(|(_, p)| p).collect()
+        self.snap.facility_points()
     }
 
     /// The location of live facility `id`.
     pub fn facility(&self, id: u32) -> Option<Point> {
-        let i = id as usize;
-        (i < self.facilities.len() && self.alive[i]).then(|| self.facilities[i])
+        self.snap.facility(id)
     }
 
     /// Number of live facilities.
     pub fn n_facilities(&self) -> usize {
-        self.n_alive
+        self.snap.n_facilities()
     }
 
     /// How many geometry-changing edits this instance has absorbed.
     pub fn generation(&self) -> u64 {
-        self.generation
+        self.snap.generation()
     }
 
-    /// A stable cache key for derived artifacts (rendered tiles, …):
-    /// the build-time arrangement fingerprint mixed with the edit
-    /// generation. `O(1)` per edit — the generation bump replaces a
-    /// full geometry rehash. Two *different* generations of the same
-    /// instance never collide, which is all a private cache needs; the
-    /// key deliberately does not try to detect that an edit script
-    /// returned to an earlier geometry.
+    /// A stable cache key for derived artifacts (rendered tiles, …).
+    /// Geometric no-op edits keep the key; geometry-changing edits get
+    /// a process-unique fresh key, so two edit branches forked from
+    /// the same snapshot can never collide.
     pub fn fingerprint(&self) -> u64 {
-        fnv1a_words([0x4459, self.base_fingerprint, self.generation]) // "DY"
-    }
-
-    /// Whether facility slot `id` is among client `o`'s `k` nearest.
-    #[inline]
-    fn serves(&self, o: usize, id: u32) -> bool {
-        self.cands[o * self.k..(o + 1) * self.k].iter().any(|&(f, _)| f == id)
-    }
-
-    /// Inserts `(id, d)` into client `o`'s candidate list (`id` must
-    /// not already be a candidate and `d` must beat the current `k`-th
-    /// distance strictly), evicting the old `k`-th. Returns the new
-    /// `k`-th distance — `max(old (k-1)-th, d)` — which is exactly the
-    /// `k`-th smallest of the updated distance multiset.
-    fn admit_candidate(&mut self, o: usize, id: u32, d: f64) -> f64 {
-        let slice = &mut self.cands[o * self.k..(o + 1) * self.k];
-        debug_assert!(d < slice[slice.len() - 1].1);
-        // Equidistant candidates insert after existing ones; any tied
-        // selection is a valid argmin set and the values stay the k
-        // smallest.
-        let pos = slice.partition_point(|&(_, cd)| cd <= d);
-        for j in (pos + 1..slice.len()).rev() {
-            slice[j] = slice[j - 1];
-        }
-        slice[pos] = (id, d);
-        slice[slice.len() - 1].1
-    }
-
-    /// Re-resolves client `o`'s full `k`-NN set from `tree` (a kd-tree
-    /// over the live facilities, with `slots` mapping compacted indices
-    /// back to slot ids). Returns the new `k`-th distance.
-    fn reresolve(&mut self, o: usize, tree: &KdTree, slots: &[u32]) -> f64 {
-        let nn = tree.k_nearest(&self.clients[o], self.metric, self.k);
-        debug_assert_eq!(nn.len(), self.k, "n_alive >= k is an edit invariant");
-        let base = o * self.k;
-        for (j, (ci, d)) in nn.into_iter().enumerate() {
-            self.cands[base + j] = (slots[ci as usize], d);
-        }
-        self.cands[base + self.k - 1].1
+        self.snap.fingerprint()
     }
 
     /// Adds a facility at `p`. Returns the new facility's id and what
@@ -519,60 +382,18 @@ impl DynamicArrangement {
     /// `k`-th NN admits `p` into its `k`-NN set and (usually) shrinks
     /// its circle.
     pub fn insert_facility(&mut self, p: Point) -> Result<(u32, EditOutcome), EditError> {
-        if self.mode != Mode::Bichromatic {
-            return Err(EditError::ImmutableMode);
-        }
-        if !p.x.is_finite() || !p.y.is_finite() {
-            return Err(EditError::NonFinitePoint);
-        }
-        let slot = self.facilities.len() as u32;
-        self.facilities.push(p);
-        self.alive.push(true);
-        self.n_alive += 1;
-        let mut out = EditOutcome::default();
-        for o in 0..self.clients.len() {
-            let d = self.metric.dist(&self.clients[o], &p);
-            if d < self.radii[o] {
-                let new_r = self.admit_candidate(o, slot, d);
-                self.set_radius(o, new_r, &mut out);
-            }
-        }
-        if !out.dirty.is_empty() {
-            self.generation += 1;
-        }
-        Ok((slot, out))
+        let (next, id, out) = self.snap.insert_facility(p)?;
+        self.snap = Arc::new(next);
+        Ok((id, out))
     }
 
     /// Removes facility `id`. Exactly the clients whose `k`-NN set
-    /// contained `id` (tracked via the per-client candidate lists)
-    /// re-resolve their `k` nearest among the remaining facilities and
-    /// grow their circles; everyone else's `k` smallest distances are
-    /// provably unchanged.
+    /// contained `id` re-resolve their `k` nearest among the remaining
+    /// facilities and grow their circles; everyone else's `k` smallest
+    /// distances are provably unchanged.
     pub fn remove_facility(&mut self, id: u32) -> Result<EditOutcome, EditError> {
-        if self.mode != Mode::Bichromatic {
-            return Err(EditError::ImmutableMode);
-        }
-        let i = id as usize;
-        if i >= self.facilities.len() || !self.alive[i] {
-            return Err(EditError::UnknownFacility);
-        }
-        if self.n_alive <= self.k {
-            return Err(EditError::TooFewFacilities);
-        }
-        self.alive[i] = false;
-        self.n_alive -= 1;
-        let (tree, slots) = self.facility_tree();
-        let mut out = EditOutcome::default();
-        for o in 0..self.clients.len() {
-            if !self.serves(o, id) {
-                continue;
-            }
-            let new_r = self.reresolve(o, &tree, &slots);
-            self.set_radius(o, new_r, &mut out);
-        }
-        if !out.dirty.is_empty() {
-            self.generation += 1;
-        }
+        let (next, out) = self.snap.remove_facility(id)?;
+        self.snap = Arc::new(next);
         Ok(out)
     }
 
@@ -581,138 +402,9 @@ impl DynamicArrangement {
     /// set may keep `id`), every other client checks whether `id`'s new
     /// location undercuts its current `k`-th NN distance.
     pub fn move_facility(&mut self, id: u32, to: Point) -> Result<EditOutcome, EditError> {
-        if self.mode != Mode::Bichromatic {
-            return Err(EditError::ImmutableMode);
-        }
-        if !to.x.is_finite() || !to.y.is_finite() {
-            return Err(EditError::NonFinitePoint);
-        }
-        let i = id as usize;
-        if i >= self.facilities.len() || !self.alive[i] {
-            return Err(EditError::UnknownFacility);
-        }
-        self.facilities[i] = to;
-        let (tree, slots) = self.facility_tree();
-        let mut out = EditOutcome::default();
-        for o in 0..self.clients.len() {
-            if self.serves(o, id) {
-                let new_r = self.reresolve(o, &tree, &slots);
-                self.set_radius(o, new_r, &mut out);
-            } else {
-                let d = self.metric.dist(&self.clients[o], &to);
-                if d < self.radii[o] {
-                    let new_r = self.admit_candidate(o, id, d);
-                    self.set_radius(o, new_r, &mut out);
-                }
-            }
-        }
-        if !out.dirty.is_empty() {
-            self.generation += 1;
-        }
+        let (next, out) = self.snap.move_facility(id, to)?;
+        self.snap = Arc::new(next);
         Ok(out)
-    }
-
-    /// A kd-tree over the live facilities plus the compacted-index →
-    /// slot-id mapping.
-    fn facility_tree(&self) -> (KdTree, Vec<u32>) {
-        let mut pts = Vec::with_capacity(self.n_alive);
-        let mut slots = Vec::with_capacity(self.n_alive);
-        for (id, p) in self.facilities() {
-            pts.push(p);
-            slots.push(id);
-        }
-        (KdTree::build(&pts), slots)
-    }
-
-    /// The sweep-space shape of client `o`'s NN-circle at radius `r`,
-    /// or `None` for a zero radius — the exact formulas of the static
-    /// builders.
-    fn shape_of(&self, o: usize, r: f64) -> Option<Shape> {
-        if r <= 0.0 {
-            return None;
-        }
-        Some(match self.metric {
-            Metric::Linf => Shape::Square(Rect::centered(self.clients[o], r)),
-            Metric::L1 => {
-                Shape::Square(Rect::centered(rotate45(self.clients[o]), l1_radius_to_linf(r)))
-            }
-            Metric::L2 => Shape::Disk(Circle::new(self.clients[o], r)),
-        })
-    }
-
-    /// Records client `o`'s new `k`-th NN distance `new_r` (the
-    /// candidate list is already updated by the caller) and updates the
-    /// arrangement geometry, the dirty region and the change list. A
-    /// bitwise-unchanged radius is a geometric no-op — the circle is
-    /// identical, so nothing is dirty.
-    fn set_radius(&mut self, o: usize, new_r: f64, out: &mut EditOutcome) {
-        let old_r = self.radii[o];
-        if new_r.to_bits() == old_r.to_bits() {
-            return;
-        }
-        self.radii[o] = new_r;
-        // Both circles are centered at the client with radius ≤
-        // max(old, new) under every metric, so one input-space box
-        // covers the union of old and new shape.
-        out.dirty.push(Rect::centered(self.clients[o], old_r.max(new_r)));
-        let old_shape = self.shape_of(o, old_r);
-        let new_shape = self.shape_of(o, new_r);
-        out.changes.push(CircleChange { owner: o as u32, old: old_shape, new: new_shape });
-
-        let idx = self.shape_at[o];
-        match (idx == NO_SHAPE, new_shape) {
-            (false, Some(shape)) => {
-                // Replace in place; owner unchanged.
-                match (&mut self.repr, shape) {
-                    (Repr::Square(a), Shape::Square(s)) => a.squares[idx as usize] = s,
-                    (Repr::Disk(a), Shape::Disk(d)) => a.disks[idx as usize] = d,
-                    _ => unreachable!("shape kind matches the metric"),
-                }
-            }
-            (false, None) => {
-                // The client now coincides with a facility: drop its
-                // (empty-interior) circle via swap-remove.
-                let idx = idx as usize;
-                let moved_owner = match &mut self.repr {
-                    Repr::Square(a) => {
-                        a.squares.swap_remove(idx);
-                        a.owners.swap_remove(idx);
-                        a.dropped += 1;
-                        a.owners.get(idx).copied()
-                    }
-                    Repr::Disk(a) => {
-                        a.disks.swap_remove(idx);
-                        a.owners.swap_remove(idx);
-                        a.dropped += 1;
-                        a.owners.get(idx).copied()
-                    }
-                };
-                if let Some(m) = moved_owner {
-                    self.shape_at[m as usize] = idx as u32;
-                }
-                self.shape_at[o] = NO_SHAPE;
-            }
-            (true, Some(shape)) => {
-                // A previously dropped client regains a circle.
-                let new_idx = match (&mut self.repr, shape) {
-                    (Repr::Square(a), Shape::Square(s)) => {
-                        a.squares.push(s);
-                        a.owners.push(o as u32);
-                        a.dropped -= 1;
-                        a.squares.len() - 1
-                    }
-                    (Repr::Disk(a), Shape::Disk(d)) => {
-                        a.disks.push(d);
-                        a.owners.push(o as u32);
-                        a.dropped -= 1;
-                        a.disks.len() - 1
-                    }
-                    _ => unreachable!("shape kind matches the metric"),
-                };
-                self.shape_at[o] = new_idx as u32;
-            }
-            (true, None) => unreachable!("a radius change implies at least one non-zero radius"),
-        }
     }
 }
 

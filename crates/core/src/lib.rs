@@ -35,7 +35,11 @@
 //! *editable*: facilities can be inserted, removed and moved with
 //! incremental NN-circle maintenance, each edit reporting the
 //! [`edit::DirtyRegion`] outside which nothing changed — the basis of
-//! interactive what-if exploration.
+//! interactive what-if exploration. Underneath it,
+//! [`snapshot::ArrangementSnapshot`] stores each committed version as
+//! an immutable, `Arc`-shareable snapshot with chunk-level
+//! copy-on-write edits — `O(1)` forks and shared-nothing concurrent
+//! reads for the serving engine.
 
 pub mod arrangement;
 pub mod baseline;
@@ -51,6 +55,7 @@ pub mod pruning;
 pub mod query;
 pub mod rnnset;
 pub mod sink;
+pub mod snapshot;
 pub mod stats;
 pub mod window;
 
@@ -71,6 +76,7 @@ pub use sink::{
     CollectSink, LabeledRegion, MaterializeSink, MaxSink, NullSink, RegionSink, ThresholdSink,
     TopKSink,
 };
+pub use snapshot::{ArrangementSnapshot, CowVec, RestrictedArrangement, StorageSharing};
 pub use stats::SweepStats;
 
 /// Errors arising while building an arrangement from a problem instance.

@@ -37,4 +37,6 @@ pub use ops::{blit, diff, downsample, max_pixel, upsample_nearest};
 pub use raster::{GridSpec, HeatRaster};
 pub use render::{write_pgm, write_ppm, ColorRamp};
 pub use scanline::{refresh_disks_dirty, refresh_squares_dirty};
-pub use tiles::{CacheStats, Preview, TileCache, TileId, TileKey, TileScheme, Viewport};
+pub use tiles::{
+    CacheStats, Preview, ShardOccupancy, TileCache, TileId, TileKey, TileScheme, Viewport,
+};

@@ -46,7 +46,8 @@
 //! without the structural bit-identity argument.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 
 use rnnhm_core::parallel::{chunk_ranges, effective_parallelism};
@@ -488,8 +489,22 @@ pub struct TileKey {
     pub tile: TileId,
 }
 
-/// Counters describing a [`TileCache`]'s behaviour since creation.
+/// Occupancy of one cache shard; see [`CacheStats::shards`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardOccupancy {
+    /// Bytes currently accounted to this shard's tiles.
+    pub bytes: usize,
+    /// Tiles currently cached in this shard.
+    pub entries: usize,
+    /// This shard's byte budget.
+    pub capacity: usize,
+    /// The largest byte occupancy this shard ever reached.
+    pub bytes_high_water: usize,
+}
+
+/// Counters describing a [`TileCache`]'s behaviour since creation,
+/// aggregated over all shards.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups answered from the cache.
     pub hits: u64,
@@ -506,6 +521,20 @@ pub struct CacheStats {
     pub bytes: usize,
     /// Tiles currently cached.
     pub entries: usize,
+    /// Sum of each shard's byte high-water mark — an upper bound on
+    /// the cache's peak byte occupancy (exact with one shard).
+    pub bytes_high_water: usize,
+    /// Times a fetch found another caller already rendering the same
+    /// tile and waited for it instead of rendering (single-flight).
+    pub single_flight_waits: u64,
+    /// Renders actually avoided: misses answered with a raster some
+    /// other caller produced concurrently — either by waiting on its
+    /// flight or by finding the tile freshly cached at flight
+    /// registration. (Waits whose leader unwound fall back to
+    /// rendering and count in neither.)
+    pub single_flight_dedups: u64,
+    /// Per-shard occupancy, in shard order.
+    pub shards: Vec<ShardOccupancy>,
 }
 
 impl CacheStats {
@@ -528,11 +557,13 @@ struct CacheEntry {
 
 struct CacheInner {
     map: HashMap<TileKey, CacheEntry>,
-    /// Recency order: oldest stamp first. Stamps are unique (a
-    /// monotonically increasing clock), so this is a faithful LRU list.
+    /// Recency order: oldest stamp first. Stamps are unique within a
+    /// shard (a monotonically increasing clock), so this is a faithful
+    /// LRU list.
     lru: BTreeMap<u64, TileKey>,
     clock: u64,
     bytes: usize,
+    bytes_high_water: usize,
     hits: u64,
     misses: u64,
     insertions: u64,
@@ -540,33 +571,168 @@ struct CacheInner {
     invalidations: u64,
 }
 
-/// A thread-safe, byte-accounted LRU cache of rendered tiles.
-///
-/// Capacity is in bytes (pixel payload plus a fixed per-entry
-/// overhead); inserting past capacity evicts least-recently-used tiles
-/// first. [`TileCache::get`] refreshes recency and counts hit/miss;
-/// [`TileCache::peek`] does neither (used by previews).
-pub struct TileCache {
+impl CacheInner {
+    fn new() -> CacheInner {
+        CacheInner {
+            map: HashMap::new(),
+            lru: BTreeMap::new(),
+            clock: 0,
+            bytes: 0,
+            bytes_high_water: 0,
+            hits: 0,
+            misses: 0,
+            insertions: 0,
+            evictions: 0,
+            invalidations: 0,
+        }
+    }
+}
+
+/// A single-flight ticket: one per `(shard, key)` render in progress.
+struct Flight {
+    state: Mutex<FlightState>,
+    cv: Condvar,
+}
+
+enum FlightState {
+    /// The leader is still rendering.
+    Pending,
+    /// The leader finished; waiters share the raster.
+    Done(Arc<HeatRaster>),
+    /// The leader unwound without producing a raster; waiters render
+    /// for themselves.
+    Abandoned,
+}
+
+impl Flight {
+    fn new() -> Flight {
+        Flight { state: Mutex::new(FlightState::Pending), cv: Condvar::new() }
+    }
+
+    /// Blocks until the leader resolves the flight.
+    fn wait(&self) -> Option<Arc<HeatRaster>> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            match &*state {
+                FlightState::Pending => {
+                    state = self.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+                }
+                FlightState::Done(raster) => return Some(raster.clone()),
+                FlightState::Abandoned => return None,
+            }
+        }
+    }
+
+    fn resolve(&self, result: Option<Arc<HeatRaster>>) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        *state = match result {
+            Some(raster) => FlightState::Done(raster),
+            None => FlightState::Abandoned,
+        };
+        self.cv.notify_all();
+    }
+}
+
+/// What [`TileCache::begin_flight`] hands a fetch for one missing key.
+enum FlightTicket {
+    /// The key landed in the cache between the miss and the flight
+    /// registration (another caller just finished it).
+    Ready(Arc<HeatRaster>),
+    /// This caller renders the tile; everyone else waits on the flight.
+    Leader(Arc<Flight>),
+    /// Another caller is already rendering this key.
+    Waiter(Arc<Flight>),
+}
+
+/// Marks a leader's flight abandoned if the render unwinds, so waiters
+/// in *other* fetches fall back to rendering instead of hanging.
+struct FlightGuard<'a> {
+    cache: &'a TileCache,
+    key: TileKey,
+    flight: Arc<Flight>,
+    armed: bool,
+}
+
+impl FlightGuard<'_> {
+    fn complete(mut self, raster: Arc<HeatRaster>) {
+        self.cache.finish_flight(self.key, &self.flight, Some(raster));
+        self.armed = false;
+    }
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.cache.finish_flight(self.key, &self.flight, None);
+        }
+    }
+}
+
+struct Shard {
     inner: Mutex<CacheInner>,
+    /// In-progress renders keyed by tile key. Lock order: `flights`
+    /// before `inner`; never the reverse.
+    flights: Mutex<HashMap<TileKey, Arc<Flight>>>,
     capacity: usize,
 }
 
+/// Target bytes per shard when picking a shard count automatically: a
+/// cache gets one shard per 8 MiB of budget, up to [`MAX_SHARDS`], so
+/// small (test-sized) caches keep exact single-LRU semantics while
+/// serving-sized caches spread lock contention.
+const SHARD_TARGET_BYTES: usize = 8 << 20;
+
+/// Upper bound on the automatic shard count.
+const MAX_SHARDS: usize = 8;
+
+/// A thread-safe, byte-accounted, hash-sharded LRU cache of rendered
+/// tiles with single-flight miss rendering.
+///
+/// Keys hash to one of N shards, each an independent LRU with its own
+/// byte budget (`capacity / N`) and mutex, so concurrent sessions
+/// serving disjoint tiles rarely contend. [`TileCache::fetch`] renders
+/// misses *single-flight*: when several callers miss the same key at
+/// once, one renders and the rest wait for its raster
+/// ([`CacheStats::single_flight_waits`] /
+/// [`CacheStats::single_flight_dedups`]) — a thundering herd on a cold
+/// viewport does the work once.
+///
+/// Capacity is in bytes (pixel payload plus a fixed per-entry
+/// overhead); inserting past a shard's budget evicts that shard's
+/// least-recently-used tiles first. [`TileCache::get`] refreshes
+/// recency and counts hit/miss; [`TileCache::peek`] does neither (used
+/// by previews).
+pub struct TileCache {
+    shards: Vec<Shard>,
+    capacity: usize,
+    flight_waits: AtomicU64,
+    flight_dedups: AtomicU64,
+}
+
 impl TileCache {
-    /// Creates a cache bounded at `capacity_bytes`.
+    /// Creates a cache bounded at `capacity_bytes`, with the shard
+    /// count chosen from the budget (1 shard per 8 MiB, at most 8).
     pub fn new(capacity_bytes: usize) -> TileCache {
+        let shards = (capacity_bytes / SHARD_TARGET_BYTES).clamp(1, MAX_SHARDS);
+        TileCache::with_shards(capacity_bytes, shards)
+    }
+
+    /// Creates a cache bounded at `capacity_bytes` split evenly over
+    /// exactly `n_shards` hash shards.
+    pub fn with_shards(capacity_bytes: usize, n_shards: usize) -> TileCache {
+        assert!(n_shards >= 1, "a cache needs at least one shard");
+        let per_shard = capacity_bytes / n_shards;
         TileCache {
-            inner: Mutex::new(CacheInner {
-                map: HashMap::new(),
-                lru: BTreeMap::new(),
-                clock: 0,
-                bytes: 0,
-                hits: 0,
-                misses: 0,
-                insertions: 0,
-                evictions: 0,
-                invalidations: 0,
-            }),
+            shards: (0..n_shards)
+                .map(|_| Shard {
+                    inner: Mutex::new(CacheInner::new()),
+                    flights: Mutex::new(HashMap::new()),
+                    capacity: per_shard,
+                })
+                .collect(),
             capacity: capacity_bytes,
+            flight_waits: AtomicU64::new(0),
+            flight_dedups: AtomicU64::new(0),
         }
     }
 
@@ -575,13 +741,31 @@ impl TileCache {
         self.capacity
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, CacheInner> {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    /// Number of hash shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a key routes to (a stable FNV hash of the key).
+    fn shard_of(&self, key: &TileKey) -> &Shard {
+        let h = rnnhm_core::arrangement::fnv1a_words([
+            key.arrangement,
+            key.measure,
+            key.scheme,
+            key.tile.zoom as u64,
+            key.tile.tx as u64,
+            key.tile.ty as u64,
+        ]);
+        &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+
+    fn lock_inner(shard: &Shard) -> std::sync::MutexGuard<'_, CacheInner> {
+        shard.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Looks `key` up, refreshing its recency; counts a hit or miss.
     pub fn get(&self, key: TileKey) -> Option<Arc<HeatRaster>> {
-        let mut inner = self.lock();
+        let mut inner = Self::lock_inner(self.shard_of(&key));
         inner.clock += 1;
         let stamp = inner.clock;
         match inner.map.get_mut(&key) {
@@ -602,19 +786,27 @@ impl TileCache {
 
     /// Looks `key` up without touching recency or statistics.
     pub fn peek(&self, key: TileKey) -> Option<Arc<HeatRaster>> {
-        self.lock().map.get(&key).map(|e| e.raster.clone())
+        Self::lock_inner(self.shard_of(&key)).map.get(&key).map(|e| e.raster.clone())
     }
 
-    /// Inserts (or replaces) a tile, evicting LRU entries until the
-    /// byte budget holds. A tile larger than the whole capacity is not
-    /// cached at all.
+    /// Inserts (or replaces) a tile, evicting LRU entries of its shard
+    /// until the shard's byte budget holds. A tile larger than the
+    /// shard capacity is not cached at all.
     pub fn insert(&self, key: TileKey, raster: Arc<HeatRaster>) {
         let bytes = raster.spec.width * raster.spec.height * std::mem::size_of::<f64>()
             + ENTRY_OVERHEAD_BYTES;
-        if bytes > self.capacity {
+        self.place(key, raster, bytes, true);
+    }
+
+    /// The insertion worker shared by [`TileCache::insert`] and the
+    /// re-key/alias migration paths (which preserve payloads without
+    /// counting as fresh insertions).
+    fn place(&self, key: TileKey, raster: Arc<HeatRaster>, bytes: usize, count_insert: bool) {
+        let shard = self.shard_of(&key);
+        if bytes > shard.capacity {
             return;
         }
-        let mut inner = self.lock();
+        let mut inner = Self::lock_inner(shard);
         inner.clock += 1;
         let stamp = inner.clock;
         if let Some(old) = inner.map.insert(key, CacheEntry { raster, bytes, stamp }) {
@@ -623,41 +815,91 @@ impl TileCache {
         }
         inner.lru.insert(stamp, key);
         inner.bytes += bytes;
-        inner.insertions += 1;
-        while inner.bytes > self.capacity {
+        if count_insert {
+            inner.insertions += 1;
+        }
+        while inner.bytes > shard.capacity {
             let (&oldest, &victim) = inner.lru.iter().next().expect("bytes > 0 implies entries");
             inner.lru.remove(&oldest);
             let gone = inner.map.remove(&victim).expect("lru and map agree");
             inner.bytes -= gone.bytes;
             inner.evictions += 1;
         }
+        // The settled occupancy peak (transient pre-eviction overshoot
+        // excluded, so the mark never exceeds the budget).
+        inner.bytes_high_water = inner.bytes_high_water.max(inner.bytes);
     }
 
     /// Drops every cached tile (statistics are kept).
     pub fn clear(&self) {
-        let mut inner = self.lock();
-        inner.map.clear();
-        inner.lru.clear();
-        inner.bytes = 0;
-    }
-
-    /// A consistent snapshot of the cache counters.
-    pub fn stats(&self) -> CacheStats {
-        let inner = self.lock();
-        CacheStats {
-            hits: inner.hits,
-            misses: inner.misses,
-            insertions: inner.insertions,
-            evictions: inner.evictions,
-            invalidations: inner.invalidations,
-            bytes: inner.bytes,
-            entries: inner.map.len(),
+        for shard in &self.shards {
+            let mut inner = Self::lock_inner(shard);
+            inner.map.clear();
+            inner.lru.clear();
+            inner.bytes = 0;
         }
     }
 
-    /// Fetches `ids` in order: cached tiles are returned immediately,
-    /// misses are rendered via `render` — in parallel across all cores
-    /// when more than one tile is missing — and inserted.
+    /// A consistent per-shard snapshot of the cache counters,
+    /// aggregated over all shards.
+    pub fn stats(&self) -> CacheStats {
+        let mut stats = CacheStats {
+            single_flight_waits: self.flight_waits.load(Ordering::Relaxed),
+            single_flight_dedups: self.flight_dedups.load(Ordering::Relaxed),
+            ..CacheStats::default()
+        };
+        for shard in &self.shards {
+            let inner = Self::lock_inner(shard);
+            stats.hits += inner.hits;
+            stats.misses += inner.misses;
+            stats.insertions += inner.insertions;
+            stats.evictions += inner.evictions;
+            stats.invalidations += inner.invalidations;
+            stats.bytes += inner.bytes;
+            stats.entries += inner.map.len();
+            stats.bytes_high_water += inner.bytes_high_water;
+            stats.shards.push(ShardOccupancy {
+                bytes: inner.bytes,
+                entries: inner.map.len(),
+                capacity: shard.capacity,
+                bytes_high_water: inner.bytes_high_water,
+            });
+        }
+        stats
+    }
+
+    /// Registers interest in rendering `key`: the first caller becomes
+    /// the leader, everyone else a waiter. Re-checks the cache under
+    /// the flight lock, so a key completed between the caller's miss
+    /// and this call is returned ready.
+    fn begin_flight(&self, key: TileKey) -> FlightTicket {
+        let shard = self.shard_of(&key);
+        let mut flights = shard.flights.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(entry) = Self::lock_inner(shard).map.get(&key) {
+            return FlightTicket::Ready(entry.raster.clone());
+        }
+        match flights.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => FlightTicket::Waiter(e.get().clone()),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                let flight = Arc::new(Flight::new());
+                v.insert(flight.clone());
+                FlightTicket::Leader(flight)
+            }
+        }
+    }
+
+    /// Resolves a leader's flight and unregisters it.
+    fn finish_flight(&self, key: TileKey, flight: &Arc<Flight>, result: Option<Arc<HeatRaster>>) {
+        let shard = self.shard_of(&key);
+        shard.flights.lock().unwrap_or_else(|e| e.into_inner()).remove(&key);
+        flight.resolve(result);
+    }
+
+    /// Fetches `ids` in order: cached tiles are returned immediately;
+    /// misses are rendered *single-flight* — this call renders the
+    /// keys it leads (in parallel across all cores when more than one
+    /// is missing) and waits for keys another concurrent fetch is
+    /// already rendering, reusing that caller's raster.
     ///
     /// `render` receives the tile id and the exact [`GridSpec`] the
     /// tile must be rendered with ([`TileScheme::tile_spec`]).
@@ -673,31 +915,55 @@ impl TileCache {
         F: Fn(TileId, GridSpec) -> HeatRaster + Sync,
     {
         let scheme_key = scheme.fingerprint();
-        let mut out: Vec<Option<Arc<HeatRaster>>> = ids
-            .iter()
-            .map(|&tile| self.get(TileKey { arrangement, measure, scheme: scheme_key, tile }))
-            .collect();
-        let missing: Vec<usize> =
-            out.iter().enumerate().filter(|(_, r)| r.is_none()).map(|(i, _)| i).collect();
-        if !missing.is_empty() {
-            let workers = effective_parallelism().min(missing.len());
-            let rendered: Vec<(usize, HeatRaster)> = if workers <= 1 {
-                missing.iter().map(|&i| (i, render(ids[i], scheme.tile_spec(ids[i])))).collect()
+        let key_of = |tile: TileId| TileKey { arrangement, measure, scheme: scheme_key, tile };
+        let mut out: Vec<Option<Arc<HeatRaster>>> =
+            ids.iter().map(|&tile| self.get(key_of(tile))).collect();
+        let mut leaders: Vec<(usize, Arc<Flight>)> = Vec::new();
+        let mut waiters: Vec<(usize, Arc<Flight>)> = Vec::new();
+        for (i, slot) in out.iter_mut().enumerate() {
+            if slot.is_some() {
+                continue;
+            }
+            match self.begin_flight(key_of(ids[i])) {
+                FlightTicket::Ready(raster) => {
+                    // The key landed in the cache between our miss and
+                    // the flight registration: a render avoided, just
+                    // without waiting.
+                    self.flight_dedups.fetch_add(1, Ordering::Relaxed);
+                    *slot = Some(raster);
+                }
+                FlightTicket::Leader(flight) => leaders.push((i, flight)),
+                FlightTicket::Waiter(flight) => {
+                    self.flight_waits.fetch_add(1, Ordering::Relaxed);
+                    waiters.push((i, flight));
+                }
+            }
+        }
+        if !leaders.is_empty() {
+            // Render the led tiles; each flight resolves as soon as its
+            // tile lands, so concurrent waiters unblock without waiting
+            // for the whole batch.
+            let render_one = |(i, flight): (usize, Arc<Flight>)| -> (usize, Arc<HeatRaster>) {
+                let key = key_of(ids[i]);
+                let guard = FlightGuard { cache: self, key, flight, armed: true };
+                let raster = Arc::new(render(ids[i], scheme.tile_spec(ids[i])));
+                self.insert(key, raster.clone());
+                guard.complete(raster.clone());
+                (i, raster)
+            };
+            let workers = effective_parallelism().min(leaders.len());
+            let rendered: Vec<(usize, Arc<HeatRaster>)> = if workers <= 1 {
+                leaders.into_iter().map(render_one).collect()
             } else {
-                let missing = &missing;
-                let render = &render;
-                let mut all = Vec::with_capacity(missing.len());
+                let leaders = &leaders;
+                let render_one = &render_one;
+                let mut all = Vec::with_capacity(leaders.len());
                 thread::scope(|scope| {
-                    let handles: Vec<_> = chunk_ranges(missing.len(), workers)
+                    let handles: Vec<_> = chunk_ranges(leaders.len(), workers)
                         .into_iter()
                         .map(|range| {
                             scope.spawn(move || {
-                                range
-                                    .map(|k| {
-                                        let i = missing[k];
-                                        (i, render(ids[i], scheme.tile_spec(ids[i])))
-                                    })
-                                    .collect::<Vec<_>>()
+                                range.map(|j| render_one(leaders[j].clone())).collect::<Vec<_>>()
                             })
                         })
                         .collect();
@@ -708,29 +974,93 @@ impl TileCache {
                 all
             };
             for (i, raster) in rendered {
-                let arc = Arc::new(raster);
-                let key = TileKey { arrangement, measure, scheme: scheme_key, tile: ids[i] };
-                self.insert(key, arc.clone());
-                out[i] = Some(arc);
+                out[i] = Some(raster);
+            }
+        }
+        for (i, flight) in waiters {
+            match flight.wait() {
+                Some(raster) => {
+                    self.flight_dedups.fetch_add(1, Ordering::Relaxed);
+                    out[i] = Some(raster);
+                }
+                None => {
+                    // The leader unwound; render for ourselves.
+                    let key = key_of(ids[i]);
+                    let raster = Arc::new(render(ids[i], scheme.tile_spec(ids[i])));
+                    self.insert(key, raster.clone());
+                    out[i] = Some(raster);
+                }
             }
         }
         out.into_iter().map(|r| r.expect("every tile fetched or rendered")).collect()
     }
 
-    /// Applies a what-if edit to the cache: entries keyed under
-    /// `old_arrangement` (and this `scheme`) whose tile extent
+    /// Collects the entries of `old_arrangement` under `scheme` from
+    /// every shard, removing them: dirty-intersecting entries are
+    /// dropped (counted as invalidations), the rest are returned for
+    /// migration, oldest recency first.
+    #[allow(clippy::type_complexity)]
+    fn extract_for_edit(
+        &self,
+        old_arrangement: u64,
+        scheme: &TileScheme,
+        dirty: &rnnhm_core::edit::DirtyRegion,
+        remove_clean: bool,
+    ) -> (usize, Vec<(u64, TileKey, Arc<HeatRaster>, usize)>) {
+        let scheme_key = scheme.fingerprint();
+        let mut invalidated = 0usize;
+        let mut moved: Vec<(u64, TileKey, Arc<HeatRaster>, usize)> = Vec::new();
+        for shard in &self.shards {
+            let mut inner = Self::lock_inner(shard);
+            let affected: Vec<TileKey> = inner
+                .map
+                .keys()
+                .filter(|k| k.arrangement == old_arrangement && k.scheme == scheme_key)
+                .copied()
+                .collect();
+            for key in affected {
+                let is_dirty = dirty.intersects(&scheme.tile_extent(key.tile));
+                if is_dirty && remove_clean {
+                    let entry = inner.map.remove(&key).expect("key just listed");
+                    inner.lru.remove(&entry.stamp);
+                    inner.bytes -= entry.bytes;
+                    inner.invalidations += 1;
+                    invalidated += 1;
+                } else if !is_dirty {
+                    if remove_clean {
+                        let entry = inner.map.remove(&key).expect("key just listed");
+                        inner.lru.remove(&entry.stamp);
+                        inner.bytes -= entry.bytes;
+                        moved.push((entry.stamp, key, entry.raster, entry.bytes));
+                    } else {
+                        let entry = &inner.map[&key];
+                        moved.push((entry.stamp, key, entry.raster.clone(), entry.bytes));
+                    }
+                }
+            }
+        }
+        // Reinsert oldest first, approximately preserving relative
+        // recency across the (per-shard) clocks.
+        moved.sort_unstable_by_key(|&(stamp, ..)| stamp);
+        (invalidated, moved)
+    }
+
+    /// Applies a what-if edit to the cache *exclusively*: entries keyed
+    /// under `old_arrangement` (and this `scheme`) whose tile extent
     /// intersects `dirty` are dropped — their pixels may have changed —
     /// while all other entries of that arrangement are *re-keyed* to
-    /// `new_arrangement`, preserving bytes, payload and recency.
+    /// `new_arrangement`, preserving bytes and payload.
     ///
-    /// This is what keeps viewports warm across edits: the edited
-    /// arrangement gets a fresh fingerprint (a generation bump, see
-    /// `rnnhm_core::edit::DynamicArrangement::fingerprint`), and
-    /// instead of orphaning every cached tile under the stale key, the
-    /// untouched tiles — provably pixel-identical, because all changed
-    /// area lies inside the dirty region — migrate to the new key in
-    /// one `O(entries)` pass. Tiles of *other* arrangements or schemes
-    /// sharing the cache are untouched.
+    /// This is what keeps viewports warm across edits for a session
+    /// that is the sole user of the old snapshot: the edited
+    /// arrangement gets a fresh fingerprint, and instead of orphaning
+    /// every cached tile under the stale key, the untouched tiles —
+    /// provably pixel-identical, because all changed area lies inside
+    /// the dirty region — migrate to the new key in one `O(entries)`
+    /// pass. Tiles of *other* arrangements or schemes sharing the
+    /// cache are untouched. When the old snapshot is still served to
+    /// other sessions (a fork), use [`TileCache::alias_region`]
+    /// instead.
     ///
     /// Returns `(invalidated, rekeyed)` counts; invalidated tiles are
     /// also reported in [`CacheStats::invalidations`].
@@ -741,42 +1071,59 @@ impl TileCache {
         scheme: &TileScheme,
         dirty: &rnnhm_core::edit::DirtyRegion,
     ) -> (usize, usize) {
-        let scheme_key = scheme.fingerprint();
-        let mut inner = self.lock();
-        let affected: Vec<TileKey> = inner
-            .map
-            .keys()
-            .filter(|k| k.arrangement == old_arrangement && k.scheme == scheme_key)
-            .copied()
-            .collect();
-        let mut invalidated = 0usize;
+        let (invalidated, moved) = self.extract_for_edit(old_arrangement, scheme, dirty, true);
         let mut rekeyed = 0usize;
-        for key in affected {
-            if dirty.intersects(&scheme.tile_extent(key.tile)) {
-                let entry = inner.map.remove(&key).expect("key just listed");
-                inner.lru.remove(&entry.stamp);
-                inner.bytes -= entry.bytes;
-                inner.invalidations += 1;
-                invalidated += 1;
-            } else if new_arrangement != old_arrangement {
-                let entry = inner.map.remove(&key).expect("key just listed");
-                let new_key = TileKey { arrangement: new_arrangement, ..key };
-                if inner.map.contains_key(&new_key) {
-                    // The target key is already cached (a caller
-                    // re-keyed back onto an existing fingerprint):
-                    // keep the existing entry, drop this one —
-                    // inserting over it would orphan its LRU stamp
-                    // and leak its byte accounting.
-                    inner.lru.remove(&entry.stamp);
-                    inner.bytes -= entry.bytes;
-                } else {
-                    inner.lru.insert(entry.stamp, new_key);
-                    inner.map.insert(new_key, entry);
-                    rekeyed += 1;
-                }
+        for (_, key, raster, bytes) in moved {
+            if new_arrangement == old_arrangement {
+                // Degenerate re-key: put the entry back where it was.
+                self.place(key, raster, bytes, false);
+                continue;
             }
+            let new_key = TileKey { arrangement: new_arrangement, ..key };
+            if self.peek(new_key).is_some() {
+                // The target key is already cached (a caller re-keyed
+                // back onto an existing fingerprint): keep the existing
+                // entry, drop this one.
+                continue;
+            }
+            self.place(new_key, raster, bytes, false);
+            rekeyed += 1;
         }
         (invalidated, rekeyed)
+    }
+
+    /// The *shared* counterpart of [`TileCache::invalidate_region`]:
+    /// propagates an edit by **copying** the clean entries of
+    /// `old_arrangement` to `new_arrangement` (the `Arc` pixel
+    /// payloads are shared; only the byte accounting doubles), leaving
+    /// every old entry in place. Used when the old snapshot is still
+    /// being served to other sessions — forks keep their warm tiles,
+    /// the editing session starts warm everywhere outside its dirty
+    /// region, and the old entries age out of the LRU naturally once
+    /// the last session drops the old snapshot.
+    ///
+    /// Returns the number of entries aliased under the new key.
+    pub fn alias_region(
+        &self,
+        old_arrangement: u64,
+        new_arrangement: u64,
+        scheme: &TileScheme,
+        dirty: &rnnhm_core::edit::DirtyRegion,
+    ) -> usize {
+        if new_arrangement == old_arrangement {
+            return 0;
+        }
+        let (_, clean) = self.extract_for_edit(old_arrangement, scheme, dirty, false);
+        let mut aliased = 0usize;
+        for (_, key, raster, bytes) in clean {
+            let new_key = TileKey { arrangement: new_arrangement, ..key };
+            if self.peek(new_key).is_some() {
+                continue;
+            }
+            self.place(new_key, raster, bytes, false);
+            aliased += 1;
+        }
+        aliased
     }
 
     /// [`TileCache::fetch`] with the *two-stage restriction* pattern
@@ -1236,6 +1583,163 @@ mod tests {
         cache.insert(TileKey { arrangement: 5, ..key(third) }, flat_tile(&s, third, 7.0));
         assert_eq!(cache.stats().entries, 2);
         assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn preview_fully_cold_reports_zero_resolved_and_background_fill() {
+        // Regression (ISSUE 5 satellite): the zero-coverage fallback
+        // path — nothing cached at any zoom — must produce a
+        // well-formed raster entirely at the background value with
+        // `resolved == 0.0`, and must not disturb cache statistics.
+        let s = scheme();
+        let cache = TileCache::new(64 << 20);
+        for (rect, px) in [
+            (Rect::new(1.0, 7.0, 1.0, 7.0), 48),
+            (s.world(), 16),                         // zoom 0: no parent to walk to
+            (Rect::new(3.07, 3.08, 4.11, 4.12), 64), // deep zoom, far from any cache
+        ] {
+            let v = s.viewport(rect, px, px);
+            let p = v.preview(&s, &cache, 11, 22, 0.0);
+            assert_eq!(p.resolved, 0.0, "cold cache cannot resolve anything");
+            let spec = p.raster.spec;
+            assert_eq!(spec, v.spec(), "preview raster covers the viewport spec");
+            assert_eq!(p.raster.values().len(), spec.width * spec.height);
+            assert!(p.raster.values().iter().all(|&x| x == 0.0), "zeroed background");
+        }
+        let st = cache.stats();
+        assert_eq!((st.hits, st.misses), (0, 0), "previews never count lookups");
+    }
+
+    #[test]
+    fn sharded_eviction_accounting_stays_exact() {
+        // Satellite: byte/entry accounting must stay exact per shard
+        // and in aggregate while insertions force evictions in some
+        // shards and not others.
+        let s = scheme();
+        let tile_bytes = s.tile_px() * s.tile_px() * 8 + ENTRY_OVERHEAD_BYTES;
+        let cache = TileCache::with_shards(tile_bytes * 8, 4); // 2 tiles per shard
+        assert_eq!(cache.n_shards(), 4);
+        let n = s.n_tiles(3);
+        let mut inserted = 0u64;
+        for ty in 0..n {
+            for tx in 0..n {
+                let id = TileId { zoom: 3, tx, ty };
+                cache.insert(key(id), flat_tile(&s, id, (tx * 10 + ty) as f64));
+                inserted += 1;
+            }
+        }
+        let st = cache.stats();
+        assert_eq!(st.insertions, inserted);
+        assert_eq!(st.shards.len(), 4);
+        let shard_bytes: usize = st.shards.iter().map(|sh| sh.bytes).sum();
+        let shard_entries: usize = st.shards.iter().map(|sh| sh.entries).sum();
+        assert_eq!(shard_bytes, st.bytes, "aggregate bytes = sum of shard bytes");
+        assert_eq!(shard_entries, st.entries, "aggregate entries = sum of shard entries");
+        for sh in &st.shards {
+            assert!(sh.bytes <= sh.capacity, "no shard exceeds its budget: {sh:?}");
+            assert_eq!(sh.bytes, sh.entries * tile_bytes, "per-shard byte accounting exact");
+            assert!(sh.bytes_high_water >= sh.bytes);
+            assert!(sh.bytes_high_water <= sh.capacity);
+        }
+        assert_eq!(
+            st.evictions,
+            inserted - st.entries as u64,
+            "every insert either resides or was evicted (no replacements here)"
+        );
+        assert!(st.evictions > 0, "64 tiles into 8 slots must evict");
+        assert_eq!(st.bytes_high_water, st.shards.iter().map(|sh| sh.bytes_high_water).sum());
+    }
+
+    #[test]
+    fn single_flight_dedups_concurrent_misses() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Barrier;
+        let s = scheme();
+        let cache = TileCache::new(64 << 20);
+        let v = s.viewport(Rect::new(1.0, 7.0, 1.0, 7.0), 60, 60);
+        let renders = AtomicUsize::new(0);
+        let barrier = Barrier::new(4);
+        let frames: Vec<Vec<Arc<HeatRaster>>> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(|| {
+                        barrier.wait();
+                        cache.fetch(5, 6, &s, v.tiles(), |id, spec| {
+                            renders.fetch_add(1, Ordering::Relaxed);
+                            // Slow the render enough that the herd overlaps.
+                            std::thread::sleep(std::time::Duration::from_millis(5));
+                            HeatRaster::from_values(
+                                spec,
+                                vec![id.tx as f64; spec.width * spec.height],
+                            )
+                        })
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("herd thread")).collect()
+        });
+        // Every thread got a full, identical frame set.
+        for frame in &frames {
+            assert_eq!(frame.len(), v.tiles().len());
+            for (a, b) in frame.iter().zip(&frames[0]) {
+                assert_eq!(a.values(), b.values(), "all herd members see the same tiles");
+            }
+        }
+        let st = cache.stats();
+        assert!(st.single_flight_waits > 0, "a 4-way cold herd must overlap at least once: {st:?}");
+        assert_eq!(
+            st.single_flight_dedups + renders.load(Ordering::Relaxed) as u64,
+            st.misses,
+            "every miss was either rendered once or deduplicated"
+        );
+        assert!(
+            (renders.load(Ordering::Relaxed)) < 4 * v.tiles().len(),
+            "the herd must not render everything four times"
+        );
+    }
+
+    #[test]
+    fn alias_region_copies_clean_tiles_and_keeps_old_entries() {
+        use rnnhm_core::edit::DirtyRegion;
+        let s = scheme();
+        let cache = TileCache::new(64 << 20);
+        let n = s.n_tiles(2);
+        for ty in 0..n {
+            for tx in 0..n {
+                let id = TileId { zoom: 2, tx, ty };
+                cache.insert(key(id), flat_tile(&s, id, (tx + ty) as f64));
+            }
+        }
+        let entries_before = cache.stats().entries;
+        let w = s.world();
+        let tile_side = w.width() / n as f64;
+        let mut dirty = DirtyRegion::new();
+        dirty.push(Rect::new(
+            w.x_lo + 0.1 * tile_side,
+            w.x_lo + 0.9 * tile_side,
+            w.y_lo + 0.1 * tile_side,
+            w.y_lo + 0.9 * tile_side,
+        ));
+        let aliased = cache.alias_region(1, 7, &s, &dirty);
+        assert_eq!(aliased, (n * n) as usize - 1, "every clean tile is aliased");
+        let st = cache.stats();
+        assert_eq!(st.invalidations, 0, "aliasing never drops the old snapshot's tiles");
+        assert_eq!(st.entries, entries_before + aliased);
+        for ty in 0..n {
+            for tx in 0..n {
+                let id = TileId { zoom: 2, tx, ty };
+                let old = cache.peek(key(id)).expect("old snapshot stays fully warm");
+                let new = cache.peek(TileKey { arrangement: 7, ..key(id) });
+                if tx == 0 && ty == 0 {
+                    assert!(new.is_none(), "the dirty tile is not propagated");
+                } else {
+                    let new = new.expect("clean tile aliased");
+                    assert!(Arc::ptr_eq(&old, &new), "alias shares the pixel payload");
+                }
+            }
+        }
+        // Aliasing onto an existing key is a no-op for that key.
+        assert_eq!(cache.alias_region(1, 7, &s, &dirty), 0);
     }
 
     #[test]

@@ -73,6 +73,18 @@ fn main() {
         );
     }
 
+    // Shard + single-flight accounting of the whole camera path.
+    let st = map.tile_cache_stats();
+    let occupancy: Vec<String> = st.shards.iter().map(|s| s.entries.to_string()).collect();
+    println!(
+        "\ncache: high water {:.1} MiB | per-shard occupancy [{}] | \
+         single-flight: {} waits, {} dedups",
+        st.bytes_high_water as f64 / (1 << 20) as f64,
+        occupancy.join(" "),
+        st.single_flight_waits,
+        st.single_flight_dedups,
+    );
+
     // Show the final (cached) frame as terminal art.
     let last = map.viewport(path[path.len() - 1].1, 64, 24);
     println!("\nfinal frame (darker glyph = more influence):\n{}", ascii_art(&last));

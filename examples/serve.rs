@@ -1,0 +1,122 @@
+//! Concurrent sessions: two analysts fork the same city dataset,
+//! apply divergent what-if edits, and render overlapping viewports
+//! through one shared engine.
+//!
+//! ```text
+//! cargo run --release --example serve
+//! ```
+//!
+//! Watch the cache counters: the fork itself is free (same snapshot,
+//! same tiles — the second analyst's first frame is all hits), each
+//! analyst's edit isolates exactly the tiles its dirty region touched
+//! (the rest are *aliased* to the new snapshot fingerprint, sharing
+//! pixel payloads), and the untouched ancestor snapshot keeps serving
+//! fully warm frames throughout.
+
+use std::time::Instant;
+
+use rnn_heatmap::prelude::*;
+use rnn_heatmap::HeatMapBuilder;
+
+fn ms(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+fn main() {
+    // A skewed synthetic city on the unit square.
+    let data = Dataset::zipfian(4_256, 42);
+    let (clients, facilities) = sample_clients_facilities(&data.points, 4_000, 256, 42);
+    let engine = HeatMapBuilder::bichromatic(clients, facilities)
+        .metric(Metric::Linf)
+        .build_engine(CountMeasure)
+        .expect("non-empty input");
+    println!(
+        "engine over {} NN-circles, {} facilities | shared tile cache: {} shards\n",
+        engine.session().n_circles(),
+        engine.session().n_facilities(),
+        engine.cache_stats().shards.len(),
+    );
+
+    let city = Rect::new(0.0, 1.0, 0.0, 1.0);
+    let (px_w, px_h) = (512, 512);
+    let report = |who: &str, label: &str, before: &CacheStats, after: &CacheStats, t: f64| {
+        println!(
+            "{who:>8} {label:<28} {t:6.1} ms | +{} renders, +{} hits | cache {} tiles / {:.1} MiB",
+            after.misses - before.misses,
+            after.hits - before.hits,
+            after.entries,
+            after.bytes as f64 / (1 << 20) as f64,
+        );
+    };
+
+    // Alice opens the city view cold; every covering tile renders.
+    let alice = engine.session();
+    let before = engine.cache_stats();
+    let start = Instant::now();
+    let frame_alice = alice.viewport(city, px_w, px_h);
+    report("alice", "cold city viewport", &before, &engine.cache_stats(), ms(start));
+
+    // Bob forks Alice's session: O(1), same snapshot — his first
+    // frame is served entirely from the tiles Alice just warmed.
+    let bob = alice.fork();
+    let before = engine.cache_stats();
+    let start = Instant::now();
+    let frame_bob = bob.viewport(city, px_w, px_h);
+    report("bob", "forked viewport (all warm)", &before, &engine.cache_stats(), ms(start));
+    assert_eq!(frame_bob.values(), frame_alice.values(), "same snapshot, same pixels");
+    drop((frame_alice, frame_bob));
+
+    // Divergent what-if edits: Alice opens a store in the south-west,
+    // Bob in the north-east. Each commit re-renders only its own
+    // dirty tiles; everything else is aliased to the new snapshot.
+    let mut alice = alice;
+    let mut bob = bob;
+    let before = engine.cache_stats();
+    let start = Instant::now();
+    let (_, dirty_a) = alice.add_facility(Point::new(0.25, 0.25)).expect("bichromatic");
+    let frame_a = alice.viewport(city, px_w, px_h);
+    report("alice", "edit SW + re-render", &before, &engine.cache_stats(), ms(start));
+    let before = engine.cache_stats();
+    let start = Instant::now();
+    let (_, dirty_b) = bob.add_facility(Point::new(0.75, 0.75)).expect("bichromatic");
+    let frame_b = bob.viewport(city, px_w, px_h);
+    report("bob", "edit NE + re-render", &before, &engine.cache_stats(), ms(start));
+    let area = |d: &DirtyRegion| -> f64 { d.rects().iter().map(Rect::area).sum() };
+    println!(
+        "\n  divergence: alice dirtied {:.1}% of the map, bob {:.1}%; frames differ: {}",
+        area(&dirty_a) * 100.0,
+        area(&dirty_b) * 100.0,
+        frame_a.values() != frame_b.values(),
+    );
+    drop((frame_a, frame_b));
+
+    // The ancestor snapshot is untouched by both branches: a third
+    // session on the root still renders the original field, fully
+    // warm (zero new renders).
+    let root = engine.session();
+    let before = engine.cache_stats();
+    let start = Instant::now();
+    let _ = root.viewport(city, px_w, px_h);
+    report("root", "ancestor viewport (warm)", &before, &engine.cache_stats(), ms(start));
+    let after = engine.cache_stats();
+    assert_eq!(after.misses, before.misses, "ancestor tiles survived both edits");
+
+    // Shard + single-flight accounting.
+    let st = engine.cache_stats();
+    let occupancy: Vec<String> = st.shards.iter().map(|s| s.entries.to_string()).collect();
+    println!(
+        "\nsession totals: {} hits, {} misses ({:.0}% hit rate), {} insertions\n\
+         cache: {} tiles / {:.1} MiB (high water {:.1} MiB) | per-shard occupancy [{}]\n\
+         single-flight: {} waits, {} renders deduplicated",
+        st.hits,
+        st.misses,
+        st.hit_rate() * 100.0,
+        st.insertions,
+        st.entries,
+        st.bytes as f64 / (1 << 20) as f64,
+        st.bytes_high_water as f64 / (1 << 20) as f64,
+        occupancy.join(" "),
+        st.single_flight_waits,
+        st.single_flight_dedups,
+    );
+}

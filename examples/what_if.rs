@@ -100,14 +100,20 @@ fn main() {
     let identical =
         back.values().iter().zip(held.values()).all(|(a, b)| a.to_bits() == b.to_bits());
     let stats = map.tile_cache_stats();
+    let occupancy: Vec<String> = stats.shards.iter().map(|s| s.entries.to_string()).collect();
     println!(
         "\nround trip: viewport and refreshed raster agree bit-for-bit: {identical}\n\
-         cache over the session: {} hits, {} misses, {} invalidations, {} tiles / {:.1} MiB",
+         cache over the session: {} hits, {} misses, {} invalidations, {} tiles / {:.1} MiB\n\
+         (high water {:.1} MiB | per-shard occupancy [{}] | single-flight {} waits, {} dedups)",
         stats.hits,
         stats.misses,
         stats.invalidations,
         stats.entries,
         stats.bytes as f64 / (1 << 20) as f64,
+        stats.bytes_high_water as f64 / (1 << 20) as f64,
+        occupancy.join(" "),
+        stats.single_flight_waits,
+        stats.single_flight_dedups,
     );
 
     // Show the final (restored) frame as terminal art.

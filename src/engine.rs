@@ -1,0 +1,730 @@
+//! The concurrent exploration engine: snapshot-isolated sessions over
+//! one shared dataset and tile cache.
+//!
+//! The paper's scenario — analysts panning, zooming and probing
+//! what-if edits — becomes a *serving* problem at scale: many
+//! concurrent users exploring one facility dataset, some of them down
+//! divergent edit branches. [`ExplorationEngine`] is that substrate:
+//!
+//! * the engine owns the dataset's **root snapshot**
+//!   (`rnnhm_core::snapshot::ArrangementSnapshot`), the tile-pyramid
+//!   geometry, and one **shared, sharded, single-flight**
+//!   [`TileCache`];
+//! * a [`Session`] is one user's view: an `Arc` of some committed
+//!   snapshot plus private lazily-labeled regions.
+//!   [`Session::fork`] is `O(1)` — no circles or candidate lists are
+//!   copied — and every read path ([`Session::viewport`],
+//!   [`Session::influence_at`], [`Session::top_k`], …) takes `&self`,
+//!   so any number of threads can serve frames from clones or
+//!   references of sessions concurrently;
+//! * edits ([`Session::add_facility`] /
+//!   [`Session::remove_facility`] / [`Session::move_facility`])
+//!   commit a **new** snapshot (chunk-level copy-on-write against the
+//!   parent) and never disturb other sessions: committed snapshots
+//!   are immutable forever, so a reader mid-frame on the old snapshot
+//!   finishes on exactly the geometry it started with — no torn
+//!   frames, by construction (stress-tested in
+//!   `tests/concurrent_serving.rs`);
+//! * cache isolation is automatic: snapshot fingerprints key every
+//!   tile, and an edit *propagates* the clean tiles of its parent to
+//!   the new fingerprint — moving them when the session was the
+//!   snapshot's sole user, aliasing (shared `Arc` payloads) when
+//!   forks still serve the parent — so both branches stay warm
+//!   everywhere outside the edit's dirty region.
+//!
+//! [`crate::RnnHeatMap`] is a single-session engine: the same code
+//! path, with the engine handle dropped so exclusive-session edit
+//! propagation applies.
+//!
+//! ```
+//! use rnn_heatmap::prelude::*;
+//! use rnn_heatmap::HeatMapBuilder;
+//!
+//! let clients = vec![Point::new(0.0, 0.0), Point::new(2.0, 1.0), Point::new(1.0, 3.0)];
+//! let engine = HeatMapBuilder::bichromatic(clients, vec![Point::new(1.0, 1.0)])
+//!     .build_engine(CountMeasure)
+//!     .expect("non-empty input");
+//!
+//! // Two analysts explore divergent what-if branches of one dataset.
+//! let mut alice = engine.session();
+//! let mut bob = alice.fork(); // O(1): same snapshot, shared cache
+//! alice.add_facility(Point::new(0.2, 0.2)).unwrap();
+//! bob.add_facility(Point::new(1.8, 0.9)).unwrap();
+//! assert_ne!(alice.fingerprint(), bob.fingerprint(), "branches are isolated");
+//!
+//! // Each sees only their own edit.
+//! assert_eq!(alice.n_facilities(), 2);
+//! assert_eq!(bob.n_facilities(), 2);
+//! let frame_a = alice.viewport(Rect::new(0.0, 2.0, 0.0, 3.0), 32, 32);
+//! let frame_b = bob.viewport(Rect::new(0.0, 2.0, 0.0, 3.0), 32, 32);
+//! assert_ne!(frame_a.values(), frame_b.values());
+//! ```
+
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, Weak};
+
+use rnnhm_core::arrangement::CoordSpace;
+use rnnhm_core::crest::crest_sweep;
+use rnnhm_core::crest_l2::crest_l2_sweep;
+use rnnhm_core::edit::{ArrangementRef, DirtyRegion, EditError, EditOutcome, Shape};
+use rnnhm_core::measure::{IncrementalMeasure, InfluenceMeasure};
+use rnnhm_core::postprocess::{threshold, top_k};
+use rnnhm_core::query::{influence_at_points_disk, influence_at_points_square};
+use rnnhm_core::sink::{CollectSink, LabeledRegion};
+use rnnhm_core::snapshot::{ArrangementSnapshot, RestrictedArrangement};
+use rnnhm_core::stats::SweepStats;
+use rnnhm_core::window::crest_window;
+use rnnhm_geom::transform::rotate45;
+use rnnhm_geom::{Point, Rect};
+use rnnhm_heatmap::compute::{rasterize_disks, rasterize_squares};
+use rnnhm_heatmap::raster::{GridSpec, HeatRaster};
+use rnnhm_heatmap::scanline::{
+    rasterize_disks_scanline_bands, rasterize_squares_scanline_bands, refresh_disks_dirty,
+    refresh_squares_dirty,
+};
+use rnnhm_heatmap::tiles::{CacheStats, Preview, TileCache, TileId, TileScheme};
+
+/// Incremental region maintenance gives up (falling back to a lazy
+/// full resweep) once the label list outgrows the last full sweep by
+/// this factor: every edit appends window labels, and past this point
+/// the duplicates cost more than one clean resweep.
+const REGION_GROWTH_CAP: usize = 4;
+
+/// Registry prune cadence: dead snapshot weak-refs are swept every
+/// this many registrations.
+const REGISTRY_PRUNE_EVERY: usize = 64;
+
+/// The state shared by an engine and all of its sessions.
+struct EngineShared<M> {
+    measure: M,
+    measure_key: u64,
+    tile_px: usize,
+    /// The tile-pyramid geometry, created on first tile use (render,
+    /// preview, or scheme query) from the bbox of the snapshot in
+    /// play *at that moment* — matching the historical lazy tile
+    /// store, so edits applied before the first viewport (e.g. a
+    /// removal growing circles past the build-time bbox) still get a
+    /// world that covers them. Fixed forever once set: every cached
+    /// tile's geometry depends on it.
+    scheme: OnceLock<TileScheme>,
+    cache: TileCache,
+    /// Every committed snapshot of this engine's lineage, weakly held
+    /// (sessions keep snapshots alive; dropped branches are pruned),
+    /// plus the registration count driving the prune cadence.
+    registry: Mutex<(Vec<Weak<ArrangementSnapshot>>, usize)>,
+}
+
+impl<M> EngineShared<M> {
+    fn register(&self, snap: &Arc<ArrangementSnapshot>) {
+        let mut guard = self.registry.lock().unwrap_or_else(|e| e.into_inner());
+        let (registry, count) = &mut *guard;
+        registry.push(Arc::downgrade(snap));
+        *count += 1;
+        if (*count).is_multiple_of(REGISTRY_PRUNE_EVERY) {
+            registry.retain(|w| w.strong_count() > 0);
+        }
+    }
+
+    /// The tile scheme, created on first use over `snap`'s extent.
+    fn scheme(&self, snap: &ArrangementSnapshot) -> &TileScheme {
+        self.scheme.get_or_init(|| TileScheme::for_extent(input_bbox(snap), self.tile_px))
+    }
+}
+
+/// The lazily computed labeled-region state of one session.
+#[derive(Default)]
+struct RegionsCache {
+    list: Vec<LabeledRegion>,
+    stats: SweepStats,
+    /// Whether `list` currently describes the session's snapshot.
+    fresh: bool,
+    /// Label count of the last *full* sweep (growth-cap baseline).
+    full_len: usize,
+}
+
+/// A concurrent exploration engine over one dataset: the root
+/// snapshot, the tile pyramid, and the shared sharded tile cache. See
+/// the module docs.
+///
+/// The engine hands out [`Session`]s; it keeps the root snapshot
+/// alive, so root-forked sessions propagate their edits by *aliasing*
+/// (the root's warm tiles are never stolen). Dropping the engine —
+/// as [`crate::RnnHeatMap`] does for its single session — releases
+/// that hold.
+pub struct ExplorationEngine<M: InfluenceMeasure> {
+    shared: Arc<EngineShared<M>>,
+    root: Arc<ArrangementSnapshot>,
+}
+
+impl<M: InfluenceMeasure> ExplorationEngine<M> {
+    /// Assembles an engine from a built snapshot (used by
+    /// [`crate::HeatMapBuilder::build_engine`]).
+    pub(crate) fn assemble(
+        snapshot: ArrangementSnapshot,
+        measure: M,
+        tile_px: usize,
+        tile_cache_bytes: usize,
+    ) -> ExplorationEngine<M> {
+        let root = Arc::new(snapshot);
+        let shared = Arc::new(EngineShared {
+            measure_key: measure.cache_key(),
+            measure,
+            tile_px,
+            scheme: OnceLock::new(),
+            cache: TileCache::new(tile_cache_bytes),
+            registry: Mutex::new((Vec::new(), 0)),
+        });
+        shared.register(&root);
+        ExplorationEngine { shared, root }
+    }
+
+    /// A new session on the engine's root snapshot.
+    pub fn session(&self) -> Session<M> {
+        self.session_at(self.root.clone())
+    }
+
+    /// A new session on an arbitrary committed snapshot of this
+    /// engine's lineage (e.g. one taken from [`Session::snapshot`] or
+    /// [`ExplorationEngine::snapshots`]) — snapshot "time travel".
+    pub fn session_at(&self, snapshot: Arc<ArrangementSnapshot>) -> Session<M> {
+        Session {
+            shared: self.shared.clone(),
+            snap: snapshot,
+            regions: Mutex::new(RegionsCache::default()),
+        }
+    }
+
+    /// Consumes the engine into a session on the root snapshot,
+    /// releasing the engine's hold on the root (the single-user mode
+    /// [`crate::RnnHeatMap`] runs in).
+    pub fn into_session(self) -> Session<M> {
+        Session {
+            shared: self.shared,
+            snap: self.root,
+            regions: Mutex::new(RegionsCache::default()),
+        }
+    }
+
+    /// The dataset's root snapshot.
+    pub fn root_snapshot(&self) -> &Arc<ArrangementSnapshot> {
+        &self.root
+    }
+
+    /// Every committed snapshot of this engine still alive (held by at
+    /// least one session or the engine itself), oldest first.
+    pub fn snapshots(&self) -> Vec<Arc<ArrangementSnapshot>> {
+        let guard = self.shared.registry.lock().unwrap_or_else(|e| e.into_inner());
+        guard.0.iter().filter_map(Weak::upgrade).collect()
+    }
+
+    /// The tile-pyramid geometry every session serves viewports
+    /// through (created from the root snapshot's extent if no session
+    /// has rendered yet).
+    pub fn tile_scheme(&self) -> &TileScheme {
+        self.shared.scheme(&self.root)
+    }
+
+    /// Aggregate statistics of the shared tile cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// The influence measure the engine serves.
+    pub fn measure(&self) -> &M {
+        &self.shared.measure
+    }
+}
+
+/// Bounding box of a snapshot's arrangement in *input-space*
+/// coordinates (L1 arrangements live in a rotated sweep frame; their
+/// bbox is mapped back).
+fn input_bbox(snap: &ArrangementSnapshot) -> Rect {
+    let fallback = Rect::new(0.0, 1.0, 0.0, 1.0);
+    match snap.arrangement() {
+        ArrangementRef::Square(arr) => arr.bbox().map_or(fallback, |bb| {
+            let corners = [
+                arr.space.to_original(Point::new(bb.x_lo, bb.y_lo)),
+                arr.space.to_original(Point::new(bb.x_lo, bb.y_hi)),
+                arr.space.to_original(Point::new(bb.x_hi, bb.y_lo)),
+                arr.space.to_original(Point::new(bb.x_hi, bb.y_hi)),
+            ];
+            Rect::bounding(&corners).expect("four corners")
+        }),
+        ArrangementRef::Disk(arr) => arr.bbox().unwrap_or(fallback),
+    }
+}
+
+/// One user's view of an [`ExplorationEngine`]: a committed snapshot
+/// plus private region labels, sharing the engine's tile cache.
+///
+/// All read paths take `&self` and are safe to call from many threads
+/// at once (`Session` is `Send + Sync`); edits take `&mut self` and
+/// replace the session's snapshot without affecting anyone else.
+pub struct Session<M: InfluenceMeasure> {
+    shared: Arc<EngineShared<M>>,
+    snap: Arc<ArrangementSnapshot>,
+    regions: Mutex<RegionsCache>,
+}
+
+impl<M: InfluenceMeasure> Session<M> {
+    /// Forks the session: an independent session on the *same*
+    /// snapshot — `O(1)`, nothing is copied. The fork's future edits
+    /// are invisible to `self` and vice versa; until either edits,
+    /// both serve (and warm) the same cached tiles.
+    pub fn fork(&self) -> Session<M> {
+        Session {
+            shared: self.shared.clone(),
+            snap: self.snap.clone(),
+            regions: Mutex::new(RegionsCache::default()),
+        }
+    }
+
+    /// The session's current committed snapshot (immutable; clone the
+    /// `Arc` to pin it across future edits).
+    pub fn snapshot(&self) -> &Arc<ArrangementSnapshot> {
+        &self.snap
+    }
+
+    /// The snapshot's cache fingerprint (the tile-key component that
+    /// isolates this session's rendered tiles from other branches).
+    pub fn fingerprint(&self) -> u64 {
+        self.snap.fingerprint()
+    }
+
+    /// The tile-pyramid geometry this session serves viewports
+    /// through (shared by every session of the engine; created from
+    /// this session's snapshot extent if no session has used it yet).
+    pub fn tile_scheme(&self) -> &TileScheme {
+        self.shared.scheme(&self.snap)
+    }
+
+    /// Aggregate statistics of the engine's shared tile cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// The influence measure the engine serves.
+    pub fn measure(&self) -> &M {
+        &self.shared.measure
+    }
+
+    /// The regions cache, computed (or recomputed after edits
+    /// invalidated it) on demand.
+    fn regions_cache(&self) -> MutexGuard<'_, RegionsCache> {
+        let mut cache = self.regions.lock().unwrap_or_else(|e| e.into_inner());
+        if !cache.fresh {
+            let mut sink = CollectSink::default();
+            let stats = match self.snap.arrangement() {
+                ArrangementRef::Square(arr) => crest_sweep(arr, &self.shared.measure, &mut sink),
+                ArrangementRef::Disk(arr) => crest_l2_sweep(arr, &self.shared.measure, &mut sink),
+            };
+            cache.full_len = sink.regions.len();
+            cache.list = sink.regions;
+            cache.stats = stats;
+            cache.fresh = true;
+        }
+        cache
+    }
+
+    /// All labeled regions (computing them on first use). After edits,
+    /// the list may contain additional relabelings of the same region
+    /// (consistent duplicates, as CREST itself emits — Lemma 3).
+    pub fn regions(&self) -> Vec<LabeledRegion> {
+        self.regions_cache().list.clone()
+    }
+
+    /// Runs `f` over the labeled regions *in place* — no cloning —
+    /// computing them on first use. The region lock is held for the
+    /// duration of `f`; don't call other region accessors or edit
+    /// operations from inside it.
+    pub fn with_regions<R>(&self, f: impl FnOnce(&[LabeledRegion]) -> R) -> R {
+        f(&self.regions_cache().list)
+    }
+
+    /// Statistics of the sweep that produced the current region labels.
+    pub fn stats(&self) -> SweepStats {
+        self.regions_cache().stats
+    }
+
+    /// The `k` most influential regions (deduplicated by RNN set).
+    pub fn top_k(&self, k: usize) -> Vec<LabeledRegion> {
+        top_k(&self.regions_cache().list, k)
+    }
+
+    /// The single most influential region.
+    pub fn max_region(&self) -> Option<LabeledRegion> {
+        self.top_k(1).into_iter().next()
+    }
+
+    /// Regions with influence at or above `min_influence`.
+    pub fn at_least(&self, min_influence: f64) -> Vec<LabeledRegion> {
+        threshold(&self.regions_cache().list, min_influence)
+    }
+
+    /// The RNN set and influence of an arbitrary location (input-space
+    /// coordinates).
+    pub fn influence_at(&self, q: Point) -> (Vec<u32>, f64) {
+        match self.snap.arrangement() {
+            ArrangementRef::Square(arr) => {
+                influence_at_points_square(arr, &self.shared.measure, &[q])
+                    .pop()
+                    .expect("one candidate in, one result out")
+            }
+            ArrangementRef::Disk(arr) => influence_at_points_disk(arr, &self.shared.measure, &[q])
+                .pop()
+                .expect("one candidate in, one result out"),
+        }
+    }
+
+    /// Maps a labeled region's representative point back to input-space
+    /// coordinates (L1 maps live in a rotated sweep frame).
+    pub fn region_center(&self, region: &LabeledRegion) -> Point {
+        match self.snap.arrangement() {
+            ArrangementRef::Square(arr) => arr.space.to_original(region.rect.center()),
+            ArrangementRef::Disk(_) => region.rect.center(),
+        }
+    }
+
+    /// Number of NN-circles in the session's arrangement.
+    pub fn n_circles(&self) -> usize {
+        self.snap.n_circles()
+    }
+
+    /// Live facilities as `(id, location)`; ids are stable across
+    /// edits.
+    pub fn facilities(&self) -> Vec<(u32, Point)> {
+        self.snap.facilities().collect()
+    }
+
+    /// Number of live facilities (0 for monochromatic maps).
+    pub fn n_facilities(&self) -> usize {
+        self.snap.n_facilities()
+    }
+
+    /// How many geometry-changing edits separate this session's
+    /// snapshot from the dataset root.
+    pub fn generation(&self) -> u64 {
+        self.snap.generation()
+    }
+
+    /// The `k` of the RkNN influence model (1 = plain RNN).
+    pub fn k(&self) -> usize {
+        self.snap.k()
+    }
+
+    /// An *instant* coarse image of the viewport, built purely from
+    /// already-cached tiles; never renders and never waits on another
+    /// session's in-flight renders. `Preview::resolved` reports the
+    /// fraction of pixels already exact (0.0 on a fully cold cache,
+    /// with the raster filled by the measure's empty-set influence).
+    pub fn viewport_preview(&self, rect: Rect, px_w: usize, px_h: usize) -> Preview {
+        let scheme = self.shared.scheme(&self.snap);
+        let view = scheme.viewport(rect, px_w, px_h);
+        view.preview(
+            scheme,
+            &self.shared.cache,
+            self.snap.fingerprint(),
+            self.shared.measure_key,
+            self.shared.measure.influence(&[]),
+        )
+    }
+
+    // ---- what-if editing -------------------------------------------------
+
+    /// Adds a facility at `p`, committing a new snapshot for this
+    /// session only. Returns the facility's id and the dirty region
+    /// (everything outside it provably kept its influence).
+    pub fn add_facility(&mut self, p: Point) -> Result<(u32, DirtyRegion), EditError> {
+        let (next, id, outcome) = self.snap.insert_facility(p)?;
+        self.finish_edit(next, &outcome);
+        Ok((id, outcome.dirty))
+    }
+
+    /// Removes facility `id`; its clients re-resolve their NN. See
+    /// [`Session::add_facility`] for the commit semantics.
+    pub fn remove_facility(&mut self, id: u32) -> Result<DirtyRegion, EditError> {
+        let (next, outcome) = self.snap.remove_facility(id)?;
+        self.finish_edit(next, &outcome);
+        Ok(outcome.dirty)
+    }
+
+    /// Moves facility `id` to `to` (remove + insert in one pass). See
+    /// [`Session::add_facility`] for the commit semantics.
+    pub fn move_facility(&mut self, id: u32, to: Point) -> Result<DirtyRegion, EditError> {
+        let (next, outcome) = self.snap.move_facility(id, to)?;
+        self.finish_edit(next, &outcome);
+        Ok(outcome.dirty)
+    }
+
+    /// Commits an edit's successor snapshot and propagates derived
+    /// state: private region labels update incrementally, and the
+    /// shared tile cache carries the parent's clean tiles over to the
+    /// new fingerprint — *moving* them when this session was the old
+    /// snapshot's sole user, *aliasing* them (old entries stay, for
+    /// the forks still serving the parent) otherwise.
+    fn finish_edit(&mut self, next: ArrangementSnapshot, outcome: &EditOutcome) {
+        let next = Arc::new(next);
+        self.shared.register(&next);
+        let old = std::mem::replace(&mut self.snap, next);
+        if outcome.dirty.is_empty() {
+            // Geometric no-op: same fingerprint, same tiles, same
+            // regions — only the facility bookkeeping changed.
+            return;
+        }
+        self.maintain_regions(outcome);
+        // Tiles only exist once some session initialized the tile
+        // scheme; before that there is nothing to propagate (and the
+        // scheme stays free to snap to a later, post-edit extent).
+        let Some(scheme) = self.shared.scheme.get() else {
+            return;
+        };
+        // `old` is the only strong ref left iff no other session, fork
+        // or engine handle still serves the parent snapshot.
+        if Arc::strong_count(&old) == 1 {
+            self.shared.cache.invalidate_region(
+                old.fingerprint(),
+                self.snap.fingerprint(),
+                scheme,
+                &outcome.dirty,
+            );
+        } else {
+            self.shared.cache.alias_region(
+                old.fingerprint(),
+                self.snap.fingerprint(),
+                scheme,
+                &outcome.dirty,
+            );
+        }
+    }
+
+    /// Updates the session's labeled-region cache for one edit, if it
+    /// is fresh:
+    ///
+    /// * regions whose representative rect misses the (sweep-space)
+    ///   dirty window are untouched;
+    /// * regions uniformly inside/outside every changed circle, old
+    ///   and new, keep their rect — their RNN delta is known exactly,
+    ///   so the influence updates through
+    ///   [`InfluenceMeasure::influence_delta`] without recomputation;
+    /// * regions straddling a changed boundary are dropped, and a
+    ///   windowed CREST resweep relabels everything there (clipped
+    ///   representative rects). The resweep window is the dirty
+    ///   window *grown to cover every dropped rect*: a dropped label
+    ///   may extend far past the dirty area, and the part of its
+    ///   region outside the dirty window still needs a label after
+    ///   the drop.
+    ///
+    /// L2 maps mark the cache stale instead (no windowed L2 sweep);
+    /// the next region query resweeps fully.
+    fn maintain_regions(&self, outcome: &EditOutcome) {
+        let mut cache = self.regions.lock().unwrap_or_else(|e| e.into_inner());
+        if !cache.fresh {
+            return;
+        }
+        let arr = match self.snap.arrangement() {
+            ArrangementRef::Disk(_) => {
+                cache.fresh = false;
+                cache.list.clear();
+                return;
+            }
+            ArrangementRef::Square(arr) => arr,
+        };
+        let dirty_bbox = outcome.dirty.bbox().expect("caller checked non-empty");
+        let window = match arr.space {
+            CoordSpace::Identity => dirty_bbox,
+            CoordSpace::Rotated45 => {
+                let corners = [
+                    rotate45(Point::new(dirty_bbox.x_lo, dirty_bbox.y_lo)),
+                    rotate45(Point::new(dirty_bbox.x_lo, dirty_bbox.y_hi)),
+                    rotate45(Point::new(dirty_bbox.x_hi, dirty_bbox.y_lo)),
+                    rotate45(Point::new(dirty_bbox.x_hi, dirty_bbox.y_hi)),
+                ];
+                Rect::bounding(&corners).expect("four corners")
+            }
+        };
+
+        let list = std::mem::take(&mut cache.list);
+        let mut kept: Vec<LabeledRegion> = Vec::with_capacity(list.len());
+        let mut added: Vec<u32> = Vec::new();
+        let mut removed: Vec<u32> = Vec::new();
+        // The resweep must relabel everything a dropped label used to
+        // describe, and dropped rects can reach past the dirty window.
+        let mut resweep = window;
+        'regions: for mut region in list {
+            if !region.rect.intersects(&window) {
+                kept.push(region);
+                continue;
+            }
+            added.clear();
+            removed.clear();
+            for ch in &outcome.changes {
+                let was = membership(ch.old.as_ref(), &region.rect);
+                let now = membership(ch.new.as_ref(), &region.rect);
+                match (was, now) {
+                    (Some(a), Some(b)) if a == b => {}
+                    (Some(false), Some(true)) if !region.rnn.contains(&ch.owner) => {
+                        added.push(ch.owner);
+                    }
+                    (Some(true), Some(false)) if region.rnn.contains(&ch.owner) => {
+                        removed.push(ch.owner);
+                    }
+                    // A changed boundary crosses the rect (or the label
+                    // disagrees with the geometry): drop the label and
+                    // leave relabeling its whole footprint — not just
+                    // the dirty part — to the resweep.
+                    _ => {
+                        resweep = resweep.union(&region.rect);
+                        continue 'regions;
+                    }
+                }
+            }
+            if !added.is_empty() || !removed.is_empty() {
+                region.influence = self.shared.measure.influence_delta(
+                    region.influence,
+                    &region.rnn,
+                    &added,
+                    &removed,
+                );
+                region.rnn.retain(|id| !removed.contains(id));
+                region.rnn.extend_from_slice(&added);
+            }
+            kept.push(region);
+        }
+        // Inflate the resweep window a hair: a changed square's edge
+        // is itself a new strip boundary, so regions created right
+        // outside it touch the window only along a zero-area line and
+        // the window sink would drop their (empty) clipped labels. A
+        // relative epsilon gives each such neighbor a positive-area
+        // sliver to be labeled in.
+        let magnitude = resweep
+            .x_lo
+            .abs()
+            .max(resweep.x_hi.abs())
+            .max(resweep.y_lo.abs())
+            .max(resweep.y_hi.abs());
+        let resweep = resweep.inflate((magnitude * 1e-12).max(1e-12));
+        let mut sink = CollectSink::default();
+        crest_window(arr, resweep, &self.shared.measure, &mut sink);
+        kept.extend(sink.regions);
+        if kept.len() > REGION_GROWTH_CAP * cache.full_len + 1024 {
+            // Too many accumulated duplicates: cheaper to resweep.
+            cache.fresh = false;
+            cache.list.clear();
+        } else {
+            cache.list = kept;
+        }
+    }
+
+    /// Renders the heat map with the per-pixel-stab reference path —
+    /// available for any [`InfluenceMeasure`].
+    pub fn raster_oracle(&self, spec: GridSpec) -> HeatRaster {
+        match self.snap.arrangement() {
+            ArrangementRef::Square(arr) => {
+                rnnhm_heatmap::rasterize_squares_oracle(arr, &self.shared.measure, spec)
+            }
+            ArrangementRef::Disk(arr) => {
+                rnnhm_heatmap::rasterize_disks_oracle(arr, &self.shared.measure, spec)
+            }
+        }
+    }
+}
+
+/// Whether every interior point of `rect` is inside (`Some(true)`),
+/// outside (`Some(false)`), or on both sides (`None`) of the closed
+/// shape; `None` shape means "no circle" (always outside).
+fn membership(shape: Option<&Shape>, rect: &Rect) -> Option<bool> {
+    match shape {
+        None => Some(false),
+        Some(s) if s.covers_rect(rect) => Some(true),
+        Some(s) if s.misses_rect(rect) => Some(false),
+        Some(_) => None,
+    }
+}
+
+/// A snapshot restriction plus a renderer, the per-tile render base.
+struct RestrictedBase<'a, M> {
+    arrangement: RestrictedArrangement,
+    measure: &'a M,
+}
+
+impl<M: IncrementalMeasure + Sync> RestrictedBase<'_, M> {
+    /// Restricts to the tile's extent and renders it single-band
+    /// (viewports parallelize *across* tiles, not within them).
+    fn render(&self, spec: GridSpec) -> HeatRaster {
+        match &self.arrangement {
+            RestrictedArrangement::Square(arr) => {
+                let sub = arr.restrict_to(spec.extent);
+                rasterize_squares_scanline_bands(&sub, self.measure, spec, 1)
+            }
+            RestrictedArrangement::Disk(arr) => {
+                let sub = arr.restrict_to(spec.extent);
+                rasterize_disks_scanline_bands(&sub, self.measure, spec, 1)
+            }
+        }
+    }
+}
+
+impl<M: IncrementalMeasure + Sync> Session<M> {
+    /// Renders the heat map exactly over `spec` (input-space extent)
+    /// with the row-parallel scanline rasterizer.
+    pub fn raster(&self, spec: GridSpec) -> HeatRaster {
+        match self.snap.arrangement() {
+            ArrangementRef::Square(arr) => rasterize_squares(arr, &self.shared.measure, spec),
+            ArrangementRef::Disk(arr) => rasterize_disks(arr, &self.shared.measure, spec),
+        }
+    }
+
+    /// Re-renders, in place, exactly the pixels of a previously
+    /// rendered full-frame raster that an edit's [`DirtyRegion`] may
+    /// have changed. The refreshed raster is bit-identical to a fresh
+    /// [`Session::raster`] of the same spec (for the order-insensitive
+    /// exact measures).
+    pub fn refresh_raster(&self, raster: &mut HeatRaster, dirty: &DirtyRegion) {
+        match self.snap.arrangement() {
+            ArrangementRef::Square(arr) => {
+                refresh_squares_dirty(arr, &self.shared.measure, raster, dirty)
+            }
+            ArrangementRef::Disk(arr) => {
+                refresh_disks_dirty(arr, &self.shared.measure, raster, dirty)
+            }
+        }
+    }
+
+    /// Renders one tile batch through the shared cache
+    /// (render-on-miss, single-flight across sessions). The render
+    /// base restricts the snapshot's chunked geometry to the union of
+    /// the missing tiles — the full arrangement is never materialized
+    /// on this path.
+    fn fetch_tiles(&self, ids: &[TileId]) -> Vec<std::sync::Arc<HeatRaster>> {
+        // Capture only what the render closures need (`&M` and the
+        // snapshot), so `M: Sync` suffices — the closures never take
+        // ownership of the engine state.
+        let snap: &ArrangementSnapshot = &self.snap;
+        let measure = &self.shared.measure;
+        self.shared.cache.fetch_restricted(
+            snap.fingerprint(),
+            self.shared.measure_key,
+            self.shared.scheme(snap),
+            ids,
+            |extent| RestrictedBase { arrangement: snap.restrict_to(extent), measure },
+            |base, _, spec| base.render(spec),
+        )
+    }
+
+    /// Renders the viewport `rect` at (at least) `px_w × px_h` pixels
+    /// through the shared tile pyramid: resolves the zoom level,
+    /// fetches the covering tiles — cache hits (including tiles warmed
+    /// by *other* sessions on the same snapshot) are reused bitwise,
+    /// misses render single-flight — and stitches them into one
+    /// raster.
+    ///
+    /// The result is **bit-identical** to a one-shot
+    /// [`Session::raster`] of the returned spec; caching and
+    /// concurrency never change pixels (see
+    /// `tests/concurrent_serving.rs`).
+    pub fn viewport(&self, rect: Rect, px_w: usize, px_h: usize) -> HeatRaster {
+        let scheme = self.shared.scheme(&self.snap);
+        let view = scheme.viewport(rect, px_w, px_h);
+        let tiles = self.fetch_tiles(view.tiles());
+        view.stitch(scheme, &tiles)
+    }
+}

@@ -51,46 +51,37 @@
 //! map.remove_facility(id).unwrap();
 //! assert_eq!(map.n_facilities(), 1);
 //! ```
+//!
+//! ## Concurrent sessions
+//!
+//! `RnnHeatMap` is one user's heat map — internally, a single
+//! [`Session`] of the concurrent [`ExplorationEngine`]. To serve many
+//! analysts (shared warm tiles, `O(1)` forks, divergent what-if
+//! branches, lock-free snapshot reads), build the engine directly with
+//! [`HeatMapBuilder::build_engine`]; see `crate::engine` and
+//! `examples/serve.rs`.
 
-use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
-
-use rnnhm_core::arrangement::{CoordSpace, DiskArrangement, SquareArrangement};
-use rnnhm_core::crest::crest_sweep;
-use rnnhm_core::crest_l2::crest_l2_sweep;
-use rnnhm_core::edit::{
-    ArrangementRef, DirtyRegion, DynamicArrangement, EditError, EditOutcome, Shape,
-};
+use rnnhm_core::edit::{DirtyRegion, EditError};
 use rnnhm_core::measure::{IncrementalMeasure, InfluenceMeasure};
-use rnnhm_core::postprocess::{threshold, top_k};
-use rnnhm_core::query::{influence_at_points_disk, influence_at_points_square};
-use rnnhm_core::sink::{CollectSink, LabeledRegion};
+use rnnhm_core::sink::LabeledRegion;
+use rnnhm_core::snapshot::ArrangementSnapshot;
 use rnnhm_core::stats::SweepStats;
-use rnnhm_core::window::crest_window;
 use rnnhm_core::{BuildError, Mode};
-use rnnhm_geom::transform::rotate45;
 use rnnhm_geom::{Metric, Point, Rect};
-use rnnhm_heatmap::compute::{rasterize_disks, rasterize_squares};
 use rnnhm_heatmap::raster::{GridSpec, HeatRaster};
-use rnnhm_heatmap::scanline::{
-    rasterize_disks_scanline_bands, rasterize_squares_scanline_bands, refresh_disks_dirty,
-    refresh_squares_dirty,
-};
-use rnnhm_heatmap::tiles::{CacheStats, Preview, TileCache, TileId, TileScheme};
+use rnnhm_heatmap::tiles::{CacheStats, Preview, TileScheme};
 
-/// Default byte budget of a heat map's private tile cache (64 MiB —
-/// roughly 120 cached 256×256 tiles).
+use crate::engine::{ExplorationEngine, Session};
+
+/// Default byte budget of a heat map's tile cache (64 MiB — roughly
+/// 120 cached 256×256 tiles, spread over the cache's hash shards).
 const DEFAULT_TILE_CACHE_BYTES: usize = 64 << 20;
 
 /// Default tile edge in pixels (the web-map convention).
 const DEFAULT_TILE_PX: usize = 256;
 
-/// Incremental region maintenance gives up (falling back to a lazy
-/// full resweep) once the label list outgrows the last full sweep by
-/// this factor: every edit appends window labels, and past this point
-/// the duplicates cost more than one clean resweep.
-const REGION_GROWTH_CAP: usize = 4;
-
-/// Configures and builds an [`RnnHeatMap`].
+/// Configures and builds an [`RnnHeatMap`] (one session) or an
+/// [`ExplorationEngine`] (many concurrent sessions).
 #[derive(Debug, Clone)]
 pub struct HeatMapBuilder {
     clients: Vec<Point>,
@@ -173,98 +164,48 @@ impl HeatMapBuilder {
     /// [`RnnHeatMap::stats`], so maps built purely for rendering or
     /// editing never pay for it.
     pub fn build<M: InfluenceMeasure>(self, measure: M) -> Result<RnnHeatMap<M>, BuildError> {
-        let dynamic = DynamicArrangement::build_k(
+        // A single-session engine: the engine handle is dropped, so
+        // this session is its snapshots' sole user and edits *move*
+        // clean cached tiles to the new fingerprint (nobody else could
+        // be reading them).
+        Ok(RnnHeatMap { session: self.build_engine(measure)?.into_session() })
+    }
+
+    /// Builds a concurrent [`ExplorationEngine`] under `measure`: one
+    /// shared dataset + tile cache, any number of snapshot-isolated
+    /// [`Session`]s forked from it. See `crate::engine`.
+    pub fn build_engine<M: InfluenceMeasure>(
+        self,
+        measure: M,
+    ) -> Result<ExplorationEngine<M>, BuildError> {
+        let snapshot = ArrangementSnapshot::build_k(
             self.clients,
             self.facilities,
             self.metric,
             self.mode,
             self.k,
         )?;
-        Ok(RnnHeatMap {
-            dynamic,
-            measure,
-            regions: Mutex::new(RegionsCache::default()),
-            tile_px: self.tile_px,
-            tile_cache_bytes: self.tile_cache_bytes,
-            tile_store: OnceLock::new(),
-        })
+        Ok(ExplorationEngine::assemble(snapshot, measure, self.tile_px, self.tile_cache_bytes))
     }
-}
-
-/// An arrangement pre-restricted to a region, used as the base for
-/// per-tile restriction during viewport rendering.
-enum RestrictedBase {
-    Square(SquareArrangement),
-    Disk(DiskArrangement),
-}
-
-impl RestrictedBase {
-    /// Restricts to the tile's extent and renders it single-band.
-    fn render<M: IncrementalMeasure + Sync>(&self, measure: &M, spec: GridSpec) -> HeatRaster {
-        match self {
-            RestrictedBase::Square(arr) => {
-                let sub = arr.restrict_to(spec.extent);
-                rasterize_squares_scanline_bands(&sub, measure, spec, 1)
-            }
-            RestrictedBase::Disk(arr) => {
-                let sub = arr.restrict_to(spec.extent);
-                rasterize_disks_scanline_bands(&sub, measure, spec, 1)
-            }
-        }
-    }
-}
-
-/// The lazily initialised tile-pyramid serving state of one heat map:
-/// pyramid geometry plus the tile cache and the stable cache keys.
-/// `arrangement_key` tracks [`DynamicArrangement::fingerprint`] and is
-/// advanced by edits together with the cache re-keying.
-struct TileStore {
-    scheme: TileScheme,
-    cache: TileCache,
-    arrangement_key: u64,
-    measure_key: u64,
-}
-
-/// The lazily computed labeled-region state of one heat map.
-#[derive(Default)]
-struct RegionsCache {
-    list: Vec<LabeledRegion>,
-    stats: SweepStats,
-    /// Whether `list` currently describes the arrangement.
-    fresh: bool,
-    /// Label count of the last *full* sweep (growth-cap baseline).
-    full_len: usize,
 }
 
 /// A fully computed RNN heat map: every region of the plane labeled with
 /// its RNN set and influence, plus query, rendering and what-if editing
 /// entry points.
+///
+/// Since the snapshot refactor this is a thin wrapper over a single
+/// [`Session`] of the concurrent [`ExplorationEngine`] — same code
+/// path, same bit-exact outputs, one user.
 pub struct RnnHeatMap<M: InfluenceMeasure> {
-    dynamic: DynamicArrangement,
-    measure: M,
-    regions: Mutex<RegionsCache>,
-    tile_px: usize,
-    tile_cache_bytes: usize,
-    tile_store: OnceLock<TileStore>,
+    session: Session<M>,
 }
 
 impl<M: InfluenceMeasure> RnnHeatMap<M> {
-    /// The regions cache, computed (or recomputed after edits
-    /// invalidated it) on demand.
-    fn regions_cache(&self) -> MutexGuard<'_, RegionsCache> {
-        let mut cache = self.regions.lock().unwrap_or_else(|e| e.into_inner());
-        if !cache.fresh {
-            let mut sink = CollectSink::default();
-            let stats = match self.dynamic.as_ref() {
-                ArrangementRef::Square(arr) => crest_sweep(arr, &self.measure, &mut sink),
-                ArrangementRef::Disk(arr) => crest_l2_sweep(arr, &self.measure, &mut sink),
-            };
-            cache.full_len = sink.regions.len();
-            cache.list = sink.regions;
-            cache.stats = stats;
-            cache.fresh = true;
-        }
-        cache
+    /// The underlying engine [`Session`], for interop with code that
+    /// speaks the concurrent API (snapshots, forking via
+    /// [`Session::fork`], shared-cache statistics).
+    pub fn session(&self) -> &Session<M> {
+        &self.session
     }
 
     /// All labeled regions (computing them on first use). After edits,
@@ -276,7 +217,7 @@ impl<M: InfluenceMeasure> RnnHeatMap<M> {
     /// or the [`RnnHeatMap::top_k`] / [`RnnHeatMap::at_least`]
     /// accessors, which only copy what they return.
     pub fn regions(&self) -> Vec<LabeledRegion> {
-        self.regions_cache().list.clone()
+        self.session.regions()
     }
 
     /// Runs `f` over the labeled regions *in place* — no cloning —
@@ -284,126 +225,81 @@ impl<M: InfluenceMeasure> RnnHeatMap<M> {
     /// duration of `f`; don't call other region accessors or edit
     /// operations from inside it.
     pub fn with_regions<R>(&self, f: impl FnOnce(&[LabeledRegion]) -> R) -> R {
-        f(&self.regions_cache().list)
+        self.session.with_regions(f)
     }
 
     /// Statistics of the sweep that produced the current region labels
     /// (`labels` is the paper's `k`). Incremental edit maintenance does
     /// not update these; they describe the last full sweep.
     pub fn stats(&self) -> SweepStats {
-        self.regions_cache().stats
+        self.session.stats()
     }
 
     /// The `k` most influential regions (deduplicated by RNN set).
     pub fn top_k(&self, k: usize) -> Vec<LabeledRegion> {
-        top_k(&self.regions_cache().list, k)
+        self.session.top_k(k)
     }
 
     /// The single most influential region.
     pub fn max_region(&self) -> Option<LabeledRegion> {
-        self.top_k(1).into_iter().next()
+        self.session.max_region()
     }
 
     /// Regions with influence at or above `min_influence`.
     pub fn at_least(&self, min_influence: f64) -> Vec<LabeledRegion> {
-        threshold(&self.regions_cache().list, min_influence)
+        self.session.at_least(min_influence)
     }
 
     /// The RNN set and influence of an arbitrary location (input-space
     /// coordinates) — the candidate-scoring query of \[11\]/\[27\].
     pub fn influence_at(&self, q: Point) -> (Vec<u32>, f64) {
-        match self.dynamic.as_ref() {
-            ArrangementRef::Square(arr) => influence_at_points_square(arr, &self.measure, &[q])
-                .pop()
-                .expect("one candidate in, one result out"),
-            ArrangementRef::Disk(arr) => influence_at_points_disk(arr, &self.measure, &[q])
-                .pop()
-                .expect("one candidate in, one result out"),
-        }
+        self.session.influence_at(q)
     }
 
     /// Maps a labeled region's representative point back to input-space
     /// coordinates (L1 maps live in a rotated sweep frame).
     pub fn region_center(&self, region: &LabeledRegion) -> Point {
-        match self.dynamic.as_ref() {
-            ArrangementRef::Square(arr) => arr.space.to_original(region.rect.center()),
-            ArrangementRef::Disk(_) => region.rect.center(),
-        }
+        self.session.region_center(region)
     }
 
     /// Number of NN-circles in the arrangement.
     pub fn n_circles(&self) -> usize {
-        match self.dynamic.as_ref() {
-            ArrangementRef::Square(arr) => arr.len(),
-            ArrangementRef::Disk(arr) => arr.len(),
-        }
+        self.session.n_circles()
     }
 
     /// Live facilities as `(id, location)`; the ids are stable across
     /// edits and valid for [`RnnHeatMap::remove_facility`] /
     /// [`RnnHeatMap::move_facility`].
     pub fn facilities(&self) -> Vec<(u32, Point)> {
-        self.dynamic.facilities().collect()
+        self.session.facilities()
     }
 
     /// Number of live facilities (0 for monochromatic maps).
     pub fn n_facilities(&self) -> usize {
-        self.dynamic.n_facilities()
+        self.session.n_facilities()
     }
 
     /// How many geometry-changing edits this map has absorbed.
     pub fn generation(&self) -> u64 {
-        self.dynamic.generation()
+        self.session.generation()
     }
 
     /// The `k` of the RkNN influence model this map was built with
     /// ([`HeatMapBuilder::k`]; 1 = plain RNN).
     pub fn k(&self) -> usize {
-        self.dynamic.k()
-    }
-
-    /// Bounding box of the arrangement in *input-space* coordinates
-    /// (L1 arrangements live in a rotated sweep frame; their bbox is
-    /// mapped back). Everything outside carries the measure's
-    /// empty-set influence.
-    fn input_bbox(&self) -> Rect {
-        let fallback = Rect::new(0.0, 1.0, 0.0, 1.0);
-        match self.dynamic.as_ref() {
-            ArrangementRef::Square(arr) => arr.bbox().map_or(fallback, |bb| {
-                let corners = [
-                    arr.space.to_original(Point::new(bb.x_lo, bb.y_lo)),
-                    arr.space.to_original(Point::new(bb.x_lo, bb.y_hi)),
-                    arr.space.to_original(Point::new(bb.x_hi, bb.y_lo)),
-                    arr.space.to_original(Point::new(bb.x_hi, bb.y_hi)),
-                ];
-                Rect::bounding(&corners).expect("four corners")
-            }),
-            ArrangementRef::Disk(arr) => arr.bbox().unwrap_or(fallback),
-        }
-    }
-
-    /// The tile store, created on first use: the pyramid's world is the
-    /// dyadic snap of the arrangement's bbox, and the cache keys are
-    /// the dynamic arrangement fingerprint plus the measure's
-    /// [`InfluenceMeasure::cache_key`].
-    fn tile_store(&self) -> &TileStore {
-        self.tile_store.get_or_init(|| TileStore {
-            scheme: TileScheme::for_extent(self.input_bbox(), self.tile_px),
-            cache: TileCache::new(self.tile_cache_bytes),
-            arrangement_key: self.dynamic.fingerprint(),
-            measure_key: self.measure.cache_key(),
-        })
+        self.session.k()
     }
 
     /// The tile-pyramid geometry serving this heat map's viewports.
     pub fn tile_scheme(&self) -> &TileScheme {
-        &self.tile_store().scheme
+        self.session.tile_scheme()
     }
 
     /// Hit/miss/eviction/invalidation statistics of the viewport tile
-    /// cache.
+    /// cache, including per-shard occupancy and single-flight
+    /// counters.
     pub fn tile_cache_stats(&self) -> CacheStats {
-        self.tile_store().cache.stats()
+        self.session.cache_stats()
     }
 
     /// An *instant* coarse image of the viewport, built purely from
@@ -411,20 +307,11 @@ impl<M: InfluenceMeasure> RnnHeatMap<M> {
     /// upsampled where not, the empty-set influence elsewhere. Never
     /// renders — pair it with [`RnnHeatMap::viewport`] (run the
     /// preview first, display it, then replace it with the exact
-    /// raster once `viewport` returns).
-    ///
-    /// `Preview::resolved` reports the fraction of pixels already
-    /// exact.
+    /// raster once `viewport` returns). On a fully cold cache the
+    /// preview is the empty-set influence everywhere and
+    /// `Preview::resolved` is `0.0`.
     pub fn viewport_preview(&self, rect: Rect, px_w: usize, px_h: usize) -> Preview {
-        let store = self.tile_store();
-        let view = store.scheme.viewport(rect, px_w, px_h);
-        view.preview(
-            &store.scheme,
-            &store.cache,
-            store.arrangement_key,
-            store.measure_key,
-            self.measure.influence(&[]),
-        )
+        self.session.viewport_preview(rect, px_w, px_h)
     }
 
     // ---- what-if editing -------------------------------------------------
@@ -432,176 +319,34 @@ impl<M: InfluenceMeasure> RnnHeatMap<M> {
     /// Adds a facility at `p`, returning its id and the dirty region
     /// (everything outside it provably kept its influence).
     ///
-    /// The arrangement updates incrementally; cached viewport tiles
-    /// intersecting the dirty region are invalidated while all others
-    /// stay warm under the new arrangement fingerprint; labeled
-    /// regions (if already computed) update via the measure's
-    /// [`InfluenceMeasure::influence_delta`] hook plus a windowed
-    /// resweep of the dirty area. Errors on monochromatic maps.
+    /// The arrangement updates incrementally (committing a new
+    /// snapshot that shares all unchanged storage with the old one);
+    /// cached viewport tiles intersecting the dirty region are
+    /// invalidated while all others stay warm under the new snapshot
+    /// fingerprint; labeled regions (if already computed) update via
+    /// the measure's `influence_delta` hook plus a windowed resweep of
+    /// the dirty area. Errors on monochromatic maps.
     pub fn add_facility(&mut self, p: Point) -> Result<(u32, DirtyRegion), EditError> {
-        let (id, outcome) = self.dynamic.insert_facility(p)?;
-        self.after_edit(&outcome);
-        Ok((id, outcome.dirty))
+        self.session.add_facility(p)
     }
 
     /// Removes facility `id`; its clients re-resolve their NN. See
     /// [`RnnHeatMap::add_facility`] for what stays live.
     pub fn remove_facility(&mut self, id: u32) -> Result<DirtyRegion, EditError> {
-        let outcome = self.dynamic.remove_facility(id)?;
-        self.after_edit(&outcome);
-        Ok(outcome.dirty)
+        self.session.remove_facility(id)
     }
 
     /// Moves facility `id` to `to` (remove + insert in one pass). See
     /// [`RnnHeatMap::add_facility`] for what stays live.
     pub fn move_facility(&mut self, id: u32, to: Point) -> Result<DirtyRegion, EditError> {
-        let outcome = self.dynamic.move_facility(id, to)?;
-        self.after_edit(&outcome);
-        Ok(outcome.dirty)
+        self.session.move_facility(id, to)
     }
 
-    /// Propagates one edit outcome to the derived state: labeled
-    /// regions and the tile cache.
-    fn after_edit(&mut self, outcome: &EditOutcome) {
-        if outcome.dirty.is_empty() {
-            return;
-        }
-        self.maintain_regions(outcome);
-        let new_key = self.dynamic.fingerprint();
-        if let Some(store) = self.tile_store.get_mut() {
-            store.cache.invalidate_region(
-                store.arrangement_key,
-                new_key,
-                &store.scheme,
-                &outcome.dirty,
-            );
-            store.arrangement_key = new_key;
-        }
-    }
-
-    /// Updates the labeled-region cache for one edit, if it is fresh:
-    ///
-    /// * regions whose representative rect misses the (sweep-space)
-    ///   dirty window are untouched;
-    /// * regions uniformly inside/outside every changed circle, old
-    ///   and new, keep their rect — their RNN delta is known exactly,
-    ///   so the influence updates through
-    ///   [`InfluenceMeasure::influence_delta`] without recomputation;
-    /// * regions straddling a changed boundary are dropped, and a
-    ///   windowed CREST resweep relabels everything there (clipped
-    ///   representative rects). The resweep window is the dirty
-    ///   window *grown to cover every dropped rect*: a dropped label
-    ///   may extend far past the dirty area, and the part of its
-    ///   region outside the dirty window still needs a label after
-    ///   the drop.
-    ///
-    /// L2 maps mark the cache stale instead (no windowed L2 sweep);
-    /// the next region query resweeps fully.
-    fn maintain_regions(&self, outcome: &EditOutcome) {
-        let mut cache = self.regions.lock().unwrap_or_else(|e| e.into_inner());
-        if !cache.fresh {
-            return;
-        }
-        let arr = match self.dynamic.as_ref() {
-            ArrangementRef::Disk(_) => {
-                cache.fresh = false;
-                cache.list.clear();
-                return;
-            }
-            ArrangementRef::Square(arr) => arr,
-        };
-        let dirty_bbox = outcome.dirty.bbox().expect("caller checked non-empty");
-        let window = match arr.space {
-            CoordSpace::Identity => dirty_bbox,
-            CoordSpace::Rotated45 => {
-                let corners = [
-                    rotate45(Point::new(dirty_bbox.x_lo, dirty_bbox.y_lo)),
-                    rotate45(Point::new(dirty_bbox.x_lo, dirty_bbox.y_hi)),
-                    rotate45(Point::new(dirty_bbox.x_hi, dirty_bbox.y_lo)),
-                    rotate45(Point::new(dirty_bbox.x_hi, dirty_bbox.y_hi)),
-                ];
-                Rect::bounding(&corners).expect("four corners")
-            }
-        };
-
-        let list = std::mem::take(&mut cache.list);
-        let mut kept: Vec<LabeledRegion> = Vec::with_capacity(list.len());
-        let mut added: Vec<u32> = Vec::new();
-        let mut removed: Vec<u32> = Vec::new();
-        // The resweep must relabel everything a dropped label used to
-        // describe, and dropped rects can reach past the dirty window.
-        let mut resweep = window;
-        'regions: for mut region in list {
-            if !region.rect.intersects(&window) {
-                kept.push(region);
-                continue;
-            }
-            added.clear();
-            removed.clear();
-            for ch in &outcome.changes {
-                let was = membership(ch.old.as_ref(), &region.rect);
-                let now = membership(ch.new.as_ref(), &region.rect);
-                match (was, now) {
-                    (Some(a), Some(b)) if a == b => {}
-                    (Some(false), Some(true)) if !region.rnn.contains(&ch.owner) => {
-                        added.push(ch.owner);
-                    }
-                    (Some(true), Some(false)) if region.rnn.contains(&ch.owner) => {
-                        removed.push(ch.owner);
-                    }
-                    // A changed boundary crosses the rect (or the label
-                    // disagrees with the geometry): drop the label and
-                    // leave relabeling its whole footprint — not just
-                    // the dirty part — to the resweep.
-                    _ => {
-                        resweep = resweep.union(&region.rect);
-                        continue 'regions;
-                    }
-                }
-            }
-            if !added.is_empty() || !removed.is_empty() {
-                region.influence =
-                    self.measure.influence_delta(region.influence, &region.rnn, &added, &removed);
-                region.rnn.retain(|id| !removed.contains(id));
-                region.rnn.extend_from_slice(&added);
-            }
-            kept.push(region);
-        }
-        // Inflate the resweep window a hair: a changed square's edge
-        // is itself a new strip boundary, so regions created right
-        // outside it touch the window only along a zero-area line and
-        // the window sink would drop their (empty) clipped labels. A
-        // relative epsilon gives each such neighbor a positive-area
-        // sliver to be labeled in.
-        let magnitude = resweep
-            .x_lo
-            .abs()
-            .max(resweep.x_hi.abs())
-            .max(resweep.y_lo.abs())
-            .max(resweep.y_hi.abs());
-        let resweep = resweep.inflate((magnitude * 1e-12).max(1e-12));
-        let mut sink = CollectSink::default();
-        crest_window(arr, resweep, &self.measure, &mut sink);
-        kept.extend(sink.regions);
-        if kept.len() > REGION_GROWTH_CAP * cache.full_len + 1024 {
-            // Too many accumulated duplicates: cheaper to resweep.
-            cache.fresh = false;
-            cache.list.clear();
-        } else {
-            cache.list = kept;
-        }
-    }
-}
-
-/// Whether every interior point of `rect` is inside (`Some(true)`),
-/// outside (`Some(false)`), or on both sides (`None`) of the closed
-/// shape; `None` shape means "no circle" (always outside).
-fn membership(shape: Option<&Shape>, rect: &Rect) -> Option<bool> {
-    match shape {
-        None => Some(false),
-        Some(s) if s.covers_rect(rect) => Some(true),
-        Some(s) if s.misses_rect(rect) => Some(false),
-        Some(_) => None,
+    /// Renders the heat map with the per-pixel-stab reference path —
+    /// available for any [`InfluenceMeasure`], at
+    /// `O(P · (log n + α + measure))` cost.
+    pub fn raster_oracle(&self, spec: GridSpec) -> HeatRaster {
+        self.session.raster_oracle(spec)
     }
 }
 
@@ -614,10 +359,7 @@ impl<M: IncrementalMeasure + Sync> RnnHeatMap<M> {
     /// [`rnnhm_core::measure::ExactFallback`], or render with
     /// [`RnnHeatMap::raster_oracle`].
     pub fn raster(&self, spec: GridSpec) -> HeatRaster {
-        match self.dynamic.as_ref() {
-            ArrangementRef::Square(arr) => rasterize_squares(arr, &self.measure, spec),
-            ArrangementRef::Disk(arr) => rasterize_disks(arr, &self.measure, spec),
-        }
+        self.session.raster(spec)
     }
 
     /// Re-renders, in place, exactly the pixels of a previously
@@ -628,36 +370,7 @@ impl<M: IncrementalMeasure + Sync> RnnHeatMap<M> {
     /// order-insensitive exact measures; see
     /// `rnnhm_heatmap::scanline::refresh_squares_dirty`).
     pub fn refresh_raster(&self, raster: &mut HeatRaster, dirty: &DirtyRegion) {
-        match self.dynamic.as_ref() {
-            ArrangementRef::Square(arr) => refresh_squares_dirty(arr, &self.measure, raster, dirty),
-            ArrangementRef::Disk(arr) => refresh_disks_dirty(arr, &self.measure, raster, dirty),
-        }
-    }
-
-    /// Renders one tile through the cache (render-on-miss). Each tile
-    /// renders only the NN-circles that can reach it
-    /// ([`SquareArrangement::restrict_to`]) — tile cost is local to the
-    /// tile, not `O(n)` setup — and without band parallelism, because
-    /// viewports parallelize *across* tiles.
-    ///
-    /// The restriction runs in two stages
-    /// ([`TileCache::fetch_restricted`]): one pass over the full
-    /// arrangement restricted to the union of the tiles that currently
-    /// miss the cache (on a pan, a thin strip of the viewport), then a
-    /// per-tile restriction of that small base.
-    fn fetch_tiles(&self, ids: &[TileId]) -> Vec<Arc<HeatRaster>> {
-        let store = self.tile_store();
-        store.cache.fetch_restricted(
-            store.arrangement_key,
-            store.measure_key,
-            &store.scheme,
-            ids,
-            |extent| match self.dynamic.as_ref() {
-                ArrangementRef::Square(arr) => RestrictedBase::Square(arr.restrict_to(extent)),
-                ArrangementRef::Disk(arr) => RestrictedBase::Disk(arr.restrict_to(extent)),
-            },
-            |base, _, spec| base.render(&self.measure, spec),
-        )
+        self.session.refresh_raster(raster, dirty)
     }
 
     /// Renders the viewport `rect` at (at least) `px_w × px_h` pixels
@@ -676,26 +389,7 @@ impl<M: IncrementalMeasure + Sync> RnnHeatMap<M> {
     /// outside their dirty region valid and warm; see
     /// `BENCH_edits.json`.
     pub fn viewport(&self, rect: Rect, px_w: usize, px_h: usize) -> HeatRaster {
-        let store = self.tile_store();
-        let view = store.scheme.viewport(rect, px_w, px_h);
-        let tiles = self.fetch_tiles(view.tiles());
-        view.stitch(&store.scheme, &tiles)
-    }
-}
-
-impl<M: InfluenceMeasure> RnnHeatMap<M> {
-    /// Renders the heat map with the per-pixel-stab reference path —
-    /// available for any [`InfluenceMeasure`], at
-    /// `O(P · (log n + α + measure))` cost.
-    pub fn raster_oracle(&self, spec: GridSpec) -> HeatRaster {
-        match self.dynamic.as_ref() {
-            ArrangementRef::Square(arr) => {
-                rnnhm_heatmap::rasterize_squares_oracle(arr, &self.measure, spec)
-            }
-            ArrangementRef::Disk(arr) => {
-                rnnhm_heatmap::rasterize_disks_oracle(arr, &self.measure, spec)
-            }
-        }
+        self.session.viewport(rect, px_w, px_h)
     }
 }
 
@@ -810,9 +504,16 @@ mod tests {
             .build(CountMeasure)
             .unwrap();
         let rect = Rect::new(0.0, 4.0, 0.0, 4.0);
-        // Nothing cached yet: the preview is instant but unresolved.
+        // Nothing cached yet: the preview is instant but unresolved —
+        // `resolved == 0.0` and a well-formed raster entirely at the
+        // measure's empty-set influence (0 for the count measure).
         let before = map.viewport_preview(rect, 40, 40);
         assert_eq!(before.resolved, 0.0);
+        assert_eq!(
+            before.raster.values().len(),
+            before.raster.spec.width * before.raster.spec.height
+        );
+        assert!(before.raster.values().iter().all(|&v| v == 0.0), "cold preview is zeroed");
         let exact = map.viewport(rect, 40, 40);
         let after = map.viewport_preview(rect, 40, 40);
         assert_eq!(after.resolved, 1.0, "all tiles cached now");
@@ -941,8 +642,8 @@ mod tests {
             let (id, _) = map.add_facility(Point::new(3.0, 3.0)).unwrap();
             map.move_facility(id, Point::new(0.5, 2.5)).unwrap();
             let rebuilt = HeatMapBuilder::bichromatic(
-                map.dynamic.clients().to_vec(),
-                map.dynamic.facility_points(),
+                map.session().snapshot().clients().to_vec(),
+                map.session().snapshot().facility_points(),
             )
             .metric(metric)
             .build(CountMeasure)

@@ -49,8 +49,10 @@
 
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod highlevel;
 
+pub use engine::{ExplorationEngine, Session};
 pub use highlevel::{HeatMapBuilder, RnnHeatMap};
 pub use rnnhm_core as core;
 pub use rnnhm_data as data;
@@ -60,6 +62,7 @@ pub use rnnhm_index as index;
 
 /// The commonly used names, importable in one line.
 pub mod prelude {
+    pub use crate::engine::{ExplorationEngine, Session};
     pub use rnnhm_core::arrangement::{
         build_disk_arrangement, build_disk_arrangement_k, build_square_arrangement,
         build_square_arrangement_k, knn_assignments, nn_assignments, CoordSpace, DiskArrangement,
@@ -82,6 +85,9 @@ pub mod prelude {
     pub use rnnhm_core::sink::{
         CollectSink, LabeledRegion, MaxSink, NullSink, RegionSink, ThresholdSink, TopKSink,
     };
+    pub use rnnhm_core::snapshot::{
+        ArrangementSnapshot, CowVec, RestrictedArrangement, StorageSharing,
+    };
     pub use rnnhm_core::stats::SweepStats;
     pub use rnnhm_core::window::{clip_arrangement, crest_window, WindowSink};
     pub use rnnhm_data::{sample_clients_facilities, Dataset};
@@ -89,6 +95,7 @@ pub mod prelude {
     pub use rnnhm_heatmap::{
         rasterize_count_squares_fast, rasterize_disks, rasterize_disks_oracle, rasterize_squares,
         rasterize_squares_oracle, refresh_disks_dirty, refresh_squares_dirty, CacheStats,
-        ColorRamp, GridSpec, HeatRaster, Preview, TileCache, TileId, TileScheme, Viewport,
+        ColorRamp, GridSpec, HeatRaster, Preview, ShardOccupancy, TileCache, TileId, TileScheme,
+        Viewport,
     };
 }

@@ -1,0 +1,139 @@
+//! Snapshot fork and copy-on-write storage contracts (ISSUE 5
+//! acceptance): forking is `O(1)` — the fork *is* the same snapshot,
+//! no circles or candidate lists are cloned, asserted via
+//! shared-allocation pointer equality — and an edit's successor
+//! snapshot shares every untouched storage chunk with its parent.
+
+use std::sync::Arc;
+
+use rnn_heatmap::prelude::*;
+use rnn_heatmap::HeatMapBuilder;
+
+/// Deterministic uniform points on the span (the library's own
+/// generator — `rnnhm_data::gen::uniform` — reused instead of a
+/// hand-rolled PRNG).
+fn pseudo_points(n: usize, seed: u64, span: f64) -> Vec<Point> {
+    rnn_heatmap::data::uniform(n, Rect::new(0.0, span, 0.0, span), seed)
+}
+
+#[test]
+fn fork_is_the_same_snapshot_no_copies() {
+    let clients = pseudo_points(10_000, 3, 1.0);
+    let facilities = pseudo_points(100, 5, 1.0);
+    let engine = HeatMapBuilder::bichromatic(clients, facilities)
+        .metric(Metric::Linf)
+        .build_engine(CountMeasure)
+        .expect("non-empty input");
+    let session = engine.session();
+    let fork = session.fork();
+    // O(1) fork: literally the same allocation, not a copy of any
+    // circle or candidate list.
+    assert!(
+        Arc::ptr_eq(session.snapshot(), fork.snapshot()),
+        "a fork must share the snapshot allocation"
+    );
+    assert_eq!(session.fingerprint(), fork.fingerprint());
+    // And the same snapshot as the engine root.
+    assert!(Arc::ptr_eq(session.snapshot(), engine.root_snapshot()));
+    // Full self-sharing, for the record.
+    let self_sharing = session.snapshot().storage_sharing(fork.snapshot());
+    assert_eq!(self_sharing.shared_chunks, self_sharing.total_chunks);
+    assert!(self_sharing.shares_clients);
+}
+
+#[test]
+fn edits_share_untouched_chunks_with_the_parent() {
+    let clients = pseudo_points(20_000, 7, 1.0);
+    let facilities = pseudo_points(250, 9, 1.0);
+    let engine = HeatMapBuilder::bichromatic(clients, facilities)
+        .metric(Metric::Linf)
+        .build_engine(CountMeasure)
+        .expect("non-empty input");
+    let parent = engine.session();
+    let mut child = parent.fork();
+    // A geometrically local edit: only the clients near the new
+    // facility change circles.
+    let (_, dirty) = child.add_facility(Point::new(0.31, 0.62)).unwrap();
+    assert!(!dirty.is_empty());
+    assert!(!Arc::ptr_eq(parent.snapshot(), child.snapshot()), "the edit committed a new version");
+    assert_ne!(parent.fingerprint(), child.fingerprint());
+
+    let sharing = child.snapshot().storage_sharing(parent.snapshot());
+    assert!(sharing.shares_clients, "the client set is never copied");
+    assert!(
+        sharing.shared_chunks * 4 > sharing.total_chunks * 3,
+        "chunk-level copy-on-write must keep most storage shared after a local edit: {sharing:?}"
+    );
+
+    // The parent is bitwise untouched: its view of the world renders
+    // exactly as before the child's edit.
+    let rect = Rect::new(0.2, 0.8, 0.4, 0.9);
+    let parent_frame = parent.viewport(rect, 64, 64);
+    let parent_one_shot = parent.raster(parent_frame.spec);
+    for (a, b) in parent_frame.values().iter().zip(parent_one_shot.values()) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+    // And the branches disagree exactly where the edit landed.
+    let child_frame = child.viewport(rect, 64, 64);
+    assert_ne!(child_frame.values(), parent_frame.values());
+}
+
+#[test]
+fn noop_edits_commit_without_new_fingerprints() {
+    let clients = pseudo_points(500, 11, 1.0);
+    let facilities = pseudo_points(10, 13, 1.0);
+    let engine = HeatMapBuilder::bichromatic(clients, facilities)
+        .metric(Metric::L2)
+        .build_engine(CountMeasure)
+        .expect("non-empty input");
+    let mut session = engine.session();
+    let fp = session.fingerprint();
+    let gen = session.generation();
+    // A facility in the far wilderness steals no client: the snapshot
+    // changes (facility bookkeeping) but the geometry — and thus the
+    // cache fingerprint — does not.
+    let (id, dirty) = session.add_facility(Point::new(500.0, 500.0)).unwrap();
+    assert!(dirty.is_empty());
+    assert_eq!(session.fingerprint(), fp);
+    assert_eq!(session.generation(), gen);
+    assert_eq!(session.n_facilities(), 11);
+    // Removing it is equally invisible.
+    let dirty = session.remove_facility(id).unwrap();
+    assert!(dirty.is_empty());
+    assert_eq!(session.fingerprint(), fp);
+}
+
+#[test]
+fn engine_registry_tracks_live_snapshots() {
+    let clients = pseudo_points(400, 17, 1.0);
+    let facilities = pseudo_points(8, 19, 1.0);
+    let engine = HeatMapBuilder::bichromatic(clients, facilities)
+        .metric(Metric::Linf)
+        .build_engine(CountMeasure)
+        .expect("non-empty input");
+    assert_eq!(engine.snapshots().len(), 1, "the root is registered at build");
+
+    let mut a = engine.session();
+    a.add_facility(Point::new(0.5, 0.5)).unwrap();
+    let mut b = a.fork();
+    b.add_facility(Point::new(0.25, 0.75)).unwrap();
+    let live = engine.snapshots();
+    assert_eq!(live.len(), 3, "root + two committed edits are alive");
+    assert!(live.iter().any(|s| s.fingerprint() == a.fingerprint()));
+    assert!(live.iter().any(|s| s.fingerprint() == b.fingerprint()));
+
+    // Dropping a branch lets its snapshot be garbage-collected: the
+    // registry only upgrades snapshots some session still holds.
+    // (Drop our own listing first — it pins every snapshot it lists.)
+    drop(live);
+    let b_fp = b.fingerprint();
+    drop(b);
+    let live = engine.snapshots();
+    assert!(
+        !live.iter().any(|s| s.fingerprint() == b_fp),
+        "a dropped branch's snapshot must not be resurrectable"
+    );
+    // Time travel to a live snapshot yields a working session.
+    let back = engine.session_at(live[0].clone());
+    assert!(back.n_circles() > 0);
+}
