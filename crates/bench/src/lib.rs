@@ -12,6 +12,7 @@
 //!   for moderate input sizes.
 
 pub mod edits;
+pub mod http;
 pub mod raster;
 pub mod runner;
 pub mod serve;

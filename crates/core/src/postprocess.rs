@@ -7,26 +7,42 @@
 //! ([`crate::sink::TopKSink`], [`crate::sink::ThresholdSink`]); this
 //! module offers the batch equivalents over collected regions.
 
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
 use crate::oracle::signature;
 use crate::sink::LabeledRegion;
 
 /// The `k` most influential regions, deduplicated by RNN-set signature,
 /// most influential first. Ties are broken by first occurrence.
+///
+/// Dense arrangements emit tens of thousands of labels, so the dedup
+/// must not scan the distinct-signature set per label — a hash map
+/// keyed by signature keeps this O(m) in the label count (the old
+/// linear-scan dedup held an HTTP serving worker for ~50 s at n=20k).
 pub fn top_k(regions: &[LabeledRegion], k: usize) -> Vec<LabeledRegion> {
-    let mut seen: Vec<(Vec<u32>, usize)> = Vec::new();
+    // `order[slot]` is the best region index seen for the slot's
+    // signature; slots are allocated in first-occurrence order so the
+    // stable sort below breaks influence ties the same way the old
+    // linear scan did.
+    let mut by_sig: HashMap<Vec<u32>, usize> = HashMap::new();
+    let mut order: Vec<usize> = Vec::new();
     for (i, r) in regions.iter().enumerate() {
         let sig = signature(&r.rnn);
-        match seen.iter_mut().find(|(s, _)| *s == sig) {
-            Some((_, best)) => {
+        match by_sig.entry(sig) {
+            Entry::Occupied(slot) => {
+                let best = &mut order[*slot.get()];
                 if regions[*best].influence < r.influence {
                     *best = i;
                 }
             }
-            None => seen.push((sig, i)),
+            Entry::Vacant(slot) => {
+                slot.insert(order.len());
+                order.push(i);
+            }
         }
     }
-    let mut picked: Vec<LabeledRegion> =
-        seen.into_iter().map(|(_, i)| regions[i].clone()).collect();
+    let mut picked: Vec<LabeledRegion> = order.into_iter().map(|i| regions[i].clone()).collect();
     picked.sort_by(|a, b| b.influence.partial_cmp(&a.influence).expect("finite influence"));
     picked.truncate(k);
     picked

@@ -46,9 +46,10 @@
 //! without the structural bit-identity argument.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
+use std::time::Instant;
 
 use rnnhm_core::parallel::{chunk_ranges, effective_parallelism};
 use rnnhm_geom::Rect;
@@ -533,6 +534,11 @@ pub struct CacheStats {
     /// registration. (Waits whose leader unwound fall back to
     /// rendering and count in neither.)
     pub single_flight_dedups: u64,
+    /// Deadline-bounded fetches ([`TileCache::fetch_deadline`]) that
+    /// gave up with covering tiles still unrendered. Tiles completed
+    /// before the deadline stay cached, so a follow-up preview or
+    /// retry starts warmer.
+    pub deadline_giveups: u64,
     /// Per-shard occupancy, in shard order.
     pub shards: Vec<ShardOccupancy>,
 }
@@ -604,21 +610,45 @@ enum FlightState {
     Abandoned,
 }
 
+/// How a waiter's stay on a [`Flight`] ended.
+enum WaitOutcome {
+    /// The leader produced a raster before the deadline.
+    Done(Arc<HeatRaster>),
+    /// The leader unwound (or abandoned the flight at its own
+    /// deadline) without producing a raster.
+    Abandoned,
+    /// The waiter's deadline expired while the flight was still
+    /// pending.
+    TimedOut,
+}
+
 impl Flight {
     fn new() -> Flight {
         Flight { state: Mutex::new(FlightState::Pending), cv: Condvar::new() }
     }
 
-    /// Blocks until the leader resolves the flight.
-    fn wait(&self) -> Option<Arc<HeatRaster>> {
+    /// Blocks until the leader resolves the flight or `deadline`
+    /// passes (`None` waits forever).
+    fn wait_until(&self, deadline: Option<Instant>) -> WaitOutcome {
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             match &*state {
-                FlightState::Pending => {
-                    state = self.cv.wait(state).unwrap_or_else(|e| e.into_inner());
-                }
-                FlightState::Done(raster) => return Some(raster.clone()),
-                FlightState::Abandoned => return None,
+                FlightState::Pending => match deadline {
+                    None => state = self.cv.wait(state).unwrap_or_else(|e| e.into_inner()),
+                    Some(d) => {
+                        let now = Instant::now();
+                        if now >= d {
+                            return WaitOutcome::TimedOut;
+                        }
+                        state = self
+                            .cv
+                            .wait_timeout(state, d - now)
+                            .unwrap_or_else(|e| e.into_inner())
+                            .0;
+                    }
+                },
+                FlightState::Done(raster) => return WaitOutcome::Done(raster.clone()),
+                FlightState::Abandoned => return WaitOutcome::Abandoned,
             }
         }
     }
@@ -707,6 +737,7 @@ pub struct TileCache {
     capacity: usize,
     flight_waits: AtomicU64,
     flight_dedups: AtomicU64,
+    deadline_giveups: AtomicU64,
 }
 
 impl TileCache {
@@ -733,6 +764,7 @@ impl TileCache {
             capacity: capacity_bytes,
             flight_waits: AtomicU64::new(0),
             flight_dedups: AtomicU64::new(0),
+            deadline_giveups: AtomicU64::new(0),
         }
     }
 
@@ -846,6 +878,7 @@ impl TileCache {
         let mut stats = CacheStats {
             single_flight_waits: self.flight_waits.load(Ordering::Relaxed),
             single_flight_dedups: self.flight_dedups.load(Ordering::Relaxed),
+            deadline_giveups: self.deadline_giveups.load(Ordering::Relaxed),
             ..CacheStats::default()
         };
         for shard in &self.shards {
@@ -914,8 +947,49 @@ impl TileCache {
     where
         F: Fn(TileId, GridSpec) -> HeatRaster + Sync,
     {
+        self.fetch_inner(arrangement, measure, scheme, ids, None, render)
+            .expect("a fetch without a deadline always completes")
+    }
+
+    /// [`TileCache::fetch`] bounded by a wall-clock `deadline`: misses
+    /// render only while time remains (the check runs before each tile
+    /// render, never mid-tile), and waits on other callers' flights
+    /// time out at the deadline. Returns `None` — counting a
+    /// [`CacheStats::deadline_giveups`] — if any requested tile was
+    /// still unrendered when the budget ran out; everything rendered
+    /// up to that point is already cached, so a follow-up
+    /// [`Viewport::preview`] (the graceful-degradation path) or a
+    /// retry starts from the warmed state.
+    pub fn fetch_deadline<F>(
+        &self,
+        arrangement: u64,
+        measure: u64,
+        scheme: &TileScheme,
+        ids: &[TileId],
+        deadline: Instant,
+        render: F,
+    ) -> Option<Vec<Arc<HeatRaster>>>
+    where
+        F: Fn(TileId, GridSpec) -> HeatRaster + Sync,
+    {
+        self.fetch_inner(arrangement, measure, scheme, ids, Some(deadline), render)
+    }
+
+    fn fetch_inner<F>(
+        &self,
+        arrangement: u64,
+        measure: u64,
+        scheme: &TileScheme,
+        ids: &[TileId],
+        deadline: Option<Instant>,
+        render: F,
+    ) -> Option<Vec<Arc<HeatRaster>>>
+    where
+        F: Fn(TileId, GridSpec) -> HeatRaster + Sync,
+    {
         let scheme_key = scheme.fingerprint();
         let key_of = |tile: TileId| TileKey { arrangement, measure, scheme: scheme_key, tile };
+        let expired = || deadline.is_some_and(|d| Instant::now() >= d);
         let mut out: Vec<Option<Arc<HeatRaster>>> =
             ids.iter().map(|&tile| self.get(key_of(tile))).collect();
         let mut leaders: Vec<(usize, Arc<Flight>)> = Vec::new();
@@ -939,20 +1013,29 @@ impl TileCache {
                 }
             }
         }
+        let gave_up = AtomicBool::new(false);
         if !leaders.is_empty() {
             // Render the led tiles; each flight resolves as soon as its
             // tile lands, so concurrent waiters unblock without waiting
-            // for the whole batch.
-            let render_one = |(i, flight): (usize, Arc<Flight>)| -> (usize, Arc<HeatRaster>) {
-                let key = key_of(ids[i]);
-                let guard = FlightGuard { cache: self, key, flight, armed: true };
-                let raster = Arc::new(render(ids[i], scheme.tile_spec(ids[i])));
-                self.insert(key, raster.clone());
-                guard.complete(raster.clone());
-                (i, raster)
-            };
+            // for the whole batch. Past the deadline, remaining led
+            // flights are abandoned *unrendered* so concurrent waiters
+            // fall back to rendering for themselves.
+            let render_one =
+                |(i, flight): (usize, Arc<Flight>)| -> (usize, Option<Arc<HeatRaster>>) {
+                    let key = key_of(ids[i]);
+                    if expired() {
+                        self.finish_flight(key, &flight, None);
+                        gave_up.store(true, Ordering::Relaxed);
+                        return (i, None);
+                    }
+                    let guard = FlightGuard { cache: self, key, flight, armed: true };
+                    let raster = Arc::new(render(ids[i], scheme.tile_spec(ids[i])));
+                    self.insert(key, raster.clone());
+                    guard.complete(raster.clone());
+                    (i, Some(raster))
+                };
             let workers = effective_parallelism().min(leaders.len());
-            let rendered: Vec<(usize, Arc<HeatRaster>)> = if workers <= 1 {
+            let rendered: Vec<(usize, Option<Arc<HeatRaster>>)> = if workers <= 1 {
                 leaders.into_iter().map(render_one).collect()
             } else {
                 let leaders = &leaders;
@@ -974,25 +1057,35 @@ impl TileCache {
                 all
             };
             for (i, raster) in rendered {
-                out[i] = Some(raster);
+                out[i] = raster;
             }
         }
         for (i, flight) in waiters {
-            match flight.wait() {
-                Some(raster) => {
+            match flight.wait_until(deadline) {
+                WaitOutcome::Done(raster) => {
                     self.flight_dedups.fetch_add(1, Ordering::Relaxed);
                     out[i] = Some(raster);
                 }
-                None => {
-                    // The leader unwound; render for ourselves.
+                WaitOutcome::Abandoned => {
+                    // The leader unwound (or hit its own deadline);
+                    // render for ourselves if time remains.
+                    if expired() {
+                        gave_up.store(true, Ordering::Relaxed);
+                        continue;
+                    }
                     let key = key_of(ids[i]);
                     let raster = Arc::new(render(ids[i], scheme.tile_spec(ids[i])));
                     self.insert(key, raster.clone());
                     out[i] = Some(raster);
                 }
+                WaitOutcome::TimedOut => gave_up.store(true, Ordering::Relaxed),
             }
         }
-        out.into_iter().map(|r| r.expect("every tile fetched or rendered")).collect()
+        if gave_up.load(Ordering::Relaxed) {
+            self.deadline_giveups.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        Some(out.into_iter().map(|r| r.expect("every tile fetched or rendered")).collect())
     }
 
     /// Collects the entries of `old_arrangement` under `scheme` from
@@ -1151,6 +1244,57 @@ impl TileCache {
         F: Fn(Rect) -> B + Sync,
         G: Fn(&B, TileId, GridSpec) -> HeatRaster + Sync,
     {
+        self.fetch_restricted_inner(arrangement, measure, scheme, ids, None, make_base, render)
+            .expect("a fetch without a deadline always completes")
+    }
+
+    /// [`TileCache::fetch_restricted`] bounded by a wall-clock
+    /// deadline; see [`TileCache::fetch_deadline`] for the giveup
+    /// semantics (`None` ⇒ at least one tile unrendered at the
+    /// deadline, everything rendered so far cached).
+    #[allow(clippy::too_many_arguments)]
+    pub fn fetch_restricted_deadline<B, F, G>(
+        &self,
+        arrangement: u64,
+        measure: u64,
+        scheme: &TileScheme,
+        ids: &[TileId],
+        deadline: Instant,
+        make_base: F,
+        render: G,
+    ) -> Option<Vec<Arc<HeatRaster>>>
+    where
+        B: Sync,
+        F: Fn(Rect) -> B + Sync,
+        G: Fn(&B, TileId, GridSpec) -> HeatRaster + Sync,
+    {
+        self.fetch_restricted_inner(
+            arrangement,
+            measure,
+            scheme,
+            ids,
+            Some(deadline),
+            make_base,
+            render,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn fetch_restricted_inner<B, F, G>(
+        &self,
+        arrangement: u64,
+        measure: u64,
+        scheme: &TileScheme,
+        ids: &[TileId],
+        deadline: Option<Instant>,
+        make_base: F,
+        render: G,
+    ) -> Option<Vec<Arc<HeatRaster>>>
+    where
+        B: Sync,
+        F: Fn(Rect) -> B + Sync,
+        G: Fn(&B, TileId, GridSpec) -> HeatRaster + Sync,
+    {
         let scheme_key = scheme.fingerprint();
         let missing_union = ids
             .iter()
@@ -1160,7 +1304,7 @@ impl TileCache {
             .map(|&tile| scheme.tile_extent(tile))
             .reduce(|a, b| a.union(&b));
         let base = missing_union.map(|u| (u, make_base(u)));
-        self.fetch(arrangement, measure, scheme, ids, |id, spec| match &base {
+        self.fetch_inner(arrangement, measure, scheme, ids, deadline, |id, spec| match &base {
             Some((u, b)) if u.contains_rect(&spec.extent) => render(b, id, spec),
             _ => render(&make_base(spec.extent), id, spec),
         })
@@ -1696,6 +1840,135 @@ mod tests {
             (renders.load(Ordering::Relaxed)) < 4 * v.tiles().len(),
             "the herd must not render everything four times"
         );
+    }
+
+    #[test]
+    fn abandoned_flight_lets_waiters_self_render_with_consistent_stats() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+        let s = scheme();
+        let cache = TileCache::new(64 << 20);
+        let id = TileId { zoom: 2, tx: 1, ty: 1 };
+        let leading = AtomicBool::new(false);
+        let waiter_renders = AtomicUsize::new(0);
+        thread::scope(|scope| {
+            // Leader: claims the flight, holds it until the waiter is
+            // provably queued behind it, then dies mid-render. The
+            // stats poll makes the leader/waiter interleaving
+            // deterministic rather than a sleep-tuned race.
+            let leader = scope.spawn(|| {
+                catch_unwind(AssertUnwindSafe(|| {
+                    cache.fetch(1, 2, &s, &[id], |_, _spec| {
+                        leading.store(true, Ordering::SeqCst);
+                        while cache.stats().single_flight_waits < 1 {
+                            std::thread::sleep(std::time::Duration::from_millis(1));
+                        }
+                        panic!("injected renderer failure");
+                    })
+                }))
+            });
+            // Waiter: joins the same key only once the leader owns it.
+            let waiter = scope.spawn(|| {
+                while !leading.load(Ordering::SeqCst) {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                cache.fetch(1, 2, &s, &[id], |_, spec| {
+                    waiter_renders.fetch_add(1, Ordering::SeqCst);
+                    HeatRaster::from_values(spec, vec![3.25; spec.width * spec.height])
+                })
+            });
+            assert!(leader.join().expect("leader thread").is_err(), "panic reaches the caller");
+            let frame = waiter.join().expect("waiter thread");
+            assert_eq!(frame.len(), 1);
+            assert!(frame[0].values().iter().all(|&x| x == 3.25), "waiter's own render served");
+        });
+        assert_eq!(waiter_renders.load(Ordering::SeqCst), 1, "the waiter rendered for itself");
+        let st = cache.stats();
+        assert_eq!(st.single_flight_waits, 1, "the waiter queued behind the doomed flight");
+        assert_eq!(st.single_flight_dedups, 0, "an abandoned flight deduplicates nothing");
+        assert_eq!(st.misses, 2, "both callers missed the cold cache");
+        assert_eq!(st.insertions, 1, "only the waiter's self-render landed");
+        let k = TileKey { arrangement: 1, measure: 2, scheme: s.fingerprint(), tile: id };
+        assert!(cache.peek(k).is_some(), "the recovered tile stays cached for the next caller");
+        // And the next fetch is a plain hit — the abandonment left no
+        // stuck flight behind.
+        cache.fetch(1, 2, &s, &[id], |_, _| unreachable!("tile is warm"));
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn expired_deadline_gives_up_before_rendering() {
+        let s = scheme();
+        let cache = TileCache::new(64 << 20);
+        let v = s.viewport(Rect::new(1.0, 7.0, 1.0, 7.0), 40, 40);
+        let out = cache.fetch_deadline(
+            1,
+            2,
+            &s,
+            v.tiles(),
+            Instant::now() - std::time::Duration::from_millis(1),
+            |_, _| unreachable!("no render budget remains"),
+        );
+        assert!(out.is_none());
+        let st = cache.stats();
+        assert_eq!(st.deadline_giveups, 1);
+        assert_eq!(st.insertions, 0, "nothing rendered, nothing cached");
+        // The abandoned flights left no residue: an undeadlined fetch
+        // renders everything normally.
+        let full = cache.fetch(1, 2, &s, v.tiles(), |id, spec| {
+            HeatRaster::from_values(spec, vec![id.tx as f64; spec.width * spec.height])
+        });
+        assert_eq!(full.len(), v.tiles().len());
+    }
+
+    #[test]
+    fn deadline_with_headroom_matches_plain_fetch() {
+        let s = scheme();
+        let cache = TileCache::new(64 << 20);
+        let v = s.viewport(Rect::new(1.0, 7.0, 1.0, 7.0), 40, 40);
+        let render = |id: TileId, spec: GridSpec| {
+            HeatRaster::from_values(spec, vec![id.tx as f64; spec.width * spec.height])
+        };
+        let deadline = Instant::now() + std::time::Duration::from_secs(60);
+        let bounded = cache
+            .fetch_deadline(1, 2, &s, v.tiles(), deadline, render)
+            .expect("a generous deadline completes");
+        let plain = cache.fetch(1, 2, &s, v.tiles(), render);
+        for (a, b) in bounded.iter().zip(&plain) {
+            assert!(Arc::ptr_eq(a, b), "deadline path fills the same cache entries");
+        }
+        assert_eq!(cache.stats().deadline_giveups, 0);
+    }
+
+    #[test]
+    fn partial_render_under_deadline_stays_cached_and_warms_preview() {
+        let s = scheme();
+        let cache = TileCache::new(64 << 20);
+        let v = s.viewport(Rect::new(1.0, 7.0, 1.0, 7.0), 60, 60);
+        let total = v.tiles().len();
+        assert!(total >= 16, "needs enough tiles that the budget can't cover them all");
+        // Each tile costs ~20 ms; the 10 ms budget admits the first
+        // render per worker (the deadline check runs before a render
+        // starts, never mid-tile) and then expires.
+        let out = cache.fetch_deadline(
+            1,
+            2,
+            &s,
+            v.tiles(),
+            Instant::now() + std::time::Duration::from_millis(10),
+            |id, spec| {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                HeatRaster::from_values(spec, vec![id.tx as f64; spec.width * spec.height])
+            },
+        );
+        assert!(out.is_none(), "the budget cannot cover {total} tiles");
+        let st = cache.stats();
+        assert_eq!(st.deadline_giveups, 1);
+        assert!(st.insertions >= 1, "work done before the deadline is kept: {st:?}");
+        assert!((st.insertions as usize) < total, "the deadline stopped the batch early");
+        // The partial work is exactly what a degraded preview feeds on.
+        let p = v.preview(&s, &cache, 1, 2, 0.0);
+        assert!(p.resolved > 0.0, "rendered-before-deadline tiles resolve in the preview");
     }
 
     #[test]

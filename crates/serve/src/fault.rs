@@ -1,0 +1,187 @@
+//! Deterministic fault injection for the serving stack.
+//!
+//! A [`FaultPlan`] is a set of *fault points* the server consults at
+//! fixed places in its request path — render start, handler dispatch,
+//! pre-response, response write — each firing every Nth time it is
+//! consulted (`every = 0` disables the point). Determinism is the
+//! point: chaos tests share one `Arc<FaultPlan>` with an in-process
+//! server and can predict exactly which requests are hit, so "zero
+//! worker deaths under faults" is an assertion, not a hope.
+//!
+//! All state is atomics; arming, disarming and consulting fault points
+//! is safe from any thread while the server runs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// One injection point: fires on every `every`-th consultation.
+#[derive(Debug, Default)]
+struct FaultPoint {
+    /// 0 = disabled; N = fire when the consultation count hits a
+    /// multiple of N (so `every = 1` fires always).
+    every: AtomicU64,
+    /// Consultations since the point was (re-)armed.
+    seen: AtomicU64,
+    /// Times the point fired.
+    fired: AtomicU64,
+}
+
+impl FaultPoint {
+    fn arm(&self, every: u64) {
+        self.seen.store(0, Ordering::SeqCst);
+        self.every.store(every, Ordering::SeqCst);
+    }
+
+    fn fire(&self) -> bool {
+        let every = self.every.load(Ordering::SeqCst);
+        if every == 0 {
+            return false;
+        }
+        let n = self.seen.fetch_add(1, Ordering::SeqCst) + 1;
+        let hit = n.is_multiple_of(every);
+        if hit {
+            self.fired.fetch_add(1, Ordering::SeqCst);
+        }
+        hit
+    }
+
+    fn fired(&self) -> u64 {
+        self.fired.load(Ordering::SeqCst)
+    }
+}
+
+/// Counts of faults actually injected so far (see [`FaultPlan`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Render delays slept.
+    pub delays: u64,
+    /// Handler panics raised.
+    pub panics: u64,
+    /// Connections dropped before a response.
+    pub drops: u64,
+    /// Responses truncated mid-write.
+    pub truncations: u64,
+}
+
+/// An injectable fault schedule shared between a server and its chaos
+/// harness. All points start disabled; arm them with the `*_every`
+/// methods (0 disables again). See the module docs for semantics.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    render_delay: FaultPoint,
+    /// Injected delay length, in microseconds.
+    render_delay_us: AtomicU64,
+    handler_panic: FaultPoint,
+    drop_connection: FaultPoint,
+    truncate_write: FaultPoint,
+    /// Bytes kept when a truncation fires.
+    truncate_keep: AtomicU64,
+}
+
+impl FaultPlan {
+    /// A plan with every fault point disabled.
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Arms the render-delay point: every `every`-th render-bearing
+    /// request sleeps `delay` before rendering (stuck-renderer
+    /// simulation; drives deadline degradation).
+    pub fn delay_render_every(&self, every: u64, delay: Duration) {
+        self.render_delay_us.store(delay.as_micros() as u64, Ordering::SeqCst);
+        self.render_delay.arm(every);
+    }
+
+    /// Arms the handler-panic point: every `every`-th dispatched
+    /// request panics inside the handler (must yield a `500` and a
+    /// surviving worker).
+    pub fn panic_every(&self, every: u64) {
+        self.handler_panic.arm(every);
+    }
+
+    /// Arms the connection-drop point: every `every`-th request is
+    /// answered by closing the socket with no response at all.
+    pub fn drop_connection_every(&self, every: u64) {
+        self.drop_connection.arm(every);
+    }
+
+    /// Arms the truncated-write point: every `every`-th response keeps
+    /// only its first `keep_bytes` bytes on the wire, then the
+    /// connection closes (torn-write simulation; clients must detect
+    /// the short body).
+    pub fn truncate_write_every(&self, every: u64, keep_bytes: usize) {
+        self.truncate_keep.store(keep_bytes as u64, Ordering::SeqCst);
+        self.truncate_write.arm(every);
+    }
+
+    /// Disables every fault point (counters are kept).
+    pub fn disarm(&self) {
+        self.render_delay.arm(0);
+        self.handler_panic.arm(0);
+        self.drop_connection.arm(0);
+        self.truncate_write.arm(0);
+    }
+
+    /// Consults the render-delay point; `Some(delay)` means the caller
+    /// must sleep before rendering.
+    pub fn render_delay(&self) -> Option<Duration> {
+        self.render_delay
+            .fire()
+            .then(|| Duration::from_micros(self.render_delay_us.load(Ordering::SeqCst)))
+    }
+
+    /// Consults the handler-panic point.
+    pub fn should_panic(&self) -> bool {
+        self.handler_panic.fire()
+    }
+
+    /// Consults the connection-drop point.
+    pub fn should_drop_connection(&self) -> bool {
+        self.drop_connection.fire()
+    }
+
+    /// Consults the truncated-write point; `Some(keep)` means write
+    /// only the first `keep` bytes of the response.
+    pub fn truncate_write(&self) -> Option<usize> {
+        self.truncate_write.fire().then(|| self.truncate_keep.load(Ordering::SeqCst) as usize)
+    }
+
+    /// How many faults each point has injected so far.
+    pub fn counts(&self) -> FaultCounts {
+        FaultCounts {
+            delays: self.render_delay.fired(),
+            panics: self.handler_panic.fired(),
+            drops: self.drop_connection.fired(),
+            truncations: self.truncate_write.fired(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn points_fire_on_schedule_and_count() {
+        let plan = FaultPlan::new();
+        assert!(!plan.should_panic(), "disarmed points never fire");
+        plan.panic_every(3);
+        let fired: Vec<bool> = (0..9).map(|_| plan.should_panic()).collect();
+        assert_eq!(fired, [false, false, true, false, false, true, false, false, true]);
+        assert_eq!(plan.counts().panics, 3);
+        plan.disarm();
+        assert!(!plan.should_panic());
+        assert_eq!(plan.counts().panics, 3, "disarm keeps counters");
+    }
+
+    #[test]
+    fn parameterized_points_carry_their_payload() {
+        let plan = FaultPlan::new();
+        plan.delay_render_every(1, Duration::from_millis(7));
+        assert_eq!(plan.render_delay(), Some(Duration::from_millis(7)));
+        plan.truncate_write_every(2, 10);
+        assert_eq!(plan.truncate_write(), None);
+        assert_eq!(plan.truncate_write(), Some(10));
+        assert_eq!(plan.counts(), FaultCounts { delays: 1, panics: 0, drops: 0, truncations: 1 });
+    }
+}

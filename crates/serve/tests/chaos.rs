@@ -1,0 +1,211 @@
+//! Chaos suite: the server survives injected handler panics, dropped
+//! connections, and truncated writes without losing a worker, wedging
+//! a queue slot, or ever serving a torn frame — after every storm the
+//! exact viewport bytes are bit-identical to a direct in-process
+//! render of the same snapshot.
+
+mod util;
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use rnn_heatmap::prelude::*;
+use rnnhm_serve::{serve, ServerConfig};
+use util::{raster_bytes, request, test_engine};
+
+fn chaos_config() -> ServerConfig {
+    ServerConfig {
+        workers: 3,
+        queue_depth: 32,
+        read_timeout: Duration::from_secs(2),
+        write_timeout: Duration::from_secs(2),
+        request_deadline: Duration::from_secs(5),
+        session_idle: Duration::from_secs(60),
+        gc_interval: Duration::from_millis(200),
+        ..ServerConfig::default()
+    }
+}
+
+const VIEW: &str = "/session/0/viewport?x0=0.1&x1=0.9&y0=0.1&y1=0.9&w=64&h=64";
+
+/// Raw exchange that tolerates torn replies: sends the request, reads
+/// until the server closes, and hands back whatever bytes arrived
+/// (possibly none, for a dropped connection).
+fn raw_bytes(addr: SocketAddr, request: &[u8]) -> std::io::Result<Vec<u8>> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.write_all(request)?;
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            // A late RST after bytes arrived is a close, not a failure.
+            Err(_) if !buf.is_empty() => break,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(buf)
+}
+
+fn get_bytes(addr: SocketAddr, target: &str) -> std::io::Result<Vec<u8>> {
+    let req = format!("GET {target} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n");
+    raw_bytes(addr, req.as_bytes())
+}
+
+/// Every worker still answers after the storm: a concurrent burst
+/// larger than the pool must come back all-200.
+fn assert_pool_alive(addr: SocketAddr, burst: usize) {
+    let replies: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..burst)
+            .map(|_| scope.spawn(move || request(addr, "GET", "/healthz").map(|r| r.status)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    for status in replies {
+        assert_eq!(status.expect("healthz after disarm"), 200);
+    }
+}
+
+/// The acceptance bar for "no torn frames": the served exact viewport
+/// is bit-identical to a one-shot in-process render.
+fn assert_viewport_bit_identical(addr: SocketAddr, engine: &Arc<ExplorationEngine<CountMeasure>>) {
+    let reply = request(addr, "GET", VIEW).expect("viewport after disarm");
+    assert_eq!(reply.status, 200);
+    assert_eq!(reply.header("x-resolved"), Some("1"), "disarmed render must be exact");
+    let direct = engine.session().viewport(Rect::new(0.1, 0.9, 0.1, 0.9), 64, 64);
+    assert_eq!(reply.body, raster_bytes(&direct), "served frame != direct render");
+}
+
+#[test]
+fn panic_storm_is_isolated_per_request_and_kills_no_worker() {
+    let engine = test_engine(900, 11);
+    let server = serve(Arc::clone(&engine), chaos_config()).expect("bind");
+    let addr = server.addr();
+
+    // Every 3rd request panics inside the handler. Sequential
+    // connection-per-request traffic makes the schedule deterministic:
+    // requests 3, 6, ..., 60 die, the rest are served.
+    server.fault().panic_every(3);
+    let (mut ok, mut isolated) = (0u64, 0u64);
+    for _ in 0..60 {
+        match request(addr, "GET", "/healthz").expect("reply even when the handler dies").status {
+            200 => ok += 1,
+            500 => isolated += 1,
+            other => panic!("unexpected status {other} under panic storm"),
+        }
+    }
+    assert_eq!(isolated, 20, "every 3rd handler panicked");
+    assert_eq!(ok, 40);
+
+    server.fault().disarm();
+    let stats = server.stats();
+    assert_eq!(stats.panics_caught, 20, "each panic was caught exactly once");
+    assert_eq!(stats.responses_5xx, 20, "each caught panic cost a 500, nothing else");
+    assert_eq!(server.fault().counts().panics, stats.panics_caught);
+
+    // Zero worker deaths: a burst wider than the pool still drains,
+    // and the engine's frames are untouched by 20 mid-request panics.
+    assert_pool_alive(addr, 12);
+    assert_viewport_bit_identical(addr, &engine);
+    server.shutdown();
+}
+
+#[test]
+fn dropped_connections_and_truncated_writes_do_not_wedge_workers() {
+    let engine = test_engine(900, 13);
+    let server = serve(Arc::clone(&engine), chaos_config()).expect("bind");
+    let addr = server.addr();
+
+    // Phase 1: every 2nd connection is dropped after the request is
+    // read — the client sees a clean close with zero reply bytes.
+    server.fault().drop_connection_every(2);
+    let (mut served, mut dropped) = (0u64, 0u64);
+    for _ in 0..20 {
+        let bytes = get_bytes(addr, "/healthz").expect("connect");
+        if bytes.is_empty() {
+            dropped += 1;
+        } else {
+            assert!(bytes.starts_with(b"HTTP/1.1 200"), "undropped replies stay intact");
+            served += 1;
+        }
+    }
+    assert_eq!(dropped, 10);
+    assert_eq!(served, 10);
+    assert_eq!(server.stats().dropped_connections, 10);
+
+    // Phase 2: every 2nd reply is cut off after 16 bytes mid-head.
+    // The client gets a torn head; the worker moves on.
+    server.fault().disarm();
+    server.fault().truncate_write_every(2, 16);
+    let (mut complete, mut torn) = (0u64, 0u64);
+    for _ in 0..20 {
+        let bytes = get_bytes(addr, "/stats").expect("connect");
+        if bytes.windows(4).any(|w| w == b"\r\n\r\n") {
+            complete += 1;
+        } else {
+            assert_eq!(bytes.len(), 16, "truncation keeps exactly the configured prefix");
+            torn += 1;
+        }
+    }
+    assert_eq!(torn, 10);
+    assert_eq!(complete, 10);
+    assert_eq!(server.stats().truncated_writes, 10);
+
+    server.fault().disarm();
+    assert_eq!(server.stats().panics_caught, 0, "wire faults never look like handler bugs");
+    assert_pool_alive(addr, 12);
+    assert_viewport_bit_identical(addr, &engine);
+    server.shutdown();
+}
+
+#[test]
+fn mixed_fault_storm_leaves_the_server_consistent() {
+    let engine = test_engine(900, 17);
+    let server = serve(Arc::clone(&engine), chaos_config()).expect("bind");
+    let addr = server.addr();
+
+    // Arm everything at once, at mutually prime cadences, and hammer
+    // every endpoint family concurrently. No outcome is asserted
+    // per-request — the invariants that matter are all post-storm.
+    let fault = Arc::clone(server.fault());
+    fault.delay_render_every(5, Duration::from_millis(2));
+    fault.panic_every(7);
+    fault.drop_connection_every(11);
+    fault.truncate_write_every(13, 20);
+
+    const TARGETS: [&str; 6] =
+        ["/healthz", VIEW, "/session/0/tile/0/0/0", "/session/0/topk?k=3", "/stats", "/session/0"];
+    std::thread::scope(|scope| {
+        for t in 0..6 {
+            scope.spawn(move || {
+                for i in 0..12 {
+                    // Drops and truncations surface as client-side read
+                    // errors or torn buffers; both are expected here.
+                    let _ = get_bytes(addr, TARGETS[(t + i) % TARGETS.len()]);
+                }
+            });
+        }
+    });
+
+    fault.disarm();
+    let counts = fault.counts();
+    assert!(counts.panics > 0, "storm was long enough to fire the panic fault");
+    assert!(counts.drops > 0, "storm fired the drop fault");
+    assert!(counts.truncations > 0, "storm fired the truncate fault");
+    let stats = server.stats();
+    assert_eq!(stats.panics_caught, counts.panics, "every injected panic was caught");
+    assert_eq!(stats.dropped_connections, counts.drops);
+    assert_eq!(stats.truncated_writes, counts.truncations);
+
+    // The post-storm bar: full pool alive, shared state consistent,
+    // and the next exact frame is bit-identical to a direct render.
+    assert_pool_alive(addr, 12);
+    assert_viewport_bit_identical(addr, &engine);
+    let reg = engine.registry_stats();
+    assert_eq!(reg.entries, reg.live, "storm left no dead registry entries behind");
+    server.shutdown();
+}

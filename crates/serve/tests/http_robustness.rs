@@ -1,0 +1,391 @@
+//! HTTP robustness acceptance: malformed/oversized input is rejected
+//! with bounded cost, conditional requests round-trip on the snapshot
+//! fingerprint ETag, deadline-degraded viewports serve exactly what
+//! `Session::viewport_preview` would, overload sheds `503` instead of
+//! queueing unboundedly, slow-loris clients get `408`, and idle
+//! sessions are garbage-collected together with the snapshot registry.
+
+mod util;
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use rnn_heatmap::prelude::*;
+use rnnhm_serve::{serve, ServerConfig};
+use util::{raster_bytes, raw_roundtrip, request, request_with, test_engine, KeepAlive};
+
+fn quick_config() -> ServerConfig {
+    ServerConfig {
+        workers: 3,
+        queue_depth: 16,
+        read_timeout: Duration::from_millis(500),
+        write_timeout: Duration::from_secs(2),
+        request_deadline: Duration::from_secs(5),
+        session_idle: Duration::from_secs(60),
+        gc_interval: Duration::from_millis(100),
+        ..ServerConfig::default()
+    }
+}
+
+const VIEW: &str = "/session/0/viewport?x0=0.1&x1=0.9&y0=0.1&y1=0.9&w=64&h=64";
+
+#[test]
+fn malformed_and_oversized_requests_are_rejected_cheaply() {
+    let server = serve(test_engine(900, 7), quick_config()).expect("bind");
+    let addr = server.addr();
+
+    let not_http = raw_roundtrip(addr, b"NOT AN HTTP REQUEST\r\n\r\n").unwrap();
+    assert_eq!(not_http.status, 400);
+    let bad_version = raw_roundtrip(addr, b"GET / HTTP/2\r\n\r\n").unwrap();
+    assert_eq!(bad_version.status, 400);
+    let bare_header = raw_roundtrip(addr, b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n").unwrap();
+    assert_eq!(bare_header.status, 400);
+
+    // A 10 KiB header line: the server caps the head at 8 KiB and must
+    // answer 431 without buffering the rest.
+    let mut oversized = b"GET /healthz HTTP/1.1\r\nX-Junk: ".to_vec();
+    oversized.extend(std::iter::repeat_n(b'a', 10 * 1024));
+    oversized.extend_from_slice(b"\r\n\r\n");
+    let resp = raw_roundtrip(addr, &oversized).unwrap();
+    assert_eq!(resp.status, 431);
+
+    // A declared 10 GB body earns 413 *before* any body byte is read:
+    // the reply must arrive immediately, proving no proportional read
+    // or allocation happened.
+    let started = Instant::now();
+    let huge = b"POST /session HTTP/1.1\r\nContent-Length: 10000000000\r\n\r\n";
+    let resp = raw_roundtrip(addr, huge).unwrap();
+    assert_eq!(resp.status, 413);
+    assert!(started.elapsed() < Duration::from_secs(2), "413 must not wait for the declared body");
+
+    let chunked =
+        raw_roundtrip(addr, b"POST /session HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+            .unwrap();
+    assert_eq!(chunked.status, 501);
+
+    // Routing errors.
+    assert_eq!(request(addr, "GET", "/no/such/endpoint").unwrap().status, 404);
+    assert_eq!(request(addr, "PUT", "/healthz").unwrap().status, 405);
+    assert_eq!(request(addr, "GET", "/session/abc").unwrap().status, 400);
+    assert_eq!(request(addr, "GET", "/session/99").unwrap().status, 404);
+    assert_eq!(request(addr, "GET", "/session/0/tile/40/0/0").unwrap().status, 400, "deep zoom");
+    assert_eq!(request(addr, "GET", "/session/0/tile/1/99/0").unwrap().status, 400, "tx range");
+    assert_eq!(request(addr, "GET", "/session/0/tile/a/b/c").unwrap().status, 400);
+    assert_eq!(
+        request(addr, "GET", "/session/0/viewport?x0=0&x1=1&y0=0&y1=1&w=64").unwrap().status,
+        400,
+        "missing h"
+    );
+    assert_eq!(
+        request(addr, "GET", "/session/0/viewport?x0=1&x1=0&y0=0&y1=1&w=64&h=64").unwrap().status,
+        422,
+        "inverted extent"
+    );
+    assert_eq!(
+        request(addr, "GET", "/session/0/viewport?x0=0&x1=nan&y0=0&y1=1&w=64&h=64").unwrap().status,
+        422,
+        "non-finite extent"
+    );
+    assert_eq!(
+        request(addr, "GET", "/session/0/viewport?x0=0&x1=1&y0=0&y1=1&w=9999&h=64").unwrap().status,
+        422,
+        "oversized raster"
+    );
+    assert_eq!(request(addr, "POST", "/session/0/edit?op=teleport").unwrap().status, 400);
+
+    // The server is fully healthy after all of that.
+    let ok = request(addr, "GET", "/healthz").unwrap();
+    assert_eq!(ok.status, 200);
+    let stats = server.stats();
+    assert_eq!(stats.panics_caught, 0);
+    // The only 5xx is the deliberate 501 for chunked transfer-encoding.
+    assert_eq!(stats.responses_5xx, 1);
+    server.shutdown();
+}
+
+#[test]
+fn exact_responses_are_bit_identical_and_etag_304_round_trips() {
+    let engine = test_engine(900, 11);
+    let server = serve(engine.clone(), quick_config()).expect("bind");
+    let addr = server.addr();
+    let rect = Rect::new(0.1, 0.9, 0.1, 0.9);
+
+    // Exact viewport: bytes match a one-shot in-process render.
+    let first = request(addr, "GET", VIEW).unwrap();
+    assert_eq!(first.status, 200);
+    assert_eq!(first.header("x-resolved"), Some("1"));
+    let local = engine.session();
+    assert_eq!(
+        first.body,
+        raster_bytes(&local.viewport(rect, 64, 64)),
+        "served viewport must be bit-identical to a one-shot render"
+    );
+    let grid = first.header("x-grid").unwrap().to_string();
+    let (w, h) = grid.split_once(' ').unwrap();
+    assert_eq!(
+        w.parse::<usize>().unwrap() * h.parse::<usize>().unwrap() * 8,
+        first.body.len(),
+        "X-Grid must describe the body"
+    );
+
+    // Tile endpoint: same bit-identity, same ETag.
+    let tile = request(addr, "GET", "/session/0/tile/1/0/0").unwrap();
+    assert_eq!(tile.status, 200);
+    assert_eq!(tile.body, raster_bytes(&local.tile(TileId { zoom: 1, tx: 0, ty: 0 })));
+
+    // Conditional round-trip: the ETag is the snapshot fingerprint.
+    let tag = first.header("etag").expect("exact responses carry an ETag").to_string();
+    assert_eq!(tag, format!("\"{:016x}\"", local.fingerprint()));
+    assert_eq!(tile.header("etag"), Some(tag.as_str()), "one snapshot, one validator");
+    let cond = request_with(addr, "GET", VIEW, &[("If-None-Match", &tag)]).unwrap();
+    assert_eq!(cond.status, 304);
+    assert!(cond.body.is_empty(), "304 must carry no body");
+    assert_eq!(cond.header("etag"), Some(tag.as_str()));
+
+    // An edit commits a new fingerprint: the old validator stops
+    // matching and the fresh response carries the new one.
+    let edit = request(addr, "POST", "/session/0/edit?op=add&x=0.31&y=0.47").unwrap();
+    assert_eq!(edit.status, 200);
+    let body = String::from_utf8(edit.body.clone()).unwrap();
+    assert!(body.contains("\"fingerprint\""), "{body}");
+    let after = request_with(addr, "GET", VIEW, &[("If-None-Match", &tag)]).unwrap();
+    assert_eq!(after.status, 200, "stale validator must re-render");
+    let new_tag = after.header("etag").unwrap();
+    assert_ne!(new_tag, tag);
+    assert_eq!(server.stats().responses_3xx, 1);
+    server.shutdown();
+}
+
+#[test]
+fn deadline_degraded_viewport_matches_session_preview() {
+    let engine = test_engine(900, 13);
+    let config = ServerConfig { request_deadline: Duration::from_millis(30), ..quick_config() };
+    let fault = config.fault.clone();
+    let server = serve(engine.clone(), config).expect("bind");
+    let addr = server.addr();
+    let rect = Rect::new(0.1, 0.9, 0.1, 0.9);
+
+    // Warm a corner of the viewport first so the degraded preview has
+    // real content to resolve, not just background fill.
+    let warm =
+        request(addr, "GET", "/session/0/viewport?x0=0.1&x1=0.5&y0=0.1&y1=0.5&w=32&h=32").unwrap();
+    assert_eq!(warm.status, 200);
+    assert_eq!(warm.header("x-degraded"), None);
+
+    // Every render now stalls past the 30 ms budget: the viewport must
+    // degrade rather than block.
+    fault.delay_render_every(1, Duration::from_millis(120));
+    let degraded = request(addr, "GET", VIEW).unwrap();
+    fault.disarm();
+    assert_eq!(degraded.status, 200);
+    assert_eq!(degraded.header("x-degraded"), Some("1"));
+    assert!(degraded.header("etag").is_none(), "degraded bytes must never be cacheable as exact");
+    let resolved: f64 = degraded.header("x-resolved").unwrap().parse().unwrap();
+    assert!(
+        resolved > 0.0 && resolved < 1.0,
+        "partially warmed viewport resolves partially: {resolved}"
+    );
+
+    // The degraded body is exactly `Session::viewport_preview` over
+    // the same cache state (the deadline giveup rendered nothing more).
+    let preview = engine.session().viewport_preview(rect, 64, 64);
+    assert_eq!(degraded.body, raster_bytes(&preview.raster));
+    assert_eq!(resolved, preview.resolved);
+    assert_eq!(server.stats().degraded, 1);
+    assert!(engine.cache_stats().deadline_giveups >= 1);
+
+    // With the stall gone the same request converges back to exact.
+    let exact = request(addr, "GET", VIEW).unwrap();
+    assert_eq!(exact.header("x-degraded"), None);
+    assert_eq!(exact.body, raster_bytes(&engine.session().viewport(rect, 64, 64)));
+    server.shutdown();
+}
+
+#[test]
+fn queue_full_sheds_immediately_with_503() {
+    let config = ServerConfig { workers: 1, queue_depth: 2, ..quick_config() };
+    let fault = config.fault.clone();
+    let server = serve(test_engine(900, 17), config).expect("bind");
+    let addr = server.addr();
+
+    // Pin the single worker: every render stalls 300 ms, so a herd of
+    // 12 connections can drain at most worker+queue before the rest
+    // must be shed.
+    fault.delay_render_every(1, Duration::from_millis(300));
+    let replies: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> =
+            (0..12).map(|_| scope.spawn(move || request(addr, "GET", VIEW))).collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    fault.disarm();
+
+    let mut shed = 0u64;
+    let mut served = 0u64;
+    for reply in replies {
+        let reply = reply.expect("every connection gets a reply (shed or served)");
+        match reply.status {
+            503 => {
+                shed += 1;
+                assert!(reply.header("retry-after").is_some(), "503 must carry Retry-After");
+            }
+            200 => served += 1,
+            other => panic!("unexpected status {other}"),
+        }
+    }
+    assert!(shed > 0, "a 12-strong herd against 1 worker + depth-2 queue must shed");
+    assert!(served > 0, "admitted requests still complete");
+    let stats = server.stats();
+    assert_eq!(stats.shed, shed, "every shed is counted");
+    assert!(stats.queue_high_water <= 2, "the queue never grew past its bound");
+
+    // Overload over: the server serves normally.
+    assert_eq!(request(addr, "GET", "/healthz").unwrap().status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn slow_loris_gets_408_within_the_read_timeout() {
+    let config = ServerConfig { read_timeout: Duration::from_millis(200), ..quick_config() };
+    let server = serve(test_engine(900, 19), config).expect("bind");
+
+    let started = Instant::now();
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    // Half a request line, then silence.
+    stream.write_all(b"GET /healthz HTT").unwrap();
+    let mut buf = Vec::new();
+    std::io::Read::read_to_end(&mut stream, &mut buf).unwrap();
+    let reply = String::from_utf8_lossy(&buf);
+    assert!(reply.starts_with("HTTP/1.1 408"), "slow loris must get 408, got: {reply}");
+    assert!(
+        started.elapsed() < Duration::from_secs(3),
+        "the worker must give up within the read timeout, not hang"
+    );
+    assert_eq!(server.stats().read_timeouts, 1);
+    server.shutdown();
+}
+
+#[test]
+fn idle_sessions_are_reaped_and_the_registry_swept() {
+    let engine = test_engine(900, 23);
+    let config = ServerConfig {
+        session_idle: Duration::from_millis(150),
+        gc_interval: Duration::from_millis(30),
+        ..quick_config()
+    };
+    let server = serve(engine.clone(), config).expect("bind");
+    let addr = server.addr();
+
+    // A session with a committed edit: its snapshot lives only through
+    // the server's session table.
+    let created = request(addr, "POST", "/session").unwrap();
+    assert_eq!(created.status, 200);
+    let body = String::from_utf8(created.body).unwrap();
+    assert!(body.contains("\"session\":1"), "{body}");
+    let edit = request(addr, "POST", "/session/1/edit?op=add&x=0.4&y=0.6").unwrap();
+    assert_eq!(edit.status, 200);
+    let branch_fp = {
+        let info = request(addr, "GET", "/session/1").unwrap();
+        String::from_utf8(info.body).unwrap()
+    };
+    assert!(branch_fp.contains("\"generation\":1"), "{branch_fp}");
+    assert_eq!(engine.snapshots().len(), 2, "root + the branch commit are alive");
+
+    // Idle past the deadline: the reaper drops the session, and with
+    // it the branch snapshot; the registry sweep runs in the same
+    // pass.
+    std::thread::sleep(Duration::from_millis(600));
+    assert_eq!(request(addr, "GET", "/session/1").unwrap().status, 404);
+    let stats = server.stats();
+    assert!(stats.sessions_reaped >= 1, "the idle session was reaped: {stats:?}");
+    assert_eq!(stats.sessions_live, 1, "only the root session survives");
+    assert_eq!(engine.snapshots().len(), 1, "the branch snapshot died with its session");
+    let registry = engine.registry_stats();
+    assert_eq!(registry.entries, registry.live, "the reaper's gc left no dead entries");
+
+    // The root session is exempt forever.
+    assert_eq!(request(addr, "GET", "/session/0").unwrap().status, 200);
+    assert_eq!(request(addr, "DELETE", "/session/0").unwrap().status, 400);
+    server.shutdown();
+}
+
+#[test]
+fn session_lifecycle_fork_edit_delete_and_queries() {
+    let engine = test_engine(900, 29);
+    let server = serve(engine.clone(), quick_config()).expect("bind");
+    let addr = server.addr();
+
+    // Fork the root, edit the fork: the root's fingerprint must not
+    // move.
+    let fork = request(addr, "POST", "/session/0/fork").unwrap();
+    assert_eq!(fork.status, 200);
+    let fork_body = String::from_utf8(fork.body).unwrap();
+    assert!(fork_body.contains("\"session\":1"), "{fork_body}");
+    let root_fp = engine.session().fingerprint();
+    let edit = request(addr, "POST", "/session/1/edit?op=add&x=0.52&y=0.48").unwrap();
+    let edit_body = String::from_utf8(edit.body).unwrap();
+    assert!(edit_body.contains("\"dirty_rects\""), "{edit_body}");
+    assert!(!edit_body.contains(&format!("{root_fp:016x}")), "edit must commit a new snapshot");
+    assert_eq!(engine.session().fingerprint(), root_fp, "the root is untouched");
+
+    // Query endpoints return well-formed JSON.
+    let topk = request(addr, "GET", "/session/1/topk?k=3").unwrap();
+    assert_eq!(topk.status, 200);
+    let topk_body = String::from_utf8(topk.body).unwrap();
+    assert!(topk_body.starts_with("{\"regions\":["), "{topk_body}");
+    assert!(topk_body.contains("\"influence\":"), "{topk_body}");
+    let inf = request(addr, "GET", "/session/1/influence?x=0.5&y=0.5").unwrap();
+    let inf_body = String::from_utf8(inf.body).unwrap();
+    assert!(inf_body.starts_with("{\"influence\":"), "{inf_body}");
+    assert_eq!(request(addr, "GET", "/session/1/topk?k=0").unwrap().status, 422);
+
+    // Invalid edits are 422 with the engine's own error message.
+    let bad = request(addr, "POST", "/session/1/edit?op=remove&id=999999").unwrap();
+    assert_eq!(bad.status, 422);
+
+    // Delete is final.
+    assert_eq!(request(addr, "DELETE", "/session/1").unwrap().status, 204);
+    assert_eq!(request(addr, "GET", "/session/1").unwrap().status, 404);
+    assert_eq!(request(addr, "DELETE", "/session/1").unwrap().status, 404);
+
+    // Stats endpoint speaks JSON and reflects the traffic.
+    let stats = request(addr, "GET", "/stats").unwrap();
+    let stats_body = String::from_utf8(stats.body).unwrap();
+    assert!(stats_body.contains("\"server\":{"), "{stats_body}");
+    assert!(stats_body.contains("\"cache\":{"), "{stats_body}");
+    assert!(stats_body.contains("\"registry\":{"), "{stats_body}");
+    server.shutdown();
+}
+
+#[test]
+fn session_table_is_bounded() {
+    let config = ServerConfig { max_sessions: 3, ..quick_config() };
+    let server = serve(test_engine(900, 31), config).expect("bind");
+    let addr = server.addr();
+    assert_eq!(request(addr, "POST", "/session").unwrap().status, 200);
+    assert_eq!(request(addr, "POST", "/session").unwrap().status, 200);
+    let full = request(addr, "POST", "/session").unwrap();
+    assert_eq!(full.status, 503, "root + 2 created sessions fill a table of 3");
+    assert!(full.header("retry-after").is_some());
+    // Dropping one frees a slot.
+    assert_eq!(request(addr, "DELETE", "/session/1").unwrap().status, 204);
+    assert_eq!(request(addr, "POST", "/session").unwrap().status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn keep_alive_connections_serve_multiple_requests() {
+    let engine = test_engine(900, 37);
+    let server = serve(engine.clone(), quick_config()).expect("bind");
+    let mut conn = KeepAlive::connect(server.addr()).unwrap();
+    let first = conn.send("GET", VIEW).unwrap();
+    assert_eq!(first.status, 200);
+    // Same connection, warm cache: the second frame is identical.
+    let second = conn.send("GET", VIEW).unwrap();
+    assert_eq!(second.body, first.body);
+    let health = conn.send("GET", "/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    assert_eq!(server.stats().accepted, 1, "one keep-alive connection served all requests");
+    server.shutdown();
+}

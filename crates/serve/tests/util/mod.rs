@@ -1,0 +1,192 @@
+//! Shared helpers for the HTTP robustness and chaos suites: a small
+//! test engine, raw-socket HTTP clients (byte-level control — the
+//! point of these suites is exercising the wire), and reply parsing.
+
+// Shared across test binaries; not every binary uses every helper.
+#![allow(dead_code)]
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use rnn_heatmap::prelude::*;
+use rnn_heatmap::HeatMapBuilder;
+
+/// A small zipfian city engine: big enough that viewports cover many
+/// tiles, small enough that debug-mode region sweeps stay fast.
+pub fn test_engine(n: usize, seed: u64) -> Arc<ExplorationEngine<CountMeasure>> {
+    let data = Dataset::zipfian(n, seed);
+    let n_facilities = (n / 20).max(4);
+    let (clients, facilities) =
+        sample_clients_facilities(&data.points, n - n_facilities, n_facilities, seed);
+    Arc::new(
+        HeatMapBuilder::bichromatic(clients, facilities)
+            .metric(Metric::Linf)
+            .tile_px(32)
+            .build_engine(CountMeasure)
+            .expect("non-empty input"),
+    )
+}
+
+/// A parsed HTTP reply.
+#[derive(Debug)]
+pub struct Reply {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Reply {
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k.eq_ignore_ascii_case(name)).map(|(_, v)| v.as_str())
+    }
+
+    /// The body decoded as little-endian f64s (binary raster replies).
+    pub fn body_f64(&self) -> Vec<f64> {
+        assert!(self.body.len().is_multiple_of(8), "raster body must be whole f64s");
+        self.body.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect()
+    }
+}
+
+fn parse_reply(bytes: &[u8]) -> Reply {
+    let head_end = bytes
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .unwrap_or_else(|| panic!("no head terminator in {} reply bytes", bytes.len()));
+    let head = std::str::from_utf8(&bytes[..head_end]).expect("reply head is UTF-8");
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().expect("status line");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("malformed status line: {status_line}"));
+    let headers = lines
+        .map(|l| {
+            let (k, v) = l.split_once(':').expect("header line");
+            (k.trim().to_ascii_lowercase(), v.trim().to_string())
+        })
+        .collect();
+    Reply { status, headers, body: bytes[head_end + 4..].to_vec() }
+}
+
+/// Sends raw bytes, reads until the server closes, parses the reply.
+pub fn raw_roundtrip(addr: SocketAddr, request: &[u8]) -> std::io::Result<Reply> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.write_all(request)?;
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            // A late RST (e.g. the server closed while our request was
+            // still in flight) after the reply arrived is not a
+            // failure — keep what we got.
+            Err(e) if !buf.is_empty() => {
+                let _ = e;
+                break;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    if buf.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "connection closed with no reply",
+        ));
+    }
+    Ok(parse_reply(&buf))
+}
+
+/// One connection-per-request exchange with `Connection: close`.
+pub fn request(addr: SocketAddr, method: &str, target: &str) -> std::io::Result<Reply> {
+    request_with(addr, method, target, &[])
+}
+
+/// As [`request`], with extra headers.
+pub fn request_with(
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    extra_headers: &[(&str, &str)],
+) -> std::io::Result<Reply> {
+    let mut req = format!("{method} {target} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n");
+    for (k, v) in extra_headers {
+        req.push_str(&format!("{k}: {v}\r\n"));
+    }
+    req.push_str("\r\n");
+    raw_roundtrip(addr, req.as_bytes())
+}
+
+/// A keep-alive connection for multi-request exchanges (reads exactly
+/// `Content-Length` bytes per reply instead of waiting for EOF).
+pub struct KeepAlive {
+    stream: TcpStream,
+}
+
+impl KeepAlive {
+    pub fn connect(addr: SocketAddr) -> std::io::Result<KeepAlive> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        stream.set_nodelay(true)?;
+        Ok(KeepAlive { stream })
+    }
+
+    pub fn send(&mut self, method: &str, target: &str) -> std::io::Result<Reply> {
+        let req = format!("{method} {target} HTTP/1.1\r\nHost: test\r\n\r\n");
+        self.stream.write_all(req.as_bytes())?;
+        self.read_reply()
+    }
+
+    fn read_reply(&mut self) -> std::io::Result<Reply> {
+        // Read the head, then exactly Content-Length body bytes.
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 4096];
+        let head_end = loop {
+            if let Some(p) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break p;
+            }
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-reply",
+                ));
+            }
+            buf.extend_from_slice(&chunk[..n]);
+        };
+        let mut reply = parse_reply(&buf[..head_end + 4]);
+        let len: usize = reply
+            .header("content-length")
+            .expect("server always writes Content-Length")
+            .parse()
+            .expect("numeric Content-Length");
+        let mut body = buf[head_end + 4..].to_vec();
+        while body.len() < len {
+            let want = (len - body.len()).min(chunk.len());
+            let n = self.stream.read(&mut chunk[..want])?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-body",
+                ));
+            }
+            body.extend_from_slice(&chunk[..n]);
+        }
+        body.truncate(len);
+        reply.body = body;
+        Ok(reply)
+    }
+}
+
+/// The `f64` wire form of a raster, as the server sends it.
+pub fn raster_bytes(raster: &rnn_heatmap::heatmap::raster::HeatRaster) -> Vec<u8> {
+    let mut out = Vec::with_capacity(raster.values().len() * 8);
+    for v in raster.values() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}

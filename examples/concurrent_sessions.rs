@@ -3,7 +3,7 @@
 //! through one shared engine.
 //!
 //! ```text
-//! cargo run --release --example serve
+//! cargo run --release --example concurrent_sessions
 //! ```
 //!
 //! Watch the cache counters: the fork itself is free (same snapshot,

@@ -61,6 +61,7 @@
 //! ```
 
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock, Weak};
+use std::time::Instant;
 
 use rnnhm_core::arrangement::CoordSpace;
 use rnnhm_core::crest::crest_sweep;
@@ -124,10 +125,36 @@ impl<M> EngineShared<M> {
         }
     }
 
+    /// Sweeps dead weak refs out of the registry and reports its
+    /// post-sweep occupancy.
+    fn prune_registry(&self) -> RegistryStats {
+        let mut guard = self.registry.lock().unwrap_or_else(|e| e.into_inner());
+        let (registry, count) = &mut *guard;
+        registry.retain(|w| w.strong_count() > 0);
+        RegistryStats { entries: registry.len(), live: registry.len(), registered: *count }
+    }
+
     /// The tile scheme, created on first use over `snap`'s extent.
     fn scheme(&self, snap: &ArrangementSnapshot) -> &TileScheme {
         self.scheme.get_or_init(|| TileScheme::for_extent(input_bbox(snap), self.tile_px))
     }
+}
+
+/// Occupancy of an engine's snapshot registry (see
+/// [`ExplorationEngine::registry_stats`]). The registry holds every
+/// committed snapshot *weakly*: `registered` counts lifetime commits,
+/// `entries` the weak slots currently held, and `live` the snapshots
+/// still reachable through some session, pinned `Arc`, or the engine
+/// itself. `entries > live` measures garbage awaiting a sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Weak slots currently held (live snapshots plus not-yet-swept
+    /// dead entries).
+    pub entries: usize,
+    /// Entries whose snapshot is still alive.
+    pub live: usize,
+    /// Snapshots registered over the engine's lifetime.
+    pub registered: usize,
 }
 
 /// The lazily computed labeled-region state of one session.
@@ -177,8 +204,13 @@ impl<M: InfluenceMeasure> ExplorationEngine<M> {
         ExplorationEngine { shared, root }
     }
 
-    /// A new session on the engine's root snapshot.
+    /// A new session on the engine's root snapshot. Opening a session
+    /// also sweeps dead weak refs from the snapshot registry, so a
+    /// serving loop that keeps opening and dropping sessions holds the
+    /// registry at its live size instead of growing it until the next
+    /// periodic prune.
     pub fn session(&self) -> Session<M> {
+        self.shared.prune_registry();
         self.session_at(self.root.clone())
     }
 
@@ -210,10 +242,38 @@ impl<M: InfluenceMeasure> ExplorationEngine<M> {
     }
 
     /// Every committed snapshot of this engine still alive (held by at
-    /// least one session or the engine itself), oldest first.
+    /// least one session or the engine itself), oldest first. Dead
+    /// weak refs encountered along the way are pruned in the same
+    /// pass.
     pub fn snapshots(&self) -> Vec<Arc<ArrangementSnapshot>> {
+        let mut guard = self.shared.registry.lock().unwrap_or_else(|e| e.into_inner());
+        let mut live = Vec::new();
+        guard.0.retain(|w| match w.upgrade() {
+            Some(snap) => {
+                live.push(snap);
+                true
+            }
+            None => false,
+        });
+        live
+    }
+
+    /// Explicitly sweeps dead weak refs from the snapshot registry and
+    /// returns its post-sweep occupancy. [`ExplorationEngine::session`]
+    /// and [`ExplorationEngine::snapshots`] already prune as they go
+    /// (and commits prune periodically); `gc()` is for idle-time
+    /// housekeeping — e.g. a server's session reaper sweeping after it
+    /// drops expired sessions.
+    pub fn gc(&self) -> RegistryStats {
+        self.shared.prune_registry()
+    }
+
+    /// Snapshot-registry occupancy, *without* sweeping (the dead-entry
+    /// backlog is visible as `entries - live`).
+    pub fn registry_stats(&self) -> RegistryStats {
         let guard = self.shared.registry.lock().unwrap_or_else(|e| e.into_inner());
-        guard.0.iter().filter_map(Weak::upgrade).collect()
+        let live = guard.0.iter().filter(|w| w.strong_count() > 0).count();
+        RegistryStats { entries: guard.0.len(), live, registered: guard.1 }
     }
 
     /// The tile-pyramid geometry every session serves viewports
@@ -640,6 +700,24 @@ fn membership(shape: Option<&Shape>, rect: &Rect) -> Option<bool> {
     }
 }
 
+/// The outcome of a deadline-bounded viewport render
+/// ([`Session::viewport_deadline`]): either the exact frame, or — when
+/// the budget ran out with covering tiles still unrendered — a coarse
+/// cache-only [`Preview`] in its place. The serving layer maps this to
+/// "exact response" vs "degraded response + `resolved` header".
+pub enum ViewportFrame {
+    /// Every covering tile rendered (or was already cached) within the
+    /// deadline; the raster is bit-identical to an undeadlined
+    /// [`Session::viewport`] of the same request.
+    Exact(HeatRaster),
+    /// The deadline expired first. The preview is built purely from
+    /// already-cached tiles (coarse parents where the exact tile is
+    /// missing), with [`Preview::resolved`] reporting the exact-pixel
+    /// fraction. Tiles that *did* render before the deadline stayed
+    /// cached, so retries converge toward `Exact`.
+    Degraded(Preview),
+}
+
 /// A snapshot restriction plus a renderer, the per-tile render base.
 struct RestrictedBase<'a, M> {
     arrangement: RestrictedArrangement,
@@ -726,5 +804,54 @@ impl<M: IncrementalMeasure + Sync> Session<M> {
         let view = scheme.viewport(rect, px_w, px_h);
         let tiles = self.fetch_tiles(view.tiles());
         view.stitch(scheme, &tiles)
+    }
+
+    /// [`Session::viewport`] under a wall-clock budget: renders
+    /// missing tiles only while `deadline` has not passed, and if any
+    /// covering tile is still unrendered at the deadline, **degrades**
+    /// to a cache-only preview instead of blocking — the
+    /// admission-to-degradation pipeline the HTTP server serves
+    /// viewports through. Partial work is kept (rendered tiles stay
+    /// cached), so repeated degraded requests resolve progressively
+    /// more of the frame.
+    pub fn viewport_deadline(
+        &self,
+        rect: Rect,
+        px_w: usize,
+        px_h: usize,
+        deadline: Instant,
+    ) -> ViewportFrame {
+        let scheme = self.shared.scheme(&self.snap);
+        let view = scheme.viewport(rect, px_w, px_h);
+        let snap: &ArrangementSnapshot = &self.snap;
+        let measure = &self.shared.measure;
+        let tiles = self.shared.cache.fetch_restricted_deadline(
+            snap.fingerprint(),
+            self.shared.measure_key,
+            scheme,
+            view.tiles(),
+            deadline,
+            |extent| RestrictedBase { arrangement: snap.restrict_to(extent), measure },
+            |base, _, spec| base.render(spec),
+        );
+        match tiles {
+            Some(tiles) => ViewportFrame::Exact(view.stitch(scheme, &tiles)),
+            None => ViewportFrame::Degraded(view.preview(
+                scheme,
+                &self.shared.cache,
+                snap.fingerprint(),
+                self.shared.measure_key,
+                measure.influence(&[]),
+            )),
+        }
+    }
+
+    /// Renders (or fetches) one tile of the session's pyramid through
+    /// the shared cache — the HTTP tile endpoint. `id` must address a
+    /// tile of [`Session::tile_scheme`] (`zoom ≤ max_zoom`, `tx, ty <
+    /// n_tiles(zoom)`); out-of-range ids are a caller bug (the server
+    /// validates before calling).
+    pub fn tile(&self, id: TileId) -> Arc<HeatRaster> {
+        self.fetch_tiles(&[id]).pop().expect("one tile in, one raster out")
     }
 }

@@ -137,3 +137,48 @@ fn engine_registry_tracks_live_snapshots() {
     let back = engine.session_at(live[0].clone());
     assert!(back.n_circles() > 0);
 }
+
+#[test]
+fn registry_prunes_dead_entries_eagerly_and_reports_stats() {
+    let clients = pseudo_points(400, 23, 1.0);
+    let facilities = pseudo_points(8, 29, 1.0);
+    let engine = HeatMapBuilder::bichromatic(clients, facilities)
+        .metric(Metric::Linf)
+        .build_engine(CountMeasure)
+        .expect("non-empty input");
+
+    // Commit-and-drop a pile of branches: without eager pruning the
+    // registry would hold a dead weak ref per commit until the
+    // periodic (every-64th) sweep.
+    for i in 0..20 {
+        let mut s = engine.session();
+        s.add_facility(Point::new(0.3 + 0.02 * i as f64, 0.4)).unwrap();
+        // `s` drops here; its snapshot dies with it.
+    }
+    let st = engine.registry_stats();
+    assert_eq!(st.registered, 21, "root + 20 commits registered over the lifetime");
+    assert!(st.live >= 1, "the root is always alive");
+    // `session()` pruned on each loop iteration, so dead entries never
+    // piled past one generation's worth.
+    assert!(
+        st.entries <= st.live + 1,
+        "session() must keep the registry near its live size: {st:?}"
+    );
+
+    // `gc()` sweeps the remaining backlog and reports the live view.
+    let swept = engine.gc();
+    assert_eq!(swept.entries, swept.live, "gc leaves no dead entries behind");
+    assert_eq!(swept.registered, 21, "lifetime count is monotone");
+    assert_eq!(swept.live, engine.snapshots().len());
+
+    // `snapshots()` prunes too: park a dead branch, list, and check
+    // the backlog is gone without an explicit gc.
+    let mut s = engine.session();
+    s.add_facility(Point::new(0.71, 0.42)).unwrap();
+    drop(s);
+    let before = engine.registry_stats();
+    assert!(before.entries > before.live, "a dead branch is parked");
+    let _ = engine.snapshots();
+    let after = engine.registry_stats();
+    assert_eq!(after.entries, after.live, "snapshots() swept the dead entry");
+}
