@@ -13,6 +13,7 @@
 
 pub mod edits;
 pub mod http;
+pub mod placement;
 pub mod raster;
 pub mod runner;
 pub mod serve;

@@ -50,6 +50,7 @@ pub mod euler;
 pub mod measure;
 pub mod oracle;
 pub mod parallel;
+pub mod placement;
 pub mod postprocess;
 pub mod pruning;
 pub mod query;
@@ -70,6 +71,10 @@ pub use edit::{
 pub use measure::{
     CapacityMeasure, ConnectivityMeasure, CountMeasure, ExactFallback, IncrementalMeasure,
     InfluenceMeasure, WeightedMeasure,
+};
+pub use placement::{
+    GreedyOutcome, GreedyStep, PlacementConstraints, PlacementEvaluation, PlacementQuery,
+    PlacementRegion, PruneStats, Relocation,
 };
 pub use rnnset::RnnSet;
 pub use sink::{

@@ -73,6 +73,25 @@ pub trait InfluenceMeasure {
         self.influence(&rnn)
     }
 
+    /// An admissible optimistic bound computable from the sweep's *raw*
+    /// emission of a region's RNN set — unordered and possibly
+    /// containing duplicates, i.e. *before* the canonical sort/dedup of
+    /// [`crate::oracle::signature`]: the value must be at least
+    /// `influence(signature(raw))`.
+    ///
+    /// The streaming argmax of `crate::placement` uses it to skip
+    /// canonicalizing (sorting + deduplicating) regions that cannot
+    /// beat the incumbent best, which is what makes a full-arrangement
+    /// argmax sweep cheap at scale. The default — no bound — is always
+    /// admissible and simply disables that skip. Only override with
+    /// duplicate-insensitive, rounding-safe bounds (e.g. a count);
+    /// order-dependent f64 accumulations (a weight sum) can round an
+    /// ulp below the canonical value and are **not** safe here.
+    fn raw_upper_bound(&self, raw: &[u32]) -> f64 {
+        let _ = raw;
+        f64::INFINITY
+    }
+
     /// A stable key identifying this measure — type *and* parameters —
     /// for caches of derived artifacts (e.g. the rendered heat-map
     /// tiles of `rnnhm_heatmap::tiles`): two measures with the same key
@@ -226,6 +245,13 @@ impl InfluenceMeasure for CountMeasure {
         // Counts below 2^53 are exact in f64, so the delta is bitwise
         // equal to a recount.
         old_influence + added.len() as f64 - removed.len() as f64
+    }
+
+    #[inline]
+    fn raw_upper_bound(&self, raw: &[u32]) -> f64 {
+        // Duplicates only inflate the length, so this stays admissible
+        // (and is exact when the emission is duplicate-free).
+        raw.len() as f64
     }
 }
 

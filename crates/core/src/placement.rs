@@ -1,0 +1,749 @@
+//! MaxBRkNN facility placement over an arrangement snapshot.
+//!
+//! The paper frames RNN heat maps as influence *exploration*; this
+//! module turns the same arrangement into influence *optimization* in
+//! the spirit of the MaxBRkNN problem family ("where should a new
+//! facility go to capture the most clients?"). The key observation is
+//! that nothing new has to be computed: the influence of a hypothetical
+//! facility at `q` equals the influence label of the arrangement region
+//! containing `q`, because a client adopts the newcomer exactly when
+//! `q` falls inside its k-th NN circle. The argmax *cell* of the
+//! arrangement therefore *is* the MaxBRkNN answer, and top-m placement
+//! is top-m region labeling with representative interior points.
+//!
+//! ## Pipeline
+//!
+//! 1. **Candidate generation** — one CREST sweep enumerates every
+//!    region with a representative rectangle whose interior lies inside
+//!    the region. Regions are deduplicated by RNN-set signature in
+//!    first-occurrence order (the same tie-break contract as
+//!    [`crate::postprocess::top_k`]).
+//! 2. **Pruning bounds** — each distinct signature gets an admissible
+//!    optimistic bound from [`InfluenceMeasure::upper_bound`]. For
+//!    measures with a cheap bound (count, capacity) this is O(1) per
+//!    region; candidates are then visited best-bound-first and exact
+//!    evaluation stops as soon as the next bound cannot displace the
+//!    current m-th best — a short-circuit instead of scoring every
+//!    region.
+//! 3. **Incremental evaluation** — what-if placements
+//!    ([`PlacementQuery::evaluate_insert`], greedy commits) reuse the
+//!    snapshot edit engine: a tentative insert is an incremental
+//!    maintenance step whose successor snapshot can simply be dropped,
+//!    leaving the base snapshot bit-identical — no rebuild per
+//!    candidate.
+//!
+//! Answers are exact, never sampled: the sweep enumerates *all*
+//! regions, the bounds are admissible, and a synthetic exterior
+//! candidate keeps the answer total over the whole plane even when
+//! every labeled region would be worse than placing nowhere near the
+//! clients (possible for measures where an empty RNN set is not the
+//! minimum).
+//!
+//! ## Containment convention
+//!
+//! Point candidates use *closed* containment (a facility exactly on an
+//! NN-circle boundary ties with the client's current facility and wins
+//! it, per the `≤` of the paper's §III-A RNN definition), matching
+//! [`crate::query`]. Region representatives are strictly interior, so
+//! for them closed and open containment coincide.
+
+use std::cell::OnceCell;
+use std::collections::HashMap;
+
+use rnnhm_geom::{Circle, Point, Rect};
+use rnnhm_index::{EnclosureIndex, RTree};
+
+use crate::arrangement::{fnv1a_words, CoordSpace};
+use crate::crest::crest_sweep;
+use crate::crest_l2::crest_l2_sweep;
+use crate::edit::{ArrangementRef, EditError, EditOutcome};
+use crate::measure::{CountMeasure, InfluenceMeasure};
+use crate::sink::RegionSink;
+use crate::snapshot::ArrangementSnapshot;
+use crate::window::crest_window;
+
+/// One candidate placement region: a maximal-influence cell of the
+/// arrangement with a representative interior point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementRegion {
+    /// Representative rectangle in *sweep* coordinates (rotated frame
+    /// for L1). Its interior lies inside the region for square
+    /// arrangements; for L2 only its center is guaranteed interior.
+    pub rect: Rect,
+    /// Input-space bounding box of `rect` (for overlay rendering).
+    pub bbox: Rect,
+    /// An input-space point interior to the region — place the new
+    /// facility here to realize `influence`.
+    pub point: Point,
+    /// The RNN set captured by a facility placed in this region
+    /// (sorted client ids).
+    pub rnn: Vec<u32>,
+    /// The influence of that RNN set under the query's measure.
+    pub influence: f64,
+}
+
+/// How much work the upper-bound pruning saved during a
+/// [`PlacementQuery::top_placements_stats`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PruneStats {
+    /// Distinct region signatures the sweep produced (candidate count).
+    pub distinct_regions: usize,
+    /// Candidates whose exact influence was evaluated.
+    pub evaluated: usize,
+    /// Candidates short-circuited by the admissible upper bound.
+    pub pruned: usize,
+}
+
+/// Constraints on where greedy placement may put facilities.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PlacementConstraints {
+    /// Restrict candidates to this input-space rectangle. Exact (via a
+    /// windowed sweep) for L∞; for L1 and L2 the filter is applied at
+    /// region granularity through the representative point, which is
+    /// guaranteed inside the region but not necessarily the whole
+    /// region inside the window.
+    pub within: Option<Rect>,
+    /// Stop accepting placements once the best remaining candidate
+    /// falls below this influence.
+    pub min_influence: Option<f64>,
+}
+
+impl PlacementConstraints {
+    /// No constraints: the whole plane, any influence.
+    pub fn none() -> PlacementConstraints {
+        PlacementConstraints::default()
+    }
+}
+
+/// A scored what-if insertion produced by
+/// [`PlacementQuery::evaluate_insert`]. Dropping it (and `snapshot`
+/// with it) is a perfect bitwise undo of the tentative insert.
+pub struct PlacementEvaluation {
+    /// Where the hypothetical facility was placed (input space).
+    pub point: Point,
+    /// The id the facility received in `snapshot`.
+    pub facility: u32,
+    /// The clients it captures (sorted ids), scored against the *base*
+    /// snapshot — the MaxBRkNN objective value of this candidate.
+    pub rnn: Vec<u32>,
+    /// The influence of `rnn` under the query's measure.
+    pub influence: f64,
+    /// The successor snapshot with the facility inserted, built by the
+    /// incremental edit engine. Keep it to commit, drop it to undo.
+    pub snapshot: ArrangementSnapshot,
+    /// What the incremental maintenance changed.
+    pub outcome: EditOutcome,
+}
+
+/// The answer to [`PlacementQuery::best_relocation`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Relocation {
+    /// The facility that was (tentatively) relocated.
+    pub facility: u32,
+    /// Its current location.
+    pub from: Point,
+    /// The influence it contributes at `from` (scored, like `best`,
+    /// against the arrangement with the facility removed).
+    pub current_influence: f64,
+    /// The best region to move it to.
+    pub best: PlacementRegion,
+    /// `best.influence - current_influence`.
+    pub gain: f64,
+}
+
+/// One accepted step of [`PlacementQuery::greedy_place`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GreedyStep {
+    /// The id the new facility received in the step's snapshot.
+    pub facility: u32,
+    /// The region (and influence) it was placed in, scored against the
+    /// arrangement as it stood *before* this step.
+    pub chosen: PlacementRegion,
+}
+
+/// The result of a greedy multi-facility placement.
+pub struct GreedyOutcome {
+    /// Accepted placements, in order.
+    pub steps: Vec<GreedyStep>,
+    /// The snapshot after the final accepted step (`None` when no step
+    /// was accepted). Dropping it undoes the whole loop.
+    pub snapshot: Option<ArrangementSnapshot>,
+}
+
+/// A placement optimizer over one immutable arrangement snapshot.
+///
+/// The query object is cheap to create; the point-enclosure index used
+/// by candidate-point scoring is built lazily on first use and reused
+/// across [`PlacementQuery::influence_of`] /
+/// [`PlacementQuery::evaluate_insert`] calls.
+pub struct PlacementQuery<'a, M: InfluenceMeasure> {
+    snap: &'a ArrangementSnapshot,
+    measure: &'a M,
+    stab: OnceCell<RTree>,
+}
+
+impl<'a, M: InfluenceMeasure> PlacementQuery<'a, M> {
+    /// A placement query over `snap` scoring with `measure`.
+    pub fn new(snap: &'a ArrangementSnapshot, measure: &'a M) -> PlacementQuery<'a, M> {
+        PlacementQuery { snap, measure, stab: OnceCell::new() }
+    }
+
+    /// The snapshot this query optimizes over.
+    pub fn snapshot(&self) -> &ArrangementSnapshot {
+        self.snap
+    }
+
+    /// The `m` most influential placement regions for a hypothetical
+    /// new facility, most influential first; influence ties resolved by
+    /// first-occurrence signature order (the
+    /// [`crate::postprocess::top_k`] contract).
+    pub fn top_placements(&self, m: usize) -> Vec<PlacementRegion> {
+        self.top_placements_stats(m).0
+    }
+
+    /// [`PlacementQuery::top_placements`] plus pruning statistics.
+    pub fn top_placements_stats(&self, m: usize) -> (Vec<PlacementRegion>, PruneStats) {
+        top_in(self.snap, self.measure, m, &PlacementConstraints::none())
+    }
+
+    /// Top-m placements under constraints. With a `within` window the
+    /// exterior fallback candidate is not added: an empty result means
+    /// no region intersects the window (or none clears
+    /// `min_influence`).
+    pub fn top_placements_in(
+        &self,
+        m: usize,
+        constraints: &PlacementConstraints,
+    ) -> Vec<PlacementRegion> {
+        top_in(self.snap, self.measure, m, constraints).0
+    }
+
+    /// The single best placement region (never `None`: the exterior
+    /// candidate makes the unconstrained answer total). Runs the
+    /// streaming argmax — no per-region dedup table — so it is the
+    /// cheap way to ask for exactly one region.
+    pub fn best_placement(&self) -> PlacementRegion {
+        best_in(self.snap, self.measure, &PlacementConstraints::none())
+            .expect("unconstrained placement is total")
+    }
+
+    /// The RNN set (sorted) and influence of placing a new facility
+    /// exactly at `p` (input space, closed containment).
+    pub fn influence_of(&self, p: Point) -> (Vec<u32>, f64) {
+        let rnn = self.rnn_of(p);
+        let influence = self.measure.influence(&rnn);
+        (rnn, influence)
+    }
+
+    fn tree(&self) -> &RTree {
+        self.stab.get_or_init(|| match self.snap.arrangement() {
+            ArrangementRef::Square(a) => RTree::build(&a.squares),
+            ArrangementRef::Disk(d) => {
+                let bboxes: Vec<Rect> = d.disks.iter().map(Circle::bbox).collect();
+                RTree::build(&bboxes)
+            }
+        })
+    }
+
+    fn rnn_of(&self, p: Point) -> Vec<u32> {
+        let mut hits = Vec::new();
+        let mut rnn: Vec<u32> = match self.snap.arrangement() {
+            ArrangementRef::Square(a) => {
+                self.tree().stab_point(a.space.to_sweep(p), &mut hits);
+                hits.iter().map(|&c| a.owners[c as usize]).collect()
+            }
+            ArrangementRef::Disk(d) => {
+                self.tree().stab(p, &mut hits);
+                hits.iter()
+                    .filter(|&&c| d.disks[c as usize].contains_closed(p))
+                    .map(|&c| d.owners[c as usize])
+                    .collect()
+            }
+        };
+        rnn.sort_unstable();
+        rnn
+    }
+
+    /// Scores a tentative insert at `p`: the candidate's RNN set and
+    /// influence against the base arrangement, plus the successor
+    /// snapshot the incremental edit engine would commit. Dropping the
+    /// returned evaluation is a perfect bitwise undo.
+    pub fn evaluate_insert(&self, p: Point) -> Result<PlacementEvaluation, EditError> {
+        if !p.x.is_finite() || !p.y.is_finite() {
+            return Err(EditError::NonFinitePoint);
+        }
+        let (rnn, influence) = self.influence_of(p);
+        let (snapshot, facility, outcome) = self.snap.insert_facility(p)?;
+        Ok(PlacementEvaluation { point: p, facility, rnn, influence, snapshot, outcome })
+    }
+
+    /// Where should facility `facility` move? Tentatively removes it
+    /// (incremental maintenance), finds the best placement on the
+    /// remaining arrangement, and scores its current location the same
+    /// way for the gain. The tentative removal snapshot is dropped
+    /// before returning — the base snapshot is untouched.
+    pub fn best_relocation(&self, facility: u32) -> Result<Relocation, EditError> {
+        let from = self.snap.facility(facility).ok_or(EditError::UnknownFacility)?;
+        let (without, _outcome) = self.snap.remove_facility(facility)?;
+        let sub = PlacementQuery::new(&without, self.measure);
+        let best = sub.best_placement();
+        let (_, current_influence) = sub.influence_of(from);
+        let gain = best.influence - current_influence;
+        Ok(Relocation { facility, from, current_influence, best, gain })
+    }
+
+    /// Greedily places up to `count` new facilities: each step takes
+    /// the best remaining region (under `constraints`) and commits an
+    /// incremental insert at its representative point, so the next
+    /// step optimizes against the updated arrangement. Stops early
+    /// when no candidate satisfies the constraints.
+    pub fn greedy_place(
+        &self,
+        count: usize,
+        constraints: &PlacementConstraints,
+    ) -> Result<GreedyOutcome, EditError> {
+        let mut steps: Vec<GreedyStep> = Vec::new();
+        let mut current: Option<ArrangementSnapshot> = None;
+        for _ in 0..count {
+            let best = {
+                let snap = current.as_ref().unwrap_or(self.snap);
+                best_in(snap, self.measure, constraints)
+            };
+            let Some(best) = best else { break };
+            let snap = current.as_ref().unwrap_or(self.snap);
+            let (next, facility, _outcome) = snap.insert_facility(best.point)?;
+            steps.push(GreedyStep { facility, chosen: best });
+            current = Some(next);
+        }
+        Ok(GreedyOutcome { steps, snapshot: current })
+    }
+}
+
+/// Maps a sweep-space representative rectangle to a placement region
+/// in input coordinates.
+fn to_region(
+    arr: ArrangementRef<'_>,
+    rect: Rect,
+    rnn: Vec<u32>,
+    influence: f64,
+) -> PlacementRegion {
+    let (bbox, point) = match arr {
+        ArrangementRef::Square(a) => match a.space {
+            CoordSpace::Identity => (rect, rect.center()),
+            CoordSpace::Rotated45 => {
+                let corners = [
+                    Point::new(rect.x_lo, rect.y_lo),
+                    Point::new(rect.x_lo, rect.y_hi),
+                    Point::new(rect.x_hi, rect.y_lo),
+                    Point::new(rect.x_hi, rect.y_hi),
+                ];
+                let mapped: Vec<Point> = corners.iter().map(|&c| a.space.to_original(c)).collect();
+                let bbox = Rect::bounding(&mapped).expect("four corners");
+                (bbox, a.space.to_original(rect.center()))
+            }
+        },
+        ArrangementRef::Disk(_) => (rect, rect.center()),
+    };
+    PlacementRegion { rect, bbox, point, rnn, influence }
+}
+
+/// A unit rectangle strictly outside every NN circle — the "place
+/// nowhere near the clients" candidate with an empty RNN set. Keeps
+/// the unconstrained answer total over the plane.
+fn exterior_rect(arr: ArrangementRef<'_>) -> Rect {
+    let bb = match arr {
+        ArrangementRef::Square(a) => a.bbox(),
+        ArrangementRef::Disk(d) => d.bbox(),
+    };
+    match bb {
+        Some(b) => {
+            let margin = 1.0 + 0.5 * (b.width() + b.height());
+            Rect::new(
+                b.x_hi + margin,
+                b.x_hi + margin + 1.0,
+                b.y_hi + margin,
+                b.y_hi + margin + 1.0,
+            )
+        }
+        // No circles at all: every point of the plane captures nothing.
+        None => Rect::new(0.0, 1.0, 0.0, 1.0),
+    }
+}
+
+/// Candidate slots in first-occurrence order: one `(representative
+/// rect, sorted signature)` per distinct region signature. A
+/// degenerate (zero-area) first representative is upgraded to the
+/// first positive-area rectangle seen for the same signature, so
+/// representative points stay strictly interior whenever the region
+/// has interior at all.
+fn candidate_slots(
+    snap: &ArrangementSnapshot,
+    constraints: &PlacementConstraints,
+) -> Vec<(Rect, Vec<u32>)> {
+    let probe = CountMeasure;
+    let arr = snap.arrangement();
+    let mut sink = SlotSink {
+        arr,
+        window: None,
+        scratch: Vec::new(),
+        by_hash: HashMap::new(),
+        slots: Vec::new(),
+    };
+    match arr {
+        ArrangementRef::Square(a) => match (constraints.within, a.space) {
+            (Some(window), CoordSpace::Identity) => {
+                crest_window(a, window, &probe, &mut sink);
+            }
+            (within, _) => {
+                sink.window = within;
+                crest_sweep(a, &probe, &mut sink);
+            }
+        },
+        ArrangementRef::Disk(d) => {
+            sink.window = constraints.within;
+            crest_l2_sweep(d, &probe, &mut sink);
+        }
+    }
+    let mut slots = sink.slots;
+
+    // The exterior (empty-RNN) candidate, only for unconstrained
+    // queries and only when the sweep did not already emit an empty
+    // region.
+    if constraints.within.is_none() && !slots.iter().any(|(_, sig)| sig.is_empty()) {
+        slots.push((exterior_rect(arr), Vec::new()));
+    }
+    slots
+}
+
+/// Streaming slot collector: dedups regions by RNN-set signature as
+/// the sweep emits them, allocating once per *distinct* signature
+/// instead of once per emitted region. The greedy loop re-sweeps the
+/// full arrangement per step, so at n=100k the per-region clones of a
+/// `CollectSink` (millions of short-lived `Vec`s) dominated its cost.
+struct SlotSink<'a> {
+    arr: ArrangementRef<'a>,
+    /// Region-granular window filter for the frames where the exact
+    /// windowed sweep is unavailable (rotated L1, disks): keep regions
+    /// whose representative point (guaranteed interior) lands in the
+    /// window. `None` when unconstrained or when `crest_window`
+    /// already filtered exactly.
+    window: Option<Rect>,
+    scratch: Vec<u32>,
+    by_hash: HashMap<u64, Vec<usize>>,
+    slots: Vec<(Rect, Vec<u32>)>,
+}
+
+impl RegionSink for SlotSink<'_> {
+    fn label(&mut self, rect: Rect, rnn: &[u32], _influence: f64) {
+        if let Some(window) = self.window {
+            let rep = to_region(self.arr, rect, Vec::new(), 0.0).point;
+            if !window.contains_closed(rep) {
+                return;
+            }
+        }
+        let Self { scratch, by_hash, slots, .. } = self;
+        scratch.clear();
+        scratch.extend_from_slice(rnn);
+        scratch.sort_unstable();
+        scratch.dedup();
+        let hash = fnv1a_words(scratch.iter().map(|&c| c as u64));
+        let bucket = by_hash.entry(hash).or_default();
+        match bucket.iter().find(|&&slot| slots[slot].1 == *scratch) {
+            Some(&slot) => {
+                let stored = &mut slots[slot].0;
+                if stored.area() <= 0.0 && rect.area() > 0.0 {
+                    *stored = rect;
+                }
+            }
+            None => {
+                bucket.push(slots.len());
+                slots.push((rect, scratch.clone()));
+            }
+        }
+    }
+}
+
+/// The shared top-m engine: candidate slots → admissible bounds →
+/// best-bound-first exact evaluation with short-circuit.
+fn top_in<M: InfluenceMeasure>(
+    snap: &ArrangementSnapshot,
+    measure: &M,
+    m: usize,
+    constraints: &PlacementConstraints,
+) -> (Vec<PlacementRegion>, PruneStats) {
+    let slots = candidate_slots(snap, constraints);
+    let mut stats = PruneStats { distinct_regions: slots.len(), evaluated: 0, pruned: slots.len() };
+    if m == 0 || slots.is_empty() {
+        return (Vec::new(), stats);
+    }
+
+    let bounds: Vec<f64> = slots.iter().map(|(_, sig)| measure.upper_bound(sig, &[])).collect();
+    let mut order: Vec<usize> = (0..slots.len()).collect();
+    order.sort_by(|&a, &b| {
+        bounds[b].partial_cmp(&bounds[a]).expect("finite influence bound").then(a.cmp(&b))
+    });
+
+    // Exact values of evaluated slots; `floor` is the m-th best exact
+    // influence so far. A remaining candidate with bound < floor can
+    // never displace the current top-m (bounds are admissible), and
+    // bounds are visited in non-increasing order, so evaluation stops
+    // there. Candidates with bound == floor are still evaluated: an
+    // exact tie is resolved by first-occurrence order, not skipped.
+    let mut exact: Vec<(usize, f64)> = Vec::new();
+    let mut floor = f64::NEG_INFINITY;
+    let mut top_vals: Vec<f64> = Vec::new();
+    for &s in &order {
+        if exact.len() >= m && bounds[s] < floor {
+            break;
+        }
+        let influence = measure.influence(&slots[s].1);
+        exact.push((s, influence));
+        top_vals.push(influence);
+        top_vals.sort_by(|a, b| b.partial_cmp(a).expect("finite influence"));
+        top_vals.truncate(m);
+        if top_vals.len() >= m {
+            floor = top_vals[m - 1];
+        }
+    }
+    stats.evaluated = exact.len();
+    stats.pruned = slots.len() - exact.len();
+
+    // Final ranking replicates postprocess::top_k exactly: stable
+    // descending by influence over first-occurrence slot order.
+    exact.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite influence").then(a.0.cmp(&b.0)));
+    exact.truncate(m);
+
+    let arr = snap.arrangement();
+    let mut out: Vec<PlacementRegion> = exact
+        .into_iter()
+        .map(|(s, influence)| to_region(arr, slots[s].0, slots[s].1.clone(), influence))
+        .collect();
+    if let Some(min) = constraints.min_influence {
+        out.retain(|r| r.influence >= min);
+    }
+    (out, stats)
+}
+
+/// The streaming m = 1 engine: a single sweep with an `O(1)`-state
+/// argmax sink instead of the slot table of [`top_in`]. Answers are
+/// identical to `top_in(.., 1, ..)` — influence is a function of the
+/// signature alone, so the first emission achieving the maximum belongs
+/// to the earliest-first-occurring maximal signature, which is exactly
+/// the `top_k` tie-break — but the per-region cost drops from a
+/// sort + hash + table probe to (usually) one
+/// [`InfluenceMeasure::raw_upper_bound`] call. This is what keeps the
+/// greedy loop's per-step full-arrangement argmax near the raw sweep
+/// cost at n = 100k instead of ~30× over it.
+fn best_in<M: InfluenceMeasure>(
+    snap: &ArrangementSnapshot,
+    measure: &M,
+    constraints: &PlacementConstraints,
+) -> Option<PlacementRegion> {
+    let probe = CountMeasure;
+    let arr = snap.arrangement();
+    let mut sink = ArgmaxSink { arr, window: None, measure, scratch: Vec::new(), best: None };
+    match arr {
+        ArrangementRef::Square(a) => match (constraints.within, a.space) {
+            (Some(window), CoordSpace::Identity) => {
+                crest_window(a, window, &probe, &mut sink);
+            }
+            (within, _) => {
+                sink.window = within;
+                crest_sweep(a, &probe, &mut sink);
+            }
+        },
+        ArrangementRef::Disk(d) => {
+            sink.window = constraints.within;
+            crest_l2_sweep(d, &probe, &mut sink);
+        }
+    }
+    let mut best = sink.best;
+
+    // The exterior (empty-RNN) candidate ranks after every emitted
+    // region, exactly as the last-appended slot of `candidate_slots`:
+    // it wins only on strictly greater influence (or an empty sweep).
+    if constraints.within.is_none() {
+        let influence = measure.influence(&[]);
+        let wins = best.as_ref().is_none_or(|(_, _, b)| influence > *b);
+        if wins {
+            best = Some((exterior_rect(arr), Vec::new(), influence));
+        }
+    }
+
+    let (rect, sig, influence) = best?;
+    if constraints.min_influence.is_some_and(|min| influence < min) {
+        return None;
+    }
+    Some(to_region(arr, rect, sig, influence))
+}
+
+/// Streaming argmax over the sweep's emission, preserving the
+/// first-occurrence tie-break (strictly-greater replacement) and the
+/// zero-area representative upgrade of the slot path. Regions whose
+/// [`InfluenceMeasure::raw_upper_bound`] cannot beat the incumbent are
+/// skipped before the canonical sort/dedup — the hot path for dense
+/// arrangements, where almost every region loses on the cheap bound.
+struct ArgmaxSink<'a, M: InfluenceMeasure> {
+    arr: ArrangementRef<'a>,
+    /// Region-granular window filter for the frames where the exact
+    /// windowed sweep is unavailable (rotated L1, disks), as in
+    /// `SlotSink`.
+    window: Option<Rect>,
+    measure: &'a M,
+    scratch: Vec<u32>,
+    /// `(representative rect, sorted signature, exact influence)` of
+    /// the incumbent best region.
+    best: Option<(Rect, Vec<u32>, f64)>,
+}
+
+impl<M: InfluenceMeasure> RegionSink for ArgmaxSink<'_, M> {
+    fn label(&mut self, rect: Rect, rnn: &[u32], _influence: f64) {
+        if let Some(window) = self.window {
+            let rep = to_region(self.arr, rect, Vec::new(), 0.0).point;
+            if !window.contains_closed(rep) {
+                return;
+            }
+        }
+        let Self { measure, scratch, best, .. } = self;
+        if let Some((_, _, incumbent)) = best {
+            // Strict `<`: a bound *tying* the incumbent must still be
+            // canonicalized — it may be the same signature carrying a
+            // positive-area rect for the zero-area upgrade below.
+            if measure.raw_upper_bound(rnn) < *incumbent {
+                return;
+            }
+        }
+        scratch.clear();
+        scratch.extend_from_slice(rnn);
+        scratch.sort_unstable();
+        scratch.dedup();
+        match best {
+            Some((stored, sig, incumbent)) => {
+                let influence = measure.influence(scratch);
+                if influence > *incumbent {
+                    *stored = rect;
+                    sig.clear();
+                    sig.extend_from_slice(scratch);
+                    *incumbent = influence;
+                } else if influence == *incumbent
+                    && *sig == *scratch
+                    && stored.area() <= 0.0
+                    && rect.area() > 0.0
+                {
+                    // A later emission of the *winning* signature with
+                    // interior: upgrade the representative, keep rank.
+                    *stored = rect;
+                }
+            }
+            None => {
+                let influence = measure.influence(scratch);
+                *best = Some((rect, scratch.clone(), influence));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::CapacityMeasure;
+    use crate::sink::MaxSink;
+    use rnnhm_geom::Metric;
+
+    fn snap(metric: Metric, k: usize) -> ArrangementSnapshot {
+        let clients = vec![
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 1.5),
+            Point::new(6.0, 6.0),
+            Point::new(6.5, 5.5),
+            Point::new(1.5, 6.0),
+        ];
+        let facilities = vec![
+            Point::new(0.0, 0.0),
+            Point::new(7.0, 7.0),
+            Point::new(0.0, 7.0),
+            Point::new(7.0, 0.0),
+        ];
+        ArrangementSnapshot::build_k(
+            clients,
+            facilities,
+            metric,
+            crate::arrangement::Mode::Bichromatic,
+            k,
+        )
+        .expect("build")
+    }
+
+    #[test]
+    fn best_placement_matches_max_sink() {
+        for metric in Metric::ALL {
+            for k in [1usize, 2] {
+                let s = snap(metric, k);
+                let q = PlacementQuery::new(&s, &CountMeasure);
+                let best = q.best_placement();
+                let mut max = MaxSink::default();
+                match s.arrangement() {
+                    ArrangementRef::Square(a) => {
+                        crest_sweep(a, &CountMeasure, &mut max);
+                    }
+                    ArrangementRef::Disk(d) => {
+                        crest_l2_sweep(d, &CountMeasure, &mut max);
+                    }
+                }
+                let sink_best = max.best.expect("regions exist");
+                assert_eq!(
+                    best.influence, sink_best.influence,
+                    "{metric:?} k={k}: argmax influence"
+                );
+                let (_, at_rep) = q.influence_of(best.point);
+                assert_eq!(at_rep, best.influence, "{metric:?} k={k}: representative realizes it");
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_short_circuits_but_stays_exact() {
+        let s = snap(Metric::Linf, 1);
+        // CapacityMeasure has a cheap O(1) bound, so pruning applies.
+        let cap = CapacityMeasure::new(vec![0, 0, 1, 1, 0], vec![5, 5, 5, 5], 2);
+        let q = PlacementQuery::new(&s, &cap);
+        let (top, stats) = q.top_placements_stats(1);
+        assert_eq!(stats.evaluated + stats.pruned, stats.distinct_regions);
+        let full = top_in(&s, &cap, usize::MAX, &PlacementConstraints::none()).0;
+        assert_eq!(top[0].influence, full[0].influence, "pruned answer == exhaustive answer");
+        assert_eq!(top[0].rnn, full[0].rnn);
+    }
+
+    #[test]
+    fn evaluate_insert_is_bitwise_undo() {
+        let s = snap(Metric::L2, 2);
+        let fp = s.fingerprint();
+        let q = PlacementQuery::new(&s, &CountMeasure);
+        for p in [Point::new(1.2, 1.3), Point::new(6.1, 5.9), Point::new(3.5, 3.5)] {
+            let ev = q.evaluate_insert(p).expect("insert");
+            assert_ne!(ev.snapshot.fingerprint(), fp, "tentative insert changed the successor");
+            drop(ev);
+        }
+        assert_eq!(s.fingerprint(), fp, "base snapshot untouched");
+    }
+
+    #[test]
+    fn greedy_steps_monotonically_cover() {
+        let s = snap(Metric::Linf, 1);
+        let q = PlacementQuery::new(&s, &CountMeasure);
+        let out = q.greedy_place(2, &PlacementConstraints::none()).expect("greedy");
+        assert_eq!(out.steps.len(), 2);
+        let snap2 = out.snapshot.expect("committed");
+        assert_eq!(snap2.n_facilities(), s.n_facilities() + 2);
+    }
+
+    #[test]
+    fn min_influence_stops_greedy() {
+        let s = snap(Metric::Linf, 1);
+        let q = PlacementQuery::new(&s, &CountMeasure);
+        let constraints = PlacementConstraints { within: None, min_influence: Some(f64::INFINITY) };
+        let out = q.greedy_place(3, &constraints).expect("greedy");
+        assert!(out.steps.is_empty(), "no region clears an infinite floor");
+        assert!(out.snapshot.is_none());
+    }
+}

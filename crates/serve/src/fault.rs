@@ -72,6 +72,7 @@ pub struct FaultPlan {
     /// Injected delay length, in microseconds.
     render_delay_us: AtomicU64,
     handler_panic: FaultPoint,
+    placement_panic: FaultPoint,
     drop_connection: FaultPoint,
     truncate_write: FaultPoint,
     /// Bytes kept when a truncation fires.
@@ -99,6 +100,14 @@ impl FaultPlan {
         self.handler_panic.arm(every);
     }
 
+    /// Arms the placement-panic point: every `every`-th placement
+    /// evaluation panics *inside* the optimizer, after admission and
+    /// revalidation (exercises panic isolation around the read-locked
+    /// session and the placement sweep specifically).
+    pub fn panic_placement_every(&self, every: u64) {
+        self.placement_panic.arm(every);
+    }
+
     /// Arms the connection-drop point: every `every`-th request is
     /// answered by closing the socket with no response at all.
     pub fn drop_connection_every(&self, every: u64) {
@@ -118,6 +127,7 @@ impl FaultPlan {
     pub fn disarm(&self) {
         self.render_delay.arm(0);
         self.handler_panic.arm(0);
+        self.placement_panic.arm(0);
         self.drop_connection.arm(0);
         self.truncate_write.arm(0);
     }
@@ -135,6 +145,11 @@ impl FaultPlan {
         self.handler_panic.fire()
     }
 
+    /// Consults the placement-panic point.
+    pub fn should_panic_placement(&self) -> bool {
+        self.placement_panic.fire()
+    }
+
     /// Consults the connection-drop point.
     pub fn should_drop_connection(&self) -> bool {
         self.drop_connection.fire()
@@ -150,7 +165,9 @@ impl FaultPlan {
     pub fn counts(&self) -> FaultCounts {
         FaultCounts {
             delays: self.render_delay.fired(),
-            panics: self.handler_panic.fired(),
+            // Both panic points count here: a caught panic looks the
+            // same to the server no matter which seam raised it.
+            panics: self.handler_panic.fired() + self.placement_panic.fired(),
             drops: self.drop_connection.fired(),
             truncations: self.truncate_write.fired(),
         }

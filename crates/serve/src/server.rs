@@ -45,6 +45,8 @@
 //! | `GET /session/{id}/viewport?x0=&x1=&y0=&y1=&w=&h=` | stitched viewport (may degrade) |
 //! | `GET /session/{id}/topk?k=` | k most influential regions (JSON) |
 //! | `GET /session/{id}/influence?x=&y=` | RNN set + influence at a point |
+//! | `GET /session/{id}/placement?m=` | top-m MaxBRkNN placement regions (JSON; exact, ETag) |
+//! | `POST /session/{id}/relocate?facility=` | move a facility to its best location |
 //! | `POST /session/{id}/edit?op=add&x=&y=` (or `op=remove&id=`, `op=move&id=&x=&y=`) | what-if edit |
 //!
 //! Binary raster responses carry `X-Grid: {width} {height}` and
@@ -65,6 +67,7 @@ use std::time::{Duration, Instant};
 
 use rnn_heatmap::{ExplorationEngine, Session, ViewportFrame};
 use rnnhm_core::measure::IncrementalMeasure;
+use rnnhm_core::placement::PlacementRegion;
 use rnnhm_core::sink::LabeledRegion;
 use rnnhm_geom::{Point, Rect};
 use rnnhm_heatmap::raster::HeatRaster;
@@ -135,6 +138,7 @@ struct Counters {
     responses_5xx: AtomicU64,
     shed: AtomicU64,
     degraded: AtomicU64,
+    deadline_rejected: AtomicU64,
     panics_caught: AtomicU64,
     read_timeouts: AtomicU64,
     dropped_connections: AtomicU64,
@@ -164,6 +168,9 @@ pub struct ServerStats {
     pub shed: u64,
     /// Viewport responses degraded to a preview by the deadline.
     pub degraded: u64,
+    /// Placement queries rejected with `503` because the deadline
+    /// expired — optimizers never degrade to an approximate answer.
+    pub deadline_rejected: u64,
     /// Handler panics caught (workers survived each one).
     pub panics_caught: u64,
     /// Connections that hit the socket read timeout.
@@ -520,6 +527,7 @@ impl<M: IncrementalMeasure + Send + Sync> Ctx<M> {
             responses_5xx: c.responses_5xx.load(Ordering::Relaxed),
             shed: c.shed.load(Ordering::Relaxed),
             degraded: c.degraded.load(Ordering::Relaxed),
+            deadline_rejected: c.deadline_rejected.load(Ordering::Relaxed),
             panics_caught: c.panics_caught.load(Ordering::Relaxed),
             read_timeouts: c.read_timeouts.load(Ordering::Relaxed),
             dropped_connections: c.dropped_connections.load(Ordering::Relaxed),
@@ -613,6 +621,8 @@ fn handle<M: IncrementalMeasure + Send + Sync>(
                  GET  /session/{id} | /session/{id}/tile/{zoom}/{tx}/{ty}\n\
                  GET  /session/{id}/viewport?x0=&x1=&y0=&y1=&w=&h=\n\
                  GET  /session/{id}/topk?k= | /session/{id}/influence?x=&y=\n\
+                 GET  /session/{id}/placement?m=\n\
+                 POST /session/{id}/relocate?facility=\n\
                  POST /session/{id}/edit?op=add&x=&y= (op=remove&id=, op=move&id=&x=&y=)",
             ),
             _ => Response::text(405, "method not allowed"),
@@ -649,10 +659,14 @@ fn handle<M: IncrementalMeasure + Send + Sync>(
                 ("GET", ["viewport"]) => viewport_endpoint(ctx, req, id, deadline),
                 ("GET", ["topk"]) => topk_endpoint(ctx, req, id),
                 ("GET", ["influence"]) => influence_endpoint(ctx, req, id),
+                ("GET", ["placement"]) => placement_endpoint(ctx, req, id, deadline),
+                ("POST", ["relocate"]) => relocate_endpoint(ctx, req, id),
                 ("POST", ["edit"]) => edit_endpoint(ctx, req, id),
-                (_, ["fork" | "tile" | "viewport" | "topk" | "influence" | "edit"]) => {
-                    Response::text(405, "method not allowed")
-                }
+                (
+                    _,
+                    ["fork" | "tile" | "viewport" | "topk" | "influence" | "placement" | "relocate"
+                    | "edit"],
+                ) => Response::text(405, "method not allowed"),
                 _ => Response::text(404, "no such endpoint"),
             }
         }
@@ -849,6 +863,111 @@ fn influence_endpoint<M: IncrementalMeasure + Send + Sync>(
     })
 }
 
+fn placement_json(p: &PlacementRegion) -> String {
+    format!(
+        "{{\"point\":[{},{}],\"bbox\":[{},{},{},{}],\"influence\":{},\"rnn_size\":{}}}",
+        json::number(p.point.x),
+        json::number(p.point.y),
+        json::number(p.bbox.x_lo),
+        json::number(p.bbox.x_hi),
+        json::number(p.bbox.y_lo),
+        json::number(p.bbox.y_hi),
+        json::number(p.influence),
+        p.rnn.len()
+    )
+}
+
+/// Top-m MaxBRkNN placement regions. The answer is a pure function of
+/// the snapshot fingerprint and the measure, so the fingerprint ETag
+/// is a strong validator and `304` revalidation is exact. Unlike
+/// viewports, placement never degrades: past the deadline the request
+/// is rejected with `503 Retry-After` — an optimizer must not
+/// silently return an approximate argmax.
+fn placement_endpoint<M: IncrementalMeasure + Send + Sync>(
+    ctx: &Ctx<M>,
+    req: &Request,
+    id: u64,
+    deadline: Instant,
+) -> Response {
+    let m = match req.param("m") {
+        None => 3,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(m) if (1..=100).contains(&m) => m,
+            _ => return Response::text(422, "m must be an integer in 1..=100"),
+        },
+    };
+    with_session(ctx, id, |session| {
+        let tag = etag(session.fingerprint());
+        if req.header("if-none-match") == Some(tag.as_str()) {
+            return Response::new(304).header("ETag", &tag);
+        }
+        if let Some(delay) = ctx.config.fault.render_delay() {
+            std::thread::sleep(delay);
+        }
+        if Instant::now() >= deadline {
+            ctx.counters.deadline_rejected.fetch_add(1, Ordering::Relaxed);
+            return Response::text(503, "placement deadline exceeded; exact answer unavailable")
+                .header("Retry-After", "1");
+        }
+        if ctx.config.fault.should_panic_placement() {
+            panic!("injected placement panic");
+        }
+        let placements = session.top_placements(m);
+        let items: Vec<String> = placements.iter().map(placement_json).collect();
+        Response::json(
+            200,
+            format!(
+                "{{\"fingerprint\":\"{:016x}\",\"m\":{m},\"placements\":[{}]}}",
+                session.fingerprint(),
+                items.join(",")
+            ),
+        )
+        .header("ETag", &tag)
+    })
+}
+
+/// Moves a facility to its best location (tentative remove + best
+/// re-insert, then a committed move). Errors from the edit engine —
+/// unknown facility, too few facilities for the session's `k` — come
+/// back as `422` with nothing committed.
+fn relocate_endpoint<M: IncrementalMeasure + Send + Sync>(
+    ctx: &Ctx<M>,
+    req: &Request,
+    id: u64,
+) -> Response {
+    let fid = match parse_u64(req, "facility") {
+        Ok(f) => f as u32,
+        Err(resp) => return resp,
+    };
+    let Some(arc) = ctx.session(id) else {
+        return Response::text(404, "no such session (expired or never created)");
+    };
+    let mut session = arc.write().unwrap_or_else(|e| e.into_inner());
+    let rel = match session.best_relocation(fid) {
+        Ok(rel) => rel,
+        Err(err) => return Response::text(422, &format!("relocation rejected: {err}")),
+    };
+    match session.move_facility(fid, rel.best.point) {
+        Ok(dirty) => Response::json(
+            200,
+            format!(
+                "{{\"facility\":{fid},\"from\":[{},{}],\"to\":[{},{}],\"influence\":{},\
+                 \"gain\":{},\"fingerprint\":\"{:016x}\",\"generation\":{},\"dirty_rects\":{}}}",
+                json::number(rel.from.x),
+                json::number(rel.from.y),
+                json::number(rel.best.point.x),
+                json::number(rel.best.point.y),
+                json::number(rel.best.influence),
+                json::number(rel.gain),
+                session.fingerprint(),
+                session.generation(),
+                dirty.rects().len()
+            ),
+        ),
+        Err(err) => Response::text(422, &format!("relocation rejected: {err}")),
+    }
+}
+
 fn edit_endpoint<M: IncrementalMeasure + Send + Sync>(
     ctx: &Ctx<M>,
     req: &Request,
@@ -921,7 +1040,7 @@ fn stats_response<M: IncrementalMeasure + Send + Sync>(ctx: &Ctx<M>) -> Response
         format!(
             "{{\"server\":{{\"accepted\":{},\"requests\":{},\"responses_2xx\":{},\
              \"responses_3xx\":{},\"responses_4xx\":{},\"responses_5xx\":{},\"shed\":{},\
-             \"degraded\":{},\"panics_caught\":{},\"read_timeouts\":{},\
+             \"degraded\":{},\"deadline_rejected\":{},\"panics_caught\":{},\"read_timeouts\":{},\
              \"dropped_connections\":{},\"truncated_writes\":{},\"queue_high_water\":{},\
              \"sessions_live\":{},\"sessions_created\":{},\"sessions_reaped\":{}}},\
              \"cache\":{{\"hits\":{},\"misses\":{},\"insertions\":{},\"entries\":{},\
@@ -937,6 +1056,7 @@ fn stats_response<M: IncrementalMeasure + Send + Sync>(ctx: &Ctx<M>) -> Response
             s.responses_5xx,
             s.shed,
             s.degraded,
+            s.deadline_rejected,
             s.panics_caught,
             s.read_timeouts,
             s.dropped_connections,

@@ -209,3 +209,45 @@ fn mixed_fault_storm_leaves_the_server_consistent() {
     assert_eq!(reg.entries, reg.live, "storm left no dead registry entries behind");
     server.shutdown();
 }
+
+#[test]
+fn placement_panic_storm_recovers_with_exact_answers() {
+    let engine = test_engine(900, 23);
+    let server = serve(Arc::clone(&engine), chaos_config()).expect("bind");
+    let addr = server.addr();
+    const PLACEMENT: &str = "/session/0/placement?m=3";
+
+    // A clean reply before the storm is the bit-exactness baseline.
+    let baseline = request(addr, "GET", PLACEMENT).expect("pre-storm placement");
+    assert_eq!(baseline.status, 200);
+
+    // The placement fault point fires *inside* the evaluation, under
+    // the session read lock — every second request panics mid-answer.
+    let fault = Arc::clone(server.fault());
+    fault.panic_placement_every(2);
+    let mut oks = 0;
+    let mut fives = 0;
+    for _ in 0..10 {
+        match request(addr, "GET", PLACEMENT).expect("storm request").status {
+            200 => oks += 1,
+            500 => fives += 1,
+            other => panic!("unexpected status {other} during placement panic storm"),
+        }
+    }
+    assert_eq!((oks, fives), (5, 5), "every-2nd cadence is deterministic");
+
+    fault.disarm();
+    let counts = fault.counts();
+    assert_eq!(counts.panics, 5);
+    assert_eq!(server.stats().panics_caught, counts.panics, "every injected panic was caught");
+
+    // Post-storm bar: full pool alive, and the placement answer is
+    // bit-identical to the pre-storm reply (a mid-evaluation panic
+    // must not have leaked a partial edit into the shared session).
+    assert_pool_alive(addr, 12);
+    let after = request(addr, "GET", PLACEMENT).expect("post-storm placement");
+    assert_eq!(after.status, 200);
+    assert_eq!(after.body, baseline.body, "panic storm perturbed placement bytes");
+    assert_viewport_bit_identical(addr, &engine);
+    server.shutdown();
+}

@@ -389,3 +389,82 @@ fn keep_alive_connections_serve_multiple_requests() {
     assert_eq!(server.stats().accepted, 1, "one keep-alive connection served all requests");
     server.shutdown();
 }
+
+const PLACEMENT: &str = "/session/0/placement?m=3";
+
+#[test]
+fn placement_etag_round_trips_and_relocation_moves_the_fingerprint() {
+    let server = serve(test_engine(600, 41), quick_config()).expect("bind");
+    let addr = server.addr();
+
+    let first = request(addr, "GET", PLACEMENT).unwrap();
+    assert_eq!(first.status, 200);
+    let tag = first.header("etag").expect("placement replies carry an ETag").to_string();
+    let body = String::from_utf8(first.body.clone()).unwrap();
+    assert!(body.contains("\"placements\""));
+    assert!(body.contains("\"influence\""));
+
+    // Same snapshot: bit-identical reply, and the validator holds.
+    let again = request(addr, "GET", PLACEMENT).unwrap();
+    assert_eq!(again.body, first.body);
+    let cond = request_with(addr, "GET", PLACEMENT, &[("If-None-Match", &tag)]).unwrap();
+    assert_eq!(cond.status, 304);
+    assert!(cond.body.is_empty(), "304 must carry no body");
+    assert_eq!(cond.header("etag"), Some(tag.as_str()));
+
+    // Relocation commits a real move, so the fingerprint — and with it
+    // the placement validator — must change.
+    let moved = request(addr, "POST", "/session/0/relocate?facility=0").unwrap();
+    assert_eq!(moved.status, 200);
+    let moved_body = String::from_utf8(moved.body).unwrap();
+    assert!(moved_body.contains("\"gain\""));
+    assert!(moved_body.contains("\"fingerprint\""));
+
+    let after = request_with(addr, "GET", PLACEMENT, &[("If-None-Match", &tag)]).unwrap();
+    assert_eq!(after.status, 200, "stale validator must re-serve in full");
+    let new_tag = after.header("etag").unwrap().to_string();
+    assert_ne!(new_tag, tag);
+    let cond2 = request_with(addr, "GET", PLACEMENT, &[("If-None-Match", &new_tag)]).unwrap();
+    assert_eq!(cond2.status, 304);
+    server.shutdown();
+}
+
+#[test]
+fn placement_validates_input_and_methods() {
+    let server = serve(test_engine(600, 43), quick_config()).expect("bind");
+    let addr = server.addr();
+    assert_eq!(request(addr, "GET", "/session/0/placement?m=0").unwrap().status, 422);
+    assert_eq!(request(addr, "GET", "/session/0/placement?m=101").unwrap().status, 422);
+    assert_eq!(request(addr, "GET", "/session/0/placement?m=abc").unwrap().status, 422);
+    let unknown = request(addr, "POST", "/session/0/relocate?facility=99999").unwrap();
+    assert_eq!(unknown.status, 422, "unknown facility is a client error, not a 500");
+    assert_eq!(request(addr, "POST", "/session/0/relocate").unwrap().status, 400);
+    assert_eq!(request(addr, "POST", "/session/0/placement?m=3").unwrap().status, 405);
+    assert_eq!(request(addr, "GET", "/session/0/relocate?facility=0").unwrap().status, 405);
+    assert_eq!(request(addr, "GET", "/session/99/placement?m=3").unwrap().status, 404);
+    server.shutdown();
+}
+
+#[test]
+fn placement_deadline_rejects_exact_never_degrades() {
+    // Unlike viewports, placement has no degraded fallback: a blown
+    // deadline must be an honest 503 with Retry-After, never an
+    // approximate answer.
+    let config = ServerConfig { request_deadline: Duration::from_millis(30), ..quick_config() };
+    let server = serve(test_engine(600, 47), config).expect("bind");
+    let addr = server.addr();
+    let fault = std::sync::Arc::clone(server.fault());
+    fault.delay_render_every(1, Duration::from_millis(80));
+
+    let rejected = request(addr, "GET", PLACEMENT).unwrap();
+    assert_eq!(rejected.status, 503);
+    assert!(rejected.header("retry-after").is_some(), "503 must carry Retry-After");
+    assert!(rejected.header("x-degraded").is_none(), "placement must never degrade");
+    assert!(rejected.header("etag").is_none(), "a rejection is not cacheable");
+
+    fault.disarm();
+    let ok = request(addr, "GET", PLACEMENT).unwrap();
+    assert_eq!(ok.status, 200);
+    assert!(server.stats().deadline_rejected >= 1, "rejection is counted in /stats");
+    server.shutdown();
+}

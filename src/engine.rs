@@ -68,6 +68,9 @@ use rnnhm_core::crest::crest_sweep;
 use rnnhm_core::crest_l2::crest_l2_sweep;
 use rnnhm_core::edit::{ArrangementRef, DirtyRegion, EditError, EditOutcome, Shape};
 use rnnhm_core::measure::{IncrementalMeasure, InfluenceMeasure};
+use rnnhm_core::placement::{
+    GreedyStep, PlacementConstraints, PlacementQuery, PlacementRegion, PruneStats, Relocation,
+};
 use rnnhm_core::postprocess::{threshold, top_k};
 use rnnhm_core::query::{influence_at_points_disk, influence_at_points_square};
 use rnnhm_core::sink::{CollectSink, LabeledRegion};
@@ -486,6 +489,52 @@ impl<M: InfluenceMeasure> Session<M> {
             self.shared.measure_key,
             self.shared.measure.influence(&[]),
         )
+    }
+
+    // ---- facility placement ----------------------------------------------
+
+    /// The `m` best regions to place a hypothetical new facility
+    /// (MaxBRkNN top-m), most influential first, each carrying its
+    /// input-space geometry for overlay rendering. A pure function of
+    /// the snapshot fingerprint and the measure — results are exact
+    /// and cacheable under the fingerprint as a strong validator.
+    pub fn top_placements(&self, m: usize) -> Vec<PlacementRegion> {
+        PlacementQuery::new(&self.snap, &self.shared.measure).top_placements(m)
+    }
+
+    /// [`Session::top_placements`] plus upper-bound pruning statistics.
+    pub fn top_placements_stats(&self, m: usize) -> (Vec<PlacementRegion>, PruneStats) {
+        PlacementQuery::new(&self.snap, &self.shared.measure).top_placements_stats(m)
+    }
+
+    /// Where should facility `facility` move? Evaluates a tentative
+    /// incremental removal plus the best re-insertion; the session's
+    /// own snapshot is untouched (commit with
+    /// [`Session::move_facility`] if the gain convinces).
+    pub fn best_relocation(&self, facility: u32) -> Result<Relocation, EditError> {
+        PlacementQuery::new(&self.snap, &self.shared.measure).best_relocation(facility)
+    }
+
+    /// Greedily places up to `count` new facilities, committing each
+    /// accepted candidate through the session's edit path (so region
+    /// labels and cached tiles propagate incrementally). Stops early
+    /// when no candidate satisfies `constraints`.
+    pub fn greedy_place(
+        &mut self,
+        count: usize,
+        constraints: &PlacementConstraints,
+    ) -> Result<Vec<GreedyStep>, EditError> {
+        let mut steps: Vec<GreedyStep> = Vec::new();
+        for _ in 0..count {
+            let best = PlacementQuery::new(&self.snap, &self.shared.measure)
+                .top_placements_in(1, constraints)
+                .into_iter()
+                .next();
+            let Some(best) = best else { break };
+            let (facility, _dirty) = self.add_facility(best.point)?;
+            steps.push(GreedyStep { facility, chosen: best });
+        }
+        Ok(steps)
     }
 
     // ---- what-if editing -------------------------------------------------

@@ -80,6 +80,10 @@ pub mod prelude {
         InfluenceMeasure, WeightedMeasure,
     };
     pub use rnnhm_core::parallel::parallel_crest;
+    pub use rnnhm_core::placement::{
+        GreedyOutcome, GreedyStep, PlacementConstraints, PlacementEvaluation, PlacementQuery,
+        PlacementRegion, PruneStats, Relocation,
+    };
     pub use rnnhm_core::postprocess::{threshold, top_k};
     pub use rnnhm_core::pruning::{crest_l2_max_region, pruning_max_region, PruningConfig};
     pub use rnnhm_core::sink::{

@@ -185,6 +185,56 @@ fn golden_hashes_are_stable_at_higher_k() {
     }
 }
 
+/// Hashes the top-3 placement answer — influence, representative
+/// point, RNN set, and input-space bbox, all at the bit level — for
+/// the count measure on the shared instance.
+fn placement_hash(metric: Metric, k: usize) -> u64 {
+    let (clients, facilities) = instance();
+    let snap = ArrangementSnapshot::build_k(clients, facilities, metric, Mode::Bichromatic, k)
+        .expect("buildable instance");
+    let top = PlacementQuery::new(&snap, &CountMeasure).top_placements(3);
+    fnv1a_words(top.iter().flat_map(|p| {
+        let mut words = vec![
+            p.influence.to_bits(),
+            p.point.x.to_bits(),
+            p.point.y.to_bits(),
+            p.bbox.x_lo.to_bits(),
+            p.bbox.x_hi.to_bits(),
+            p.bbox.y_lo.to_bits(),
+            p.bbox.y_hi.to_bits(),
+            p.rnn.len() as u64,
+        ];
+        words.extend(p.rnn.iter().map(|&c| c as u64));
+        words
+    }))
+}
+
+/// Golden top-3 placements: (k, metric, fnv1a over the answer bits).
+/// Regenerated alongside the raster tables (the helper prints all
+/// three).
+const GOLDEN_PLACEMENT: &[(usize, &str, u64)] = &[
+    (1, "L1", 0x3b0ef78ec44e4270),
+    (1, "L2", 0x1b93f1dbbc5d0a68),
+    (1, "Linf", 0x7737893305b883bf),
+    (2, "L1", 0xafdef8bc95b998c2),
+    (2, "L2", 0x79dcb39ec5a3d209),
+    (2, "Linf", 0xc0aa06c28f4e4755),
+];
+
+#[test]
+fn golden_placements_are_stable() {
+    for &(k, name, expect) in GOLDEN_PLACEMENT {
+        let metric = Metric::ALL.into_iter().find(|m| metric_name(*m) == name).unwrap();
+        let got = placement_hash(metric, k);
+        assert_eq!(
+            got, expect,
+            "golden placement changed for k={k}/{name}: got {got:#018x}. If this is an \
+             intentional output change, regenerate with `cargo test --test golden_rasters -- \
+             --ignored --nocapture` (see module docs)."
+        );
+    }
+}
+
 #[test]
 fn k_goldens_differ_from_k1() {
     // Sanity on the new table: the RkNN circles genuinely change the
@@ -216,6 +266,13 @@ fn regen_golden_hashes() {
                 let hash = render_hash_k(measure, metric, k);
                 println!("    ({k}, \"{measure}\", \"{}\", {hash:#018x}),", metric_name(metric));
             }
+        }
+    }
+    println!("--- GOLDEN_PLACEMENT ---");
+    for k in [1usize, 2] {
+        for metric in Metric::ALL {
+            let hash = placement_hash(metric, k);
+            println!("    ({k}, \"{}\", {hash:#018x}),", metric_name(metric));
         }
     }
 }

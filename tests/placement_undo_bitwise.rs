@@ -1,0 +1,126 @@
+//! Bitwise-undo guarantees through the placement path (ISSUE 7
+//! satellite): tentative placement work — candidate scoring via
+//! `evaluate_insert`, `best_relocation`'s tentative removal, and a
+//! full greedy run on a forked session — must leave the base
+//! arrangement *bit-identical*: fingerprint, live facility list,
+//! NN-circle geometry bits, the `top_k` region list, and served
+//! viewport pixel bytes. Checked for all three metrics at k = 2.
+
+use rnn_heatmap::prelude::*;
+use rnn_heatmap::HeatMapBuilder;
+use rnnhm_core::arrangement::fnv1a_words;
+use rnnhm_core::edit::ArrangementRef;
+
+/// 120 clients + 10 facilities from a fixed LCG on [0, 10]².
+fn instance() -> (Vec<Point>, Vec<Point>) {
+    let mut state = 0xfeed_f00d_u64;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 11) as f64) / ((1u64 << 53) as f64) * 10.0
+    };
+    let clients = (0..120).map(|_| Point::new(next(), next())).collect();
+    let facilities = (0..10).map(|_| Point::new(next(), next())).collect();
+    (clients, facilities)
+}
+
+/// Every observable bit of a session, folded into hashes plus the raw
+/// facility and top-k lists for readable failure output.
+struct Observed {
+    fingerprint: u64,
+    facilities: Vec<(u32, u64, u64)>,
+    geometry_hash: u64,
+    top: Vec<(Vec<u32>, u64)>,
+    viewport_hash: u64,
+}
+
+fn observe(session: &Session<CountMeasure>) -> Observed {
+    let geometry_hash = match session.snapshot().arrangement() {
+        ArrangementRef::Square(a) => {
+            fnv1a_words(a.squares.iter().zip(&a.owners).flat_map(|(s, &o)| {
+                [s.x_lo.to_bits(), s.x_hi.to_bits(), s.y_lo.to_bits(), s.y_hi.to_bits(), o as u64]
+            }))
+        }
+        ArrangementRef::Disk(d) => fnv1a_words(
+            d.disks
+                .iter()
+                .zip(&d.owners)
+                .flat_map(|(c, &o)| [c.c.x.to_bits(), c.c.y.to_bits(), c.r.to_bits(), o as u64]),
+        ),
+    };
+    let viewport = session.viewport(Rect::new(0.0, 10.0, 0.0, 10.0), 48, 48);
+    Observed {
+        fingerprint: session.fingerprint(),
+        facilities: session
+            .facilities()
+            .into_iter()
+            .map(|(id, p)| (id, p.x.to_bits(), p.y.to_bits()))
+            .collect(),
+        geometry_hash,
+        top: session
+            .top_k(8)
+            .into_iter()
+            .map(|r| {
+                let mut s = r.rnn;
+                s.sort_unstable();
+                (s, r.influence.to_bits())
+            })
+            .collect(),
+        viewport_hash: fnv1a_words(viewport.values().iter().map(|v| v.to_bits())),
+    }
+}
+
+fn assert_unchanged(before: &Observed, after: &Observed, what: &str) {
+    assert_eq!(before.fingerprint, after.fingerprint, "{what}: fingerprint");
+    assert_eq!(before.facilities, after.facilities, "{what}: facility list");
+    assert_eq!(before.geometry_hash, after.geometry_hash, "{what}: NN-circle geometry bits");
+    assert_eq!(before.top, after.top, "{what}: top_k list");
+    assert_eq!(before.viewport_hash, after.viewport_hash, "{what}: served viewport bytes");
+}
+
+#[test]
+fn tentative_placement_work_is_a_bitwise_undo() {
+    for metric in Metric::ALL {
+        let (clients, facilities) = instance();
+        let engine = HeatMapBuilder::bichromatic(clients, facilities)
+            .metric(metric)
+            .k(2)
+            .build_engine(CountMeasure)
+            .expect("non-empty instance");
+        let session = engine.session();
+        let before = observe(&session);
+
+        // Candidate scoring: tentative inserts, dropped immediately.
+        {
+            let query = PlacementQuery::new(session.snapshot(), &CountMeasure);
+            for q in [Point::new(2.5, 2.5), Point::new(5.0, 7.5), Point::new(9.0, 1.0)] {
+                let eval = query.evaluate_insert(q).expect("finite candidate");
+                assert!(eval.influence >= 0.0);
+                drop(eval);
+            }
+
+            // Relocation: a tentative removal happens inside; the
+            // base snapshot must not observe it.
+            let rel = query.best_relocation(0).expect("10 > k facilities");
+            assert!(rel.best.influence.is_finite());
+
+            // Full placement ranking exercises the cached stab tree
+            // and the pruned evaluation path.
+            let top = query.top_placements(5);
+            assert!(!top.is_empty());
+        }
+        assert_unchanged(&before, &observe(&session), &format!("{metric:?} read path"));
+
+        // Greedy on a fork commits real inserts — to the fork only.
+        let mut fork = session.fork();
+        let steps =
+            fork.greedy_place(3, &PlacementConstraints::none()).expect("placeable instance");
+        assert_eq!(steps.len(), 3);
+        assert_eq!(fork.n_facilities(), session.n_facilities() + 3);
+        assert_ne!(fork.fingerprint(), session.fingerprint());
+        drop(fork);
+        assert_unchanged(&before, &observe(&session), &format!("{metric:?} greedy fork"));
+
+        // A fresh session over the same engine sees the same bits.
+        assert_unchanged(&before, &observe(&engine.session()), &format!("{metric:?} re-open"));
+    }
+}

@@ -1,0 +1,161 @@
+//! Regression pin for the `postprocess::top_k` tie-break contract
+//! (ISSUE 7 satellite): ties are broken by *first occurrence* of the
+//! RNN-set signature in emission order, and within one signature the
+//! first region achieving the maximum influence is the one kept
+//! (strictly-greater replacement). The placement engine replicates
+//! this ordering in its pruned ranking, so the contract is pinned both
+//! on a crafted label list and on a real multi-tie arrangement.
+
+use rnn_heatmap::prelude::*;
+
+fn region(i: usize, rnn: &[u32], influence: f64) -> LabeledRegion {
+    // The rect encodes the emission index so the test can tell *which*
+    // occurrence of a duplicated signature survived.
+    let x = i as f64;
+    LabeledRegion { rect: Rect::new(x, x + 1.0, 0.0, 1.0), rnn: rnn.to_vec(), influence }
+}
+
+fn sig(rnn: &[u32]) -> Vec<u32> {
+    let mut s = rnn.to_vec();
+    s.sort_unstable();
+    s.dedup();
+    s
+}
+
+/// The contract, spelled out naively: distinct signatures in
+/// first-occurrence order, each represented by the first region
+/// achieving its maximum influence, stably sorted by influence
+/// descending.
+fn naive_top_k(regions: &[LabeledRegion], k: usize) -> Vec<LabeledRegion> {
+    let mut sigs: Vec<Vec<u32>> = Vec::new();
+    let mut best: Vec<usize> = Vec::new();
+    for (i, r) in regions.iter().enumerate() {
+        let s = sig(&r.rnn);
+        match sigs.iter().position(|t| *t == s) {
+            Some(slot) => {
+                if regions[best[slot]].influence < r.influence {
+                    best[slot] = i;
+                }
+            }
+            None => {
+                sigs.push(s);
+                best.push(i);
+            }
+        }
+    }
+    let mut picked: Vec<LabeledRegion> = best.into_iter().map(|i| regions[i].clone()).collect();
+    picked.sort_by(|a, b| b.influence.partial_cmp(&a.influence).expect("finite"));
+    picked.truncate(k);
+    picked
+}
+
+#[test]
+fn tiebreak_is_first_occurrence_order() {
+    let regions = vec![
+        region(0, &[7], 2.0),
+        region(1, &[1, 2], 5.0),
+        region(2, &[3], 5.0),
+        region(3, &[2, 1], 4.0), // duplicate signature, lower: ignored
+        region(4, &[4], 5.0),
+        region(5, &[3], 5.0), // duplicate, equal: first occurrence kept
+        region(6, &[5], 1.0),
+        region(7, &[4], 6.0), // duplicate, higher: replaces the value,
+                              // but the slot keeps its original rank
+    ];
+    let top = top_k(&regions, 10);
+    let got: Vec<(Vec<u32>, f64, f64)> =
+        top.iter().map(|r| (sig(&r.rnn), r.influence, r.rect.x_lo)).collect();
+    assert_eq!(
+        got,
+        vec![
+            (vec![4], 6.0, 7.0),    // unique max, taken from emission index 7
+            (vec![1, 2], 5.0, 1.0), // 5.0-tie broken by first occurrence:
+            (vec![3], 5.0, 2.0),    //   slot order 1 then 2, NOT sort order
+            (vec![7], 2.0, 0.0),
+            (vec![5], 1.0, 6.0),
+        ]
+    );
+    // Truncation happens after the tie-break, so a k that slices
+    // through the tie keeps the earliest slots.
+    let top2 = top_k(&regions, 2);
+    assert_eq!(sig(&top2[1].rnn), vec![1, 2]);
+}
+
+#[test]
+fn matches_naive_reference_on_tie_heavy_input() {
+    // Tie-heavy pseudo-random list: few influence values, few
+    // signatures, many duplicates.
+    let mut state = 0x5eed_u64;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    let pool: [&[u32]; 6] = [&[0], &[1], &[0, 1], &[2], &[1, 2], &[0, 2]];
+    let regions: Vec<LabeledRegion> =
+        (0..200).map(|i| region(i, pool[next() % pool.len()], (next() % 3) as f64 + 1.0)).collect();
+    for k in [1, 2, 4, 6, 10] {
+        let got = top_k(&regions, k);
+        let want = naive_top_k(&regions, k);
+        assert_eq!(got.len(), want.len(), "k={k}");
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(sig(&g.rnn), sig(&w.rnn), "k={k}: signature order");
+            assert_eq!(g.influence.to_bits(), w.influence.to_bits(), "k={k}");
+            assert_eq!(g.rect.x_lo, w.rect.x_lo, "k={k}: same surviving occurrence");
+        }
+    }
+}
+
+/// A real arrangement with two far-apart facility clusters whose
+/// pairwise overlaps tie at influence 2 and whose singleton regions
+/// tie at influence 1: `top_k` over the sweep's emission must order
+/// each tie class by first emission, and the placement engine's pruned
+/// ranking must reproduce that order exactly.
+#[test]
+fn arrangement_ties_order_by_emission_and_placement_agrees() {
+    let clients = vec![
+        Point::new(1.0, 0.0),   // A: circle [0,2]x[-1,1]
+        Point::new(0.0, 1.0),   // B: circle [-1,1]x[0,2], overlaps A
+        Point::new(101.0, 0.0), // C: mirrored cluster at x=100
+        Point::new(100.0, 1.0), // D
+    ];
+    let facilities = vec![Point::new(0.0, 0.0), Point::new(100.0, 0.0)];
+    let arr = build_square_arrangement_k(&clients, &facilities, Metric::Linf, Mode::Bichromatic, 1)
+        .expect("buildable");
+    let mut sink = CollectSink::default();
+    crest_sweep(&arr, &CountMeasure, &mut sink);
+
+    // First-occurrence order of the distinct signatures, as emitted.
+    let mut emitted: Vec<Vec<u32>> = Vec::new();
+    for r in &sink.regions {
+        let s = sig(&r.rnn);
+        if !emitted.contains(&s) {
+            emitted.push(s);
+        }
+    }
+    assert_eq!(emitted.len(), 6, "4 singleton + 2 pairwise-overlap regions");
+
+    let top = top_k(&sink.regions, 6);
+    assert_eq!(top[0].influence, 2.0);
+    assert_eq!(top[1].influence, 2.0);
+    let pairs: Vec<Vec<u32>> = emitted.iter().filter(|s| s.len() == 2).cloned().collect();
+    let singles: Vec<Vec<u32>> = emitted.iter().filter(|s| s.len() == 1).cloned().collect();
+    let got: Vec<Vec<u32>> = top.iter().map(|r| sig(&r.rnn)).collect();
+    assert_eq!(&got[..2], &pairs[..], "influence-2 tie follows emission order");
+    assert_eq!(&got[2..], &singles[..], "influence-1 tie follows emission order");
+
+    // The placement engine ranks the same regions through its pruned
+    // bound-descending path; its order must match `top_k` exactly.
+    let snap = ArrangementSnapshot::build_k(
+        clients.clone(),
+        facilities.clone(),
+        Metric::Linf,
+        Mode::Bichromatic,
+        1,
+    )
+    .expect("buildable");
+    let placements = PlacementQuery::new(&snap, &CountMeasure).top_placements(6);
+    let placed: Vec<(Vec<u32>, f64)> =
+        placements.iter().map(|p| (p.rnn.clone(), p.influence)).collect();
+    let want: Vec<(Vec<u32>, f64)> = top.iter().map(|r| (sig(&r.rnn), r.influence)).collect();
+    assert_eq!(placed, want, "placement ranking replicates top_k tie-break");
+}
