@@ -16,6 +16,7 @@ pub mod http;
 pub mod placement;
 pub mod raster;
 pub mod runner;
+pub mod scale;
 pub mod serve;
 pub mod tiles;
 pub mod workload;

@@ -387,6 +387,65 @@ pub fn knn_assignments(
     }
 }
 
+/// [`knn_assignments`] computed over contiguous client bands in
+/// parallel — **bitwise identical** output (every per-client query is
+/// independent and reads one shared kd-tree; only the scheduling
+/// changes, never the arithmetic). Falls through to the sequential
+/// scan on single-core machines. This is the sharded-build front end:
+/// the k-NN resolution dominates build time at millions of clients.
+pub fn knn_assignments_parallel(
+    clients: &[Point],
+    facilities: &[Point],
+    metric: Metric,
+    mode: Mode,
+    k: usize,
+) -> Result<Vec<Vec<(u32, f64)>>, BuildError> {
+    let threads = crate::parallel::effective_parallelism();
+    if threads <= 1 || clients.len() < 2 * threads {
+        return knn_assignments(clients, facilities, metric, mode, k);
+    }
+    validate_instance(clients, facilities, mode, k)?;
+    let tree = match mode {
+        Mode::Bichromatic => KdTree::build(facilities),
+        Mode::Monochromatic => KdTree::build(clients),
+    };
+    let ranges = crate::parallel::chunk_ranges(clients.len(), threads);
+    let mut out: Vec<Vec<(u32, f64)>> = Vec::with_capacity(clients.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|range| {
+                let tree = &tree;
+                scope.spawn(move || {
+                    let mut band = Vec::with_capacity(range.len());
+                    for i in range {
+                        let o = &clients[i];
+                        // Mirror the sequential paths exactly,
+                        // including the k = 1 `nearest` fast path.
+                        band.push(match (mode, k) {
+                            (Mode::Bichromatic, 1) => {
+                                vec![tree.nearest(o, metric).expect("non-empty facility tree")]
+                            }
+                            (Mode::Bichromatic, _) => tree.k_nearest(o, metric, k),
+                            (Mode::Monochromatic, 1) => vec![tree
+                                .nearest_excluding(o, metric, i as u32)
+                                .expect("at least two points")],
+                            (Mode::Monochromatic, _) => {
+                                tree.k_nearest_excluding(o, metric, k, i as u32)
+                            }
+                        });
+                    }
+                    band
+                })
+            })
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("k-NN band worker panicked"));
+        }
+    });
+    Ok(out)
+}
+
 /// Computes each client's `k`-th NN distance to the facility set.
 fn knn_radii(
     clients: &[Point],

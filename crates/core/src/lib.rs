@@ -55,6 +55,7 @@ pub mod postprocess;
 pub mod pruning;
 pub mod query;
 pub mod rnnset;
+pub mod shard;
 pub mod sink;
 pub mod snapshot;
 pub mod stats;
@@ -62,8 +63,8 @@ pub mod window;
 
 pub use arrangement::{
     build_disk_arrangement, build_disk_arrangement_k, build_square_arrangement,
-    build_square_arrangement_k, knn_assignments, nn_assignments, CoordSpace, DiskArrangement, Mode,
-    SquareArrangement,
+    build_square_arrangement_k, knn_assignments, knn_assignments_parallel, nn_assignments,
+    CoordSpace, DiskArrangement, Mode, SquareArrangement,
 };
 pub use edit::{
     ArrangementRef, CircleChange, DirtyRegion, DynamicArrangement, EditError, EditOutcome, Shape,
@@ -77,9 +78,10 @@ pub use placement::{
     PlacementRegion, PruneStats, Relocation,
 };
 pub use rnnset::RnnSet;
+pub use shard::ShardMap;
 pub use sink::{
-    CollectSink, LabeledRegion, MaterializeSink, MaxSink, NullSink, RegionSink, ThresholdSink,
-    TopKSink,
+    CollectSink, LabeledRegion, MaterializeSink, MaxSink, NullSink, RegionSink, SumSink,
+    ThresholdSink, TopKSink,
 };
 pub use snapshot::{ArrangementSnapshot, CowVec, RestrictedArrangement, StorageSharing};
 pub use stats::SweepStats;

@@ -16,7 +16,7 @@ use rnnhm_geom::Rect;
 use crate::arrangement::SquareArrangement;
 use crate::crest::{crest_a_sweep, crest_sweep};
 use crate::measure::InfluenceMeasure;
-use crate::sink::{CollectSink, MaxSink, RegionSink, ThresholdSink, TopKSink};
+use crate::sink::{CollectSink, MaxSink, RegionSink, SumSink, ThresholdSink, TopKSink};
 use crate::stats::SweepStats;
 
 /// The number of worker threads worth spawning on this machine:
@@ -84,6 +84,19 @@ impl MergeableSink for TopKSink {
 impl MergeableSink for ThresholdSink {
     fn merge(&mut self, other: Self) {
         self.regions.extend(other.regions);
+    }
+}
+
+/// Sum accumulation is order-insensitive up to floating-point
+/// reassociation; exactness additionally needs the full-strip tiling
+/// (`full_strips = true`), where `clip_to_slab`'s half-open
+/// membership (`lo < hi`) guarantees a circle tangent to a slab
+/// boundary contributes area to exactly one slab. See [`SumSink`].
+impl MergeableSink for SumSink {
+    fn merge(&mut self, other: Self) {
+        self.weighted_sum += other.weighted_sum;
+        self.area += other.area;
+        self.labels += other.labels;
     }
 }
 
@@ -324,6 +337,73 @@ mod tests {
         let (par, par_stats) = parallel_crest(&arr, &CountMeasure, 1, false, CollectSink::default);
         assert_eq!(seq.regions.len(), par.regions.len());
         assert_eq!(seq_stats, par_stats);
+    }
+
+    #[test]
+    fn sum_sink_never_double_counts_boundary_tangent_circles() {
+        // Unit squares [i, i+1] × [0, 1]: the 2-slab quantile bound
+        // lands on lefts[2] = 2.0, which is *exactly* the right edge
+        // of the square [1, 2] — the tangency `clip_to_slab` must
+        // assign to the left slab only. The field is 1 everywhere on
+        // [0, 4] × [0, 1] under the count measure, so the integral is
+        // exactly 4; a double-counted tangent square would add 1.
+        let arr = arr_from_squares(vec![
+            Rect::new(0.0, 1.0, 0.0, 1.0),
+            Rect::new(1.0, 2.0, 0.0, 1.0),
+            Rect::new(2.0, 3.0, 0.0, 1.0),
+            Rect::new(3.0, 4.0, 0.0, 1.0),
+        ]);
+        let mut seq = SumSink::default();
+        crest_a_sweep(&arr, &CountMeasure, &mut seq);
+        assert!((seq.weighted_sum - 4.0).abs() < 1e-9, "sequential integral {}", seq.weighted_sum);
+        for n_slabs in [2, 3, 4] {
+            let (par, _) =
+                parallel_crest_uncapped(&arr, &CountMeasure, n_slabs, true, SumSink::default);
+            assert!(
+                (par.weighted_sum - seq.weighted_sum).abs() < 1e-9,
+                "integral differs at {n_slabs} slabs: {} vs {}",
+                par.weighted_sum,
+                seq.weighted_sum
+            );
+            assert!((par.area - seq.area).abs() < 1e-9, "tiled area differs at {n_slabs} slabs");
+        }
+    }
+
+    #[test]
+    fn sum_sink_parallel_matches_sequential_on_lattice_squares() {
+        // Property sweep: squares snapped to a unit lattice make
+        // slab-boundary tangencies common; the merged integral must
+        // match the sequential one at every slab count, every seed.
+        for seed in 0..40u64 {
+            let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+            let mut next = move || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 33) as usize
+            };
+            let n = 5 + next() % 40;
+            let squares: Vec<Rect> = (0..n)
+                .map(|_| {
+                    let x = (next() % 12) as f64;
+                    let y = (next() % 12) as f64;
+                    let w = 1.0 + (next() % 3) as f64;
+                    Rect::new(x, x + w, y, y + w)
+                })
+                .collect();
+            let arr = arr_from_squares(squares);
+            let mut seq = SumSink::default();
+            crest_a_sweep(&arr, &CountMeasure, &mut seq);
+            for n_slabs in [2, 3, 7] {
+                let (par, _) =
+                    parallel_crest_uncapped(&arr, &CountMeasure, n_slabs, true, SumSink::default);
+                let tol = 1e-9 * seq.weighted_sum.abs().max(1.0);
+                assert!(
+                    (par.weighted_sum - seq.weighted_sum).abs() < tol,
+                    "seed {seed}, {n_slabs} slabs: {} vs {}",
+                    par.weighted_sum,
+                    seq.weighted_sum
+                );
+            }
+        }
     }
 
     #[test]

@@ -37,16 +37,19 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
+use std::thread;
 
 use rnnhm_geom::transform::{l1_radius_to_linf, rotate45};
 use rnnhm_geom::{Circle, Metric, Point, Rect};
 use rnnhm_index::KdTree;
 
 use crate::arrangement::{
-    fnv1a_words, knn_assignments, nn_assignments, CoordSpace, DiskArrangement, Mode,
-    SquareArrangement,
+    fnv1a_words, knn_assignments, knn_assignments_parallel, nn_assignments, CoordSpace,
+    DiskArrangement, Mode, SquareArrangement,
 };
 use crate::edit::{ArrangementRef, CircleChange, EditError, EditOutcome, Shape};
+use crate::parallel::effective_parallelism;
+use crate::shard::ShardMap;
 use crate::BuildError;
 
 /// Sentinel for "client has no shape in the arrangement" (zero-radius
@@ -277,6 +280,12 @@ pub struct ArrangementSnapshot {
     base_fingerprint: u64,
     fingerprint: u64,
     generation: u64,
+    /// Spatial shard map (see [`crate::shard`]), present on snapshots
+    /// built via [`ArrangementSnapshot::build_k_sharded`] /
+    /// [`ArrangementSnapshot::with_shards`] and inherited by every
+    /// edit successor. Member lists are shared; summaries are patched
+    /// shard-locally in [`ArrangementSnapshot::seal`].
+    shards: Option<ShardMap>,
     materialized: OnceLock<Arc<Materialized>>,
 }
 
@@ -306,6 +315,48 @@ impl ArrangementSnapshot {
         } else {
             knn_assignments(&clients, &facilities, metric, mode, k)?.into_iter().flatten().collect()
         };
+        Ok(Self::assemble(clients, facilities, metric, mode, k, cands))
+    }
+
+    /// [`ArrangementSnapshot::build_k`] scaled for millions of
+    /// clients: the k-NN assignments are computed over client bands in
+    /// parallel (bitwise identical to the sequential scan — each query
+    /// is independent) and the result carries a [`ShardMap`] of
+    /// `n_shards` vertical slabs, so `restrict_to` and tile rendering
+    /// touch only the shards a window intersects and edits patch only
+    /// the shard summaries they dirty.
+    ///
+    /// The circle geometry, candidate lists and radii are **byte
+    /// identical** to the unsharded build (differentially tested in
+    /// `tests/sharded_matches_unsharded.rs`); only the fingerprint
+    /// differs — it composes the per-shard fingerprints, see
+    /// [`ShardMap::compose_fingerprint`].
+    pub fn build_k_sharded(
+        clients: Vec<Point>,
+        facilities: Vec<Point>,
+        metric: Metric,
+        mode: Mode,
+        k: usize,
+        n_shards: usize,
+    ) -> Result<ArrangementSnapshot, BuildError> {
+        let cands: Vec<(u32, f64)> =
+            knn_assignments_parallel(&clients, &facilities, metric, mode, k)?
+                .into_iter()
+                .flatten()
+                .collect();
+        Ok(Self::assemble(clients, facilities, metric, mode, k, cands).with_shards(n_shards))
+    }
+
+    /// Assembles the snapshot from precomputed candidate lists (the
+    /// common tail of the sequential and parallel builds).
+    fn assemble(
+        clients: Vec<Point>,
+        facilities: Vec<Point>,
+        metric: Metric,
+        mode: Mode,
+        k: usize,
+        cands: Vec<(u32, f64)>,
+    ) -> ArrangementSnapshot {
         let n = clients.len();
         debug_assert_eq!(cands.len(), n * k, "validated instance offers k neighbors per client");
         let mut radii = Vec::with_capacity(n);
@@ -375,7 +426,7 @@ impl ArrangementSnapshot {
         // copy stays small at any k while windows never straddle a
         // chunk boundary (the chunk length is a multiple of k).
         let cand_chunk = k * (CLIENT_CHUNK / k.next_power_of_two()).max(1);
-        Ok(ArrangementSnapshot {
+        ArrangementSnapshot {
             metric,
             mode,
             k,
@@ -394,8 +445,92 @@ impl ArrangementSnapshot {
             // formula, so identical rebuilds share cache keys.
             fingerprint: fnv1a_words([0x4459, base_fingerprint, 0]),
             generation: 0,
+            shards: None,
             materialized: cell,
-        })
+        }
+    }
+
+    /// Attaches a [`ShardMap`] of `n_shards` vertical slabs to this
+    /// snapshot, computing every shard's summary (in parallel when the
+    /// machine allows) and composing the per-shard fingerprints into
+    /// the snapshot fingerprint. Intended to be called once, on a
+    /// freshly built snapshot; edits then maintain the map
+    /// incrementally.
+    pub fn with_shards(mut self, n_shards: usize) -> ArrangementSnapshot {
+        let xs: Vec<f64> = (0..self.clients.len()).map(|o| self.shard_x(o)).collect();
+        let mut map = ShardMap::partition(&xs, n_shards);
+        let summaries: Vec<(Option<Rect>, u64)> = {
+            let snap = &self;
+            let shard_lists: Vec<&[u32]> = (0..map.n_shards()).map(|s| map.members(s)).collect();
+            if effective_parallelism() > 1 && map.n_shards() > 1 {
+                thread::scope(|scope| {
+                    let handles: Vec<_> = shard_lists
+                        .into_iter()
+                        .map(|members| scope.spawn(move || snap.shard_summary(members)))
+                        .collect();
+                    handles.into_iter().map(|h| h.join().expect("shard summary worker")).collect()
+                })
+            } else {
+                shard_lists.into_iter().map(|members| snap.shard_summary(members)).collect()
+            }
+        };
+        for (s, (bbox, fp)) in summaries.into_iter().enumerate() {
+            map.set_summary(s, bbox, fp);
+        }
+        self.fingerprint = map.compose_fingerprint(self.fingerprint);
+        self.shards = Some(map);
+        self
+    }
+
+    /// The snapshot's shard map, when sharded.
+    pub fn shards(&self) -> Option<&ShardMap> {
+        self.shards.as_ref()
+    }
+
+    /// The sweep-space x of client `o`'s center — the shard axis (L1
+    /// circles live in the rotated frame, like their squares).
+    fn shard_x(&self, o: usize) -> f64 {
+        match self.metric {
+            Metric::L1 => rotate45(self.clients[o]).x,
+            _ => self.clients[o].x,
+        }
+    }
+
+    /// The (bbox, fingerprint) summary of one shard's member circles:
+    /// the union of their sweep-space bboxes and an FNV fold of each
+    /// live member's owner id + current geometry, in member order.
+    fn shard_summary(&self, members: &[u32]) -> (Option<Rect>, u64) {
+        let mut words: Vec<u64> = Vec::with_capacity(members.len() * 5);
+        let mut bbox: Option<Rect> = None;
+        for &o in members {
+            let idx = *self.shape_at.get(o as usize);
+            if idx == NO_SHAPE {
+                continue;
+            }
+            let rect = match &self.shapes {
+                ShapeStore::Square { squares, .. } => {
+                    let s = *squares.get(idx as usize);
+                    words.extend([
+                        o as u64,
+                        s.x_lo.to_bits(),
+                        s.x_hi.to_bits(),
+                        s.y_lo.to_bits(),
+                        s.y_hi.to_bits(),
+                    ]);
+                    s
+                }
+                ShapeStore::Disk { disks } => {
+                    let d = *disks.get(idx as usize);
+                    words.extend([o as u64, d.c.x.to_bits(), d.c.y.to_bits(), d.r.to_bits()]);
+                    d.bbox()
+                }
+            };
+            bbox = Some(match bbox {
+                Some(b) => b.union(&rect),
+                None => rect,
+            });
+        }
+        (bbox, fnv1a_words(words))
     }
 
     /// The distance metric of the instance.
@@ -536,11 +671,25 @@ impl ArrangementSnapshot {
                 };
                 let mut out_squares = Vec::new();
                 let mut out_owners = Vec::new();
-                for (sc, oc) in squares.chunk_slices().zip(self.owners.chunk_slices()) {
-                    for (s, &o) in sc.iter().zip(oc.iter()) {
-                        if s.intersects(&window) {
-                            out_squares.push(*s);
-                            out_owners.push(o);
+                if let Some(map) = &self.shards {
+                    // Shard-routed: visit only shards whose bbox meets
+                    // the window, then sort the surviving shape
+                    // indices — the result is the same subset in the
+                    // same shape-store order as the full scan below,
+                    // so rasters stay bit-identical.
+                    for idx in self
+                        .route_shards(map, &window, |i| squares.get(i as usize).intersects(&window))
+                    {
+                        out_squares.push(*squares.get(idx as usize));
+                        out_owners.push(*self.owners.get(idx as usize));
+                    }
+                } else {
+                    for (sc, oc) in squares.chunk_slices().zip(self.owners.chunk_slices()) {
+                        for (s, &o) in sc.iter().zip(oc.iter()) {
+                            if s.intersects(&window) {
+                                out_squares.push(*s);
+                                out_owners.push(o);
+                            }
                         }
                     }
                 }
@@ -556,11 +705,20 @@ impl ArrangementSnapshot {
             ShapeStore::Disk { disks } => {
                 let mut out_disks = Vec::new();
                 let mut out_owners = Vec::new();
-                for (dc, oc) in disks.chunk_slices().zip(self.owners.chunk_slices()) {
-                    for (d, &o) in dc.iter().zip(oc.iter()) {
-                        if d.bbox().intersects(&extent) {
-                            out_disks.push(*d);
-                            out_owners.push(o);
+                if let Some(map) = &self.shards {
+                    for idx in self.route_shards(map, &extent, |i| {
+                        disks.get(i as usize).bbox().intersects(&extent)
+                    }) {
+                        out_disks.push(*disks.get(idx as usize));
+                        out_owners.push(*self.owners.get(idx as usize));
+                    }
+                } else {
+                    for (dc, oc) in disks.chunk_slices().zip(self.owners.chunk_slices()) {
+                        for (d, &o) in dc.iter().zip(oc.iter()) {
+                            if d.bbox().intersects(&extent) {
+                                out_disks.push(*d);
+                                out_owners.push(o);
+                            }
                         }
                     }
                 }
@@ -573,6 +731,25 @@ impl ArrangementSnapshot {
                 })
             }
         }
+    }
+
+    /// The shape indices a sweep-space `window` can touch, gathered
+    /// from the shards whose bbox intersects it and sorted ascending
+    /// (= shape-store order, the order the unsharded scan emits).
+    /// `keep` applies the same per-shape intersection test the full
+    /// scan uses.
+    fn route_shards(&self, map: &ShardMap, window: &Rect, keep: impl Fn(u32) -> bool) -> Vec<u32> {
+        let mut idxs: Vec<u32> = Vec::new();
+        for s in map.candidates(window) {
+            for &o in map.members(s) {
+                let idx = *self.shape_at.get(o as usize);
+                if idx != NO_SHAPE && keep(idx) {
+                    idxs.push(idx);
+                }
+            }
+        }
+        idxs.sort_unstable();
+        idxs
     }
 
     /// How much physical storage this snapshot shares with `other`
@@ -626,6 +803,7 @@ impl ArrangementSnapshot {
             base_fingerprint: self.base_fingerprint,
             fingerprint: self.fingerprint,
             generation: self.generation,
+            shards: self.shards.clone(),
             materialized: OnceLock::new(),
         }
     }
@@ -633,7 +811,9 @@ impl ArrangementSnapshot {
     /// Seals a working copy: geometry-changing edits get a fresh,
     /// process-unique fingerprint; geometric no-ops keep the parent's
     /// fingerprint *and* its materialized view (the circles are
-    /// untouched).
+    /// untouched). On sharded snapshots, only the shards owning a
+    /// changed circle recompute their summary, and the per-shard
+    /// fingerprints are re-composed around the fresh salted base.
     fn seal(&self, mut next: ArrangementSnapshot, out: &EditOutcome) -> ArrangementSnapshot {
         if out.dirty.is_empty() {
             if let Some(m) = self.materialized.get() {
@@ -642,7 +822,26 @@ impl ArrangementSnapshot {
         } else {
             next.generation += 1;
             let salt = SNAPSHOT_SALT.fetch_add(1, Ordering::Relaxed);
-            next.fingerprint = fnv1a_words([0x534e, self.base_fingerprint, salt]);
+            let base = fnv1a_words([0x534e, self.base_fingerprint, salt]);
+            next.fingerprint = match next.shards.take() {
+                Some(mut map) => {
+                    let mut dirty_shards: Vec<usize> = out
+                        .changes
+                        .iter()
+                        .map(|ch| map.shard_of(next.shard_x(ch.owner as usize)))
+                        .collect();
+                    dirty_shards.sort_unstable();
+                    dirty_shards.dedup();
+                    for s in dirty_shards {
+                        let (bbox, fp) = next.shard_summary(map.members(s));
+                        map.set_summary(s, bbox, fp);
+                    }
+                    let fp = map.compose_fingerprint(base);
+                    next.shards = Some(map);
+                    fp
+                }
+                None => base,
+            };
         }
         next
     }

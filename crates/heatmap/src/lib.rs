@@ -18,11 +18,16 @@
 //! * [`tiles`] — the interactive-exploration serving layer: a
 //!   multi-resolution tile pyramid rendered through the scanline
 //!   engine, an LRU tile cache, and cached viewport stitching with
-//!   parent-tile previews.
+//!   parent-tile previews,
+//! * [`mipmap`] — the level-of-detail pyramid for millions-of-points
+//!   scale: coarse-zoom tiles become O(tile_px²) blits from
+//!   precomputed averages with an exact min/max error contract,
+//!   instead of full-data renders.
 
 #![warn(missing_docs)]
 
 pub mod compute;
+pub mod mipmap;
 pub mod ops;
 pub mod raster;
 pub mod render;
@@ -33,6 +38,7 @@ pub use compute::{
     rasterize_count_squares_fast, rasterize_disks, rasterize_disks_oracle, rasterize_squares,
     rasterize_squares_oracle,
 };
+pub use mipmap::HeatMipmap;
 pub use ops::{blit, diff, downsample, max_pixel, upsample_nearest};
 pub use raster::{GridSpec, HeatRaster};
 pub use render::{write_pgm, write_ppm, ColorRamp};

@@ -124,15 +124,40 @@ impl TileScheme {
     ///
     /// `tile_px` is the tile edge in pixels; it must be a power of two
     /// of at least 8 (servers typically use 256).
+    ///
+    /// Degenerate extents never panic or hang: non-finite coordinates
+    /// (or a finite bbox whose width/height overflows to infinity)
+    /// fall back to the unit world around the origin, zero-area
+    /// bboxes get a minimal positive span, and spans too large for any
+    /// finite power-of-two side clamp to the largest representable
+    /// dyadic square — the scheme stays valid; out-of-world data
+    /// simply maps outside every tile.
     pub fn for_extent(bbox: Rect, tile_px: usize) -> TileScheme {
         assert!(tile_px.is_power_of_two() && tile_px >= 8, "tile_px must be a power of two >= 8");
-        let span = bbox.width().max(bbox.height()).max(1e-9);
+        let max_zoom = (MAX_GRID_BITS - tile_px.trailing_zeros()) as u8;
+        let finite = bbox.x_lo.is_finite()
+            && bbox.x_hi.is_finite()
+            && bbox.y_lo.is_finite()
+            && bbox.y_hi.is_finite()
+            && bbox.width().is_finite()
+            && bbox.height().is_finite();
+        if !finite {
+            return TileScheme { world: Rect::new(-0.5, 0.5, -0.5, 0.5), tile_px, max_zoom };
+        }
+        // Far-from-origin guard: a span many orders of magnitude below
+        // the coordinates themselves would push the side/2^10 snap
+        // lattice under the coordinates' representable granularity
+        // (floor(x/g)·g degrades to noise and the containment check
+        // can thrash). Flooring the span at 2^-40 of the magnitude
+        // keeps every lattice computation ≥ 12 significant digits.
+        let mag = bbox.x_lo.abs().max(bbox.x_hi.abs()).max(bbox.y_lo.abs()).max(bbox.y_hi.abs());
+        let span = bbox.width().max(bbox.height()).max(1e-9).max(mag * 2f64.powi(-40));
         // Smallest power of two >= span (shrinking for sub-unit spans).
         let mut side = 1.0f64;
         while side < span {
             side *= 2.0;
         }
-        while side * 0.5 >= span {
+        while side.is_finite() && side * 0.5 >= span {
             side *= 0.5;
         }
         // Snap the origin *down* to the lattice of side/2^10. The
@@ -141,6 +166,16 @@ impl TileScheme {
         // one cell at any side. At most one doubling is needed, since
         // snapping loses under side/1024 of headroom per axis.
         let world = loop {
+            if !side.is_finite() {
+                // Astronomical extents (width approaching f64::MAX):
+                // no power-of-two side both covers the bbox and stays
+                // finite. Clamp to the largest dyadic square centered
+                // near the bbox instead of looping forever.
+                let half = 2f64.powi(1022);
+                let cx = (bbox.x_lo * 0.5 + bbox.x_hi * 0.5).clamp(-2.0 * half, 2.0 * half);
+                let cy = (bbox.y_lo * 0.5 + bbox.y_hi * 0.5).clamp(-2.0 * half, 2.0 * half);
+                break Rect::new(cx - half, cx + half, cy - half, cy + half);
+            }
             let g = side / 1024.0;
             let mut x0 = (bbox.x_lo / g).floor() * g;
             let mut y0 = (bbox.y_lo / g).floor() * g;
@@ -157,7 +192,6 @@ impl TileScheme {
             }
             side *= 2.0;
         };
-        let max_zoom = (MAX_GRID_BITS - tile_px.trailing_zeros()) as u8;
         TileScheme { world, tile_px, max_zoom }
     }
 
@@ -1346,6 +1380,78 @@ mod tests {
         let z = TileScheme::for_extent(Rect::new(-1.5, 8.3, -0.1, 9.9), 16);
         assert!(z.world().contains_rect(&Rect::new(-1.5, 8.3, -0.1, 9.9)));
         assert!(z.world().width() <= 32.0, "no runaway doubling");
+    }
+
+    #[test]
+    fn world_snap_rejects_non_finite_extents_with_unit_fallback() {
+        // Struct literals: `Rect::new` debug-asserts ordered bounds,
+        // but release-mode callers can produce NaN/inf rects from
+        // arithmetic — `for_extent` must absorb them regardless.
+        let r = |x_lo, x_hi, y_lo, y_hi| Rect { x_lo, x_hi, y_lo, y_hi };
+        for bad in [
+            r(f64::NAN, 1.0, 0.0, 1.0),
+            r(0.0, f64::INFINITY, 0.0, 1.0),
+            r(0.0, 1.0, f64::NEG_INFINITY, 1.0),
+            r(f64::NAN, f64::NAN, f64::NAN, f64::NAN),
+            // Finite endpoints whose width overflows to infinity.
+            r(-1e308, 1e308, -1.0, 1.0),
+        ] {
+            let s = TileScheme::for_extent(bad, 16);
+            assert_eq!(s.world(), Rect::new(-0.5, 0.5, -0.5, 0.5), "unit fallback for {bad:?}");
+            assert!(s.world().area() > 0.0);
+            // The scheme must remain fully usable.
+            let e = s.tile_extent(TileId { zoom: 2, tx: 1, ty: 3 });
+            assert!(e.area() > 0.0 && e.x_lo.is_finite());
+        }
+    }
+
+    #[test]
+    fn world_snap_handles_far_from_origin_point_extents() {
+        // A (near-)degenerate bbox eight orders of magnitude from the
+        // origin: the naive side search would start at sub-ULP scale
+        // where floor(x/g)·g is pure noise. The magnitude floor keeps
+        // the lattice representable and the loop short.
+        for c in [1e8, -3.7e12, 2.5e15] {
+            let bbox = Rect::new(c, c, c * 0.5, c * 0.5);
+            let s = TileScheme::for_extent(bbox, 16);
+            let w = s.world();
+            assert!(w.x_lo.is_finite() && w.width() > 0.0);
+            assert!(w.contains_closed(Point::new(c, c * 0.5)), "world misses the point at {c}");
+            assert_eq!(w.width(), w.height());
+            assert!(
+                w.width() <= c.abs() * 1e-9,
+                "world side {} not commensurate with magnitude {c}",
+                w.width()
+            );
+        }
+    }
+
+    #[test]
+    fn world_snap_survives_astronomical_spans() {
+        // Finite width just past the largest power of two: the side
+        // search would overflow to infinity; the clamp keeps the
+        // scheme finite and centered on the data.
+        let huge = Rect::new(-8e307, 8e307, -8e307, 8e307);
+        let s = TileScheme::for_extent(huge, 16);
+        let w = s.world();
+        assert!(w.x_lo.is_finite() && w.x_hi.is_finite());
+        assert!(w.y_lo.is_finite() && w.y_hi.is_finite());
+        assert!(w.width() > 0.0 && w.width().is_finite());
+        // (The *area* of any square covering a ~1.6e308-wide bbox
+        // overflows f64 — only finite edges can be promised here.)
+        let e = s.tile_extent(TileId { zoom: 3, tx: 1, ty: 5 });
+        assert!(e.x_lo.is_finite() && e.x_hi.is_finite() && e.x_lo < e.x_hi);
+    }
+
+    #[test]
+    fn world_snap_zero_area_bbox_at_origin() {
+        let s = TileScheme::for_extent(Rect::new(0.0, 0.0, 0.0, 0.0), 16);
+        let w = s.world();
+        assert!(w.contains_closed(Point::new(0.0, 0.0)));
+        assert!(w.width() > 0.0, "zero-area bbox still yields a positive world");
+        // Pixel geometry at deep zoom stays exact and non-degenerate.
+        let spec = s.tile_spec(TileId { zoom: s.max_zoom(), tx: 0, ty: 0 });
+        assert!(spec.extent.area() > 0.0);
     }
 
     #[test]

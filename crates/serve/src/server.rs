@@ -82,6 +82,12 @@ use crate::json;
 /// sessions).
 pub const ROOT_SESSION: u64 = 0;
 
+/// Hard cap on a viewport's total pixel budget (`w * h`), enforced at
+/// validation time — before any raster is allocated. 4M pixels is a
+/// 32 MiB f64 frame, comfortably past any interactive screen while
+/// bounding the damage of adversarial `w=4096&h=4096` requests.
+pub const MAX_VIEWPORT_PIXELS: u64 = 1 << 22;
+
 /// Server tuning knobs. `Default` is sized for an interactive local
 /// deployment; tests and the load generator shrink the timeouts.
 #[derive(Clone, Debug)]
@@ -756,22 +762,33 @@ fn tile_endpoint<M: IncrementalMeasure + Send + Sync>(
         return Response::text(400, "tile address must be {zoom}/{tx}/{ty} integers");
     };
     with_session(ctx, id, |session| {
-        let tag = etag(session.fingerprint());
-        if req.header("if-none-match") == Some(tag.as_str()) {
-            return Response::new(304).header("ETag", &tag);
-        }
         let scheme = session.tile_scheme();
         if zoom > scheme.max_zoom() || tx >= scheme.n_tiles(zoom) || ty >= scheme.n_tiles(zoom) {
             return Response::text(400, "tile address outside the pyramid");
         }
+        // Approximate (LoD) tiles never carry the fingerprint ETag —
+        // it is a strong validator certifying exact bytes — so
+        // revalidation is only honored on the exact path.
+        let approx_zoom = session.lod_exact_zoom().is_some_and(|ze| zoom < ze);
+        let tag = etag(session.fingerprint());
+        if !approx_zoom && req.header("if-none-match") == Some(tag.as_str()) {
+            return Response::new(304).header("ETag", &tag);
+        }
         if let Some(delay) = ctx.config.fault.render_delay() {
             std::thread::sleep(delay);
         }
-        let raster = session.tile(TileId { zoom, tx, ty });
-        raster_response(&raster)
-            .header("ETag", &tag)
-            .header("Cache-Control", "private, immutable")
-            .header("X-Resolved", "1")
+        let frame = session.tile_lod(TileId { zoom, tx, ty });
+        if frame.approx {
+            raster_response(&frame.raster)
+                .header("Cache-Control", "private")
+                .header("X-Approx", "1")
+                .header("X-Approx-Error", &format!("{}", frame.error_bound))
+        } else {
+            raster_response(&frame.raster)
+                .header("ETag", &tag)
+                .header("Cache-Control", "private, immutable")
+                .header("X-Resolved", "1")
+        }
     })
 }
 
@@ -791,8 +808,19 @@ fn viewport_endpoint<M: IncrementalMeasure + Send + Sync>(
         if x0 >= x1 || y0 >= y1 {
             return Err(Response::text(422, "viewport extent must have positive area"));
         }
+        // Finite endpoints can still subtract to an infinite span
+        // (e.g. ±1e308), which would poison every downstream zoom and
+        // pixel-size computation.
+        if !(x1 - x0).is_finite() || !(y1 - y0).is_finite() {
+            return Err(Response::text(422, "viewport extent width overflows"));
+        }
         if !(1..=4096).contains(&w) || !(1..=4096).contains(&h) {
             return Err(Response::text(422, "viewport pixel size must be in 1..=4096"));
+        }
+        // Per-axis caps alone still admit a 4096×4096 = 128 MiB f64
+        // raster; cap the total pixel budget *before* any allocation.
+        if w * h > MAX_VIEWPORT_PIXELS {
+            return Err(Response::text(422, "viewport pixel area exceeds the 4M-pixel budget"));
         }
         Ok((Rect::new(x0, x1, y0, y1), w as usize, h as usize))
     })();
@@ -820,6 +848,14 @@ fn viewport_endpoint<M: IncrementalMeasure + Send + Sync>(
                 raster_response(&preview.raster)
                     .header("X-Degraded", "1")
                     .header("X-Resolved", &format!("{}", preview.resolved))
+            }
+            ViewportFrame::Approx { raster, error_bound } => {
+                // A complete LoD answer, not a degraded one: labeled
+                // approximate, with its measured error bound, and
+                // without the strong-validator ETag.
+                raster_response(&raster)
+                    .header("X-Approx", "1")
+                    .header("X-Approx-Error", &format!("{error_bound}"))
             }
         }
     })

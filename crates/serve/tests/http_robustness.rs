@@ -13,7 +13,9 @@ use std::time::{Duration, Instant};
 
 use rnn_heatmap::prelude::*;
 use rnnhm_serve::{serve, ServerConfig};
-use util::{raster_bytes, raw_roundtrip, request, request_with, test_engine, KeepAlive};
+use util::{
+    raster_bytes, raw_roundtrip, request, request_with, test_engine, test_engine_lod, KeepAlive,
+};
 
 fn quick_config() -> ServerConfig {
     ServerConfig {
@@ -466,5 +468,110 @@ fn placement_deadline_rejects_exact_never_degrades() {
     let ok = request(addr, "GET", PLACEMENT).unwrap();
     assert_eq!(ok.status, 200);
     assert!(server.stats().deadline_rejected >= 1, "rejection is counted in /stats");
+    server.shutdown();
+}
+
+#[test]
+fn viewport_pixel_budget_and_overflow_extents_are_rejected_before_allocation() {
+    let server = serve(test_engine(600, 53), quick_config()).expect("bind");
+    let addr = server.addr();
+
+    // Each axis is within the per-axis 4096 cap, but the product blows
+    // the 4M-pixel budget — the reply must arrive immediately, proving
+    // no 128 MiB raster was allocated or rendered.
+    let started = Instant::now();
+    let q = "/session/0/viewport?x0=0.1&x1=0.9&y0=0.1&y1=0.9";
+    let huge = request(addr, "GET", &format!("{q}&w=4096&h=4096")).unwrap();
+    assert_eq!(huge.status, 422);
+    let over = request(addr, "GET", &format!("{q}&w=2049&h=2048")).unwrap();
+    assert_eq!(over.status, 422, "2049*2048 is one row past the budget");
+
+    // Finite endpoints whose *span* overflows to infinity would poison
+    // every downstream zoom computation; rejected up front.
+    let span =
+        request(addr, "GET", "/session/0/viewport?x0=-1e308&x1=1e308&y0=0&y1=1&w=64&h=64").unwrap();
+    assert_eq!(span.status, 422);
+    // Degenerate (zero-area) extents likewise.
+    let flat =
+        request(addr, "GET", "/session/0/viewport?x0=0.5&x1=0.5&y0=0&y1=1&w=64&h=64").unwrap();
+    assert_eq!(flat.status, 422);
+    assert!(
+        started.elapsed() < Duration::from_secs(2),
+        "validation rejections must not pay render or allocation cost"
+    );
+
+    // The exact budget boundary is admitted (small extent keeps the
+    // debug-mode render cheap: 2048*2048 == the budget exactly).
+    let edge =
+        request(addr, "GET", "/session/0/viewport?x0=0.4&x1=0.401&y0=0.4&y1=0.401&w=64&h=64")
+            .unwrap();
+    assert_eq!(edge.status, 200, "requests inside the budget still serve");
+    server.shutdown();
+}
+
+#[test]
+fn approximate_tiles_and_viewports_are_labeled_and_carry_no_validator() {
+    let engine = test_engine_lod(900, 59);
+    let server = serve(engine.clone(), quick_config()).expect("bind");
+    let addr = server.addr();
+    let local = engine.session();
+    let tag = format!("\"{:016x}\"", local.fingerprint());
+
+    // A zoom-0 tile sits below the exact-zoom threshold: served from
+    // the mipmap, labeled approximate, with a measured error bound and
+    // *no* strong validator.
+    let coarse = request(addr, "GET", "/session/0/tile/0/0/0").unwrap();
+    assert_eq!(coarse.status, 200);
+    assert_eq!(coarse.header("x-approx"), Some("1"));
+    let bound: f64 = coarse
+        .header("x-approx-error")
+        .expect("approx replies state a bound")
+        .parse()
+        .expect("numeric bound");
+    assert!(bound.is_finite() && bound >= 0.0, "bound {bound}");
+    assert!(coarse.header("etag").is_none(), "approximate bytes must not carry an ETag");
+    assert_eq!(coarse.header("cache-control"), Some("private"));
+
+    // The bytes are exactly the engine's own LoD frame.
+    let frame = local.tile_lod(TileId { zoom: 0, tx: 0, ty: 0 });
+    assert!(frame.approx);
+    assert_eq!(coarse.body, raster_bytes(&frame.raster));
+    assert_eq!(bound, frame.error_bound);
+
+    // A conditional request cannot 304 an approximate tile — there is
+    // no validator for the client to legitimately hold.
+    let cond =
+        request_with(addr, "GET", "/session/0/tile/0/0/0", &[("If-None-Match", &tag)]).unwrap();
+    assert_eq!(cond.status, 200, "approximate tiles never short-circuit to 304");
+    assert_eq!(cond.header("x-approx"), Some("1"));
+
+    // At the threshold the exact contract is fully back: ETag present,
+    // conditional round-trip honored, no approx labels.
+    let exact = request(addr, "GET", "/session/0/tile/2/1/1").unwrap();
+    assert_eq!(exact.status, 200);
+    assert_eq!(exact.header("x-approx"), None);
+    assert_eq!(exact.header("x-approx-error"), None);
+    assert_eq!(exact.header("etag"), Some(tag.as_str()));
+    assert_eq!(exact.body, raster_bytes(&local.tile(TileId { zoom: 2, tx: 1, ty: 1 })));
+    let cond =
+        request_with(addr, "GET", "/session/0/tile/2/1/1", &[("If-None-Match", &tag)]).unwrap();
+    assert_eq!(cond.status, 304);
+
+    // A world-covering viewport at one tile's pixels resolves to a
+    // coarse zoom: same labeling rules as the tile endpoint.
+    let world = local.tile_scheme().world();
+    let vq = format!(
+        "/session/0/viewport?x0={}&x1={}&y0={}&y1={}&w=32&h=32",
+        world.x_lo, world.x_hi, world.y_lo, world.y_hi
+    );
+    let vp = request(addr, "GET", &vq).unwrap();
+    assert_eq!(vp.status, 200);
+    assert_eq!(vp.header("x-approx"), Some("1"));
+    assert!(vp.header("etag").is_none(), "approximate viewports carry no validator");
+    assert!(vp.header("x-approx-error").is_some());
+    match local.viewport_frame(world, 32, 32) {
+        ViewportFrame::Approx { raster, .. } => assert_eq!(vp.body, raster_bytes(&raster)),
+        _ => panic!("a world-at-32px viewport must resolve approximate"),
+    }
     server.shutdown();
 }

@@ -29,6 +29,24 @@ pub fn test_engine(n: usize, seed: u64) -> Arc<ExplorationEngine<CountMeasure>> 
     )
 }
 
+/// As [`test_engine`], with the level-of-detail pyramid enabled:
+/// tiles at zoom 0 and 1 are served approximately from the mipmap,
+/// zoom 2 and finer stay exact.
+pub fn test_engine_lod(n: usize, seed: u64) -> Arc<ExplorationEngine<CountMeasure>> {
+    let data = Dataset::zipfian(n, seed);
+    let n_facilities = (n / 20).max(4);
+    let (clients, facilities) =
+        sample_clients_facilities(&data.points, n - n_facilities, n_facilities, seed);
+    Arc::new(
+        HeatMapBuilder::bichromatic(clients, facilities)
+            .metric(Metric::Linf)
+            .tile_px(32)
+            .lod_exact_zoom(2)
+            .build_engine(CountMeasure)
+            .expect("non-empty input"),
+    )
+}
+
 /// A parsed HTTP reply.
 #[derive(Debug)]
 pub struct Reply {

@@ -60,10 +60,11 @@
 //! assert_ne!(frame_a.values(), frame_b.values());
 //! ```
 
+use std::collections::HashMap;
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock, Weak};
 use std::time::Instant;
 
-use rnnhm_core::arrangement::CoordSpace;
+use rnnhm_core::arrangement::{fnv1a_words, CoordSpace};
 use rnnhm_core::crest::crest_sweep;
 use rnnhm_core::crest_l2::crest_l2_sweep;
 use rnnhm_core::edit::{ArrangementRef, DirtyRegion, EditError, EditOutcome, Shape};
@@ -80,6 +81,7 @@ use rnnhm_core::window::crest_window;
 use rnnhm_geom::transform::rotate45;
 use rnnhm_geom::{Point, Rect};
 use rnnhm_heatmap::compute::{rasterize_disks, rasterize_squares};
+use rnnhm_heatmap::mipmap::HeatMipmap;
 use rnnhm_heatmap::raster::{GridSpec, HeatRaster};
 use rnnhm_heatmap::scanline::{
     rasterize_disks_scanline_bands, rasterize_squares_scanline_bands, refresh_disks_dirty,
@@ -97,6 +99,41 @@ const REGION_GROWTH_CAP: usize = 4;
 /// this many registrations.
 const REGISTRY_PRUNE_EVERY: usize = 64;
 
+/// Fingerprint discriminant for the approximate (LoD) tile namespace:
+/// approximate tiles share the exact tiles' cache but must never be
+/// confused with them, so their measure key is salted with this word
+/// and the exact-zoom threshold.
+const LOD_KEY_SEED: u64 = 0x4c4f44; // "LOD"
+
+/// A pending-dirty list longer than this collapses to its bounding
+/// box: re-rendering a few extra base tiles is cheaper than carrying
+/// (and intersecting against) an unbounded rect list.
+const LOD_DIRTY_CAP: usize = 32;
+
+/// One snapshot's level-of-detail state: a ready pyramid, or a recipe
+/// for deriving one lazily from an ancestor's.
+///
+/// Edits cannot patch a pyramid eagerly — patching renders base tiles,
+/// which needs the `IncrementalMeasure + Sync` rasterizer bound, while
+/// edits are available to every measure. So [`Session::finish_edit`]
+/// only *records lineage* (ancestor pyramid + accumulated dirty
+/// rects), and the first coarse-tile request on the new snapshot
+/// resolves it: re-render the dirty-touched base tiles, re-average
+/// upward. Chained edits accumulate rects against the same ancestor —
+/// every touched base tile is re-rendered from the *current* snapshot,
+/// so the patched pyramid is bitwise a fresh build.
+enum LodState {
+    /// Pyramid built (or patched) for this snapshot.
+    Ready(Arc<HeatMipmap>),
+    /// Derive by patching `ancestor` over `dirty` on first use.
+    Patch {
+        /// The last materialized pyramid on this edit branch.
+        ancestor: Arc<HeatMipmap>,
+        /// Union of dirty rects of every edit since `ancestor`.
+        dirty: Vec<Rect>,
+    },
+}
+
 /// The state shared by an engine and all of its sessions.
 struct EngineShared<M> {
     measure: M,
@@ -111,6 +148,14 @@ struct EngineShared<M> {
     /// tile's geometry depends on it.
     scheme: OnceLock<TileScheme>,
     cache: TileCache,
+    /// LoD threshold: when `Some(ze)`, tiles at `zoom < ze` are served
+    /// *approximately* from a mipmap pyramid whose base is the exact
+    /// zoom-`ze` rendering (see [`HeatMipmap`]); tiles at `zoom >= ze`
+    /// stay on the exact path, bit-identical to an engine without LoD.
+    /// `None` disables the pyramid entirely (the default).
+    lod_exact_zoom: Option<u8>,
+    /// Per-snapshot LoD state, keyed by snapshot fingerprint.
+    lod: Mutex<HashMap<u64, LodState>>,
     /// Every committed snapshot of this engine's lineage, weakly held
     /// (sessions keep snapshots alive; dropped branches are pruned),
     /// plus the registration count driving the prune cadence.
@@ -140,6 +185,17 @@ impl<M> EngineShared<M> {
     /// The tile scheme, created on first use over `snap`'s extent.
     fn scheme(&self, snap: &ArrangementSnapshot) -> &TileScheme {
         self.scheme.get_or_init(|| TileScheme::for_extent(input_bbox(snap), self.tile_px))
+    }
+
+    /// The exact-zoom threshold clamped to the scheme's depth, or
+    /// `None` when LoD is off.
+    fn effective_exact_zoom(&self, scheme: &TileScheme) -> Option<u8> {
+        self.lod_exact_zoom.map(|ze| ze.min(scheme.max_zoom()))
+    }
+
+    /// The cache measure-key namespace for approximate tiles.
+    fn approx_measure_key(&self, ze: u8) -> u64 {
+        fnv1a_words([LOD_KEY_SEED, self.measure_key, ze as u64])
     }
 }
 
@@ -193,6 +249,7 @@ impl<M: InfluenceMeasure> ExplorationEngine<M> {
         measure: M,
         tile_px: usize,
         tile_cache_bytes: usize,
+        lod_exact_zoom: Option<u8>,
     ) -> ExplorationEngine<M> {
         let root = Arc::new(snapshot);
         let shared = Arc::new(EngineShared {
@@ -201,6 +258,8 @@ impl<M: InfluenceMeasure> ExplorationEngine<M> {
             tile_px,
             scheme: OnceLock::new(),
             cache: TileCache::new(tile_cache_bytes),
+            lod_exact_zoom,
+            lod: Mutex::new(HashMap::new()),
             registry: Mutex::new((Vec::new(), 0)),
         });
         shared.register(&root);
@@ -295,6 +354,12 @@ impl<M: InfluenceMeasure> ExplorationEngine<M> {
     pub fn measure(&self) -> &M {
         &self.shared.measure
     }
+
+    /// The LoD exact-zoom threshold the engine was assembled with
+    /// (`None` = every tile exact).
+    pub fn lod_exact_zoom(&self) -> Option<u8> {
+        self.shared.lod_exact_zoom
+    }
 }
 
 /// Bounding box of a snapshot's arrangement in *input-space*
@@ -368,6 +433,13 @@ impl<M: InfluenceMeasure> Session<M> {
     /// The influence measure the engine serves.
     pub fn measure(&self) -> &M {
         &self.shared.measure
+    }
+
+    /// The LoD exact-zoom threshold (`None` = every tile exact). The
+    /// serving layer uses this to label responses: tiles at
+    /// `zoom < lod_exact_zoom()` are approximate.
+    pub fn lod_exact_zoom(&self) -> Option<u8> {
+        self.shared.lod_exact_zoom
     }
 
     /// The regions cache, computed (or recomputed after edits
@@ -588,7 +660,8 @@ impl<M: InfluenceMeasure> Session<M> {
         };
         // `old` is the only strong ref left iff no other session, fork
         // or engine handle still serves the parent snapshot.
-        if Arc::strong_count(&old) == 1 {
+        let exclusive = Arc::strong_count(&old) == 1;
+        if exclusive {
             self.shared.cache.invalidate_region(
                 old.fingerprint(),
                 self.snap.fingerprint(),
@@ -603,6 +676,41 @@ impl<M: InfluenceMeasure> Session<M> {
                 &outcome.dirty,
             );
         }
+        self.propagate_lod(&old, outcome, exclusive);
+    }
+
+    /// Carries the parent snapshot's LoD pyramid over an edit as a
+    /// *lazy patch recipe* (see [`LodState`]): the ancestor pyramid
+    /// plus the accumulated dirty rects. The actual re-rendering
+    /// happens on the next coarse-tile request. When this session was
+    /// the parent's sole user, the parent's entry is dropped.
+    fn propagate_lod(
+        &self,
+        old: &Arc<ArrangementSnapshot>,
+        outcome: &EditOutcome,
+        exclusive: bool,
+    ) {
+        if self.shared.lod_exact_zoom.is_none() {
+            return;
+        }
+        let mut lod = self.shared.lod.lock().unwrap_or_else(|e| e.into_inner());
+        let parent = match lod.get(&old.fingerprint()) {
+            Some(LodState::Ready(m)) => Some((m.clone(), Vec::new())),
+            Some(LodState::Patch { ancestor, dirty }) => Some((ancestor.clone(), dirty.clone())),
+            None => None,
+        };
+        if exclusive {
+            lod.remove(&old.fingerprint());
+        }
+        let Some((ancestor, mut dirty)) = parent else {
+            return;
+        };
+        dirty.extend_from_slice(outcome.dirty.rects());
+        if dirty.len() > LOD_DIRTY_CAP {
+            let union = dirty[1..].iter().fold(dirty[0], |acc, r| acc.union(r));
+            dirty = vec![union];
+        }
+        lod.insert(self.snap.fingerprint(), LodState::Patch { ancestor, dirty });
     }
 
     /// Updates the session's labeled-region cache for one edit, if it
@@ -765,6 +873,34 @@ pub enum ViewportFrame {
     /// fraction. Tiles that *did* render before the deadline stayed
     /// cached, so retries converge toward `Exact`.
     Degraded(Preview),
+    /// The viewport resolved to a zoom coarser than the engine's LoD
+    /// exact-zoom threshold and was served from the mipmap pyramid:
+    /// every pixel lies within the closed min/max envelope of the
+    /// exact base pixels it summarizes, and `error_bound` is the
+    /// largest measured `max − min` across the covering tiles. Unlike
+    /// [`ViewportFrame::Degraded`], this is a *complete, intentional*
+    /// answer — it must be labeled approximate (no strong validator),
+    /// never retried toward exactness at this zoom.
+    Approx {
+        /// The stitched approximate raster.
+        raster: HeatRaster,
+        /// Largest measured per-pixel deviation across the tiles.
+        error_bound: f64,
+    },
+}
+
+/// One tile plus its exact/approximate labeling — the LoD-aware tile
+/// endpoint's response ([`Session::tile_lod`]).
+pub struct TileFrame {
+    /// The tile's pixels.
+    pub raster: Arc<HeatRaster>,
+    /// Whether the tile came from the mipmap pyramid (zoom coarser
+    /// than the LoD threshold). Approximate tiles must not carry a
+    /// strong validator in HTTP responses.
+    pub approx: bool,
+    /// Measured worst-case deviation from the exact base pixels
+    /// (0.0 for exact tiles).
+    pub error_bound: f64,
 }
 
 /// A snapshot restriction plus a renderer, the per-tile render base.
@@ -837,6 +973,78 @@ impl<M: IncrementalMeasure + Sync> Session<M> {
         )
     }
 
+    /// The session's LoD pyramid for its current snapshot, resolving
+    /// lazily: a ready pyramid is returned as-is; a pending patch
+    /// recipe (recorded by an edit) re-renders the dirty-touched base
+    /// tiles and re-averages upward; a cold miss builds the full
+    /// pyramid. Only called when the engine has LoD enabled.
+    fn mipmap(&self, scheme: &TileScheme, ze: u8) -> Arc<HeatMipmap> {
+        let fp = self.snap.fingerprint();
+        let pending = {
+            let lod = self.shared.lod.lock().unwrap_or_else(|e| e.into_inner());
+            match lod.get(&fp) {
+                Some(LodState::Ready(m)) => return m.clone(),
+                Some(LodState::Patch { ancestor, dirty }) => {
+                    Some((ancestor.clone(), dirty.clone()))
+                }
+                None => None,
+            }
+        };
+        // Build or patch outside the lock — both render base tiles,
+        // and a concurrent session must not block on that. A racing
+        // duplicate build is wasted work, never wrong (deterministic
+        // renders), and first-insert wins below.
+        let snap: &ArrangementSnapshot = &self.snap;
+        let measure = &self.shared.measure;
+        let render = |_id: TileId, spec: GridSpec| {
+            RestrictedBase { arrangement: snap.restrict_to(spec.extent), measure }.render(spec)
+        };
+        let built = match pending {
+            Some((ancestor, dirty)) => {
+                let mut patched = (*ancestor).clone();
+                patched.patch(scheme, &dirty, render);
+                Arc::new(patched)
+            }
+            None => Arc::new(HeatMipmap::build(scheme, ze, render)),
+        };
+        let mut lod = self.shared.lod.lock().unwrap_or_else(|e| e.into_inner());
+        match lod.entry(fp) {
+            std::collections::hash_map::Entry::Occupied(mut e) => match e.get() {
+                LodState::Ready(m) => m.clone(),
+                LodState::Patch { .. } => {
+                    e.insert(LodState::Ready(built.clone()));
+                    built
+                }
+            },
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(LodState::Ready(built.clone()));
+                built
+            }
+        }
+    }
+
+    /// Fetches approximate (mipmap-served) tiles through the shared
+    /// cache under the LoD measure-key namespace, so single-flight
+    /// dedup, LRU accounting and edit propagation all apply to
+    /// approximate tiles exactly as they do to exact ones.
+    fn fetch_tiles_approx(
+        &self,
+        scheme: &TileScheme,
+        ze: u8,
+        ids: &[TileId],
+    ) -> (Vec<Arc<HeatRaster>>, f64) {
+        let mip = self.mipmap(scheme, ze);
+        let tiles = self.shared.cache.fetch(
+            self.snap.fingerprint(),
+            self.shared.approx_measure_key(ze),
+            scheme,
+            ids,
+            |id, _spec| mip.tile(scheme, id),
+        );
+        let error_bound = ids.iter().map(|&id| mip.tile_error_bound(id)).fold(0.0f64, f64::max);
+        (tiles, error_bound)
+    }
+
     /// Renders the viewport `rect` at (at least) `px_w × px_h` pixels
     /// through the shared tile pyramid: resolves the zoom level,
     /// fetches the covering tiles — cache hits (including tiles warmed
@@ -847,12 +1055,34 @@ impl<M: IncrementalMeasure + Sync> Session<M> {
     /// The result is **bit-identical** to a one-shot
     /// [`Session::raster`] of the returned spec; caching and
     /// concurrency never change pixels (see
-    /// `tests/concurrent_serving.rs`).
+    /// `tests/concurrent_serving.rs`). This path is always exact —
+    /// LoD-aware callers wanting cheap coarse zooms use
+    /// [`Session::viewport_frame`].
     pub fn viewport(&self, rect: Rect, px_w: usize, px_h: usize) -> HeatRaster {
         let scheme = self.shared.scheme(&self.snap);
         let view = scheme.viewport(rect, px_w, px_h);
         let tiles = self.fetch_tiles(view.tiles());
         view.stitch(scheme, &tiles)
+    }
+
+    /// The LoD-aware viewport: resolves like [`Session::viewport`],
+    /// but when the resolved zoom is coarser than the engine's
+    /// exact-zoom threshold the frame is served from the mipmap
+    /// pyramid as a labeled [`ViewportFrame::Approx`] — O(tile_px²)
+    /// per tile regardless of dataset size. At or below the
+    /// threshold (or with LoD disabled) this is exactly
+    /// [`ViewportFrame::Exact`] of [`Session::viewport`].
+    pub fn viewport_frame(&self, rect: Rect, px_w: usize, px_h: usize) -> ViewportFrame {
+        let scheme = self.shared.scheme(&self.snap);
+        let view = scheme.viewport(rect, px_w, px_h);
+        if let Some(ze) = self.shared.effective_exact_zoom(scheme) {
+            if view.zoom < ze {
+                let (tiles, error_bound) = self.fetch_tiles_approx(scheme, ze, view.tiles());
+                return ViewportFrame::Approx { raster: view.stitch(scheme, &tiles), error_bound };
+            }
+        }
+        let tiles = self.fetch_tiles(view.tiles());
+        ViewportFrame::Exact(view.stitch(scheme, &tiles))
     }
 
     /// [`Session::viewport`] under a wall-clock budget: renders
@@ -872,6 +1102,18 @@ impl<M: IncrementalMeasure + Sync> Session<M> {
     ) -> ViewportFrame {
         let scheme = self.shared.scheme(&self.snap);
         let view = scheme.viewport(rect, px_w, px_h);
+        if let Some(ze) = self.shared.effective_exact_zoom(scheme) {
+            if view.zoom < ze {
+                // Above the exact-zoom threshold the answer comes from
+                // the pyramid: per-tile work is a blit, far below any
+                // sane deadline, so the budget is not consulted. (The
+                // one-time pyramid build on a cold snapshot can exceed
+                // it; that cost amortizes over every later coarse
+                // frame, exactly like a cold cache fill.)
+                let (tiles, error_bound) = self.fetch_tiles_approx(scheme, ze, view.tiles());
+                return ViewportFrame::Approx { raster: view.stitch(scheme, &tiles), error_bound };
+            }
+        }
         let snap: &ArrangementSnapshot = &self.snap;
         let measure = &self.shared.measure;
         let tiles = self.shared.cache.fetch_restricted_deadline(
@@ -902,5 +1144,21 @@ impl<M: IncrementalMeasure + Sync> Session<M> {
     /// validates before calling).
     pub fn tile(&self, id: TileId) -> Arc<HeatRaster> {
         self.fetch_tiles(&[id]).pop().expect("one tile in, one raster out")
+    }
+
+    /// The LoD-aware tile endpoint: tiles at a zoom coarser than the
+    /// engine's exact-zoom threshold come from the mipmap pyramid and
+    /// are labeled approximate (with their measured error bound);
+    /// everything else is [`Session::tile`], exact and bit-stable.
+    pub fn tile_lod(&self, id: TileId) -> TileFrame {
+        let scheme = self.shared.scheme(&self.snap);
+        if let Some(ze) = self.shared.effective_exact_zoom(scheme) {
+            if id.zoom < ze {
+                let (tiles, error_bound) = self.fetch_tiles_approx(scheme, ze, &[id]);
+                let raster = tiles.into_iter().next().expect("one tile in, one raster out");
+                return TileFrame { raster, approx: true, error_bound };
+            }
+        }
+        TileFrame { raster: self.tile(id), approx: false, error_bound: 0.0 }
     }
 }

@@ -91,6 +91,8 @@ pub struct HeatMapBuilder {
     k: usize,
     tile_px: usize,
     tile_cache_bytes: usize,
+    shards: Option<usize>,
+    lod_exact_zoom: Option<u8>,
 }
 
 impl HeatMapBuilder {
@@ -104,6 +106,8 @@ impl HeatMapBuilder {
             k: 1,
             tile_px: DEFAULT_TILE_PX,
             tile_cache_bytes: DEFAULT_TILE_CACHE_BYTES,
+            shards: None,
+            lod_exact_zoom: None,
         }
     }
 
@@ -156,6 +160,36 @@ impl HeatMapBuilder {
         self
     }
 
+    /// Partitions the arrangement into `n` vertical shards (default:
+    /// unsharded). Shards build their summaries independently (and in
+    /// parallel on multi-core hosts), edits re-summarize only the
+    /// shards their dirty region touches, and viewport tile renders
+    /// route to the shards overlapping the window — per-tile cost
+    /// becomes O(shard), the enabler for millions-of-points datasets.
+    /// Every rendered pixel stays **bit-identical** to the unsharded
+    /// engine; only the snapshot fingerprint differs (it composes the
+    /// per-shard fingerprints).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn shards(mut self, n: usize) -> Self {
+        assert!(n > 0, "shard count must be positive");
+        self.shards = Some(n);
+        self
+    }
+
+    /// Serves tiles at `zoom < ze` *approximately* from a
+    /// level-of-detail mipmap pyramid (default: off, every tile
+    /// exact). The pyramid's base is the exact zoom-`ze` rendering;
+    /// coarser tiles are 2×2 averages carrying a measured error bound
+    /// and are labeled approximate end to end (engine frames, HTTP
+    /// headers). Tiles at `zoom >= ze` are untouched — bit-identical
+    /// to an engine without LoD. See `rnnhm_heatmap::mipmap`.
+    pub fn lod_exact_zoom(mut self, ze: u8) -> Self {
+        self.lod_exact_zoom = Some(ze);
+        self
+    }
+
     /// Builds the NN-circle arrangement (kept editable) under `measure`.
     ///
     /// Region labeling (the CREST sweep) is *lazy*: it runs on the
@@ -178,14 +212,30 @@ impl HeatMapBuilder {
         self,
         measure: M,
     ) -> Result<ExplorationEngine<M>, BuildError> {
-        let snapshot = ArrangementSnapshot::build_k(
-            self.clients,
-            self.facilities,
-            self.metric,
-            self.mode,
-            self.k,
-        )?;
-        Ok(ExplorationEngine::assemble(snapshot, measure, self.tile_px, self.tile_cache_bytes))
+        let snapshot = match self.shards {
+            Some(n) => ArrangementSnapshot::build_k_sharded(
+                self.clients,
+                self.facilities,
+                self.metric,
+                self.mode,
+                self.k,
+                n,
+            )?,
+            None => ArrangementSnapshot::build_k(
+                self.clients,
+                self.facilities,
+                self.metric,
+                self.mode,
+                self.k,
+            )?,
+        };
+        Ok(ExplorationEngine::assemble(
+            snapshot,
+            measure,
+            self.tile_px,
+            self.tile_cache_bytes,
+            self.lod_exact_zoom,
+        ))
     }
 }
 

@@ -52,7 +52,7 @@
 pub mod engine;
 pub mod highlevel;
 
-pub use engine::{ExplorationEngine, RegistryStats, Session, ViewportFrame};
+pub use engine::{ExplorationEngine, RegistryStats, Session, TileFrame, ViewportFrame};
 pub use highlevel::{HeatMapBuilder, RnnHeatMap};
 pub use rnnhm_core as core;
 pub use rnnhm_data as data;
@@ -62,7 +62,7 @@ pub use rnnhm_index as index;
 
 /// The commonly used names, importable in one line.
 pub mod prelude {
-    pub use crate::engine::{ExplorationEngine, RegistryStats, Session, ViewportFrame};
+    pub use crate::engine::{ExplorationEngine, RegistryStats, Session, TileFrame, ViewportFrame};
     pub use rnnhm_core::arrangement::{
         build_disk_arrangement, build_disk_arrangement_k, build_square_arrangement,
         build_square_arrangement_k, knn_assignments, nn_assignments, CoordSpace, DiskArrangement,
