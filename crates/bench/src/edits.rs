@@ -15,7 +15,6 @@
 //! per-step speedup of at least **5×** at n = 100k, 1024² viewport.
 
 use std::io::Write as _;
-use std::time::Instant;
 
 use rnnhm_core::arrangement::{build_square_arrangement_k, Mode};
 use rnnhm_core::measure::CountMeasure;
@@ -115,7 +114,7 @@ pub fn compare_edit_paths_k(
 
     // The analyst's viewport: most of the populated unit square.
     let view = Rect::new(0.15, 0.85, 0.15, 0.85);
-    let start = Instant::now();
+    let start = rnnhm_core::clock::now();
     let cold = map.viewport(view, view_px, view_px);
     let cold_ms = ms(start);
     assert!(cold.spec.width >= view_px, "viewport must meet the pixel budget");
@@ -138,7 +137,7 @@ pub fn compare_edit_paths_k(
     for step in 0..EDIT_STEPS {
         // Edit path: apply one edit, re-render the (warm) viewport.
         let p = site();
-        let start = Instant::now();
+        let start = rnnhm_core::clock::now();
         match step % 3 {
             0 => {
                 let (id, _) = map.add_facility(p).expect("bichromatic map accepts adds");
@@ -167,7 +166,7 @@ pub fn compare_edit_paths_k(
         // Rebuild path: NN recompute from scratch over the *current*
         // facility set + one-shot render of the exact same spec.
         let facilities_now: Vec<Point> = map.facilities().into_iter().map(|(_, p)| p).collect();
-        let start = Instant::now();
+        let start = rnnhm_core::clock::now();
         let arr = build_square_arrangement_k(
             &w.clients,
             &facilities_now,

@@ -32,7 +32,7 @@ use std::io::{Read, Write as _};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use rnn_heatmap::prelude::*;
 use rnn_heatmap::HeatMapBuilder;
@@ -242,7 +242,7 @@ fn user_loop(
         // retrying while the fleet's retry rate settles below the
         // service rate.
         for attempt in 0..32u32 {
-            let start = Instant::now();
+            let start = rnnhm_core::clock::now();
             let reply = match http_get(addr, &target) {
                 Ok(Some(r)) => r,
                 // Torn reply or transient connect failure: back off
@@ -402,7 +402,7 @@ fn measure_shed_latency(
         std::thread::sleep(Duration::from_millis(50));
         let mut seen = 0usize;
         while seen < probes {
-            let start = Instant::now();
+            let start = rnnhm_core::clock::now();
             if let Ok(Some(reply)) = http_get(addr, "/healthz") {
                 if reply.status == 503 {
                     shed_ms.push(start.elapsed().as_secs_f64() * 1e3);
@@ -544,7 +544,7 @@ pub fn run_http_load(
     assert_eq!(ka.get(&tile_target).expect("tile warm"), 200);
     let mut tile_ms: Vec<f64> = Vec::with_capacity(200);
     for _ in 0..200 {
-        let start = Instant::now();
+        let start = rnnhm_core::clock::now();
         assert_eq!(ka.get(&tile_target).expect("warm tile"), 200);
         tile_ms.push(start.elapsed().as_secs_f64() * 1e3);
     }
@@ -553,7 +553,7 @@ pub fn run_http_load(
     let warm_tile_p50_ms = percentile(&tile_ms, 0.5);
 
     // Timed load phase.
-    let load_start = Instant::now();
+    let load_start = rnnhm_core::clock::now();
     let outcomes: Vec<UserOutcome> = std::thread::scope(|scope| {
         let session_ids = &session_ids;
         let handles: Vec<_> = (0..users)

@@ -16,7 +16,6 @@
 //! **5×** faster than rebuild-per-candidate at n = 100k.
 
 use std::io::Write as _;
-use std::time::Instant;
 
 use rnnhm_core::arrangement::{build_square_arrangement_k, Mode};
 use rnnhm_core::crest::crest_sweep;
@@ -103,7 +102,7 @@ pub fn compare_placement_paths(
 
     // Incremental path: cached point-enclosure stab + tentative
     // incremental insert, dropped immediately (bitwise undo).
-    let start = Instant::now();
+    let start = rnnhm_core::clock::now();
     let incr_scores: Vec<f64> = candidates
         .iter()
         .map(|&p| query.evaluate_insert(p).expect("finite candidate").influence)
@@ -112,7 +111,7 @@ pub fn compare_placement_paths(
 
     // Rebuild path: every candidate pays a from-scratch NN-circle
     // rebuild before the same stab.
-    let start = Instant::now();
+    let start = rnnhm_core::clock::now();
     let rebuild_scores: Vec<f64> = candidates
         .iter()
         .map(|&p| {
@@ -132,7 +131,7 @@ pub fn compare_placement_paths(
         incr_scores.iter().zip(&rebuild_scores).all(|(a, b)| a.to_bits() == b.to_bits());
 
     // Greedy, incremental commits.
-    let start = Instant::now();
+    let start = rnnhm_core::clock::now();
     let greedy =
         query.greedy_place(greedy_steps, &PlacementConstraints::none()).expect("greedy place");
     let greedy_incr_ms = ms(start);
@@ -144,7 +143,7 @@ pub fn compare_placement_paths(
     // baseline commits the incremental loop's chosen point after
     // checking it found the same argmax influence.
     let mut facilities_now = w.facilities.clone();
-    let start = Instant::now();
+    let start = rnnhm_core::clock::now();
     for step in &greedy.steps {
         let arr = build_square_arrangement_k(
             &w.clients,

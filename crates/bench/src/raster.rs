@@ -8,7 +8,6 @@
 //! dataset, and [`write_raster_json`] records the numbers.
 
 use std::io::Write as _;
-use std::time::Instant;
 
 use rnnhm_core::measure::CountMeasure;
 use rnnhm_geom::{Metric, Rect};
@@ -76,15 +75,15 @@ pub fn compare_raster_paths_k(
     let extent = Rect::new(0.0, 1.0, 0.0, 1.0);
     let spec = GridSpec::new(width, height, extent);
 
-    let start = Instant::now();
+    let start = rnnhm_core::clock::now();
     let scan = rasterize_squares_scanline(&arr, &CountMeasure, spec);
     let scanline_ms = ms(start);
 
-    let start = Instant::now();
+    let start = rnnhm_core::clock::now();
     let oracle = rasterize_squares_oracle(&arr, &CountMeasure, spec);
     let oracle_ms = ms(start);
 
-    let start = Instant::now();
+    let start = rnnhm_core::clock::now();
     let fast = rasterize_count_squares_fast(&arr, spec);
     let fast_count_ms = ms(start);
     // The superimposition bins shape *edges* to pixels rather than

@@ -98,7 +98,7 @@ pub fn run_ba<M: InfluenceMeasure>(arr: &SquareArrangement, measure: &M, max_cel
     if baseline_cell_count(arr) > max_cells {
         return Timing::skipped("BA");
     }
-    let start = Instant::now();
+    let start = rnnhm_core::clock::now();
     let mut sink = MaterializeSink::default();
     let stats = baseline_sweep(arr, measure, &mut sink);
     Timing { algo: "BA", millis: Some(ms(start)), stats }
@@ -106,7 +106,7 @@ pub fn run_ba<M: InfluenceMeasure>(arr: &SquareArrangement, measure: &M, max_cel
 
 /// Times CREST-A (first optimization only).
 pub fn run_crest_a<M: InfluenceMeasure>(arr: &SquareArrangement, measure: &M) -> Timing {
-    let start = Instant::now();
+    let start = rnnhm_core::clock::now();
     let mut sink = MaterializeSink::default();
     let stats = crest_a_sweep(arr, measure, &mut sink);
     Timing { algo: "CREST-A", millis: Some(ms(start)), stats }
@@ -114,7 +114,7 @@ pub fn run_crest_a<M: InfluenceMeasure>(arr: &SquareArrangement, measure: &M) ->
 
 /// Times full CREST.
 pub fn run_crest<M: InfluenceMeasure>(arr: &SquareArrangement, measure: &M) -> Timing {
-    let start = Instant::now();
+    let start = rnnhm_core::clock::now();
     let mut sink = MaterializeSink::default();
     let stats = crest_sweep(arr, measure, &mut sink);
     Timing { algo: "CREST", millis: Some(ms(start)), stats }
@@ -122,7 +122,7 @@ pub fn run_crest<M: InfluenceMeasure>(arr: &SquareArrangement, measure: &M) -> T
 
 /// Times CREST-L2 on the max-influence-region task (Figs 18–19).
 pub fn run_crest_l2_max<M: InfluenceMeasure>(arr: &DiskArrangement, measure: &M) -> Timing {
-    let start = Instant::now();
+    let start = rnnhm_core::clock::now();
     let (best, stats) = crest_l2_max_region(arr, measure);
     let _ = best;
     Timing { algo: "CREST-L2", millis: Some(ms(start)), stats }
@@ -130,7 +130,7 @@ pub fn run_crest_l2_max<M: InfluenceMeasure>(arr: &DiskArrangement, measure: &M)
 
 /// Times CREST-L2 building the full heat map (not just the max region).
 pub fn run_crest_l2_full<M: InfluenceMeasure>(arr: &DiskArrangement, measure: &M) -> Timing {
-    let start = Instant::now();
+    let start = rnnhm_core::clock::now();
     let mut sink = MaxSink::default();
     let stats = rnnhm_core::crest_l2::crest_l2_sweep(arr, measure, &mut sink);
     Timing { algo: "CREST-L2", millis: Some(ms(start)), stats }
@@ -146,7 +146,7 @@ pub fn run_pruning_max<M: InfluenceMeasure>(
     measure: &M,
     node_budget: u64,
 ) -> Timing {
-    let start = Instant::now();
+    let start = rnnhm_core::clock::now();
     let (_, pstats) = pruning_max_region(
         arr,
         measure,

@@ -14,7 +14,6 @@
 //! millisecond range.
 
 use std::io::Write as _;
-use std::time::Instant;
 
 use rnn_heatmap::prelude::*;
 use rnn_heatmap::HeatMapBuilder;
@@ -70,7 +69,7 @@ pub fn run_scale(n_clients: usize, ratio: usize, shards: usize, seed: u64) -> Sc
     let ze: u8 = 2;
     let w = build_workload(DatasetKind::Uniform, n_clients, ratio, seed);
 
-    let start = Instant::now();
+    let start = rnnhm_core::clock::now();
     let engine = HeatMapBuilder::bichromatic(w.clients, w.facilities)
         .metric(Metric::Linf)
         .tile_px(256)
@@ -87,7 +86,7 @@ pub fn run_scale(n_clients: usize, ratio: usize, shards: usize, seed: u64) -> Sc
 
     // Cold country view: whole extent at 512×512 px resolves to a zoom
     // below the threshold; the first request builds the whole pyramid.
-    let start = Instant::now();
+    let start = rnnhm_core::clock::now();
     let frame = session.viewport_frame(world, 512, 512);
     let cold_country_ms = ms(start);
     let (approx_served, error_bound) = match &frame {
@@ -99,7 +98,7 @@ pub fn run_scale(n_clients: usize, ratio: usize, shards: usize, seed: u64) -> Sc
     // Warm pans: half-extent windows sliding east at the same coarse
     // zoom — every tile is already in the cache.
     let ww = world.width();
-    let start = Instant::now();
+    let start = rnnhm_core::clock::now();
     for i in 0..PAN_STEPS {
         let dx = (i + 1) as f64 * (0.45 * ww / PAN_STEPS as f64);
         let view = Rect::new(
@@ -114,7 +113,7 @@ pub fn run_scale(n_clients: usize, ratio: usize, shards: usize, seed: u64) -> Sc
 
     // Street-level drill-down: a 1/64-extent window is past the
     // threshold — exact, shard-routed, and still interactive.
-    let start = Instant::now();
+    let start = rnnhm_core::clock::now();
     let street = Rect::new(
         world.x_lo + 0.50 * ww,
         world.x_lo + 0.50 * ww + ww / 64.0,
@@ -128,10 +127,10 @@ pub fn run_scale(n_clients: usize, ratio: usize, shards: usize, seed: u64) -> Sc
 
     // Edit at full scale, then the first coarse frame afterwards pays
     // the lazy pyramid patch.
-    let start = Instant::now();
+    let start = rnnhm_core::clock::now();
     session.add_facility(Point::new(0.41, 0.59)).expect("in-bounds add");
     let edit_ms = ms(start);
-    let start = Instant::now();
+    let start = rnnhm_core::clock::now();
     drop(session.viewport_frame(world, 512, 512));
     let repatch_ms = ms(start);
 

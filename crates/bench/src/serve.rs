@@ -25,7 +25,6 @@
 
 use std::io::Write as _;
 use std::sync::Barrier;
-use std::time::Instant;
 
 use rnn_heatmap::prelude::*;
 use rnn_heatmap::{HeatMapBuilder, Session};
@@ -81,7 +80,7 @@ fn replay(
     let side = 0.4;
     let mut rect = Rect::new(0.05, 0.05 + side, 0.1, 0.1 + side);
     for step in steps {
-        let start = Instant::now();
+        let start = rnnhm_core::clock::now();
         match step {
             Step::Frame => {}
             Step::Pan(dx, dy) => {
@@ -178,7 +177,7 @@ pub fn compare_serve_paths(
     let engine = build();
     let mut single = engine.session();
     let mut base_lat = Vec::with_capacity(frames);
-    let base_start = Instant::now();
+    let base_start = rnnhm_core::clock::now();
     let final_rect = replay(&mut single, &steps, edit_site(0), view_px, &mut base_lat);
     let base_secs = base_start.elapsed().as_secs_f64();
     let baseline_fps = frames as f64 / base_secs;
@@ -198,14 +197,14 @@ pub fn compare_serve_paths(
     }
     let mut rects: Vec<Rect> = Vec::with_capacity(sessions);
     let mut latencies: Vec<f64> = Vec::with_capacity(sessions * frames);
-    let engine_start = Instant::now();
+    let engine_start = rnnhm_core::clock::now();
     // Round-robin interleave, step by step, every session one frame.
     let side = 0.4;
     let mut session_rects = vec![Rect::new(0.05, 0.05 + side, 0.1, 0.1 + side); sessions];
     for step in &steps {
         for (s, session) in crew.iter_mut().enumerate() {
             let rect = &mut session_rects[s];
-            let start = Instant::now();
+            let start = rnnhm_core::clock::now();
             match step {
                 Step::Frame => {}
                 Step::Pan(dx, dy) => {

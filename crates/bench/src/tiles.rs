@@ -13,7 +13,6 @@
 //! least **3×** faster than the full re-render, bit-identical output.
 
 use std::io::Write as _;
-use std::time::Instant;
 
 use rnnhm_core::measure::{CountMeasure, InfluenceMeasure};
 use rnnhm_core::parallel::effective_parallelism;
@@ -116,7 +115,7 @@ pub fn compare_tile_paths(
     // fresh pages instead of reusing warm ones.
     let side = 0.4;
     let view_a = Rect::new(0.05, 0.05 + side, 0.1, 0.1 + side);
-    let start = Instant::now();
+    let start = rnnhm_core::clock::now();
     let (a, raster_a) = frame(view_a);
     let cold_ms = ms(start);
     assert!(raster_a.spec.width >= view_px, "viewport must meet the pixel budget");
@@ -126,7 +125,7 @@ pub fn compare_tile_paths(
     // Jump: a quarter of the viewport east — 75% area overlap, so one
     // or two newly exposed tile columns render.
     let before = cache.stats();
-    let start = Instant::now();
+    let start = rnnhm_core::clock::now();
     let frame_b = frame(shift(view_a, side / 4.0));
     let warm_jump_ms = ms(start);
     let tiles_rendered_jump = (cache.stats().misses - before.misses) as usize;
@@ -138,7 +137,7 @@ pub fn compare_tile_paths(
     let before = cache.stats();
     let step = side / DRAG_STEPS as f64;
     let mut rect = shift(view_a, side / 4.0);
-    let start = Instant::now();
+    let start = rnnhm_core::clock::now();
     for _ in 0..DRAG_STEPS - 1 {
         rect = shift(rect, step);
         drop(frame(rect));
@@ -151,7 +150,7 @@ pub fn compare_tile_paths(
     // The uncached comparison: one-shot scanline render of the exact
     // spec the final warm frame produced (the pre-tile full-frame
     // path, identical output required).
-    let start = Instant::now();
+    let start = rnnhm_core::clock::now();
     let one_shot = rasterize_squares_scanline(&arr, &CountMeasure, raster_last.spec);
     let full_ms = ms(start);
 

@@ -1,0 +1,34 @@
+//! The workspace's single monotonic-clock read point.
+//!
+//! Pinned crates must not read clocks: wall-clock time feeding any
+//! computation would break bitwise reproducibility, and even harmless
+//! *timing* reads are worth funneling through one place so the linter
+//! and clippy (`disallowed-methods`) can flag every other call site.
+//! Deadline math stays on plain [`Instant`] values — only the *read*
+//! is centralized.
+
+use std::time::Instant;
+
+/// Reads the monotonic clock.
+///
+/// This is the only sanctioned `Instant::now()` in the workspace;
+/// benches, examples, the serve stack, and cache deadlines all take
+/// their readings here. Nothing bitwise-pinned may depend on the
+/// returned value — it is for deadlines and reporting only.
+pub fn now() -> Instant {
+    #[allow(clippy::disallowed_methods)]
+    // lint:allow(wall-clock): the one sanctioned clock read every other call site routes through
+    Instant::now()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let a = now();
+        let b = now();
+        assert!(b >= a);
+    }
+}

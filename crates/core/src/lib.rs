@@ -43,6 +43,7 @@
 
 pub mod arrangement;
 pub mod baseline;
+pub mod clock;
 pub mod crest;
 pub mod crest_l2;
 pub mod edit;

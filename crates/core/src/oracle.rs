@@ -5,7 +5,7 @@
 //! (paper §III-A: `R(q) = {o | d(o, q) ≤ d(o, f) ∀f ∈ F}` — the NN-circle
 //! is precisely that locus). Every sweep algorithm is validated against it.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rnnhm_geom::{Metric, Point};
 
@@ -78,8 +78,11 @@ pub fn signature(rnn: &[u32]) -> Vec<u32> {
 /// signature, up to floating-point tolerance. Empty sets are skipped —
 /// the algorithms bound the empty exterior differently (BA grids span the
 /// global bounding box; strips span only the live line status).
-pub fn area_by_signature(regions: &[LabeledRegion]) -> HashMap<Vec<u32>, f64> {
-    let mut map: HashMap<Vec<u32>, f64> = HashMap::new();
+///
+/// Returns a `BTreeMap` so iteration order (and any diff printed from
+/// it) is the sorted signature order, independent of hasher seeds.
+pub fn area_by_signature(regions: &[LabeledRegion]) -> BTreeMap<Vec<u32>, f64> {
+    let mut map: BTreeMap<Vec<u32>, f64> = BTreeMap::new();
     for r in regions {
         if r.rnn.is_empty() {
             continue;
@@ -91,7 +94,7 @@ pub fn area_by_signature(regions: &[LabeledRegion]) -> HashMap<Vec<u32>, f64> {
 
 /// Asserts two signature→area maps agree up to `tol` (panics with a
 /// readable diff otherwise). Test helper.
-pub fn assert_area_maps_equal(a: &HashMap<Vec<u32>, f64>, b: &HashMap<Vec<u32>, f64>, tol: f64) {
+pub fn assert_area_maps_equal(a: &BTreeMap<Vec<u32>, f64>, b: &BTreeMap<Vec<u32>, f64>, tol: f64) {
     for (sig, &area_a) in a {
         let area_b = b.get(sig).copied().unwrap_or(0.0);
         assert!((area_a - area_b).abs() <= tol, "signature {sig:?}: area {area_a} vs {area_b}");
@@ -151,9 +154,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "signature")]
     fn area_maps_mismatch_detected() {
-        let mut a = HashMap::new();
+        let mut a = BTreeMap::new();
         a.insert(vec![1], 2.0);
-        let mut b = HashMap::new();
+        let mut b = BTreeMap::new();
         b.insert(vec![1], 5.0);
         assert_area_maps_equal(&a, &b, 1e-9);
     }

@@ -26,7 +26,7 @@
 //! the paper's 24-hour cut-off. A truncated run reports
 //! [`PruningStats::truncated`] and its result is only a lower bound.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rnnhm_geom::eps::NUDGE;
 use rnnhm_geom::{Circle, Point, Rect};
@@ -208,7 +208,9 @@ fn face_table(
     budget: &mut u64,
 ) -> Vec<(Mask, Point)> {
     let words = nbrs.len().div_ceil(64).max(1);
-    let mut faces: HashMap<Mask, Point> = HashMap::new();
+    // BTreeMap, not HashMap: the face list feeds refinement order, and
+    // masks are Ord, so sorted iteration keeps the search deterministic.
+    let mut faces: BTreeMap<Mask, Point> = BTreeMap::new();
     let anchor = &disks[ci as usize];
     for &w in witnesses {
         // Classification work is charged against the global budget.
@@ -310,6 +312,35 @@ mod tests {
     use super::*;
     use crate::measure::{CapacityMeasure, CountMeasure};
     use crate::oracle::signature;
+
+    /// Regression pin for face-table determinism: `face_table` used to
+    /// collect faces into a `HashMap`, and every `HashMap` instance
+    /// seeds its own hasher — so two calls *in the same process* could
+    /// explore faces in different orders and (under work-budget
+    /// truncation or influence ties) return different witnesses. The
+    /// `BTreeMap` face table must make repeated runs bitwise identical.
+    #[test]
+    fn repeated_runs_are_bitwise_identical() {
+        let disks: Vec<Circle> = (0..14)
+            .map(|i| {
+                let a = i as f64 * 0.45;
+                Circle::new(Point::new(a.cos(), a.sin()), 1.3)
+            })
+            .collect();
+        let arr = arr_from_disks(disks);
+        // A tight budget forces truncation, the regime where face
+        // order leaks into the answer.
+        let config = PruningConfig { max_nodes: 400, max_witnesses: 64 };
+        let (a, sa) = pruning_max_region(&arr, &CountMeasure, config);
+        let (b, sb) = pruning_max_region(&arr, &CountMeasure, config);
+        let a = a.expect("region found");
+        let b = b.expect("region found");
+        assert_eq!(a.rect.x_lo.to_bits(), b.rect.x_lo.to_bits());
+        assert_eq!(a.rect.y_lo.to_bits(), b.rect.y_lo.to_bits());
+        assert_eq!(a.influence.to_bits(), b.influence.to_bits());
+        assert_eq!(signature(&a.rnn), signature(&b.rnn));
+        assert_eq!(sa, sb);
+    }
 
     fn arr_from_disks(disks: Vec<Circle>) -> DiskArrangement {
         let owners = (0..disks.len() as u32).collect();

@@ -511,7 +511,7 @@ pub struct Preview {
 /// make one shared cache safe for many heat maps: the same `(zoom,
 /// tx, ty)` addresses geometrically different tiles under different
 /// schemes, so the scheme must be part of the key.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TileKey {
     /// Stable fingerprint of the NN-circle arrangement.
     pub arrangement: u64,
@@ -630,7 +630,9 @@ impl CacheInner {
 
 /// A single-flight ticket: one per `(shard, key)` render in progress.
 struct Flight {
+    // lint:lock-rank(44)
     state: Mutex<FlightState>,
+    // lint:lock-rank(44)
     cv: Condvar,
 }
 
@@ -670,7 +672,7 @@ impl Flight {
                 FlightState::Pending => match deadline {
                     None => state = self.cv.wait(state).unwrap_or_else(|e| e.into_inner()),
                     Some(d) => {
-                        let now = Instant::now();
+                        let now = rnnhm_core::clock::now();
                         if now >= d {
                             return WaitOutcome::TimedOut;
                         }
@@ -733,9 +735,11 @@ impl Drop for FlightGuard<'_> {
 }
 
 struct Shard {
+    // lint:lock-rank(42)
     inner: Mutex<CacheInner>,
     /// In-progress renders keyed by tile key. Lock order: `flights`
     /// before `inner`; never the reverse.
+    // lint:lock-rank(40)
     flights: Mutex<HashMap<TileKey, Arc<Flight>>>,
     capacity: usize,
 }
@@ -825,6 +829,7 @@ impl TileCache {
         &self.shards[(h % self.shards.len() as u64) as usize]
     }
 
+    // lint:returns-lock(inner)
     fn lock_inner(shard: &Shard) -> std::sync::MutexGuard<'_, CacheInner> {
         shard.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
@@ -1023,7 +1028,7 @@ impl TileCache {
     {
         let scheme_key = scheme.fingerprint();
         let key_of = |tile: TileId| TileKey { arrangement, measure, scheme: scheme_key, tile };
-        let expired = || deadline.is_some_and(|d| Instant::now() >= d);
+        let expired = || deadline.is_some_and(|d| rnnhm_core::clock::now() >= d);
         let mut out: Vec<Option<Arc<HeatRaster>>> =
             ids.iter().map(|&tile| self.get(key_of(tile))).collect();
         let mut leaders: Vec<(usize, Arc<Flight>)> = Vec::new();
@@ -1139,9 +1144,12 @@ impl TileCache {
         let mut moved: Vec<(u64, TileKey, Arc<HeatRaster>, usize)> = Vec::new();
         for shard in &self.shards {
             let mut inner = Self::lock_inner(shard);
+            // Walk the stamp-ordered LRU index, not the hash map: the
+            // listing order (and so eviction order after migration) must
+            // not depend on the per-process hasher seed.
             let affected: Vec<TileKey> = inner
-                .map
-                .keys()
+                .lru
+                .values()
                 .filter(|k| k.arrangement == old_arrangement && k.scheme == scheme_key)
                 .copied()
                 .collect();
@@ -1167,8 +1175,9 @@ impl TileCache {
             }
         }
         // Reinsert oldest first, approximately preserving relative
-        // recency across the (per-shard) clocks.
-        moved.sort_unstable_by_key(|&(stamp, ..)| stamp);
+        // recency across the (per-shard) clocks. Keyed by (stamp, key),
+        // a total order: per-shard clocks can collide across shards.
+        moved.sort_unstable_by_key(|&(stamp, key, ..)| (stamp, key));
         (invalidated, moved)
     }
 
@@ -2012,7 +2021,7 @@ mod tests {
             2,
             &s,
             v.tiles(),
-            Instant::now() - std::time::Duration::from_millis(1),
+            rnnhm_core::clock::now() - std::time::Duration::from_millis(1),
             |_, _| unreachable!("no render budget remains"),
         );
         assert!(out.is_none());
@@ -2035,7 +2044,7 @@ mod tests {
         let render = |id: TileId, spec: GridSpec| {
             HeatRaster::from_values(spec, vec![id.tx as f64; spec.width * spec.height])
         };
-        let deadline = Instant::now() + std::time::Duration::from_secs(60);
+        let deadline = rnnhm_core::clock::now() + std::time::Duration::from_secs(60);
         let bounded = cache
             .fetch_deadline(1, 2, &s, v.tiles(), deadline, render)
             .expect("a generous deadline completes");
@@ -2061,7 +2070,7 @@ mod tests {
             2,
             &s,
             v.tiles(),
-            Instant::now() + std::time::Duration::from_millis(10),
+            rnnhm_core::clock::now() + std::time::Duration::from_millis(10),
             |id, spec| {
                 std::thread::sleep(std::time::Duration::from_millis(20));
                 HeatRaster::from_values(spec, vec![id.tx as f64; spec.width * spec.height])

@@ -1,0 +1,65 @@
+//! Fixture: lock-order violations — unranked fields, unranked
+//! receivers, rank inversions (including via an annotated helper).
+//!
+//! Not compiled — consumed by `tests/fixtures.rs`.
+
+use std::sync::{Condvar, Mutex};
+
+struct Shared {
+    // lint:lock-rank(10)
+    config: Mutex<u32>,
+    // lint:lock-rank(20)
+    state: Mutex<u32>,
+    // lint:lock-rank(20)
+    state_cv: Condvar,
+    orphan: Mutex<u32>, //~ lock-order
+}
+
+fn inverted(s: &Shared) {
+    let st = s.state.lock();
+    let cfg = s.config.lock(); //~ lock-order
+    let _ = (st, cfg);
+}
+
+fn self_nested(s: &Shared) {
+    let a = s.state.lock();
+    let b = s.state.lock(); //~ lock-order
+    let _ = (a, b);
+}
+
+fn unranked_receiver(s: &Shared) {
+    s.orphan.lock(); //~ lock-order
+}
+
+// lint:returns-lock(state)
+fn lock_state(s: &Shared) -> std::sync::MutexGuard<'_, u32> {
+    s.state.lock()
+}
+
+fn helper_inversion(s: &Shared) {
+    let st = lock_state(s);
+    let cfg = s.config.lock(); //~ lock-order
+    let _ = (st, cfg);
+}
+
+fn ordered_is_fine(s: &Shared) {
+    let cfg = s.config.lock();
+    let st = s.state.lock();
+    let _ = (cfg, st);
+}
+
+fn scoped_release_is_fine(s: &Shared) {
+    {
+        let st = s.state.lock();
+        let _ = st;
+    }
+    let cfg = s.config.lock();
+    let _ = cfg;
+}
+
+fn drop_release_is_fine(s: &Shared) {
+    let st = s.state.lock();
+    drop(st);
+    let cfg = s.config.lock();
+    let _ = cfg;
+}

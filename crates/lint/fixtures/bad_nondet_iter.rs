@@ -1,0 +1,32 @@
+//! Fixture: order-sensitive iteration over hash containers.
+//!
+//! Not compiled — consumed by `tests/fixtures.rs`, which asserts the
+//! `nondet-iter` rule fires exactly on the `//~` marked lines.
+
+use std::collections::{HashMap, HashSet};
+
+struct Registry {
+    by_id: HashMap<u64, String>,
+}
+
+fn sum_lengths(reg: &Registry, extra: HashSet<u64>) -> usize {
+    let mut total = 0;
+    for v in reg.by_id.values() { //~ nondet-iter
+        total += v.len();
+    }
+    for id in &extra { //~ nondet-iter
+        total += *id as usize;
+    }
+    total
+}
+
+fn churn(map: &mut HashMap<u64, String>) {
+    map.drain(); //~ nondet-iter
+    map.retain(|_, v| v.is_empty()); //~ nondet-iter
+    let built = HashSet::new();
+    for s in built {} //~ nondet-iter
+}
+
+fn lookups_are_fine(map: &HashMap<u64, String>) -> Option<usize> {
+    map.get(&1).map(String::len)
+}

@@ -1,0 +1,36 @@
+//! Fixture: panic-isolation violations in the serve request path — an
+//! unprotected route dispatch plus unannotated panic sites.
+//!
+//! Not compiled — consumed by `tests/fixtures.rs`.
+
+struct Response;
+
+struct Request {
+    path: String,
+}
+
+fn handle(req: &Request) -> Response {
+    let first = req.path.bytes().next().unwrap(); //~ panic-path
+    let code: u16 = req.path.parse().expect("numeric path"); //~ panic-path
+    if code == u16::from(first) {
+        panic!("surprising request"); //~ panic-path
+    }
+    let bytes = req.path.as_bytes();
+    let b0 = bytes[0]; //~ panic-path
+    let _ = b0;
+    unreachable!(); //~ panic-path
+}
+
+fn worker(req: &Request) {
+    let resp = handle(req); //~ panic-path
+    let _ = resp;
+}
+
+fn protected_worker(req: &Request) {
+    let resp = std::panic::catch_unwind(|| handle(req));
+    let _ = resp;
+}
+
+fn bounded_access_is_fine(req: &Request) -> u8 {
+    req.path.as_bytes().first().copied().unwrap_or(0)
+}

@@ -1,0 +1,35 @@
+//! Fixture: annotation hygiene — stale allows, missing reasons,
+//! unknown rules, detached rank/returns-lock annotations, and
+//! malformed annotations are all errors.
+//!
+//! Not compiled — consumed by `tests/fixtures.rs`.
+
+use std::collections::HashMap;
+
+fn stale(map: &HashMap<u64, u64>) -> Option<u64> {
+    // lint:allow(nondet-iter): suppresses nothing; get is a point lookup
+    //~^ hygiene
+    map.get(&7).copied()
+}
+
+fn missing_reason() {
+    // lint:allow(wall-clock):
+    //~^ hygiene
+}
+
+fn unknown_rule() {
+    // lint:allow(no-such-rule): not a rule id at all
+    //~^ hygiene
+}
+
+// lint:lock-rank(15)
+//~^ hygiene
+fn not_a_lock_field() {}
+
+// lint:returns-lock(phantom)
+//~^ hygiene
+fn no_such_lock() {}
+
+// lint:wibble(3)
+//~^ hygiene
+fn malformed_annotation() {}

@@ -1,0 +1,15 @@
+//! Fixture: wall-clock reads and `f32` arithmetic in a pinned crate.
+//!
+//! Not compiled — consumed by `tests/fixtures.rs`.
+
+fn measure_render(pixels: &[f64]) -> f64 {
+    let start = std::time::Instant::now(); //~ wall-clock
+    let wall = SystemTime::now(); //~ wall-clock
+    let lossy: f32 = 0.25; //~ float32
+    let _ = (start, wall);
+    lossy as f64 + pixels.len() as f64
+}
+
+fn deadline_types_are_fine(deadline: std::time::Instant) -> bool {
+    deadline.elapsed().is_zero()
+}

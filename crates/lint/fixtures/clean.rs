@@ -1,0 +1,73 @@
+//! Fixture: a clean file. Every rule family is exercised — ranked
+//! locks acquired in order, sorted iteration, a load-bearing allow,
+//! `catch_unwind`-protected dispatch, test-module exemptions — and
+//! nothing may fire.
+//!
+//! Not compiled — consumed by `tests/fixtures.rs`.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Mutex;
+
+struct Response;
+
+struct Request {
+    path: String,
+}
+
+struct Shared {
+    // lint:lock-rank(10)
+    config: Mutex<u32>,
+    // lint:lock-rank(20)
+    state: Mutex<u32>,
+}
+
+fn ordered(s: &Shared) {
+    let cfg = s.config.lock();
+    let st = s.state.lock();
+    let _ = (cfg, st);
+}
+
+fn scoped_then_lower(s: &Shared) {
+    {
+        let st = s.state.lock();
+        let _ = st;
+    }
+    let cfg = s.config.lock();
+    let _ = cfg;
+}
+
+fn sorted_iteration(map: &BTreeMap<u64, u64>, hashed: &HashMap<u64, u64>) -> u64 {
+    let mut total = 0;
+    for (_, v) in map {
+        total += v;
+    }
+    total += hashed.get(&1).copied().unwrap_or(0);
+    // lint:allow(nondet-iter): summed into a commutative total; order cannot affect it
+    total + hashed.values().sum::<u64>()
+}
+
+fn handle(req: &Request) -> Response {
+    let _ = req.path.len();
+    Response
+}
+
+fn worker(req: &Request) {
+    let resp = std::panic::catch_unwind(|| handle(req));
+    let _ = resp;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn tests_iterate_and_time_freely(table: HashMap<u64, u64>) {
+        let started = std::time::Instant::now();
+        for x in &table {
+            let _ = x;
+        }
+        let half: f32 = 0.5;
+        assert!(table.get(&0).copied().unwrap() != u64::from(half as u8));
+        let _ = started;
+    }
+}

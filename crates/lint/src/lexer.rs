@@ -1,0 +1,454 @@
+//! A comment- and string-aware Rust lexer, just deep enough for
+//! invariant linting.
+//!
+//! The lexer does **not** parse Rust; it produces a token stream of
+//! identifiers, punctuation, and opaque literals with line numbers,
+//! while correctly skipping the places naive text search goes wrong:
+//! line comments, nested block comments, string / raw-string / byte /
+//! char literals, and lifetimes (`'a` is not an unterminated char).
+//! Comments are not discarded entirely — `lint:` annotations and `//~`
+//! fixture expectations are extracted as structured side channels.
+
+/// One lexical token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`for`, `fn`, `HashMap`, …).
+    Ident(String),
+    /// Single punctuation character (`.`, `:`, `{`, …).
+    Punct(char),
+    /// Any literal (string, char, number); contents are opaque except
+    /// for integer literals, whose text is kept for index checking.
+    Lit(String),
+    /// A lifetime such as `'a` (kept distinct so `'` handling is
+    /// explicit in tests).
+    Lifetime,
+}
+
+/// A token plus its source line.
+#[derive(Debug, Clone)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+/// A `lint:` annotation found in a comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Annotation {
+    /// `// lint:allow(rule): reason` — suppress rule findings on this
+    /// or the next code line. An empty reason is a hygiene error.
+    Allow {
+        /// The rule id being suppressed.
+        rule: String,
+        /// The written justification (may be empty — hygiene checks it).
+        reason: String,
+    },
+    /// `// lint:lock-rank(N)` — declares the acquisition rank of the
+    /// Mutex/RwLock/Condvar field on this or the next code line.
+    LockRank {
+        /// The declared rank (lower = acquired earlier).
+        rank: u32,
+    },
+    /// `// lint:returns-lock(field)` — the function declared on or
+    /// below this line returns a guard of the named ranked lock, so
+    /// calls to it count as acquisitions.
+    ReturnsLock {
+        /// The ranked field whose guard the function returns.
+        field: String,
+    },
+    /// Malformed `lint:` comment (unparseable) — always an error.
+    Malformed {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+/// An annotation with the line of the comment it came from.
+#[derive(Debug, Clone)]
+pub struct SpannedAnnotation {
+    /// The parsed annotation.
+    pub ann: Annotation,
+    /// 1-based line of the comment.
+    pub line: u32,
+}
+
+/// A `//~ rule` fixture expectation: the named rule must fire on this
+/// line. Used only by the self-test fixture harness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Expectation {
+    /// The rule expected to fire.
+    pub rule: String,
+    /// 1-based line it must fire on.
+    pub line: u32,
+}
+
+/// The lexed form of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The token stream (comments and whitespace removed).
+    pub tokens: Vec<Spanned>,
+    /// All `lint:` annotations, in source order.
+    pub annotations: Vec<SpannedAnnotation>,
+    /// All `//~` fixture expectations, in source order.
+    pub expectations: Vec<Expectation>,
+}
+
+/// Lexes `src` into tokens, annotations, and fixture expectations.
+pub fn lex(src: &str) -> Lexed {
+    let mut out = Lexed::default();
+    let b = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                scan_comment(&src[start..i], line, &mut out);
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                // Nested block comments; annotations inside are ignored
+                // on purpose (only `//` annotations are recognized, so
+                // an annotation can't hide in a commented-out region).
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                i = skip_string(b, i, &mut line);
+                out.tokens.push(Spanned { tok: Tok::Lit(String::new()), line });
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(b, i) => {
+                i = skip_raw_or_byte_string(b, i, &mut line);
+                out.tokens.push(Spanned { tok: Tok::Lit(String::new()), line });
+            }
+            b'\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                if is_lifetime(b, i) {
+                    i += 1;
+                    while i < b.len() && is_ident_char(b[i]) {
+                        i += 1;
+                    }
+                    out.tokens.push(Spanned { tok: Tok::Lifetime, line });
+                } else {
+                    i += 1;
+                    if i < b.len() && b[i] == b'\\' {
+                        i += 2;
+                        while i < b.len() && b[i] != b'\'' {
+                            i += 1;
+                        }
+                    } else if i < b.len() {
+                        i += 1;
+                    }
+                    if i < b.len() && b[i] == b'\'' {
+                        i += 1;
+                    }
+                    out.tokens.push(Spanned { tok: Tok::Lit(String::new()), line });
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len() && (is_ident_char(b[i]) || b[i] == b'.') {
+                    // `0..10` range: stop the numeric literal at `..`.
+                    if b[i] == b'.' && b.get(i + 1) == Some(&b'.') {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.tokens.push(Spanned { tok: Tok::Lit(src[start..i].to_string()), line });
+            }
+            _ if is_ident_start(c) => {
+                let start = i;
+                while i < b.len() && is_ident_char(b[i]) {
+                    i += 1;
+                }
+                out.tokens.push(Spanned { tok: Tok::Ident(src[start..i].to_string()), line });
+            }
+            _ => {
+                out.tokens.push(Spanned { tok: Tok::Punct(c as char), line });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+/// `'a` is a lifetime unless it closes as a char literal: a `'`
+/// followed by an identifier char is a lifetime iff the char after the
+/// identifier run is not `'`.
+fn is_lifetime(b: &[u8], i: usize) -> bool {
+    let Some(&first) = b.get(i + 1) else { return false };
+    if !is_ident_start(first) {
+        return false;
+    }
+    let mut j = i + 1;
+    while j < b.len() && is_ident_char(b[j]) {
+        j += 1;
+    }
+    b.get(j) != Some(&b'\'')
+}
+
+fn starts_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    match b[i] {
+        b'r' => matches!(b.get(i + 1), Some(b'"') | Some(b'#')),
+        b'b' => match b.get(i + 1) {
+            Some(b'"') => true,
+            Some(b'r') => matches!(b.get(i + 2), Some(b'"') | Some(b'#')),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Skips a plain `"…"` string (escape-aware), returning the index past
+/// the closing quote.
+fn skip_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            // An escape consumes the next byte — which may itself be a
+            // newline (`\` line continuation), and those still count.
+            b'\\' => {
+                if b.get(i + 1) == Some(&b'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` forms.
+fn skip_raw_or_byte_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    if b[i] == b'b' {
+        i += 1;
+    }
+    if i < b.len() && b[i] == b'r' {
+        i += 1;
+        let mut hashes = 0usize;
+        while i < b.len() && b[i] == b'#' {
+            hashes += 1;
+            i += 1;
+        }
+        if i < b.len() && b[i] == b'"' {
+            i += 1;
+            // Scan for `"` followed by `hashes` `#`s.
+            while i < b.len() {
+                if b[i] == b'\n' {
+                    *line += 1;
+                    i += 1;
+                } else if b[i] == b'"'
+                    && b[i + 1..].iter().take_while(|&&c| c == b'#').count() >= hashes
+                {
+                    return i + 1 + hashes;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        i
+    } else {
+        // b"…"
+        skip_string(b, i, line)
+    }
+}
+
+/// Parses a `//` comment for `lint:` annotations and `//~`
+/// expectations. Annotations must start the comment (`// lint:…`), so
+/// doc comments and prose that merely *mention* the grammar — like
+/// this crate's own documentation — are not parsed as annotations.
+fn scan_comment(text: &str, line: u32, out: &mut Lexed) {
+    if let Some(rest) = text.strip_prefix("//~") {
+        // `//~ rule` expects a finding on this line; `//~^ rule` on the
+        // line above (for findings that land on full-line comments,
+        // like hygiene errors on annotations).
+        let (rest, target) = match rest.strip_prefix('^') {
+            Some(r) => (r, line.saturating_sub(1)),
+            None => (rest, line),
+        };
+        let rule = rest.split_whitespace().next().unwrap_or("").to_string();
+        if !rule.is_empty() {
+            out.expectations.push(Expectation { rule, line: target });
+        }
+        return;
+    }
+    // `text` always begins with `//`; a third `/` or `!` is a doc
+    // comment, which never carries annotations.
+    let body = &text[2..];
+    if body.starts_with('/') || body.starts_with('!') {
+        return;
+    }
+    let Some(rest) = body.trim_start().strip_prefix("lint:") else { return };
+    let ann = parse_annotation(rest);
+    out.annotations.push(SpannedAnnotation { ann, line });
+}
+
+/// Parses the text after `lint:` into an [`Annotation`].
+fn parse_annotation(rest: &str) -> Annotation {
+    let malformed = |message: &str| Annotation::Malformed { message: message.to_string() };
+    let Some(open) = rest.find('(') else {
+        return malformed("expected `kind(arg)` after `lint:`");
+    };
+    let kind = rest[..open].trim();
+    let Some(close) = rest[open..].find(')') else {
+        return malformed("unclosed `(` in lint annotation");
+    };
+    let arg = rest[open + 1..open + close].trim();
+    let tail = rest[open + close + 1..].trim_start();
+    match kind {
+        "allow" => {
+            let reason = match tail.strip_prefix(':') {
+                Some(r) => r.trim().to_string(),
+                None => String::new(),
+            };
+            Annotation::Allow { rule: arg.to_string(), reason }
+        }
+        "lock-rank" => match arg.parse::<u32>() {
+            Ok(rank) => Annotation::LockRank { rank },
+            Err(_) => malformed("lock-rank argument must be an integer"),
+        },
+        "returns-lock" => {
+            if arg.is_empty() {
+                malformed("returns-lock needs a field name")
+            } else {
+                Annotation::ReturnsLock { field: arg.to_string() }
+            }
+        }
+        other => Annotation::Malformed { message: format!("unknown lint annotation `{other}`") },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|s| match s.tok {
+                Tok::Ident(i) => Some(i),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_skipped() {
+        let src = r##"
+            // HashMap in a comment
+            /* HashMap /* nested */ still comment */
+            let s = "HashMap::new()";
+            let r = r#"HashMap "quoted" here"#;
+            let real = HashMap::new();
+        "##;
+        let ids = idents(src);
+        assert_eq!(ids.iter().filter(|i| *i == "HashMap").count(), 1);
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let lexed = lex(src);
+        let lifetimes = lexed.tokens.iter().filter(|t| t.tok == Tok::Lifetime).count();
+        assert_eq!(lifetimes, 2);
+        // The char literal 'x' must not swallow the rest of the file.
+        assert!(idents(src).contains(&"str".to_string()));
+    }
+
+    #[test]
+    fn annotations_parse() {
+        let src = "\n// lint:allow(nondet-iter): sorted right after\nx();\n// lint:lock-rank(40)\n// lint:returns-lock(inner)\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.annotations.len(), 3);
+        assert_eq!(
+            lexed.annotations[0].ann,
+            Annotation::Allow { rule: "nondet-iter".into(), reason: "sorted right after".into() }
+        );
+        assert_eq!(lexed.annotations[0].line, 2);
+        assert_eq!(lexed.annotations[1].ann, Annotation::LockRank { rank: 40 });
+        assert_eq!(lexed.annotations[2].ann, Annotation::ReturnsLock { field: "inner".into() });
+    }
+
+    #[test]
+    fn allow_without_reason_is_captured_empty() {
+        let lexed = lex("// lint:allow(wall-clock)\n");
+        assert_eq!(
+            lexed.annotations[0].ann,
+            Annotation::Allow { rule: "wall-clock".into(), reason: String::new() }
+        );
+    }
+
+    #[test]
+    fn expectations_parse() {
+        let lexed = lex("let x = m.iter(); //~ nondet-iter\n");
+        assert_eq!(lexed.expectations, vec![Expectation { rule: "nondet-iter".into(), line: 1 }]);
+    }
+
+    #[test]
+    fn caret_expectations_point_at_previous_line() {
+        let lexed = lex("// lint:lock-rank(5)\n//~^ hygiene\n");
+        assert_eq!(lexed.expectations, vec![Expectation { rule: "hygiene".into(), line: 1 }]);
+    }
+
+    #[test]
+    fn line_numbers_survive_escaped_newline_continuations() {
+        let src = "let s = \"a\\\nb\\\nc\";\nlet after = 1;";
+        let lexed = lex(src);
+        let after = lexed
+            .tokens
+            .iter()
+            .find(|t| t.tok == Tok::Ident("after".into()))
+            .expect("token present");
+        assert_eq!(after.line, 4);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings() {
+        let src = "let s = \"a\nb\nc\";\nlet after = 1;";
+        let lexed = lex(src);
+        let after = lexed
+            .tokens
+            .iter()
+            .find(|t| t.tok == Tok::Ident("after".into()))
+            .expect("token present");
+        assert_eq!(after.line, 4);
+    }
+}

@@ -1,0 +1,500 @@
+//! `rnnhm_lint` — the workspace invariant linter.
+//!
+//! The bitwise-pinned oracles in this repo (scanline vs per-pixel,
+//! edits vs rebuild, sharded vs unsharded) only stay meaningful while
+//! three conventions hold everywhere: no order-sensitive iteration
+//! over hash containers in pinned crates, a total acquisition order
+//! over every mutex, and panic isolation around every serve route.
+//! This crate turns those conventions into a CI gate.
+//!
+//! It is deliberately zero-dependency lexical analysis (see
+//! [`lexer`]): no type resolution, no macro expansion. Each rule
+//! documents its approximation; escape hatches are explicit
+//! annotations that must cite a reason and must stay load-bearing
+//! (a stale allow is itself an error).
+//!
+//! Annotation grammar (always in a `//` comment):
+//!
+//! * `lint:allow(<rule>): <reason>` — suppress a finding of `<rule>`
+//!   on the same line or the line below.
+//! * `lint:lock-rank(<n>)` — declare the acquisition rank of the
+//!   `Mutex`/`RwLock`/`Condvar` field on this or the next line.
+//!   Lower ranks are acquired first; nested acquisitions must
+//!   strictly increase.
+//! * `lint:returns-lock(<field>)` — the next `fn` returns a guard of
+//!   the ranked field `<field>`; calls to it count as acquisitions.
+//!
+//! Rule ids: `nondet-iter`, `wall-clock`, `float32`, `lock-order`,
+//! `panic-path`, `hygiene` (hygiene findings cannot be allowed away).
+
+pub mod lexer;
+pub mod rules;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use lexer::{Annotation, Lexed};
+use rules::{Finding, LockTable, Scope};
+
+/// A finding with its file attached, ready to print.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Path relative to the workspace root (or the fixture file).
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: u32,
+    /// Stable rule id.
+    pub rule: &'static str,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file.display(), self.line, self.rule, self.message)
+    }
+}
+
+/// Rule ids a `lint:allow` may name.
+const ALLOWABLE: &[&str] = &["nondet-iter", "wall-clock", "float32", "lock-order", "panic-path"];
+
+/// Crates whose output is pinned bitwise: hash iteration order,
+/// wall-clock reads, and f32 arithmetic are forbidden here.
+const DETERMINISM_PREFIXES: &[&str] =
+    &["crates/core/src", "crates/geom/src", "crates/index/src", "crates/heatmap/src"];
+
+struct SourceFile {
+    rel: PathBuf,
+    lexed: Lexed,
+    scope: Scope,
+    /// Test-module token spans (exempt from determinism and panic
+    /// rules — tests unwrap and iterate freely).
+    skip: Vec<(usize, usize)>,
+    /// Which annotations have matched something (parallel to
+    /// `lexed.annotations`); unmatched allows are stale.
+    used: Vec<bool>,
+}
+
+fn scope_for(rel: &Path) -> Scope {
+    let s = rel.to_string_lossy().replace('\\', "/");
+    Scope {
+        determinism: DETERMINISM_PREFIXES.iter().any(|p| s.starts_with(p)),
+        panic_isolation: s.starts_with("crates/serve/src")
+            && !s.starts_with("crates/serve/src/bin"),
+        dispatch: s == "crates/serve/src/server.rs",
+    }
+}
+
+/// Walks one `src/` tree collecting `.rs` files, sorted for stable
+/// diagnostic order.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            collect_rs(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Finds the workspace root by walking up from `start` to a directory
+/// whose `Cargo.toml` contains a `[workspace]` table.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Lints the whole workspace rooted at `root`. Scans `src/` and every
+/// `crates/*/src/` tree; `vendor/` (stubbed third-party code),
+/// `tests/`, `examples/`, and the lint fixtures are out of scope —
+/// the rules encode *library* invariants, and test/bench harnesses
+/// unwrap and time things by design (clippy's `disallowed-methods`
+/// still covers wall-clock use there).
+pub fn lint_workspace(root: &Path) -> Vec<Diagnostic> {
+    let mut files = Vec::new();
+    collect_rs(&root.join("src"), &mut files);
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        let mut crates: Vec<PathBuf> = entries.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+        crates.sort();
+        for c in crates {
+            collect_rs(&c.join("src"), &mut files);
+        }
+    }
+    let sources: Vec<SourceFile> = files
+        .iter()
+        .filter_map(|p| {
+            let rel = p.strip_prefix(root).unwrap_or(p).to_path_buf();
+            let text = std::fs::read_to_string(p).ok()?;
+            Some(load(rel, &text, scope_for))
+        })
+        .collect();
+    run(sources)
+}
+
+/// Lints a single fixture file with every rule family enabled
+/// (fixtures simulate all scopes at once). Returns the diagnostics
+/// and the `//~ rule` expectations the fixture declares.
+pub fn lint_fixture(path: &Path) -> (Vec<Diagnostic>, Vec<lexer::Expectation>) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("read fixture {}: {e}", path.display()));
+    let all = |_: &Path| Scope { determinism: true, panic_isolation: true, dispatch: true };
+    let source = load(path.to_path_buf(), &text, all);
+    let expectations = source.lexed.expectations.clone();
+    (run(vec![source]), expectations)
+}
+
+fn load(rel: PathBuf, text: &str, scope: impl Fn(&Path) -> Scope) -> SourceFile {
+    let lexed = lexer::lex(text);
+    let skip = rules::test_mod_spans(&lexed);
+    let used = vec![false; lexed.annotations.len()];
+    let scope = scope(&rel);
+    SourceFile { rel, lexed, scope, skip, used }
+}
+
+/// The engine: global lock-table pass, per-file rule passes,
+/// allow-suppression, then annotation hygiene.
+fn run(mut sources: Vec<SourceFile>) -> Vec<Diagnostic> {
+    let mut out: Vec<Diagnostic> = Vec::new();
+
+    // Pass A: build the workspace-global lock table from ranked field
+    // declarations, flagging unranked lock fields as we go.
+    let mut table = LockTable { fields: Vec::new(), fns: Vec::new() };
+    for src in &mut sources {
+        for (name, line, kind) in rules::lock_fields(&src.lexed) {
+            let rank = src.lexed.annotations.iter().enumerate().find_map(|(ai, a)| match &a.ann {
+                Annotation::LockRank { rank } if a.line == line || a.line + 1 == line => {
+                    Some((ai, *rank))
+                }
+                _ => None,
+            });
+            match rank {
+                Some((ai, rank)) => {
+                    src.used[ai] = true;
+                    if let Some(prev) = table.fields.iter().find(|(n, r)| n == &name && *r != rank)
+                    {
+                        out.push(Diagnostic {
+                            file: src.rel.clone(),
+                            line,
+                            rule: "hygiene",
+                            message: format!(
+                                "lock field `{name}` ranked {rank} here but {} elsewhere; \
+                                 ranks form one workspace-global order, so same-named locks \
+                                 must agree",
+                                prev.1
+                            ),
+                        });
+                    } else {
+                        table.fields.push((name, rank));
+                    }
+                }
+                None => out.push(Diagnostic {
+                    file: src.rel.clone(),
+                    line,
+                    rule: "lock-order",
+                    message: format!(
+                        "{kind} field `{name}` has no `lint:lock-rank(N)` annotation; every \
+                         lock must have a place in the global acquisition order"
+                    ),
+                }),
+            }
+        }
+    }
+    // Pass A2: `returns-lock` helpers (needs the full field table).
+    for src in &mut sources {
+        for (ai, a) in src.lexed.annotations.iter().enumerate() {
+            let Annotation::ReturnsLock { field } = &a.ann else { continue };
+            src.used[ai] = true; // consumed here either way; errors surface below
+            let Some(rank) = table.field_rank_pub(field) else {
+                out.push(Diagnostic {
+                    file: src.rel.clone(),
+                    line: a.line,
+                    rule: "hygiene",
+                    message: format!(
+                        "`lint:returns-lock({field})`: no ranked lock field named `{field}` \
+                         exists in the workspace"
+                    ),
+                });
+                continue;
+            };
+            match next_fn_name(&src.lexed, a.line) {
+                Some(fn_name) => table.fns.push((fn_name, rank)),
+                None => out.push(Diagnostic {
+                    file: src.rel.clone(),
+                    line: a.line,
+                    rule: "hygiene",
+                    message: "`lint:returns-lock` must precede a `fn` item".into(),
+                }),
+            }
+        }
+    }
+
+    // Pass B: per-file rules.
+    for src in &sources {
+        let mut findings: Vec<Finding> = Vec::new();
+        if src.scope.determinism {
+            findings.extend(rules::determinism(&src.lexed, &src.skip));
+        }
+        findings.extend(rules::lock_order(&src.lexed, &table, &src.skip));
+        if src.scope.panic_isolation {
+            findings.extend(rules::panic_isolation(&src.lexed, src.scope, &src.skip));
+        }
+        for f in findings {
+            out.push(Diagnostic {
+                file: src.rel.clone(),
+                line: f.line,
+                rule: f.rule,
+                message: f.message,
+            });
+        }
+    }
+
+    // Suppression: a finding is allowed by a matching `lint:allow` on
+    // its own line or the line directly above.
+    for src in &mut sources {
+        let rel = src.rel.clone();
+        out.retain(|d| {
+            if d.file != rel {
+                return true;
+            }
+            let mut suppressed = false;
+            for (ai, a) in src.lexed.annotations.iter().enumerate() {
+                if let Annotation::Allow { rule, .. } = &a.ann {
+                    if rule == d.rule && (a.line == d.line || a.line + 1 == d.line) {
+                        src.used[ai] = true;
+                        suppressed = true;
+                    }
+                }
+            }
+            !suppressed
+        });
+    }
+
+    // Hygiene: malformed annotations, reason-less or unknown-rule
+    // allows, and stale allows that no longer match a finding.
+    for src in &sources {
+        for (ai, a) in src.lexed.annotations.iter().enumerate() {
+            let d = |message: String| Diagnostic {
+                file: src.rel.clone(),
+                line: a.line,
+                rule: "hygiene",
+                message,
+            };
+            match &a.ann {
+                Annotation::Malformed { message } => {
+                    out.push(d(format!("malformed lint annotation: {message}")));
+                }
+                Annotation::Allow { rule, reason } => {
+                    if !ALLOWABLE.contains(&rule.as_str()) {
+                        out.push(d(format!(
+                            "`lint:allow({rule})`: unknown rule id (known: {})",
+                            ALLOWABLE.join(", ")
+                        )));
+                    } else if reason.trim().is_empty() {
+                        out.push(d(format!(
+                            "`lint:allow({rule})` without a reason; write \
+                             `lint:allow({rule}): <why this is sound>`"
+                        )));
+                    } else if !src.used[ai] {
+                        out.push(d(format!(
+                            "stale `lint:allow({rule})`: no `{rule}` finding on this or the \
+                             next line — the allow is not load-bearing, delete it"
+                        )));
+                    }
+                }
+                Annotation::LockRank { rank } => {
+                    if !src.used[ai] {
+                        out.push(d(format!(
+                            "`lint:lock-rank({rank})` is not attached to a Mutex/RwLock/\
+                             Condvar field declaration on this or the next line"
+                        )));
+                    }
+                }
+                Annotation::ReturnsLock { .. } => {} // consumed in pass A2
+            }
+        }
+    }
+
+    out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    out
+}
+
+impl LockTable {
+    fn field_rank_pub(&self, name: &str) -> Option<u32> {
+        self.fields.iter().find(|(n, _)| n == name).map(|&(_, r)| r)
+    }
+}
+
+/// Name of the first `fn` item at or after `line`.
+fn next_fn_name(lexed: &Lexed, line: u32) -> Option<String> {
+    let t = &lexed.tokens;
+    for i in 0..t.len() {
+        if t[i].line < line {
+            continue;
+        }
+        if let lexer::Tok::Ident(w) = &t[i].tok {
+            if w == "fn" {
+                if let Some(lexer::Tok::Ident(name)) = t.get(i + 1).map(|s| &s.tok) {
+                    return Some(name.clone());
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture_scope(_: &Path) -> Scope {
+        Scope { determinism: true, panic_isolation: true, dispatch: true }
+    }
+
+    fn lint_str(src: &str) -> Vec<Diagnostic> {
+        run(vec![load(PathBuf::from("mem.rs"), src, fixture_scope)])
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses_and_is_used() {
+        let src = "
+            fn f(map: HashMap<K, V>) {
+                // lint:allow(nondet-iter): results are re-sorted by the caller
+                for x in &map {}
+            }
+        ";
+        assert!(lint_str(src).is_empty(), "{:?}", lint_str(src));
+    }
+
+    #[test]
+    fn allow_without_reason_is_hygiene_error() {
+        let src = "
+            fn f(map: HashMap<K, V>) {
+                // lint:allow(nondet-iter):
+                for x in &map {}
+            }
+        ";
+        let d = lint_str(src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "hygiene");
+        assert!(d[0].message.contains("without a reason"));
+    }
+
+    #[test]
+    fn stale_allow_is_hygiene_error() {
+        let src = "
+            fn f(map: BTreeMap<K, V>) {
+                // lint:allow(nondet-iter): sorted container, order is fixed
+                for x in &map {}
+            }
+        ";
+        let d = lint_str(src);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("stale"));
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_is_hygiene_error() {
+        let src = "// lint:allow(no-such-rule): whatever\nfn f() {}";
+        let d = lint_str(src);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("unknown rule id"));
+    }
+
+    #[test]
+    fn lock_rank_must_attach_to_a_field() {
+        let src = "// lint:lock-rank(10)\nfn f() {}";
+        let d = lint_str(src);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("not attached"));
+    }
+
+    #[test]
+    fn unranked_lock_field_is_flagged() {
+        let src = "struct S { inner: Mutex<u32> }";
+        let d = lint_str(src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "lock-order");
+        assert!(d[0].message.contains("no `lint:lock-rank"));
+    }
+
+    #[test]
+    fn ranked_fields_and_ordered_acquisition_pass() {
+        let src = "
+            struct S {
+                // lint:lock-rank(10)
+                outer: Mutex<u32>,
+                // lint:lock-rank(20)
+                inner: Mutex<u32>,
+            }
+            fn f(s: &S) {
+                let a = s.outer.lock();
+                let b = s.inner.lock();
+            }
+        ";
+        assert!(lint_str(src).is_empty(), "{:?}", lint_str(src));
+    }
+
+    #[test]
+    fn returns_lock_helper_participates_in_ordering() {
+        let src = "
+            struct S {
+                // lint:lock-rank(10)
+                outer: Mutex<u32>,
+                // lint:lock-rank(20)
+                inner: Mutex<u32>,
+            }
+            // lint:returns-lock(inner)
+            fn lock_inner(s: &S) -> MutexGuard<u32> { s.inner.lock() }
+            fn bad(s: &S) {
+                let b = lock_inner(s);
+                let a = s.outer.lock();
+            }
+        ";
+        let d = lint_str(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "lock-order");
+        assert!(d[0].message.contains("inversion"));
+    }
+
+    #[test]
+    fn returns_lock_on_unknown_field_is_hygiene_error() {
+        let src = "// lint:returns-lock(ghost)\nfn f() {}";
+        let d = lint_str(src);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("no ranked lock field"));
+    }
+
+    #[test]
+    fn conflicting_ranks_across_files_are_flagged() {
+        let a = "
+            struct A {
+                // lint:lock-rank(10)
+                shared: Mutex<u32>,
+            }
+        ";
+        let b = "
+            struct B {
+                // lint:lock-rank(20)
+                shared: Mutex<u32>,
+            }
+        ";
+        let d = run(vec![
+            load(PathBuf::from("a.rs"), a, fixture_scope),
+            load(PathBuf::from("b.rs"), b, fixture_scope),
+        ]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("must agree"));
+    }
+}

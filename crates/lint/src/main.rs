@@ -1,0 +1,38 @@
+//! CLI for `rnnhm_lint`.
+//!
+//! * `cargo run -p rnnhm_lint` — lint the workspace (root found by
+//!   walking up to a `[workspace]` manifest). Exit 1 on any finding.
+//! * `cargo run -p rnnhm_lint -- <file.rs> …` — lint specific files in
+//!   fixture mode (all rule families enabled regardless of path).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let diagnostics = if args.is_empty() {
+        let start = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+        let Some(root) = rnnhm_lint::find_workspace_root(&start) else {
+            eprintln!("rnnhm_lint: no [workspace] Cargo.toml above {}", start.display());
+            return ExitCode::from(2);
+        };
+        rnnhm_lint::lint_workspace(&root)
+    } else {
+        let mut all = Vec::new();
+        for arg in &args {
+            let (d, _expectations) = rnnhm_lint::lint_fixture(Path::new(arg));
+            all.extend(d);
+        }
+        all
+    };
+    for d in &diagnostics {
+        println!("{d}");
+    }
+    if diagnostics.is_empty() {
+        println!("rnnhm_lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        println!("rnnhm_lint: {} finding(s)", diagnostics.len());
+        ExitCode::FAILURE
+    }
+}

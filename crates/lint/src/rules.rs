@@ -1,0 +1,925 @@
+//! The four rule families over the lexed token stream.
+//!
+//! Everything here is *lexical* static analysis: no type inference, no
+//! name resolution. The rules trade completeness for zero dependencies
+//! and total predictability — each one documents the approximation it
+//! makes. Function calls are opaque except for helpers explicitly
+//! annotated `lint:returns-lock(field)`.
+
+use crate::lexer::{Lexed, Spanned, Tok};
+
+/// One diagnostic, before allow-suppression.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Stable rule id (what `lint:allow(...)` names).
+    pub rule: &'static str,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Which rule families apply to one file (decided from its workspace
+/// path; fixture mode turns everything on).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Scope {
+    /// Determinism family: nondet-iter, wall-clock, float32.
+    pub determinism: bool,
+    /// Panic-isolation family (serve request path).
+    pub panic_isolation: bool,
+    /// Whether this file hosts route dispatch (the
+    /// reachable-only-under-`catch_unwind` check).
+    pub dispatch: bool,
+}
+
+/// A ranked lock: field name → acquisition rank (lower = outer).
+#[derive(Debug, Clone)]
+pub struct LockTable {
+    /// `(field, rank)` pairs; names are workspace-unique.
+    pub fields: Vec<(String, u32)>,
+    /// Guard-returning helper fns: `(fn name, rank of returned guard)`.
+    pub fns: Vec<(String, u32)>,
+}
+
+impl LockTable {
+    fn field_rank(&self, name: &str) -> Option<u32> {
+        self.fields.iter().find(|(n, _)| n == name).map(|&(_, r)| r)
+    }
+    fn fn_rank(&self, name: &str) -> Option<u32> {
+        self.fns.iter().find(|(n, _)| n == name).map(|&(_, r)| r)
+    }
+}
+
+fn ident(t: Option<&Spanned>) -> Option<&str> {
+    match t {
+        Some(Spanned { tok: Tok::Ident(s), .. }) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn punct(t: Option<&Spanned>) -> Option<char> {
+    match t {
+        Some(Spanned { tok: Tok::Punct(c), .. }) => Some(*c),
+        _ => None,
+    }
+}
+
+/// Token-index ranges of `#[cfg(test)] mod … { … }` bodies: test code
+/// may iterate hash maps and unwrap freely.
+pub fn test_mod_spans(lexed: &Lexed) -> Vec<(usize, usize)> {
+    let t = &lexed.tokens;
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i + 6 < t.len() {
+        let is_cfg_test = punct(t.get(i)) == Some('#')
+            && punct(t.get(i + 1)) == Some('[')
+            && ident(t.get(i + 2)) == Some("cfg")
+            && punct(t.get(i + 3)) == Some('(')
+            && ident(t.get(i + 4)) == Some("test")
+            && punct(t.get(i + 5)) == Some(')')
+            && punct(t.get(i + 6)) == Some(']');
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        // Skip any further attributes, then require `mod name {`.
+        let mut j = i + 7;
+        while punct(t.get(j)) == Some('#') && punct(t.get(j + 1)) == Some('[') {
+            let mut depth = 0usize;
+            while j < t.len() {
+                match punct(t.get(j)) {
+                    Some('[') => depth += 1,
+                    Some(']') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            j += 1;
+        }
+        if ident(t.get(j)) == Some("mod") {
+            // `mod name {` (not `mod name;`).
+            let mut k = j + 2;
+            while k < t.len() && punct(t.get(k)) != Some('{') && punct(t.get(k)) != Some(';') {
+                k += 1;
+            }
+            if punct(t.get(k)) == Some('{') {
+                let close = matching_brace(t, k);
+                spans.push((k, close));
+                i = close;
+                continue;
+            }
+        }
+        i = j;
+    }
+    spans
+}
+
+/// Index of the `}` matching the `{` at `open` (or the last token).
+fn matching_brace(t: &[Spanned], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < t.len() {
+        match punct(t.get(i)) {
+            Some('{') => depth += 1,
+            Some('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    t.len().saturating_sub(1)
+}
+
+fn in_spans(spans: &[(usize, usize)], i: usize) -> bool {
+    spans.iter().any(|&(a, b)| i > a && i < b)
+}
+
+// ---------------------------------------------------------------------
+// Determinism family
+// ---------------------------------------------------------------------
+
+const ITER_METHODS: &[&str] =
+    &["iter", "iter_mut", "keys", "values", "values_mut", "drain", "into_iter", "retain"];
+
+/// Identifiers declared as `HashMap`/`HashSet` in this file: struct
+/// fields, `let` bindings, and parameters, found by walking back from
+/// each `HashMap<`/`HashSet<` type use (or forward from
+/// `= HashMap::new()`-style constructors) to the declared name.
+fn hash_named_idents(t: &[Spanned]) -> Vec<String> {
+    let mut names = Vec::new();
+    for i in 0..t.len() {
+        let Some(id) = ident(t.get(i)) else { continue };
+        if id != "HashMap" && id != "HashSet" {
+            continue;
+        }
+        match punct(t.get(i + 1)) {
+            // Type position: `name: …HashMap<…>` — walk back to the name.
+            Some('<') => {
+                if let Some(name) = declared_name_before(t, i) {
+                    names.push(name);
+                }
+            }
+            // Expression position: `let name = HashMap::new()` etc.
+            Some(':') if punct(t.get(i + 2)) == Some(':') => {
+                if let Some(name) = assigned_name_before(t, i) {
+                    names.push(name);
+                }
+            }
+            _ => {}
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// Walks back from a type token over path segments, references,
+/// generic openers and lifetimes to find `name :` — the declared
+/// identifier, if this really is a declaration site.
+fn declared_name_before(t: &[Spanned], mut i: usize) -> Option<String> {
+    while i > 0 {
+        i -= 1;
+        match &t[i].tok {
+            Tok::Punct(':') => {
+                if i > 0 && punct(t.get(i - 1)) == Some(':') {
+                    i -= 1; // `::` path separator, keep walking
+                    continue;
+                }
+                // Single `:` — ascription; the name is just before it.
+                return ident(t.get(i.checked_sub(1)?)).map(str::to_string);
+            }
+            Tok::Punct('<') | Tok::Punct('&') | Tok::Lifetime => continue,
+            Tok::Ident(w) if w == "mut" || w == "dyn" => continue,
+            Tok::Ident(_) => continue,
+            _ => return None,
+        }
+    }
+    None
+}
+
+/// Walks back from `HashMap` in `= HashMap::new()` to the `let`-bound
+/// (or assigned) name.
+fn assigned_name_before(t: &[Spanned], i: usize) -> Option<String> {
+    if i == 0 || punct(t.get(i - 1)) != Some('=') {
+        return None;
+    }
+    // `let [mut] name = …` or `name = …`; also `let name: Ty =` was
+    // already caught by the type-position arm.
+    let name_idx = i.checked_sub(2)?;
+    ident(t.get(name_idx)).map(str::to_string)
+}
+
+/// The determinism family: nondeterministic hash-container iteration,
+/// wall-clock reads, and `f32` arithmetic in bit-pinned crates.
+pub fn determinism(lexed: &Lexed, skip: &[(usize, usize)]) -> Vec<Finding> {
+    let t = &lexed.tokens;
+    let hash_names = hash_named_idents(t);
+    let mut out = Vec::new();
+    for i in 0..t.len() {
+        if in_spans(skip, i) {
+            continue;
+        }
+        let Some(id) = ident(t.get(i)) else { continue };
+        let line = t[i].line;
+        // `Instant::now(` — reading the monotonic clock. `Instant` as a
+        // deadline *parameter* type is fine; only the read is flagged.
+        if id == "Instant"
+            && punct(t.get(i + 1)) == Some(':')
+            && punct(t.get(i + 2)) == Some(':')
+            && ident(t.get(i + 3)) == Some("now")
+        {
+            out.push(Finding {
+                rule: "wall-clock",
+                line,
+                message: "`Instant::now` in a determinism-pinned crate (route timing through \
+                          `rnnhm_core::clock` or annotate)"
+                    .into(),
+            });
+        }
+        if id == "SystemTime" {
+            out.push(Finding {
+                rule: "wall-clock",
+                line,
+                message: "`SystemTime` in a determinism-pinned crate (wall-clock time must not \
+                          influence pinned output)"
+                    .into(),
+            });
+        }
+        if id == "f32" {
+            out.push(Finding {
+                rule: "float32",
+                line,
+                message: "`f32` in a determinism-pinned crate (all pinned arithmetic is f64; \
+                          half-precision would change golden rasters)"
+                    .into(),
+            });
+        }
+        // `recv.iter()`-style hash iteration.
+        if ITER_METHODS.contains(&id)
+            && punct(t.get(i + 1)) == Some('(')
+            && i >= 2
+            && punct(t.get(i - 1)) == Some('.')
+        {
+            if let Some(recv) = ident(t.get(i - 2)) {
+                if hash_names.iter().any(|n| n == recv) {
+                    out.push(Finding {
+                        rule: "nondet-iter",
+                        line,
+                        message: format!(
+                            "iteration over hash container `{recv}` (`.{id}()`): order is \
+                             seed-dependent; sort first, use BTreeMap, or annotate why order \
+                             cannot matter"
+                        ),
+                    });
+                }
+            }
+        }
+        // `for pat in [&[mut]] name {` over a hash container.
+        if id == "for" {
+            if let Some(f) = for_loop_over_hash(t, i, &hash_names) {
+                out.push(f);
+            }
+        }
+    }
+    out
+}
+
+/// Checks a `for … in expr {` loop whose iterated expression is a bare
+/// (possibly referenced / dotted) path ending in a hash-named ident.
+fn for_loop_over_hash(t: &[Spanned], i: usize, hash_names: &[String]) -> Option<Finding> {
+    // Find `in` at paren/bracket depth 0 (skipping the pattern).
+    let mut j = i + 1;
+    let mut depth = 0i32;
+    while j < t.len() {
+        match &t[j].tok {
+            Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+            Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+            Tok::Punct('{') => return None, // `for` in a macro/odd spot
+            Tok::Ident(w) if w == "in" && depth == 0 => break,
+            _ => {}
+        }
+        j += 1;
+    }
+    if j >= t.len() {
+        return None;
+    }
+    // Iterated expression: tokens from after `in` to the body `{`.
+    let mut last_ident: Option<&str> = None;
+    let mut simple = true;
+    let mut k = j + 1;
+    while k < t.len() {
+        match &t[k].tok {
+            Tok::Punct('{') => break,
+            Tok::Ident(w) if w == "mut" => {}
+            Tok::Ident(w) => last_ident = Some(w),
+            Tok::Punct('&') | Tok::Punct('.') | Tok::Punct(':') => {}
+            // Anything else (calls, ranges, arithmetic) — not a bare
+            // container walk; method-call iteration is caught above.
+            _ => simple = false,
+        }
+        k += 1;
+    }
+    let recv = last_ident?;
+    if simple && hash_names.iter().any(|n| n == recv) {
+        return Some(Finding {
+            rule: "nondet-iter",
+            line: t[i].line,
+            message: format!(
+                "`for` loop over hash container `{recv}`: order is seed-dependent; sort first, \
+                 use BTreeMap, or annotate why order cannot matter"
+            ),
+        });
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// Lock-order family
+// ---------------------------------------------------------------------
+
+/// Field declarations of lock types in this file:
+/// `(name, line, kind)` where kind is `Mutex`, `RwLock`, or `Condvar`.
+pub fn lock_fields(lexed: &Lexed) -> Vec<(String, u32, &'static str)> {
+    let t = &lexed.tokens;
+    let use_spans = use_statement_spans(t);
+    let mut out = Vec::new();
+    for i in 0..t.len() {
+        if in_spans(&use_spans, i) {
+            continue;
+        }
+        let Some(id) = ident(t.get(i)) else { continue };
+        let kind: &'static str = match id {
+            "Mutex" => "Mutex",
+            "RwLock" => "RwLock",
+            "Condvar" => "Condvar",
+            _ => continue,
+        };
+        let next = punct(t.get(i + 1));
+        let is_type_use = match kind {
+            // `Mutex<…>` / `RwLock<…>` in type position; `Mutex::new`
+            // (expression) has `::` next and is skipped.
+            "Mutex" | "RwLock" => next == Some('<'),
+            // `Condvar` is not generic: a field decl ends with `,` or `}`.
+            "Condvar" => next == Some(',') || next == Some('}'),
+            _ => false,
+        };
+        if !is_type_use {
+            continue;
+        }
+        if let Some(name) = declared_name_before(t, i) {
+            out.push((name, t[i].line, kind));
+        }
+    }
+    out
+}
+
+/// Token spans of `use …;` items (so `use std::sync::{Condvar, …}`
+/// does not look like a field declaration).
+fn use_statement_spans(t: &[Spanned]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < t.len() {
+        if ident(t.get(i)) == Some("use") {
+            let start = i;
+            while i < t.len() && punct(t.get(i)) != Some(';') {
+                i += 1;
+            }
+            spans.push((start, i));
+        }
+        i += 1;
+    }
+    spans
+}
+
+#[derive(Debug)]
+enum Release {
+    /// Guard bound by `let` — held until its block closes.
+    Block,
+    /// Temporary — held until the next `;` at its depth (or block
+    /// close).
+    Stmt,
+}
+
+#[derive(Debug)]
+struct Held {
+    rank: u32,
+    name: String,
+    depth: usize,
+    release: Release,
+    /// The `let`-bound variable holding the guard, for `drop(x)`.
+    binding: Option<String>,
+}
+
+/// The lock-order rule: walks a file tracking lexically-held lock
+/// guards and flags (a) `.lock()` on receivers without a declared
+/// rank, and (b) acquisitions that do not strictly increase the rank
+/// (a rank inversion — the static shadow of a deadlock cycle).
+///
+/// Approximations, by design: guards bound by `let` are held to the
+/// end of their block; temporaries to the next `;` at their depth;
+/// `drop(guard)` releases early; calls are opaque unless annotated
+/// `lint:returns-lock`. Condvar waits atomically re-acquire the same
+/// lock and are neutral.
+pub fn lock_order(lexed: &Lexed, table: &LockTable, skip: &[(usize, usize)]) -> Vec<Finding> {
+    let t = &lexed.tokens;
+    let mut out = Vec::new();
+    let mut held: Vec<Held> = Vec::new();
+    let mut depth = 0usize;
+    let mut stmt_is_let = false;
+    let mut stmt_binding: Option<String> = None;
+    let mut stmt_start = true;
+    for i in 0..t.len() {
+        let line = t[i].line;
+        match &t[i].tok {
+            Tok::Punct('{') => {
+                depth += 1;
+                stmt_start = true;
+                stmt_is_let = false;
+                stmt_binding = None;
+            }
+            Tok::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                held.retain(|h| h.depth <= depth);
+                stmt_start = true;
+                stmt_is_let = false;
+                stmt_binding = None;
+            }
+            Tok::Punct(';') => {
+                held.retain(|h| !(matches!(h.release, Release::Stmt) && h.depth == depth));
+                stmt_start = true;
+                stmt_is_let = false;
+                stmt_binding = None;
+            }
+            Tok::Ident(id) => {
+                if stmt_start {
+                    stmt_is_let = id == "let";
+                    stmt_start = false;
+                } else if stmt_is_let && stmt_binding.is_none() && id != "mut" {
+                    stmt_binding = Some(id.clone());
+                }
+                // `drop(guard)` — early release of a named guard.
+                if id == "drop" && punct(t.get(i + 1)) == Some('(') {
+                    if let Some(arg) = ident(t.get(i + 2)) {
+                        if punct(t.get(i + 3)) == Some(')') {
+                            held.retain(|h| h.binding.as_deref() != Some(arg));
+                        }
+                    }
+                }
+                let acquisition: Option<(u32, String)> = if id == "lock"
+                    && punct(t.get(i + 1)) == Some('(')
+                    && punct(t.get(i + 2)) == Some(')')
+                    && i >= 2
+                    && punct(t.get(i - 1)) == Some('.')
+                {
+                    match ident(t.get(i - 2)) {
+                        Some(recv) => match table.field_rank(recv) {
+                            Some(rank) => Some((rank, recv.to_string())),
+                            None => {
+                                if !in_spans(skip, i) {
+                                    out.push(Finding {
+                                        rule: "lock-order",
+                                        line,
+                                        message: format!(
+                                            "`.lock()` on `{recv}`, which has no declared \
+                                             `lint:lock-rank` (annotate the field or the call)"
+                                        ),
+                                    });
+                                }
+                                None
+                            }
+                        },
+                        None => None,
+                    }
+                } else if punct(t.get(i + 1)) == Some('(')
+                    && (i == 0 || ident(t.get(i - 1)) != Some("fn"))
+                {
+                    table.fn_rank(id).map(|rank| (rank, format!("{id}()")))
+                } else {
+                    None
+                };
+                if let Some((rank, name)) = acquisition {
+                    if !in_spans(skip, i) {
+                        for h in &held {
+                            if h.rank >= rank {
+                                out.push(Finding {
+                                    rule: "lock-order",
+                                    line,
+                                    message: format!(
+                                        "lock-rank inversion: acquiring `{name}` (rank {rank}) \
+                                         while holding `{}` (rank {}) — acquisition order must \
+                                         strictly increase",
+                                        h.name, h.rank
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                    held.push(Held {
+                        rank,
+                        name,
+                        depth,
+                        release: if stmt_is_let { Release::Block } else { Release::Stmt },
+                        binding: if stmt_is_let { stmt_binding.clone() } else { None },
+                    });
+                }
+            }
+            _ => {
+                stmt_start = false;
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Panic-isolation family
+// ---------------------------------------------------------------------
+
+/// Body spans of locally-defined functions whose return type mentions
+/// `Response` — the route-handler island. A call into the island from
+/// outside it must happen inside a `catch_unwind(...)` argument.
+fn handler_fns(t: &[Spanned]) -> Vec<(String, usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < t.len() {
+        if ident(t.get(i)) != Some("fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name) = ident(t.get(i + 1)) else {
+            i += 1;
+            continue;
+        };
+        // Scan the signature to the body `{` (or `;` for a decl),
+        // looking for `Response` after `->`.
+        let mut j = i + 2;
+        let mut arrow_seen = false;
+        let mut mentions_response = false;
+        let mut pdepth = 0i32;
+        while j < t.len() {
+            match &t[j].tok {
+                Tok::Punct('(') | Tok::Punct('[') => pdepth += 1,
+                Tok::Punct(')') | Tok::Punct(']') => pdepth -= 1,
+                Tok::Punct('{') if pdepth == 0 => break,
+                Tok::Punct(';') if pdepth == 0 => break,
+                Tok::Punct('>')
+                    if pdepth == 0 && punct(t.get(j.saturating_sub(1))) == Some('-') =>
+                {
+                    arrow_seen = true
+                }
+                Tok::Ident(w) if arrow_seen && pdepth == 0 && w == "Response" => {
+                    mentions_response = true
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if punct(t.get(j)) == Some('{') {
+            let close = matching_brace(t, j);
+            if mentions_response {
+                out.push((name.to_string(), j, close));
+            }
+            // Do NOT skip the body: nested fns are rare but legal.
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Paren spans of `catch_unwind(…)` arguments.
+fn catch_unwind_spans(t: &[Spanned]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for i in 0..t.len() {
+        if ident(t.get(i)) != Some("catch_unwind") || punct(t.get(i + 1)) != Some('(') {
+            continue;
+        }
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        while j < t.len() {
+            match punct(t.get(j)) {
+                Some('(') => depth += 1,
+                Some(')') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        out.push((i + 1, j));
+    }
+    out
+}
+
+/// The panic-isolation family.
+///
+/// * In dispatch files (`server.rs`), every call to a locally-defined
+///   `-> Response` function from *outside* the handler island must be
+///   lexically inside a `catch_unwind(...)` argument — so no route can
+///   be wired up in a way that lets a panic kill a worker.
+/// * Everywhere in the serve request path, `unwrap()` / `expect()` /
+///   `panic!` / `unreachable!` / `todo!` / integer-literal indexing
+///   must be annotated: a panic here costs a request (it is caught),
+///   but each one must be a *decision*, not an accident.
+pub fn panic_isolation(lexed: &Lexed, scope: Scope, skip: &[(usize, usize)]) -> Vec<Finding> {
+    let t = &lexed.tokens;
+    let mut out = Vec::new();
+    if scope.dispatch {
+        let handlers = handler_fns(t);
+        let protected = catch_unwind_spans(t);
+        for i in 0..t.len() {
+            if in_spans(skip, i) {
+                continue;
+            }
+            let Some(id) = ident(t.get(i)) else { continue };
+            if punct(t.get(i + 1)) != Some('(') {
+                continue;
+            }
+            if i > 0 && ident(t.get(i - 1)) == Some("fn") {
+                continue; // the definition itself
+            }
+            // Method calls (`x.handle(…)`) are not route dispatch.
+            if i > 0 && punct(t.get(i - 1)) == Some('.') {
+                continue;
+            }
+            if !handlers.iter().any(|(n, _, _)| n == id) {
+                continue;
+            }
+            let inside_island = handlers.iter().any(|&(_, a, b)| i > a && i < b);
+            let inside_catch = in_spans(&protected, i);
+            if !inside_island && !inside_catch {
+                out.push(Finding {
+                    rule: "panic-path",
+                    line: t[i].line,
+                    message: format!(
+                        "route handler `{id}` called outside `catch_unwind`: a panicking \
+                         request would kill this worker thread"
+                    ),
+                });
+            }
+        }
+    }
+    for i in 0..t.len() {
+        if in_spans(skip, i) {
+            continue;
+        }
+        match &t[i].tok {
+            Tok::Ident(id)
+                if (id == "unwrap" || id == "expect")
+                    && punct(t.get(i + 1)) == Some('(')
+                    && i > 0
+                    && punct(t.get(i - 1)) == Some('.') =>
+            {
+                out.push(Finding {
+                    rule: "panic-path",
+                    line: t[i].line,
+                    message: format!(
+                        "`.{id}()` in the serve request path: return a logged error \
+                         response instead, or annotate why this cannot fail"
+                    ),
+                });
+            }
+            Tok::Ident(id)
+                if (id == "panic" || id == "unreachable" || id == "todo")
+                    && punct(t.get(i + 1)) == Some('!') =>
+            {
+                out.push(Finding {
+                    rule: "panic-path",
+                    line: t[i].line,
+                    message: format!(
+                        "`{id}!` in the serve request path: panics here cost a request; \
+                         each one must be annotated as deliberate"
+                    ),
+                });
+            }
+            // `xs[0]`-style indexing with an integer literal.
+            Tok::Punct('[') => {
+                let prev_ok = i > 0
+                    && matches!(&t[i - 1].tok, Tok::Ident(_) | Tok::Punct(')') | Tok::Punct(']'));
+                let lit_int = matches!(
+                    t.get(i + 1),
+                    Some(Spanned { tok: Tok::Lit(s), .. })
+                        if !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit())
+                );
+                if prev_ok && lit_int && punct(t.get(i + 2)) == Some(']') {
+                    out.push(Finding {
+                        rule: "panic-path",
+                        line: t[i].line,
+                        message: "integer-literal indexing in the serve request path: use \
+                                  `.get(…)` or annotate why the index is in bounds"
+                            .into(),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn hash_names_found_in_fields_lets_and_params() {
+        let src = "
+            struct S { map: HashMap<K, V>, other: BTreeMap<K, V> }
+            fn f(a: &HashMap<K, V>) {
+                let mut faces: HashMap<Mask, Point> = HashMap::new();
+                let built = HashSet::new();
+                let fine = Vec::new();
+            }
+        ";
+        let names = hash_named_idents(&lex(src).tokens);
+        assert_eq!(names, vec!["a", "built", "faces", "map"]);
+    }
+
+    #[test]
+    fn iteration_flagged_and_lookup_not() {
+        let src = "
+            fn f(map: HashMap<K, V>) {
+                map.get(&k);
+                map.insert(k, v);
+                for (k, v) in &map {}
+                map.keys();
+                map.into_iter().collect::<Vec<_>>();
+            }
+        ";
+        let lexed = lex(src);
+        let f = determinism(&lexed, &[]);
+        let lines: Vec<u32> =
+            f.iter().filter(|f| f.rule == "nondet-iter").map(|f| f.line).collect();
+        assert_eq!(lines, vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn sorted_collections_not_flagged() {
+        let src = "fn f(map: BTreeMap<K, V>) { for x in &map {} map.keys(); }";
+        assert!(determinism(&lex(src), &[]).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_and_f32_flagged() {
+        let src = "fn f() { let t = Instant::now(); let s: SystemTime = now(); let x: f32 = 0.0; }";
+        let f = determinism(&lex(src), &[]);
+        assert_eq!(f.iter().filter(|f| f.rule == "wall-clock").count(), 2);
+        assert_eq!(f.iter().filter(|f| f.rule == "float32").count(), 1);
+    }
+
+    #[test]
+    fn instant_as_deadline_type_is_fine() {
+        let src = "fn f(deadline: Instant) -> Duration { deadline - earlier }";
+        assert!(determinism(&lex(src), &[]).is_empty());
+    }
+
+    #[test]
+    fn test_mod_spans_cover_test_code() {
+        let src = "
+            fn real(map: HashMap<K, V>) { map.get(&k); }
+            #[cfg(test)]
+            mod tests {
+                fn t(map: HashMap<K, V>) { for x in &map {} }
+            }
+        ";
+        let lexed = lex(src);
+        let spans = test_mod_spans(&lexed);
+        assert_eq!(spans.len(), 1);
+        assert!(determinism(&lexed, &spans).is_empty());
+    }
+
+    #[test]
+    fn lock_fields_found_and_uses_skipped() {
+        let src = "
+            use std::sync::{Condvar, Mutex};
+            struct S {
+                queue: Mutex<VecDeque<T>>,
+                queue_cv: Condvar,
+                session: Arc<RwLock<Session<M>>>,
+            }
+            fn f() -> Option<Arc<RwLock<Session<M>>>> { Mutex::new(()) }
+        ";
+        let fields = lock_fields(&lex(src));
+        let names: Vec<&str> = fields.iter().map(|(n, _, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["queue", "queue_cv", "session"]);
+    }
+
+    fn table() -> LockTable {
+        LockTable {
+            fields: vec![
+                ("outer".into(), 10),
+                ("inner".into(), 20),
+                ("flights".into(), 40),
+                ("cache".into(), 42),
+            ],
+            fns: vec![("lock_cache".into(), 42)],
+        }
+    }
+
+    #[test]
+    fn lock_order_detects_inversion() {
+        let src = "
+            fn bad(s: &S) {
+                let a = s.inner.lock();
+                let b = s.outer.lock();
+            }
+        ";
+        let f = lock_order(&lex(src), &table(), &[]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 4);
+        assert!(f[0].message.contains("inversion"));
+    }
+
+    #[test]
+    fn lock_order_accepts_increasing_and_scoped() {
+        let src = "
+            fn good(s: &S) {
+                let a = s.outer.lock();
+                { let b = s.inner.lock(); }
+                { let b = s.inner.lock(); }
+            }
+            fn sequential(s: &S) {
+                { let b = s.inner.lock(); }
+                let a = s.outer.lock();
+            }
+            fn temp(s: &S) {
+                s.inner.lock().len();
+                let a = s.outer.lock();
+            }
+        ";
+        assert!(lock_order(&lex(src), &table(), &[]).is_empty());
+    }
+
+    #[test]
+    fn lock_order_tracks_annotated_helpers_and_drop() {
+        let src = "
+            fn helper_inversion(s: &S) {
+                let c = lock_cache(s);
+                let f = s.flights.lock();
+            }
+            fn drop_release(s: &S) {
+                let a = s.inner.lock();
+                drop(a);
+                let b = s.outer.lock();
+            }
+        ";
+        let f = lock_order(&lex(src), &table(), &[]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn unranked_lock_flagged() {
+        let src = "fn f(s: &S) { s.mystery.lock(); }";
+        let f = lock_order(&lex(src), &table(), &[]);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("no declared"));
+    }
+
+    #[test]
+    fn dispatch_requires_catch_unwind() {
+        let src = "
+            fn handle(req: &Request) -> Response { Response }
+            fn worker_bad(req: &Request) { let r = handle(req); }
+            fn worker_good(req: &Request) {
+                let r = catch_unwind(AssertUnwindSafe(|| handle(req)));
+            }
+            fn other_route(req: &Request) -> Response { handle(req) }
+        ";
+        let scope = Scope { determinism: false, panic_isolation: true, dispatch: true };
+        let f = panic_isolation(&lex(src), scope, &[]);
+        let dispatch: Vec<_> = f.iter().filter(|f| f.message.contains("catch_unwind")).collect();
+        assert_eq!(dispatch.len(), 1);
+        assert_eq!(dispatch[0].line, 3);
+    }
+
+    #[test]
+    fn unwraps_and_indexing_flagged() {
+        let src = "
+            fn f(xs: &[u8]) -> u8 {
+                let a = xs.first().unwrap();
+                let b = xs.get(1).expect(\"have it\");
+                let c = xs[0];
+                let t: [u8; 4] = [0; 4];
+                let ok = xs.get(2).unwrap_or(&0);
+                panic!(\"boom\");
+            }
+        ";
+        let scope = Scope { determinism: false, panic_isolation: true, dispatch: false };
+        let f = panic_isolation(&lex(src), scope, &[]);
+        let lines: Vec<u32> = f.iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![3, 4, 5, 8]);
+    }
+}

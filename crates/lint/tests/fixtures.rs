@@ -1,0 +1,74 @@
+//! Fixture harness: each known-bad fixture must produce findings on
+//! exactly its `//~`-marked lines (and nothing else), the clean
+//! fixture must produce none, and the real workspace must lint clean.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(name)
+}
+
+/// Lints one fixture and compares the `(line, rule)` set of findings
+/// against its `//~` / `//~^` markers, exactly.
+fn check(name: &str, expect_findings: bool) {
+    let (diags, expectations) = rnnhm_lint::lint_fixture(&fixture(name));
+    let got: BTreeSet<(u32, String)> = diags.iter().map(|d| (d.line, d.rule.to_string())).collect();
+    let want: BTreeSet<(u32, String)> =
+        expectations.iter().map(|e| (e.line, e.rule.clone())).collect();
+    assert_eq!(
+        got, want,
+        "{name}: findings (left) must match //~ markers (right)\nfull diagnostics: {diags:#?}"
+    );
+    assert_eq!(
+        !diags.is_empty(),
+        expect_findings,
+        "{name}: expected {}findings",
+        if expect_findings { "" } else { "no " }
+    );
+}
+
+#[test]
+fn bad_nondet_iter_fires_on_marked_lines() {
+    check("bad_nondet_iter.rs", true);
+}
+
+#[test]
+fn bad_time_fires_on_marked_lines() {
+    check("bad_time.rs", true);
+}
+
+#[test]
+fn bad_lock_rank_fires_on_marked_lines() {
+    check("bad_lock_rank.rs", true);
+}
+
+#[test]
+fn bad_panic_fires_on_marked_lines() {
+    check("bad_panic.rs", true);
+}
+
+#[test]
+fn bad_stale_allow_fires_on_marked_lines() {
+    check("bad_stale_allow.rs", true);
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    check("clean.rs", false);
+}
+
+/// The CI gate in miniature: the workspace this crate lives in must
+/// lint clean. Any unannotated hash-iteration, unranked lock, rank
+/// inversion, unprotected route, stray panic site, or stale allow
+/// anywhere in the tree fails this test.
+#[test]
+fn real_workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists");
+    assert!(root.join("Cargo.toml").exists(), "expected workspace root at {}", root.display());
+    let diags = rnnhm_lint::lint_workspace(&root);
+    assert!(diags.is_empty(), "workspace must lint clean, got: {diags:#?}");
+}

@@ -197,18 +197,28 @@ pub struct ServerStats {
 }
 
 struct SessionEntry<M: IncrementalMeasure> {
+    // lint:lock-rank(25)
     session: Arc<RwLock<Session<M>>>,
     last_used: Instant,
 }
 
+// Lock ranks (see ARCHITECTURE.md "Invariant lints"): the serve stack
+// sits below the engine/cache locks — a handler may hold a session
+// read lock while the engine takes its own (ranks 30+), never the
+// reverse.
 struct Ctx<M: IncrementalMeasure> {
     engine: Arc<ExplorationEngine<M>>,
     config: ServerConfig,
+    // lint:lock-rank(20)
     sessions: Mutex<HashMap<u64, SessionEntry<M>>>,
     next_session: AtomicU64,
+    // lint:lock-rank(12)
     queue: Mutex<VecDeque<TcpStream>>,
+    // lint:lock-rank(12)
     queue_cv: Condvar,
+    // lint:lock-rank(10)
     reaper_lock: Mutex<()>,
+    // lint:lock-rank(10)
     reaper_cv: Condvar,
     shutdown: AtomicBool,
     counters: Counters,
@@ -236,7 +246,7 @@ where
         ROOT_SESSION,
         SessionEntry {
             session: Arc::new(RwLock::new(engine.session())),
-            last_used: Instant::now(),
+            last_used: rnnhm_core::clock::now(),
         },
     );
     let ctx = Arc::new(Ctx {
@@ -446,7 +456,7 @@ fn handle_connection<M: IncrementalMeasure + Send + Sync>(ctx: &Ctx<M>, mut stre
         // The request's wall-clock budget starts when a worker picks
         // it up (queueing time is the admission queue's concern, kept
         // bounded by shedding).
-        let deadline = Instant::now() + ctx.config.request_deadline;
+        let deadline = rnnhm_core::clock::now() + ctx.config.request_deadline;
         let mut resp = match catch_unwind(AssertUnwindSafe(|| handle(ctx, &req, deadline))) {
             Ok(resp) => resp,
             Err(_) => {
@@ -489,7 +499,7 @@ fn reaper_loop<M: IncrementalMeasure + Send + Sync>(ctx: &Ctx<M>) {
         if ctx.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        let now = Instant::now();
+        let now = rnnhm_core::clock::now();
         let mut reaped = 0u64;
         {
             let mut sessions = ctx.sessions.lock().unwrap_or_else(|e| e.into_inner());
@@ -549,7 +559,7 @@ impl<M: IncrementalMeasure + Send + Sync> Ctx<M> {
     fn session(&self, id: u64) -> Option<Arc<RwLock<Session<M>>>> {
         let mut sessions = self.sessions.lock().unwrap_or_else(|e| e.into_inner());
         let entry = sessions.get_mut(&id)?;
-        entry.last_used = Instant::now();
+        entry.last_used = rnnhm_core::clock::now();
         Some(entry.session.clone())
     }
 }
@@ -613,6 +623,7 @@ fn handle<M: IncrementalMeasure + Send + Sync>(
     deadline: Instant,
 ) -> Response {
     if ctx.config.fault.should_panic() {
+        // lint:allow(panic-path): deliberate fault injection exercising the catch_unwind isolation
         panic!("injected handler panic");
     }
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
@@ -727,7 +738,10 @@ fn create_session<M: IncrementalMeasure + Send + Sync>(
     let generation = session.generation();
     sessions.insert(
         id,
-        SessionEntry { session: Arc::new(RwLock::new(session)), last_used: Instant::now() },
+        SessionEntry {
+            session: Arc::new(RwLock::new(session)),
+            last_used: rnnhm_core::clock::now(),
+        },
     );
     drop(sessions);
     ctx.counters.sessions_created.fetch_add(1, Ordering::Relaxed);
@@ -940,12 +954,13 @@ fn placement_endpoint<M: IncrementalMeasure + Send + Sync>(
         if let Some(delay) = ctx.config.fault.render_delay() {
             std::thread::sleep(delay);
         }
-        if Instant::now() >= deadline {
+        if rnnhm_core::clock::now() >= deadline {
             ctx.counters.deadline_rejected.fetch_add(1, Ordering::Relaxed);
             return Response::text(503, "placement deadline exceeded; exact answer unavailable")
                 .header("Retry-After", "1");
         }
         if ctx.config.fault.should_panic_placement() {
+            // lint:allow(panic-path): deliberate fault injection exercising the catch_unwind isolation
             panic!("injected placement panic");
         }
         let placements = session.top_placements(m);

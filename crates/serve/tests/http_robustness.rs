@@ -9,7 +9,7 @@ mod util;
 
 use std::io::Write;
 use std::net::TcpStream;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use rnn_heatmap::prelude::*;
 use rnnhm_serve::{serve, ServerConfig};
@@ -55,7 +55,7 @@ fn malformed_and_oversized_requests_are_rejected_cheaply() {
     // A declared 10 GB body earns 413 *before* any body byte is read:
     // the reply must arrive immediately, proving no proportional read
     // or allocation happened.
-    let started = Instant::now();
+    let started = rnnhm_core::clock::now();
     let huge = b"POST /session HTTP/1.1\r\nContent-Length: 10000000000\r\n\r\n";
     let resp = raw_roundtrip(addr, huge).unwrap();
     assert_eq!(resp.status, 413);
@@ -251,7 +251,7 @@ fn slow_loris_gets_408_within_the_read_timeout() {
     let config = ServerConfig { read_timeout: Duration::from_millis(200), ..quick_config() };
     let server = serve(test_engine(900, 19), config).expect("bind");
 
-    let started = Instant::now();
+    let started = rnnhm_core::clock::now();
     let mut stream = TcpStream::connect(server.addr()).unwrap();
     stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
     // Half a request line, then silence.
@@ -479,7 +479,7 @@ fn viewport_pixel_budget_and_overflow_extents_are_rejected_before_allocation() {
     // Each axis is within the per-axis 4096 cap, but the product blows
     // the 4M-pixel budget — the reply must arrive immediately, proving
     // no 128 MiB raster was allocated or rendered.
-    let started = Instant::now();
+    let started = rnnhm_core::clock::now();
     let q = "/session/0/viewport?x0=0.1&x1=0.9&y0=0.1&y1=0.9";
     let huge = request(addr, "GET", &format!("{q}&w=4096&h=4096")).unwrap();
     assert_eq!(huge.status, 422);

@@ -12,7 +12,6 @@
 //! correlation the paper points out.
 
 use std::fs::File;
-use std::time::Instant;
 
 use rnn_heatmap::prelude::*;
 use rnnhm_data::{la, nyc};
@@ -45,10 +44,10 @@ fn main() {
     // supporting every influence measure.
     let extent = Rect::bounding(&points).expect("non-empty");
     let spec = GridSpec::new(900, 900, extent);
-    let start = Instant::now();
+    let start = rnnhm_core::clock::now();
     let raster = rasterize_squares(&arr, &CountMeasure, spec);
     let scanline_ms = start.elapsed().as_secs_f64() * 1e3;
-    let start = Instant::now();
+    let start = rnnhm_core::clock::now();
     let fast = rasterize_count_squares_fast(&arr, spec);
     let fast_ms = start.elapsed().as_secs_f64() * 1e3;
     let (lo, hi) = raster.min_max();

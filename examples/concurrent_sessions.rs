@@ -52,7 +52,7 @@ fn main() {
     // Alice opens the city view cold; every covering tile renders.
     let alice = engine.session();
     let before = engine.cache_stats();
-    let start = Instant::now();
+    let start = rnnhm_core::clock::now();
     let frame_alice = alice.viewport(city, px_w, px_h);
     report("alice", "cold city viewport", &before, &engine.cache_stats(), ms(start));
 
@@ -60,7 +60,7 @@ fn main() {
     // frame is served entirely from the tiles Alice just warmed.
     let bob = alice.fork();
     let before = engine.cache_stats();
-    let start = Instant::now();
+    let start = rnnhm_core::clock::now();
     let frame_bob = bob.viewport(city, px_w, px_h);
     report("bob", "forked viewport (all warm)", &before, &engine.cache_stats(), ms(start));
     assert_eq!(frame_bob.values(), frame_alice.values(), "same snapshot, same pixels");
@@ -72,12 +72,12 @@ fn main() {
     let mut alice = alice;
     let mut bob = bob;
     let before = engine.cache_stats();
-    let start = Instant::now();
+    let start = rnnhm_core::clock::now();
     let (_, dirty_a) = alice.add_facility(Point::new(0.25, 0.25)).expect("bichromatic");
     let frame_a = alice.viewport(city, px_w, px_h);
     report("alice", "edit SW + re-render", &before, &engine.cache_stats(), ms(start));
     let before = engine.cache_stats();
-    let start = Instant::now();
+    let start = rnnhm_core::clock::now();
     let (_, dirty_b) = bob.add_facility(Point::new(0.75, 0.75)).expect("bichromatic");
     let frame_b = bob.viewport(city, px_w, px_h);
     report("bob", "edit NE + re-render", &before, &engine.cache_stats(), ms(start));
@@ -95,7 +95,7 @@ fn main() {
     // warm (zero new renders).
     let root = engine.session();
     let before = engine.cache_stats();
-    let start = Instant::now();
+    let start = rnnhm_core::clock::now();
     let _ = root.viewport(city, px_w, px_h);
     report("root", "ancestor viewport (warm)", &before, &engine.cache_stats(), ms(start));
     let after = engine.cache_stats();

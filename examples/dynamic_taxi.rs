@@ -11,8 +11,6 @@
 //! interactive rates at city scale) and a zoomed viewport is recomputed
 //! with the windowed sweep, whose cost tracks the viewport content.
 
-use std::time::Instant;
-
 use rnn_heatmap::prelude::*;
 use rnnhm_data::gen::uniform;
 use rnnhm_data::motion::RandomWaypoint;
@@ -37,12 +35,12 @@ fn main() {
         let arr = build_square_arrangement(clients, &taxis, Metric::Linf, Mode::Bichromatic)
             .expect("non-empty input");
 
-        let t0 = Instant::now();
+        let t0 = rnnhm_core::clock::now();
         let mut best = MaxSink::default();
         let full_stats = crest_sweep(&arr, &CountMeasure, &mut best);
         let full_ms = t0.elapsed().as_secs_f64() * 1e3;
 
-        let t1 = Instant::now();
+        let t1 = rnnhm_core::clock::now();
         let mut window_best = MaxSink::default();
         let win_stats = crest_window(&arr, viewport, &CountMeasure, &mut window_best);
         let win_ms = t1.elapsed().as_secs_f64() * 1e3;

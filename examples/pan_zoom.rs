@@ -12,8 +12,6 @@
 //! and — before the exact tiles are in — can serve an instant coarse
 //! preview from parent tiles.
 
-use std::time::Instant;
-
 use rnn_heatmap::prelude::*;
 use rnn_heatmap::HeatMapBuilder;
 use rnnhm_heatmap::render::ascii_art;
@@ -53,7 +51,7 @@ fn main() {
         // Instant coarse preview from whatever is already cached …
         let preview = map.viewport_preview(*rect, px_w, px_h);
         // … then the exact frame (cache misses render in parallel).
-        let start = Instant::now();
+        let start = rnnhm_core::clock::now();
         let frame = map.viewport(*rect, px_w, px_h);
         let ms = start.elapsed().as_secs_f64() * 1e3;
         let stats = map.tile_cache_stats();

@@ -58,7 +58,7 @@ fn main() {
     let mut opened = None;
     for step in 0..3 {
         let before = map.tile_cache_stats();
-        let start = Instant::now();
+        let start = rnnhm_core::clock::now();
         let (label, dirty) = match step {
             0 => {
                 let (id, dirty) = map.add_facility(site).expect("bichromatic map");
@@ -77,7 +77,7 @@ fn main() {
         };
         map.refresh_raster(&mut held, &dirty);
         let refreshed = ms(start);
-        let start = Instant::now();
+        let start = rnnhm_core::clock::now();
         let frame = map.viewport(view, px_w, px_h);
         let rendered = ms(start);
         let stats = map.tile_cache_stats();

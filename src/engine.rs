@@ -155,10 +155,12 @@ struct EngineShared<M> {
     /// `None` disables the pyramid entirely (the default).
     lod_exact_zoom: Option<u8>,
     /// Per-snapshot LoD state, keyed by snapshot fingerprint.
+    // lint:lock-rank(32)
     lod: Mutex<HashMap<u64, LodState>>,
     /// Every committed snapshot of this engine's lineage, weakly held
     /// (sessions keep snapshots alive; dropped branches are pruned),
     /// plus the registration count driving the prune cadence.
+    // lint:lock-rank(34)
     registry: Mutex<(Vec<Weak<ArrangementSnapshot>>, usize)>,
 }
 
@@ -390,6 +392,7 @@ fn input_bbox(snap: &ArrangementSnapshot) -> Rect {
 pub struct Session<M: InfluenceMeasure> {
     shared: Arc<EngineShared<M>>,
     snap: Arc<ArrangementSnapshot>,
+    // lint:lock-rank(30)
     regions: Mutex<RegionsCache>,
 }
 
@@ -444,6 +447,7 @@ impl<M: InfluenceMeasure> Session<M> {
 
     /// The regions cache, computed (or recomputed after edits
     /// invalidated it) on demand.
+    // lint:returns-lock(regions)
     fn regions_cache(&self) -> MutexGuard<'_, RegionsCache> {
         let mut cache = self.regions.lock().unwrap_or_else(|e| e.into_inner());
         if !cache.fresh {

@@ -135,6 +135,9 @@ struct Stats {
 impl Bencher {
     /// Times `f`, calibrating iterations per sample to the measurement
     /// budget.
+    // This vendored stand-in cannot depend on rnnhm_core, so it reads
+    // the clock directly instead of via rnnhm_core::clock::now.
+    #[allow(clippy::disallowed_methods)]
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         // Calibrate: run once (also warms caches), scale to the budget.
         let start = Instant::now();
