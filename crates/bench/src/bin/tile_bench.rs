@@ -51,6 +51,11 @@ fn main() {
             r.tiles_total,
             r.identical
         );
+        eprintln!(
+            "  payloads: {:.0} bytes/tile ({} quantized / {} exact bytes) | \
+             effective capacity {} tiles",
+            r.bytes_per_tile, r.bytes_quantized, r.bytes_exact, r.effective_capacity_tiles
+        );
         assert!(r.identical, "stitched viewport diverged from one-shot at n={n}, {px}x{px}");
         runs.push(r);
     }

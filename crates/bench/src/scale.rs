@@ -61,6 +61,13 @@ pub struct ScaleRun {
     pub error_bound: f64,
     /// Whether the country viewport was in fact served approximate.
     pub approx_served: bool,
+    /// Mean bytes a cached tile occupies at scenario end (payload +
+    /// entry overhead): count tiles quantize to ~2 bytes/pixel.
+    pub bytes_per_tile: f64,
+    /// Cached bytes held in compact quantized payloads at scenario end.
+    pub bytes_quantized: usize,
+    /// Cached bytes held in raw `f64` payloads at scenario end.
+    pub bytes_exact: usize,
 }
 
 /// Runs the scale scenario on a Uniform workload under the count
@@ -134,6 +141,7 @@ pub fn run_scale(n_clients: usize, ratio: usize, shards: usize, seed: u64) -> Sc
     drop(session.viewport_frame(world, 512, 512));
     let repatch_ms = ms(start);
 
+    let cstats = session.cache_stats();
     ScaleRun {
         n_clients,
         ratio,
@@ -148,6 +156,13 @@ pub fn run_scale(n_clients: usize, ratio: usize, shards: usize, seed: u64) -> Sc
         repatch_ms,
         error_bound,
         approx_served,
+        bytes_per_tile: if cstats.entries > 0 {
+            cstats.bytes as f64 / cstats.entries as f64
+        } else {
+            0.0
+        },
+        bytes_quantized: cstats.bytes_quantized,
+        bytes_exact: cstats.bytes_exact,
     }
 }
 
@@ -176,7 +191,10 @@ pub fn write_scale_json(path: &str, runs: &[ScaleRun]) -> std::io::Result<()> {
         writeln!(f, "      \"edit_commit_ms\": {:.3},", r.edit_ms)?;
         writeln!(f, "      \"repatch_coarse_ms\": {:.3},", r.repatch_ms)?;
         writeln!(f, "      \"error_bound\": {:.6},", r.error_bound)?;
-        writeln!(f, "      \"approx_served\": {}", r.approx_served)?;
+        writeln!(f, "      \"approx_served\": {},", r.approx_served)?;
+        writeln!(f, "      \"bytes_per_tile\": {:.1},", r.bytes_per_tile)?;
+        writeln!(f, "      \"bytes_quantized\": {},", r.bytes_quantized)?;
+        writeln!(f, "      \"bytes_exact\": {}", r.bytes_exact)?;
         writeln!(f, "    }}{comma}")?;
     }
     writeln!(f, "  ]")?;

@@ -92,6 +92,20 @@ pub trait InfluenceMeasure {
         f64::INFINITY
     }
 
+    /// Whether the measure's influence is always an integer-valued
+    /// `f64` (counts, capacities, edge counts — everything the paper's
+    /// experiments evaluate except arbitrary weights).
+    ///
+    /// Downstream consumers use this as an *eligibility hint* for
+    /// lossless integer-offset quantization of cached artifacts (e.g.
+    /// `rnnhm_heatmap::quant` tile payloads). It is a hint only:
+    /// quantizers must still verify round-trips bitwise, so a wrong
+    /// answer costs compactness, never correctness. The conservative
+    /// default is `false`.
+    fn integral_influence(&self) -> bool {
+        false
+    }
+
     /// A stable key identifying this measure — type *and* parameters —
     /// for caches of derived artifacts (e.g. the rendered heat-map
     /// tiles of `rnnhm_heatmap::tiles`): two measures with the same key
@@ -150,6 +164,25 @@ pub trait IncrementalMeasure: InfluenceMeasure {
     /// The influence of the current RNN set.
     fn current(&self, state: &Self::State) -> f64;
 
+    /// *Additive hook*: client `id`'s fixed contribution, when the
+    /// measure is an exact sum of per-member deltas.
+    ///
+    /// Returning `Some(d)` for every member promises that for **any**
+    /// reachable RNN set, [`IncrementalMeasure::current`] equals the
+    /// f64 sum of the members' deltas **bitwise, under any order or
+    /// grouping of additions and subtractions**, with the empty set
+    /// summing to `+0.0`. That licenses renderers to replace the
+    /// event sweep with difference-array accumulation (see the
+    /// scanline rasterizer's additive path). Counts qualify (integer
+    /// arithmetic below 2⁵³ is exact in f64); weighted sums do *not*
+    /// — their rounding and `-0.0` empty-sum identity are order
+    /// dependent — and default to `None`.
+    #[inline]
+    fn additive_delta(&self, id: u32) -> Option<f64> {
+        let _ = id;
+        None
+    }
+
     /// *Delta hook*: a running state describing the membership `rnn`
     /// (each member added once, in slice order).
     ///
@@ -188,6 +221,11 @@ impl<M: InfluenceMeasure> InfluenceMeasure for ExactFallback<M> {
     #[inline]
     fn upper_bound(&self, inside: &[u32], undecided: &[u32]) -> f64 {
         self.0.upper_bound(inside, undecided)
+    }
+
+    #[inline]
+    fn integral_influence(&self) -> bool {
+        self.0.integral_influence()
     }
 
     fn cache_key(&self) -> u64 {
@@ -253,6 +291,11 @@ impl InfluenceMeasure for CountMeasure {
         // (and is exact when the emission is duplicate-free).
         raw.len() as f64
     }
+
+    #[inline]
+    fn integral_influence(&self) -> bool {
+        true
+    }
 }
 
 impl IncrementalMeasure for CountMeasure {
@@ -276,6 +319,12 @@ impl IncrementalMeasure for CountMeasure {
     #[inline]
     fn current(&self, state: &usize) -> f64 {
         *state as f64
+    }
+
+    #[inline]
+    fn additive_delta(&self, _id: u32) -> Option<f64> {
+        // |R| is a sum of 1.0s: exact integers in f64 in every order.
+        Some(1.0)
     }
 }
 
@@ -444,6 +493,12 @@ impl InfluenceMeasure for CapacityMeasure {
         self.base_total + gain
     }
 
+    #[inline]
+    fn integral_influence(&self) -> bool {
+        // Served-client totals are integers below 2^53.
+        true
+    }
+
     fn cache_key(&self) -> u64 {
         crate::arrangement::fnv1a_words(
             [0x4341u64, self.new_capacity as u64, self.assigned.len() as u64] // "CA"
@@ -548,6 +603,12 @@ impl InfluenceMeasure for ConnectivityMeasure {
             }
         }
         (twice_edges / 2) as f64
+    }
+
+    #[inline]
+    fn integral_influence(&self) -> bool {
+        // Edge counts are integers.
+        true
     }
 
     fn cache_key(&self) -> u64 {
@@ -845,6 +906,18 @@ mod tests {
         let w = WeightedMeasure::new((0..20).map(|i| i as f64 * 0.5).collect());
         let state = w.state_for(&members);
         assert_eq!(w.current(&state).to_bits(), w.influence(&members).to_bits());
+    }
+
+    #[test]
+    fn integral_hints_cover_integer_valued_measures() {
+        assert!(CountMeasure.integral_influence());
+        assert!(CapacityMeasure::new(vec![0], vec![1], 1).integral_influence());
+        assert!(ConnectivityMeasure::from_edges(2, &[(0, 1)]).integral_influence());
+        // Arbitrary weights are not integer-valued; the fallback
+        // wrapper answers for its inner measure.
+        assert!(!WeightedMeasure::new(vec![1.0]).integral_influence());
+        assert!(ExactFallback(CountMeasure).integral_influence());
+        assert!(!ExactFallback(WeightedMeasure::new(vec![0.5])).integral_influence());
     }
 
     #[test]

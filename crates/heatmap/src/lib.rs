@@ -15,6 +15,10 @@
 //!   which is exact for counts and only for counts),
 //! * [`render`] — PPM/PGM/ASCII writers with heat color ramps (darker =
 //!   more influential, following the paper's figures),
+//! * [`quant`] — compact bit-exact tile payloads: `u16` palette /
+//!   affine encodings that cut cached-tile traffic to 2 bytes per
+//!   pixel, falling back to raw `f64` whenever a tile cannot
+//!   round-trip exactly,
 //! * [`tiles`] — the interactive-exploration serving layer: a
 //!   multi-resolution tile pyramid rendered through the scanline
 //!   engine, an LRU tile cache, and cached viewport stitching with
@@ -29,6 +33,7 @@
 pub mod compute;
 pub mod mipmap;
 pub mod ops;
+pub mod quant;
 pub mod raster;
 pub mod render;
 pub mod scanline;
@@ -39,7 +44,8 @@ pub use compute::{
     rasterize_squares_oracle,
 };
 pub use mipmap::HeatMipmap;
-pub use ops::{blit, diff, downsample, max_pixel, upsample_nearest};
+pub use ops::{blit, blit_payload, diff, downsample, max_pixel, upsample_nearest};
+pub use quant::TilePayload;
 pub use raster::{GridSpec, HeatRaster};
 pub use render::{write_pgm, write_ppm, ColorRamp};
 pub use scanline::{refresh_disks_dirty, refresh_squares_dirty};

@@ -1,6 +1,7 @@
 //! Raster operations for exploratory analysis: differences (before/after
 //! a candidate placement), downsampling, and peak extraction.
 
+use crate::quant::TilePayload;
 use crate::raster::{GridSpec, HeatRaster};
 
 /// `a − b`, pixel-wise. Panics if the grids differ.
@@ -70,6 +71,30 @@ pub fn blit(
         let d0 = (dst_row + dy) * dw + dst_col;
         let src_vals = &src.values()[s0..s0 + w];
         dst.values_mut()[d0..d0 + w].copy_from_slice(src_vals);
+    }
+}
+
+/// [`blit`] over a cached [`TilePayload`]: copies a `w × h` block from
+/// the (possibly quantized) `src` payload into `dst`, decoding row
+/// segments on the fly. Decoding is bit-exact for every stored payload
+/// — quantized tiles only exist when their values round-trip — so this
+/// produces the same pixels as blitting the original raster.
+///
+/// Panics if either block runs outside its raster.
+pub fn blit_payload(
+    dst: &mut HeatRaster,
+    src: &TilePayload,
+    (src_col, src_row): (usize, usize),
+    (dst_col, dst_row): (usize, usize),
+    (w, h): (usize, usize),
+) {
+    let spec = src.spec();
+    assert!(src_col + w <= spec.width && src_row + h <= spec.height, "src block oob");
+    assert!(dst_col + w <= dst.spec.width && dst_row + h <= dst.spec.height, "dst block oob");
+    let dw = dst.spec.width;
+    for dy in 0..h {
+        let d0 = (dst_row + dy) * dw + dst_col;
+        src.read_row_segment(src_row + dy, src_col, &mut dst.values_mut()[d0..d0 + w]);
     }
 }
 

@@ -1,0 +1,498 @@
+//! Quantized tile payloads — compact in-cache representations of tile
+//! rasters that dequantize on the fly during stitching and previews.
+//!
+//! The hot serving paths (warm pans, viewport stitches, mipmap blits)
+//! are memory-bandwidth-bound: a 256×256 tile of `f64` influence values
+//! is 512 KiB of buffer traffic per touch. Most tiles don't need 64
+//! bits per pixel — a count-measure tile holds small non-negative
+//! integers, and even rich measures tend to take few distinct values
+//! per tile. [`TilePayload`] stores each tile in the cheapest encoding
+//! that is **bit-exact** for that tile's values:
+//!
+//! * [`TilePayload::Affine`] — `u16` codes with `value = min + code ·
+//!   scale`. The encoder only emits this form after verifying, value by
+//!   value, that decoding reproduces the original bits (integral
+//!   measures like count fit with `scale = 1`), so it is lossless by
+//!   construction.
+//! * [`TilePayload::Palette`] — `u16` codes into a small table of
+//!   distinct `f64` values (≤ [`MAX_PALETTE`] entries), exact for any
+//!   value set, including NaNs and signed zeros, because decoding
+//!   returns the stored bit patterns verbatim.
+//! * [`TilePayload::Exact`] — the raw `f64` raster, kept whenever
+//!   neither compact form round-trips. This guarantees every exact-path
+//!   golden hash in the workspace is unchanged: quantization never
+//!   alters a pixel, it only shrinks the bytes that carry it.
+//!
+//! Both compact forms cut payload traffic to 2 bytes per pixel (plus a
+//! small table), quadrupling effective cache capacity and stitch
+//! bandwidth for quantizable tiles.
+//!
+//! A separate *lossy* encoder, [`TilePayload::encode_lossy`], maps any
+//! raster onto the affine form with `scale = (max − min) / 65535` and
+//! reports the max absolute error (≤ half a quantization step). The
+//! cache never stores lossy payloads; the encoder exists for
+//! bandwidth-constrained exports and for characterizing what the exact
+//! encoder refuses.
+//!
+//! This module adds no locks and no shared state: payloads are
+//! immutable once encoded and shared via `Arc` exactly like the raw
+//! rasters they replace.
+
+use crate::raster::{GridSpec, HeatRaster};
+
+/// Fixed per-entry bookkeeping charged by the tile cache on top of the
+/// payload bytes: key, LRU stamp, map slot, `Arc` counts.
+pub const ENTRY_OVERHEAD_BYTES: usize = 128;
+
+/// Most distinct values a palette payload may hold. 512 entries cost
+/// 4 KiB — noise next to the 128 KiB of codes for a 256×256 tile —
+/// while covering every realistic small-value-set tile.
+pub const MAX_PALETTE: usize = 512;
+
+/// Largest affine code: codes are `u16`, so offsets span `0..=65535`.
+const MAX_CODE: f64 = 65535.0;
+
+/// A tile raster in its cheapest bit-exact encoding.
+///
+/// Construct via [`TilePayload::encode`] (or the [`From`]`<HeatRaster>`
+/// impl, which encodes without the integral hint). Decoding any variant
+/// reproduces the source raster bit for bit; the lossy affine encoder
+/// is a separate, explicitly-named entry point.
+#[derive(Debug, Clone)]
+pub enum TilePayload {
+    /// Raw `f64` raster — the fallback when no compact form is exact.
+    Exact(HeatRaster),
+    /// `u16` codes into a table of distinct values (first-seen order).
+    Palette {
+        /// Grid geometry of the encoded tile.
+        spec: GridSpec,
+        /// Row-major per-pixel indices into `palette`.
+        codes: Vec<u16>,
+        /// The distinct values, in order of first appearance.
+        palette: Vec<f64>,
+    },
+    /// `u16` codes with `value = min + code · scale`, verified bitwise
+    /// at encode time.
+    Affine {
+        /// Grid geometry of the encoded tile.
+        spec: GridSpec,
+        /// Row-major per-pixel codes.
+        codes: Vec<u16>,
+        /// Decoded value of code 0.
+        min: f64,
+        /// Step between adjacent codes.
+        scale: f64,
+    },
+}
+
+impl TilePayload {
+    /// Encodes a raster into its cheapest bit-exact payload.
+    ///
+    /// `integral_hint` — from
+    /// `InfluenceMeasure::integral_influence` — says the
+    /// measure emits integer-valued influences, so the integer-offset
+    /// affine form is tried first (it is the cheapest to build and to
+    /// decode). The hint is only an ordering heuristic: every compact
+    /// encoding is verified value by value before it is accepted, so a
+    /// wrong hint can never corrupt a tile.
+    pub fn encode(raster: HeatRaster, integral_hint: bool) -> TilePayload {
+        if integral_hint {
+            if let Some(p) = try_affine(&raster) {
+                return p;
+            }
+        }
+        if let Some(p) = try_palette(&raster) {
+            return p;
+        }
+        if !integral_hint {
+            if let Some(p) = try_affine(&raster) {
+                return p;
+            }
+        }
+        TilePayload::Exact(raster)
+    }
+
+    /// Lossy affine quantization of an arbitrary raster: codes are the
+    /// nearest of the two bracketing steps of `scale = (max − min) /
+    /// 65535`, so the returned max absolute error is at most half a
+    /// quantization step (plus f64 rounding). Never used for cached
+    /// tiles — the cache only holds bit-exact payloads.
+    pub fn encode_lossy(raster: &HeatRaster) -> (TilePayload, f64) {
+        let spec = raster.spec;
+        let (min, max) = raster.min_max();
+        let scale = if max > min { (max - min) / MAX_CODE } else { 1.0 };
+        let mut codes = Vec::with_capacity(raster.values().len());
+        let mut max_err = 0.0f64;
+        for &v in raster.values() {
+            // Candidate codes bracketing v; pick the closer decode.
+            let c_lo = (((v - min) / scale).floor()).clamp(0.0, MAX_CODE) as u16;
+            let c_hi = c_lo.saturating_add(1).min(MAX_CODE as u16);
+            let err = |c: u16| (min + c as f64 * scale - v).abs();
+            let c = if err(c_hi) < err(c_lo) { c_hi } else { c_lo };
+            max_err = max_err.max(err(c));
+            codes.push(c);
+        }
+        (TilePayload::Affine { spec, codes, min, scale }, max_err)
+    }
+
+    /// Grid geometry of the encoded tile.
+    #[inline]
+    pub fn spec(&self) -> GridSpec {
+        match self {
+            TilePayload::Exact(r) => r.spec,
+            TilePayload::Palette { spec, .. } | TilePayload::Affine { spec, .. } => *spec,
+        }
+    }
+
+    /// Whether the payload is one of the compact (2-byte-per-pixel)
+    /// encodings, as opposed to the raw `f64` raster.
+    #[inline]
+    pub fn quantized(&self) -> bool {
+        !matches!(self, TilePayload::Exact(_))
+    }
+
+    /// Bytes this payload occupies in the cache: heap payload plus
+    /// [`ENTRY_OVERHEAD_BYTES`] of per-entry bookkeeping. All tile-size
+    /// accounting (insertion budgets, eviction, shard occupancy) routes
+    /// through here so variable-width payloads cannot drift from the
+    /// budget.
+    pub fn bytes(&self) -> usize {
+        let heap = match self {
+            TilePayload::Exact(r) => std::mem::size_of_val(r.values()),
+            TilePayload::Palette { codes, palette, .. } => {
+                std::mem::size_of_val(codes.as_slice()) + std::mem::size_of_val(palette.as_slice())
+            }
+            TilePayload::Affine { codes, .. } => std::mem::size_of_val(codes.as_slice()),
+        };
+        heap + ENTRY_OVERHEAD_BYTES
+    }
+
+    /// Decoded value at `(col, row)` — bitwise the source raster's.
+    #[inline]
+    pub fn get(&self, col: usize, row: usize) -> f64 {
+        match self {
+            TilePayload::Exact(r) => r.get(col, row),
+            TilePayload::Palette { spec, codes, palette } => {
+                palette[codes[row * spec.width + col] as usize]
+            }
+            TilePayload::Affine { spec, codes, min, scale } => {
+                min + codes[row * spec.width + col] as f64 * scale
+            }
+        }
+    }
+
+    /// Appends the decoded pixels of row `row`, columns
+    /// `col..col + len`, onto `out` — the stitching primitive. Compact
+    /// payloads read 2 bytes per pixel and decode in a streaming map
+    /// the compiler vectorizes; exact payloads copy the slice.
+    pub fn append_row_segment(&self, row: usize, col: usize, len: usize, out: &mut Vec<f64>) {
+        match self {
+            TilePayload::Exact(r) => {
+                let s0 = row * r.spec.width + col;
+                out.extend_from_slice(&r.values()[s0..s0 + len]);
+            }
+            TilePayload::Palette { spec, codes, palette } => {
+                let s0 = row * spec.width + col;
+                out.extend(codes[s0..s0 + len].iter().map(|&c| palette[c as usize]));
+            }
+            TilePayload::Affine { spec, codes, min, scale } => {
+                let s0 = row * spec.width + col;
+                out.extend(codes[s0..s0 + len].iter().map(|&c| min + c as f64 * scale));
+            }
+        }
+    }
+
+    /// Decodes the row segment into a destination slice (the blit
+    /// primitive used by previews and mipmap patches).
+    pub fn read_row_segment(&self, row: usize, col: usize, dst: &mut [f64]) {
+        match self {
+            TilePayload::Exact(r) => {
+                let s0 = row * r.spec.width + col;
+                dst.copy_from_slice(&r.values()[s0..s0 + dst.len()]);
+            }
+            TilePayload::Palette { spec, codes, palette } => {
+                let s0 = row * spec.width + col;
+                let src = &codes[s0..s0 + dst.len()];
+                for (d, &c) in dst.iter_mut().zip(src) {
+                    *d = palette[c as usize];
+                }
+            }
+            TilePayload::Affine { spec, codes, min, scale } => {
+                let s0 = row * spec.width + col;
+                let src = &codes[s0..s0 + dst.len()];
+                for (d, &c) in dst.iter_mut().zip(src) {
+                    *d = min + c as f64 * scale;
+                }
+            }
+        }
+    }
+
+    /// Decodes the whole payload back into a raster (bitwise the
+    /// original). Exact payloads clone their buffer.
+    pub fn to_raster(&self) -> HeatRaster {
+        match self {
+            TilePayload::Exact(r) => r.clone(),
+            _ => {
+                let spec = self.spec();
+                let mut values = Vec::with_capacity(spec.width * spec.height);
+                for row in 0..spec.height {
+                    self.append_row_segment(row, 0, spec.width, &mut values);
+                }
+                HeatRaster::from_values(spec, values)
+            }
+        }
+    }
+}
+
+impl From<HeatRaster> for TilePayload {
+    /// Encodes without the integral hint — the compatibility shim that
+    /// lets render closures keep returning plain rasters.
+    fn from(raster: HeatRaster) -> TilePayload {
+        TilePayload::encode(raster, false)
+    }
+}
+
+/// Integer-offset affine attempt: `scale = 1`, `min` the smallest
+/// value. Accepts only when every value decodes to its original bits
+/// (which also rejects NaN/infinite values and any `-0.0` min trouble —
+/// the verification is the authority, not the arithmetic).
+fn try_affine(raster: &HeatRaster) -> Option<TilePayload> {
+    let values = raster.values();
+    if values.is_empty() {
+        return None;
+    }
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    if !min.is_finite() {
+        return None;
+    }
+    let mut codes = Vec::with_capacity(values.len());
+    for &v in values {
+        let d = v - min;
+        if !(0.0..=MAX_CODE).contains(&d) {
+            return None;
+        }
+        let c = d as u16;
+        // Bitwise round-trip check: decode must reproduce v exactly.
+        if (min + c as f64).to_bits() != v.to_bits() {
+            return None;
+        }
+        codes.push(c);
+    }
+    Some(TilePayload::Affine { spec: raster.spec, codes, min, scale: 1.0 })
+}
+
+/// Open-addressing value→code table for palette detection: fixed
+/// power-of-two slot array keyed on value bits, linear probing, bails
+/// as soon as the distinct-value count exceeds [`MAX_PALETTE`]. No
+/// `HashMap` (iteration order is banned workspace-wide) and no sort of
+/// the 65k-pixel buffer — one linear pass.
+fn try_palette(raster: &HeatRaster) -> Option<TilePayload> {
+    let values = raster.values();
+    if values.is_empty() {
+        return None;
+    }
+    // 4× MAX_PALETTE slots keeps the load factor ≤ 0.25.
+    const SLOTS: usize = (MAX_PALETTE * 4).next_power_of_two();
+    const EMPTY: u16 = u16::MAX;
+    let mut slots = [EMPTY; SLOTS];
+    let mut palette: Vec<f64> = Vec::new();
+    let mut codes = Vec::with_capacity(values.len());
+    for &v in values {
+        let bits = v.to_bits();
+        // fnv1a-style scramble of the bit pattern picks the home slot.
+        let mut h = 0xcbf29ce484222325u64 ^ bits;
+        h = h.wrapping_mul(0x100000001b3);
+        let mut slot = (h as usize) & (SLOTS - 1);
+        let code = loop {
+            match slots[slot] {
+                EMPTY => {
+                    if palette.len() >= MAX_PALETTE {
+                        return None;
+                    }
+                    let code = palette.len() as u16;
+                    palette.push(v);
+                    slots[slot] = code;
+                    break code;
+                }
+                c if palette[c as usize].to_bits() == bits => break c,
+                _ => slot = (slot + 1) & (SLOTS - 1),
+            }
+        };
+        codes.push(code);
+    }
+    // Accept only when the compact form actually wins: 2 bytes per
+    // pixel plus the table must undercut 8 bytes per pixel.
+    let compact = codes.len() * 2 + palette.len() * 8;
+    if compact >= values.len() * 8 {
+        return None;
+    }
+    Some(TilePayload::Palette { spec: raster.spec, codes, palette })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnnhm_geom::Rect;
+
+    fn raster_of(w: usize, h: usize, f: impl Fn(usize, usize) -> f64) -> HeatRaster {
+        let spec = GridSpec::new(w, h, Rect::new(0.0, 1.0, 0.0, 1.0));
+        let mut values = Vec::with_capacity(w * h);
+        for row in 0..h {
+            for col in 0..w {
+                values.push(f(col, row));
+            }
+        }
+        HeatRaster::from_values(spec, values)
+    }
+
+    fn assert_roundtrip(payload: &TilePayload, src: &HeatRaster) {
+        let back = payload.to_raster();
+        assert_eq!(back.spec, src.spec);
+        for (a, b) in back.values().iter().zip(src.values()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "decode must be bitwise exact");
+        }
+        for row in 0..src.spec.height {
+            for col in 0..src.spec.width {
+                assert_eq!(payload.get(col, row).to_bits(), src.get(col, row).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn integral_tiles_take_the_affine_form() {
+        let r = raster_of(16, 16, |c, row| ((c * row) % 37) as f64);
+        let p = TilePayload::encode(r.clone(), true);
+        assert!(matches!(p, TilePayload::Affine { .. }));
+        assert!(p.quantized());
+        assert_roundtrip(&p, &r);
+    }
+
+    #[test]
+    fn affine_handles_nonzero_integer_offsets() {
+        // Capacity-style values: integers offset far from zero.
+        let r = raster_of(8, 8, |c, row| 40_000.0 + ((c + row) % 9) as f64);
+        let p = TilePayload::encode(r.clone(), true);
+        assert!(matches!(p, TilePayload::Affine { .. }));
+        assert_roundtrip(&p, &r);
+    }
+
+    #[test]
+    fn wide_integer_range_falls_back_to_palette_or_exact() {
+        // Spread exceeds the u16 code range; few distinct values, so
+        // the palette catches it losslessly.
+        let r = raster_of(32, 32, |c, _| if c % 2 == 0 { 0.0 } else { 1.0e6 });
+        let p = TilePayload::encode(r.clone(), true);
+        assert!(matches!(p, TilePayload::Palette { .. }));
+        assert_roundtrip(&p, &r);
+    }
+
+    #[test]
+    fn fractional_small_value_sets_take_the_palette_form() {
+        let r = raster_of(32, 32, |c, row| 0.25 * ((c + 2 * row) % 7) as f64 + 0.125);
+        let p = TilePayload::encode(r.clone(), false);
+        assert!(matches!(p, TilePayload::Palette { .. }));
+        assert_roundtrip(&p, &r);
+    }
+
+    #[test]
+    fn palette_preserves_nan_and_signed_zero_bits() {
+        let r = raster_of(16, 16, |c, _| match c % 3 {
+            0 => 0.0,
+            1 => -0.0,
+            _ => f64::NAN,
+        });
+        let p = TilePayload::encode(r.clone(), false);
+        assert!(matches!(p, TilePayload::Palette { .. }));
+        assert_roundtrip(&p, &r);
+    }
+
+    #[test]
+    fn high_entropy_tiles_stay_exact() {
+        // Distinct irrational-ish value per pixel: no compact form.
+        let r = raster_of(48, 48, |c, row| ((row * 48 + c) as f64).sqrt() + 0.1);
+        let p = TilePayload::encode(r.clone(), false);
+        assert!(matches!(p, TilePayload::Exact(_)));
+        assert!(!p.quantized());
+        assert_roundtrip(&p, &r);
+    }
+
+    #[test]
+    fn negative_zero_min_does_not_break_affine() {
+        // WeightedMeasure's empty sum is -0.0; min = -0.0 and
+        // -0.0 + 0.0 == +0.0 which differs bitwise, so the verifier
+        // must reject the affine form and the palette must take over.
+        let r = raster_of(16, 16, |c, _| if c % 2 == 0 { -0.0 } else { 3.0 });
+        let p = TilePayload::encode(r.clone(), true);
+        assert!(matches!(p, TilePayload::Palette { .. }));
+        assert_roundtrip(&p, &r);
+    }
+
+    #[test]
+    fn bytes_accounting_matches_payload_width() {
+        let n = 64usize * 64;
+        let quant = TilePayload::encode(raster_of(64, 64, |c, _| (c % 5) as f64), true);
+        let exact =
+            TilePayload::encode(raster_of(64, 64, |c, row| (c * 7919 + row) as f64 + 0.3), false);
+        assert_eq!(
+            quant.bytes(),
+            n * 2 + ENTRY_OVERHEAD_BYTES,
+            "affine payload is 2 bytes per pixel"
+        );
+        assert_eq!(exact.bytes(), n * 8 + ENTRY_OVERHEAD_BYTES);
+        assert!(quant.bytes() * 3 < exact.bytes(), "compact payloads ≥ 3× smaller");
+    }
+
+    #[test]
+    fn row_segment_readers_agree_with_get() {
+        for payload in [
+            TilePayload::encode(raster_of(17, 9, |c, row| ((c + row) % 11) as f64), true),
+            TilePayload::encode(raster_of(17, 9, |c, row| 0.5 * ((c * row) % 6) as f64), false),
+            TilePayload::encode(
+                raster_of(17, 9, |c, row| (c as f64 + 0.1) * (row as f64 + 0.7)),
+                false,
+            ),
+        ] {
+            let spec = payload.spec();
+            let mut out = Vec::new();
+            payload.append_row_segment(3, 2, 10, &mut out);
+            let mut blit = vec![0.0; 10];
+            payload.read_row_segment(3, 2, &mut blit);
+            for (i, (a, b)) in out.iter().zip(&blit).enumerate() {
+                let expect = payload.get(2 + i, 3);
+                assert_eq!(a.to_bits(), expect.to_bits());
+                assert_eq!(b.to_bits(), expect.to_bits());
+            }
+            let _ = spec;
+        }
+    }
+
+    #[test]
+    fn lossy_encoder_bounds_error_by_half_a_step() {
+        let r = raster_of(32, 32, |c, row| ((c * 31 + row * 7) as f64).sin() * 100.0);
+        let (p, max_err) = TilePayload::encode_lossy(&r);
+        let (lo, hi) = r.min_max();
+        let step = (hi - lo) / 65535.0;
+        assert!(max_err <= step * 0.5 + 1e-12, "max_err {max_err} vs step {step}");
+        // Reported bound is honest: re-measure the actual error.
+        let back = p.to_raster();
+        for (a, b) in back.values().iter().zip(r.values()) {
+            assert!((a - b).abs() <= max_err + 1e-12);
+        }
+    }
+
+    #[test]
+    fn lossy_encoder_is_exact_on_constant_rasters() {
+        let r = raster_of(8, 8, |_, _| 42.5);
+        let (p, max_err) = TilePayload::encode_lossy(&r);
+        assert_eq!(max_err, 0.0);
+        assert_roundtrip(&p, &r);
+    }
+
+    #[test]
+    fn from_impl_encodes_without_hint() {
+        let p: TilePayload = raster_of(16, 16, |c, _| (c % 3) as f64).into();
+        // Count-like values are caught by the palette even without the
+        // integral hint.
+        assert!(p.quantized());
+    }
+}

@@ -21,13 +21,29 @@
 //!    influence measure is updated via [`IncrementalMeasure::add`] /
 //!    [`remove`] and evaluated once per *run* of equal-valued pixels,
 //!    not once per pixel.
-//! 3. **Row parallelism.** Rows are independent; contiguous row bands
+//! 3. **Row batching.** Adjacent rows of a band are pushed through the
+//!    same active-shape set in [`ROW_BATCH`]-row groups (the RT-RkNN
+//!    ray-coherence idea: batch adjacent rays through one shape set).
+//!    For row-invariant shapes (axis-aligned squares) every shape
+//!    covering the whole batch contributes the *same* events to each
+//!    row, so those events are emitted and sorted **once per batch**;
+//!    each row only adds the handful of events from shapes starting or
+//!    expiring inside the batch, merged into the presorted base by
+//!    bulk runs. Rows whose event list is exactly the batch base are
+//!    bitwise copies of each other and are filled by `memcpy`.
+//! 4. **Row parallelism.** Rows are independent; contiguous row bands
 //!    (one per core, shaped by `rnnhm_core::parallel::chunk_ranges`)
 //!    render concurrently on scoped threads, each writing its own
 //!    disjoint slice of the raster buffer.
 //!
 //! The cost drops to `O(Σ_shapes rows(shape) + P)` with tiny constants
-//! — per-pixel work is a plain memory fill.
+//! — per-pixel work is a plain memory fill (`slice::fill` /
+//! `copy_within`, both of which lower to vectorized intrinsics), and
+//! per-row bookkeeping for the L∞ workhorse is proportional to the
+//! shapes *changing* across the batch, not all active shapes. Event
+//! scratch lives in a thread-local arena reused across rows, batches,
+//! and whole tile renders, so steady-state serving allocates nothing
+//! per row.
 //!
 //! ## Exactness
 //!
@@ -70,6 +86,12 @@ const COL_MARGIN: f64 = 2.0;
 /// [`RowShape::span`] must be *exact* — precisely the columns whose
 /// pixel centers the per-pixel oracle would count as covered.
 trait RowShape: Sync {
+    /// Whether [`RowShape::span`] is independent of `row`: the shape
+    /// covers the same columns on every row of [`RowShape::rows`].
+    /// Row-invariant shapes let the rasterizer emit and sort one event
+    /// list per [`ROW_BATCH`]-row batch instead of one per row.
+    const ROW_INVARIANT: bool = false;
+
     /// The client id whose NN-circle this is.
     fn owner(&self) -> u32;
 
@@ -114,6 +136,8 @@ impl AxisSquare {
 }
 
 impl RowShape for AxisSquare {
+    const ROW_INVARIANT: bool = true;
+
     #[inline]
     fn owner(&self) -> u32 {
         self.owner
@@ -377,63 +401,136 @@ fn event_owner(e: u64) -> u32 {
     e as u32
 }
 
-/// Scratch buffers one worker reuses across its rows.
+/// Rows a band worker pushes through one classified active-shape set
+/// (the RT-RkNN coherence batch). Small enough that shapes starting or
+/// expiring inside the batch stay a short "extras" list; large enough
+/// that the per-batch active-set scan and base sort amortize.
+const ROW_BATCH: usize = 8;
+
+/// How many [`RowScratch`] sets a thread parks for reuse; fetch worker
+/// threads render tiles one after another and only ever need one.
+const ARENA_CAP: usize = 4;
+
+std::thread_local! {
+    /// Per-thread arena of event scratch buffers. A band worker
+    /// acquires a scratch at the start of a render and parks it again
+    /// at the end, so consecutive tile renders on a fetch worker (or
+    /// on the caller's thread for single-band tiles) reuse the grown
+    /// event/histogram allocations instead of reallocating per tile.
+    static SCRATCH_ARENA: std::cell::RefCell<Vec<RowScratch>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Scratch buffers a band worker reuses across rows and batches — and,
+/// through [`SCRATCH_ARENA`], across whole renders.
 struct RowScratch {
-    events: Vec<u64>,
-    sorted: Vec<u64>,
+    /// Unsorted event staging buffer.
+    raw: Vec<u64>,
+    /// Batch-stable events (shapes covering every row of the batch),
+    /// sorted; valid for one batch.
+    base: Vec<u64>,
+    /// The current row's extra events, sorted.
+    extras: Vec<u64>,
+    /// `base` and `extras` merged in packed order for sweeping.
+    merged: Vec<u64>,
+    /// Indices of shapes active in the batch but not batch-stable.
+    partial: Vec<u32>,
     /// Counting-sort histogram, length `width + 2` (leave events can
     /// sit one past the last column).
     counts: Vec<u32>,
+    /// Difference array for the additive fast path, length `width + 1`
+    /// (a span leaving at the last column writes one past it).
+    diff: Vec<f64>,
 }
 
 impl RowScratch {
-    fn new(width: usize) -> Self {
-        RowScratch { events: Vec::new(), sorted: Vec::new(), counts: vec![0; width + 2] }
+    /// Pops a parked scratch from the thread's arena (or builds a
+    /// fresh one) and sizes its histogram for `width` columns.
+    fn acquire(width: usize) -> RowScratch {
+        let mut s = SCRATCH_ARENA.with(|a| a.borrow_mut().pop()).unwrap_or(RowScratch {
+            raw: Vec::new(),
+            base: Vec::new(),
+            extras: Vec::new(),
+            merged: Vec::new(),
+            partial: Vec::new(),
+            counts: Vec::new(),
+            diff: Vec::new(),
+        });
+        s.counts.clear();
+        s.counts.resize(width + 2, 0);
+        s.diff.clear();
+        s.diff.resize(width + 1, 0.0);
+        s
     }
 
-    /// Orders `self.events` by column into `self.sorted`: counting sort
-    /// when the row is dense, comparison sort when sparse (the packed
-    /// layout makes the `u64` order the column order; enter/leave order
-    /// within one column is immaterial to the swept set).
-    fn sort_events(&mut self) {
-        self.sorted.clear();
-        self.sorted.extend_from_slice(&self.events);
-        if self.events.len() * 8 < self.counts.len() {
-            self.sorted.sort_unstable();
-            return;
-        }
-        self.counts.fill(0);
-        for &e in &self.events {
-            self.counts[event_col(e)] += 1;
-        }
-        let mut acc = 0u32;
-        for c in self.counts.iter_mut() {
-            let n = *c;
-            *c = acc;
-            acc += n;
-        }
-        for &e in &self.events {
-            let slot = &mut self.counts[event_col(e)];
-            self.sorted[*slot as usize] = e;
-            *slot += 1;
-        }
+    /// Parks the scratch for the thread's next render.
+    fn release(self) {
+        SCRATCH_ARENA.with(|a| {
+            let mut a = a.borrow_mut();
+            if a.len() < ARENA_CAP {
+                a.push(self);
+            }
+        });
     }
+}
+
+/// Orders `raw` by column into `dst`: counting sort when the row is
+/// dense, comparison sort when sparse (the packed layout makes the
+/// `u64` order the column order; enter/leave order within one column is
+/// immaterial to the swept set). `counts` is the width+2 histogram.
+fn sort_events(counts: &mut [u32], raw: &[u64], dst: &mut Vec<u64>) {
+    dst.clear();
+    dst.extend_from_slice(raw);
+    if raw.len() * 8 < counts.len() {
+        dst.sort_unstable();
+        return;
+    }
+    counts.fill(0);
+    for &e in raw {
+        counts[event_col(e)] += 1;
+    }
+    let mut acc = 0u32;
+    for c in counts.iter_mut() {
+        let n = *c;
+        *c = acc;
+        acc += n;
+    }
+    for &e in raw {
+        let slot = &mut counts[event_col(e)];
+        dst[*slot as usize] = e;
+        *slot += 1;
+    }
+}
+
+/// Merges two column-sorted event lists into `out`, copying runs of
+/// `base` in bulk between consecutive extras (`extras` is short — the
+/// shapes changing within a batch — so the merge is a couple of
+/// `memcpy`-style runs rather than a full re-sort of every event).
+fn merge_events(base: &[u64], extras: &[u64], out: &mut Vec<u64>) {
+    out.clear();
+    out.reserve(base.len() + extras.len());
+    let mut b = 0usize;
+    for &e in extras {
+        let run = base[b..].partition_point(|&x| x <= e);
+        out.extend_from_slice(&base[b..b + run]);
+        b += run;
+        out.push(e);
+    }
+    out.extend_from_slice(&base[b..]);
 }
 
 /// Sweeps one row: fills `row_values[0..width]` run by run, applying
 /// enter/leave events and asking the measure for the value once per run.
 ///
-/// The events must describe balanced enter/leave pairs; the state is
-/// returned to its initial (empty) value by the trailing leave events,
-/// letting the worker reuse it across rows.
+/// The events must be column-sorted balanced enter/leave pairs; the
+/// state is returned to its initial (empty) value by the trailing
+/// leave events, letting the worker reuse it across rows.
 fn sweep_row<M: IncrementalMeasure>(
     measure: &M,
     state: &mut M::State,
-    scratch: &mut RowScratch,
+    events: &[u64],
     row_values: &mut [f64],
 ) {
-    scratch.sort_events();
-    let events = &scratch.sorted;
     let width = row_values.len();
     let mut cur = 0usize;
     let mut i = 0usize;
@@ -473,18 +570,34 @@ fn rasterize_scanline<S: RowShape, M: IncrementalMeasure + Sync>(
 
     // Bucket shapes by the first row they can touch; remember the last.
     // `row_range[i]` is the (possibly conservative) row range of shape
-    // i, with an inverted sentinel for shapes missing the grid.
+    // i, with an inverted sentinel for shapes missing the grid. The
+    // buckets are a CSR index (one flat array plus row offsets), not a
+    // Vec per row — a tile render makes zero per-row allocations.
     let mut row_range: Vec<(u32, u32)> = Vec::with_capacity(shapes.len());
-    let mut starts_at: Vec<Vec<u32>> = vec![Vec::new(); h];
-    for (i, s) in shapes.iter().enumerate() {
+    let mut starts_off: Vec<u32> = vec![0; h + 1];
+    for s in shapes.iter() {
         match s.rows(grid) {
             Some((r0, r1)) => {
                 row_range.push((r0 as u32, r1 as u32));
-                starts_at[r0].push(i as u32);
+                starts_off[r0 + 1] += 1;
             }
             None => row_range.push((1, 0)),
         }
     }
+    for r in 0..h {
+        starts_off[r + 1] += starts_off[r];
+    }
+    let mut starts: Vec<u32> = vec![0; starts_off[h] as usize];
+    let mut cursor: Vec<u32> = starts_off[..h].to_vec();
+    for (i, &(r0, r1)) in row_range.iter().enumerate() {
+        if r0 <= r1 {
+            let c = &mut cursor[r0 as usize];
+            starts[*c as usize] = i as u32;
+            *c += 1;
+        }
+    }
+    drop(cursor);
+    let starts_at = |row: usize| &starts[starts_off[row] as usize..starts_off[row + 1] as usize];
 
     let bands = chunk_ranges(h, n_bands);
 
@@ -497,6 +610,96 @@ fn rasterize_scanline<S: RowShape, M: IncrementalMeasure + Sync>(
         rest = tail;
     }
 
+    // Additive fast path: row-invariant shapes (precomputed constant
+    // spans) under a measure that is an exact order-independent sum of
+    // per-member deltas (see `IncrementalMeasure::additive_delta`)
+    // need no events and no sorting at all. Each band maintains one
+    // 1-D difference array across its rows — a shape adds `±delta` at
+    // its span edges when it starts and the negation when it expires —
+    // and every row is a prefix-sum fill. Per-row cost is
+    // `O(changed shapes) + O(width)`; rows with no membership change
+    // are bitwise copies of the previous row (`memcpy`).
+    // (An empty shape list would collect vacuously to `Some` for any
+    // measure — but e.g. the weighted measure's empty-sum identity is
+    // `-0.0`, which `acc += 0.0` would flip to `+0.0` — so the path
+    // also requires a shape whose measure actually opted in.)
+    let deltas: Option<Vec<f64>> = if S::ROW_INVARIANT && !shapes.is_empty() {
+        shapes.iter().map(|s| measure.additive_delta(s.owner())).collect()
+    } else {
+        None
+    };
+    if let Some(deltas) = &deltas {
+        // Shapes stop contributing at row `r1 + 1`; bucket them there
+        // (CSR, like `starts`). Shapes ending on the last row never
+        // need removal within any band.
+        let mut ends_off: Vec<u32> = vec![0; h + 1];
+        for &(r0, r1) in &row_range {
+            if r0 <= r1 && (r1 as usize) + 1 < h {
+                ends_off[r1 as usize + 2] += 1;
+            }
+        }
+        for r in 0..h {
+            ends_off[r + 1] += ends_off[r];
+        }
+        let mut ends: Vec<u32> = vec![0; ends_off[h] as usize];
+        let mut ecur: Vec<u32> = ends_off[..h].to_vec();
+        for (i, &(r0, r1)) in row_range.iter().enumerate() {
+            if r0 <= r1 && (r1 as usize) + 1 < h {
+                let c = &mut ecur[r1 as usize + 1];
+                ends[*c as usize] = i as u32;
+                *c += 1;
+            }
+        }
+        drop(ecur);
+        let ends_at = |row: usize| &ends[ends_off[row] as usize..ends_off[row + 1] as usize];
+
+        let background = measure.current(&measure.new_state());
+        let render_band = |band: std::ops::Range<usize>, slice: &mut [f64]| {
+            let mut scratch = RowScratch::acquire(w);
+            let diff = &mut scratch.diff;
+            let apply = |diff: &mut [f64], i: usize, sign: f64| {
+                if let Some((lo, hi)) = shapes[i].span(grid, 0) {
+                    let d = sign * deltas[i];
+                    diff[lo as usize] += d;
+                    diff[hi as usize + 1] -= d;
+                }
+            };
+            for (i, &(r0, r1)) in row_range.iter().enumerate() {
+                if (r0 as usize) < band.start && band.start <= r1 as usize {
+                    apply(diff, i, 1.0);
+                }
+            }
+            let mut prev: Option<usize> = None;
+            for row in band.clone() {
+                let starting = starts_at(row);
+                let ending: &[u32] = if row > band.start { ends_at(row) } else { &[] };
+                for &i in starting {
+                    apply(diff, i as usize, 1.0);
+                }
+                for &i in ending {
+                    apply(diff, i as usize, -1.0);
+                }
+                let offset = (row - band.start) * w;
+                match prev {
+                    Some(src) if starting.is_empty() && ending.is_empty() => {
+                        slice.copy_within(src..src + w, offset);
+                    }
+                    _ => {
+                        let mut acc = background;
+                        for (out, &d) in slice[offset..offset + w].iter_mut().zip(diff.iter()) {
+                            acc += d;
+                            *out = acc;
+                        }
+                    }
+                }
+                prev = Some(offset);
+            }
+            scratch.release();
+        };
+        run_bands(&bands, slices, render_band);
+        return values;
+    }
+
     let render_band = |band: std::ops::Range<usize>, slice: &mut [f64]| {
         // Shapes already active when the band starts.
         let mut active: Vec<u32> = row_range
@@ -506,29 +709,98 @@ fn rasterize_scanline<S: RowShape, M: IncrementalMeasure + Sync>(
             .map(|(i, _)| i as u32)
             .collect();
         let mut state = measure.new_state();
-        let mut scratch = RowScratch::new(w);
-        for row in band.clone() {
-            active.extend_from_slice(&starts_at[row]);
-            scratch.events.clear();
+        let mut scratch = RowScratch::acquire(w);
+        let mut row = band.start;
+        while row < band.end {
+            let batch_end = (row + ROW_BATCH).min(band.end);
+            for r in row..batch_end {
+                active.extend_from_slice(starts_at(r));
+            }
+            // Classify the active set once per batch: shapes covering
+            // every batch row with a row-invariant span go into the
+            // presorted `base` event list; the rest — shapes starting
+            // or expiring mid-batch, and all row-varying shapes — are
+            // `partial` and re-emit per row. Shapes gone before `row`
+            // retire here (swap_remove), once per batch.
+            scratch.raw.clear();
+            scratch.partial.clear();
             let mut k = 0;
             while k < active.len() {
                 let i = active[k] as usize;
-                if (row_range[i].1 as usize) < row {
+                let (r0, r1) = row_range[i];
+                if (r1 as usize) < row {
                     active.swap_remove(k);
                     continue;
                 }
-                if let Some((lo, hi)) = shapes[i].span(grid, row) {
-                    let owner = shapes[i].owner();
-                    scratch.events.push(pack_event(lo, true, owner));
-                    scratch.events.push(pack_event(hi + 1, false, owner));
+                if S::ROW_INVARIANT && r0 as usize <= row && r1 as usize >= batch_end - 1 {
+                    if let Some((lo, hi)) = shapes[i].span(grid, row) {
+                        let owner = shapes[i].owner();
+                        scratch.raw.push(pack_event(lo, true, owner));
+                        scratch.raw.push(pack_event(hi + 1, false, owner));
+                    }
+                } else {
+                    scratch.partial.push(active[k]);
                 }
                 k += 1;
             }
-            let offset = (row - band.start) * w;
-            sweep_row(measure, &mut state, &mut scratch, &mut slice[offset..offset + w]);
+            sort_events(&mut scratch.counts, &scratch.raw, &mut scratch.base);
+            // Slice offset of a row already swept with exactly the
+            // base events: any later base-only row of this batch is
+            // its bitwise copy.
+            let mut base_row: Option<usize> = None;
+            for r in row..batch_end {
+                scratch.raw.clear();
+                for &pi in &scratch.partial {
+                    let i = pi as usize;
+                    let (r0, r1) = row_range[i];
+                    if (r0 as usize) <= r && r <= r1 as usize {
+                        if let Some((lo, hi)) = shapes[i].span(grid, r) {
+                            let owner = shapes[i].owner();
+                            scratch.raw.push(pack_event(lo, true, owner));
+                            scratch.raw.push(pack_event(hi + 1, false, owner));
+                        }
+                    }
+                }
+                let offset = (r - band.start) * w;
+                if scratch.raw.is_empty() {
+                    if let Some(src) = base_row {
+                        slice.copy_within(src..src + w, offset);
+                    } else {
+                        sweep_row(
+                            measure,
+                            &mut state,
+                            &scratch.base,
+                            &mut slice[offset..offset + w],
+                        );
+                        base_row = Some(offset);
+                    }
+                } else {
+                    sort_events(&mut scratch.counts, &scratch.raw, &mut scratch.extras);
+                    let events: &[u64] = if scratch.base.is_empty() {
+                        &scratch.extras
+                    } else {
+                        merge_events(&scratch.base, &scratch.extras, &mut scratch.merged);
+                        &scratch.merged
+                    };
+                    sweep_row(measure, &mut state, events, &mut slice[offset..offset + w]);
+                }
+            }
+            row = batch_end;
         }
+        scratch.release();
     };
 
+    run_bands(&bands, slices, render_band);
+    values
+}
+
+/// Runs one band renderer per slice: inline for a single band, scoped
+/// threads otherwise (each worker owns a disjoint slice of the raster).
+fn run_bands<F: Fn(std::ops::Range<usize>, &mut [f64]) + Sync>(
+    bands: &[std::ops::Range<usize>],
+    slices: Vec<&mut [f64]>,
+    render_band: F,
+) {
     if slices.len() <= 1 {
         if let Some(slice) = slices.into_iter().next() {
             render_band(bands[0].clone(), slice);
@@ -540,8 +812,6 @@ fn rasterize_scanline<S: RowShape, M: IncrementalMeasure + Sync>(
             }
         });
     }
-
-    values
 }
 
 /// Rows below which an extra worker thread is not worth its spawn

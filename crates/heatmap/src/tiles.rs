@@ -14,7 +14,12 @@
 //!   over a fixed world extent, with per-tile [`GridSpec`] derivation,
 //! * [`TileCache`] — a byte-accounted LRU cache keyed by
 //!   `(arrangement fingerprint, measure key, tile)` with hit/miss
-//!   statistics, safe to share across threads,
+//!   statistics, safe to share across threads. Entries are
+//!   [`TilePayload`]s, not raw rasters: tiles that round-trip exactly
+//!   through a compact `u16` encoding (see [`crate::quant`]) cost 2
+//!   bytes per pixel instead of 8, roughly quadrupling effective
+//!   capacity for integral measures; all eviction and shard accounting
+//!   runs on true payload bytes,
 //! * [`Viewport`] — resolves a map rectangle plus an on-screen pixel
 //!   budget to a zoom level and a pixel window of the global grid,
 //!   fetches/renders the covering tiles in parallel, and stitches them
@@ -54,17 +59,14 @@ use std::time::Instant;
 use rnnhm_core::parallel::{chunk_ranges, effective_parallelism};
 use rnnhm_geom::Rect;
 
-use crate::ops::blit;
+use crate::ops::blit_payload;
+use crate::quant::TilePayload;
 use crate::raster::{GridSpec, HeatRaster};
 
 /// Total pixels per axis of the finest zoom level are capped at
 /// `2^MAX_GRID_BITS` so pixel indices stay well inside `u32`/`f64`
 /// integer range.
 const MAX_GRID_BITS: u32 = 30;
-
-/// Approximate fixed per-entry bookkeeping cost counted against the
-/// cache capacity on top of the pixel payload.
-const ENTRY_OVERHEAD_BYTES: usize = 128;
 
 /// Address of one tile: zoom level plus tile column/row.
 ///
@@ -364,21 +366,24 @@ impl Viewport {
         ((c_lo - tc0, r_lo - tr0), (c_lo - self.col0, r_lo - self.row0), (c_hi - c_lo, r_hi - r_lo))
     }
 
-    /// Assembles the viewport raster from `rasters`, one per
+    /// Assembles the viewport raster from `payloads`, one per
     /// [`Viewport::tiles`] entry in the same order.
     ///
-    /// The output buffer is filled row by row with one
-    /// `extend_from_slice` per (row, tile) segment — append-only, no
-    /// zero-fill pass — because the covering tiles blanket every
-    /// window pixel.
-    pub fn stitch(&self, scheme: &TileScheme, rasters: &[Arc<HeatRaster>]) -> HeatRaster {
-        assert_eq!(rasters.len(), self.tiles.len(), "one raster per covering tile");
+    /// The output buffer is filled row by row with one row-segment
+    /// append per (row, tile) segment — append-only, no zero-fill pass
+    /// — because the covering tiles blanket every window pixel.
+    /// Quantized payloads dequantize on the fly, reading 2 bytes per
+    /// pixel instead of 8; exact payloads copy their slices bitwise.
+    /// Either way the output is bit-identical to stitching the decoded
+    /// rasters, because decoding is bit-exact.
+    pub fn stitch(&self, scheme: &TileScheme, payloads: &[Arc<TilePayload>]) -> HeatRaster {
+        assert_eq!(payloads.len(), self.tiles.len(), "one payload per covering tile");
         let t = scheme.tile_px;
-        for tile in rasters {
+        for tile in payloads {
             assert_eq!(
-                (tile.spec.width, tile.spec.height),
+                (tile.spec().width, tile.spec().height),
                 (t, t),
-                "tile raster has wrong dimensions"
+                "tile payload has wrong dimensions"
             );
         }
         let (w, h) = (self.spec.width, self.spec.height);
@@ -395,8 +400,12 @@ impl Viewport {
                 let tc0 = id.tx as usize * t;
                 let c_lo = tc0.max(self.col0);
                 let c_hi = (tc0 + t).min(self.col0 + w);
-                let s0 = src_row * t + (c_lo - tc0);
-                values.extend_from_slice(&rasters[row_base + k].values()[s0..s0 + (c_hi - c_lo)]);
+                payloads[row_base + k].append_row_segment(
+                    src_row,
+                    c_lo - tc0,
+                    c_hi - c_lo,
+                    &mut values,
+                );
             }
         }
         HeatRaster::from_values(self.spec, values)
@@ -428,12 +437,12 @@ impl Viewport {
             let (src, dst, size) = self.overlap(scheme, id);
             let key = TileKey { arrangement, measure, scheme: scheme_key, tile: id };
             if let Some(tile) = cache.peek(key) {
-                blit(&mut out, &tile, src, dst, size);
+                blit_payload(&mut out, &tile, src, dst, size);
                 exact_px += size.0 * size.1;
                 continue;
             }
             // Walk up the pyramid for the nearest cached ancestor.
-            let mut coarse: Option<(u8, Arc<HeatRaster>)> = None;
+            let mut coarse: Option<(u8, Arc<TilePayload>)> = None;
             for levels in 1..=id.zoom {
                 let anc = id.ancestor(levels).expect("levels <= zoom");
                 let key = TileKey { arrangement, measure, scheme: scheme_key, tile: anc };
@@ -473,8 +482,10 @@ impl Viewport {
 
     /// Fetches the covering tiles through `cache` — rendering the
     /// misses in parallel via `render` — and stitches the exact
-    /// viewport raster.
-    pub fn render<F>(
+    /// viewport raster. The renderer may return a plain [`HeatRaster`]
+    /// (encoded on the way into the cache via `Into<TilePayload>`) or a
+    /// pre-encoded payload.
+    pub fn render<R, F>(
         &self,
         scheme: &TileScheme,
         cache: &TileCache,
@@ -483,10 +494,11 @@ impl Viewport {
         render: F,
     ) -> HeatRaster
     where
-        F: Fn(TileId, GridSpec) -> HeatRaster + Sync,
+        R: Into<TilePayload>,
+        F: Fn(TileId, GridSpec) -> R + Sync,
     {
-        let rasters = cache.fetch(arrangement, measure, scheme, &self.tiles, render);
-        self.stitch(scheme, &rasters)
+        let payloads = cache.fetch(arrangement, measure, scheme, &self.tiles, render);
+        self.stitch(scheme, &payloads)
     }
 }
 
@@ -535,6 +547,8 @@ pub struct ShardOccupancy {
     pub capacity: usize,
     /// The largest byte occupancy this shard ever reached.
     pub bytes_high_water: usize,
+    /// The portion of `bytes` held in compact (quantized) payloads.
+    pub bytes_quantized: usize,
 }
 
 /// Counters describing a [`TileCache`]'s behaviour since creation,
@@ -554,6 +568,12 @@ pub struct CacheStats {
     pub invalidations: u64,
     /// Bytes currently accounted to cached tiles.
     pub bytes: usize,
+    /// The portion of `bytes` held in compact quantized payloads
+    /// (`u16` palette/affine encodings — see [`crate::quant`]).
+    /// `bytes_quantized + bytes_exact == bytes` always.
+    pub bytes_quantized: usize,
+    /// The portion of `bytes` held in raw `f64` payloads.
+    pub bytes_exact: usize,
     /// Tiles currently cached.
     pub entries: usize,
     /// Sum of each shard's byte high-water mark — an upper bound on
@@ -590,7 +610,7 @@ impl CacheStats {
 }
 
 struct CacheEntry {
-    raster: Arc<HeatRaster>,
+    payload: Arc<TilePayload>,
     bytes: usize,
     stamp: u64,
 }
@@ -603,6 +623,9 @@ struct CacheInner {
     lru: BTreeMap<u64, TileKey>,
     clock: u64,
     bytes: usize,
+    /// Portion of `bytes` in compact (quantized) payloads; the exact
+    /// portion is `bytes - bytes_quantized`.
+    bytes_quantized: usize,
     bytes_high_water: usize,
     hits: u64,
     misses: u64,
@@ -618,12 +641,21 @@ impl CacheInner {
             lru: BTreeMap::new(),
             clock: 0,
             bytes: 0,
+            bytes_quantized: 0,
             bytes_high_water: 0,
             hits: 0,
             misses: 0,
             insertions: 0,
             evictions: 0,
             invalidations: 0,
+        }
+    }
+
+    /// Releases `bytes` of `payload` from the occupancy counters.
+    fn account_remove(&mut self, payload: &TilePayload, bytes: usize) {
+        self.bytes -= bytes;
+        if payload.quantized() {
+            self.bytes_quantized -= bytes;
         }
     }
 }
@@ -639,19 +671,19 @@ struct Flight {
 enum FlightState {
     /// The leader is still rendering.
     Pending,
-    /// The leader finished; waiters share the raster.
-    Done(Arc<HeatRaster>),
-    /// The leader unwound without producing a raster; waiters render
+    /// The leader finished; waiters share the payload.
+    Done(Arc<TilePayload>),
+    /// The leader unwound without producing a payload; waiters render
     /// for themselves.
     Abandoned,
 }
 
 /// How a waiter's stay on a [`Flight`] ended.
 enum WaitOutcome {
-    /// The leader produced a raster before the deadline.
-    Done(Arc<HeatRaster>),
+    /// The leader produced a payload before the deadline.
+    Done(Arc<TilePayload>),
     /// The leader unwound (or abandoned the flight at its own
-    /// deadline) without producing a raster.
+    /// deadline) without producing a payload.
     Abandoned,
     /// The waiter's deadline expired while the flight was still
     /// pending.
@@ -683,16 +715,16 @@ impl Flight {
                             .0;
                     }
                 },
-                FlightState::Done(raster) => return WaitOutcome::Done(raster.clone()),
+                FlightState::Done(payload) => return WaitOutcome::Done(payload.clone()),
                 FlightState::Abandoned => return WaitOutcome::Abandoned,
             }
         }
     }
 
-    fn resolve(&self, result: Option<Arc<HeatRaster>>) {
+    fn resolve(&self, result: Option<Arc<TilePayload>>) {
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         *state = match result {
-            Some(raster) => FlightState::Done(raster),
+            Some(payload) => FlightState::Done(payload),
             None => FlightState::Abandoned,
         };
         self.cv.notify_all();
@@ -703,7 +735,7 @@ impl Flight {
 enum FlightTicket {
     /// The key landed in the cache between the miss and the flight
     /// registration (another caller just finished it).
-    Ready(Arc<HeatRaster>),
+    Ready(Arc<TilePayload>),
     /// This caller renders the tile; everyone else waits on the flight.
     Leader(Arc<Flight>),
     /// Another caller is already rendering this key.
@@ -720,8 +752,8 @@ struct FlightGuard<'a> {
 }
 
 impl FlightGuard<'_> {
-    fn complete(mut self, raster: Arc<HeatRaster>) {
-        self.cache.finish_flight(self.key, &self.flight, Some(raster));
+    fn complete(mut self, payload: Arc<TilePayload>) {
+        self.cache.finish_flight(self.key, &self.flight, Some(payload));
         self.armed = false;
     }
 }
@@ -835,18 +867,18 @@ impl TileCache {
     }
 
     /// Looks `key` up, refreshing its recency; counts a hit or miss.
-    pub fn get(&self, key: TileKey) -> Option<Arc<HeatRaster>> {
+    pub fn get(&self, key: TileKey) -> Option<Arc<TilePayload>> {
         let mut inner = Self::lock_inner(self.shard_of(&key));
         inner.clock += 1;
         let stamp = inner.clock;
         match inner.map.get_mut(&key) {
             Some(entry) => {
                 let old = std::mem::replace(&mut entry.stamp, stamp);
-                let raster = entry.raster.clone();
+                let payload = entry.payload.clone();
                 inner.lru.remove(&old);
                 inner.lru.insert(stamp, key);
                 inner.hits += 1;
-                Some(raster)
+                Some(payload)
             }
             None => {
                 inner.misses += 1;
@@ -856,23 +888,24 @@ impl TileCache {
     }
 
     /// Looks `key` up without touching recency or statistics.
-    pub fn peek(&self, key: TileKey) -> Option<Arc<HeatRaster>> {
-        Self::lock_inner(self.shard_of(&key)).map.get(&key).map(|e| e.raster.clone())
+    pub fn peek(&self, key: TileKey) -> Option<Arc<TilePayload>> {
+        Self::lock_inner(self.shard_of(&key)).map.get(&key).map(|e| e.payload.clone())
     }
 
     /// Inserts (or replaces) a tile, evicting LRU entries of its shard
     /// until the shard's byte budget holds. A tile larger than the
-    /// shard capacity is not cached at all.
-    pub fn insert(&self, key: TileKey, raster: Arc<HeatRaster>) {
-        let bytes = raster.spec.width * raster.spec.height * std::mem::size_of::<f64>()
-            + ENTRY_OVERHEAD_BYTES;
-        self.place(key, raster, bytes, true);
+    /// shard capacity is not cached at all. The byte cost is the
+    /// payload's own [`TilePayload::bytes`] — quantized tiles charge
+    /// their compact size, so a given budget holds ~4× more of them.
+    pub fn insert(&self, key: TileKey, payload: Arc<TilePayload>) {
+        let bytes = payload.bytes();
+        self.place(key, payload, bytes, true);
     }
 
     /// The insertion worker shared by [`TileCache::insert`] and the
     /// re-key/alias migration paths (which preserve payloads without
     /// counting as fresh insertions).
-    fn place(&self, key: TileKey, raster: Arc<HeatRaster>, bytes: usize, count_insert: bool) {
+    fn place(&self, key: TileKey, payload: Arc<TilePayload>, bytes: usize, count_insert: bool) {
         let shard = self.shard_of(&key);
         if bytes > shard.capacity {
             return;
@@ -880,12 +913,16 @@ impl TileCache {
         let mut inner = Self::lock_inner(shard);
         inner.clock += 1;
         let stamp = inner.clock;
-        if let Some(old) = inner.map.insert(key, CacheEntry { raster, bytes, stamp }) {
+        let quantized_in = payload.quantized();
+        if let Some(old) = inner.map.insert(key, CacheEntry { payload, bytes, stamp }) {
             inner.lru.remove(&old.stamp);
-            inner.bytes -= old.bytes;
+            inner.account_remove(&old.payload, old.bytes);
         }
         inner.lru.insert(stamp, key);
         inner.bytes += bytes;
+        if quantized_in {
+            inner.bytes_quantized += bytes;
+        }
         if count_insert {
             inner.insertions += 1;
         }
@@ -893,7 +930,7 @@ impl TileCache {
             let (&oldest, &victim) = inner.lru.iter().next().expect("bytes > 0 implies entries");
             inner.lru.remove(&oldest);
             let gone = inner.map.remove(&victim).expect("lru and map agree");
-            inner.bytes -= gone.bytes;
+            inner.account_remove(&gone.payload, gone.bytes);
             inner.evictions += 1;
         }
         // The settled occupancy peak (transient pre-eviction overshoot
@@ -908,6 +945,7 @@ impl TileCache {
             inner.map.clear();
             inner.lru.clear();
             inner.bytes = 0;
+            inner.bytes_quantized = 0;
         }
     }
 
@@ -928,10 +966,13 @@ impl TileCache {
             stats.evictions += inner.evictions;
             stats.invalidations += inner.invalidations;
             stats.bytes += inner.bytes;
+            stats.bytes_quantized += inner.bytes_quantized;
+            stats.bytes_exact += inner.bytes - inner.bytes_quantized;
             stats.entries += inner.map.len();
             stats.bytes_high_water += inner.bytes_high_water;
             stats.shards.push(ShardOccupancy {
                 bytes: inner.bytes,
+                bytes_quantized: inner.bytes_quantized,
                 entries: inner.map.len(),
                 capacity: shard.capacity,
                 bytes_high_water: inner.bytes_high_water,
@@ -948,7 +989,7 @@ impl TileCache {
         let shard = self.shard_of(&key);
         let mut flights = shard.flights.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(entry) = Self::lock_inner(shard).map.get(&key) {
-            return FlightTicket::Ready(entry.raster.clone());
+            return FlightTicket::Ready(entry.payload.clone());
         }
         match flights.entry(key) {
             std::collections::hash_map::Entry::Occupied(e) => FlightTicket::Waiter(e.get().clone()),
@@ -961,7 +1002,7 @@ impl TileCache {
     }
 
     /// Resolves a leader's flight and unregisters it.
-    fn finish_flight(&self, key: TileKey, flight: &Arc<Flight>, result: Option<Arc<HeatRaster>>) {
+    fn finish_flight(&self, key: TileKey, flight: &Arc<Flight>, result: Option<Arc<TilePayload>>) {
         let shard = self.shard_of(&key);
         shard.flights.lock().unwrap_or_else(|e| e.into_inner()).remove(&key);
         flight.resolve(result);
@@ -971,20 +1012,23 @@ impl TileCache {
     /// misses are rendered *single-flight* — this call renders the
     /// keys it leads (in parallel across all cores when more than one
     /// is missing) and waits for keys another concurrent fetch is
-    /// already rendering, reusing that caller's raster.
+    /// already rendering, reusing that caller's payload.
     ///
     /// `render` receives the tile id and the exact [`GridSpec`] the
-    /// tile must be rendered with ([`TileScheme::tile_spec`]).
-    pub fn fetch<F>(
+    /// tile must be rendered with ([`TileScheme::tile_spec`]); it may
+    /// return a plain [`HeatRaster`] (stored un-quantized) or a
+    /// pre-encoded [`TilePayload`].
+    pub fn fetch<R, F>(
         &self,
         arrangement: u64,
         measure: u64,
         scheme: &TileScheme,
         ids: &[TileId],
         render: F,
-    ) -> Vec<Arc<HeatRaster>>
+    ) -> Vec<Arc<TilePayload>>
     where
-        F: Fn(TileId, GridSpec) -> HeatRaster + Sync,
+        R: Into<TilePayload>,
+        F: Fn(TileId, GridSpec) -> R + Sync,
     {
         self.fetch_inner(arrangement, measure, scheme, ids, None, render)
             .expect("a fetch without a deadline always completes")
@@ -999,7 +1043,7 @@ impl TileCache {
     /// up to that point is already cached, so a follow-up
     /// [`Viewport::preview`] (the graceful-degradation path) or a
     /// retry starts from the warmed state.
-    pub fn fetch_deadline<F>(
+    pub fn fetch_deadline<R, F>(
         &self,
         arrangement: u64,
         measure: u64,
@@ -1007,14 +1051,15 @@ impl TileCache {
         ids: &[TileId],
         deadline: Instant,
         render: F,
-    ) -> Option<Vec<Arc<HeatRaster>>>
+    ) -> Option<Vec<Arc<TilePayload>>>
     where
-        F: Fn(TileId, GridSpec) -> HeatRaster + Sync,
+        R: Into<TilePayload>,
+        F: Fn(TileId, GridSpec) -> R + Sync,
     {
         self.fetch_inner(arrangement, measure, scheme, ids, Some(deadline), render)
     }
 
-    fn fetch_inner<F>(
+    fn fetch_inner<R, F>(
         &self,
         arrangement: u64,
         measure: u64,
@@ -1022,14 +1067,15 @@ impl TileCache {
         ids: &[TileId],
         deadline: Option<Instant>,
         render: F,
-    ) -> Option<Vec<Arc<HeatRaster>>>
+    ) -> Option<Vec<Arc<TilePayload>>>
     where
-        F: Fn(TileId, GridSpec) -> HeatRaster + Sync,
+        R: Into<TilePayload>,
+        F: Fn(TileId, GridSpec) -> R + Sync,
     {
         let scheme_key = scheme.fingerprint();
         let key_of = |tile: TileId| TileKey { arrangement, measure, scheme: scheme_key, tile };
         let expired = || deadline.is_some_and(|d| rnnhm_core::clock::now() >= d);
-        let mut out: Vec<Option<Arc<HeatRaster>>> =
+        let mut out: Vec<Option<Arc<TilePayload>>> =
             ids.iter().map(|&tile| self.get(key_of(tile))).collect();
         let mut leaders: Vec<(usize, Arc<Flight>)> = Vec::new();
         let mut waiters: Vec<(usize, Arc<Flight>)> = Vec::new();
@@ -1038,12 +1084,12 @@ impl TileCache {
                 continue;
             }
             match self.begin_flight(key_of(ids[i])) {
-                FlightTicket::Ready(raster) => {
+                FlightTicket::Ready(payload) => {
                     // The key landed in the cache between our miss and
                     // the flight registration: a render avoided, just
                     // without waiting.
                     self.flight_dedups.fetch_add(1, Ordering::Relaxed);
-                    *slot = Some(raster);
+                    *slot = Some(payload);
                 }
                 FlightTicket::Leader(flight) => leaders.push((i, flight)),
                 FlightTicket::Waiter(flight) => {
@@ -1060,7 +1106,7 @@ impl TileCache {
             // flights are abandoned *unrendered* so concurrent waiters
             // fall back to rendering for themselves.
             let render_one =
-                |(i, flight): (usize, Arc<Flight>)| -> (usize, Option<Arc<HeatRaster>>) {
+                |(i, flight): (usize, Arc<Flight>)| -> (usize, Option<Arc<TilePayload>>) {
                     let key = key_of(ids[i]);
                     if expired() {
                         self.finish_flight(key, &flight, None);
@@ -1068,13 +1114,13 @@ impl TileCache {
                         return (i, None);
                     }
                     let guard = FlightGuard { cache: self, key, flight, armed: true };
-                    let raster = Arc::new(render(ids[i], scheme.tile_spec(ids[i])));
-                    self.insert(key, raster.clone());
-                    guard.complete(raster.clone());
-                    (i, Some(raster))
+                    let payload = Arc::new(render(ids[i], scheme.tile_spec(ids[i])).into());
+                    self.insert(key, payload.clone());
+                    guard.complete(payload.clone());
+                    (i, Some(payload))
                 };
             let workers = effective_parallelism().min(leaders.len());
-            let rendered: Vec<(usize, Option<Arc<HeatRaster>>)> = if workers <= 1 {
+            let rendered: Vec<(usize, Option<Arc<TilePayload>>)> = if workers <= 1 {
                 leaders.into_iter().map(render_one).collect()
             } else {
                 let leaders = &leaders;
@@ -1095,15 +1141,15 @@ impl TileCache {
                 });
                 all
             };
-            for (i, raster) in rendered {
-                out[i] = raster;
+            for (i, payload) in rendered {
+                out[i] = payload;
             }
         }
         for (i, flight) in waiters {
             match flight.wait_until(deadline) {
-                WaitOutcome::Done(raster) => {
+                WaitOutcome::Done(payload) => {
                     self.flight_dedups.fetch_add(1, Ordering::Relaxed);
-                    out[i] = Some(raster);
+                    out[i] = Some(payload);
                 }
                 WaitOutcome::Abandoned => {
                     // The leader unwound (or hit its own deadline);
@@ -1113,9 +1159,9 @@ impl TileCache {
                         continue;
                     }
                     let key = key_of(ids[i]);
-                    let raster = Arc::new(render(ids[i], scheme.tile_spec(ids[i])));
-                    self.insert(key, raster.clone());
-                    out[i] = Some(raster);
+                    let payload = Arc::new(render(ids[i], scheme.tile_spec(ids[i])).into());
+                    self.insert(key, payload.clone());
+                    out[i] = Some(payload);
                 }
                 WaitOutcome::TimedOut => gave_up.store(true, Ordering::Relaxed),
             }
@@ -1138,10 +1184,10 @@ impl TileCache {
         scheme: &TileScheme,
         dirty: &rnnhm_core::edit::DirtyRegion,
         remove_clean: bool,
-    ) -> (usize, Vec<(u64, TileKey, Arc<HeatRaster>, usize)>) {
+    ) -> (usize, Vec<(u64, TileKey, Arc<TilePayload>, usize)>) {
         let scheme_key = scheme.fingerprint();
         let mut invalidated = 0usize;
-        let mut moved: Vec<(u64, TileKey, Arc<HeatRaster>, usize)> = Vec::new();
+        let mut moved: Vec<(u64, TileKey, Arc<TilePayload>, usize)> = Vec::new();
         for shard in &self.shards {
             let mut inner = Self::lock_inner(shard);
             // Walk the stamp-ordered LRU index, not the hash map: the
@@ -1158,18 +1204,18 @@ impl TileCache {
                 if is_dirty && remove_clean {
                     let entry = inner.map.remove(&key).expect("key just listed");
                     inner.lru.remove(&entry.stamp);
-                    inner.bytes -= entry.bytes;
+                    inner.account_remove(&entry.payload, entry.bytes);
                     inner.invalidations += 1;
                     invalidated += 1;
                 } else if !is_dirty {
                     if remove_clean {
                         let entry = inner.map.remove(&key).expect("key just listed");
                         inner.lru.remove(&entry.stamp);
-                        inner.bytes -= entry.bytes;
-                        moved.push((entry.stamp, key, entry.raster, entry.bytes));
+                        inner.account_remove(&entry.payload, entry.bytes);
+                        moved.push((entry.stamp, key, entry.payload, entry.bytes));
                     } else {
                         let entry = &inner.map[&key];
-                        moved.push((entry.stamp, key, entry.raster.clone(), entry.bytes));
+                        moved.push((entry.stamp, key, entry.payload.clone(), entry.bytes));
                     }
                 }
             }
@@ -1209,10 +1255,10 @@ impl TileCache {
     ) -> (usize, usize) {
         let (invalidated, moved) = self.extract_for_edit(old_arrangement, scheme, dirty, true);
         let mut rekeyed = 0usize;
-        for (_, key, raster, bytes) in moved {
+        for (_, key, payload, bytes) in moved {
             if new_arrangement == old_arrangement {
                 // Degenerate re-key: put the entry back where it was.
-                self.place(key, raster, bytes, false);
+                self.place(key, payload, bytes, false);
                 continue;
             }
             let new_key = TileKey { arrangement: new_arrangement, ..key };
@@ -1222,7 +1268,7 @@ impl TileCache {
                 // entry, drop this one.
                 continue;
             }
-            self.place(new_key, raster, bytes, false);
+            self.place(new_key, payload, bytes, false);
             rekeyed += 1;
         }
         (invalidated, rekeyed)
@@ -1251,12 +1297,12 @@ impl TileCache {
         }
         let (_, clean) = self.extract_for_edit(old_arrangement, scheme, dirty, false);
         let mut aliased = 0usize;
-        for (_, key, raster, bytes) in clean {
+        for (_, key, payload, bytes) in clean {
             let new_key = TileKey { arrangement: new_arrangement, ..key };
             if self.peek(new_key).is_some() {
                 continue;
             }
-            self.place(new_key, raster, bytes, false);
+            self.place(new_key, payload, bytes, false);
             aliased += 1;
         }
         aliased
@@ -1273,7 +1319,7 @@ impl TileCache {
     /// `make_base` is re-invoked with the tile's own extent, so the
     /// two-stage filter is a pure optimization, never a correctness
     /// dependency.
-    pub fn fetch_restricted<B, F, G>(
+    pub fn fetch_restricted<B, R, F, G>(
         &self,
         arrangement: u64,
         measure: u64,
@@ -1281,11 +1327,12 @@ impl TileCache {
         ids: &[TileId],
         make_base: F,
         render: G,
-    ) -> Vec<Arc<HeatRaster>>
+    ) -> Vec<Arc<TilePayload>>
     where
         B: Sync,
+        R: Into<TilePayload>,
         F: Fn(Rect) -> B + Sync,
-        G: Fn(&B, TileId, GridSpec) -> HeatRaster + Sync,
+        G: Fn(&B, TileId, GridSpec) -> R + Sync,
     {
         self.fetch_restricted_inner(arrangement, measure, scheme, ids, None, make_base, render)
             .expect("a fetch without a deadline always completes")
@@ -1296,7 +1343,7 @@ impl TileCache {
     /// semantics (`None` ⇒ at least one tile unrendered at the
     /// deadline, everything rendered so far cached).
     #[allow(clippy::too_many_arguments)]
-    pub fn fetch_restricted_deadline<B, F, G>(
+    pub fn fetch_restricted_deadline<B, R, F, G>(
         &self,
         arrangement: u64,
         measure: u64,
@@ -1305,11 +1352,12 @@ impl TileCache {
         deadline: Instant,
         make_base: F,
         render: G,
-    ) -> Option<Vec<Arc<HeatRaster>>>
+    ) -> Option<Vec<Arc<TilePayload>>>
     where
         B: Sync,
+        R: Into<TilePayload>,
         F: Fn(Rect) -> B + Sync,
-        G: Fn(&B, TileId, GridSpec) -> HeatRaster + Sync,
+        G: Fn(&B, TileId, GridSpec) -> R + Sync,
     {
         self.fetch_restricted_inner(
             arrangement,
@@ -1323,7 +1371,7 @@ impl TileCache {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn fetch_restricted_inner<B, F, G>(
+    fn fetch_restricted_inner<B, R, F, G>(
         &self,
         arrangement: u64,
         measure: u64,
@@ -1332,11 +1380,12 @@ impl TileCache {
         deadline: Option<Instant>,
         make_base: F,
         render: G,
-    ) -> Option<Vec<Arc<HeatRaster>>>
+    ) -> Option<Vec<Arc<TilePayload>>>
     where
         B: Sync,
+        R: Into<TilePayload>,
         F: Fn(Rect) -> B + Sync,
-        G: Fn(&B, TileId, GridSpec) -> HeatRaster + Sync,
+        G: Fn(&B, TileId, GridSpec) -> R + Sync,
     {
         let scheme_key = scheme.fingerprint();
         let missing_union = ids
@@ -1559,10 +1608,35 @@ mod tests {
         assert_eq!(TileId { zoom: 0, tx: 0, ty: 0 }.parent(), None);
     }
 
-    fn flat_tile(s: &TileScheme, id: TileId, v: f64) -> Arc<HeatRaster> {
+    /// A constant-valued tile payload. Constant tiles quantize to the
+    /// palette form, so these are 2-bytes-per-pixel entries.
+    fn flat_tile(s: &TileScheme, id: TileId, v: f64) -> Arc<TilePayload> {
         let spec = s.tile_spec(id);
         let values = vec![v; spec.width * spec.height];
-        Arc::new(HeatRaster::from_values(spec, values))
+        Arc::new(TilePayload::from(HeatRaster::from_values(spec, values)))
+    }
+
+    /// An incompressible tile payload: one distinct fractional value
+    /// per pixel keeps the raw f64 raster (8 bytes per pixel).
+    fn noisy_tile(s: &TileScheme, id: TileId, salt: f64) -> Arc<TilePayload> {
+        let spec = s.tile_spec(id);
+        let values =
+            (0..spec.width * spec.height).map(|i| salt + 1.0 / (i + 3) as f64).collect::<Vec<_>>();
+        let payload = TilePayload::from(HeatRaster::from_values(spec, values));
+        assert!(!payload.quantized(), "noisy tiles must stay exact");
+        Arc::new(payload)
+    }
+
+    /// The byte cost of one `flat_tile` under `s` — the single source
+    /// of tile-size arithmetic for budget math in these tests (no
+    /// hard-coded bytes-per-pixel).
+    fn flat_tile_bytes(s: &TileScheme) -> usize {
+        flat_tile(s, TileId { zoom: 0, tx: 0, ty: 0 }, 0.0).bytes()
+    }
+
+    /// The byte cost of one `noisy_tile` under `s`.
+    fn noisy_tile_bytes(s: &TileScheme) -> usize {
+        noisy_tile(s, TileId { zoom: 0, tx: 0, ty: 0 }, 0.0).bytes()
     }
 
     fn key(tile: TileId) -> TileKey {
@@ -1638,7 +1712,7 @@ mod tests {
     #[test]
     fn cache_lru_eviction_and_stats() {
         let s = scheme();
-        let tile_bytes = s.tile_px() * s.tile_px() * 8 + ENTRY_OVERHEAD_BYTES;
+        let tile_bytes = flat_tile_bytes(&s);
         let cache = TileCache::new(tile_bytes * 2); // room for two tiles
         let ids: Vec<TileId> = (0..3).map(|i| TileId { zoom: 2, tx: i, ty: 0 }).collect();
         cache.insert(key(ids[0]), flat_tile(&s, ids[0], 0.0));
@@ -1670,7 +1744,7 @@ mod tests {
         cache.insert(key(id), flat_tile(&s, id, 1.0));
         assert_eq!(cache.stats().entries, 0, "oversized tiles are not cached");
 
-        let tile_bytes = s.tile_px() * s.tile_px() * 8 + ENTRY_OVERHEAD_BYTES;
+        let tile_bytes = flat_tile_bytes(&s);
         let cache = TileCache::new(tile_bytes * 4);
         cache.insert(key(id), flat_tile(&s, id, 1.0));
         cache.insert(key(id), flat_tile(&s, id, 2.0));
@@ -1713,7 +1787,7 @@ mod tests {
     fn stitch_places_tiles_by_address() {
         let s = scheme();
         let v = s.viewport(Rect::new(0.5, 14.0, 0.5, 14.0), 30, 30);
-        let rasters: Vec<Arc<HeatRaster>> =
+        let rasters: Vec<Arc<TilePayload>> =
             v.tiles().iter().map(|&id| flat_tile(&s, id, (id.tx * 100 + id.ty) as f64)).collect();
         let out = v.stitch(&s, &rasters);
         let spec = out.spec;
@@ -1789,7 +1863,7 @@ mod tests {
     fn invalidate_region_respects_boundaries_and_byte_accounting() {
         use rnnhm_core::edit::DirtyRegion;
         let s = scheme();
-        let tile_bytes = s.tile_px() * s.tile_px() * 8 + ENTRY_OVERHEAD_BYTES;
+        let tile_bytes = flat_tile_bytes(&s);
         let cache = TileCache::new(64 << 20);
         let a = TileId { zoom: 1, tx: 0, ty: 0 };
         let b = TileId { zoom: 1, tx: 1, ty: 1 };
@@ -1820,7 +1894,7 @@ mod tests {
     fn invalidate_region_rekey_onto_existing_key_keeps_accounting_sound() {
         use rnnhm_core::edit::DirtyRegion;
         let s = scheme();
-        let tile_bytes = s.tile_px() * s.tile_px() * 8 + ENTRY_OVERHEAD_BYTES;
+        let tile_bytes = flat_tile_bytes(&s);
         let cache = TileCache::new(tile_bytes * 2); // room for exactly two tiles
         let id = TileId { zoom: 1, tx: 0, ty: 0 };
         // The same tile cached under two arrangement keys, then re-key
@@ -1875,7 +1949,7 @@ mod tests {
         // and in aggregate while insertions force evictions in some
         // shards and not others.
         let s = scheme();
-        let tile_bytes = s.tile_px() * s.tile_px() * 8 + ENTRY_OVERHEAD_BYTES;
+        let tile_bytes = flat_tile_bytes(&s);
         let cache = TileCache::with_shards(tile_bytes * 8, 4); // 2 tiles per shard
         assert_eq!(cache.n_shards(), 4);
         let n = s.n_tiles(3);
@@ -1910,6 +1984,85 @@ mod tests {
     }
 
     #[test]
+    fn mixed_payload_byte_accounting_and_eviction_order() {
+        // Satellite (ISSUE 10): quantized and exact payloads of very
+        // different sizes share one budget; accounting must track each
+        // entry's own width and eviction must stay strictly LRU.
+        let s = scheme();
+        let flat = flat_tile_bytes(&s);
+        let noisy = noisy_tile_bytes(&s);
+        assert!(noisy > flat * 3, "exact tiles must dwarf quantized ones ({noisy} vs {flat})");
+        // Room for two exact tiles (and change): the initial mix fits,
+        // the second exact insert forces both quantized tiles out.
+        let cache = TileCache::new(2 * noisy);
+        let a = TileId { zoom: 2, tx: 0, ty: 0 };
+        let b = TileId { zoom: 2, tx: 1, ty: 0 };
+        let c = TileId { zoom: 2, tx: 2, ty: 0 };
+        cache.insert(key(a), noisy_tile(&s, a, 1.0));
+        cache.insert(key(b), flat_tile(&s, b, 2.0));
+        cache.insert(key(c), flat_tile(&s, c, 3.0));
+        let st = cache.stats();
+        assert_eq!(st.entries, 3, "all three fit");
+        assert_eq!(st.bytes, noisy + 2 * flat);
+        assert_eq!(st.bytes_exact, noisy);
+        assert_eq!(st.bytes_quantized, 2 * flat);
+        assert_eq!(st.bytes_quantized + st.bytes_exact, st.bytes);
+        for sh in &st.shards {
+            assert!(sh.bytes_quantized <= sh.bytes, "shard quantized bytes within total: {sh:?}");
+        }
+        // Touch the big exact tile, then insert another exact tile:
+        // both quantized tiles (now the two LRU entries) must go, and
+        // the quantized counter must drain to exactly zero.
+        assert!(cache.get(key(a)).is_some());
+        let d = TileId { zoom: 2, tx: 3, ty: 0 };
+        cache.insert(key(d), noisy_tile(&s, d, 4.0));
+        let st = cache.stats();
+        assert!(cache.peek(key(a)).is_some(), "recently-touched exact tile survives");
+        assert!(cache.peek(key(b)).is_none(), "oldest quantized tile evicted");
+        assert!(cache.peek(key(c)).is_none(), "next quantized tile evicted");
+        assert_eq!(st.bytes_quantized, 0, "quantized bytes released exactly");
+        assert_eq!(st.bytes_exact, 2 * noisy);
+        assert_eq!(st.bytes, st.bytes_quantized + st.bytes_exact);
+        assert_eq!(st.evictions, 2);
+    }
+
+    #[test]
+    fn rekey_and_alias_preserve_quantized_payloads() {
+        // Satellite (ISSUE 10): edit migration must move payloads
+        // verbatim — a quantized tile stays quantized (same Arc, no
+        // re-encode) and the quantized byte counters follow it.
+        use rnnhm_core::edit::DirtyRegion;
+        let s = scheme();
+        let flat = flat_tile_bytes(&s);
+        let noisy = noisy_tile_bytes(&s);
+        let cache = TileCache::new(64 << 20);
+        let q = TileId { zoom: 1, tx: 0, ty: 0 };
+        let e = TileId { zoom: 1, tx: 1, ty: 1 };
+        let q_payload = flat_tile(&s, q, 7.0);
+        cache.insert(key(q), q_payload.clone());
+        cache.insert(key(e), noisy_tile(&s, e, 8.0));
+        // Exclusive re-key 1 → 5 with an empty dirty region: both move.
+        let (invalidated, rekeyed) = cache.invalidate_region(1, 5, &s, &DirtyRegion::new());
+        assert_eq!((invalidated, rekeyed), (0, 2));
+        let moved_q = cache.peek(TileKey { arrangement: 5, ..key(q) }).expect("quantized moved");
+        assert!(moved_q.quantized(), "re-key must not decode the payload");
+        assert!(Arc::ptr_eq(&moved_q, &q_payload), "the same payload Arc migrated");
+        let st = cache.stats();
+        assert_eq!(st.bytes_quantized, flat, "quantized bytes follow the re-key");
+        assert_eq!(st.bytes_exact, noisy);
+        // Shared alias 5 → 9: payload Arcs are shared, accounting doubles.
+        let aliased = cache.alias_region(5, 9, &s, &DirtyRegion::new());
+        assert_eq!(aliased, 2);
+        let alias_q = cache.peek(TileKey { arrangement: 9, ..key(q) }).expect("alias exists");
+        assert!(alias_q.quantized());
+        assert!(Arc::ptr_eq(&alias_q, &q_payload), "alias shares the payload, not a copy");
+        let st = cache.stats();
+        assert_eq!(st.bytes_quantized, 2 * flat);
+        assert_eq!(st.bytes_exact, 2 * noisy);
+        assert_eq!(st.bytes, st.bytes_quantized + st.bytes_exact);
+    }
+
+    #[test]
     fn single_flight_dedups_concurrent_misses() {
         use std::sync::atomic::{AtomicUsize, Ordering};
         use std::sync::Barrier;
@@ -1918,7 +2071,7 @@ mod tests {
         let v = s.viewport(Rect::new(1.0, 7.0, 1.0, 7.0), 60, 60);
         let renders = AtomicUsize::new(0);
         let barrier = Barrier::new(4);
-        let frames: Vec<Vec<Arc<HeatRaster>>> = thread::scope(|scope| {
+        let frames: Vec<Vec<Arc<TilePayload>>> = thread::scope(|scope| {
             let handles: Vec<_> = (0..4)
                 .map(|_| {
                     scope.spawn(|| {
@@ -1941,7 +2094,11 @@ mod tests {
         for frame in &frames {
             assert_eq!(frame.len(), v.tiles().len());
             for (a, b) in frame.iter().zip(&frames[0]) {
-                assert_eq!(a.values(), b.values(), "all herd members see the same tiles");
+                assert_eq!(
+                    a.to_raster().values(),
+                    b.to_raster().values(),
+                    "all herd members see the same tiles"
+                );
             }
         }
         let st = cache.stats();
@@ -1973,7 +2130,7 @@ mod tests {
             // deterministic rather than a sleep-tuned race.
             let leader = scope.spawn(|| {
                 catch_unwind(AssertUnwindSafe(|| {
-                    cache.fetch(1, 2, &s, &[id], |_, _spec| {
+                    cache.fetch(1, 2, &s, &[id], |_, _spec| -> HeatRaster {
                         leading.store(true, Ordering::SeqCst);
                         while cache.stats().single_flight_waits < 1 {
                             std::thread::sleep(std::time::Duration::from_millis(1));
@@ -1995,7 +2152,8 @@ mod tests {
             assert!(leader.join().expect("leader thread").is_err(), "panic reaches the caller");
             let frame = waiter.join().expect("waiter thread");
             assert_eq!(frame.len(), 1);
-            assert!(frame[0].values().iter().all(|&x| x == 3.25), "waiter's own render served");
+            let vals = frame[0].to_raster();
+            assert!(vals.values().iter().all(|&x| x == 3.25), "waiter's own render served");
         });
         assert_eq!(waiter_renders.load(Ordering::SeqCst), 1, "the waiter rendered for itself");
         let st = cache.stats();
@@ -2007,7 +2165,7 @@ mod tests {
         assert!(cache.peek(k).is_some(), "the recovered tile stays cached for the next caller");
         // And the next fetch is a plain hit — the abandonment left no
         // stuck flight behind.
-        cache.fetch(1, 2, &s, &[id], |_, _| unreachable!("tile is warm"));
+        cache.fetch(1, 2, &s, &[id], |_, _| -> HeatRaster { unreachable!("tile is warm") });
         assert_eq!(cache.stats().hits, 1);
     }
 
@@ -2022,7 +2180,7 @@ mod tests {
             &s,
             v.tiles(),
             rnnhm_core::clock::now() - std::time::Duration::from_millis(1),
-            |_, _| unreachable!("no render budget remains"),
+            |_, _| -> HeatRaster { unreachable!("no render budget remains") },
         );
         assert!(out.is_none());
         let st = cache.stats();

@@ -1095,7 +1095,8 @@ fn stats_response<M: IncrementalMeasure + Send + Sync>(ctx: &Ctx<M>) -> Response
              \"dropped_connections\":{},\"truncated_writes\":{},\"queue_high_water\":{},\
              \"sessions_live\":{},\"sessions_created\":{},\"sessions_reaped\":{}}},\
              \"cache\":{{\"hits\":{},\"misses\":{},\"insertions\":{},\"entries\":{},\
-             \"bytes\":{},\"single_flight_waits\":{},\"single_flight_dedups\":{},\
+             \"bytes\":{},\"bytes_quantized\":{},\"bytes_exact\":{},\
+             \"single_flight_waits\":{},\"single_flight_dedups\":{},\
              \"deadline_giveups\":{}}},\
              \"registry\":{{\"entries\":{},\"live\":{},\"registered\":{}}},\
              \"faults\":{{\"delays\":{},\"panics\":{},\"drops\":{},\"truncations\":{}}}}}",
@@ -1121,6 +1122,8 @@ fn stats_response<M: IncrementalMeasure + Send + Sync>(ctx: &Ctx<M>) -> Response
             cache.insertions,
             cache.entries,
             cache.bytes,
+            cache.bytes_quantized,
+            cache.bytes_exact,
             cache.single_flight_waits,
             cache.single_flight_dedups,
             cache.deadline_giveups,

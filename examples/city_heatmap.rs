@@ -15,6 +15,7 @@ use std::fs::File;
 
 use rnn_heatmap::prelude::*;
 use rnnhm_data::{la, nyc};
+use rnnhm_heatmap::quant::TilePayload;
 use rnnhm_heatmap::write_ppm;
 
 fn main() {
@@ -60,6 +61,19 @@ fn main() {
     let mut f = File::create(out).expect("create output file");
     write_ppm(&mut f, &raster, ColorRamp::Heat).expect("write ppm");
     println!("wrote {out}");
+
+    // What this frame would cost to *cache*: count rasters are
+    // integer-valued, so the tile layer stores them quantized (u16
+    // codes, bit-exact round-trip) instead of raw f64.
+    let raw_bytes = std::mem::size_of_val(raster.values());
+    let payload = TilePayload::encode(raster.clone(), CountMeasure.integral_influence());
+    println!(
+        "cached form: {} ({} bytes vs {} raw, {:.1}x smaller)",
+        if payload.quantized() { "quantized" } else { "exact f64" },
+        payload.bytes(),
+        raw_bytes,
+        raw_bytes as f64 / payload.bytes() as f64,
+    );
 
     // And the exploration the heat map is for: where are the most
     // influential spots, and how influential are they?

@@ -82,6 +82,15 @@ fn main() {
         st.single_flight_waits,
         st.single_flight_dedups,
     );
+    // Count tiles are integer-valued, so they cache as 2-byte-per-pixel
+    // quantized payloads (bit-exact; see rnnhm_heatmap::quant) —
+    // ~4x the effective tile capacity of raw f64 tiles.
+    println!(
+        "payloads: {:.1} MiB quantized / {:.1} MiB exact ({:.0}% of cached bytes compact)",
+        st.bytes_quantized as f64 / (1 << 20) as f64,
+        st.bytes_exact as f64 / (1 << 20) as f64,
+        if st.bytes > 0 { 100.0 * st.bytes_quantized as f64 / st.bytes as f64 } else { 0.0 },
+    );
 
     // Show the final (cached) frame as terminal art.
     let last = map.viewport(path[path.len() - 1].1, 64, 24);

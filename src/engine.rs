@@ -82,6 +82,7 @@ use rnnhm_geom::transform::rotate45;
 use rnnhm_geom::{Point, Rect};
 use rnnhm_heatmap::compute::{rasterize_disks, rasterize_squares};
 use rnnhm_heatmap::mipmap::HeatMipmap;
+use rnnhm_heatmap::quant::TilePayload;
 use rnnhm_heatmap::raster::{GridSpec, HeatRaster};
 use rnnhm_heatmap::scanline::{
     rasterize_disks_scanline_bands, rasterize_squares_scanline_bands, refresh_disks_dirty,
@@ -928,6 +929,14 @@ impl<M: IncrementalMeasure + Sync> RestrictedBase<'_, M> {
             }
         }
     }
+
+    /// [`RestrictedBase::render`] followed by payload encoding, with
+    /// the measure's integrality hint steering integer-valued tiles
+    /// (count and friends) toward the compact affine form first. The
+    /// encoding is lossless by construction either way.
+    fn render_payload(&self, spec: GridSpec) -> TilePayload {
+        TilePayload::encode(self.render(spec), self.measure.integral_influence())
+    }
 }
 
 impl<M: IncrementalMeasure + Sync> Session<M> {
@@ -961,7 +970,7 @@ impl<M: IncrementalMeasure + Sync> Session<M> {
     /// base restricts the snapshot's chunked geometry to the union of
     /// the missing tiles — the full arrangement is never materialized
     /// on this path.
-    fn fetch_tiles(&self, ids: &[TileId]) -> Vec<std::sync::Arc<HeatRaster>> {
+    fn fetch_tiles(&self, ids: &[TileId]) -> Vec<std::sync::Arc<TilePayload>> {
         // Capture only what the render closures need (`&M` and the
         // snapshot), so `M: Sync` suffices — the closures never take
         // ownership of the engine state.
@@ -973,7 +982,7 @@ impl<M: IncrementalMeasure + Sync> Session<M> {
             self.shared.scheme(snap),
             ids,
             |extent| RestrictedBase { arrangement: snap.restrict_to(extent), measure },
-            |base, _, spec| base.render(spec),
+            |base, _, spec| base.render_payload(spec),
         )
     }
 
@@ -1036,7 +1045,7 @@ impl<M: IncrementalMeasure + Sync> Session<M> {
         scheme: &TileScheme,
         ze: u8,
         ids: &[TileId],
-    ) -> (Vec<Arc<HeatRaster>>, f64) {
+    ) -> (Vec<Arc<TilePayload>>, f64) {
         let mip = self.mipmap(scheme, ze);
         let tiles = self.shared.cache.fetch(
             self.snap.fingerprint(),
@@ -1127,7 +1136,7 @@ impl<M: IncrementalMeasure + Sync> Session<M> {
             view.tiles(),
             deadline,
             |extent| RestrictedBase { arrangement: snap.restrict_to(extent), measure },
-            |base, _, spec| base.render(spec),
+            |base, _, spec| base.render_payload(spec),
         );
         match tiles {
             Some(tiles) => ViewportFrame::Exact(view.stitch(scheme, &tiles)),
@@ -1147,7 +1156,8 @@ impl<M: IncrementalMeasure + Sync> Session<M> {
     /// n_tiles(zoom)`); out-of-range ids are a caller bug (the server
     /// validates before calling).
     pub fn tile(&self, id: TileId) -> Arc<HeatRaster> {
-        self.fetch_tiles(&[id]).pop().expect("one tile in, one raster out")
+        let payload = self.fetch_tiles(&[id]).pop().expect("one tile in, one raster out");
+        Arc::new(payload.to_raster())
     }
 
     /// The LoD-aware tile endpoint: tiles at a zoom coarser than the
@@ -1159,8 +1169,8 @@ impl<M: IncrementalMeasure + Sync> Session<M> {
         if let Some(ze) = self.shared.effective_exact_zoom(scheme) {
             if id.zoom < ze {
                 let (tiles, error_bound) = self.fetch_tiles_approx(scheme, ze, &[id]);
-                let raster = tiles.into_iter().next().expect("one tile in, one raster out");
-                return TileFrame { raster, approx: true, error_bound };
+                let tile = tiles.into_iter().next().expect("one tile in, one raster out");
+                return TileFrame { raster: Arc::new(tile.to_raster()), approx: true, error_bound };
             }
         }
         TileFrame { raster: self.tile(id), approx: false, error_bound: 0.0 }

@@ -1,0 +1,132 @@
+//! Property tests for quantized tile payloads (ISSUE 10 satellite):
+//!
+//! * any **integral** raster whose value range fits the `u16` code
+//!   space must take a compact (quantized) form and decode **bitwise**
+//!   equal to the source — through `to_raster`, `get`, and the
+//!   row-segment readers the stitcher uses;
+//! * any raster at all — fractional, negative, tiny value sets —
+//!   must round-trip bitwise through `encode` regardless of which
+//!   form the encoder picked (compact forms are verified at encode
+//!   time; the fallback is the raw raster);
+//! * the explicitly **lossy** affine encoder must keep every pixel
+//!   within half a quantization step of the source and report the
+//!   true maximum error.
+
+use proptest::prelude::*;
+use rnnhm_geom::Rect;
+use rnnhm_heatmap::quant::TilePayload;
+use rnnhm_heatmap::raster::{GridSpec, HeatRaster};
+
+fn raster_of(w: usize, h: usize, values: Vec<f64>) -> HeatRaster {
+    HeatRaster::from_values(GridSpec::new(w, h, Rect::new(0.0, 1.0, 0.0, 1.0)), values)
+}
+
+fn assert_roundtrip(payload: &TilePayload, original: &HeatRaster, what: &str) {
+    let back = payload.to_raster();
+    assert_eq!(back.spec, original.spec, "{what}: spec must survive");
+    for row in 0..original.spec.height {
+        for col in 0..original.spec.width {
+            assert!(
+                back.get(col, row).to_bits() == original.get(col, row).to_bits(),
+                "{what}: pixel ({col},{row}): decoded {} vs original {}",
+                back.get(col, row),
+                original.get(col, row)
+            );
+            assert!(
+                payload.get(col, row).to_bits() == original.get(col, row).to_bits(),
+                "{what}: random access diverged at ({col},{row})"
+            );
+        }
+    }
+    // Row segments (the stitch primitive) must agree too, including
+    // segments starting mid-row.
+    let w = original.spec.width;
+    let mut seg = vec![0.0; w.div_ceil(2)];
+    for row in 0..original.spec.height {
+        payload.read_row_segment(row, w / 4, &mut seg[..w.div_ceil(2)]);
+        for (i, v) in seg[..w.div_ceil(2)].iter().enumerate() {
+            assert!(
+                v.to_bits() == original.get(w / 4 + i, row).to_bits(),
+                "{what}: row segment diverged at ({}, {row})",
+                w / 4 + i
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn integral_rasters_quantize_and_roundtrip_bitwise(
+        dims in (1usize..40, 1usize..20),
+        offset in 0u32..1_000_000,
+        raw in prop::collection::vec(0u32..60_000, 1..800),
+    ) {
+        let (w, h) = dims;
+        let values: Vec<f64> =
+            (0..w * h).map(|i| (offset + raw[i % raw.len()]) as f64).collect();
+        let r = raster_of(w, h, values);
+        let payload = TilePayload::encode(r.clone(), true);
+        // The value range fits u16 codes, so the integral hint must
+        // land a compact form — count-style tiles never stay raw.
+        prop_assert!(payload.quantized(), "integral tile within u16 range must quantize");
+        assert_roundtrip(&payload, &r, "integral");
+    }
+
+    #[test]
+    fn arbitrary_rasters_roundtrip_bitwise_in_any_form(
+        dims in (1usize..32, 1usize..16),
+        raw in prop::collection::vec((0u64..u64::MAX, 0u32..2), 1..64),
+        hint_raw in 0u8..2,
+    ) {
+        let (w, h) = dims;
+        let hint = hint_raw == 1;
+        // Draw pixels from a small pool of arbitrary bit patterns
+        // (finite — NaN payloads are normalized to a canonical NaN by
+        // reinterpreting) so palette, affine, and exact forms all get
+        // exercised depending on the draw. Signed zeros and
+        // denormals are fair game.
+        let pool: Vec<f64> = raw
+            .iter()
+            .map(|&(bits, neg)| {
+                let v = f64::from_bits(bits);
+                let v = if v.is_nan() { f64::from_bits(0x7ff8_0000_0000_0000) } else { v };
+                if neg == 1 { -v } else { v }
+            })
+            .collect();
+        let values: Vec<f64> = (0..w * h).map(|i| pool[i % pool.len()]).collect();
+        let r = raster_of(w, h, values);
+        let payload = TilePayload::encode(r.clone(), hint);
+        assert_roundtrip(&payload, &r, "arbitrary");
+    }
+
+    #[test]
+    fn lossy_affine_stays_within_half_a_step(
+        dims in (1usize..24, 1usize..12),
+        raw in prop::collection::vec((0u32..2_000_000, 0u32..1000), 1..64),
+    ) {
+        let (w, h) = dims;
+        // Fractional values in roughly [-1e6, 1e6].
+        let pool: Vec<f64> =
+            raw.iter().map(|&(a, b)| a as f64 - 1e6 + b as f64 / 1000.0).collect();
+        let values: Vec<f64> = (0..w * h).map(|i| pool[i % pool.len()]).collect();
+        let r = raster_of(w, h, values);
+        let (payload, reported) = TilePayload::encode_lossy(&r);
+        let (min, max) = r.min_max();
+        let step = if max > min { (max - min) / 65535.0 } else { 1.0 };
+        let decoded = payload.to_raster();
+        let mut worst = 0.0f64;
+        for (d, v) in decoded.values().iter().zip(r.values()) {
+            worst = worst.max((d - v).abs());
+        }
+        // Half a step, with headroom for the f64 rounding of
+        // `min + code · scale` at large magnitudes.
+        let tol = 0.5 * step * (1.0 + 1e-9) + 1e-9 * max.abs().max(min.abs());
+        prop_assert!(worst <= tol, "worst error {worst} exceeds half-step {tol}");
+        prop_assert!(
+            reported >= worst - f64::EPSILON * worst.abs(),
+            "reported max error {reported} understates actual {worst}"
+        );
+    }
+}

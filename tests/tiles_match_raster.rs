@@ -222,7 +222,7 @@ fn tile_aligned_viewport_reuses_whole_tiles() {
 
     // Sanity: the cached tile is the same Arc, not a re-render.
     let id = v0.tiles()[0];
-    let first: Arc<HeatRaster> = cache
+    let first: Arc<rnnhm_heatmap::quant::TilePayload> = cache
         .peek(rnnhm_heatmap::tiles::TileKey {
             arrangement: keys.0,
             measure: keys.1,
